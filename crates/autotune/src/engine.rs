@@ -1,0 +1,374 @@
+//! The auto-tuning loop (paper §6.3, Fig. 8).
+//!
+//! Each iteration: (1) *Model Training* — refit the cost model on the
+//! measurement history; (2) *Configuration Searching* — the explorer
+//! proposes a batch of promising configurations; (3) *Dataset Updating* —
+//! the batch is measured (on the simulator) and appended. Tuning stops
+//! after a fixed budget or when the best measured time has not improved
+//! for `patience` consecutive measurements, mirroring the paper's
+//! "until the measurement runtime ... does not decrease for hundreds of
+//! iterations".
+
+use crate::cost_model::CostModel;
+use crate::features::featurize;
+use crate::measure::Measurer;
+use crate::search::{History, Searcher};
+use crate::space::ConfigSpace;
+use iolb_dataflow::config::ScheduleConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tuning budget and convergence knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneParams {
+    /// Maximum number of measurements.
+    pub max_measurements: usize,
+    /// Proposals measured per iteration.
+    pub batch: usize,
+    /// Stop when this many consecutive measurements fail to improve the
+    /// best.
+    pub patience: usize,
+    /// RNG seed (tuning is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TuneParams {
+    fn default() -> Self {
+        Self { max_measurements: 256, batch: 8, patience: 64, seed: 0xA7E }
+    }
+}
+
+/// One point of the convergence curve (Fig. 11's series).
+#[derive(Debug, Clone, Copy)]
+pub struct CurvePoint {
+    /// Measurement index (1-based).
+    pub measurement: usize,
+    /// Best time found so far, ms.
+    pub best_ms: f64,
+    /// Best throughput so far, GFLOP/s.
+    pub best_gflops: f64,
+}
+
+/// Outcome of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Best configuration found.
+    pub best: ScheduleConfig,
+    /// Its measured time, ms.
+    pub best_ms: f64,
+    /// Its throughput, GFLOP/s.
+    pub best_gflops: f64,
+    /// Total measurement attempts spent (budget consumed, including build
+    /// failures).
+    pub measurements: usize,
+    /// Attempt index at which the best configuration was found — Table 2's
+    /// "Iterations" column (trials until the reported solution).
+    pub to_best: usize,
+    /// Best-so-far curve, one point per measurement.
+    pub curve: Vec<CurvePoint>,
+    /// Name of the search strategy used.
+    pub searcher: &'static str,
+}
+
+/// Runs the full tuning loop.
+///
+/// Returns `None` only if the space yields no measurable configuration at
+/// all (practically: an infeasible shape/device pairing).
+pub fn tune(
+    space: &ConfigSpace,
+    measurer: &Measurer,
+    model: &mut dyn CostModel,
+    searcher: &mut dyn Searcher,
+    params: TuneParams,
+) -> Option<TuneResult> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut history = History::new();
+    let mut curve = Vec::new();
+    let mut best: Option<(ScheduleConfig, f64)> = None;
+    let mut stall = 0usize;
+    // Failed builds (footprint overflows, unlaunchable blocks) consume
+    // budget exactly like TVM's compile failures do.
+    let mut attempts = 0usize;
+    let mut to_best = 0usize;
+
+    while attempts < params.max_measurements && stall < params.patience {
+        // (1) Model training.
+        if !history.is_empty() {
+            let rows: Vec<Vec<f64>> = history
+                .entries()
+                .iter()
+                .map(|(c, _)| featurize(&space.shape, space.kind, c))
+                .collect();
+            let costs: Vec<f64> = history.entries().iter().map(|(_, t)| *t).collect();
+            model.train(&rows, &costs);
+        }
+        // (2) Configuration searching.
+        let batch = searcher.propose(space, model, &history, params.batch, &mut rng);
+        if batch.is_empty() {
+            break;
+        }
+        // (3) Dataset updating.
+        for cfg in batch {
+            if attempts >= params.max_measurements {
+                break;
+            }
+            attempts += 1;
+            let Some(ms) = measurer.measure_ms(&cfg) else {
+                // Build failure: budget spent, nothing learned.
+                stall += 1;
+                continue;
+            };
+            history.push(cfg, ms);
+            let improved = best.as_ref().is_none_or(|&(_, b)| ms < b);
+            if improved {
+                best = Some((cfg, ms));
+                to_best = attempts;
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            let (_, best_ms) = best.unwrap();
+            curve.push(CurvePoint {
+                measurement: attempts,
+                best_ms,
+                best_gflops: measurer.gflops(best_ms),
+            });
+        }
+    }
+
+    best.map(|(cfg, ms)| TuneResult {
+        best: cfg,
+        best_ms: ms,
+        best_gflops: measurer.gflops(ms),
+        measurements: attempts,
+        to_best,
+        curve,
+        searcher: searcher.name(),
+    })
+}
+
+/// Transfer tuning: tunes a sequence of related problems (e.g. the conv
+/// layers of one network) while *sharing one cost model* across them.
+///
+/// Before each layer's run the model is warmed on the accumulated
+/// cross-layer history (best configs + random probes of earlier layers);
+/// the features are shape-relative (condition deviation, occupancy proxy,
+/// modelled I/O), so what the model learns on one layer transfers to the
+/// next. Within a layer, [`tune`] retrains on the layer's own history as
+/// usual — the transfer buys a *guided first batch* instead of a blind
+/// one, which is where per-layer tuning wastes the most budget. (TVM ships
+/// the same idea as its "transfer learning" tuners.)
+///
+/// Returns one [`TuneResult`] per `(space, measurer)` pair, in order.
+pub fn tune_transfer(
+    problems: &[(ConfigSpace, Measurer)],
+    model: &mut dyn CostModel,
+    make_searcher: &mut dyn FnMut() -> Box<dyn Searcher>,
+    params: TuneParams,
+) -> Vec<Option<TuneResult>> {
+    let mut shared_rows: Vec<Vec<f64>> = Vec::new();
+    let mut shared_costs: Vec<f64> = Vec::new();
+    let mut results = Vec::with_capacity(problems.len());
+    for (i, (space, measurer)) in problems.iter().enumerate() {
+        // Warm the model with everything measured so far.
+        if !shared_rows.is_empty() {
+            model.train(&shared_rows, &shared_costs);
+        }
+        let mut searcher = make_searcher();
+        let layer_params = TuneParams { seed: params.seed.wrapping_add(i as u64), ..params };
+        let result = tune(space, measurer, model, searcher.as_mut(), layer_params);
+        // Fold this layer's strongest signal (its best config) plus a few
+        // random probes into the shared history for the next layers.
+        if let Some(r) = &result {
+            shared_rows.push(crate::features::featurize(&space.shape, space.kind, &r.best));
+            shared_costs.push(r.best_ms);
+        }
+        let mut rng = StdRng::seed_from_u64(layer_params.seed ^ 0xBEEF);
+        for _ in 0..16 {
+            if let Some(cfg) = space.sample(&mut rng, 128) {
+                if let Some(ms) = measurer.measure_ms(&cfg) {
+                    shared_rows.push(crate::features::featurize(&space.shape, space.kind, &cfg));
+                    shared_costs.push(ms);
+                }
+            }
+        }
+        results.push(result);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_model::{GbtCostModel, NoModel};
+    use crate::search::random::RandomSearch;
+    use crate::search::walk::ParallelRandomWalk;
+    use iolb_core::optimality::TileKind;
+    use iolb_core::shapes::ConvShape;
+    use iolb_gpusim::DeviceSpec;
+
+    fn setup(pruned: bool) -> (ConfigSpace, Measurer) {
+        let shape = ConvShape::square(64, 28, 32, 3, 1, 1);
+        let device = DeviceSpec::v100();
+        let space = ConfigSpace::new(shape, TileKind::Direct, device.smem_per_sm, pruned);
+        let measurer = Measurer::new(device, shape, TileKind::Direct);
+        (space, measurer)
+    }
+
+    #[test]
+    fn tuning_finds_a_config_and_curve_is_monotone() {
+        let (space, measurer) = setup(true);
+        let mut model = GbtCostModel::default();
+        let mut searcher = ParallelRandomWalk::new();
+        let params = TuneParams { max_measurements: 48, batch: 6, patience: 48, seed: 1 };
+        let result = tune(&space, &measurer, &mut model, &mut searcher, params).unwrap();
+        assert!(result.best_ms > 0.0);
+        assert!(result.measurements <= 48);
+        // Best-so-far must be non-increasing in time, non-decreasing in
+        // GFLOP/s.
+        for w in result.curve.windows(2) {
+            assert!(w[1].best_ms <= w[0].best_ms);
+            assert!(w[1].best_gflops >= w[0].best_gflops - 1e-9);
+        }
+    }
+
+    #[test]
+    fn tuning_is_deterministic_given_seed() {
+        let (space, measurer) = setup(true);
+        let run = || {
+            let mut model = GbtCostModel::default();
+            let mut searcher = ParallelRandomWalk::new();
+            tune(
+                &space,
+                &measurer,
+                &mut model,
+                &mut searcher,
+                TuneParams { max_measurements: 24, batch: 4, patience: 24, seed: 9 },
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_ms, b.best_ms);
+    }
+
+    #[test]
+    fn best_config_beats_random_average() {
+        let (space, measurer) = setup(true);
+        let mut model = GbtCostModel::default();
+        let mut searcher = ParallelRandomWalk::new();
+        let result = tune(
+            &space,
+            &measurer,
+            &mut model,
+            &mut searcher,
+            TuneParams { max_measurements: 64, batch: 8, patience: 64, seed: 2 },
+        )
+        .unwrap();
+        // Average cost of pure random samples.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0.0;
+        let mut n = 0;
+        for _ in 0..32 {
+            if let Some(cfg) = space.sample(&mut rng, 256) {
+                if let Some(ms) = measurer.measure_ms(&cfg) {
+                    total += ms;
+                    n += 1;
+                }
+            }
+        }
+        let avg = total / n as f64;
+        assert!(
+            result.best_ms < avg,
+            "tuned {} not below random average {avg}",
+            result.best_ms
+        );
+    }
+
+    #[test]
+    fn patience_stops_early() {
+        let (space, measurer) = setup(true);
+        let mut model = NoModel;
+        let mut searcher = RandomSearch;
+        let result = tune(
+            &space,
+            &measurer,
+            &mut model,
+            &mut searcher,
+            TuneParams { max_measurements: 10_000, batch: 8, patience: 12, seed: 4 },
+        )
+        .unwrap();
+        assert!(
+            result.measurements < 10_000,
+            "patience did not trigger: {}",
+            result.measurements
+        );
+    }
+
+    #[test]
+    fn pruned_space_converges_at_least_as_fast() {
+        // The paper's Table 2 claim, in miniature: measurements-to-best on
+        // the pruned space do not exceed those on the full space by much;
+        // and the pruned best is competitive.
+        let (full, measurer) = setup(false);
+        let (pruned, _) = setup(true);
+        let run = |space: &ConfigSpace| {
+            let mut model = GbtCostModel::default();
+            let mut searcher = ParallelRandomWalk::new();
+            tune(
+                space,
+                &measurer,
+                &mut model,
+                &mut searcher,
+                TuneParams { max_measurements: 64, batch: 8, patience: 64, seed: 5 },
+            )
+            .unwrap()
+        };
+        let rf = run(&full);
+        let rp = run(&pruned);
+        // The pruned-space optimum is within 25% of the full-space one.
+        assert!(
+            rp.best_ms <= rf.best_ms * 1.25,
+            "pruned best {} vs full best {}",
+            rp.best_ms,
+            rf.best_ms
+        );
+    }
+
+    #[test]
+    fn transfer_tuning_covers_all_layers() {
+        let device = DeviceSpec::v100();
+        let shapes = [
+            ConvShape::square(64, 28, 32, 3, 1, 1),
+            ConvShape::square(32, 28, 64, 3, 1, 1),
+            ConvShape::square(64, 14, 64, 3, 1, 1),
+        ];
+        let problems: Vec<(ConfigSpace, Measurer)> = shapes
+            .iter()
+            .map(|&s| {
+                (
+                    ConfigSpace::new(s, TileKind::Direct, device.smem_per_sm, true),
+                    Measurer::new(device.clone(), s, TileKind::Direct),
+                )
+            })
+            .collect();
+        let mut model = GbtCostModel::default();
+        let mut make = || -> Box<dyn crate::search::Searcher> {
+            Box::new(ParallelRandomWalk::new())
+        };
+        let results = tune_transfer(
+            &problems,
+            &mut model,
+            &mut make,
+            TuneParams { max_measurements: 32, batch: 8, patience: 32, seed: 11 },
+        );
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            let r = r.as_ref().unwrap_or_else(|| panic!("layer {i} untuned"));
+            assert!(r.best_ms > 0.0);
+        }
+        // The shared model ends up trained.
+        assert!(model.is_trained());
+    }
+}

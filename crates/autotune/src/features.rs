@@ -1,0 +1,130 @@
+//! Configuration featurisation for the learned cost model.
+//!
+//! The features expose what the theory says matters: tile volume, the
+//! optimality-condition deviation, the modelled read I/O, the occupancy
+//! proxy, thread counts and the layout. Everything numeric is log-scaled
+//! where it spans decades, so the regression trees see balanced splits.
+
+use iolb_core::optimality::TileKind;
+use iolb_core::shapes::ConvShape;
+use iolb_dataflow::config::ScheduleConfig;
+use iolb_tensor::layout::Layout;
+
+/// Number of features produced by [`featurize`].
+pub const NUM_FEATURES: usize = 14;
+
+/// Feature names (diagnostics, importance reports).
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "log2_x",
+    "log2_y",
+    "log2_z",
+    "log2_tile_volume",
+    "log2_threads",
+    "log2_sb_elems",
+    "condition_ratio",
+    "condition_deviation",
+    "log2_model_read_io",
+    "occupancy_proxy",
+    "halo_overhead",
+    "is_chw",
+    "is_cwh",
+    "is_hwc",
+];
+
+/// Maps a configuration to its feature vector.
+pub fn featurize(shape: &ConvShape, kind: TileKind, cfg: &ScheduleConfig) -> Vec<f64> {
+    let r = kind.reuse(shape);
+    let xy = (cfg.x * cfg.y) as f64;
+    let rz = r * cfg.z as f64;
+    let read_io = kind.read_io(
+        shape,
+        &iolb_core::optimality::Tile { x: cfg.x, y: cfg.y, z: cfg.z },
+    );
+    let (kh, kw, mu) = (shape.kh as f64, shape.kw as f64, shape.stride as f64);
+    let xp = (cfg.x as f64 - 1.0) * mu + kh;
+    let yp = (cfg.y as f64 - 1.0) * mu + kw;
+    let halo_overhead = (xp * yp) / (mu * mu * cfg.x as f64 * cfg.y as f64);
+
+    vec![
+        (cfg.x as f64).log2(),
+        (cfg.y as f64).log2(),
+        (cfg.z as f64).log2(),
+        (cfg.tile_volume() as f64).log2(),
+        (cfg.threads() as f64).log2(),
+        cfg.sb_elems().log2(),
+        (xy / rz).log2(),
+        cfg.optimality_deviation(shape, kind),
+        read_io.max(1.0).log2(),
+        cfg.sb_elems() / (cfg.tile_volume() as f64).max(1.0),
+        halo_overhead,
+        f64::from(cfg.layout == Layout::Chw),
+        f64::from(cfg.layout == Layout::Cwh),
+        f64::from(cfg.layout == Layout::Hwc),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ConvShape {
+        ConvShape::square(64, 28, 32, 3, 1, 1)
+    }
+
+    fn cfg() -> ScheduleConfig {
+        ScheduleConfig {
+            x: 7,
+            y: 7,
+            z: 8,
+            nxt: 7,
+            nyt: 7,
+            nzt: 2,
+            sb_bytes: 16 * 1024,
+            layout: Layout::Chw,
+        }
+    }
+
+    #[test]
+    fn feature_vector_has_declared_length() {
+        let f = featurize(&shape(), TileKind::Direct, &cfg());
+        assert_eq!(f.len(), NUM_FEATURES);
+        assert_eq!(FEATURE_NAMES.len(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let f = featurize(&shape(), TileKind::Direct, &cfg());
+        for (i, v) in f.iter().enumerate() {
+            assert!(v.is_finite(), "feature {} = {v}", FEATURE_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn layout_one_hot_is_exclusive() {
+        for layout in Layout::ALL {
+            let c = ScheduleConfig { layout, ..cfg() };
+            let f = featurize(&shape(), TileKind::Direct, &c);
+            let hot: f64 = f[11] + f[12] + f[13];
+            assert_eq!(hot, 1.0);
+        }
+    }
+
+    #[test]
+    fn condition_deviation_reflected() {
+        let balanced = cfg(); // xy = 49, Rz = 72: dev ~ 0.32
+        let skewed = ScheduleConfig { x: 1, y: 1, nxt: 1, nyt: 1, z: 32, nzt: 2, ..cfg() };
+        let fb = featurize(&shape(), TileKind::Direct, &balanced);
+        let fs = featurize(&shape(), TileKind::Direct, &skewed);
+        assert!(fs[7] > fb[7], "skewed dev {} <= balanced {}", fs[7], fb[7]);
+    }
+
+    #[test]
+    fn read_io_feature_tracks_model() {
+        // Larger tiles (same condition ratio) reduce modelled read I/O.
+        let small = cfg();
+        let large = ScheduleConfig { x: 14, y: 14, z: 32, sb_bytes: 48 * 1024, ..cfg() };
+        let fs = featurize(&shape(), TileKind::Direct, &small);
+        let fl = featurize(&shape(), TileKind::Direct, &large);
+        assert!(fl[8] < fs[8]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # iolb-autotune — the I/O-lower-bound-guided auto-tuning engine
+//!
+//! Reproduction of the paper's §6: a learned-cost-model auto-tuner whose
+//! searching domain is pruned by the optimality condition `xy = Rz`
+//! derived from the I/O lower bounds.
+//!
+//! * [`space`] — the Table 1 configuration space, full (TVM-style) and
+//!   pruned (ATE) variants; Table 2's space-size comparison comes from
+//!   [`space::ConfigSpace::count`].
+//! * [`features`] — configuration featurisation for the model.
+//! * [`gbt`] — gradient-boosted regression trees, from scratch (the
+//!   XGBoost stand-in).
+//! * [`cost_model`] — the trainable cost-model abstraction.
+//! * [`search`] — four strategies: random, simulated annealing, genetic
+//!   (the TVM baselines) and the paper's parallel random walk.
+//! * [`measure`] — the template-manager stand-in: lowers a configuration
+//!   through `iolb-dataflow` and times it on `iolb-gpusim`.
+//! * [`engine`] — the train → search → measure loop (Fig. 8) with the
+//!   paper's convergence criterion.
+
+
+#![allow(clippy::needless_range_loop)] // index loops read clearer in the tree learner
+pub mod cost_model;
+pub mod engine;
+pub mod features;
+pub mod gbt;
+pub mod measure;
+pub mod search;
+pub mod space;
+
+pub use cost_model::{CostModel, GbtCostModel, NoModel};
+pub use engine::{tune, CurvePoint, TuneParams, TuneResult};
+pub use measure::Measurer;
+pub use search::{History, Searcher};
+pub use space::ConfigSpace;

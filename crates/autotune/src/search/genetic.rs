@@ -1,0 +1,163 @@
+//! Genetic-algorithm searcher — the TVM GA tuner stand-in.
+//!
+//! Classic generational GA: tournament selection on measured cost (falling
+//! back to predicted cost for unmeasured individuals), dimension-wise
+//! crossover, neighbour-step mutation, elitism of one.
+
+use super::{dedupe, top_up, History, Searcher};
+use crate::cost_model::CostModel;
+use crate::features::featurize;
+use crate::space::ConfigSpace;
+use iolb_dataflow::config::ScheduleConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Genetic searcher.
+pub struct GeneticSearch {
+    population: Vec<ScheduleConfig>,
+    /// Probability of mutating each child.
+    pub mutation_rate: f64,
+    /// Tournament size.
+    pub tournament: usize,
+}
+
+impl GeneticSearch {
+    pub fn new() -> Self {
+        Self { population: Vec::new(), mutation_rate: 0.3, tournament: 3 }
+    }
+
+    fn fitness(
+        &self,
+        cfg: &ScheduleConfig,
+        space: &ConfigSpace,
+        model: &dyn CostModel,
+        history: &History,
+    ) -> f64 {
+        history
+            .entries()
+            .iter()
+            .find(|(c, _)| c == cfg)
+            .map(|(_, cost)| *cost)
+            .unwrap_or_else(|| model.predict(&featurize(&space.shape, space.kind, cfg)))
+    }
+}
+
+impl Default for GeneticSearch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Searcher for GeneticSearch {
+    fn propose(
+        &mut self,
+        space: &ConfigSpace,
+        model: &dyn CostModel,
+        history: &History,
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Vec<ScheduleConfig> {
+        let pop_size = (2 * batch).max(6);
+        while self.population.len() < pop_size {
+            match space.sample(rng, 256) {
+                Some(cfg) => self.population.push(cfg),
+                None => break,
+            }
+        }
+        if self.population.is_empty() {
+            return Vec::new();
+        }
+
+        // Rank the current population.
+        let mut scored: Vec<(ScheduleConfig, f64)> = self
+            .population
+            .iter()
+            .map(|c| (*c, self.fitness(c, space, model, history)))
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        // Next generation: elite + tournament offspring.
+        let mut next: Vec<ScheduleConfig> = vec![scored[0].0];
+        let select = |rng: &mut StdRng, scored: &[(ScheduleConfig, f64)]| {
+            let mut best = rng.gen_range(0..scored.len());
+            for _ in 1..self.tournament {
+                let cand = rng.gen_range(0..scored.len());
+                if scored[cand].1 < scored[best].1 {
+                    best = cand;
+                }
+            }
+            scored[best].0
+        };
+        while next.len() < pop_size {
+            let a = select(rng, &scored);
+            let b = select(rng, &scored);
+            let mut child = space.crossover(&a, &b, rng);
+            if rng.gen_bool(self.mutation_rate) {
+                child = space.neighbor(&child, rng);
+            }
+            next.push(child);
+        }
+        self.population = next;
+        let out = dedupe(self.population.clone(), history, batch);
+        top_up(out, space, history, batch, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_model::NoModel;
+    use iolb_core::optimality::TileKind;
+    use iolb_core::shapes::ConvShape;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(
+            ConvShape::square(64, 28, 32, 3, 1, 1),
+            TileKind::Direct,
+            96 * 1024,
+            false,
+        )
+    }
+
+    #[test]
+    fn generations_stay_valid() {
+        let space = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut h = History::new();
+        let mut g = GeneticSearch::new();
+        for round in 0..5 {
+            let out = g.propose(&space, &NoModel, &h, 6, &mut rng);
+            assert!(!out.is_empty(), "round {round} empty");
+            for cfg in &out {
+                assert!(space.contains(cfg));
+                h.push(*cfg, 1.0 + (cfg.x as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn elitism_keeps_the_best_individual() {
+        let space = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut h = History::new();
+        let mut g = GeneticSearch::new();
+        // Measure the first batch so the best is known.
+        let first = g.propose(&space, &NoModel, &h, 6, &mut rng);
+        for cfg in &first {
+            // Cost strongly favours small x.
+            h.push(*cfg, cfg.x as f64);
+        }
+        let best_before = h.best().unwrap().0;
+        let _ = g.propose(&space, &NoModel, &h, 6, &mut rng);
+        // Elite survives inside the population.
+        assert!(
+            g.population.contains(&best_before),
+            "elite lost from population"
+        );
+    }
+}

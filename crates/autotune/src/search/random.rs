@@ -1,0 +1,63 @@
+//! Uniform random search — TVM's `random` tuner baseline.
+
+use super::{dedupe, History, Searcher};
+use crate::cost_model::CostModel;
+use crate::space::ConfigSpace;
+use iolb_dataflow::config::ScheduleConfig;
+use rand::rngs::StdRng;
+
+/// Samples configurations uniformly; ignores the cost model entirely.
+#[derive(Debug, Default)]
+pub struct RandomSearch;
+
+impl Searcher for RandomSearch {
+    fn propose(
+        &mut self,
+        space: &ConfigSpace,
+        _model: &dyn CostModel,
+        history: &History,
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Vec<ScheduleConfig> {
+        let mut proposals = Vec::with_capacity(batch * 4);
+        for _ in 0..batch * 8 {
+            if let Some(cfg) = space.sample(rng, 256) {
+                proposals.push(cfg);
+            }
+        }
+        dedupe(proposals, history, batch)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_model::NoModel;
+    use iolb_core::optimality::TileKind;
+    use iolb_core::shapes::ConvShape;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proposes_fresh_valid_configs() {
+        let shape = ConvShape::square(64, 28, 32, 3, 1, 1);
+        let space = ConfigSpace::new(shape, TileKind::Direct, 96 * 1024, false);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut h = History::new();
+        let mut s = RandomSearch;
+        let first = s.propose(&space, &NoModel, &h, 8, &mut rng);
+        assert!(!first.is_empty());
+        for cfg in &first {
+            assert!(space.contains(cfg));
+            h.push(*cfg, 1.0);
+        }
+        // Next round avoids everything already measured.
+        let second = s.propose(&space, &NoModel, &h, 8, &mut rng);
+        for cfg in &second {
+            assert!(!h.contains(cfg));
+        }
+    }
+}

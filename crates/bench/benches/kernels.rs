@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the real CPU compute substrate:
+//! reference conv vs im2col+GEMM vs Winograd vs the tiled dataflow
+//! executors. These measure actual wall-clock on this machine (unlike the
+//! fig*/tab* harnesses, which measure simulated GPU time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iolb_dataflow::config::ScheduleConfig;
+use iolb_dataflow::exec::{execute_direct, execute_winograd};
+use iolb_core::shapes::WinogradTile;
+use iolb_tensor::conv_ref::{conv2d_reference, ConvParams};
+use iolb_tensor::im2col::conv2d_im2col;
+use iolb_tensor::layout::Layout;
+use iolb_tensor::tensor::Tensor4;
+use iolb_tensor::winograd_conv::conv2d_winograd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn conv_paths(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    // A small ResNet-ish layer kept modest so the reference path stays
+    // benchable.
+    let input = Tensor4::random(1, 32, 28, 28, &mut rng);
+    let weights = Tensor4::random(32, 32, 3, 3, &mut rng);
+    let params = ConvParams::new(1, 1);
+
+    let mut group = c.benchmark_group("conv2d-28x28x32x32-3x3");
+    group.sample_size(20);
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(conv2d_reference(&input, &weights, params)))
+    });
+    group.bench_function("im2col-gemm", |b| {
+        b.iter(|| black_box(conv2d_im2col(&input, &weights, params, 4)))
+    });
+    group.bench_function("winograd-f2x3", |b| {
+        b.iter(|| black_box(conv2d_winograd(&input, &weights, params, 2)))
+    });
+    group.bench_function("winograd-f4x3", |b| {
+        b.iter(|| black_box(conv2d_winograd(&input, &weights, params, 4)))
+    });
+    let cfg = ScheduleConfig {
+        x: 14,
+        y: 14,
+        z: 8,
+        nxt: 1,
+        nyt: 1,
+        nzt: 1,
+        sb_bytes: 48 * 1024,
+        layout: Layout::Chw,
+    };
+    group.bench_function("dataflow-direct-4workers", |b| {
+        b.iter(|| black_box(execute_direct(&input, &weights, params, &cfg, 4)))
+    });
+    let wcfg = ScheduleConfig { x: 14, y: 14, z: 8, ..cfg };
+    group.bench_function("dataflow-winograd-4workers", |b| {
+        b.iter(|| {
+            black_box(execute_winograd(
+                &input,
+                &weights,
+                params,
+                WinogradTile::F2X3,
+                &wcfg,
+                4,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn gemm_scaling(c: &mut Criterion) {
+    use iolb_tensor::gemm::{gemm, MatRef};
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let a: Vec<f32> = (0..n * n).map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect();
+        let b_: Vec<f32> = (0..n * n).map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect();
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{n}x{n}x{n}"), threads),
+                &threads,
+                |bench, &t| {
+                    let mut c_buf = vec![0.0f32; n * n];
+                    bench.iter(|| {
+                        gemm(MatRef::new(&a, n, n), MatRef::new(&b_, n, n), &mut c_buf, t);
+                        black_box(&c_buf);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, conv_paths, gemm_scaling);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the theory machinery itself: `T(S)`
+//! maximisation, lower-bound evaluation, pebble-game strategies, exact
+//! pebbling, and min-dominator max-flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iolb_core::composite::t_bound;
+use iolb_core::phi_psi::{direct_steps, winograd_steps};
+use iolb_core::shapes::{ConvShape, WinogradTile};
+use iolb_core::{direct, winograd};
+use iolb_pebble::conv_dag::direct_conv_dag;
+use iolb_pebble::flow::min_dominator_size;
+use iolb_pebble::{pebble_topological, Eviction};
+use std::hint::black_box;
+
+fn bounds(c: &mut Criterion) {
+    let shape = ConvShape::square(256, 56, 128, 3, 1, 1);
+    let mut group = c.benchmark_group("lower-bounds");
+    group.bench_function("direct-closed-form", |b| {
+        b.iter(|| black_box(direct::io_lower_bound(&shape, black_box(4096.0))))
+    });
+    group.bench_function("winograd-closed-form", |b| {
+        b.iter(|| {
+            black_box(winograd::io_lower_bound(
+                &shape,
+                WinogradTile::F2X3,
+                black_box(4096.0),
+            ))
+        })
+    });
+    group.bench_function("t-bound-direct-numeric", |b| {
+        let steps = direct_steps(9.0);
+        b.iter(|| black_box(t_bound(&steps, black_box(4096.0))))
+    });
+    group.bench_function("t-bound-winograd-numeric", |b| {
+        let steps = winograd_steps(WinogradTile::F2X3);
+        b.iter(|| black_box(t_bound(&steps, black_box(4096.0))))
+    });
+    group.finish();
+}
+
+fn pebbling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pebbling");
+    group.sample_size(20);
+    for (cin, hw) in [(2usize, 4usize), (3, 5)] {
+        let shape = ConvShape::new(cin, hw, hw, 2, 3, 3, 1, 0);
+        let dag = direct_conv_dag(&shape);
+        group.bench_with_input(
+            BenchmarkId::new("belady", format!("{cin}x{hw}x{hw}")),
+            &dag,
+            |b, dag| b.iter(|| black_box(pebble_topological(dag, 24, Eviction::Belady).io)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lru", format!("{cin}x{hw}x{hw}")),
+            &dag,
+            |b, dag| b.iter(|| black_box(pebble_topological(dag, 24, Eviction::Lru).io)),
+        );
+        let outputs = dag.outputs();
+        group.bench_with_input(
+            BenchmarkId::new("min-dominator", format!("{cin}x{hw}x{hw}")),
+            &dag,
+            |b, dag| b.iter(|| black_box(min_dominator_size(dag, &outputs))),
+        );
+    }
+    group.finish();
+}
+
+fn tile_selection(c: &mut Criterion) {
+    use iolb_core::optimality::{best_tile, TileKind};
+    let mut group = c.benchmark_group("tile-selection");
+    for hw in [28usize, 56, 112] {
+        let shape = ConvShape::square(256, hw, 128, 3, 1, 1);
+        group.bench_with_input(BenchmarkId::new("best-tile", hw), &shape, |b, s| {
+            b.iter(|| black_box(best_tile(s, TileKind::Direct, 8192.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bounds, pebbling, tile_selection);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! # iolb-bench — experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§7):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig9`  | dataflow vs cuDNN speedup grid (direct mu=1/2/4 + Winograd) |
+//! | `fig10` | batched direct convolution speedups |
+//! | `tab2`  | TVM vs ATE: space sizes, iterations, best GFLOP/s |
+//! | `fig11` | best-GFLOP/s-vs-iteration curves for four search methods |
+//! | `fig12` | end-to-end CNN inference times, ours vs cuDNN |
+//! | `fig13` | cross-architecture sensitivity (1080Ti / Titan X / gfx906) |
+//! | `theory`| lower-bound validation: pebbling sandwich + 1/sqrt(S) scaling |
+//!
+//! This library holds the shared runners (planning, tuning, printing).
+
+use iolb_autotune::engine::{tune, TuneParams, TuneResult};
+use iolb_autotune::search::genetic::GeneticSearch;
+use iolb_autotune::search::random::RandomSearch;
+use iolb_autotune::search::sa::SimulatedAnnealing;
+use iolb_autotune::search::walk::ParallelRandomWalk;
+use iolb_autotune::{ConfigSpace, GbtCostModel, Measurer, NoModel, Searcher};
+use iolb_core::optimality::TileKind;
+use iolb_core::shapes::{ConvShape, WinogradTile};
+use iolb_cnn::inference::fast_config;
+use iolb_dataflow::baselines;
+use iolb_dataflow::{direct_kernel, winograd_kernel};
+use iolb_gpusim::{simulate, simulate_sequence, DeviceSpec};
+
+/// Our dataflow's simulated time (ms) with the fast (analytic) plan.
+pub fn ours_fast_ms(shape: &ConvShape, kind: TileKind, device: &DeviceSpec) -> Option<f64> {
+    let cfg = fast_config(shape, kind, device)?;
+    let kernel = match kind {
+        TileKind::Direct => direct_kernel(shape, &cfg),
+        TileKind::Winograd(t) => winograd_kernel(shape, t, &cfg),
+    };
+    simulate(device, &kernel).ok().map(|s| s.time_ms)
+}
+
+/// cuDNN stand-in time (ms) for the *direct* algorithm family: best of
+/// im2col+GEMM and the naive direct kernel (paper §7: "the best one of two
+/// direct implementations in cuDNN").
+pub fn cudnn_direct_ms(shape: &ConvShape, device: &DeviceSpec) -> f64 {
+    let mut best = f64::INFINITY;
+    if let Ok(s) = simulate_sequence(device, &baselines::im2col_gemm(shape)) {
+        best = best.min(s.time_ms);
+    }
+    if let Ok(s) = simulate_sequence(device, &baselines::naive_direct(shape)) {
+        best = best.min(s.time_ms);
+    }
+    best
+}
+
+/// cuDNN stand-in time (ms) for the Winograd family (unfused pipeline,
+/// best tile).
+pub fn cudnn_winograd_ms(shape: &ConvShape, device: &DeviceSpec) -> f64 {
+    let mut best = f64::INFINITY;
+    for tile in [WinogradTile::F2X3, WinogradTile::F4X3] {
+        if !shape.supports_winograd(tile) {
+            continue;
+        }
+        if let Ok(s) = simulate_sequence(device, &baselines::winograd_unfused(shape, tile)) {
+            best = best.min(s.time_ms);
+        }
+    }
+    best
+}
+
+/// Which auto-tuner to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunerKind {
+    /// The paper's engine: GBT cost model + parallel random walk over the
+    /// *pruned* space.
+    Ate,
+    /// TVM stand-in: GBT cost model + simulated annealing over the full
+    /// space.
+    TvmSa,
+    /// TVM's GA tuner (model-free) over the full space.
+    TvmGa,
+    /// TVM's random tuner over the full space.
+    TvmRandom,
+}
+
+impl TunerKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            TunerKind::Ate => "ATE (ours)",
+            TunerKind::TvmSa => "TVM XGB+SA",
+            TunerKind::TvmGa => "TVM GA",
+            TunerKind::TvmRandom => "TVM random",
+        }
+    }
+
+    /// Whether this tuner searches the pruned domain.
+    pub fn pruned(&self) -> bool {
+        matches!(self, TunerKind::Ate)
+    }
+}
+
+/// Runs one tuner on one convolution; `budget` caps measurements.
+pub fn run_tuner(
+    kind: TunerKind,
+    shape: &ConvShape,
+    tile_kind: TileKind,
+    device: &DeviceSpec,
+    budget: usize,
+    seed: u64,
+) -> Option<TuneResult> {
+    let space = ConfigSpace::new(*shape, tile_kind, device.smem_per_sm, kind.pruned());
+    let measurer = Measurer::new(device.clone(), *shape, tile_kind);
+    let params = TuneParams {
+        max_measurements: budget,
+        batch: 8,
+        patience: (budget / 2).max(24),
+        seed,
+    };
+    let mut searcher: Box<dyn Searcher> = match kind {
+        TunerKind::Ate => {
+            // The engine warm-starts one walker at the analytic
+            // optimality-condition configuration — the theory picks the
+            // starting point, the walk refines it.
+            let seeds = fast_config(shape, tile_kind, device).into_iter().collect();
+            Box::new(ParallelRandomWalk::with_seeds(seeds))
+        }
+        TunerKind::TvmSa => Box::new(SimulatedAnnealing::new()),
+        TunerKind::TvmGa => Box::new(GeneticSearch::new()),
+        TunerKind::TvmRandom => Box::new(RandomSearch),
+    };
+    match kind {
+        TunerKind::TvmGa | TunerKind::TvmRandom => {
+            let mut model = NoModel;
+            tune(&space, &measurer, &mut model, searcher.as_mut(), params)
+        }
+        _ => {
+            let mut model = GbtCostModel::default();
+            tune(&space, &measurer, &mut model, searcher.as_mut(), params)
+        }
+    }
+}
+
+/// Formats a ratio as the paper's "N.NNx" speedup.
+pub fn fmt_speedup(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Prints a header banner for an experiment binary.
+pub fn banner(title: &str, detail: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{detail}");
+    println!("{}", "=".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_runner_produces_speedups() {
+        let shape = ConvShape::square(256, 56, 128, 3, 1, 1);
+        let d = DeviceSpec::gtx1080ti();
+        let ours = ours_fast_ms(&shape, TileKind::Direct, &d).unwrap();
+        let base = cudnn_direct_ms(&shape, &d);
+        assert!(ours > 0.0 && base.is_finite());
+    }
+
+    #[test]
+    fn tuners_run_to_completion() {
+        let shape = ConvShape::square(64, 28, 32, 3, 1, 1);
+        let d = DeviceSpec::v100();
+        for kind in [TunerKind::Ate, TunerKind::TvmSa, TunerKind::TvmGa, TunerKind::TvmRandom] {
+            let r = run_tuner(kind, &shape, TileKind::Direct, &d, 32, 1).unwrap();
+            assert!(r.best_ms > 0.0, "{}", kind.label());
+        }
+    }
+}

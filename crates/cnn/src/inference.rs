@@ -1,0 +1,314 @@
+//! End-to-end inference timing (paper §7.3, Fig. 12).
+//!
+//! For every conv layer the planner picks an algorithm and a
+//! configuration, times it on the simulator, and sums across the network.
+//! Two planners are compared:
+//!
+//! * **ours** — the dataflow schedules with configurations chosen by the
+//!   optimality condition (fast mode) or by the full auto-tuning engine
+//!   (tuned mode), taking the better of direct and Winograd per layer;
+//! * **baseline** — the cuDNN stand-in: the best of im2col+GEMM and the
+//!   unfused Winograd pipeline per layer.
+
+use crate::layers::{ConvLayer, Network};
+use iolb_autotune::engine::{tune, TuneParams};
+use iolb_autotune::{ConfigSpace, GbtCostModel, Measurer};
+use iolb_core::optimality::{best_tile, divisors, TileKind};
+use iolb_core::shapes::{ConvShape, WinogradTile};
+use iolb_dataflow::baselines;
+use iolb_dataflow::config::ScheduleConfig;
+use iolb_dataflow::{direct_kernel, winograd_kernel};
+use iolb_gpusim::{simulate, simulate_sequence, DeviceSpec};
+use iolb_tensor::layout::Layout;
+
+/// Planning effort for our schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Analytic: best integer tile under the optimality condition, default
+    /// thread split. No search.
+    Fast,
+    /// Full auto-tuning with the given measurement budget per layer.
+    Tuned { budget: usize },
+}
+
+/// Per-layer timing entry.
+#[derive(Debug, Clone)]
+pub struct LayerTime {
+    pub name: String,
+    /// Our dataflow's time (ms), summed over repeats.
+    pub ours_ms: f64,
+    /// Baseline library time (ms), summed over repeats.
+    pub baseline_ms: f64,
+    /// Which algorithm our planner chose.
+    pub algorithm: &'static str,
+}
+
+/// Whole-network timing.
+#[derive(Debug, Clone)]
+pub struct NetworkTime {
+    pub network: &'static str,
+    pub layers: Vec<LayerTime>,
+    pub ours_ms: f64,
+    pub baseline_ms: f64,
+}
+
+impl NetworkTime {
+    /// End-to-end speedup of our planner over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ms / self.ours_ms
+    }
+}
+
+/// Picks a default thread split for a tile: factors of (x, y, z) whose
+/// product lands near 256 threads.
+fn default_threads(x: usize, y: usize, z: usize) -> (usize, usize, usize) {
+    let pick = |n: usize, cap: usize| {
+        divisors(n).into_iter().rfind(|&d| d <= cap).unwrap_or(1)
+    };
+    let nxt = pick(x, 16);
+    let nyt = pick(y, 16);
+    let budget = 1024 / (nxt * nyt).max(1);
+    let nzt = pick(z, budget.clamp(1, 32));
+    (nxt, nyt, nzt)
+}
+
+/// Builds the fast-mode configuration for a layer: the best
+/// optimality-condition tile fitting the stage buffers into `S_b`.
+pub fn fast_config(
+    shape: &ConvShape,
+    kind: TileKind,
+    device: &DeviceSpec,
+) -> Option<ScheduleConfig> {
+    let sb_bytes = (device.smem_per_sm / 2).min(device.max_smem_per_block).min(48 * 1024);
+    // Leave room for the stage buffers inside S_b by searching with a
+    // deflated tile budget, then validating the complete footprint.
+    for deflate in [0.75, 0.5, 0.3, 0.15, 0.05] {
+        let budget = sb_bytes as f64 / 4.0 * deflate;
+        let Some(t) = best_kind_tile(shape, kind, budget) else { continue };
+        let (nxt, nyt, nzt) = default_threads(t.0, t.1, t.2);
+        let cfg = ScheduleConfig {
+            x: t.0,
+            y: t.1,
+            z: t.2,
+            nxt,
+            nyt,
+            nzt,
+            sb_bytes,
+            layout: Layout::Chw,
+        };
+        if cfg.validate(shape, kind, device.smem_per_sm, false).is_ok() {
+            return Some(cfg);
+        }
+    }
+    None
+}
+
+/// Picks the read-I/O-minimising tile for the kind. Direct tiles come from
+/// the core solver; Winograd tiles are enumerated over the `e`-padded
+/// output extents (divisor-of-13 tiles don't exist, padded 14x14 ones do).
+fn best_kind_tile(shape: &ConvShape, kind: TileKind, budget: f64) -> Option<(usize, usize, usize)> {
+    match kind {
+        TileKind::Direct => best_tile(shape, kind, budget).map(|c| (c.tile.x, c.tile.y, c.tile.z)),
+        TileKind::Winograd(w) => {
+            let (hp, wp) = iolb_dataflow::config::padded_out(shape, kind);
+            let mut best: Option<((usize, usize, usize), f64)> = None;
+            for &x in divisors(hp).iter().filter(|&&d| d % w.e == 0) {
+                for &y in divisors(wp).iter().filter(|&&d| d % w.e == 0) {
+                    for &z in &divisors(shape.cout) {
+                        let tile = iolb_core::optimality::Tile { x, y, z };
+                        if kind.accumulator_elems(&tile) > budget {
+                            continue;
+                        }
+                        let io = kind.exact_read_io(shape, &tile);
+                        if best.as_ref().is_none_or(|&(_, b)| io < b) {
+                            best = Some(((x, y, z), io));
+                        }
+                    }
+                }
+            }
+            best.map(|(t, _)| t)
+        }
+    }
+}
+
+/// Times one layer under our planner; returns (ms, algorithm label).
+pub fn time_ours(
+    shape: &ConvShape,
+    device: &DeviceSpec,
+    mode: PlanMode,
+) -> Option<(f64, &'static str)> {
+    let mut candidates: Vec<(TileKind, &'static str)> = vec![(TileKind::Direct, "direct")];
+    if shape.kh == shape.kw && shape.kh == 3 && shape.stride == 1 {
+        candidates.push((TileKind::Winograd(WinogradTile::F2X3), "winograd-F2x3"));
+        candidates.push((TileKind::Winograd(WinogradTile::F4X3), "winograd-F4x3"));
+    }
+    let mut best: Option<(f64, &'static str)> = None;
+    for (kind, label) in candidates {
+        let ms = match mode {
+            PlanMode::Fast => {
+                let Some(cfg) = fast_config(shape, kind, device) else { continue };
+                let kernel = match kind {
+                    TileKind::Direct => direct_kernel(shape, &cfg),
+                    TileKind::Winograd(t) => winograd_kernel(shape, t, &cfg),
+                };
+                match simulate(device, &kernel) {
+                    Ok(s) => s.time_ms,
+                    Err(_) => continue,
+                }
+            }
+            PlanMode::Tuned { budget } => {
+                let space = ConfigSpace::new(*shape, kind, device.smem_per_sm, true);
+                let measurer = Measurer::new(device.clone(), *shape, kind);
+                let mut model = GbtCostModel::default();
+                let seeds = fast_config(shape, kind, device).into_iter().collect();
+                let mut searcher =
+                    iolb_autotune::search::walk::ParallelRandomWalk::with_seeds(seeds);
+                let params = TuneParams {
+                    max_measurements: budget,
+                    batch: 8,
+                    patience: budget,
+                    seed: 7,
+                };
+                match tune(&space, &measurer, &mut model, &mut searcher, params) {
+                    Some(r) => r.best_ms,
+                    None => continue,
+                }
+            }
+        };
+        if best.as_ref().is_none_or(|&(b, _)| ms < b) {
+            best = Some((ms, label));
+        }
+    }
+    best
+}
+
+/// Times one layer under the baseline library (best available algorithm).
+pub fn time_baseline(shape: &ConvShape, device: &DeviceSpec) -> f64 {
+    let mut best = f64::INFINITY;
+    if let Ok(seq) = simulate_sequence(device, &baselines::im2col_gemm(shape)) {
+        best = best.min(seq.time_ms);
+    }
+    if let Ok(seq) = simulate_sequence(device, &baselines::naive_direct(shape)) {
+        best = best.min(seq.time_ms);
+    }
+    if shape.kh == shape.kw && shape.kh == 3 && shape.stride == 1 {
+        for tile in [WinogradTile::F2X3, WinogradTile::F4X3] {
+            if let Ok(seq) =
+                simulate_sequence(device, &baselines::winograd_unfused(shape, tile))
+            {
+                best = best.min(seq.time_ms);
+            }
+        }
+    }
+    best
+}
+
+/// Times a whole network.
+pub fn time_network(net: &Network, device: &DeviceSpec, mode: PlanMode) -> NetworkTime {
+    let mut layers = Vec::with_capacity(net.layers.len());
+    let mut ours_total = 0.0;
+    let mut base_total = 0.0;
+    for layer in &net.layers {
+        let (ours, algorithm) =
+            time_ours(&layer.shape, device, mode).unwrap_or((f64::INFINITY, "none"));
+        let baseline = time_baseline(&layer.shape, device);
+        let reps = layer.repeat as f64;
+        ours_total += ours * reps;
+        base_total += baseline * reps;
+        layers.push(LayerTime {
+            name: layer.name.clone(),
+            ours_ms: ours * reps,
+            baseline_ms: baseline * reps,
+            algorithm,
+        });
+    }
+    NetworkTime { network: net.name, layers, ours_ms: ours_total, baseline_ms: base_total }
+}
+
+/// Convenience for tests / examples: layer accessor on networks.
+pub fn layer<'n>(net: &'n Network, name: &str) -> &'n ConvLayer {
+    net.layers
+        .iter()
+        .find(|l| l.name == name)
+        .unwrap_or_else(|| panic!("{} has no layer {name}", net.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    #[test]
+    fn fast_config_exists_for_all_alexnet_layers() {
+        let net = models::alexnet();
+        for l in &net.layers {
+            let cfg = fast_config(&l.shape, TileKind::Direct, &device());
+            assert!(cfg.is_some(), "no fast config for {}", l.name);
+        }
+    }
+
+    #[test]
+    fn our_time_finite_and_positive() {
+        let shape = ConvShape::square(64, 28, 64, 3, 1, 1);
+        let (ms, alg) = time_ours(&shape, &device(), PlanMode::Fast).unwrap();
+        assert!(ms.is_finite() && ms > 0.0);
+        assert!(!alg.is_empty());
+    }
+
+    #[test]
+    fn winograd_chosen_for_eligible_layers_sometimes() {
+        // 3x3 s1 layers must at least consider Winograd; deep-channel
+        // layers favour it via the flop reduction.
+        let shape = ConvShape::square(512, 28, 512, 3, 1, 1);
+        let (_, alg) = time_ours(&shape, &device(), PlanMode::Fast).unwrap();
+        assert!(alg == "direct" || alg.starts_with("winograd"));
+    }
+
+    #[test]
+    fn network_timing_sums_layers() {
+        let net = models::alexnet();
+        let t = time_network(&net, &device(), PlanMode::Fast);
+        let sum: f64 = t.layers.iter().map(|l| l.ours_ms).sum();
+        assert!((t.ours_ms - sum).abs() < 1e-9);
+        assert!(t.ours_ms > 0.0 && t.baseline_ms > 0.0);
+    }
+
+    #[test]
+    fn ours_beats_baseline_end_to_end_on_alexnet() {
+        let net = models::alexnet();
+        let t = time_network(&net, &device(), PlanMode::Fast);
+        assert!(
+            t.speedup() > 1.0,
+            "ours {} ms vs baseline {} ms",
+            t.ours_ms,
+            t.baseline_ms
+        );
+    }
+
+    #[test]
+    fn one_by_one_layers_are_plannable() {
+        // SqueezeNet's squeeze layers: R = 1, stride 1, k = 1.
+        let shape = ConvShape::new(96, 54, 54, 16, 1, 1, 1, 0);
+        let (ms, alg) = time_ours(&shape, &device(), PlanMode::Fast).unwrap();
+        assert!(ms.is_finite());
+        assert_eq!(alg, "direct");
+    }
+
+    #[test]
+    fn rectangular_kernels_are_plannable() {
+        // Inception 1x7.
+        let shape = ConvShape::new(128, 17, 17, 128, 1, 7, 1, 3);
+        let (ms, _) = time_ours(&shape, &device(), PlanMode::Fast).unwrap();
+        assert!(ms.is_finite());
+    }
+
+    #[test]
+    fn layer_lookup() {
+        let net = models::alexnet();
+        assert_eq!(layer(&net, "conv3").shape.cout, 384);
+    }
+}

@@ -1,0 +1,98 @@
+//! Named convolution layers.
+
+use iolb_core::shapes::ConvShape;
+
+/// A named conv layer with an occurrence count (identical layers inside a
+/// network are folded with `repeat > 1`).
+#[derive(Debug, Clone)]
+pub struct ConvLayer {
+    /// Diagnostic name, e.g. `"conv3"` or `"fire5.expand3x3"`.
+    pub name: String,
+    /// The layer geometry.
+    pub shape: ConvShape,
+    /// How many times the layer occurs in the network.
+    pub repeat: usize,
+}
+
+impl ConvLayer {
+    pub fn new(name: impl Into<String>, shape: ConvShape) -> Self {
+        Self { name: name.into(), shape, repeat: 1 }
+    }
+
+    pub fn repeated(name: impl Into<String>, shape: ConvShape, repeat: usize) -> Self {
+        assert!(repeat >= 1);
+        Self { name: name.into(), shape, repeat }
+    }
+
+    /// Total multiply-accumulate work contributed by this layer.
+    pub fn total_macs(&self) -> u64 {
+        self.shape.macs() * self.repeat as u64
+    }
+
+    /// Whether a Winograd `F(e,r)` implementation applies (square kernel,
+    /// unit stride).
+    pub fn winograd_eligible(&self) -> bool {
+        self.shape.kh == self.shape.kw && self.shape.stride == 1 && self.shape.kh == 3
+    }
+}
+
+/// A network: a list of conv layers (non-conv layers contribute no conv
+/// time and are omitted, as in the paper's Fig. 12 accounting).
+#[derive(Debug, Clone)]
+pub struct Network {
+    pub name: &'static str,
+    pub layers: Vec<ConvLayer>,
+}
+
+impl Network {
+    /// Total conv MACs of the network.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::total_macs).sum()
+    }
+
+    /// Number of distinct conv layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no conv layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Validates every layer shape.
+    pub fn validate(&self) -> Result<(), String> {
+        for l in &self.layers {
+            l.shape
+                .validate()
+                .map_err(|e| format!("{}/{}: {e}", self.name, l.name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_macs_scale_with_repeat() {
+        let shape = ConvShape::square(64, 56, 64, 3, 1, 1);
+        let single = ConvLayer::new("a", shape);
+        let triple = ConvLayer::repeated("b", shape, 3);
+        assert_eq!(triple.total_macs(), 3 * single.total_macs());
+    }
+
+    #[test]
+    fn winograd_eligibility() {
+        assert!(ConvLayer::new("a", ConvShape::square(64, 56, 64, 3, 1, 1)).winograd_eligible());
+        assert!(!ConvLayer::new("s", ConvShape::square(64, 56, 64, 3, 2, 1)).winograd_eligible());
+        assert!(!ConvLayer::new("k", ConvShape::square(64, 56, 64, 1, 1, 0)).winograd_eligible());
+        // Rectangular (Inception 1x7) kernels are not Winograd candidates.
+        assert!(!ConvLayer::new(
+            "r",
+            ConvShape::new(64, 17, 17, 64, 1, 7, 1, 3)
+        )
+        .winograd_eligible());
+    }
+}

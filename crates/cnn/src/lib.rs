@@ -1,0 +1,13 @@
+//! # iolb-cnn — CNN layer inventories and end-to-end inference timing
+//!
+//! The workload side of the evaluation: exact conv-layer inventories for
+//! AlexNet, SqueezeNet, VGG-19, ResNet-18/34 and Inception-v3
+//! ([`models`]), and the per-layer algorithm selection + timing pipeline
+//! behind the paper's Fig. 12 end-to-end comparison ([`inference`]).
+
+pub mod inference;
+pub mod layers;
+pub mod models;
+
+pub use inference::{time_network, LayerTime, NetworkTime, PlanMode};
+pub use layers::{ConvLayer, Network};

@@ -1,0 +1,154 @@
+//! # iolb-core — I/O lower-bound theory for CNN convolutions
+//!
+//! From-scratch implementation of the theory in *"I/O Lower Bounds for
+//! Auto-tuning of Convolutions in CNNs"* (Zhang, Xiao & Tan, PPoPP 2021):
+//!
+//! * [`shapes`] — convolution geometry, reuse factor `R` (Eq. 13), Winograd
+//!   tile parameters `F(e×e, r×r)`.
+//! * [`phi_psi`] — the per-step maximum vertex-generation functions
+//!   `phi_j`/`psi_j` with the paper's closed-form bounds
+//!   (Lemmas 4.9–4.10, 4.15–4.18).
+//! * [`composite`] — the general composite-algorithm machinery: numeric
+//!   evaluation of `T(S)` (Theorem 4.5) and the I/O lower bound
+//!   `Q ≥ S(|V|/T(2S) − 1)` (Theorem 4.6).
+//! * [`direct`] — closed forms for the direct convolution: Lemma 4.8 vertex
+//!   count, Lemma 4.11 `T(S)`, Theorem 4.12 bound, and the §5.2 dataflow
+//!   I/O model (Eqs. 20–21) with the optimality condition `xy = Rz`.
+//! * [`winograd`] — closed forms for the Winograd algorithm: Lemma 4.14,
+//!   Lemma 4.19, Theorem 4.20, and the §5.3 dataflow model (Eqs. 22–23).
+//! * [`optimality`] — integer tile selection under the Table 1 constraints.
+//!
+//! The crate is pure math: no I/O, no threads, no dependencies. The pebble
+//! game substrate that *validates* these bounds lives in `iolb-pebble`; the
+//! executable schedules live in `iolb-dataflow`.
+//!
+//! ## Units
+//!
+//! Fast-memory size `S` and all I/O volumes are measured in **elements**
+//! (one `f32` word), matching the red-blue pebble game where a pebble holds
+//! one value. Byte conversions belong to the simulator layer.
+//!
+//! ## Example
+//!
+//! ```
+//! use iolb_core::shapes::ConvShape;
+//! use iolb_core::{direct, winograd};
+//! use iolb_core::shapes::WinogradTile;
+//!
+//! // ResNet-style 3x3 layer.
+//! let shape = ConvShape::square(256, 56, 128, 3, 1, 1);
+//! let s = 4096.0; // fast memory: 4096 elements (16 KiB of f32)
+//!
+//! let q_direct = direct::io_lower_bound(&shape, s);
+//! let q_wino = winograd::io_lower_bound(&shape, WinogradTile::F2X3, s);
+//! assert!(q_direct > 0.0 && q_wino > 0.0);
+//!
+//! // The paper's dataflows sit within a small constant of their bounds.
+//! assert!(direct::dataflow_optimal_io(&shape, s, 1.0) >= q_direct);
+//! ```
+
+
+#![allow(clippy::needless_range_loop)] // index loops read clearer in numeric code
+pub mod composite;
+pub mod direct;
+pub mod matmul;
+pub mod optimality;
+pub mod phi_psi;
+pub mod shapes;
+pub mod winograd;
+
+pub use shapes::{ConvShape, ShapeError, WinogradTile};
+
+/// Which convolution algorithm a bound or schedule refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Direct convolution (paper §2.2, Fig. 4).
+    Direct,
+    /// Winograd algorithm with the given tile (paper §2.3, Fig. 5).
+    Winograd(WinogradTile),
+}
+
+impl Algorithm {
+    /// I/O lower bound for this algorithm on `shape` with fast memory `s`
+    /// (elements). Dispatches to Theorem 4.12 / Theorem 4.20.
+    pub fn io_lower_bound(&self, shape: &ConvShape, s: f64) -> f64 {
+        match self {
+            Algorithm::Direct => direct::io_lower_bound(shape, s),
+            Algorithm::Winograd(t) => winograd::io_lower_bound(shape, *t, s),
+        }
+    }
+
+    /// I/O volume of the paper's near-optimal dataflow (Eq. 21 / Eq. 23).
+    pub fn dataflow_io(&self, shape: &ConvShape, s: f64, np: f64) -> f64 {
+        match self {
+            Algorithm::Direct => direct::dataflow_optimal_io(shape, s, np),
+            Algorithm::Winograd(t) => winograd::dataflow_optimal_io(shape, *t, s, np),
+        }
+    }
+
+    /// Arithmetic cost (FLOPs) of this algorithm on `shape`. Winograd
+    /// divides the direct multiply count by the per-tile saving and adds
+    /// transform overhead proportional to tile count.
+    pub fn flops(&self, shape: &ConvShape) -> f64 {
+        match self {
+            Algorithm::Direct => shape.flops() as f64,
+            Algorithm::Winograd(t) => {
+                let tiles = (shape.hout().div_ceil(t.e) * shape.wout().div_ceil(t.e)) as f64
+                    * shape.batch as f64;
+                let a2 = (t.a() * t.a()) as f64;
+                // Elementwise multiplies: tiles * Cout * Cin * a^2 MACs.
+                let mul = tiles * shape.cout as f64 * shape.cin as f64 * a2;
+                // Transform adds (input, kernel amortised, output), counted
+                // as ~4 a^2 ops per tile-channel per stage.
+                let transforms = tiles * (shape.cin as f64 + shape.cout as f64) * 4.0 * a2;
+                2.0 * mul + transforms
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Direct => write!(f, "direct"),
+            Algorithm::Winograd(t) => write!(f, "winograd-F({}x{},{}x{})", t.e, t.e, t.r, t.r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_dispatch_consistent_with_modules() {
+        let shape = ConvShape::square(256, 56, 128, 3, 1, 1);
+        let s = 4096.0;
+        assert_eq!(
+            Algorithm::Direct.io_lower_bound(&shape, s),
+            direct::io_lower_bound(&shape, s)
+        );
+        let t = WinogradTile::F2X3;
+        assert_eq!(
+            Algorithm::Winograd(t).io_lower_bound(&shape, s),
+            winograd::io_lower_bound(&shape, t, s)
+        );
+    }
+
+    #[test]
+    fn winograd_flops_below_direct_for_3x3() {
+        let shape = ConvShape::square(256, 56, 256, 3, 1, 1);
+        let d = Algorithm::Direct.flops(&shape);
+        let w = Algorithm::Winograd(WinogradTile::F4X3).flops(&shape);
+        assert!(w < d, "winograd {w} direct {d}");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", Algorithm::Direct), "direct");
+        assert_eq!(
+            format!("{}", Algorithm::Winograd(WinogradTile::F2X3)),
+            "winograd-F(2x2,3x3)"
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Convolution problem shapes and derived quantities.
+//!
+//! Everything in the lower-bound theory is expressed in terms of the
+//! convolution geometry: input `W_in x H_in x C_in`, `C_out` kernels of
+//! `W_ker x H_ker x C_in` weights, stride `mu`, producing a
+//! `W_out x H_out x C_out` output image (paper §2.2). This module holds that
+//! geometry plus the derived quantities the theory keeps reusing: output
+//! dims, FLOP counts, and the maximum input-reuse factor
+//! `R = W_ker * H_ker / mu^2` (Eq. 13).
+
+/// Shape of a (possibly batched) 2-D convolution.
+///
+/// All dimensions are in elements, not bytes. `pad` is symmetric zero
+/// padding on both spatial borders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Batch size (number of input images). The paper's single-image
+    /// analysis corresponds to `batch == 1`; Figure 10 sweeps this.
+    pub batch: usize,
+    /// Input channels `C_in`.
+    pub cin: usize,
+    /// Input height `H_in`.
+    pub hin: usize,
+    /// Input width `W_in`.
+    pub win: usize,
+    /// Output channels `C_out` (= number of kernels).
+    pub cout: usize,
+    /// Kernel height `H_ker`.
+    pub kh: usize,
+    /// Kernel width `W_ker`.
+    pub kw: usize,
+    /// Stride `mu` (same in both spatial directions, as in the paper).
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Unbatched convenience constructor (batch = 1).
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's 8 conv parameters
+    pub fn new(
+        cin: usize,
+        hin: usize,
+        win: usize,
+        cout: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        Self { batch: 1, cin, hin, win, cout, kh, kw, stride, pad }
+    }
+
+    /// Square-image convenience constructor used by the evaluation sweeps
+    /// (`H_in = W_in`, `H_ker = W_ker`).
+    pub fn square(cin: usize, hw_in: usize, cout: usize, k: usize, stride: usize, pad: usize) -> Self {
+        Self::new(cin, hw_in, hw_in, cout, k, k, stride, pad)
+    }
+
+    /// With a different batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Validates the shape: all dims positive, kernel fits into the padded
+    /// input, stride positive.
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        if self.batch == 0
+            || self.cin == 0
+            || self.hin == 0
+            || self.win == 0
+            || self.cout == 0
+            || self.kh == 0
+            || self.kw == 0
+        {
+            return Err(ShapeError::ZeroDim);
+        }
+        if self.stride == 0 {
+            return Err(ShapeError::ZeroStride);
+        }
+        if self.hin + 2 * self.pad < self.kh || self.win + 2 * self.pad < self.kw {
+            return Err(ShapeError::KernelTooLarge);
+        }
+        Ok(())
+    }
+
+    /// Output height `H_out = (H_in + 2*pad - H_ker)/mu + 1`.
+    pub fn hout(&self) -> usize {
+        (self.hin + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width `W_out = (W_in + 2*pad - W_ker)/mu + 1`.
+    pub fn wout(&self) -> usize {
+        (self.win + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Total number of output elements across the batch.
+    pub fn output_elems(&self) -> u64 {
+        self.batch as u64 * self.cout as u64 * self.hout() as u64 * self.wout() as u64
+    }
+
+    /// Total number of input elements across the batch (unpadded).
+    pub fn input_elems(&self) -> u64 {
+        self.batch as u64 * self.cin as u64 * self.hin as u64 * self.win as u64
+    }
+
+    /// Total number of weight elements (`C_out` kernels).
+    pub fn weight_elems(&self) -> u64 {
+        self.cout as u64 * self.cin as u64 * self.kh as u64 * self.kw as u64
+    }
+
+    /// Multiply-accumulate count of the direct algorithm: each output is an
+    /// inner product of length `W_ker*H_ker*C_in`.
+    pub fn macs(&self) -> u64 {
+        self.output_elems() * self.kh as u64 * self.kw as u64 * self.cin as u64
+    }
+
+    /// FLOP count of the direct algorithm (2 flops per MAC).
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Maximum reuse factor of each input element by different sliding
+    /// windows, `R = W_ker*H_ker / mu^2` (Eq. 13). Real-valued because the
+    /// stride need not divide the kernel extent.
+    pub fn reuse_factor(&self) -> f64 {
+        (self.kw * self.kh) as f64 / (self.stride * self.stride) as f64
+    }
+
+    /// Whether the shape admits a Winograd implementation with the given
+    /// tile: square kernel `r x r`, unit stride.
+    pub fn supports_winograd(&self, tile: WinogradTile) -> bool {
+        self.kh == self.kw && self.kh == tile.r && self.stride == 1
+    }
+
+    /// Per-image output elements (no batch factor), `W_out*H_out*C_out`.
+    pub fn output_elems_per_image(&self) -> u64 {
+        self.cout as u64 * self.hout() as u64 * self.wout() as u64
+    }
+}
+
+/// Winograd tile parameters `F(e x e, r x r)`: `e^2` outputs produced per
+/// tile from an `(e+r-1) x (e+r-1)` input patch (paper §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WinogradTile {
+    /// Output tile edge `e` (2, 3 or 4 in practice).
+    pub e: usize,
+    /// Kernel edge `r` (`W_ker = H_ker = r`).
+    pub r: usize,
+}
+
+impl WinogradTile {
+    /// `F(2x2, 3x3)` — the most common configuration.
+    pub const F2X3: WinogradTile = WinogradTile { e: 2, r: 3 };
+    /// `F(4x4, 3x3)` — larger tile, more aggressive multiplication savings.
+    pub const F4X3: WinogradTile = WinogradTile { e: 4, r: 3 };
+    /// `F(3x3, 2x2)`.
+    pub const F3X2: WinogradTile = WinogradTile { e: 3, r: 2 };
+
+    pub fn new(e: usize, r: usize) -> Self {
+        Self { e, r }
+    }
+
+    /// Input tile edge `a = e + r - 1`.
+    pub fn a(&self) -> usize {
+        self.e + self.r - 1
+    }
+
+    /// The paper assumes `1/2 <= r/e <= 2` throughout §4.3.
+    pub fn ratio_ok(&self) -> bool {
+        2 * self.r >= self.e && self.r <= 2 * self.e
+    }
+
+    /// Multiplications per `e^2` outputs per channel: `(e+r-1)^2` instead of
+    /// `e^2 r^2` for direct — the classic Winograd saving.
+    pub fn muls_per_tile(&self) -> usize {
+        self.a() * self.a()
+    }
+
+    /// Direct-algorithm multiplications for the same `e^2` outputs.
+    pub fn direct_muls_per_tile(&self) -> usize {
+        self.e * self.e * self.r * self.r
+    }
+
+    /// Arithmetic-reduction ratio of the Winograd transform.
+    pub fn mul_saving(&self) -> f64 {
+        self.direct_muls_per_tile() as f64 / self.muls_per_tile() as f64
+    }
+}
+
+/// Errors from [`ConvShape::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Some dimension is zero.
+    ZeroDim,
+    /// Stride is zero.
+    ZeroStride,
+    /// Kernel larger than padded input.
+    KernelTooLarge,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::ZeroDim => write!(f, "shape has a zero dimension"),
+            ShapeError::ZeroStride => write!(f, "stride must be positive"),
+            ShapeError::KernelTooLarge => write!(f, "kernel larger than padded input"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl std::fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conv[n={} {}x{}x{} -> {}x{}x{} k={}x{} s={} p={}]",
+            self.batch,
+            self.cin,
+            self.hin,
+            self.win,
+            self.cout,
+            self.hout(),
+            self.wout(),
+            self.kh,
+            self.kw,
+            self.stride,
+            self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_match_formula() {
+        let s = ConvShape::new(3, 227, 227, 96, 11, 11, 4, 0);
+        assert_eq!(s.hout(), 55);
+        assert_eq!(s.wout(), 55);
+    }
+
+    #[test]
+    fn output_dims_with_padding() {
+        let s = ConvShape::new(96, 27, 27, 256, 5, 5, 1, 2);
+        assert_eq!(s.hout(), 27);
+        assert_eq!(s.wout(), 27);
+    }
+
+    #[test]
+    fn same_padding_3x3() {
+        let s = ConvShape::square(256, 56, 128, 3, 1, 1);
+        assert_eq!(s.hout(), 56);
+        assert_eq!(s.wout(), 56);
+    }
+
+    #[test]
+    fn flops_count() {
+        let s = ConvShape::new(2, 4, 4, 3, 3, 3, 1, 0);
+        // hout = wout = 2, outputs = 3*2*2 = 12, macs/out = 2*9 = 18.
+        assert_eq!(s.hout(), 2);
+        assert_eq!(s.macs(), 12 * 18);
+        assert_eq!(s.flops(), 2 * 12 * 18);
+    }
+
+    #[test]
+    fn batch_scales_counts() {
+        let s = ConvShape::square(8, 16, 8, 3, 1, 1);
+        let b = s.with_batch(4);
+        assert_eq!(b.output_elems(), 4 * s.output_elems());
+        assert_eq!(b.macs(), 4 * s.macs());
+        assert_eq!(b.weight_elems(), s.weight_elems()); // weights shared
+    }
+
+    #[test]
+    fn reuse_factor_matches_eq13() {
+        let s = ConvShape::square(256, 56, 128, 3, 1, 1);
+        assert!((s.reuse_factor() - 9.0).abs() < 1e-12);
+        let s2 = ConvShape::square(256, 56, 128, 3, 2, 1);
+        assert!((s2.reuse_factor() - 2.25).abs() < 1e-12);
+        let s4 = ConvShape::square(256, 56, 128, 3, 4, 1);
+        assert!((s4.reuse_factor() - 9.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert_eq!(
+            ConvShape::new(0, 4, 4, 1, 3, 3, 1, 0).validate(),
+            Err(ShapeError::ZeroDim)
+        );
+        assert_eq!(
+            ConvShape::new(1, 4, 4, 1, 3, 3, 0, 0).validate(),
+            Err(ShapeError::ZeroStride)
+        );
+        assert_eq!(
+            ConvShape::new(1, 2, 2, 1, 5, 5, 1, 0).validate(),
+            Err(ShapeError::KernelTooLarge)
+        );
+        assert!(ConvShape::new(1, 2, 2, 1, 5, 5, 1, 2).validate().is_ok());
+    }
+
+    #[test]
+    fn winograd_tile_properties() {
+        let t = WinogradTile::F2X3;
+        assert_eq!(t.a(), 4);
+        assert!(t.ratio_ok());
+        assert_eq!(t.muls_per_tile(), 16);
+        assert_eq!(t.direct_muls_per_tile(), 36);
+        assert!((t.mul_saving() - 2.25).abs() < 1e-12);
+
+        let t4 = WinogradTile::F4X3;
+        assert_eq!(t4.a(), 6);
+        assert!(t4.ratio_ok());
+        assert!((t4.mul_saving() - 4.0).abs() < 1e-12);
+
+        // e=5, r=2 violates 1/2 <= r/e <= 2.
+        assert!(!WinogradTile::new(5, 2).ratio_ok());
+    }
+
+    #[test]
+    fn winograd_support_requires_square_unit_stride() {
+        let ok = ConvShape::square(64, 28, 64, 3, 1, 1);
+        assert!(ok.supports_winograd(WinogradTile::F2X3));
+        let strided = ConvShape::square(64, 28, 64, 3, 2, 1);
+        assert!(!strided.supports_winograd(WinogradTile::F2X3));
+        let wrong_r = ConvShape::square(64, 28, 64, 5, 1, 2);
+        assert!(!wrong_r.supports_winograd(WinogradTile::F2X3));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ConvShape::square(256, 56, 128, 3, 1, 1);
+        let d = format!("{s}");
+        assert!(d.contains("256x56x56"));
+        assert!(d.contains("s=1"));
+    }
+}

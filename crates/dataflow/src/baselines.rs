@@ -1,0 +1,276 @@
+//! Library-style baseline schedules — the stand-ins for cuDNN / MIOpen.
+//!
+//! cuDNN's "direct" path is im2col + GEMM (the paper §7 compares against
+//! "the best one of two direct implementations in cuDNN", noting im2col is
+//! usually better); its Winograd path materialises the transformed tensors
+//! in global memory and runs batched GEMMs over them. Both therefore pay
+//! global-memory round-trips for intermediate tensors that the paper's
+//! fused dataflows keep on chip — exactly the traffic gap the lower-bound
+//! analysis exposes. We model each as a sequence of simulator kernels with
+//! classic (well-tuned, but generic) tilings.
+
+use iolb_core::shapes::{ConvShape, WinogradTile};
+use iolb_gpusim::{BlockShape, BlockWork, KernelDesc, TileAccess};
+
+/// GEMM macro-tile used by all baseline GEMM kernels (a typical
+/// library-quality 64x64x8 configuration with 256 threads).
+pub const GEMM_TILE_M: usize = 64;
+pub const GEMM_TILE_N: usize = 64;
+pub const GEMM_TILE_K: usize = 8;
+
+/// A generic tiled-GEMM kernel: `C[M x N] += A[M x K] * B[K x N]`,
+/// repeated `batch` times (batched GEMM). Per block: the classic
+/// double-buffered panel loop reading `K*(Tm + Tn)` elements.
+pub fn gemm_kernel(name: impl Into<String>, m: usize, k: usize, n: usize, batch: usize) -> KernelDesc {
+    let blocks_m = m.div_ceil(GEMM_TILE_M) as u64;
+    let blocks_n = n.div_ceil(GEMM_TILE_N) as u64;
+    let grid_blocks = blocks_m * blocks_n * batch as u64;
+    let flops = 2 * (GEMM_TILE_M * GEMM_TILE_N * k) as u64;
+    // A panel: per K-chunk a Tm x Tk tile with row stride K; lumped rows.
+    let a_read = TileAccess::tile(
+        (GEMM_TILE_M * k / GEMM_TILE_K).max(1) as u64,
+        GEMM_TILE_K as u64,
+        k.max(GEMM_TILE_K) as u64,
+    );
+    // B panel: K rows of Tn elements, row stride N.
+    let b_read = TileAccess::tile(k as u64, GEMM_TILE_N as u64, n.max(GEMM_TILE_N) as u64);
+    let c_write = TileAccess::tile(GEMM_TILE_M as u64, GEMM_TILE_N as u64, n.max(GEMM_TILE_N) as u64);
+    KernelDesc {
+        name: name.into(),
+        grid_blocks,
+        block: BlockShape { threads: 256, smem_bytes: 16 * 1024 },
+        work: BlockWork::new(flops).read(a_read).read(b_read).write(c_write),
+    }
+}
+
+/// The im2col + GEMM pipeline (cuDNN-style direct convolution).
+pub fn im2col_gemm(shape: &ConvShape) -> Vec<KernelDesc> {
+    let (hout, wout) = (shape.hout(), shape.wout());
+    let k_mat = shape.cin * shape.kh * shape.kw;
+    let n_mat = hout * wout;
+
+    // Kernel 1: materialise the column matrix. Each output column gathers
+    // a Kh x Kw window per channel; the loads are strided, the stores
+    // contiguous. Work quantum: 8192 matrix elements per block.
+    let total_elems = (k_mat * n_mat * shape.batch) as u64;
+    let quantum: u64 = 8192;
+    let im2col = KernelDesc {
+        name: "im2col".into(),
+        grid_blocks: total_elems.div_ceil(quantum),
+        block: BlockShape { threads: 256, smem_bytes: 0 },
+        // One flop-ish per element (address math dominated); reads are
+        // window gathers (rows of Kw elements), writes contiguous.
+        work: BlockWork::new(quantum)
+            .read(TileAccess::tile(
+                quantum / shape.kw.max(1) as u64,
+                shape.kw as u64,
+                shape.win.max(shape.kw) as u64,
+            ))
+            .write(TileAccess::contiguous(quantum)),
+    };
+
+    // Kernel 2: C[cout x n_mat] = W[cout x k_mat] * col[k_mat x n_mat],
+    // batched over images.
+    let gemm = gemm_kernel("im2col-gemm", shape.cout, k_mat, n_mat, shape.batch);
+    vec![im2col, gemm]
+}
+
+/// The naive one-thread-per-output direct kernel (cuDNN's plain "direct
+/// convolution" that "occasionally fails for some input shapes"). No
+/// shared-memory reuse: every thread re-reads its window from global.
+pub fn naive_direct(shape: &ConvShape) -> Vec<KernelDesc> {
+    let outputs = shape.output_elems();
+    let per_block: u64 = 256;
+    let window = (shape.kh * shape.kw * shape.cin) as u64;
+    let kernel = KernelDesc {
+        name: "naive-direct".into(),
+        grid_blocks: outputs.div_ceil(per_block),
+        block: BlockShape { threads: 256, smem_bytes: 0 },
+        work: BlockWork::new(2 * per_block * window)
+            // Inputs: every thread gathers its window rows.
+            .read(TileAccess::tile(
+                per_block * (shape.kh * shape.cin) as u64,
+                shape.kw as u64,
+                shape.win.max(shape.kw) as u64,
+            ))
+            // Weights: one window per block channel-mix, broadcast.
+            .read(TileAccess::contiguous(window))
+            .write(TileAccess::contiguous(per_block)),
+    };
+    vec![kernel]
+}
+
+/// The non-fused Winograd pipeline (cuDNN-style): transform the whole
+/// input and all kernels into global scratch, run `a^2` batched GEMMs,
+/// inverse-transform. The two scratch round-trips are the baseline's
+/// extra I/O.
+pub fn winograd_unfused(shape: &ConvShape, tile: WinogradTile) -> Vec<KernelDesc> {
+    assert!(shape.supports_winograd(tile), "shape incompatible with F(e,r)");
+    let a = tile.a();
+    let (hout, wout) = (shape.hout(), shape.wout());
+    let tiles = hout.div_ceil(tile.e) as u64 * wout.div_ceil(tile.e) as u64
+        * shape.batch as u64;
+
+    // Kernel 1: input transform. Reads each (a x a) patch per channel
+    // (halo overlap re-reads from global), writes a^2 * cin per tile.
+    let quantum: u64 = 64; // tiles per block
+    let in_transform = KernelDesc {
+        name: "wino-input-transform".into(),
+        grid_blocks: (tiles * shape.cin as u64).div_ceil(quantum),
+        block: BlockShape { threads: 256, smem_bytes: 8 * 1024 },
+        work: BlockWork::new(quantum * (4 * a * a * a) as u64)
+            .read(TileAccess::tile(quantum * a as u64, a as u64, shape.win.max(a) as u64))
+            .write(TileAccess::contiguous(quantum * (a * a) as u64)),
+    };
+
+    // Kernel 2: kernel transform (amortised across the batch but still
+    // launched): cout*cin tiles of r^2 -> a^2.
+    let kquantum: u64 = 128;
+    let ker_transform = KernelDesc {
+        name: "wino-kernel-transform".into(),
+        grid_blocks: ((shape.cout * shape.cin) as u64).div_ceil(kquantum),
+        block: BlockShape { threads: 128, smem_bytes: 4 * 1024 },
+        work: BlockWork::new(kquantum * (4 * a * a * tile.r) as u64)
+            .read(TileAccess::contiguous(kquantum * (tile.r * tile.r) as u64))
+            .write(TileAccess::contiguous(kquantum * (a * a) as u64)),
+    };
+
+    // Kernel 3: a^2 batched GEMMs of [cout x cin] x [cin x tiles].
+    let gemm = gemm_kernel("wino-gemm", shape.cout, shape.cin, tiles as usize, a * a);
+
+    // Kernel 4: output transform: reads a^2 per (tile, cout), writes e^2.
+    let oquantum: u64 = 64;
+    let out_transform = KernelDesc {
+        name: "wino-output-transform".into(),
+        grid_blocks: (tiles * shape.cout as u64).div_ceil(oquantum),
+        block: BlockShape { threads: 256, smem_bytes: 8 * 1024 },
+        work: BlockWork::new(oquantum * (4 * tile.e * a * a) as u64)
+            .read(TileAccess::contiguous(oquantum * (a * a) as u64))
+            .write(TileAccess::tile(
+                oquantum * tile.e as u64,
+                tile.e as u64,
+                wout.max(tile.e) as u64,
+            )),
+    };
+
+    vec![in_transform, ker_transform, gemm, out_transform]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScheduleConfig;
+    use iolb_gpusim::{simulate_sequence, DeviceSpec};
+    use iolb_tensor::layout::Layout;
+
+    fn shape() -> ConvShape {
+        ConvShape::square(256, 56, 128, 3, 1, 1)
+    }
+
+    #[test]
+    fn im2col_pipeline_simulates() {
+        let d = DeviceSpec::gtx1080ti();
+        let seq = simulate_sequence(&d, &im2col_gemm(&shape())).unwrap();
+        assert_eq!(seq.kernels.len(), 2);
+        assert!(seq.time_ms > 0.0);
+        // The column matrix is written once and read by the GEMM: traffic
+        // must exceed the matrix size both ways.
+        let k_mat = 256 * 9;
+        let n_mat = 56 * 56;
+        assert!(seq.q_elems > (k_mat * n_mat) as u64);
+    }
+
+    #[test]
+    fn our_dataflow_moves_less_than_im2col() {
+        // The headline claim, at the traffic level.
+        let s = shape();
+        let cfg = ScheduleConfig {
+            x: 14,
+            y: 14,
+            z: 16,
+            nxt: 7,
+            nyt: 7,
+            nzt: 4,
+            sb_bytes: 32 * 1024,
+            layout: Layout::Chw,
+        };
+        let d = DeviceSpec::gtx1080ti();
+        let ours = simulate_sequence(&d, &[crate::direct::direct_kernel(&s, &cfg)]).unwrap();
+        let base = simulate_sequence(&d, &im2col_gemm(&s)).unwrap();
+        assert!(
+            ours.q_elems < base.q_elems,
+            "ours {} >= baseline {}",
+            ours.q_elems,
+            base.q_elems
+        );
+    }
+
+    #[test]
+    fn naive_direct_moves_most() {
+        let s = shape();
+        let d = DeviceSpec::gtx1080ti();
+        let naive = simulate_sequence(&d, &naive_direct(&s)).unwrap();
+        let im2col = simulate_sequence(&d, &im2col_gemm(&s)).unwrap();
+        assert!(naive.q_elems > im2col.q_elems);
+    }
+
+    #[test]
+    fn winograd_unfused_materialises_scratch() {
+        let s = shape();
+        let tile = WinogradTile::F2X3;
+        let d = DeviceSpec::v100();
+        let seq = simulate_sequence(&d, &winograd_unfused(&s, tile)).unwrap();
+        assert_eq!(seq.kernels.len(), 4);
+        // Transformed input scratch: a^2 cin tiles elements, written and
+        // read back.
+        let tiles = (56 / 2) * (56 / 2);
+        let scratch = 16 * 256 * tiles as u64;
+        assert!(seq.q_elems > 2 * scratch);
+    }
+
+    #[test]
+    fn our_winograd_moves_less_than_unfused_on_shallow_cout() {
+        // When z covers the whole C_out, the fused dataflow reads the
+        // input image exactly once per spatial block, while the unfused
+        // baseline still pays the two transformed-scratch round-trips. (On
+        // very deep C_out the baseline's GEMM amortises the scratch and
+        // the contest moves to launch overhead and occupancy — covered by
+        // the fig9 time-level harness; see EXPERIMENTS.md.)
+        let s = ConvShape::square(256, 56, 32, 3, 1, 1);
+        let tile = WinogradTile::F2X3;
+        let cfg = ScheduleConfig {
+            x: 4,
+            y: 8,
+            z: 32,
+            nxt: 2,
+            nyt: 4,
+            nzt: 16,
+            sb_bytes: 36 * 1024,
+            layout: Layout::Chw,
+        };
+        let d = DeviceSpec::v100();
+        let ours =
+            simulate_sequence(&d, &[crate::winograd::winograd_kernel(&s, tile, &cfg)]).unwrap();
+        let base = simulate_sequence(&d, &winograd_unfused(&s, tile)).unwrap();
+        assert!(
+            ours.q_elems < base.q_elems,
+            "ours {} >= baseline {}",
+            ours.q_elems,
+            base.q_elems
+        );
+    }
+
+    #[test]
+    fn gemm_kernel_grid_and_flops() {
+        let k = gemm_kernel("g", 128, 256, 4096, 1);
+        assert_eq!(k.grid_blocks, 2 * 64);
+        assert_eq!(k.work.flops, 2 * 64 * 64 * 256);
+    }
+
+    #[test]
+    fn batched_gemm_scales_grid() {
+        let k1 = gemm_kernel("g", 128, 256, 4096, 1);
+        let k16 = gemm_kernel("g", 128, 256, 4096, 16);
+        assert_eq!(k16.grid_blocks, 16 * k1.grid_blocks);
+    }
+}

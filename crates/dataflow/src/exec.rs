@@ -1,0 +1,422 @@
+//! Functional CPU execution of the tiled dataflows.
+//!
+//! The simulator establishes the schedules' I/O behaviour; this module
+//! establishes their *correctness* by actually running them: thread blocks
+//! become crossbeam-scoped worker tasks, shared memory becomes a per-block
+//! scratch buffer with exactly the schedule's staging structure (resident
+//! output tile + one `x' * y' * 1` input stage + the stage's weights), and
+//! the channel-sliding loop is executed literally. Every path is verified
+//! against `iolb_tensor::conv_ref`.
+
+use crate::config::ScheduleConfig;
+use crossbeam::thread;
+use iolb_core::shapes::{ConvShape, WinogradTile};
+use iolb_tensor::conv_ref::ConvParams;
+use iolb_tensor::tensor::Tensor4;
+use iolb_tensor::winograd_math::{generate, Mat};
+
+/// Derives the [`ConvShape`] of an input/weight pair.
+pub fn shape_of(input: &Tensor4, weights: &Tensor4, params: ConvParams) -> ConvShape {
+    ConvShape {
+        batch: input.n,
+        cin: input.c,
+        hin: input.h,
+        win: input.w,
+        cout: weights.n,
+        kh: weights.h,
+        kw: weights.w,
+        stride: params.stride,
+        pad: params.pad,
+    }
+}
+
+/// Executes the direct dataflow of §5.2 on the CPU.
+///
+/// Requires `x | H_out`, `y | W_out`, `z | C_out` (as the schedule does).
+/// `workers` caps the number of OS threads processing blocks.
+pub fn execute_direct(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    cfg: &ScheduleConfig,
+    workers: usize,
+) -> Tensor4 {
+    let shape = shape_of(input, weights, params);
+    let (hout, wout) = (shape.hout(), shape.wout());
+    assert_eq!(hout % cfg.x, 0, "x must divide H_out");
+    assert_eq!(wout % cfg.y, 0, "y must divide W_out");
+    assert_eq!(shape.cout % cfg.z, 0, "z must divide C_out");
+
+    let blocks_h = hout / cfg.x;
+    let blocks_w = wout / cfg.y;
+    let blocks_c = shape.cout / cfg.z;
+    let total_blocks = blocks_h * blocks_w * blocks_c * shape.batch;
+
+    let mut out = Tensor4::zeros(shape.batch, shape.cout, hout, wout);
+    let image_len = shape.cout * hout * wout;
+    let (xp, yp) = crate::direct::halo(&shape, cfg.x, cfg.y);
+
+    // Partition output storage by batch image; within an image blocks are
+    // disjoint, so workers claim whole block indices via an atomic cursor.
+    let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let workers = workers.max(1).min(total_blocks.max(1));
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let shape = &shape;
+            let out_ptr = &out_ptr;
+            scope.spawn(move |_| {
+                // "Shared memory" of this worker: resident output tile +
+                // one input stage + one weight stage.
+                let mut acc = vec![0.0f32; cfg.x * cfg.y * cfg.z];
+                let mut stage_in = vec![0.0f32; xp * yp];
+                let mut stage_w = vec![0.0f32; shape.kh * shape.kw * cfg.z];
+                loop {
+                    let b = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if b >= total_blocks {
+                        break;
+                    }
+                    // Decode block coordinates.
+                    let n = b / (blocks_h * blocks_w * blocks_c);
+                    let rem = b % (blocks_h * blocks_w * blocks_c);
+                    let bc = rem / (blocks_h * blocks_w);
+                    let bh = (rem / blocks_w) % blocks_h;
+                    let bw = rem % blocks_w;
+                    let oy0 = bh * cfg.x;
+                    let ox0 = bw * cfg.y;
+                    let oc0 = bc * cfg.z;
+
+                    acc.fill(0.0);
+                    // Channel-sliding stages (alpha = 1, §5.2).
+                    for ci in 0..shape.cin {
+                        // Stage-load the x' * y' input tile (halo included,
+                        // zero padding at the borders).
+                        for ty in 0..xp {
+                            for tx in 0..yp {
+                                let iy = (oy0 * shape.stride + ty) as isize
+                                    - shape.pad as isize;
+                                let ix = (ox0 * shape.stride + tx) as isize
+                                    - shape.pad as isize;
+                                stage_in[ty * yp + tx] = input.at_padded(n, ci, iy, ix);
+                            }
+                        }
+                        // Stage-load the z kernel slices at channel ci.
+                        for zc in 0..cfg.z {
+                            for dy in 0..shape.kh {
+                                for dx in 0..shape.kw {
+                                    stage_w[(zc * shape.kh + dy) * shape.kw + dx] =
+                                        weights.at(oc0 + zc, ci, dy, dx);
+                                }
+                            }
+                        }
+                        // Partial-sum update of the resident tile.
+                        for zc in 0..cfg.z {
+                            for oy in 0..cfg.x {
+                                for ox in 0..cfg.y {
+                                    let mut sum = 0.0f32;
+                                    for dy in 0..shape.kh {
+                                        let row = (oy * shape.stride + dy) * yp
+                                            + ox * shape.stride;
+                                        let wrow = (zc * shape.kh + dy) * shape.kw;
+                                        for dx in 0..shape.kw {
+                                            sum += stage_in[row + dx] * stage_w[wrow + dx];
+                                        }
+                                    }
+                                    acc[(zc * cfg.x + oy) * cfg.y + ox] += sum;
+                                }
+                            }
+                        }
+                    }
+                    // Write the sub-block back exactly once.
+                    for zc in 0..cfg.z {
+                        for oy in 0..cfg.x {
+                            for ox in 0..cfg.y {
+                                let c = oc0 + zc;
+                                let yy = oy0 + oy;
+                                let xx = ox0 + ox;
+                                let off = n * image_len + (c * hout + yy) * wout + xx;
+                                // SAFETY: blocks write disjoint output
+                                // regions; indices are in range by
+                                // construction.
+                                unsafe {
+                                    *out_ptr.0.add(off) = acc[(zc * cfg.x + oy) * cfg.y + ox];
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("dataflow worker panicked");
+    out
+}
+
+/// Executes the Winograd dataflow of §5.3 on the CPU: per block, per
+/// `e x e` tile, the two temporary `(a x a)` arrays accumulate the channel
+/// sum `Pi` which is inverse-transformed once at the end.
+pub fn execute_winograd(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    tile: WinogradTile,
+    cfg: &ScheduleConfig,
+    workers: usize,
+) -> Tensor4 {
+    assert_eq!(params.stride, 1, "winograd requires unit stride");
+    let shape = shape_of(input, weights, params);
+    assert!(shape.supports_winograd(tile), "shape incompatible with F(e,r)");
+    let (hout, wout) = (shape.hout(), shape.wout());
+    assert_eq!(hout % cfg.x, 0, "x must divide H_out");
+    assert_eq!(wout % cfg.y, 0, "y must divide W_out");
+    assert_eq!(shape.cout % cfg.z, 0, "z must divide C_out");
+    assert_eq!(cfg.x % tile.e, 0, "x must be a multiple of e");
+    assert_eq!(cfg.y % tile.e, 0, "y must be a multiple of e");
+
+    let t = generate(tile.e, tile.r);
+    let a = tile.a();
+    let blocks_h = hout / cfg.x;
+    let blocks_w = wout / cfg.y;
+    let blocks_c = shape.cout / cfg.z;
+    let total_blocks = blocks_h * blocks_w * blocks_c * shape.batch;
+    // Winograd tiles per block: along the height (x) and width (y) axes.
+    let tiles_h = cfg.x / tile.e;
+    let tiles_w = cfg.y / tile.e;
+
+    let mut out = Tensor4::zeros(shape.batch, shape.cout, hout, wout);
+    let image_len = shape.cout * hout * wout;
+    let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let workers = workers.max(1).min(total_blocks.max(1));
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let shape = &shape;
+            let out_ptr = &out_ptr;
+            let t = &t;
+            scope.spawn(move |_| {
+                // Two temporary arrays per in-flight (tile, zc): the
+                // running Pi sums for the whole sub-block.
+                let mut pi = vec![Mat::zeros(a, a); tiles_h * tiles_w * cfg.z];
+                let mut patch = Mat::zeros(a, a);
+                let mut g = Mat::zeros(tile.r, tile.r);
+                loop {
+                    let b = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if b >= total_blocks {
+                        break;
+                    }
+                    let n = b / (blocks_h * blocks_w * blocks_c);
+                    let rem = b % (blocks_h * blocks_w * blocks_c);
+                    let bc = rem / (blocks_h * blocks_w);
+                    let bh = (rem / blocks_w) % blocks_h;
+                    let bw = rem % blocks_w;
+                    let oy0 = bh * cfg.x;
+                    let ox0 = bw * cfg.y;
+                    let oc0 = bc * cfg.z;
+
+                    for m in pi.iter_mut() {
+                        m.data.fill(0.0);
+                    }
+                    // Channel-sliding stages.
+                    for ci in 0..shape.cin {
+                        for th in 0..tiles_h {
+                            for tw in 0..tiles_w {
+                                // Load and transform the (a x a) patch once
+                                // per (tile, channel); reuse across all z.
+                                let py = (oy0 + th * tile.e) as isize - shape.pad as isize;
+                                let px = (ox0 + tw * tile.e) as isize - shape.pad as isize;
+                                for dy in 0..a {
+                                    for dx in 0..a {
+                                        *patch.at_mut(dy, dx) = input.at_padded(
+                                            n,
+                                            ci,
+                                            py + dy as isize,
+                                            px + dx as isize,
+                                        )
+                                            as f64;
+                                    }
+                                }
+                                let p = t.bt.matmul(&patch).matmul(&t.bt.t());
+                                for zc in 0..cfg.z {
+                                    for dy in 0..tile.r {
+                                        for dx in 0..tile.r {
+                                            *g.at_mut(dy, dx) =
+                                                weights.at(oc0 + zc, ci, dy, dx) as f64;
+                                        }
+                                    }
+                                    let j = t.g.matmul(&g).matmul(&t.g.t());
+                                    let dst = &mut pi[(th * tiles_w + tw) * cfg.z + zc];
+                                    for idx in 0..a * a {
+                                        dst.data[idx] += p.data[idx] * j.data[idx];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Output transform and single write-back.
+                    for th in 0..tiles_h {
+                        for tw in 0..tiles_w {
+                            for zc in 0..cfg.z {
+                                let m = &pi[(th * tiles_w + tw) * cfg.z + zc];
+                                let y_tile = t.at.matmul(m).matmul(&t.at.t());
+                                for dy in 0..tile.e {
+                                    for dx in 0..tile.e {
+                                        let c = oc0 + zc;
+                                        let yy = oy0 + th * tile.e + dy;
+                                        let xx = ox0 + tw * tile.e + dx;
+                                        let off =
+                                            n * image_len + (c * hout + yy) * wout + xx;
+                                        // SAFETY: disjoint per block.
+                                        unsafe {
+                                            *out_ptr.0.add(off) = y_tile.at(dy, dx) as f32;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("winograd worker panicked");
+    out
+}
+
+/// Raw pointer wrapper asserting cross-thread safety: blocks write disjoint
+/// regions of the output buffer.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_tensor::conv_ref::conv2d_reference;
+    use iolb_tensor::layout::Layout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(x: usize, y: usize, z: usize) -> ScheduleConfig {
+        ScheduleConfig {
+            x,
+            y,
+            z,
+            nxt: 1,
+            nyt: 1,
+            nzt: 1,
+            sb_bytes: 48 * 1024,
+            layout: Layout::Chw,
+        }
+    }
+
+    #[test]
+    fn direct_exec_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let input = Tensor4::random(1, 4, 10, 10, &mut rng);
+        let weights = Tensor4::random(8, 4, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 0); // 8x8 out
+        let want = conv2d_reference(&input, &weights, params);
+        for (x, y, z) in [(8, 8, 8), (4, 4, 2), (2, 8, 4), (1, 1, 1)] {
+            let got = execute_direct(&input, &weights, params, &cfg(x, y, z), 4);
+            assert!(
+                got.approx_eq(&want, 1e-4, 1e-4),
+                "tile {x}x{y}x{z}: diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn direct_exec_with_padding_and_stride() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = Tensor4::random(2, 3, 9, 9, &mut rng);
+        let weights = Tensor4::random(4, 3, 3, 3, &mut rng);
+        let params = ConvParams::new(2, 1); // 5x5 out
+        let want = conv2d_reference(&input, &weights, params);
+        let got = execute_direct(&input, &weights, params, &cfg(5, 5, 2), 3);
+        assert!(got.approx_eq(&want, 1e-4, 1e-4), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn direct_exec_single_worker_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = Tensor4::random(1, 2, 8, 8, &mut rng);
+        let weights = Tensor4::random(2, 2, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 1);
+        let a = execute_direct(&input, &weights, params, &cfg(4, 4, 2), 1);
+        let b = execute_direct(&input, &weights, params, &cfg(4, 4, 2), 8);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn winograd_exec_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = Tensor4::random(1, 3, 10, 10, &mut rng);
+        let weights = Tensor4::random(4, 3, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 0); // 8x8 out
+        let want = conv2d_reference(&input, &weights, params);
+        for (x, y, z) in [(8, 8, 4), (4, 4, 2), (2, 2, 1)] {
+            let got = execute_winograd(
+                &input,
+                &weights,
+                params,
+                WinogradTile::F2X3,
+                &cfg(x, y, z),
+                4,
+            );
+            assert!(
+                got.approx_eq(&want, 1e-3, 1e-3),
+                "tile {x}x{y}x{z}: diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn winograd_exec_with_padding() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let input = Tensor4::random(2, 2, 8, 8, &mut rng);
+        let weights = Tensor4::random(2, 2, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 1); // 8x8 out
+        let want = conv2d_reference(&input, &weights, params);
+        let got = execute_winograd(
+            &input,
+            &weights,
+            params,
+            WinogradTile::F2X3,
+            &cfg(4, 8, 2),
+            2,
+        );
+        assert!(got.approx_eq(&want, 1e-3, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn winograd_f4x3_exec() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let input = Tensor4::random(1, 2, 10, 10, &mut rng);
+        let weights = Tensor4::random(2, 2, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 0); // 8x8 out
+        let want = conv2d_reference(&input, &weights, params);
+        let got = execute_winograd(
+            &input,
+            &weights,
+            params,
+            WinogradTile::F4X3,
+            &cfg(8, 8, 2),
+            2,
+        );
+        assert!(got.approx_eq(&want, 1e-3, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    #[should_panic(expected = "x must divide")]
+    fn rejects_non_dividing_tile() {
+        let input = Tensor4::zeros(1, 1, 8, 8);
+        let weights = Tensor4::zeros(1, 1, 3, 3);
+        let _ = execute_direct(&input, &weights, ConvParams::new(1, 0), &cfg(4, 3, 1), 1);
+    }
+}

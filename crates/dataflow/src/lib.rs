@@ -1,0 +1,28 @@
+//! # iolb-dataflow — near-I/O-optimal convolution schedules
+//!
+//! The executable form of the paper's §5: dataflow designs derived from the
+//! I/O lower bounds, lowered two ways —
+//!
+//! * to **simulator kernels** ([`direct::direct_kernel`],
+//!   [`winograd::winograd_kernel`]) whose exact traffic the `iolb-gpusim`
+//!   engine counts and times, and
+//! * to **real CPU execution** ([`exec`]) with crossbeam thread blocks and
+//!   literal staging buffers, verified against the reference convolution.
+//!
+//! [`config`] holds the Table 1 schedule configuration and its constraint
+//! checking; [`baselines`] provides the cuDNN/MIOpen stand-ins (im2col +
+//! GEMM, naive direct, unfused Winograd); [`analysis`] compares measured
+//! traffic against the lower bounds.
+
+pub mod analysis;
+pub mod baselines;
+pub mod config;
+pub mod direct;
+pub mod exec;
+pub mod winograd;
+
+pub use analysis::{analyze_direct, analyze_winograd, OptimalityReport};
+pub use config::{ConfigError, ScheduleConfig};
+pub use direct::direct_kernel;
+pub use exec::{execute_direct, execute_winograd};
+pub use winograd::winograd_kernel;

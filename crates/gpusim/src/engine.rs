@@ -1,0 +1,246 @@
+//! The execution engine: occupancy-aware wave scheduling with roofline
+//! timing.
+//!
+//! The grid's blocks are scheduled onto the device in *waves* of
+//! `blocks_per_sm * num_sms` concurrent blocks. Each wave takes the larger
+//! of its compute time (flops over sustained throughput, scaled by thread
+//! occupancy and bank conflicts) and its memory time (moved bytes over DRAM
+//! bandwidth). This is deliberately not cycle-accurate: the lower-bound
+//! theory predicts *traffic*, which the engine counts exactly; time only
+//! needs to rank schedules the way a real GPU would (more traffic, lower
+//! occupancy, worse coalescing => slower).
+
+use crate::device::DeviceSpec;
+use crate::kernel::{KernelDesc, KernelStats};
+use crate::occupancy::{occupancy, Limiter};
+
+/// Errors from simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The block shape cannot run on the device at all.
+    InfeasibleBlock { name: String },
+    /// The kernel has an empty grid.
+    EmptyGrid { name: String },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InfeasibleBlock { name } => {
+                write!(f, "kernel {name:?}: block shape infeasible on device")
+            }
+            SimError::EmptyGrid { name } => write!(f, "kernel {name:?}: empty grid"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulates one kernel launch on `device`.
+pub fn simulate(device: &DeviceSpec, kernel: &KernelDesc) -> Result<KernelStats, SimError> {
+    if kernel.grid_blocks == 0 {
+        return Err(SimError::EmptyGrid { name: kernel.name.clone() });
+    }
+    let occ = occupancy(device, kernel.block);
+    if occ.limiter == Limiter::Infeasible {
+        return Err(SimError::InfeasibleBlock { name: kernel.name.clone() });
+    }
+
+    let tx = device.transaction_bytes as u64;
+    let per_block = kernel.work.traffic(tx);
+    let traffic = per_block.scaled(kernel.grid_blocks);
+    let moved_bytes = traffic.moved_bytes(tx);
+
+    let concurrent = (occ.blocks_per_sm as u64 * device.num_sms as u64).max(1);
+    let waves = kernel.grid_blocks.div_ceil(concurrent);
+
+    // Per-full-wave times in seconds.
+    let wave_flops = kernel.work.flops as f64 * concurrent as f64;
+    // Low occupancy cannot hide latency: derate compute throughput by the
+    // thread occupancy (floored so single-block-per-SM kernels still run).
+    let occ_derate = occ.thread_occupancy.max(0.125);
+    let flops_rate = device.sustained_gflops() * 1e9 * occ_derate;
+    let compute_s = wave_flops / flops_rate * kernel.work.bank_conflict_factor;
+    let wave_bytes = per_block.moved_bytes(tx) as f64 * concurrent as f64;
+    let mem_s = wave_bytes / (device.dram_gbps * 1e9);
+    let wave_s = compute_s.max(mem_s);
+
+    // Last wave may be partial; charge it proportionally.
+    let full_waves = kernel.grid_blocks / concurrent;
+    let tail_blocks = kernel.grid_blocks % concurrent;
+    let mut total_s = full_waves as f64 * wave_s;
+    if tail_blocks > 0 {
+        // The tail wave still occupies whole SMs; scale by the tail's
+        // share of concurrency but no lower than one block's time.
+        let share = (tail_blocks as f64 / concurrent as f64).max(1.0 / concurrent as f64);
+        total_s += wave_s * share;
+    }
+    total_s += device.launch_overhead_us * 1e-6;
+
+    let total_flops = kernel.work.flops as f64 * kernel.grid_blocks as f64;
+    Ok(KernelStats {
+        name: kernel.name.clone(),
+        time_ms: total_s * 1e3,
+        gflops: total_flops / total_s / 1e9,
+        traffic,
+        moved_bytes,
+        blocks_per_sm: occ.blocks_per_sm,
+        waves,
+        memory_bound: mem_s > compute_s,
+    })
+}
+
+/// Simulates a sequence of dependent kernels (a layer pipeline); times add.
+pub fn simulate_sequence(
+    device: &DeviceSpec,
+    kernels: &[KernelDesc],
+) -> Result<SequenceStats, SimError> {
+    let mut stats = Vec::with_capacity(kernels.len());
+    for k in kernels {
+        stats.push(simulate(device, k)?);
+    }
+    Ok(SequenceStats::from_stats(stats))
+}
+
+/// Aggregate over a kernel sequence.
+#[derive(Debug, Clone)]
+pub struct SequenceStats {
+    /// Per-kernel results in launch order.
+    pub kernels: Vec<KernelStats>,
+    /// End-to-end time, ms.
+    pub time_ms: f64,
+    /// Total useful elements moved (the measured `Q`).
+    pub q_elems: u64,
+    /// Total DRAM bytes moved.
+    pub moved_bytes: u64,
+    /// Aggregate arithmetic rate, GFLOP/s.
+    pub gflops: f64,
+}
+
+impl SequenceStats {
+    fn from_stats(kernels: Vec<KernelStats>) -> Self {
+        let time_ms: f64 = kernels.iter().map(|k| k.time_ms).sum();
+        let q_elems = kernels.iter().map(|k| k.q_elems()).sum();
+        let moved_bytes = kernels.iter().map(|k| k.moved_bytes).sum();
+        let total_flops: f64 = kernels.iter().map(|k| k.gflops * k.time_ms * 1e6).sum();
+        let gflops = if time_ms > 0.0 { total_flops / (time_ms * 1e6) } else { 0.0 };
+        Self { kernels, time_ms, q_elems, moved_bytes, gflops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::BlockWork;
+    use crate::memory::TileAccess;
+    use crate::occupancy::BlockShape;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::gtx1080ti()
+    }
+
+    fn simple_kernel(grid: u64, flops: u64, read_elems: u64) -> KernelDesc {
+        KernelDesc {
+            name: "test".into(),
+            grid_blocks: grid,
+            block: BlockShape { threads: 256, smem_bytes: 16 * 1024 },
+            work: BlockWork::new(flops).read(TileAccess::contiguous(read_elems)),
+        }
+    }
+
+    #[test]
+    fn traffic_counted_exactly() {
+        let k = simple_kernel(100, 1000, 64);
+        let s = simulate(&device(), &k).unwrap();
+        assert_eq!(s.traffic.read_elems, 6400);
+        assert_eq!(s.q_elems(), 6400);
+    }
+
+    #[test]
+    fn compute_bound_kernel_times_scale_with_flops() {
+        let a = simulate(&device(), &simple_kernel(1000, 1_000_000, 8)).unwrap();
+        let b = simulate(&device(), &simple_kernel(1000, 2_000_000, 8)).unwrap();
+        assert!(!a.memory_bound);
+        assert!(b.time_ms > 1.5 * a.time_ms, "{} vs {}", b.time_ms, a.time_ms);
+    }
+
+    #[test]
+    fn memory_bound_kernel_times_scale_with_bytes() {
+        let a = simulate(&device(), &simple_kernel(10000, 100, 4096)).unwrap();
+        let b = simulate(&device(), &simple_kernel(10000, 100, 8192)).unwrap();
+        assert!(a.memory_bound);
+        assert!(b.time_ms > 1.5 * a.time_ms);
+    }
+
+    #[test]
+    fn gflops_below_peak() {
+        let s = simulate(&device(), &simple_kernel(10000, 10_000_000, 8)).unwrap();
+        assert!(s.gflops <= device().peak_gflops());
+        assert!(s.gflops > 0.1 * device().peak_gflops());
+    }
+
+    #[test]
+    fn more_waves_more_time() {
+        let small = simulate(&device(), &simple_kernel(56, 1_000_000, 64)).unwrap();
+        let large = simulate(&device(), &simple_kernel(560, 1_000_000, 64)).unwrap();
+        assert!(large.waves > small.waves);
+        assert!(large.time_ms > small.time_ms);
+    }
+
+    #[test]
+    fn bank_conflicts_slow_compute() {
+        let mut k = simple_kernel(1000, 1_000_000, 8);
+        let base = simulate(&device(), &k).unwrap();
+        k.work = k.work.with_bank_conflicts(2.0);
+        let conflicted = simulate(&device(), &k).unwrap();
+        assert!(conflicted.time_ms > 1.5 * base.time_ms);
+    }
+
+    #[test]
+    fn infeasible_block_rejected() {
+        let mut k = simple_kernel(10, 100, 8);
+        k.block.smem_bytes = 80 * 1024; // above the 48 KiB per-block cap
+        assert!(matches!(
+            simulate(&device(), &k),
+            Err(SimError::InfeasibleBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let k = simple_kernel(0, 1, 1);
+        assert!(matches!(simulate(&device(), &k), Err(SimError::EmptyGrid { .. })));
+    }
+
+    #[test]
+    fn sequence_adds_times_and_traffic() {
+        let d = device();
+        let ks = vec![simple_kernel(100, 1000, 64), simple_kernel(200, 1000, 32)];
+        let seq = simulate_sequence(&d, &ks).unwrap();
+        assert_eq!(seq.kernels.len(), 2);
+        assert_eq!(seq.q_elems, 6400 + 6400);
+        let sum: f64 = seq.kernels.iter().map(|k| k.time_ms).sum();
+        assert!((seq.time_ms - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_derating_matters() {
+        // Same work, one giant-smem block per SM vs many small blocks.
+        let d = device();
+        let lean = KernelDesc {
+            name: "lean".into(),
+            grid_blocks: 1000,
+            block: BlockShape { threads: 256, smem_bytes: 8 * 1024 },
+            work: BlockWork::new(1_000_000),
+        };
+        let fat = KernelDesc {
+            name: "fat".into(),
+            grid_blocks: 1000,
+            block: BlockShape { threads: 64, smem_bytes: 48 * 1024 },
+            work: BlockWork::new(1_000_000),
+        };
+        let a = simulate(&d, &lean).unwrap();
+        let b = simulate(&d, &fat).unwrap();
+        assert!(b.time_ms > a.time_ms, "fat {} lean {}", b.time_ms, a.time_ms);
+    }
+}

@@ -1,0 +1,34 @@
+//! # iolb-gpusim — two-level memory-hierarchy GPU simulator
+//!
+//! Stand-in for the GPUs of the paper's evaluation (1080Ti, V100, Titan X,
+//! gfx906). The red-blue pebble game abstracts a GPU as a small fast memory
+//! (shared memory, `S`) talking to a large slow memory (global memory);
+//! this crate makes that abstraction executable:
+//!
+//! * [`device`] — datasheet presets for the four evaluation GPUs.
+//! * [`memory`] — exact transaction-level traffic counting with a
+//!   coalescing model ([`memory::TileAccess`]).
+//! * [`mod@occupancy`] — blocks-per-SM residency limits (shared memory,
+//!   thread slots, block slots).
+//! * [`kernel`] — kernel descriptions (grid x block shape x per-block
+//!   work) and result statistics.
+//! * [`engine`] — occupancy-aware wave scheduling with roofline timing.
+//! * [`trace`] — run logs, tables and CSV for the experiment harnesses.
+//!
+//! Design stance (see DESIGN.md): traffic is counted **exactly** — that is
+//! what the theory bounds — while time is a monotone roofline model, good
+//! enough to rank schedules the way real hardware does. Absolute ms/GFLOPs
+//! are not comparable to the paper's; relative speedups are.
+
+pub mod device;
+pub mod engine;
+pub mod kernel;
+pub mod memory;
+pub mod occupancy;
+pub mod trace;
+
+pub use device::DeviceSpec;
+pub use engine::{simulate, simulate_sequence, SequenceStats, SimError};
+pub use kernel::{BlockWork, KernelDesc, KernelStats};
+pub use memory::{TileAccess, Traffic};
+pub use occupancy::{occupancy, BlockShape, Limiter, Occupancy};

@@ -1,0 +1,136 @@
+//! SM occupancy model.
+//!
+//! How many thread blocks fit on one SM is limited by shared memory,
+//! thread slots and the hardware block-slot cap. The paper's searching
+//! domain encodes the shared-memory constraint directly
+//! (`S_b <= S_sm / 2`, Table 1: "at least two thread blocks ... on one
+//! SM"); the simulator computes the general limit.
+
+use crate::device::DeviceSpec;
+
+/// Resource request of one thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockShape {
+    /// Threads per block.
+    pub threads: u32,
+    /// Shared memory per block, bytes.
+    pub smem_bytes: u32,
+}
+
+/// Occupancy outcome for a block shape on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident threads per SM.
+    pub threads_per_sm: u32,
+    /// Fraction of the SM's thread slots in use (0..=1).
+    pub thread_occupancy: f64,
+    /// Which resource capped the block count.
+    pub limiter: Limiter,
+}
+
+/// The binding occupancy resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    SharedMemory,
+    Threads,
+    BlockSlots,
+    /// The block is infeasible on this device (exceeds a per-block cap).
+    Infeasible,
+}
+
+/// Computes occupancy of `block` on `device`.
+pub fn occupancy(device: &DeviceSpec, block: BlockShape) -> Occupancy {
+    if block.threads == 0
+        || block.threads > device.max_threads_per_block
+        || block.smem_bytes > device.max_smem_per_block
+    {
+        return Occupancy {
+            blocks_per_sm: 0,
+            threads_per_sm: 0,
+            thread_occupancy: 0.0,
+            limiter: Limiter::Infeasible,
+        };
+    }
+    let by_smem = device
+        .smem_per_sm
+        .checked_div(block.smem_bytes)
+        .unwrap_or(u32::MAX);
+    let by_threads = device.max_threads_per_sm / block.threads;
+    let by_slots = device.max_blocks_per_sm;
+    let blocks = by_smem.min(by_threads).min(by_slots);
+    let limiter = if blocks == 0 {
+        Limiter::Infeasible
+    } else if blocks == by_smem && by_smem <= by_threads && by_smem <= by_slots {
+        Limiter::SharedMemory
+    } else if blocks == by_threads && by_threads <= by_slots {
+        Limiter::Threads
+    } else {
+        Limiter::BlockSlots
+    };
+    let threads_per_sm = blocks * block.threads;
+    Occupancy {
+        blocks_per_sm: blocks,
+        threads_per_sm,
+        thread_occupancy: threads_per_sm as f64 / device.max_threads_per_sm as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smem_limited_block() {
+        let d = DeviceSpec::gtx1080ti(); // 96 KiB smem/SM
+        let o = occupancy(&d, BlockShape { threads: 128, smem_bytes: 40 * 1024 });
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn thread_limited_block() {
+        let d = DeviceSpec::gtx1080ti(); // 2048 threads/SM
+        let o = occupancy(&d, BlockShape { threads: 1024, smem_bytes: 1024 });
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::Threads);
+        assert!((o.thread_occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_limited_block() {
+        let d = DeviceSpec::gtx1080ti(); // 32 blocks/SM
+        let o = occupancy(&d, BlockShape { threads: 32, smem_bytes: 0 });
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.limiter, Limiter::BlockSlots);
+    }
+
+    #[test]
+    fn paper_constraint_guarantees_two_blocks() {
+        // Table 1: S_b <= S_sm/2 ensures >= 2 concurrent blocks.
+        let d = DeviceSpec::v100();
+        let sb = d.smem_per_sm / 2;
+        let o = occupancy(&d, BlockShape { threads: 256, smem_bytes: sb });
+        assert!(o.blocks_per_sm >= 2);
+    }
+
+    #[test]
+    fn oversized_block_infeasible() {
+        let d = DeviceSpec::gtx1080ti();
+        let o = occupancy(&d, BlockShape { threads: 2048, smem_bytes: 0 });
+        assert_eq!(o.limiter, Limiter::Infeasible);
+        assert_eq!(o.blocks_per_sm, 0);
+        let o2 = occupancy(&d, BlockShape { threads: 128, smem_bytes: 80 * 1024 });
+        assert_eq!(o2.limiter, Limiter::Infeasible);
+    }
+
+    #[test]
+    fn zero_smem_block_not_smem_limited() {
+        let d = DeviceSpec::titan_x();
+        let o = occupancy(&d, BlockShape { threads: 256, smem_bytes: 0 });
+        assert_ne!(o.limiter, Limiter::SharedMemory);
+        assert!(o.blocks_per_sm >= 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! Run logs: structured collection of kernel statistics with pretty-printed
+//! tables and CSV export for the experiment harnesses.
+
+use crate::kernel::KernelStats;
+
+/// A labelled collection of kernel runs (e.g. one experiment sweep).
+#[derive(Debug, Default)]
+pub struct RunLog {
+    entries: Vec<Entry>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    label: String,
+    stats: KernelStats,
+}
+
+impl RunLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a kernel run under a sweep label.
+    pub fn record(&mut self, label: impl Into<String>, stats: KernelStats) {
+        self.entries.push(Entry { label: label.into(), stats });
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total time across all runs, ms.
+    pub fn total_time_ms(&self) -> f64 {
+        self.entries.iter().map(|e| e.stats.time_ms).sum()
+    }
+
+    /// Renders an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:<20} {:>10} {:>10} {:>14} {:>12} {:>6}\n",
+            "label", "kernel", "time(ms)", "GFLOP/s", "Q(elems)", "DRAM(MiB)", "waves"
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<24} {:<20} {:>10.4} {:>10.1} {:>14} {:>12.2} {:>6}\n",
+                e.label,
+                e.stats.name,
+                e.stats.time_ms,
+                e.stats.gflops,
+                e.stats.q_elems(),
+                e.stats.moved_bytes as f64 / (1024.0 * 1024.0),
+                e.stats.waves,
+            ));
+        }
+        out
+    }
+
+    /// Renders CSV with a header row.
+    pub fn csv(&self) -> String {
+        let mut out =
+            String::from("label,kernel,time_ms,gflops,q_elems,moved_bytes,blocks_per_sm,waves,memory_bound\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                e.label,
+                e.stats.name,
+                e.stats.time_ms,
+                e.stats.gflops,
+                e.stats.q_elems(),
+                e.stats.moved_bytes,
+                e.stats.blocks_per_sm,
+                e.stats.waves,
+                e.stats.memory_bound,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::engine::simulate;
+    use crate::kernel::{BlockWork, KernelDesc};
+    use crate::memory::TileAccess;
+    use crate::occupancy::BlockShape;
+
+    fn sample_stats() -> KernelStats {
+        let k = KernelDesc {
+            name: "probe".into(),
+            grid_blocks: 64,
+            block: BlockShape { threads: 128, smem_bytes: 4096 },
+            work: BlockWork::new(10_000).read(TileAccess::contiguous(256)),
+        };
+        simulate(&DeviceSpec::v100(), &k).unwrap()
+    }
+
+    #[test]
+    fn record_and_total() {
+        let mut log = RunLog::new();
+        assert!(log.is_empty());
+        log.record("a", sample_stats());
+        log.record("b", sample_stats());
+        assert_eq!(log.len(), 2);
+        assert!(log.total_time_ms() > 0.0);
+    }
+
+    #[test]
+    fn table_contains_labels_and_header() {
+        let mut log = RunLog::new();
+        log.record("sweep-x", sample_stats());
+        let t = log.table();
+        assert!(t.contains("label"));
+        assert!(t.contains("sweep-x"));
+        assert!(t.contains("probe"));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_entry_plus_header() {
+        let mut log = RunLog::new();
+        log.record("r1", sample_stats());
+        log.record("r2", sample_stats());
+        let csv = log.csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("label,kernel"));
+    }
+}

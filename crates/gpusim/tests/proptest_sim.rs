@@ -1,0 +1,104 @@
+//! Property tests for the simulator: timing monotonicity, traffic
+//! conservation, and occupancy consistency for arbitrary kernels.
+
+use iolb_gpusim::{
+    occupancy, simulate, BlockShape, BlockWork, DeviceSpec, KernelDesc, Limiter, TileAccess,
+};
+use proptest::prelude::*;
+
+fn any_device() -> impl Strategy<Value = DeviceSpec> {
+    prop_oneof![
+        Just(DeviceSpec::gtx1080ti()),
+        Just(DeviceSpec::v100()),
+        Just(DeviceSpec::titan_x()),
+        Just(DeviceSpec::gfx906()),
+    ]
+}
+
+fn launchable_kernel() -> impl Strategy<Value = KernelDesc> {
+    (
+        1u64..2000,
+        1u32..=8,     // threads = 32 * this
+        0u32..=40,    // smem KiB
+        1u64..1_000_000,
+        1u64..10_000,
+    )
+        .prop_map(|(grid, warps, smem_kib, flops, elems)| KernelDesc {
+            name: "prop".into(),
+            grid_blocks: grid,
+            block: BlockShape { threads: warps * 32, smem_bytes: smem_kib * 1024 },
+            work: BlockWork::new(flops).read(TileAccess::contiguous(elems)),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Simulation always succeeds for launchable kernels and yields
+    /// positive finite time with traffic exactly grid x per-block payload.
+    #[test]
+    fn simulation_is_total_and_exact(device in any_device(), kernel in launchable_kernel()) {
+        let stats = simulate(&device, &kernel).unwrap();
+        prop_assert!(stats.time_ms.is_finite() && stats.time_ms > 0.0);
+        let per_block: u64 = kernel.work.reads.iter().map(|a| a.elems()).sum();
+        prop_assert_eq!(stats.traffic.read_elems, per_block * kernel.grid_blocks);
+        prop_assert!(stats.moved_bytes >= stats.traffic.useful_bytes());
+        prop_assert!(stats.gflops <= device.peak_gflops() * 1.0001);
+    }
+
+    /// More work never takes less time (both flops and bytes).
+    #[test]
+    fn time_monotone_in_work(device in any_device(), kernel in launchable_kernel()) {
+        let base = simulate(&device, &kernel).unwrap();
+        let mut heavier = kernel.clone();
+        heavier.work.flops *= 2;
+        let h1 = simulate(&device, &heavier).unwrap();
+        prop_assert!(h1.time_ms >= base.time_ms * 0.999);
+        let mut wider = kernel.clone();
+        wider.work = wider.work.read(TileAccess::contiguous(100_000));
+        let h2 = simulate(&device, &wider).unwrap();
+        prop_assert!(h2.time_ms >= base.time_ms * 0.999);
+        let mut longer = kernel.clone();
+        longer.grid_blocks *= 2;
+        let h3 = simulate(&device, &longer).unwrap();
+        prop_assert!(h3.time_ms >= base.time_ms * 0.999);
+    }
+
+    /// Occupancy respects every hardware limit.
+    #[test]
+    fn occupancy_within_limits(
+        device in any_device(),
+        warps in 1u32..=32,
+        smem_kib in 0u32..=96,
+    ) {
+        let block = BlockShape { threads: warps * 32, smem_bytes: smem_kib * 1024 };
+        let occ = occupancy(&device, block);
+        if occ.limiter == Limiter::Infeasible {
+            prop_assert!(
+                block.threads > device.max_threads_per_block
+                    || block.smem_bytes > device.max_smem_per_block
+                    || occ.blocks_per_sm == 0
+            );
+        } else {
+            prop_assert!(occ.blocks_per_sm >= 1);
+            prop_assert!(occ.threads_per_sm <= device.max_threads_per_sm);
+            prop_assert!(occ.blocks_per_sm <= device.max_blocks_per_sm);
+            if block.smem_bytes > 0 {
+                prop_assert!(occ.blocks_per_sm * block.smem_bytes <= device.smem_per_sm);
+            }
+            prop_assert!(occ.thread_occupancy > 0.0 && occ.thread_occupancy <= 1.0);
+        }
+    }
+
+    /// Transaction counts are superadditive-safe: splitting an access into
+    /// two never reduces the transaction count.
+    #[test]
+    fn split_access_never_cheaper(elems in 2u64..10_000, split in 1u64..9_999, tx_pow in 5u32..=7) {
+        prop_assume!(split < elems);
+        let tx = 2u64.pow(tx_pow);
+        let whole = TileAccess::contiguous(elems).transactions(tx);
+        let parts = TileAccess::contiguous(split).transactions(tx)
+            + TileAccess::contiguous(elems - split).transactions(tx);
+        prop_assert!(parts >= whole);
+    }
+}

@@ -1,0 +1,301 @@
+//! Blocked, multi-threaded GEMM: `C = A * B` for row-major `f32` matrices.
+//!
+//! This is the compute substrate behind the im2col convolution path (the
+//! cuDNN-style baseline) and the Winograd batched elementwise stage. It
+//! uses classic cache blocking (MC x KC x NC macro-tiles with an 4x8
+//! register micro-kernel) and splits the M dimension across threads with
+//! `crossbeam::scope` — each thread owns disjoint rows of `C`, so no
+//! synchronisation is needed (rayon-style data parallelism without the
+//! dependency).
+
+use crossbeam::thread;
+
+/// Row-major matrix view: `rows x cols`, leading dimension = `cols`.
+#[derive(Debug, Clone, Copy)]
+pub struct MatRef<'a> {
+    pub data: &'a [f32],
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl<'a> MatRef<'a> {
+    pub fn new(data: &'a [f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix buffer size mismatch");
+        Self { data, rows, cols }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+}
+
+// Macro-tile sizes tuned for ~32 KiB L1 / 1 MiB L2; correctness does not
+// depend on them (tests sweep odd sizes).
+const MC: usize = 64;
+const KC: usize = 256;
+const NC: usize = 256;
+// Register micro-tile.
+const MR: usize = 4;
+const NR: usize = 8;
+
+/// Single-threaded blocked GEMM: `c += a * b`.
+///
+/// `c` must be `a.rows * b.cols`, row-major.
+pub fn gemm_acc(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32]) {
+    assert_eq!(a.cols, b.rows, "inner dimension mismatch");
+    assert_eq!(c.len(), a.rows * b.cols, "output buffer size mismatch");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+
+    let mut a_pack = vec![0.0f32; MC * KC];
+    let mut b_pack = vec![0.0f32; KC * NC];
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(b, pc, jc, kc, nc, &mut b_pack);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(a, ic, pc, mc, kc, &mut a_pack);
+                macro_kernel(&a_pack, &b_pack, c, ic, jc, mc, nc, kc, n);
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Packs an `mc x kc` block of `a` into row-panels of height `MR`.
+fn pack_a(a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut [f32]) {
+    let mut dst = 0;
+    let mut i = 0;
+    while i < mc {
+        let mr = MR.min(mc - i);
+        for p in 0..kc {
+            for r in 0..MR {
+                out[dst] = if r < mr { a.at(ic + i + r, pc + p) } else { 0.0 };
+                dst += 1;
+            }
+        }
+        i += MR;
+    }
+}
+
+/// Packs a `kc x nc` block of `b` into column-panels of width `NR`.
+fn pack_b(b: MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f32]) {
+    let mut dst = 0;
+    let mut j = 0;
+    while j < nc {
+        let nr = NR.min(nc - j);
+        for p in 0..kc {
+            for r in 0..NR {
+                out[dst] = if r < nr { b.at(pc + p, jc + j + r) } else { 0.0 };
+                dst += 1;
+            }
+        }
+        j += NR;
+    }
+}
+
+/// Runs the packed micro-kernels over one macro-tile.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+    ic: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    ldc: usize,
+) {
+    let mut j = 0;
+    while j < nc {
+        let nr = NR.min(nc - j);
+        let b_panel = &b_pack[(j / NR) * kc * NR..][..kc * NR];
+        let mut i = 0;
+        while i < mc {
+            let mr = MR.min(mc - i);
+            let a_panel = &a_pack[(i / MR) * kc * MR..][..kc * MR];
+            micro_kernel(a_panel, b_panel, kc, c, (ic + i) * ldc + jc + j, ldc, mr, nr);
+            i += MR;
+        }
+        j += NR;
+    }
+}
+
+/// `MR x NR` register-blocked inner product over `kc` terms; accumulates
+/// into `c[c_off..]`. Edge tiles (`mr < MR` or `nr < NR`) write partially.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    c_off: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let a_row = &a_panel[p * MR..p * MR + MR];
+        let b_row = &b_panel[p * NR..p * NR + NR];
+        for (i, &av) in a_row.iter().enumerate() {
+            for (j, &bv) in b_row.iter().enumerate() {
+                acc[i][j] += av * bv;
+            }
+        }
+    }
+    for i in 0..mr {
+        for j in 0..nr {
+            c[c_off + i * ldc + j] += acc[i][j];
+        }
+    }
+}
+
+/// Multi-threaded GEMM: `c = a * b` (output overwritten), M split across
+/// `threads` workers owning disjoint row bands of `C`.
+pub fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], threads: usize) {
+    assert_eq!(a.cols, b.rows, "inner dimension mismatch");
+    assert_eq!(c.len(), a.rows * b.cols, "output buffer size mismatch");
+    c.fill(0.0);
+    let threads = threads.max(1).min(a.rows.max(1));
+    if threads == 1 || a.rows * b.cols < 64 * 64 {
+        gemm_acc(a, b, c);
+        return;
+    }
+    let band = a.rows.div_ceil(threads);
+    let n = b.cols;
+    thread::scope(|scope| {
+        // Each spawned worker takes one disjoint row band of A and C.
+        let mut rest = &mut c[..];
+        let mut row = 0;
+        while row < a.rows {
+            let rows_here = band.min(a.rows - row);
+            let (band_c, tail) = rest.split_at_mut(rows_here * n);
+            rest = tail;
+            let a_band = MatRef::new(
+                &a.data[row * a.cols..(row + rows_here) * a.cols],
+                rows_here,
+                a.cols,
+            );
+            scope.spawn(move |_| gemm_acc(a_band, b, band_c));
+            row += rows_here;
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// Naive triple loop for testing.
+pub fn gemm_naive(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32]) {
+    assert_eq!(a.cols, b.rows);
+    assert_eq!(c.len(), a.rows * b.cols);
+    for i in 0..a.rows {
+        for j in 0..b.cols {
+            let mut acc = 0.0f32;
+            for p in 0..a.cols {
+                acc += a.at(i, p) * b.at(p, j);
+            }
+            c[i * b.cols + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(rng: &mut StdRng, rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn check_against_naive(m: usize, k: usize, n: usize, threads: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_mat(&mut rng, m, k);
+        let b = random_mat(&mut rng, k, n);
+        let ar = MatRef::new(&a, m, k);
+        let br = MatRef::new(&b, k, n);
+        let mut want = vec![0.0; m * n];
+        gemm_naive(ar, br, &mut want);
+        let mut got = vec![0.0; m * n];
+        gemm(ar, br, &mut got, threads);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-3 + 1e-4 * w.abs(),
+                "({m}x{k}x{n}, t={threads}) mismatch at {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_exact_sizes() {
+        check_against_naive(4, 8, 8, 1, 1);
+        check_against_naive(8, 8, 16, 1, 2);
+    }
+
+    #[test]
+    fn odd_edge_sizes() {
+        // Exercise every partial-tile path.
+        check_against_naive(1, 1, 1, 1, 3);
+        check_against_naive(5, 7, 9, 1, 4);
+        check_against_naive(67, 259, 131, 1, 5);
+        check_against_naive(3, 300, 11, 1, 6);
+    }
+
+    #[test]
+    fn multithreaded_matches_naive() {
+        check_against_naive(97, 64, 83, 4, 7);
+        check_against_naive(256, 128, 64, 8, 8);
+    }
+
+    #[test]
+    fn spanning_multiple_macro_tiles() {
+        check_against_naive(MC + 3, KC + 5, NC + 7, 2, 9);
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![1.0, 0.0, 0.0, 1.0];
+        let ar = MatRef::new(&a, 2, 2);
+        let br = MatRef::new(&b, 2, 2);
+        let mut c = vec![10.0; 4];
+        gemm_acc(ar, br, &mut c);
+        assert_eq!(c, vec![11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 33;
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = random_mat(&mut rng, n, n);
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let mut c = vec![0.0; n * n];
+        gemm(MatRef::new(&a, n, n), MatRef::new(&eye, n, n), &mut c, 3);
+        for (g, w) in c.iter().zip(&a) {
+            assert!((g - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = vec![0.0; 6];
+        let b = vec![0.0; 6];
+        let mut c = vec![0.0; 4];
+        gemm(MatRef::new(&a, 2, 3), MatRef::new(&b, 2, 3), &mut c, 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! The im2col convolution path — cuDNN's "image2col" direct implementation
+//! (paper §7: "the image2col method is usually better than the direct
+//! convolution" among cuDNN's direct approaches).
+//!
+//! The input is unrolled into a `(C_in*Kh*Kw) x (Oh*Ow)` matrix whose
+//! columns are the flattened sliding windows; convolution then becomes a
+//! `C_out x (C_in*Kh*Kw)` by `(C_in*Kh*Kw) x (Oh*Ow)` GEMM. The
+//! materialised matrix is the *extra I/O* this baseline pays relative to
+//! the paper's dataflow — `dataflow::baselines` models exactly that.
+
+use crate::conv_ref::ConvParams;
+use crate::gemm::{gemm, MatRef};
+use crate::tensor::Tensor4;
+
+/// Unrolls one image of `input` into the im2col matrix, row-major
+/// `(C_in*Kh*Kw) x (Oh*Ow)`.
+pub fn im2col(
+    input: &Tensor4,
+    n: usize,
+    kh: usize,
+    kw: usize,
+    params: ConvParams,
+) -> (Vec<f32>, usize, usize) {
+    let oh = params.out_extent(input.h, kh);
+    let ow = params.out_extent(input.w, kw);
+    let rows = input.c * kh * kw;
+    let cols = oh * ow;
+    let mut m = vec![0.0f32; rows * cols];
+    for ci in 0..input.c {
+        for dy in 0..kh {
+            for dx in 0..kw {
+                let row = (ci * kh + dy) * kw + dx;
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let iy = (y * params.stride + dy) as isize - params.pad as isize;
+                        let ix = (x * params.stride + dx) as isize - params.pad as isize;
+                        m[row * cols + y * ow + x] = input.at_padded(n, ci, iy, ix);
+                    }
+                }
+            }
+        }
+    }
+    (m, rows, cols)
+}
+
+/// Flattens the weight tensor into the row-major `C_out x (C_in*Kh*Kw)`
+/// GEMM operand.
+pub fn flatten_weights(weights: &Tensor4) -> Vec<f32> {
+    let (cout, cin, kh, kw) = (weights.n, weights.c, weights.h, weights.w);
+    let mut m = vec![0.0f32; cout * cin * kh * kw];
+    for co in 0..cout {
+        for ci in 0..cin {
+            for dy in 0..kh {
+                for dx in 0..kw {
+                    m[co * (cin * kh * kw) + (ci * kh + dy) * kw + dx] =
+                        weights.at(co, ci, dy, dx);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Full convolution via im2col + GEMM; numerically equivalent to
+/// [`crate::conv_ref::conv2d_reference`].
+pub fn conv2d_im2col(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    threads: usize,
+) -> Tensor4 {
+    assert_eq!(input.c, weights.c, "C_in mismatch");
+    let (kh, kw) = (weights.h, weights.w);
+    let oh = params.out_extent(input.h, kh);
+    let ow = params.out_extent(input.w, kw);
+    let w_flat = flatten_weights(weights);
+    let w_ref = MatRef::new(&w_flat, weights.n, input.c * kh * kw);
+
+    let mut out = Tensor4::zeros(input.n, weights.n, oh, ow);
+    let image_len = weights.n * oh * ow;
+    for n in 0..input.n {
+        let (cols, rows_dim, cols_dim) = im2col(input, n, kh, kw, params);
+        let col_ref = MatRef::new(&cols, rows_dim, cols_dim);
+        let dst = &mut out.as_mut_slice()[n * image_len..(n + 1) * image_len];
+        gemm(w_ref, col_ref, dst, threads);
+    }
+    out
+}
+
+/// Number of elements the im2col path *materialises* per image — the extra
+/// slow-memory traffic of this baseline (written once, read once by GEMM).
+pub fn im2col_materialised_elems(
+    cin: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+) -> u64 {
+    cin as u64 * kh as u64 * kw as u64 * oh as u64 * ow as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_ref::conv2d_reference;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[allow(clippy::too_many_arguments)] // test helper sweeping the shape grid
+    fn check(
+        n: usize,
+        cin: usize,
+        hw: usize,
+        cout: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor4::random(n, cin, hw, hw, &mut rng);
+        let weights = Tensor4::random(cout, cin, k, k, &mut rng);
+        let params = ConvParams::new(stride, pad);
+        let want = conv2d_reference(&input, &weights, params);
+        let got = conv2d_im2col(&input, &weights, params, 2);
+        assert!(
+            got.approx_eq(&want, 1e-4, 1e-4),
+            "mismatch: n={n} cin={cin} hw={hw} cout={cout} k={k} s={stride} p={pad}, \
+             max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn matches_reference_basic() {
+        check(1, 3, 8, 4, 3, 1, 0, 1);
+    }
+
+    #[test]
+    fn matches_reference_with_padding() {
+        check(1, 4, 7, 5, 3, 1, 1, 2);
+    }
+
+    #[test]
+    fn matches_reference_strided() {
+        check(1, 3, 11, 4, 3, 2, 1, 3);
+        check(1, 3, 12, 2, 5, 4, 2, 4);
+    }
+
+    #[test]
+    fn matches_reference_batched() {
+        check(3, 2, 9, 3, 3, 1, 1, 5);
+    }
+
+    #[test]
+    fn matches_reference_1x1_kernel() {
+        check(1, 8, 6, 8, 1, 1, 0, 6);
+    }
+
+    #[test]
+    fn im2col_matrix_shape_and_content() {
+        // input [[1,2],[3,4]], 1 channel, 1x1 kernel window, unit params:
+        // the matrix is just the flattened image.
+        let input = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| (h * 2 + w + 1) as f32);
+        let (m, rows, cols) = im2col(&input, 0, 1, 1, ConvParams::unit());
+        assert_eq!((rows, cols), (1, 4));
+        assert_eq!(m, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_window_extraction() {
+        // 3x3 image, 2x2 kernel: 4 windows of 4 elements.
+        let input = Tensor4::from_fn(1, 1, 3, 3, |_, _, h, w| (h * 3 + w + 1) as f32);
+        let (m, rows, cols) = im2col(&input, 0, 2, 2, ConvParams::unit());
+        assert_eq!((rows, cols), (4, 4));
+        // First column = window at (0,0): [1,2,4,5] laid out over rows.
+        let col0: Vec<f32> = (0..rows).map(|r| m[r * cols]).collect();
+        assert_eq!(col0, vec![1.0, 2.0, 4.0, 5.0]);
+        // Last column = window at (1,1): [5,6,8,9].
+        let col3: Vec<f32> = (0..rows).map(|r| m[r * cols + 3]).collect();
+        assert_eq!(col3, vec![5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn materialised_volume_formula() {
+        assert_eq!(im2col_materialised_elems(256, 3, 3, 56, 56), 256 * 9 * 56 * 56);
+    }
+}

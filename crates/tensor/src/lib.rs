@@ -1,0 +1,38 @@
+//! # iolb-tensor — convolution numerics substrate
+//!
+//! The CPU compute substrate for the PPoPP'21 reproduction: everything
+//! needed to *actually run* the convolutions whose I/O behaviour the rest
+//! of the workspace analyses.
+//!
+//! * [`layout`] — the CHW / CWH / HWC image layouts from the paper's
+//!   Table 1 searching domain.
+//! * [`tensor`] — dense batched 4-D `f32` tensors with layout-aware
+//!   indexing and approximate comparison.
+//! * [`conv_ref`] — the golden-reference direct convolution (the oracle
+//!   every other path is tested against).
+//! * [`gemm`] — blocked, multi-threaded `f32` GEMM (crossbeam scoped
+//!   threads over disjoint row bands).
+//! * [`im2col`] — the cuDNN-style image-to-column convolution path built on
+//!   the GEMM (the paper's direct-convolution baseline).
+//! * [`winograd_math`] — Cook–Toom generation of the `A`/`B`/`G` (the
+//!   paper's `A`/`B`/`L`) transform matrices for arbitrary `F(e, r)`.
+//! * [`winograd_conv`] — the full 4-step Winograd convolution (Fig. 2).
+//!
+//! All convolution paths are cross-validated against [`conv_ref`]; property
+//! tests live in the crate's `tests/` directory.
+
+
+#![allow(clippy::needless_range_loop)] // index loops read clearer in numeric kernels
+pub mod conv_ref;
+pub mod gemm;
+pub mod im2col;
+pub mod layout;
+pub mod tensor;
+pub mod winograd_conv;
+pub mod winograd_math;
+
+pub use conv_ref::{conv2d_reference, ConvParams};
+pub use im2col::conv2d_im2col;
+pub use layout::Layout;
+pub use tensor::Tensor4;
+pub use winograd_conv::{conv2d_winograd, WinogradPlan};

@@ -1,0 +1,263 @@
+//! Dense 4-D tensors (batch x channel x height x width) backed by a single
+//! `Vec<f32>`, with selectable in-image layout.
+
+use crate::layout::Layout;
+use rand::Rng;
+
+/// A dense batched image tensor.
+///
+/// The batch axis is always outermost; the per-image axis order is governed
+/// by [`Layout`]. Weights use the same container with `batch = C_out`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    data: Vec<f32>,
+    /// Batch size `N` (or `C_out` for weight tensors).
+    pub n: usize,
+    /// Channels per image.
+    pub c: usize,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// In-image axis order.
+    pub layout: Layout,
+}
+
+impl Tensor4 {
+    /// Zero-filled tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self::zeros_with_layout(n, c, h, w, Layout::Chw)
+    }
+
+    /// Zero-filled tensor with an explicit layout.
+    pub fn zeros_with_layout(n: usize, c: usize, h: usize, w: usize, layout: Layout) -> Self {
+        assert!(n > 0 && c > 0 && h > 0 && w > 0, "tensor dims must be positive");
+        Self { data: vec![0.0; n * c * h * w], n, c, h, w, layout }
+    }
+
+    /// Tensor filled by `f(n, c, h, w)`.
+    pub fn from_fn(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut t = Self::zeros(n, c, h, w);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        *t.at_mut(ni, ci, hi, wi) = f(ni, ci, hi, wi);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Uniformly random tensor in `[-1, 1)` from the given RNG.
+    pub fn random(n: usize, c: usize, h: usize, w: usize, rng: &mut impl Rng) -> Self {
+        let mut t = Self::zeros(n, c, h, w);
+        for v in &mut t.data {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        t
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no data (never: dims are positive).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n, "batch index {n} out of {}", self.n);
+        n * self.c * self.h * self.w + self.layout.offset(c, h, w, self.c, self.h, self.w)
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.index(n, c, h, w)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let i = self.index(n, c, h, w);
+        &mut self.data[i]
+    }
+
+    /// Element accessor with zero padding outside the spatial extent:
+    /// `h`/`w` may be negative or past the edge.
+    #[inline]
+    pub fn at_padded(&self, n: usize, c: usize, h: isize, w: isize) -> f32 {
+        if h < 0 || w < 0 || h as usize >= self.h || w as usize >= self.w {
+            0.0
+        } else {
+            self.at(n, c, h as usize, w as usize)
+        }
+    }
+
+    /// Raw storage (layout-ordered).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Re-materialises the tensor in a different layout (copying).
+    pub fn to_layout(&self, layout: Layout) -> Tensor4 {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let mut out = Tensor4::zeros_with_layout(self.n, self.c, self.h, self.w, layout);
+        for n in 0..self.n {
+            for c in 0..self.c {
+                for h in 0..self.h {
+                    for w in 0..self.w {
+                        *out.at_mut(n, c, h, w) = self.at(n, c, h, w);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute elementwise difference against another tensor of
+    /// identical logical shape (layouts may differ).
+    pub fn max_abs_diff(&self, other: &Tensor4) -> f32 {
+        assert_eq!(
+            (self.n, self.c, self.h, self.w),
+            (other.n, other.c, other.h, other.w),
+            "shape mismatch"
+        );
+        let mut worst = 0.0f32;
+        for n in 0..self.n {
+            for c in 0..self.c {
+                for h in 0..self.h {
+                    for w in 0..self.w {
+                        let d = (self.at(n, c, h, w) - other.at(n, c, h, w)).abs();
+                        if d > worst {
+                            worst = d;
+                        }
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// Relative-tolerance comparison suitable for f32 accumulation error:
+    /// passes when `max|a-b| <= atol + rtol * max|a|`.
+    pub fn approx_eq(&self, other: &Tensor4, rtol: f32, atol: f32) -> bool {
+        let scale = self
+            .data
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()))
+            .max(other.data.iter().fold(0.0f32, |m, v| m.max(v.abs())));
+        self.max_abs_diff(other) <= atol + rtol * scale
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_fn_and_at_roundtrip() {
+        for layout in Layout::ALL {
+            let mut t = Tensor4::zeros_with_layout(2, 3, 4, 5, layout);
+            for n in 0..2 {
+                for c in 0..3 {
+                    for h in 0..4 {
+                        for w in 0..5 {
+                            *t.at_mut(n, c, h, w) = (n * 1000 + c * 100 + h * 10 + w) as f32;
+                        }
+                    }
+                }
+            }
+            for n in 0..2 {
+                for c in 0..3 {
+                    for h in 0..4 {
+                        for w in 0..5 {
+                            assert_eq!(
+                                t.at(n, c, h, w),
+                                (n * 1000 + c * 100 + h * 10 + w) as f32,
+                                "{layout} ({n},{c},{h},{w})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_conversion_preserves_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor4::random(2, 3, 5, 4, &mut rng);
+        for layout in Layout::ALL {
+            let converted = t.to_layout(layout);
+            assert_eq!(converted.layout, layout);
+            assert_eq!(t.max_abs_diff(&converted), 0.0);
+            // Round trip back.
+            let back = converted.to_layout(t.layout);
+            assert_eq!(back.as_slice(), t.as_slice());
+        }
+    }
+
+    #[test]
+    fn padded_access_returns_zero_outside() {
+        let t = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| (h * 2 + w + 1) as f32);
+        assert_eq!(t.at_padded(0, 0, -1, 0), 0.0);
+        assert_eq!(t.at_padded(0, 0, 0, -3), 0.0);
+        assert_eq!(t.at_padded(0, 0, 2, 0), 0.0);
+        assert_eq!(t.at_padded(0, 0, 1, 1), 4.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor4::random(1, 2, 3, 3, &mut rng);
+        let mut b = a.clone();
+        for v in b.as_mut_slice() {
+            *v += 1e-6;
+        }
+        assert!(a.approx_eq(&b, 1e-4, 1e-5));
+        *b.at_mut(0, 0, 0, 0) += 1.0;
+        assert!(!a.approx_eq(&b, 1e-4, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn diff_rejects_shape_mismatch() {
+        let a = Tensor4::zeros(1, 1, 2, 2);
+        let b = Tensor4::zeros(1, 1, 2, 3);
+        let _ = a.max_abs_diff(&b);
+    }
+
+    #[test]
+    fn norm_of_unit_vector() {
+        let mut t = Tensor4::zeros(1, 1, 1, 4);
+        *t.at_mut(0, 0, 0, 0) = 3.0;
+        *t.at_mut(0, 0, 0, 1) = 4.0;
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,246 @@
+//! Full 2-D Winograd convolution `F(e x e, r x r)` (paper §2.3, Fig. 2).
+//!
+//! For every `e x e` output sub-domain and output channel, the four steps:
+//!
+//! 1. transform the `(e+r-1)^2` input patch per channel (`P = B^T d B`) and
+//!    the `r x r` kernel (`J = G g G^T`),
+//! 2. elementwise-multiply `Lambda = P ⊙ J`,
+//! 3. sum `Lambda` over input channels into `Pi`,
+//! 4. inverse-transform `Y = A^T Pi A`.
+//!
+//! Kernel transforms are hoisted out of the spatial loop (they depend only
+//! on `(cout, cin)`), matching practical implementations. Outputs whose
+//! tile hangs past the edge are handled by zero-padding the virtual input
+//! and discarding out-of-range outputs, so arbitrary output sizes work.
+
+use crate::conv_ref::ConvParams;
+use crate::tensor::Tensor4;
+use crate::winograd_math::{generate, Mat, Transforms};
+
+/// Pre-transformed kernels plus the transform set: reusable across calls
+/// with the same weights.
+pub struct WinogradPlan {
+    t: Transforms,
+    /// `J[co][ci]`: `a x a` transformed kernel.
+    transformed: Vec<Mat>,
+    cout: usize,
+    cin: usize,
+}
+
+impl WinogradPlan {
+    /// Builds a plan for the given weights (`n = C_out`, square `r x r`
+    /// kernels) and output tile edge `e`.
+    pub fn new(weights: &Tensor4, e: usize) -> Self {
+        assert_eq!(weights.h, weights.w, "winograd requires square kernels");
+        let r = weights.h;
+        let t = generate(e, r);
+        let a = t.a();
+        let mut transformed = Vec::with_capacity(weights.n * weights.c);
+        for co in 0..weights.n {
+            for ci in 0..weights.c {
+                let mut g = Mat::zeros(r, r);
+                for y in 0..r {
+                    for x in 0..r {
+                        *g.at_mut(y, x) = weights.at(co, ci, y, x) as f64;
+                    }
+                }
+                // J = G g G^T : a x a.
+                let j = t.g.matmul(&g).matmul(&t.g.t());
+                debug_assert_eq!((j.rows, j.cols), (a, a));
+                transformed.push(j);
+            }
+        }
+        Self { t, transformed, cout: weights.n, cin: weights.c }
+    }
+
+    fn kernel(&self, co: usize, ci: usize) -> &Mat {
+        &self.transformed[co * self.cin + ci]
+    }
+
+    /// The transform triple in use.
+    pub fn transforms(&self) -> &Transforms {
+        &self.t
+    }
+}
+
+/// Winograd convolution with tile edge `e`. Only unit stride is supported
+/// (the algorithm's precondition, §2.3); padding is honoured.
+pub fn conv2d_winograd(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    e: usize,
+) -> Tensor4 {
+    assert_eq!(params.stride, 1, "winograd requires unit stride");
+    let plan = WinogradPlan::new(weights, e);
+    conv2d_winograd_with_plan(input, &plan, params)
+}
+
+/// Winograd convolution with a prebuilt plan.
+pub fn conv2d_winograd_with_plan(
+    input: &Tensor4,
+    plan: &WinogradPlan,
+    params: ConvParams,
+) -> Tensor4 {
+    assert_eq!(params.stride, 1, "winograd requires unit stride");
+    assert_eq!(input.c, plan.cin, "C_in mismatch");
+    let t = &plan.t;
+    let (e, r, a) = (t.e, t.r, t.a());
+    let oh = params.out_extent(input.h, r);
+    let ow = params.out_extent(input.w, r);
+    let mut out = Tensor4::zeros(input.n, plan.cout, oh, ow);
+
+    let tiles_y = oh.div_ceil(e);
+    let tiles_x = ow.div_ceil(e);
+
+    // Scratch reused across tiles.
+    let mut patch = Mat::zeros(a, a);
+    let mut pi = Mat::zeros(a, a);
+
+    for n in 0..input.n {
+        for co in 0..plan.cout {
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    // Input patch origin for this tile (may be negative
+                    // with padding).
+                    let oy = (ty * e) as isize - params.pad as isize;
+                    let ox = (tx * e) as isize - params.pad as isize;
+                    pi.data.fill(0.0);
+                    for ci in 0..input.c {
+                        // Load the (a x a) patch with zero padding.
+                        for y in 0..a {
+                            for x in 0..a {
+                                *patch.at_mut(y, x) = input
+                                    .at_padded(n, ci, oy + y as isize, ox + x as isize)
+                                    as f64;
+                            }
+                        }
+                        // P = B^T d B.
+                        let p = t.bt.matmul(&patch).matmul(&t.bt.t());
+                        // Lambda = P ⊙ J, accumulated over channels (step 3
+                        // folded into step 2's loop — same DAG, fewer
+                        // buffers).
+                        let j = plan.kernel(co, ci);
+                        for idx in 0..a * a {
+                            pi.data[idx] += p.data[idx] * j.data[idx];
+                        }
+                    }
+                    // Y = A^T Pi A.
+                    let y_tile = t.at.matmul(&pi).matmul(&t.at.t());
+                    for dy in 0..e {
+                        for dx in 0..e {
+                            let yy = ty * e + dy;
+                            let xx = tx * e + dx;
+                            if yy < oh && xx < ow {
+                                *out.at_mut(n, co, yy, xx) = y_tile.at(dy, dx) as f32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_ref::conv2d_reference;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[allow(clippy::too_many_arguments)] // test helper sweeping the shape grid
+    fn check(
+        n: usize,
+        cin: usize,
+        hw: usize,
+        cout: usize,
+        r: usize,
+        e: usize,
+        pad: usize,
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor4::random(n, cin, hw, hw, &mut rng);
+        let weights = Tensor4::random(cout, cin, r, r, &mut rng);
+        let params = ConvParams::new(1, pad);
+        let want = conv2d_reference(&input, &weights, params);
+        let got = conv2d_winograd(&input, &weights, params, e);
+        assert!(
+            got.approx_eq(&want, 1e-3, 1e-3),
+            "F({e},{r}) n={n} cin={cin} hw={hw} cout={cout} pad={pad}: \
+             max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn f2x3_matches_reference_exact_tiling() {
+        // oh = 6 divisible by e = 2.
+        check(1, 3, 8, 4, 3, 2, 0, 1);
+    }
+
+    #[test]
+    fn f2x3_matches_reference_with_padding() {
+        check(1, 4, 7, 3, 3, 2, 1, 2);
+    }
+
+    #[test]
+    fn f2x3_matches_reference_ragged_tiles() {
+        // oh = 5 not divisible by 2: edge tiles partially discarded.
+        check(1, 2, 7, 2, 3, 2, 0, 3);
+    }
+
+    #[test]
+    fn f4x3_matches_reference() {
+        check(1, 3, 10, 4, 3, 4, 0, 4);
+        check(1, 3, 9, 2, 3, 4, 1, 5);
+    }
+
+    #[test]
+    fn f3x2_matches_reference() {
+        check(1, 2, 8, 3, 2, 3, 0, 6);
+    }
+
+    #[test]
+    fn batched_matches_reference() {
+        check(3, 2, 6, 2, 3, 2, 1, 7);
+    }
+
+    #[test]
+    fn single_channel_single_kernel() {
+        check(1, 1, 6, 1, 3, 2, 0, 8);
+    }
+
+    #[test]
+    fn plan_reuse_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let weights = Tensor4::random(2, 3, 3, 3, &mut rng);
+        let plan = WinogradPlan::new(&weights, 2);
+        let a = Tensor4::random(1, 3, 6, 6, &mut rng);
+        let b = Tensor4::random(1, 3, 6, 6, &mut rng);
+        let params = ConvParams::new(1, 1);
+        let out_a = conv2d_winograd_with_plan(&a, &plan, params);
+        let out_b = conv2d_winograd_with_plan(&b, &plan, params);
+        let want_a = conv2d_reference(&a, &weights, params);
+        let want_b = conv2d_reference(&b, &weights, params);
+        assert!(out_a.approx_eq(&want_a, 1e-3, 1e-3));
+        assert!(out_b.approx_eq(&want_b, 1e-3, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unit stride")]
+    fn rejects_strided_convolution() {
+        let input = Tensor4::zeros(1, 1, 6, 6);
+        let weights = Tensor4::zeros(1, 1, 3, 3);
+        let _ = conv2d_winograd(&input, &weights, ConvParams::new(2, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "square kernels")]
+    fn rejects_rectangular_kernels() {
+        let weights = Tensor4::zeros(1, 1, 3, 5);
+        let _ = WinogradPlan::new(&weights, 2);
+    }
+}

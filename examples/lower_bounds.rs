@@ -1,0 +1,50 @@
+//! Lower-bound explorer: Theorem 4.12 / 4.20 bounds and the dataflow I/O
+//! models across real network layers and fast-memory sizes.
+//!
+//! ```sh
+//! cargo run --release --example lower_bounds
+//! ```
+
+use conv_iolb::cnn::models;
+use conv_iolb::core::shapes::WinogradTile;
+use conv_iolb::core::{direct, winograd};
+
+fn main() {
+    println!("Per-layer I/O lower bounds (S = 8192 elems = 32 KiB of f32)\n");
+    println!(
+        "{:<26} {:>14} {:>14} {:>14} {:>9}",
+        "layer", "Q_lower(dir)", "Q_flow(dir)", "Q_lower(wino)", "dir gap"
+    );
+    let s = 8192.0;
+    let net = models::resnet18();
+    for layer in &net.layers {
+        let shape = &layer.shape;
+        let lb = direct::io_lower_bound(shape, s);
+        let flow = direct::dataflow_optimal_io(shape, s, 1.0);
+        let wino = if layer.winograd_eligible() {
+            format!("{:.3e}", winograd::io_lower_bound(shape, WinogradTile::F2X3, s))
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<26} {:>14.3e} {:>14.3e} {:>14} {:>8.2}x",
+            layer.name,
+            lb,
+            flow,
+            wino,
+            flow / lb.max(1.0),
+        );
+    }
+
+    println!("\nBound scaling with fast-memory size (ResNet layer1, 3x3 64ch):");
+    let shape = net.layers[2].shape;
+    println!("{:>10} {:>14} {:>16}", "S (elems)", "Q_lower(dir)", "per-output reads");
+    for s in [512.0, 2048.0, 8192.0, 32768.0] {
+        let lb = direct::io_lower_bound(&shape, s);
+        println!(
+            "{s:>10.0} {lb:>14.3e} {:>16.2}",
+            lb / shape.output_elems() as f64
+        );
+    }
+    println!("\n(Q_lower halves when S quadruples: the 1/sqrt(S) law of Theorem 4.12.)");
+}

@@ -1,0 +1,64 @@
+//! # conv-iolb — I/O lower bounds for auto-tuning of convolutions in CNNs
+//!
+//! A from-scratch Rust reproduction of *"I/O Lower Bounds for Auto-tuning
+//! of Convolutions in CNNs"* (Zhang, Xiao & Tan, PPoPP 2021): the general
+//! composite-algorithm I/O lower-bound theory under the red-blue pebble
+//! game, the closed-form bounds for direct and Winograd convolution, the
+//! near-I/O-optimal dataflow designs, and the lower-bound-guided
+//! auto-tuning engine — plus every substrate the evaluation needs (a
+//! two-level GPU memory-hierarchy simulator, CPU convolution kernels,
+//! pebble-game machinery, CNN layer inventories).
+//!
+//! This crate is the umbrella: it re-exports the workspace members under
+//! one name and hosts the runnable `examples/` and the cross-crate
+//! integration tests. See `DESIGN.md` for the architecture and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `iolb-core` | shapes, φ/ψ bounds, `T(S)`, Theorems 4.6/4.12/4.20, optimality condition |
+//! | [`pebble`] | `iolb-pebble` | red-blue pebble game, exact/heuristic pebbling, S-partitions, conv DAGs |
+//! | [`tensor`] | `iolb-tensor` | tensors, reference conv, im2col, GEMM, Winograd transforms |
+//! | [`gpusim`] | `iolb-gpusim` | device presets, traffic model, occupancy, roofline engine |
+//! | [`dataflow`] | `iolb-dataflow` | §5 dataflow schedules, baselines, CPU execution, analysis |
+//! | [`autotune`] | `iolb-autotune` | §6 config spaces, GBT cost model, searchers, tuning loop |
+//! | [`cnn`] | `iolb-cnn` | network inventories, end-to-end inference timing |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use conv_iolb::core::shapes::ConvShape;
+//! use conv_iolb::core::direct;
+//!
+//! // How much traffic must ANY schedule of this layer move through a
+//! // 16 KiB shared memory?
+//! let layer = ConvShape::square(256, 56, 128, 3, 1, 1);
+//! let q_min = direct::io_lower_bound(&layer, 4096.0);
+//! // ... and how close does the paper's dataflow get?
+//! let q_flow = direct::dataflow_optimal_io(&layer, 4096.0, 1.0);
+//! assert!(q_flow >= q_min);
+//! assert!(q_flow < 16.0 * q_min); // near-optimal: small constant factor
+//! ```
+
+pub use iolb_autotune as autotune;
+pub use iolb_cnn as cnn;
+pub use iolb_core as core;
+pub use iolb_dataflow as dataflow;
+pub use iolb_gpusim as gpusim;
+pub use iolb_pebble as pebble;
+pub use iolb_tensor as tensor;
+
+/// Crate version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_compile() {
+        let shape = crate::core::ConvShape::square(64, 28, 32, 3, 1, 1);
+        assert_eq!(shape.hout(), 28);
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Cross-crate property-based tests (proptest): the invariants that must
+//! hold for *arbitrary* convolution shapes and schedules, not just the
+//! hand-picked ones.
+
+use conv_iolb::core::optimality::{best_tile, divisors, padded_out, TileKind};
+use conv_iolb::core::shapes::{ConvShape, WinogradTile};
+use conv_iolb::core::{direct, winograd};
+use conv_iolb::dataflow::config::ScheduleConfig;
+use conv_iolb::dataflow::exec::{execute_direct, execute_winograd};
+use conv_iolb::gpusim::TileAccess;
+use conv_iolb::tensor::conv_ref::{conv2d_reference, ConvParams};
+use conv_iolb::tensor::im2col::conv2d_im2col;
+use conv_iolb::tensor::layout::Layout;
+use conv_iolb::tensor::tensor::Tensor4;
+use conv_iolb::tensor::winograd_conv::conv2d_winograd;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: small but varied convolution shapes (valid by construction).
+fn small_shape() -> impl Strategy<Value = ConvShape> {
+    (1usize..=3, 1usize..=4, 5usize..=10, 1usize..=6, 1usize..=3, 0usize..=1, 1usize..=2)
+        .prop_map(|(batch, cin, hw, cout, k, pad, stride)| ConvShape {
+            batch,
+            cin,
+            hin: hw,
+            win: hw,
+            cout,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        })
+        .prop_filter("kernel fits", |s| s.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// im2col + GEMM computes the same convolution as the reference.
+    #[test]
+    fn im2col_equals_reference(shape in small_shape(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor4::random(shape.batch, shape.cin, shape.hin, shape.win, &mut rng);
+        let weights = Tensor4::random(shape.cout, shape.cin, shape.kh, shape.kw, &mut rng);
+        let params = ConvParams::new(shape.stride, shape.pad);
+        let want = conv2d_reference(&input, &weights, params);
+        let got = conv2d_im2col(&input, &weights, params, 2);
+        prop_assert!(got.approx_eq(&want, 1e-3, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    /// Winograd F(2,3) computes the same convolution as the reference for
+    /// any unit-stride 3x3 shape.
+    #[test]
+    fn winograd_equals_reference(
+        cin in 1usize..=3,
+        hw in 5usize..=9,
+        cout in 1usize..=4,
+        pad in 0usize..=1,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor4::random(1, cin, hw, hw, &mut rng);
+        let weights = Tensor4::random(cout, cin, 3, 3, &mut rng);
+        let params = ConvParams::new(1, pad);
+        let want = conv2d_reference(&input, &weights, params);
+        let got = conv2d_winograd(&input, &weights, params, 2);
+        prop_assert!(got.approx_eq(&want, 1e-3, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    /// The tiled direct executor matches the reference for any tile that
+    /// divides the output.
+    #[test]
+    fn tiled_direct_executor_equals_reference(
+        cin in 1usize..=3,
+        cout_pow in 0u32..=2,
+        seed in 0u64..1000,
+        xi in 0usize..3,
+        zi in 0usize..2,
+    ) {
+        let cout = 2usize.pow(cout_pow);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor4::random(1, cin, 10, 10, &mut rng); // hout = 8
+        let weights = Tensor4::random(cout, cin, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 0);
+        let xs = [2usize, 4, 8];
+        let zs = divisors(cout);
+        let cfg = ScheduleConfig {
+            x: xs[xi],
+            y: 8,
+            z: zs[zi.min(zs.len() - 1)],
+            nxt: 1,
+            nyt: 1,
+            nzt: 1,
+            sb_bytes: 48 * 1024,
+            layout: Layout::Chw,
+        };
+        let want = conv2d_reference(&input, &weights, params);
+        let got = execute_direct(&input, &weights, params, &cfg, 3);
+        prop_assert!(got.approx_eq(&want, 1e-3, 1e-3));
+    }
+
+    /// The tiled Winograd executor matches the reference.
+    #[test]
+    fn tiled_winograd_executor_equals_reference(
+        cin in 1usize..=2,
+        seed in 0u64..1000,
+        pad in 0usize..=1,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hw = if pad == 1 { 8 } else { 10 }; // hout = 8 either way
+        let input = Tensor4::random(1, cin, hw, hw, &mut rng);
+        let weights = Tensor4::random(2, cin, 3, 3, &mut rng);
+        let params = ConvParams::new(1, pad);
+        let cfg = ScheduleConfig {
+            x: 4,
+            y: 8,
+            z: 2,
+            nxt: 1,
+            nyt: 1,
+            nzt: 1,
+            sb_bytes: 48 * 1024,
+            layout: Layout::Chw,
+        };
+        let want = conv2d_reference(&input, &weights, params);
+        let got = execute_winograd(&input, &weights, params, WinogradTile::F2X3, &cfg, 2);
+        prop_assert!(got.approx_eq(&want, 1e-3, 1e-3));
+    }
+
+    /// Lower bounds decrease in S and the dataflow model always dominates
+    /// its own bound.
+    #[test]
+    fn bounds_monotone_and_dominated(
+        cin in 8usize..=512,
+        hw in 14usize..=128,
+        cout in 8usize..=512,
+        s1 in 256u32..=4096,
+        factor in 2u32..=8,
+    ) {
+        let shape = ConvShape::square(cin, hw, cout, 3, 1, 1);
+        let s1 = s1 as f64;
+        let s2 = s1 * factor as f64;
+        let b1 = direct::io_lower_bound(&shape, s1);
+        let b2 = direct::io_lower_bound(&shape, s2);
+        prop_assert!(b2 <= b1 + 1e-9, "bound not decreasing in S");
+        let flow = direct::dataflow_optimal_io(&shape, s1, 1.0);
+        prop_assert!(flow >= b1, "dataflow below its bound");
+        let wb1 = winograd::io_lower_bound(&shape, WinogradTile::F2X3, s1);
+        let wflow = winograd::dataflow_optimal_io(&shape, WinogradTile::F2X3, s1, 1.0);
+        prop_assert!(wflow >= wb1, "winograd dataflow below its bound");
+    }
+
+    /// The integer tile solver respects the budget and never beats the
+    /// relaxed (real-valued) Eq. 20 optimum on unpadded shapes.
+    #[test]
+    fn tile_solver_sound(
+        cin in 8usize..=256,
+        hw_pow in 2u32..=6,
+        cout_pow in 3u32..=7,
+        sb in 256f64..8192.0,
+    ) {
+        let hw = 2usize.pow(hw_pow); // power of two: padding is a no-op
+        let cout = 2usize.pow(cout_pow);
+        let shape = ConvShape::square(cin, hw + 2, cout, 3, 1, 0); // hout = hw
+        prop_assume!(padded_out(&shape, TileKind::Direct) == (hw, hw));
+        if let Some(choice) = best_tile(&shape, TileKind::Direct, sb) {
+            prop_assert!(TileKind::Direct.accumulator_elems(&choice.tile) <= sb);
+            prop_assert_eq!(hw % choice.tile.x, 0);
+            prop_assert_eq!(hw % choice.tile.y, 0);
+            prop_assert_eq!(cout % choice.tile.z, 0);
+        }
+    }
+
+    /// Transaction counting: moved bytes always cover the useful payload,
+    /// and coalescing efficiency stays in (0, 1].
+    #[test]
+    fn transactions_cover_payload(
+        rows in 1u64..64,
+        row_elems in 1u64..64,
+        extra_stride in 0u64..128,
+        tx_pow in 5u32..=7,
+    ) {
+        let access = TileAccess::tile(rows, row_elems, row_elems + extra_stride);
+        let tx = 2u64.pow(tx_pow);
+        prop_assert!(access.moved_bytes(tx) >= access.bytes());
+        let eff = access.efficiency(tx);
+        prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-12);
+    }
+
+    /// Vertex counts: the literal DAG's computed-vertex count equals
+    /// Lemma 4.8's closed form for arbitrary tiny shapes.
+    #[test]
+    fn dag_vertex_count_matches_lemma(
+        cin in 1usize..=3,
+        hw in 3usize..=5,
+        cout in 1usize..=2,
+        k in 2usize..=3,
+    ) {
+        prop_assume!(hw >= k);
+        let shape = ConvShape::new(cin, hw, hw, cout, k, k, 1, 0);
+        let dag = conv_iolb::pebble::conv_dag::direct_conv_dag(&shape);
+        prop_assert_eq!(dag.computed_count(), direct::vertex_count(&shape));
+    }
+}
