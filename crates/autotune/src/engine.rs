@@ -8,6 +8,19 @@
 //! for `patience` consecutive measurements, mirroring the paper's
 //! "until the measurement runtime ... does not decrease for hundreds of
 //! iterations".
+//!
+//! ## Parallelism and determinism
+//!
+//! The measurement step is the tuning loop's hot path (auto-tuners live
+//! or die by measurement throughput), so each proposal batch is measured
+//! on rayon workers. Tuning stays **bit-for-bit deterministic given the
+//! seed**: the RNG is only consumed by the (serial) search step,
+//! `Measurer::measure_ms` is a pure function of the configuration, and
+//! the measured batch is folded into the history *serially in proposal
+//! order*, so best/patience/curve bookkeeping is independent of how the
+//! parallel measurements interleave. The same argument covers the
+//! parallel featurization of the model-training rows: a pure per-row map
+//! collected in row order.
 
 use crate::cost_model::CostModel;
 use crate::features::featurize;
@@ -17,6 +30,7 @@ use crate::space::ConfigSpace;
 use iolb_dataflow::config::ScheduleConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Tuning budget and convergence knobs.
 #[derive(Debug, Clone, Copy)]
@@ -96,24 +110,27 @@ pub fn tune(
         if !history.is_empty() {
             let rows: Vec<Vec<f64>> = history
                 .entries()
-                .iter()
+                .par_iter()
+                .with_min_len(crate::gbt::PAR_MIN_ROWS)
                 .map(|(c, _)| featurize(&space.shape, space.kind, c))
                 .collect();
             let costs: Vec<f64> = history.entries().iter().map(|(_, t)| *t).collect();
             model.train(&rows, &costs);
         }
         // (2) Configuration searching.
-        let batch = searcher.propose(space, model, &history, params.batch, &mut rng);
+        let mut batch = searcher.propose(space, model, &history, params.batch, &mut rng);
         if batch.is_empty() {
             break;
         }
-        // (3) Dataset updating.
-        for cfg in batch {
-            if attempts >= params.max_measurements {
-                break;
-            }
+        // (3) Dataset updating: measure the whole batch on rayon workers
+        // (truncated to the remaining budget, which is exactly the set the
+        // serial loop would have reached), then fold serially in proposal
+        // order so the bookkeeping is schedule-independent.
+        batch.truncate(params.max_measurements - attempts);
+        let measured = measurer.measure_batch(&batch);
+        for (cfg, measurement) in batch.into_iter().zip(measured) {
             attempts += 1;
-            let Some(ms) = measurer.measure_ms(&cfg) else {
+            let Some(ms) = measurement else {
                 // Build failure: budget spent, nothing learned.
                 stall += 1;
                 continue;
@@ -183,13 +200,16 @@ pub fn tune_transfer(
             shared_rows.push(crate::features::featurize(&space.shape, space.kind, &r.best));
             shared_costs.push(r.best_ms);
         }
+        // Sampling stays serial (it owns the RNG stream); measuring the
+        // probes is pure and fans out on rayon.
         let mut rng = StdRng::seed_from_u64(layer_params.seed ^ 0xBEEF);
-        for _ in 0..16 {
-            if let Some(cfg) = space.sample(&mut rng, 128) {
-                if let Some(ms) = measurer.measure_ms(&cfg) {
-                    shared_rows.push(crate::features::featurize(&space.shape, space.kind, &cfg));
-                    shared_costs.push(ms);
-                }
+        let probes: Vec<ScheduleConfig> =
+            (0..16).filter_map(|_| space.sample(&mut rng, 128)).collect();
+        let probe_times = measurer.measure_batch(&probes);
+        for (cfg, ms) in probes.iter().zip(probe_times) {
+            if let Some(ms) = ms {
+                shared_rows.push(crate::features::featurize(&space.shape, space.kind, cfg));
+                shared_costs.push(ms);
             }
         }
         results.push(result);
@@ -279,11 +299,7 @@ mod tests {
             }
         }
         let avg = total / n as f64;
-        assert!(
-            result.best_ms < avg,
-            "tuned {} not below random average {avg}",
-            result.best_ms
-        );
+        assert!(result.best_ms < avg, "tuned {} not below random average {avg}", result.best_ms);
     }
 
     #[test]
@@ -299,11 +315,7 @@ mod tests {
             TuneParams { max_measurements: 10_000, batch: 8, patience: 12, seed: 4 },
         )
         .unwrap();
-        assert!(
-            result.measurements < 10_000,
-            "patience did not trigger: {}",
-            result.measurements
-        );
+        assert!(result.measurements < 10_000, "patience did not trigger: {}", result.measurements);
     }
 
     #[test]
@@ -354,9 +366,8 @@ mod tests {
             })
             .collect();
         let mut model = GbtCostModel::default();
-        let mut make = || -> Box<dyn crate::search::Searcher> {
-            Box::new(ParallelRandomWalk::new())
-        };
+        let mut make =
+            || -> Box<dyn crate::search::Searcher> { Box::new(ParallelRandomWalk::new()) };
         let results = tune_transfer(
             &problems,
             &mut model,

@@ -36,10 +36,8 @@ pub fn featurize(shape: &ConvShape, kind: TileKind, cfg: &ScheduleConfig) -> Vec
     let r = kind.reuse(shape);
     let xy = (cfg.x * cfg.y) as f64;
     let rz = r * cfg.z as f64;
-    let read_io = kind.read_io(
-        shape,
-        &iolb_core::optimality::Tile { x: cfg.x, y: cfg.y, z: cfg.z },
-    );
+    let read_io =
+        kind.read_io(shape, &iolb_core::optimality::Tile { x: cfg.x, y: cfg.y, z: cfg.z });
     let (kh, kw, mu) = (shape.kh as f64, shape.kw as f64, shape.stride as f64);
     let xp = (cfg.x as f64 - 1.0) * mu + kh;
     let yp = (cfg.y as f64 - 1.0) * mu + kw;

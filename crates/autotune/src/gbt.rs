@@ -8,9 +8,34 @@
 //! feature values. Row subsampling (stochastic gradient boosting) is
 //! supported. Data sizes in the tuner are hundreds of rows, so the exact
 //! method is plenty fast.
+//!
+//! ## Parallelism and determinism
+//!
+//! Boosting rounds are inherently serial (each tree fits the previous
+//! round's residuals), but *within* a round the fitted tree's
+//! predictions over all training rows fan out on rayon, as do the
+//! per-row predictions of [`Gbrt::predict_batch`] and [`Gbrt::rmse`].
+//! Per-tree prediction of a *single* row parallelises only past
+//! [`PAR_PREDICT_MIN_TREES`]: one tree costs nanoseconds, so small
+//! ensembles (the tuner's default is 60 trees) stay serial rather than
+//! paying thread fan-out on every cost-model query. Every parallel path
+//! is an order-preserving map reduced serially in index order, so
+//! results are bit-for-bit identical to the serial computation.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rayon::prelude::*;
+
+/// Ensemble size above which [`Gbrt::predict`] fans the per-tree sum out
+/// on rayon (below it, thread spawn dwarfs the ~ns per-tree walk).
+pub const PAR_PREDICT_MIN_TREES: usize = 512;
+
+/// Per-worker row count below which batched per-row maps stay serial.
+/// One row costs well under a microsecond (a depth-≤5 walk per tree),
+/// while the pool-less rayon shim pays ~10 µs per spawned thread — so
+/// the tuner's usual few-hundred-row histories run inline and only
+/// genuinely large datasets fan out.
+pub const PAR_MIN_ROWS: usize = 512;
 
 /// A single regression-tree node (arena-allocated inside [`Tree`]).
 #[derive(Debug, Clone)]
@@ -162,8 +187,7 @@ fn best_split(
             }
         }
     }
-    best.filter(|&(_, _, sse)| sse < parent_sse - 1e-12)
-        .map(|(f, t, _)| (f, t))
+    best.filter(|&(_, _, sse)| sse < parent_sse - 1e-12).map(|(f, t, _)| (f, t))
 }
 
 /// Partitions `index` so rows with `row[feature] < threshold` come first;
@@ -215,8 +239,7 @@ impl Gbrt {
         let all: Vec<usize> = (0..n).collect();
         let sub = ((n as f64 * params.subsample).ceil() as usize).clamp(1, n);
         for _ in 0..params.n_trees {
-            let residuals: Vec<f64> =
-                targets.iter().zip(&preds).map(|(t, p)| t - p).collect();
+            let residuals: Vec<f64> = targets.iter().zip(&preds).map(|(t, p)| t - p).collect();
             let index: Vec<usize> = if sub == n {
                 all.clone()
             } else {
@@ -226,8 +249,13 @@ impl Gbrt {
                 shuffled
             };
             let tree = Tree::fit(rows, &residuals, &index, params.tree);
-            for (i, p) in preds.iter_mut().enumerate() {
-                *p += params.learning_rate * tree.predict(&rows[i]);
+            // The fitted tree's predictions over the whole dataset are a
+            // pure per-row map: fan out (past the serial grain), then
+            // apply in row order.
+            let deltas: Vec<f64> =
+                rows.par_iter().with_min_len(PAR_MIN_ROWS).map(|row| tree.predict(row)).collect();
+            for (p, d) in preds.iter_mut().zip(deltas) {
+                *p += params.learning_rate * d;
             }
             trees.push(tree);
         }
@@ -235,18 +263,53 @@ impl Gbrt {
     }
 
     /// Predicts one row.
+    ///
+    /// Large ensembles (>= [`PAR_PREDICT_MIN_TREES`]) sum their per-tree
+    /// contributions on rayon workers; the partial sums are collected in
+    /// tree order and reduced serially, so the result is bit-identical
+    /// to the serial sum for any thread count.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+        let tree_sum = if self.trees.len() >= PAR_PREDICT_MIN_TREES {
+            self.trees
+                .par_iter()
+                .map(|t| t.predict(row))
+                .collect::<Vec<f64>>()
+                .into_iter()
+                .sum::<f64>()
+        } else {
+            self.tree_sum_serial(row)
+        };
+        self.base + self.learning_rate * tree_sum
+    }
+
+    /// Serial ensemble walk for one row — the reduction both prediction
+    /// paths must agree with bitwise.
+    fn tree_sum_serial(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+    }
+
+    /// Predicts many rows at once, fanning the rows out on rayon past
+    /// [`PAR_MIN_ROWS`].
+    ///
+    /// This is the grain the tuner's batched paths should use: one row's
+    /// ensemble walk is too cheap to parallelise, a batch is not. Each
+    /// row uses the serial tree sum so a large ensemble cannot nest a
+    /// second per-tree fan-out inside the per-row one.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.par_iter()
+            .with_min_len(PAR_MIN_ROWS)
+            .map(|row| self.base + self.learning_rate * self.tree_sum_serial(row))
+            .collect()
     }
 
     /// Root-mean-square error over a dataset.
     pub fn rmse(&self, rows: &[Vec<f64>], targets: &[f64]) -> f64 {
-        let se: f64 = rows
+        let preds = self.predict_batch(rows);
+        let se: f64 = preds
             .iter()
             .zip(targets)
-            .map(|(r, t)| {
-                let d = self.predict(r) - t;
+            .map(|(p, t)| {
+                let d = p - t;
                 d * d
             })
             .sum();
@@ -286,17 +349,7 @@ impl Gbrt {
             for (i, &src) in perm.iter().enumerate() {
                 scratch[i][f] = rows[src][f];
             }
-            let shuffled = {
-                let se: f64 = scratch
-                    .iter()
-                    .zip(targets)
-                    .map(|(r, t)| {
-                        let d = self.predict(r) - t;
-                        d * d
-                    })
-                    .sum();
-                (se / n as f64).sqrt()
-            };
+            let shuffled = self.rmse(&scratch, targets);
             scores.push((shuffled - base).max(0.0));
             // Restore the column.
             for (i, row) in rows.iter().enumerate() {
@@ -322,7 +375,8 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let targets: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
         let idx: Vec<usize> = (0..20).collect();
-        let tree = Tree::fit(&rows, &targets, &idx, TreeParams { max_depth: 2, min_samples_leaf: 1 });
+        let tree =
+            Tree::fit(&rows, &targets, &idx, TreeParams { max_depth: 2, min_samples_leaf: 1 });
         assert!((tree.predict(&[3.0]) - 1.0).abs() < 1e-9);
         assert!((tree.predict(&[15.0]) - 5.0).abs() < 1e-9);
     }
@@ -341,9 +395,8 @@ mod tests {
     fn boosting_reduces_training_error() {
         // y = x0^2 + 3 x1 with noise-free data.
         let mut r = rng();
-        let rows: Vec<Vec<f64>> = (0..200)
-            .map(|_| vec![r.gen_range(-2.0..2.0), r.gen_range(-1.0..1.0)])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..200).map(|_| vec![r.gen_range(-2.0..2.0), r.gen_range(-1.0..1.0)]).collect();
         let targets: Vec<f64> = rows.iter().map(|v| v[0] * v[0] + 3.0 * v[1]).collect();
         let short = Gbrt::fit(
             &rows,
@@ -410,9 +463,8 @@ mod tests {
     fn permutation_importance_identifies_the_informative_feature() {
         let mut r = rng();
         // y depends on feature 0 only; feature 1 is noise.
-        let rows: Vec<Vec<f64>> = (0..150)
-            .map(|_| vec![r.gen_range(-2.0..2.0), r.gen_range(-2.0..2.0)])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..150).map(|_| vec![r.gen_range(-2.0..2.0), r.gen_range(-2.0..2.0)]).collect();
         let targets: Vec<f64> = rows.iter().map(|v| 3.0 * v[0]).collect();
         let model = Gbrt::fit(&rows, &targets, GbrtParams::default(), &mut rng());
         let imp = model.permutation_importance(&rows, &targets, &mut rng());
@@ -421,6 +473,37 @@ mod tests {
             imp[0] > 5.0 * imp[1].max(1e-6),
             "importance did not separate signal from noise: {imp:?}"
         );
+    }
+
+    #[test]
+    fn parallel_predict_is_bit_identical_to_serial() {
+        // Past PAR_PREDICT_MIN_TREES the ensemble sum fans out on rayon;
+        // the chunked reduction must reproduce the serial sum exactly.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let targets: Vec<f64> = rows.iter().map(|v| v[0] * 1.7 - v[1]).collect();
+        let model = Gbrt::fit(
+            &rows,
+            &targets,
+            GbrtParams { n_trees: PAR_PREDICT_MIN_TREES + 16, ..GbrtParams::default() },
+            &mut rng(),
+        );
+        assert!(model.len() >= PAR_PREDICT_MIN_TREES);
+        for probe in &rows {
+            let serial = model.base
+                + model.learning_rate * model.trees.iter().map(|t| t.predict(probe)).sum::<f64>();
+            assert_eq!(model.predict(probe).to_bits(), serial.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row_predict() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..64).map(|i| (i * 3) as f64).collect();
+        let model = Gbrt::fit(&rows, &targets, GbrtParams::default(), &mut rng());
+        let batch = model.predict_batch(&rows);
+        for (row, got) in rows.iter().zip(&batch) {
+            assert_eq!(got.to_bits(), model.predict(row).to_bits());
+        }
     }
 
     #[test]

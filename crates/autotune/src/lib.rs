@@ -18,7 +18,6 @@
 //! * [`engine`] — the train → search → measure loop (Fig. 8) with the
 //!   paper's convergence criterion.
 
-
 #![allow(clippy::needless_range_loop)] // index loops read clearer in the tree learner
 pub mod cost_model;
 pub mod engine;

@@ -11,6 +11,7 @@ use iolb_core::shapes::ConvShape;
 use iolb_dataflow::config::ScheduleConfig;
 use iolb_dataflow::{direct_kernel, winograd_kernel};
 use iolb_gpusim::{simulate, DeviceSpec};
+use rayon::prelude::*;
 
 /// Measures configurations of one convolution on one device.
 #[derive(Clone)]
@@ -31,10 +32,7 @@ impl Measurer {
     /// analogue; such candidates still consume tuning budget) or block
     /// shapes the device cannot launch.
     pub fn measure_ms(&self, cfg: &ScheduleConfig) -> Option<f64> {
-        if cfg
-            .validate(&self.shape, self.kind, self.device.smem_per_sm, false)
-            .is_err()
-        {
+        if cfg.validate(&self.shape, self.kind, self.device.smem_per_sm, false).is_err() {
             return None;
         }
         let kernel = match self.kind {
@@ -44,15 +42,23 @@ impl Measurer {
         simulate(&self.device, &kernel).ok().map(|s| s.time_ms)
     }
 
+    /// Measures a whole proposal batch on rayon workers.
+    ///
+    /// `measure_ms` is a pure function of the configuration and results
+    /// come back in input order, so the output is identical to mapping
+    /// `measure_ms` serially — this is what keeps the parallel tuning
+    /// loop bit-for-bit deterministic.
+    pub fn measure_batch(&self, cfgs: &[ScheduleConfig]) -> Vec<Option<f64>> {
+        cfgs.par_iter().map(|cfg| self.measure_ms(cfg)).collect()
+    }
+
     /// Arithmetic throughput in GFLOP/s for a measured time — the metric
     /// Table 2 and Figs. 11/13 report. Uses the *algorithm's* flop count
     /// (direct-equivalent for direct, transform-reduced for Winograd).
     pub fn gflops(&self, time_ms: f64) -> f64 {
         let flops = match self.kind {
             TileKind::Direct => self.shape.flops() as f64,
-            TileKind::Winograd(t) => {
-                iolb_core::Algorithm::Winograd(t).flops(&self.shape)
-            }
+            TileKind::Winograd(t) => iolb_core::Algorithm::Winograd(t).flops(&self.shape),
         };
         flops / (time_ms * 1e-3) / 1e9
     }
@@ -64,11 +70,7 @@ mod tests {
     use iolb_tensor::layout::Layout;
 
     fn measurer() -> Measurer {
-        Measurer::new(
-            DeviceSpec::v100(),
-            ConvShape::square(64, 28, 32, 3, 1, 1),
-            TileKind::Direct,
-        )
+        Measurer::new(DeviceSpec::v100(), ConvShape::square(64, 28, 32, 3, 1, 1), TileKind::Direct)
     }
 
     fn cfg() -> ScheduleConfig {
@@ -108,6 +110,19 @@ mod tests {
         let skew = ScheduleConfig { x: 1, y: 1, nxt: 1, nyt: 1, z: 32, nzt: 8, ..cfg() };
         let b = m.measure_ms(&skew).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_measurement_matches_serial_in_order() {
+        let m = measurer();
+        let mut cfgs = vec![cfg()];
+        cfgs.push(ScheduleConfig { x: 1, y: 1, nxt: 1, nyt: 1, z: 32, nzt: 8, ..cfg() });
+        cfgs.push(ScheduleConfig { sb_bytes: 1024 * 1024, ..cfg() }); // build failure
+        cfgs.push(ScheduleConfig { x: 14, y: 14, z: 4, ..cfg() });
+        let parallel = m.measure_batch(&cfgs);
+        let serial: Vec<Option<f64>> = cfgs.iter().map(|c| m.measure_ms(c)).collect();
+        assert_eq!(parallel, serial);
+        assert!(parallel[2].is_none(), "oversized staging buffer must fail to build");
     }
 
     #[test]

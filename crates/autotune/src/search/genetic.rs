@@ -33,12 +33,18 @@ impl GeneticSearch {
         model: &dyn CostModel,
         history: &History,
     ) -> f64 {
-        history
-            .entries()
-            .iter()
-            .find(|(c, _)| c == cfg)
-            .map(|(_, cost)| *cost)
-            .unwrap_or_else(|| model.predict(&featurize(&space.shape, space.kind, cfg)))
+        history.entries().iter().find(|(c, _)| c == cfg).map(|(_, cost)| *cost).unwrap_or_else(
+            || {
+                if model.is_trained() {
+                    model.predict(&featurize(&space.shape, space.kind, cfg))
+                } else {
+                    // An untrained model's constant prediction must not
+                    // outrank real measurements, or elitism would evict
+                    // the best measured individual for unknowns.
+                    f64::INFINITY
+                }
+            },
+        )
     }
 }
 
@@ -69,11 +75,8 @@ impl Searcher for GeneticSearch {
         }
 
         // Rank the current population.
-        let mut scored: Vec<(ScheduleConfig, f64)> = self
-            .population
-            .iter()
-            .map(|c| (*c, self.fitness(c, space, model, history)))
-            .collect();
+        let mut scored: Vec<(ScheduleConfig, f64)> =
+            self.population.iter().map(|c| (*c, self.fitness(c, space, model, history))).collect();
         scored.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         // Next generation: elite + tournament offspring.
@@ -116,12 +119,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn space() -> ConfigSpace {
-        ConfigSpace::new(
-            ConvShape::square(64, 28, 32, 3, 1, 1),
-            TileKind::Direct,
-            96 * 1024,
-            false,
-        )
+        ConfigSpace::new(ConvShape::square(64, 28, 32, 3, 1, 1), TileKind::Direct, 96 * 1024, false)
     }
 
     #[test]
@@ -155,9 +153,6 @@ mod tests {
         let best_before = h.best().unwrap().0;
         let _ = g.propose(&space, &NoModel, &h, 6, &mut rng);
         // Elite survives inside the population.
-        assert!(
-            g.population.contains(&best_before),
-            "elite lost from population"
-        );
+        assert!(g.population.contains(&best_before), "elite lost from population");
     }
 }

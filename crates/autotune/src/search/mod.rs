@@ -50,10 +50,7 @@ impl History {
 
     /// The best (lowest-cost) measurement so far.
     pub fn best(&self) -> Option<(ScheduleConfig, f64)> {
-        self.entries
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .copied()
+        self.entries.iter().min_by(|a, b| a.1.total_cmp(&b.1)).copied()
     }
 
     /// Number of measurements.

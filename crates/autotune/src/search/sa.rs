@@ -48,8 +48,7 @@ impl Searcher for SimulatedAnnealing {
         // population plus fresh random samples, anneal each candidate
         // against the *predicted* cost, then keep the predicted-best as
         // the measurement batch (and the next round's seeds).
-        let cost =
-            |cfg: &ScheduleConfig| model.predict(&featurize(&space.shape, space.kind, cfg));
+        let cost = |cfg: &ScheduleConfig| model.predict(&featurize(&space.shape, space.kind, cfg));
         let pool_size = (batch * 6).max(24);
         let mut pool = self.population.clone();
         while pool.len() < pool_size {
@@ -94,12 +93,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn space() -> ConfigSpace {
-        ConfigSpace::new(
-            ConvShape::square(64, 28, 32, 3, 1, 1),
-            TileKind::Direct,
-            96 * 1024,
-            false,
-        )
+        ConfigSpace::new(ConvShape::square(64, 28, 32, 3, 1, 1), TileKind::Direct, 96 * 1024, false)
     }
 
     #[test]

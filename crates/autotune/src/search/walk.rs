@@ -6,17 +6,19 @@
 //! improves ("each random walk tends to converge on a configuration that
 //! has lower predicted costs"). The converged walker positions become the
 //! next measurement batch and are kept as the initial guesses for the
-//! following round. Walkers run concurrently under crossbeam — the
-//! "effective parallel searching method" of §8.
+//! following round. Walkers run concurrently under rayon — the
+//! "effective parallel searching method" of §8. Each worker chunk owns a
+//! deterministic seed derived from the chunk index, so the proposals are
+//! independent of the physical thread count.
 
 use super::{dedupe, top_up, History, Searcher};
 use crate::cost_model::CostModel;
 use crate::features::featurize;
 use crate::space::ConfigSpace;
-use crossbeam::thread;
 use iolb_dataflow::config::ScheduleConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Parallel random-walk searcher (the ATE explorer).
 pub struct ParallelRandomWalk {
@@ -96,27 +98,20 @@ impl Searcher for ParallelRandomWalk {
         let threads = self.threads.max(1).min(self.walkers.len());
         let chunk = self.walkers.len().div_ceil(threads);
         let base_seed: u64 = rng.gen();
-        thread::scope(|scope| {
-            for (t, slice) in self.walkers.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
-                    let mut local = StdRng::seed_from_u64(base_seed ^ (t as u64) << 32);
-                    for w in slice.iter_mut() {
-                        let mut cur =
-                            model.predict(&featurize(&space.shape, space.kind, w));
-                        for _ in 0..steps {
-                            let cand = space.neighbor(w, &mut local);
-                            let cost =
-                                model.predict(&featurize(&space.shape, space.kind, &cand));
-                            if cost < cur {
-                                *w = cand;
-                                cur = cost;
-                            }
-                        }
+        self.walkers.par_chunks_mut(chunk).enumerate().for_each(|(t, slice)| {
+            let mut local = StdRng::seed_from_u64(base_seed ^ ((t as u64) << 32));
+            for w in slice.iter_mut() {
+                let mut cur = model.predict(&featurize(&space.shape, space.kind, w));
+                for _ in 0..steps {
+                    let cand = space.neighbor(w, &mut local);
+                    let cost = model.predict(&featurize(&space.shape, space.kind, &cand));
+                    if cost < cur {
+                        *w = cand;
+                        cur = cost;
                     }
-                });
+                }
             }
-        })
-        .expect("walker thread panicked");
+        });
 
         let out = dedupe(self.walkers.clone(), history, batch);
         top_up(out, space, history, batch, rng)
@@ -181,8 +176,7 @@ mod tests {
             let _ = s.propose(&space, &PreferBigTiles, &h, 8, &mut rng);
         }
         let last = s.propose(&space, &PreferBigTiles, &h, 8, &mut rng);
-        let v1: f64 =
-            last.iter().map(|c| c.tile_volume() as f64).sum::<f64>() / last.len() as f64;
+        let v1: f64 = last.iter().map(|c| c.tile_volume() as f64).sum::<f64>() / last.len() as f64;
         assert!(v1 > v0, "walkers did not descend: {v0} -> {v1}");
     }
 

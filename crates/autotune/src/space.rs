@@ -19,8 +19,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Shared-memory size choices offered to the tuner (bytes).
-pub const SB_CHOICES: [u32; 6] =
-    [8 * 1024, 16 * 1024, 24 * 1024, 32 * 1024, 40 * 1024, 48 * 1024];
+pub const SB_CHOICES: [u32; 6] = [8 * 1024, 16 * 1024, 24 * 1024, 32 * 1024, 40 * 1024, 48 * 1024];
 
 /// A convolution's schedule search space on a given device.
 #[derive(Debug, Clone)]
@@ -279,12 +278,7 @@ mod tests {
 
     #[test]
     fn winograd_space_restricts_to_e_multiples() {
-        let space = ConfigSpace::new(
-            shape(),
-            TileKind::Winograd(WinogradTile::F2X3),
-            SSM,
-            false,
-        );
+        let space = ConfigSpace::new(shape(), TileKind::Winograd(WinogradTile::F2X3), SSM, false);
         space.for_each(|cfg| {
             assert_eq!(cfg.x % 2, 0);
             assert_eq!(cfg.y % 2, 0);

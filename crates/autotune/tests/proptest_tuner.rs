@@ -18,9 +18,7 @@ fn random_shape() -> impl Strategy<Value = ConvShape> {
         prop_oneof![Just(1usize), Just(3), Just(5)],
         1usize..=2,
     )
-        .prop_map(|(cin, hw, cout, k, stride)| {
-            ConvShape::square(cin, hw, cout, k, stride, k / 2)
-        })
+        .prop_map(|(cin, hw, cout, k, stride)| ConvShape::square(cin, hw, cout, k, stride, k / 2))
         .prop_filter("valid", |s| s.validate().is_ok())
 }
 

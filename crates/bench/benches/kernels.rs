@@ -4,9 +4,9 @@
 //! fig*/tab* harnesses, which measure simulated GPU time).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iolb_core::shapes::WinogradTile;
 use iolb_dataflow::config::ScheduleConfig;
 use iolb_dataflow::exec::{execute_direct, execute_winograd};
-use iolb_core::shapes::WinogradTile;
 use iolb_tensor::conv_ref::{conv2d_reference, ConvParams};
 use iolb_tensor::im2col::conv2d_im2col;
 use iolb_tensor::layout::Layout;
@@ -54,14 +54,7 @@ fn conv_paths(c: &mut Criterion) {
     let wcfg = ScheduleConfig { x: 14, y: 14, z: 8, ..cfg };
     group.bench_function("dataflow-winograd-4workers", |b| {
         b.iter(|| {
-            black_box(execute_winograd(
-                &input,
-                &weights,
-                params,
-                WinogradTile::F2X3,
-                &wcfg,
-                4,
-            ))
+            black_box(execute_winograd(&input, &weights, params, WinogradTile::F2X3, &wcfg, 4))
         })
     });
     group.finish();

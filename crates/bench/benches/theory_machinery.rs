@@ -20,11 +20,7 @@ fn bounds(c: &mut Criterion) {
     });
     group.bench_function("winograd-closed-form", |b| {
         b.iter(|| {
-            black_box(winograd::io_lower_bound(
-                &shape,
-                WinogradTile::F2X3,
-                black_box(4096.0),
-            ))
+            black_box(winograd::io_lower_bound(&shape, WinogradTile::F2X3, black_box(4096.0)))
         })
     });
     group.bench_function("t-bound-direct-numeric", |b| {

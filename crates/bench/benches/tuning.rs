@@ -19,9 +19,8 @@ use std::hint::black_box;
 
 fn gbt(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let rows: Vec<Vec<f64>> = (0..200)
-        .map(|_| (0..14).map(|_| rng.gen_range(-2.0..2.0)).collect())
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        (0..200).map(|_| (0..14).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect();
     let targets: Vec<f64> = rows.iter().map(|r| r[0] * r[0] + r[3] - r[7]).collect();
     let mut group = c.benchmark_group("gbt");
     group.sample_size(20);
@@ -43,9 +42,7 @@ fn space_ops(c: &mut Criterion) {
     for pruned in [false, true] {
         let label = if pruned { "pruned" } else { "full" };
         let space = ConfigSpace::new(shape, TileKind::Direct, 96 * 1024, pruned);
-        group.bench_function(format!("count-{label}"), |b| {
-            b.iter(|| black_box(space.count()))
-        });
+        group.bench_function(format!("count-{label}"), |b| b.iter(|| black_box(space.count())));
         group.bench_function(format!("sample-{label}"), |b| {
             let mut rng = StdRng::seed_from_u64(3);
             b.iter(|| black_box(space.sample(&mut rng, 256)))

@@ -58,19 +58,28 @@ fn main() {
     let with_model = mean(&|s| run(true, true, true, s));
     let without = mean(&|s| run(true, false, true, s));
     println!("  GBT-guided walk: {with_model:.5} ms");
-    println!("  model-free walk: {without:.5} ms   (model gain {:.1}%)", (without / with_model - 1.0) * 100.0);
+    println!(
+        "  model-free walk: {without:.5} ms   (model gain {:.1}%)",
+        (without / with_model - 1.0) * 100.0
+    );
 
     println!("\n[B] searching domain (GBT model, warm start):");
     let pruned = mean(&|s| run(true, true, true, s));
     let full = mean(&|s| run(false, true, true, s));
     println!("  pruned domain: {pruned:.5} ms");
-    println!("  full domain:   {full:.5} ms   (pruning gain {:.1}%)", (full / pruned - 1.0) * 100.0);
+    println!(
+        "  full domain:   {full:.5} ms   (pruning gain {:.1}%)",
+        (full / pruned - 1.0) * 100.0
+    );
 
     println!("\n[C] warm start (GBT model, pruned space):");
     let warm = mean(&|s| run(true, true, true, s));
     let cold = mean(&|s| run(true, true, false, s));
     println!("  analytic warm start: {warm:.5} ms");
-    println!("  cold start:          {cold:.5} ms   (warm-start gain {:.1}%)", (cold / warm - 1.0) * 100.0);
+    println!(
+        "  cold start:          {cold:.5} ms   (warm-start gain {:.1}%)",
+        (cold / warm - 1.0) * 100.0
+    );
 
     println!("\n[D] pebbling eviction policy (conv DAG, I/O of the schedule):");
     let small = ConvShape::new(3, 5, 5, 2, 3, 3, 1, 0);
@@ -93,14 +102,9 @@ fn main() {
     let measurer = Measurer::new(mem_device, mem_shape, kind);
     let r = kind.reuse(&mem_shape);
     let best_split = |n: usize, cap: usize| -> usize {
-        iolb_core::optimality::divisors(n)
-            .into_iter().rfind(|&d| d <= cap)
-            .unwrap_or(1)
+        iolb_core::optimality::divisors(n).into_iter().rfind(|&d| d <= cap).unwrap_or(1)
     };
-    println!(
-        "  {:<14} {:>14} {:>14} {:>10}",
-        "volume class", "near (ms)", "far (ms)", "advantage"
-    );
+    println!("  {:<14} {:>14} {:>14} {:>10}", "volume class", "near (ms)", "far (ms)", "advantage");
     for (lo, hi) in [(128usize, 512usize), (512, 2048), (2048, 8192)] {
         let mut best_on: Option<(ScheduleConfig, f64)> = None;
         let mut best_off: Option<(ScheduleConfig, f64)> = None;
@@ -138,10 +142,7 @@ fn main() {
             }
         }
         if let (Some((_, m1)), Some((_, m2))) = (best_on, best_off) {
-            println!(
-                "  [{lo:>5},{hi:>5})  {m1:>14.5} {m2:>14.5} {:>9.2}x",
-                m2 / m1
-            );
+            println!("  [{lo:>5},{hi:>5})  {m1:>14.5} {m2:>14.5} {:>9.2}x", m2 / m1);
         }
     }
 }

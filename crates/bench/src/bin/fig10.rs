@@ -21,8 +21,8 @@ fn main() {
     for hw in [14usize, 56, 112] {
         for batch in [32usize, 64, 128] {
             let shape = ConvShape::square(256, hw, 128, 3, 1, 1).with_batch(batch);
-            let ours = ours_fast_ms(&shape, TileKind::Direct, &device)
-                .expect("plannable batched shape");
+            let ours =
+                ours_fast_ms(&shape, TileKind::Direct, &device).expect("plannable batched shape");
             let base = cudnn_direct_ms(&shape, &device);
             println!(
                 "{hw:>8} {batch:>8} {ours:>12.4} {base:>12.4} {:>10}",

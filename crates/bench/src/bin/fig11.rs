@@ -17,12 +17,7 @@ fn main() {
 
     let budget = 320;
     let seeds: [u64; 3] = [17, 101, 4242];
-    let methods = [
-        TunerKind::Ate,
-        TunerKind::TvmSa,
-        TunerKind::TvmGa,
-        TunerKind::TvmRandom,
-    ];
+    let methods = [TunerKind::Ate, TunerKind::TvmSa, TunerKind::TvmGa, TunerKind::TvmRandom];
     // Search is stochastic; average the best-so-far curves over seeds.
     let results: Vec<_> = methods
         .iter()
@@ -30,8 +25,7 @@ fn main() {
             let runs: Vec<_> = seeds
                 .iter()
                 .map(|&s| {
-                    run_tuner(m, &shape, TileKind::Direct, &device, budget, s)
-                        .expect("tuning run")
+                    run_tuner(m, &shape, TileKind::Direct, &device, budget, s).expect("tuning run")
                 })
                 .collect();
             (m, runs)
@@ -60,8 +54,7 @@ fn main() {
     for &cp in &checkpoints {
         print!("{cp:>8}");
         for (_, runs) in &results {
-            let mean: f64 =
-                runs.iter().map(|r| best_at(r, cp)).sum::<f64>() / runs.len() as f64;
+            let mean: f64 = runs.iter().map(|r| best_at(r, cp)).sum::<f64>() / runs.len() as f64;
             print!("{mean:>14.1}");
         }
         println!("{base_gflops:>14.1}");
@@ -69,12 +62,8 @@ fn main() {
 
     println!();
     for (m, runs) in &results {
-        let best = runs
-            .iter()
-            .max_by(|a, b| a.best_gflops.total_cmp(&b.best_gflops))
-            .unwrap();
-        let mean: f64 =
-            runs.iter().map(|r| r.best_gflops).sum::<f64>() / runs.len() as f64;
+        let best = runs.iter().max_by(|a, b| a.best_gflops.total_cmp(&b.best_gflops)).unwrap();
+        let mean: f64 = runs.iter().map(|r| r.best_gflops).sum::<f64>() / runs.len() as f64;
         println!(
             "{:<14} mean-final {:.1} GFLOP/s, best seed {:.1} GFLOP/s (cfg: {})",
             m.label(),
@@ -110,8 +99,7 @@ fn main() {
         }
         let model = Gbrt::fit(&rows, &costs, GbrtParams::default(), &mut rng);
         let imp = model.permutation_importance(&rows, &costs, &mut rng);
-        let mut ranked: Vec<(&str, f64)> =
-            FEATURE_NAMES.iter().copied().zip(imp).collect();
+        let mut ranked: Vec<(&str, f64)> = FEATURE_NAMES.iter().copied().zip(imp).collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         println!("\nCost-model permutation importance (top 6 of {} features):", ranked.len());
         for (name, score) in ranked.iter().take(6) {

@@ -46,10 +46,7 @@ fn main() {
     let budget = 160;
     for case in &cases {
         println!("\n--- {} ---", case.title);
-        println!(
-            "{:<14} {:>12} {:>12} {:>14}",
-            "device", "ours GF", "TVM GF", "cuDNN/MIOpen GF"
-        );
+        println!("{:<14} {:>12} {:>12} {:>14}", "device", "ours GF", "TVM GF", "cuDNN/MIOpen GF");
         for device in &devices {
             let ours = run_tuner(TunerKind::Ate, &case.shape, case.kind, device, budget, 23);
             let tvm = run_tuner(TunerKind::TvmSa, &case.shape, case.kind, device, budget, 23);
@@ -61,9 +58,7 @@ fn main() {
             // the tuners do for their own algorithm.
             let flops = match case.kind {
                 TileKind::Direct => case.shape.flops() as f64,
-                TileKind::Winograd(t) => {
-                    iolb_core::Algorithm::Winograd(t).flops(&case.shape)
-                }
+                TileKind::Winograd(t) => iolb_core::Algorithm::Winograd(t).flops(&case.shape),
             };
             let base_gf = flops / (base_ms * 1e-3) / 1e9;
             println!(

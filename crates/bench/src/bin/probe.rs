@@ -65,7 +65,11 @@ fn main() {
         let s = simulate(&device, &kd).unwrap();
         println!(
             "  {}: {:.4} ms, {:.0} GF, mem_bound={}, blocks/sm={}, moved={} MiB",
-            s.name, s.time_ms, s.gflops, s.memory_bound, s.blocks_per_sm,
+            s.name,
+            s.time_ms,
+            s.gflops,
+            s.memory_bound,
+            s.blocks_per_sm,
             s.moved_bytes / (1 << 20)
         );
     }

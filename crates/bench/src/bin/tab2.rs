@@ -75,10 +75,7 @@ fn main() {
     // (both are guaranteed to get there), mirroring the paper's
     // "iterations during searching the optimal implementation".
     let iters_to = |r: &iolb_autotune::TuneResult, bar: f64| -> usize {
-        r.curve
-            .iter()
-            .find(|p| p.best_gflops >= bar)
-            .map_or(r.measurements, |p| p.measurement)
+        r.curve.iter().find(|p| p.best_gflops >= bar).map_or(r.measurements, |p| p.measurement)
     };
     for case in &cases {
         let full = ConfigSpace::new(case.shape, case.kind, device.smem_per_sm, false);

@@ -16,10 +16,7 @@ use iolb_pebble::exact::min_io;
 use iolb_pebble::{pebble_topological, Eviction};
 
 fn main() {
-    banner(
-        "Theory validation",
-        "pebbling sandwich, 1/sqrt(S) scaling, optimality condition",
-    );
+    banner("Theory validation", "pebbling sandwich, 1/sqrt(S) scaling, optimality condition");
 
     // --- 1. Pebbling sandwich on tiny DAGs -----------------------------
     // At toy sizes the asymptotic Theorem 4.12 bound degenerates to 0 (the
@@ -62,7 +59,10 @@ fn main() {
             let lower = direct::io_lower_bound(&shape, s as f64);
             let heur = pebble_topological(&dag, s, Eviction::Belady).io;
             assert!(lower <= heur as f64, "{shape} S={s}: bound {lower} > heuristic {heur}");
-            println!("    {:<26} S={s:<3} Q_lower {lower:>8.1}  Q_heuristic {heur:>8}", format!("{shape}"));
+            println!(
+                "    {:<26} S={s:<3} Q_lower {lower:>8.1}  Q_heuristic {heur:>8}",
+                format!("{shape}")
+            );
         }
     }
     // Winograd DAG heuristic pebbling.
@@ -72,7 +72,10 @@ fn main() {
     for s in [40usize, 64, 128] {
         let lower = winograd::io_lower_bound(&wshape, WinogradTile::F2X3, s as f64);
         let heur = pebble_topological(&wdag, s, Eviction::Belady).io;
-        println!("    {:<26} S={s:<3} Q_lower {lower:>8.1}  Q_heuristic {heur:>8}", format!("{wshape}"));
+        println!(
+            "    {:<26} S={s:<3} Q_lower {lower:>8.1}  Q_heuristic {heur:>8}",
+            format!("{wshape}")
+        );
         assert!(lower <= heur as f64);
     }
 
@@ -118,10 +121,7 @@ fn main() {
         }
         println!("{z:>8.1} {xy:>8.1} {q:>14.4e} {:>12.2}", xy / (r * z));
     }
-    assert!(
-        (best_z - z_opt).abs() < 1e-9,
-        "minimum not at the optimality condition"
-    );
+    assert!((best_z - z_opt).abs() < 1e-9, "minimum not at the optimality condition");
     println!("\nminimum at z = {best_z:.1} = sqrt(budget/R) — the condition xy = Rz holds.");
     println!("\nAll assertions passed.");
 }

@@ -20,9 +20,9 @@ use iolb_autotune::search::random::RandomSearch;
 use iolb_autotune::search::sa::SimulatedAnnealing;
 use iolb_autotune::search::walk::ParallelRandomWalk;
 use iolb_autotune::{ConfigSpace, GbtCostModel, Measurer, NoModel, Searcher};
+use iolb_cnn::inference::fast_config;
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::{ConvShape, WinogradTile};
-use iolb_cnn::inference::fast_config;
 use iolb_dataflow::baselines;
 use iolb_dataflow::{direct_kernel, winograd_kernel};
 use iolb_gpusim::{simulate, simulate_sequence, DeviceSpec};
@@ -108,12 +108,8 @@ pub fn run_tuner(
 ) -> Option<TuneResult> {
     let space = ConfigSpace::new(*shape, tile_kind, device.smem_per_sm, kind.pruned());
     let measurer = Measurer::new(device.clone(), *shape, tile_kind);
-    let params = TuneParams {
-        max_measurements: budget,
-        batch: 8,
-        patience: (budget / 2).max(24),
-        seed,
-    };
+    let params =
+        TuneParams { max_measurements: budget, batch: 8, patience: (budget / 2).max(24), seed };
     let mut searcher: Box<dyn Searcher> = match kind {
         TunerKind::Ate => {
             // The engine warm-starts one walker at the analytic

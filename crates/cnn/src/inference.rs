@@ -62,9 +62,7 @@ impl NetworkTime {
 /// Picks a default thread split for a tile: factors of (x, y, z) whose
 /// product lands near 256 threads.
 fn default_threads(x: usize, y: usize, z: usize) -> (usize, usize, usize) {
-    let pick = |n: usize, cap: usize| {
-        divisors(n).into_iter().rfind(|&d| d <= cap).unwrap_or(1)
-    };
+    let pick = |n: usize, cap: usize| divisors(n).into_iter().rfind(|&d| d <= cap).unwrap_or(1);
     let nxt = pick(x, 16);
     let nyt = pick(y, 16);
     let budget = 1024 / (nxt * nyt).max(1);
@@ -86,16 +84,8 @@ pub fn fast_config(
         let budget = sb_bytes as f64 / 4.0 * deflate;
         let Some(t) = best_kind_tile(shape, kind, budget) else { continue };
         let (nxt, nyt, nzt) = default_threads(t.0, t.1, t.2);
-        let cfg = ScheduleConfig {
-            x: t.0,
-            y: t.1,
-            z: t.2,
-            nxt,
-            nyt,
-            nzt,
-            sb_bytes,
-            layout: Layout::Chw,
-        };
+        let cfg =
+            ScheduleConfig { x: t.0, y: t.1, z: t.2, nxt, nyt, nzt, sb_bytes, layout: Layout::Chw };
         if cfg.validate(shape, kind, device.smem_per_sm, false).is_ok() {
             return Some(cfg);
         }
@@ -163,12 +153,8 @@ pub fn time_ours(
                 let seeds = fast_config(shape, kind, device).into_iter().collect();
                 let mut searcher =
                     iolb_autotune::search::walk::ParallelRandomWalk::with_seeds(seeds);
-                let params = TuneParams {
-                    max_measurements: budget,
-                    batch: 8,
-                    patience: budget,
-                    seed: 7,
-                };
+                let params =
+                    TuneParams { max_measurements: budget, batch: 8, patience: budget, seed: 7 };
                 match tune(&space, &measurer, &mut model, &mut searcher, params) {
                     Some(r) => r.best_ms,
                     None => continue,
@@ -193,9 +179,7 @@ pub fn time_baseline(shape: &ConvShape, device: &DeviceSpec) -> f64 {
     }
     if shape.kh == shape.kw && shape.kh == 3 && shape.stride == 1 {
         for tile in [WinogradTile::F2X3, WinogradTile::F4X3] {
-            if let Ok(seq) =
-                simulate_sequence(device, &baselines::winograd_unfused(shape, tile))
-            {
+            if let Ok(seq) = simulate_sequence(device, &baselines::winograd_unfused(shape, tile)) {
                 best = best.min(seq.time_ms);
             }
         }
@@ -281,12 +265,7 @@ mod tests {
     fn ours_beats_baseline_end_to_end_on_alexnet() {
         let net = models::alexnet();
         let t = time_network(&net, &device(), PlanMode::Fast);
-        assert!(
-            t.speedup() > 1.0,
-            "ours {} ms vs baseline {} ms",
-            t.ours_ms,
-            t.baseline_ms
-        );
+        assert!(t.speedup() > 1.0, "ours {} ms vs baseline {} ms", t.ours_ms, t.baseline_ms);
     }
 
     #[test]

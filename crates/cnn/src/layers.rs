@@ -63,9 +63,7 @@ impl Network {
     /// Validates every layer shape.
     pub fn validate(&self) -> Result<(), String> {
         for l in &self.layers {
-            l.shape
-                .validate()
-                .map_err(|e| format!("{}/{}: {e}", self.name, l.name))?;
+            l.shape.validate().map_err(|e| format!("{}/{}: {e}", self.name, l.name))?;
         }
         Ok(())
     }
@@ -89,10 +87,8 @@ mod tests {
         assert!(!ConvLayer::new("s", ConvShape::square(64, 56, 64, 3, 2, 1)).winograd_eligible());
         assert!(!ConvLayer::new("k", ConvShape::square(64, 56, 64, 1, 1, 0)).winograd_eligible());
         // Rectangular (Inception 1x7) kernels are not Winograd candidates.
-        assert!(!ConvLayer::new(
-            "r",
-            ConvShape::new(64, 17, 17, 64, 1, 7, 1, 3)
-        )
-        .winograd_eligible());
+        assert!(
+            !ConvLayer::new("r", ConvShape::new(64, 17, 17, 64, 1, 7, 1, 3)).winograd_eligible()
+        );
     }
 }

@@ -40,10 +40,7 @@ fn fire(name: &str, hw: usize, cin: usize, squeeze: usize, expand: usize) -> Vec
 
 /// SqueezeNet v1.0 (Iandola et al. 2016).
 pub fn squeezenet() -> Network {
-    let mut layers = vec![ConvLayer::new(
-        "conv1",
-        ConvShape::new(3, 224, 224, 96, 7, 7, 2, 0),
-    )];
+    let mut layers = vec![ConvLayer::new("conv1", ConvShape::new(3, 224, 224, 96, 7, 7, 2, 0))];
     // After conv1 (109x109) and maxpool/2: 54x54 feature maps.
     layers.extend(fire("fire2", 54, 96, 16, 64));
     layers.extend(fire("fire3", 54, 128, 16, 64));
@@ -55,10 +52,7 @@ pub fn squeezenet() -> Network {
     layers.extend(fire("fire8", 27, 384, 64, 256));
     // maxpool/2: 13x13.
     layers.extend(fire("fire9", 13, 512, 64, 256));
-    layers.push(ConvLayer::new(
-        "conv10",
-        ConvShape::new(512, 13, 13, 1000, 1, 1, 1, 0),
-    ));
+    layers.push(ConvLayer::new("conv10", ConvShape::new(512, 13, 13, 1000, 1, 1, 1, 0)));
     Network { name: "SqueezeNet", layers }
 }
 
@@ -128,10 +122,7 @@ fn resnet_stage(
 }
 
 fn resnet(name: &'static str, blocks: [usize; 4]) -> Network {
-    let mut layers = vec![ConvLayer::new(
-        "conv1",
-        ConvShape::new(3, 224, 224, 64, 7, 7, 2, 3),
-    )];
+    let mut layers = vec![ConvLayer::new("conv1", ConvShape::new(3, 224, 224, 64, 7, 7, 2, 3))];
     // maxpool/2 -> 56x56.
     resnet_stage(&mut layers, 1, 56, 64, 64, blocks[0], 1);
     resnet_stage(&mut layers, 2, 56, 64, 128, blocks[1], 2);
@@ -169,7 +160,7 @@ pub fn inception_v3() -> Network {
     add("Conv2d_2b_3x3", 32, 147, 64, 3, 3, 1, 1, 1); // -> 147, pool -> 73
     add("Conv2d_3b_1x1", 64, 73, 80, 1, 1, 1, 0, 1);
     add("Conv2d_4a_3x3", 80, 73, 192, 3, 3, 1, 0, 1); // -> 71, pool -> 35
-    // Mixed 5b/5c/5d (35x35): 1x1, 5x5 branch, double-3x3 branch, pool-1x1.
+                                                      // Mixed 5b/5c/5d (35x35): 1x1, 5x5 branch, double-3x3 branch, pool-1x1.
     for (i, cin) in [(0usize, 192usize), (1, 256), (2, 288)] {
         let tag = ["5b", "5c", "5d"][i];
         add(&format!("Mixed_{tag}.branch1x1"), cin, 35, 64, 1, 1, 1, 0, 1);
@@ -233,14 +224,7 @@ pub fn inception_v3() -> Network {
 
 /// The five Fig. 12 networks plus AlexNet.
 pub fn all_networks() -> Vec<Network> {
-    vec![
-        squeezenet(),
-        vgg19(),
-        resnet18(),
-        resnet34(),
-        inception_v3(),
-        alexnet(),
-    ]
+    vec![squeezenet(), vgg19(), resnet18(), resnet34(), inception_v3(), alexnet()]
 }
 
 #[cfg(test)]

@@ -124,10 +124,7 @@ mod tests {
         for s in [64.0, 1024.0, 16384.0] {
             let numeric = t_bound(&steps, s).t;
             let closed = t_closed(&shape, s);
-            assert!(
-                numeric <= closed * 1.0001,
-                "S={s}: numeric {numeric} > closed {closed}"
-            );
+            assert!(numeric <= closed * 1.0001, "S={s}: numeric {numeric} > closed {closed}");
             // And closed form is tight (within grid tolerance).
             assert!(numeric >= 0.999 * closed, "S={s}: numeric {numeric} << closed {closed}");
         }

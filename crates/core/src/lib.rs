@@ -47,7 +47,6 @@
 //! assert!(direct::dataflow_optimal_io(&shape, s, 1.0) >= q_direct);
 //! ```
 
-
 #![allow(clippy::needless_range_loop)] // index loops read clearer in numeric code
 pub mod composite;
 pub mod direct;
@@ -124,10 +123,7 @@ mod tests {
     fn algorithm_dispatch_consistent_with_modules() {
         let shape = ConvShape::square(256, 56, 128, 3, 1, 1);
         let s = 4096.0;
-        assert_eq!(
-            Algorithm::Direct.io_lower_bound(&shape, s),
-            direct::io_lower_bound(&shape, s)
-        );
+        assert_eq!(Algorithm::Direct.io_lower_bound(&shape, s), direct::io_lower_bound(&shape, s));
         let t = WinogradTile::F2X3;
         assert_eq!(
             Algorithm::Winograd(t).io_lower_bound(&shape, s),
@@ -146,9 +142,6 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(format!("{}", Algorithm::Direct), "direct");
-        assert_eq!(
-            format!("{}", Algorithm::Winograd(WinogradTile::F2X3)),
-            "winograd-F(2x2,3x3)"
-        );
+        assert_eq!(format!("{}", Algorithm::Winograd(WinogradTile::F2X3)), "winograd-F(2x2,3x3)");
     }
 }

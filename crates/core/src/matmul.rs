@@ -52,10 +52,7 @@ impl MatmulShape {
 /// direct convolution's with unit sliding-window reuse (each `(a, b)` pair
 /// multiplies once), so `phi_1(h) <= 2S sqrt(h)`.
 pub fn matmul_steps() -> Vec<Box<dyn StepBound>> {
-    vec![
-        Box::new(DirectProductStep { reuse: 1.0 }),
-        Box::new(SummationTreeStep),
-    ]
+    vec![Box::new(DirectProductStep { reuse: 1.0 }), Box::new(SummationTreeStep)]
 }
 
 /// `T(S)` closed form, mirroring Lemma 4.11 with `R = 1`:
@@ -116,8 +113,7 @@ mod tests {
     fn generic_theorem_matches_closed_bound() {
         let m = MatmulShape::new(512);
         let s = 1024.0;
-        let generic =
-            composite::io_lower_bound(&matmul_steps(), m.vertex_count() as f64, s);
+        let generic = composite::io_lower_bound(&matmul_steps(), m.vertex_count() as f64, s);
         let closed = io_lower_bound(&m, s);
         let rel = (generic - closed).abs() / closed;
         assert!(rel < 0.02, "generic {generic} closed {closed}");
@@ -165,8 +161,8 @@ mod tests {
         use crate::shapes::ConvShape;
         let conv = ConvShape::square(256, 32, 256, 1, 1, 0);
         let m = MatmulShape::new(256); // same order of work
-        // Same 1/sqrt(S) law (both ratios ~2 for a 4x S step); the small
-        // spread comes from the -S slack at different problem volumes.
+                                       // Same 1/sqrt(S) law (both ratios ~2 for a 4x S step); the small
+                                       // spread comes from the -S slack at different problem volumes.
         let rc = crate::direct::io_lower_bound(&conv, 1024.0)
             / crate::direct::io_lower_bound(&conv, 4096.0);
         let rm = io_lower_bound(&m, 1024.0) / io_lower_bound(&m, 4096.0);

@@ -168,9 +168,7 @@ impl TileKind {
             TileKind::Direct => {
                 let xp = ((tile.x - 1) * shape.stride + shape.kh) as f64;
                 let yp = ((tile.y - 1) * shape.stride + shape.kw) as f64;
-                blocks
-                    * shape.cin as f64
-                    * (xp * yp + (shape.kh * shape.kw * tile.z) as f64)
+                blocks * shape.cin as f64 * (xp * yp + (shape.kh * shape.kw * tile.z) as f64)
             }
             TileKind::Winograd(t) => {
                 let xp = (tile.x + t.r - 1) as f64;
@@ -334,8 +332,7 @@ mod tests {
         // The paper's two-array accounting is exactly double the fused
         // implementation footprint.
         assert!(
-            (kind.onchip_elems(&best.tile) - 2.0 * kind.accumulator_elems(&best.tile)).abs()
-                < 1e-9
+            (kind.onchip_elems(&best.tile) - 2.0 * kind.accumulator_elems(&best.tile)).abs() < 1e-9
         );
         // Condition xy = r^2 z should be approachable with rich factors
         // (the halo-exact scorer shifts the optimum slightly toward deeper

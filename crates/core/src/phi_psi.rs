@@ -173,10 +173,7 @@ impl StepBound for WinogradOutputStep {
 /// The two-step bound sequence for the direct convolution
 /// (`G = G_1 ∪ G_2`, Fig. 4).
 pub fn direct_steps(reuse: f64) -> Vec<Box<dyn StepBound>> {
-    vec![
-        Box::new(DirectProductStep { reuse }),
-        Box::new(SummationTreeStep),
-    ]
+    vec![Box::new(DirectProductStep { reuse }), Box::new(SummationTreeStep)]
 }
 
 /// The four-step bound sequence for the Winograd algorithm (Fig. 5).

@@ -53,7 +53,14 @@ impl ConvShape {
 
     /// Square-image convenience constructor used by the evaluation sweeps
     /// (`H_in = W_in`, `H_ker = W_ker`).
-    pub fn square(cin: usize, hw_in: usize, cout: usize, k: usize, stride: usize, pad: usize) -> Self {
+    pub fn square(
+        cin: usize,
+        hw_in: usize,
+        cout: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         Self::new(cin, hw_in, hw_in, cout, k, k, stride, pad)
     }
 
@@ -287,14 +294,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_shapes() {
-        assert_eq!(
-            ConvShape::new(0, 4, 4, 1, 3, 3, 1, 0).validate(),
-            Err(ShapeError::ZeroDim)
-        );
-        assert_eq!(
-            ConvShape::new(1, 4, 4, 1, 3, 3, 0, 0).validate(),
-            Err(ShapeError::ZeroStride)
-        );
+        assert_eq!(ConvShape::new(0, 4, 4, 1, 3, 3, 1, 0).validate(), Err(ShapeError::ZeroDim));
+        assert_eq!(ConvShape::new(1, 4, 4, 1, 3, 3, 0, 0).validate(), Err(ShapeError::ZeroStride));
         assert_eq!(
             ConvShape::new(1, 2, 2, 1, 5, 5, 1, 0).validate(),
             Err(ShapeError::KernelTooLarge)

@@ -13,8 +13,7 @@ use crate::shapes::{ConvShape, WinogradTile};
 /// (re-computation of transforms is permitted by the model).
 pub fn vertex_count_leading(shape: &ConvShape, tile: WinogradTile) -> f64 {
     let a = tile.a() as f64;
-    2.0 * shape.output_elems() as f64 * shape.cin as f64 * a.powi(4)
-        / (tile.e * tile.e) as f64
+    2.0 * shape.output_elems() as f64 * shape.cin as f64 * a.powi(4) / (tile.e * tile.e) as f64
 }
 
 /// Exact vertex count obtained by summing the per-pair tree sizes from the
@@ -65,8 +64,7 @@ pub fn io_lower_bound(shape: &ConvShape, tile: WinogradTile, s: f64) -> f64 {
 /// `Q = Omega( Wout Hout Cout Cin (e+r-1) r / (e sqrt(S)) )`.
 pub fn io_lower_bound_leading(shape: &ConvShape, tile: WinogradTile, s: f64) -> f64 {
     let a = tile.a() as f64;
-    shape.output_elems() as f64 * shape.cin as f64 * a * tile.r as f64
-        / (tile.e as f64 * s.sqrt())
+    shape.output_elems() as f64 * shape.cin as f64 * a * tile.r as f64 / (tile.e as f64 * s.sqrt())
 }
 
 /// Read I/O volume of the Winograd dataflow with an explicit output tile

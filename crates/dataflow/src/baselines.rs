@@ -21,7 +21,13 @@ pub const GEMM_TILE_K: usize = 8;
 /// A generic tiled-GEMM kernel: `C[M x N] += A[M x K] * B[K x N]`,
 /// repeated `batch` times (batched GEMM). Per block: the classic
 /// double-buffered panel loop reading `K*(Tm + Tn)` elements.
-pub fn gemm_kernel(name: impl Into<String>, m: usize, k: usize, n: usize, batch: usize) -> KernelDesc {
+pub fn gemm_kernel(
+    name: impl Into<String>,
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+) -> KernelDesc {
     let blocks_m = m.div_ceil(GEMM_TILE_M) as u64;
     let blocks_n = n.div_ceil(GEMM_TILE_N) as u64;
     let grid_blocks = blocks_m * blocks_n * batch as u64;
@@ -34,7 +40,8 @@ pub fn gemm_kernel(name: impl Into<String>, m: usize, k: usize, n: usize, batch:
     );
     // B panel: K rows of Tn elements, row stride N.
     let b_read = TileAccess::tile(k as u64, GEMM_TILE_N as u64, n.max(GEMM_TILE_N) as u64);
-    let c_write = TileAccess::tile(GEMM_TILE_M as u64, GEMM_TILE_N as u64, n.max(GEMM_TILE_N) as u64);
+    let c_write =
+        TileAccess::tile(GEMM_TILE_M as u64, GEMM_TILE_N as u64, n.max(GEMM_TILE_N) as u64);
     KernelDesc {
         name: name.into(),
         grid_blocks,
@@ -108,8 +115,7 @@ pub fn winograd_unfused(shape: &ConvShape, tile: WinogradTile) -> Vec<KernelDesc
     assert!(shape.supports_winograd(tile), "shape incompatible with F(e,r)");
     let a = tile.a();
     let (hout, wout) = (shape.hout(), shape.wout());
-    let tiles = hout.div_ceil(tile.e) as u64 * wout.div_ceil(tile.e) as u64
-        * shape.batch as u64;
+    let tiles = hout.div_ceil(tile.e) as u64 * wout.div_ceil(tile.e) as u64 * shape.batch as u64;
 
     // Kernel 1: input transform. Reads each (a x a) patch per channel
     // (halo overlap re-reads from global), writes a^2 * cin per tile.
@@ -197,12 +203,7 @@ mod tests {
         let d = DeviceSpec::gtx1080ti();
         let ours = simulate_sequence(&d, &[crate::direct::direct_kernel(&s, &cfg)]).unwrap();
         let base = simulate_sequence(&d, &im2col_gemm(&s)).unwrap();
-        assert!(
-            ours.q_elems < base.q_elems,
-            "ours {} >= baseline {}",
-            ours.q_elems,
-            base.q_elems
-        );
+        assert!(ours.q_elems < base.q_elems, "ours {} >= baseline {}", ours.q_elems, base.q_elems);
     }
 
     #[test]
@@ -252,12 +253,7 @@ mod tests {
         let ours =
             simulate_sequence(&d, &[crate::winograd::winograd_kernel(&s, tile, &cfg)]).unwrap();
         let base = simulate_sequence(&d, &winograd_unfused(&s, tile)).unwrap();
-        assert!(
-            ours.q_elems < base.q_elems,
-            "ours {} >= baseline {}",
-            ours.q_elems,
-            base.q_elems
-        );
+        assert!(ours.q_elems < base.q_elems, "ours {} >= baseline {}", ours.q_elems, base.q_elems);
     }
 
     #[test]

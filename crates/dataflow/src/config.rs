@@ -95,7 +95,10 @@ impl ScheduleConfig {
         if self.nxt == 0 || self.nyt == 0 || self.nzt == 0 {
             return Err(ConfigError::ZeroThreads);
         }
-        if !self.x.is_multiple_of(self.nxt) || !self.y.is_multiple_of(self.nyt) || !self.z.is_multiple_of(self.nzt) {
+        if !self.x.is_multiple_of(self.nxt)
+            || !self.y.is_multiple_of(self.nyt)
+            || !self.z.is_multiple_of(self.nzt)
+        {
             return Err(ConfigError::ThreadsNotFactor);
         }
         if self.threads() > 1024 {

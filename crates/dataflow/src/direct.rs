@@ -17,10 +17,7 @@ use iolb_tensor::layout::Layout;
 
 /// Input halo extents `x' = (x-1)*mu + Kh`, `y' = (y-1)*mu + Kw`.
 pub fn halo(shape: &ConvShape, x: usize, y: usize) -> (usize, usize) {
-    (
-        (x - 1) * shape.stride + shape.kh,
-        (y - 1) * shape.stride + shape.kw,
-    )
+    ((x - 1) * shape.stride + shape.kh, (y - 1) * shape.stride + shape.kw)
 }
 
 /// The global-memory access pattern of one `x' * y'` single-channel input
@@ -59,21 +56,20 @@ pub fn bank_conflict_factor(layout: Layout) -> f64 {
 pub fn direct_kernel(shape: &ConvShape, cfg: &ScheduleConfig) -> KernelDesc {
     // Tiles divide the (slightly) padded output extents; edge blocks run
     // as full tiles, as on real hardware.
-    let (hout, wout) =
-        crate::config::padded_out(shape, iolb_core::optimality::TileKind::Direct);
+    let (hout, wout) = crate::config::padded_out(shape, iolb_core::optimality::TileKind::Direct);
     assert_eq!(hout % cfg.x, 0, "x must divide padded H_out");
     assert_eq!(wout % cfg.y, 0, "y must divide padded W_out");
     assert_eq!(shape.cout % cfg.z, 0, "z must divide C_out");
 
-    let grid_blocks =
-        (hout / cfg.x) as u64 * (wout / cfg.y) as u64 * (shape.cout / cfg.z) as u64
-            * shape.batch as u64;
+    let grid_blocks = (hout / cfg.x) as u64
+        * (wout / cfg.y) as u64
+        * (shape.cout / cfg.z) as u64
+        * shape.batch as u64;
 
     let (xp, yp) = halo(shape, cfg.x, cfg.y);
     let flops = 2 * (cfg.x * cfg.y * cfg.z * shape.kh * shape.kw * shape.cin) as u64;
 
-    let mut work = BlockWork::new(flops)
-        .with_bank_conflicts(bank_conflict_factor(cfg.layout));
+    let mut work = BlockWork::new(flops).with_bank_conflicts(bank_conflict_factor(cfg.layout));
     // Channel stages: one input tile + z kernel slices per input channel.
     // Weights are pre-packed at plan time into a stage-contiguous
     // [cin][z][Kh*Kw] layout (the one-time repack is amortised across
@@ -85,11 +81,8 @@ pub fn direct_kernel(shape: &ConvShape, cfg: &ScheduleConfig) -> KernelDesc {
         work = work.read(input_access).read(weight_access);
     }
     // One write of the resident output sub-block.
-    work = work.write(TileAccess::tile(
-        (cfg.x * cfg.z) as u64,
-        cfg.y as u64,
-        wout.max(cfg.y) as u64,
-    ));
+    work =
+        work.write(TileAccess::tile((cfg.x * cfg.z) as u64, cfg.y as u64, wout.max(cfg.y) as u64));
 
     KernelDesc {
         name: format!("direct-dataflow[{}x{}x{}]", cfg.x, cfg.y, cfg.z),
@@ -110,9 +103,10 @@ pub fn analytic_io_elems(shape: &ConvShape, cfg: &ScheduleConfig) -> f64 {
 /// times the grid. Differs from Eq. 20 only by the halo
 /// (`x' = (x-1)mu + Kh` vs the paper's `x' ~= mu x`).
 pub fn exact_io_elems(shape: &ConvShape, cfg: &ScheduleConfig) -> u64 {
-    let (hout, wout) =
-        crate::config::padded_out(shape, iolb_core::optimality::TileKind::Direct);
-    let blocks = (hout / cfg.x) as u64 * (wout / cfg.y) as u64 * (shape.cout / cfg.z) as u64
+    let (hout, wout) = crate::config::padded_out(shape, iolb_core::optimality::TileKind::Direct);
+    let blocks = (hout / cfg.x) as u64
+        * (wout / cfg.y) as u64
+        * (shape.cout / cfg.z) as u64
         * shape.batch as u64;
     let (xp, yp) = halo(shape, cfg.x, cfg.y);
     let per_block_reads =

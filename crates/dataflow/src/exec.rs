@@ -2,14 +2,13 @@
 //!
 //! The simulator establishes the schedules' I/O behaviour; this module
 //! establishes their *correctness* by actually running them: thread blocks
-//! become crossbeam-scoped worker tasks, shared memory becomes a per-block
+//! become rayon-scoped worker tasks, shared memory becomes a per-block
 //! scratch buffer with exactly the schedule's staging structure (resident
 //! output tile + one `x' * y' * 1` input stage + the stage's weights), and
 //! the channel-sliding loop is executed literally. Every path is verified
 //! against `iolb_tensor::conv_ref`.
 
 use crate::config::ScheduleConfig;
-use crossbeam::thread;
 use iolb_core::shapes::{ConvShape, WinogradTile};
 use iolb_tensor::conv_ref::ConvParams;
 use iolb_tensor::tensor::Tensor4;
@@ -62,7 +61,7 @@ pub fn execute_direct(
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let workers = workers.max(1).min(total_blocks.max(1));
 
-    thread::scope(|scope| {
+    rayon::scope(|scope| {
         for _ in 0..workers {
             let cursor = &cursor;
             let shape = &shape;
@@ -95,10 +94,8 @@ pub fn execute_direct(
                         // zero padding at the borders).
                         for ty in 0..xp {
                             for tx in 0..yp {
-                                let iy = (oy0 * shape.stride + ty) as isize
-                                    - shape.pad as isize;
-                                let ix = (ox0 * shape.stride + tx) as isize
-                                    - shape.pad as isize;
+                                let iy = (oy0 * shape.stride + ty) as isize - shape.pad as isize;
+                                let ix = (ox0 * shape.stride + tx) as isize - shape.pad as isize;
                                 stage_in[ty * yp + tx] = input.at_padded(n, ci, iy, ix);
                             }
                         }
@@ -117,8 +114,7 @@ pub fn execute_direct(
                                 for ox in 0..cfg.y {
                                     let mut sum = 0.0f32;
                                     for dy in 0..shape.kh {
-                                        let row = (oy * shape.stride + dy) * yp
-                                            + ox * shape.stride;
+                                        let row = (oy * shape.stride + dy) * yp + ox * shape.stride;
                                         let wrow = (zc * shape.kh + dy) * shape.kw;
                                         for dx in 0..shape.kw {
                                             sum += stage_in[row + dx] * stage_w[wrow + dx];
@@ -149,8 +145,7 @@ pub fn execute_direct(
                 }
             });
         }
-    })
-    .expect("dataflow worker panicked");
+    });
     out
 }
 
@@ -191,7 +186,7 @@ pub fn execute_winograd(
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let workers = workers.max(1).min(total_blocks.max(1));
 
-    thread::scope(|scope| {
+    rayon::scope(|scope| {
         for _ in 0..workers {
             let cursor = &cursor;
             let shape = &shape;
@@ -267,8 +262,7 @@ pub fn execute_winograd(
                                         let c = oc0 + zc;
                                         let yy = oy0 + th * tile.e + dy;
                                         let xx = ox0 + tw * tile.e + dx;
-                                        let off =
-                                            n * image_len + (c * hout + yy) * wout + xx;
+                                        let off = n * image_len + (c * hout + yy) * wout + xx;
                                         // SAFETY: disjoint per block.
                                         unsafe {
                                             *out_ptr.0.add(off) = y_tile.at(dy, dx) as f32;
@@ -281,8 +275,7 @@ pub fn execute_winograd(
                 }
             });
         }
-    })
-    .expect("winograd worker panicked");
+    });
     out
 }
 
@@ -301,16 +294,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(x: usize, y: usize, z: usize) -> ScheduleConfig {
-        ScheduleConfig {
-            x,
-            y,
-            z,
-            nxt: 1,
-            nyt: 1,
-            nzt: 1,
-            sb_bytes: 48 * 1024,
-            layout: Layout::Chw,
-        }
+        ScheduleConfig { x, y, z, nxt: 1, nyt: 1, nzt: 1, sb_bytes: 48 * 1024, layout: Layout::Chw }
     }
 
     #[test]
@@ -360,14 +344,8 @@ mod tests {
         let params = ConvParams::new(1, 0); // 8x8 out
         let want = conv2d_reference(&input, &weights, params);
         for (x, y, z) in [(8, 8, 4), (4, 4, 2), (2, 2, 1)] {
-            let got = execute_winograd(
-                &input,
-                &weights,
-                params,
-                WinogradTile::F2X3,
-                &cfg(x, y, z),
-                4,
-            );
+            let got =
+                execute_winograd(&input, &weights, params, WinogradTile::F2X3, &cfg(x, y, z), 4);
             assert!(
                 got.approx_eq(&want, 1e-3, 1e-3),
                 "tile {x}x{y}x{z}: diff {}",
@@ -383,14 +361,7 @@ mod tests {
         let weights = Tensor4::random(2, 2, 3, 3, &mut rng);
         let params = ConvParams::new(1, 1); // 8x8 out
         let want = conv2d_reference(&input, &weights, params);
-        let got = execute_winograd(
-            &input,
-            &weights,
-            params,
-            WinogradTile::F2X3,
-            &cfg(4, 8, 2),
-            2,
-        );
+        let got = execute_winograd(&input, &weights, params, WinogradTile::F2X3, &cfg(4, 8, 2), 2);
         assert!(got.approx_eq(&want, 1e-3, 1e-3), "diff {}", got.max_abs_diff(&want));
     }
 
@@ -401,14 +372,7 @@ mod tests {
         let weights = Tensor4::random(2, 2, 3, 3, &mut rng);
         let params = ConvParams::new(1, 0); // 8x8 out
         let want = conv2d_reference(&input, &weights, params);
-        let got = execute_winograd(
-            &input,
-            &weights,
-            params,
-            WinogradTile::F4X3,
-            &cfg(8, 8, 2),
-            2,
-        );
+        let got = execute_winograd(&input, &weights, params, WinogradTile::F4X3, &cfg(8, 8, 2), 2);
         assert!(got.approx_eq(&want, 1e-3, 1e-3), "diff {}", got.max_abs_diff(&want));
     }
 

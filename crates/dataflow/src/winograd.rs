@@ -33,7 +33,8 @@ pub fn winograd_kernel(shape: &ConvShape, tile: WinogradTile, cfg: &ScheduleConf
     assert_eq!(cfg.x % tile.e, 0, "x must be a multiple of e");
     assert_eq!(cfg.y % tile.e, 0, "y must be a multiple of e");
 
-    let grid_blocks = (hout / cfg.x) as u64 * (wout / cfg.y) as u64
+    let grid_blocks = (hout / cfg.x) as u64
+        * (wout / cfg.y) as u64
         * (shape.cout / cfg.z) as u64
         * shape.batch as u64;
 
@@ -55,8 +56,7 @@ pub fn winograd_kernel(shape: &ConvShape, tile: WinogradTile, cfg: &ScheduleConf
     let t_out = tiles * cfg.z * 4 * a * a;
     let flops = (t_in + t_ker + t_mul + t_out) as u64;
 
-    let mut work =
-        BlockWork::new(flops).with_bank_conflicts(bank_conflict_factor(cfg.layout));
+    let mut work = BlockWork::new(flops).with_bank_conflicts(bank_conflict_factor(cfg.layout));
     // Channel stages (mu = 1 halo: x' = x + r - 1).
     let xp = cfg.x + tile.r - 1;
     let yp = cfg.y + tile.r - 1;
@@ -67,15 +67,14 @@ pub fn winograd_kernel(shape: &ConvShape, tile: WinogradTile, cfg: &ScheduleConf
     for _ in 0..shape.cin {
         work = work.read(input_access).read(weight_access);
     }
-    work = work.write(TileAccess::tile(
-        (cfg.x * cfg.z) as u64,
-        cfg.y as u64,
-        wout.max(cfg.y) as u64,
-    ));
+    work =
+        work.write(TileAccess::tile((cfg.x * cfg.z) as u64, cfg.y as u64, wout.max(cfg.y) as u64));
 
     KernelDesc {
-        name: format!("winograd-dataflow[F({0}x{0},{1}x{1}) {2}x{3}x{4}]",
-            tile.e, tile.r, cfg.x, cfg.y, cfg.z),
+        name: format!(
+            "winograd-dataflow[F({0}x{0},{1}x{1}) {2}x{3}x{4}]",
+            tile.e, tile.r, cfg.x, cfg.y, cfg.z
+        ),
         grid_blocks,
         block: BlockShape { threads: cfg.threads(), smem_bytes: cfg.sb_bytes },
         work,
@@ -93,12 +92,13 @@ pub fn analytic_io_elems(shape: &ConvShape, tile: WinogradTile, cfg: &ScheduleCo
 pub fn exact_io_elems(shape: &ConvShape, tile: WinogradTile, cfg: &ScheduleConfig) -> u64 {
     let (hout, wout) =
         crate::config::padded_out(shape, iolb_core::optimality::TileKind::Winograd(tile));
-    let blocks = (hout / cfg.x) as u64 * (wout / cfg.y) as u64 * (shape.cout / cfg.z) as u64
+    let blocks = (hout / cfg.x) as u64
+        * (wout / cfg.y) as u64
+        * (shape.cout / cfg.z) as u64
         * shape.batch as u64;
     let xp = (cfg.x + tile.r - 1) as u64;
     let yp = (cfg.y + tile.r - 1) as u64;
-    let per_block_reads =
-        shape.cin as u64 * (xp * yp + (tile.r * tile.r * cfg.z) as u64);
+    let per_block_reads = shape.cin as u64 * (xp * yp + (tile.r * tile.r * cfg.z) as u64);
     blocks * (per_block_reads + (cfg.x * cfg.y * cfg.z) as u64)
 }
 
@@ -171,10 +171,7 @@ mod tests {
         let dk = crate::direct::direct_kernel(&s, &c);
         let w_total = wk.work.flops * wk.grid_blocks;
         let d_total = dk.work.flops * dk.grid_blocks;
-        assert!(
-            w_total < d_total,
-            "winograd {w_total} flops not below direct {d_total}"
-        );
+        assert!(w_total < d_total, "winograd {w_total} flops not below direct {d_total}");
     }
 
     #[test]

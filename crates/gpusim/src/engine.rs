@@ -200,10 +200,7 @@ mod tests {
     fn infeasible_block_rejected() {
         let mut k = simple_kernel(10, 100, 8);
         k.block.smem_bytes = 80 * 1024; // above the 48 KiB per-block cap
-        assert!(matches!(
-            simulate(&device(), &k),
-            Err(SimError::InfeasibleBlock { .. })
-        ));
+        assert!(matches!(simulate(&device(), &k), Err(SimError::InfeasibleBlock { .. })));
     }
 
     #[test]

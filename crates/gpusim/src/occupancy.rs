@@ -53,10 +53,7 @@ pub fn occupancy(device: &DeviceSpec, block: BlockShape) -> Occupancy {
             limiter: Limiter::Infeasible,
         };
     }
-    let by_smem = device
-        .smem_per_sm
-        .checked_div(block.smem_bytes)
-        .unwrap_or(u32::MAX);
+    let by_smem = device.smem_per_sm.checked_div(block.smem_bytes).unwrap_or(u32::MAX);
     let by_threads = device.max_threads_per_sm / block.threads;
     let by_slots = device.max_blocks_per_sm;
     let blocks = by_smem.min(by_threads).min(by_slots);

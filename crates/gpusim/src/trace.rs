@@ -64,8 +64,9 @@ impl RunLog {
 
     /// Renders CSV with a header row.
     pub fn csv(&self) -> String {
-        let mut out =
-            String::from("label,kernel,time_ms,gflops,q_elems,moved_bytes,blocks_per_sm,waves,memory_bound\n");
+        let mut out = String::from(
+            "label,kernel,time_ms,gflops,q_elems,moved_bytes,blocks_per_sm,waves,memory_bound\n",
+        );
         for e in &self.entries {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{}\n",

@@ -18,8 +18,8 @@ fn any_device() -> impl Strategy<Value = DeviceSpec> {
 fn launchable_kernel() -> impl Strategy<Value = KernelDesc> {
     (
         1u64..2000,
-        1u32..=8,     // threads = 32 * this
-        0u32..=40,    // smem KiB
+        1u32..=8,  // threads = 32 * this
+        0u32..=40, // smem KiB
         1u64..1_000_000,
         1u64..10_000,
     )

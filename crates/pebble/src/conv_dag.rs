@@ -46,10 +46,7 @@ pub fn direct_conv_dag(shape: &ConvShape) -> Dag {
                             let ix = ox * shape.stride + dx;
                             // Padding would contribute constant zeros (no
                             // I/O); our builder requires pad = 0 windows.
-                            assert!(
-                                shape.pad == 0,
-                                "direct_conv_dag models unpadded convolutions"
-                            );
+                            assert!(shape.pad == 0, "direct_conv_dag models unpadded convolutions");
                             let p = dag.add_vertex(1);
                             dag.add_edge(img_at(c, iy, ix), p);
                             dag.add_edge(wgt_at(co, c, dy, dx), p);
@@ -163,9 +160,7 @@ pub fn winograd_dag(shape: &ConvShape, tile: WinogradTile, mode: WinogradDagMode
             .flat_map(|dy| (0..a).map(move |dx| (dy, dx)))
             .map(|(dy, dx)| img_at(c, oy + dy, ox + dx))
             .collect();
-        (0..a * a)
-            .map(|_| add_linear_combination_tree(dag, &patch, 1))
-            .collect()
+        (0..a * a).map(|_| add_linear_combination_tree(dag, &patch, 1)).collect()
     };
     // Transformed kernel J for (cout, cin): a^2 vertices from r^2 weights.
     let build_j = |dag: &mut Dag, co: usize, c: usize| -> Vec<VertexId> {
@@ -173,9 +168,7 @@ pub fn winograd_dag(shape: &ConvShape, tile: WinogradTile, mode: WinogradDagMode
             .flat_map(|y| (0..tile.r).map(move |x| (y, x)))
             .map(|(y, x)| wgt_at(co, c, y, x))
             .collect();
-        (0..a * a)
-            .map(|_| add_linear_combination_tree(dag, &taps, 1))
-            .collect()
+        (0..a * a).map(|_| add_linear_combination_tree(dag, &taps, 1)).collect()
     };
 
     // Shared-mode caches.
@@ -217,10 +210,8 @@ pub fn winograd_dag(shape: &ConvShape, tile: WinogradTile, mode: WinogradDagMode
                     }
                 }
                 // Step 3: channel summation trees -> Pi (a^2 vertices).
-                let pi: Vec<VertexId> = lanes
-                    .iter()
-                    .map(|lane| add_summation_tree(&mut dag, lane, 3))
-                    .collect();
+                let pi: Vec<VertexId> =
+                    lanes.iter().map(|lane| add_summation_tree(&mut dag, lane, 3)).collect();
                 // Step 4: e^2 outputs, each an LC tree over all of Pi.
                 for _ in 0..tile.e * tile.e {
                     add_linear_combination_tree(&mut dag, &pi, 4);
@@ -277,10 +268,7 @@ mod tests {
         // Computed (internal + output) vertices must equal Lemma 4.8.
         assert_eq!(dag.computed_count(), direct::vertex_count(&shape));
         // Inputs: image + weights.
-        assert_eq!(
-            dag.inputs().len() as u64,
-            shape.input_elems() + shape.weight_elems()
-        );
+        assert_eq!(dag.inputs().len() as u64, shape.input_elems() + shape.weight_elems());
         // Outputs: one per output element.
         assert_eq!(dag.outputs().len() as u64, shape.output_elems());
     }
@@ -370,17 +358,10 @@ mod tests {
         let shape = ConvShape::new(1, 3, 3, 1, 2, 2, 1, 0); // 2x2 out, k=2x2
         let dag = direct_conv_dag(&shape);
         let s = 8;
-        let heur = crate::strategies::pebble_topological(
-            &dag,
-            s,
-            crate::strategies::Eviction::Belady,
-        );
+        let heur =
+            crate::strategies::pebble_topological(&dag, s, crate::strategies::Eviction::Belady);
         let lower = direct::io_lower_bound(&shape, s as f64);
-        assert!(
-            heur.io as f64 >= lower,
-            "heuristic {} below analytic bound {lower}",
-            heur.io
-        );
+        assert!(heur.io as f64 >= lower, "heuristic {} below analytic bound {lower}", heur.io);
     }
 
     #[test]
@@ -390,11 +371,7 @@ mod tests {
             let dag = gemm_dag(n);
             assert_eq!(dag.validate(), Ok(()));
             assert_eq!(dag.validate_multistep(), Ok(()));
-            assert_eq!(
-                dag.computed_count(),
-                MatmulShape::new(n).vertex_count(),
-                "n = {n}"
-            );
+            assert_eq!(dag.computed_count(), MatmulShape::new(n).vertex_count(), "n = {n}");
             assert_eq!(dag.inputs().len(), 2 * n * n);
             assert_eq!(dag.outputs().len(), n * n);
         }
@@ -408,12 +385,9 @@ mod tests {
         let m = MatmulShape::new(n);
         for s in [8usize, 16, 32] {
             let lower = io_lower_bound(&m, s as f64);
-            let heur = crate::strategies::pebble_topological(
-                &dag,
-                s,
-                crate::strategies::Eviction::Belady,
-            )
-            .io;
+            let heur =
+                crate::strategies::pebble_topological(&dag, s, crate::strategies::Eviction::Belady)
+                    .io;
             assert!(lower <= heur as f64, "S={s}: bound {lower} > pebbled {heur}");
             // The analytic blocked schedule is also a valid upper-bound
             // family; our pebbler should land in the same regime (within

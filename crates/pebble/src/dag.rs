@@ -142,11 +142,8 @@ impl Dag {
         // BFS from inputs avoiding blocked vertices; if we reach `target`,
         // some path evades the blockers.
         let mut seen = vec![false; self.len()];
-        let mut queue: Vec<VertexId> = self
-            .inputs()
-            .into_iter()
-            .filter(|&v| !blocked[v as usize])
-            .collect();
+        let mut queue: Vec<VertexId> =
+            self.inputs().into_iter().filter(|&v| !blocked[v as usize]).collect();
         for &v in &queue {
             seen[v as usize] = true;
         }
@@ -178,11 +175,8 @@ impl Dag {
             blocked[b as usize] = true;
         }
         let mut reach = vec![false; self.len()];
-        let mut queue: Vec<VertexId> = self
-            .inputs()
-            .into_iter()
-            .filter(|&v| !blocked[v as usize])
-            .collect();
+        let mut queue: Vec<VertexId> =
+            self.inputs().into_iter().filter(|&v| !blocked[v as usize]).collect();
         for &v in &queue {
             reach[v as usize] = true;
         }

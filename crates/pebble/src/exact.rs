@@ -51,9 +51,8 @@ pub fn min_io(dag: &Dag, s: usize, node_limit: usize) -> Option<u64> {
         input_mask |= 1 << i;
     }
     // Precompute predecessor masks.
-    let pred_mask: Vec<u32> = (0..n as VertexId)
-        .map(|v| dag.preds(v).iter().fold(0u32, |m, &p| m | (1 << p)))
-        .collect();
+    let pred_mask: Vec<u32> =
+        (0..n as VertexId).map(|v| dag.preds(v).iter().fold(0u32, |m, &p| m | (1 << p))).collect();
 
     let start = State { red: 0, blue: input_mask };
     let mut dist: HashMap<State, u64> = HashMap::new();
@@ -77,8 +76,10 @@ pub fn min_io(dag: &Dag, s: usize, node_limit: usize) -> Option<u64> {
 
         let red_count = state.red.count_ones() as usize;
 
-        let push = |next: State, nd: u64, dist: &mut HashMap<State, u64>,
-                        deque: &mut VecDeque<(State, u64)>| {
+        let push = |next: State,
+                    nd: u64,
+                    dist: &mut HashMap<State, u64>,
+                    deque: &mut VecDeque<(State, u64)>| {
             let better = dist.get(&next).is_none_or(|&old| nd < old);
             if better {
                 dist.insert(next, nd);

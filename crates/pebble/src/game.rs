@@ -200,11 +200,7 @@ impl<'a> Game<'a> {
 
 /// Replays a whole trace on a fresh game; returns the final game or the
 /// first illegal move's error with its index.
-pub fn replay<'a>(
-    dag: &'a Dag,
-    s: usize,
-    trace: &[Move],
-) -> Result<Game<'a>, (usize, GameError)> {
+pub fn replay<'a>(dag: &'a Dag, s: usize, trace: &[Move]) -> Result<Game<'a>, (usize, GameError)> {
     let mut game = Game::new(dag, s);
     for (i, &m) in trace.iter().enumerate() {
         game.apply(m).map_err(|e| (i, e))?;

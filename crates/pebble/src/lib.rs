@@ -22,7 +22,6 @@
 //!   (Fig. 4) and the Winograd algorithm (Fig. 5), whose vertex counts
 //!   reproduce Lemmas 4.8 and 4.14 exactly.
 
-
 #![allow(clippy::needless_range_loop)] // index loops read clearer in graph code
 pub mod conv_dag;
 pub mod dag;

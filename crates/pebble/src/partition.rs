@@ -89,10 +89,8 @@ impl SPartition {
         // Property 3: minimum set size per class.
         for (ci, class) in self.classes.iter().enumerate() {
             let in_class = |v: VertexId| owner[v as usize] == ci;
-            let size = class
-                .iter()
-                .filter(|&&v| !dag.succs(v).iter().any(|&su| in_class(su)))
-                .count();
+            let size =
+                class.iter().filter(|&&v| !dag.succs(v).iter().any(|&su| in_class(su))).count();
             if size > s {
                 return Err(SPartitionError::MinimumSetTooLarge { idx: ci, size });
             }
@@ -156,11 +154,7 @@ pub fn greedy_partition(dag: &Dag, s: usize) -> SPartition {
         let dom_ok = min_dominator_size(dag, &current) <= s as i64;
         let min_ok = {
             let in_cur = |x: VertexId| current.contains(&x);
-            current
-                .iter()
-                .filter(|&&u| !dag.succs(u).iter().any(|&su| in_cur(su)))
-                .count()
-                <= s
+            current.iter().filter(|&&u| !dag.succs(u).iter().any(|&su| in_cur(su))).count() <= s
         };
         if !(dom_ok && min_ok) {
             current.pop();
@@ -229,9 +223,7 @@ mod tests {
         d.add_edge(a1, a2);
         d.add_edge(b0, b1);
         d.add_edge(b1, b2);
-        let p = SPartition {
-            classes: vec![vec![a0, b0], vec![a1, b1], vec![a2, b2]],
-        };
+        let p = SPartition { classes: vec![vec![a0, b0], vec![a1, b1], vec![a2, b2]] };
         match p.verify(&d, 1) {
             Err(SPartitionError::DominatorTooLarge { needed, .. }) => assert_eq!(needed, 2),
             other => panic!("expected dominator violation, got {other:?}"),

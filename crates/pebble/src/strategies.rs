@@ -43,8 +43,7 @@ impl StrategyOutcome {
     /// dominate the traffic of any schedule that has not exploited that
     /// step's data reuse — and shrink once it has.
     pub fn io_by_step(&self, dag: &Dag) -> Vec<u64> {
-        let max_step =
-            (0..dag.len() as VertexId).map(|v| dag.step(v)).max().unwrap_or(0) as usize;
+        let max_step = (0..dag.len() as VertexId).map(|v| dag.step(v)).max().unwrap_or(0) as usize;
         let mut by_step = vec![0u64; max_step + 1];
         for m in &self.trace {
             match *m {
@@ -68,11 +67,7 @@ impl StrategyOutcome {
 /// single-pass schedule exists below that).
 pub fn pebble_topological(dag: &Dag, s: usize, policy: Eviction) -> StrategyOutcome {
     let max_indeg = (0..dag.len() as VertexId).map(|v| dag.preds(v).len()).max().unwrap_or(0);
-    assert!(
-        s > max_indeg,
-        "S = {s} below max in-degree + 1 = {}",
-        max_indeg + 1
-    );
+    assert!(s > max_indeg, "S = {s} below max in-degree + 1 = {}", max_indeg + 1);
 
     let order: Vec<VertexId> =
         dag.topo_order().into_iter().filter(|&v| !dag.preds(v).is_empty()).collect();
@@ -117,7 +112,18 @@ pub fn pebble_topological(dag: &Dag, s: usize, policy: Eviction) -> StrategyOutc
                 last_touch[p as usize] = clock;
                 continue;
             }
-            make_room(dag, &mut game, &mut trace, &pinned, &remaining, &last_touch, &uses, &use_cursor, pos, policy);
+            make_room(
+                dag,
+                &mut game,
+                &mut trace,
+                &pinned,
+                &remaining,
+                &last_touch,
+                &uses,
+                &use_cursor,
+                pos,
+                policy,
+            );
             // Either blue (input or stored earlier) — load it. Internal
             // vertices are always stored before eviction, so blue holds.
             assert!(game.is_blue(p), "vertex {p} neither red nor blue");
@@ -128,7 +134,18 @@ pub fn pebble_topological(dag: &Dag, s: usize, policy: Eviction) -> StrategyOutc
 
         // Room for the result itself.
         if !game.is_red(v) {
-            make_room(dag, &mut game, &mut trace, &pinned, &remaining, &last_touch, &uses, &use_cursor, pos, policy);
+            make_room(
+                dag,
+                &mut game,
+                &mut trace,
+                &pinned,
+                &remaining,
+                &last_touch,
+                &uses,
+                &use_cursor,
+                pos,
+                policy,
+            );
         }
         apply(&mut game, &mut trace, Move::Compute(v));
         clock += 1;

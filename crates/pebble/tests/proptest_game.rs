@@ -14,7 +14,7 @@ use proptest::prelude::*;
 /// predecessors from the previous layer (acyclic by construction).
 fn layered_dag() -> impl Strategy<Value = Dag> {
     (
-        2usize..=4,                     // input layer width
+        2usize..=4,                               // input layer width
         prop::collection::vec(1usize..=4, 1..=3), // internal layer widths
         any::<u64>(),
     )

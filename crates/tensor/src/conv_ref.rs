@@ -53,8 +53,7 @@ pub fn conv2d_reference(input: &Tensor4, weights: &Tensor4, params: ConvParams) 
                             for dx in 0..kw {
                                 let iy = (y * params.stride + dy) as isize - params.pad as isize;
                                 let ix = (x * params.stride + dx) as isize - params.pad as isize;
-                                acc += input.at_padded(n, ci, iy, ix)
-                                    * weights.at(co, ci, dy, dx);
+                                acc += input.at_padded(n, ci, iy, ix) * weights.at(co, ci, dy, dx);
                             }
                         }
                     }
@@ -142,8 +141,7 @@ mod tests {
         let both = conv2d_reference(&input, &weights, ConvParams::unit());
         // Convolving with each kernel alone must reproduce each channel.
         for co in 0..2 {
-            let single =
-                Tensor4::from_fn(1, 3, 3, 3, |_, c, h, w| weights.at(co, c, h, w));
+            let single = Tensor4::from_fn(1, 3, 3, 3, |_, c, h, w| weights.at(co, c, h, w));
             let out = conv2d_reference(&input, &single, ConvParams::unit());
             for y in 0..both.h {
                 for x in 0..both.w {

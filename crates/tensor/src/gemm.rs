@@ -3,12 +3,12 @@
 //! This is the compute substrate behind the im2col convolution path (the
 //! cuDNN-style baseline) and the Winograd batched elementwise stage. It
 //! uses classic cache blocking (MC x KC x NC macro-tiles with an 4x8
-//! register micro-kernel) and splits the M dimension across threads with
-//! `crossbeam::scope` — each thread owns disjoint rows of `C`, so no
-//! synchronisation is needed (rayon-style data parallelism without the
-//! dependency).
+//! register micro-kernel) and splits the M dimension across rayon
+//! workers — each worker owns a disjoint row band of `C`, so no
+//! synchronisation is needed and the result is bit-identical to the
+//! serial computation regardless of thread count.
 
-use crossbeam::thread;
+use rayon::prelude::*;
 
 /// Row-major matrix view: `rows x cols`, leading dimension = `cols`.
 #[derive(Debug, Clone, Copy)]
@@ -174,24 +174,15 @@ pub fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], threads: usize) {
     }
     let band = a.rows.div_ceil(threads);
     let n = b.cols;
-    thread::scope(|scope| {
-        // Each spawned worker takes one disjoint row band of A and C.
-        let mut rest = &mut c[..];
-        let mut row = 0;
-        while row < a.rows {
-            let rows_here = band.min(a.rows - row);
-            let (band_c, tail) = rest.split_at_mut(rows_here * n);
-            rest = tail;
-            let a_band = MatRef::new(
-                &a.data[row * a.cols..(row + rows_here) * a.cols],
-                rows_here,
-                a.cols,
-            );
-            scope.spawn(move |_| gemm_acc(a_band, b, band_c));
-            row += rows_here;
-        }
-    })
-    .expect("gemm worker panicked");
+    // Each worker takes one disjoint row band of A and C; band results
+    // don't interact, so the output matches the serial path exactly.
+    c.par_chunks_mut(band * n).enumerate().for_each(|(t, band_c)| {
+        let row = t * band;
+        let rows_here = band.min(a.rows - row);
+        let a_band =
+            MatRef::new(&a.data[row * a.cols..(row + rows_here) * a.cols], rows_here, a.cols);
+        gemm_acc(a_band, b, band_c);
+    });
 }
 
 /// Naive triple loop for testing.

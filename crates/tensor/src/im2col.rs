@@ -52,8 +52,7 @@ pub fn flatten_weights(weights: &Tensor4) -> Vec<f32> {
         for ci in 0..cin {
             for dy in 0..kh {
                 for dx in 0..kw {
-                    m[co * (cin * kh * kw) + (ci * kh + dy) * kw + dx] =
-                        weights.at(co, ci, dy, dx);
+                    m[co * (cin * kh * kw) + (ci * kh + dy) * kw + dx] = weights.at(co, ci, dy, dx);
                 }
             }
         }
@@ -89,13 +88,7 @@ pub fn conv2d_im2col(
 
 /// Number of elements the im2col path *materialises* per image — the extra
 /// slow-memory traffic of this baseline (written once, read once by GEMM).
-pub fn im2col_materialised_elems(
-    cin: usize,
-    kh: usize,
-    kw: usize,
-    oh: usize,
-    ow: usize,
-) -> u64 {
+pub fn im2col_materialised_elems(cin: usize, kh: usize, kw: usize, oh: usize, ow: usize) -> u64 {
     cin as u64 * kh as u64 * kw as u64 * oh as u64 * ow as u64
 }
 

@@ -21,7 +21,6 @@
 //! All convolution paths are cross-validated against [`conv_ref`]; property
 //! tests live in the crate's `tests/` directory.
 
-
 #![allow(clippy::needless_range_loop)] // index loops read clearer in numeric kernels
 pub mod conv_ref;
 pub mod gemm;

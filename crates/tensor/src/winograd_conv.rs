@@ -110,9 +110,8 @@ pub fn conv2d_winograd_with_plan(
                         // Load the (a x a) patch with zero padding.
                         for y in 0..a {
                             for x in 0..a {
-                                *patch.at_mut(y, x) = input
-                                    .at_padded(n, ci, oy + y as isize, ox + x as isize)
-                                    as f64;
+                                *patch.at_mut(y, x) =
+                                    input.at_padded(n, ci, oy + y as isize, ox + x as isize) as f64;
                             }
                         }
                         // P = B^T d B.

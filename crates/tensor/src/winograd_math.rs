@@ -102,11 +102,7 @@ impl Mat {
     /// Max absolute difference.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -280,12 +276,8 @@ pub fn canonical_f2x3() -> Transforms {
         &[0.0, -1.0, 1.0, 0.0],
         &[0.0, 1.0, 0.0, -1.0],
     ]);
-    let g = Mat::from_rows(&[
-        &[1.0, 0.0, 0.0],
-        &[0.5, 0.5, 0.5],
-        &[0.5, -0.5, 0.5],
-        &[0.0, 0.0, 1.0],
-    ]);
+    let g =
+        Mat::from_rows(&[&[1.0, 0.0, 0.0], &[0.5, 0.5, 0.5], &[0.5, -0.5, 0.5], &[0.0, 0.0, 1.0]]);
     let at = Mat::from_rows(&[&[1.0, 1.0, 1.0, 0.0], &[0.0, 1.0, -1.0, -1.0]]);
     Transforms { e: 2, r: 3, at, g, bt }
 }
@@ -344,9 +336,7 @@ pub fn apply_1d(t: &Transforms, g: &[f64], d: &[f64]) -> Vec<f64> {
 /// Direct 1-D valid correlation oracle: `y_i = sum_j d_{i+j} g_j`.
 pub fn correlate_1d(g: &[f64], d: &[f64]) -> Vec<f64> {
     let e = d.len() + 1 - g.len();
-    (0..e)
-        .map(|i| g.iter().enumerate().map(|(j, &gj)| gj * d[i + j]).sum())
-        .collect()
+    (0..e).map(|i| g.iter().enumerate().map(|(j, &gj)| gj * d[i + j]).sum()).collect()
 }
 
 #[cfg(test)]
@@ -387,10 +377,7 @@ mod tests {
             let got = apply_1d(&t, &g, &d);
             let want = correlate_1d(&g, &d);
             for (gv, wv) in got.iter().zip(&want) {
-                assert!(
-                    (gv - wv).abs() < 1e-9,
-                    "F({e},{r}): {got:?} vs {want:?}"
-                );
+                assert!((gv - wv).abs() < 1e-9, "F({e},{r}): {got:?} vs {want:?}");
             }
         }
     }

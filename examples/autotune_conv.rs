@@ -29,8 +29,7 @@ fn main() {
     let mut searcher = ParallelRandomWalk::with_seeds(seeds);
     let params = TuneParams { max_measurements: 160, batch: 8, patience: 80, seed: 42 };
 
-    let result = tune(&space, &measurer, &mut model, &mut searcher, params)
-        .expect("tunable layer");
+    let result = tune(&space, &measurer, &mut model, &mut searcher, params).expect("tunable layer");
 
     println!("{:>8} {:>12} {:>12}", "meas", "best ms", "best GF");
     let mut last = f64::INFINITY;

@@ -18,7 +18,9 @@ fn main() {
         "resnet34" => models::resnet34(),
         "inception" => models::inception_v3(),
         other => {
-            eprintln!("unknown network {other:?}; use squeezenet|vgg19|resnet18|resnet34|inception");
+            eprintln!(
+                "unknown network {other:?}; use squeezenet|vgg19|resnet18|resnet34|inception"
+            );
             std::process::exit(2);
         }
     };
@@ -32,10 +34,7 @@ fn main() {
     );
 
     let t = time_network(&net, &device, PlanMode::Fast);
-    println!(
-        "{:<26} {:>10} {:>10} {:>8}  algorithm",
-        "layer", "ours(ms)", "base(ms)", "speedup"
-    );
+    println!("{:<26} {:>10} {:>10} {:>8}  algorithm", "layer", "ours(ms)", "base(ms)", "speedup");
     for l in &t.layers {
         println!(
             "{:<26} {:>10.4} {:>10.4} {:>7.2}x  {}",

@@ -41,10 +41,7 @@ fn main() {
     println!("{:>10} {:>14} {:>16}", "S (elems)", "Q_lower(dir)", "per-output reads");
     for s in [512.0, 2048.0, 8192.0, 32768.0] {
         let lb = direct::io_lower_bound(&shape, s);
-        println!(
-            "{s:>10.0} {lb:>14.3e} {:>16.2}",
-            lb / shape.output_elems() as f64
-        );
+        println!("{s:>10.0} {lb:>14.3e} {:>16.2}", lb / shape.output_elems() as f64);
     }
     println!("\n(Q_lower halves when S quadruples: the 1/sqrt(S) law of Theorem 4.12.)");
 }

@@ -30,8 +30,7 @@ fn main() {
 
     println!("{:>4} {:>8} {:>10} {:>8}", "S", "exact Q", "belady Q", "lru Q");
     for s in [5usize, 6, 8, 12] {
-        let exact = min_io(&dag, s, 1 << 24)
-            .map_or("-".into(), |q| q.to_string());
+        let exact = min_io(&dag, s, 1 << 24).map_or("-".into(), |q| q.to_string());
         let belady = pebble_topological(&dag, s, Eviction::Belady);
         let lru = pebble_topological(&dag, s, Eviction::Lru);
         // Heuristic traces replay legally and completely by construction;

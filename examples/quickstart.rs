@@ -5,9 +5,9 @@
 //! ```
 
 use conv_iolb::cnn::inference::fast_config;
+use conv_iolb::core::direct;
 use conv_iolb::core::optimality::TileKind;
 use conv_iolb::core::shapes::ConvShape;
-use conv_iolb::core::direct;
 use conv_iolb::dataflow::{analyze_direct, direct_kernel, execute_direct};
 use conv_iolb::gpusim::{simulate, DeviceSpec};
 use conv_iolb::tensor::conv_ref::{conv2d_reference, ConvParams};
@@ -20,7 +20,12 @@ fn main() {
     let layer = ConvShape::square(256, 56, 128, 3, 1, 1);
     let device = DeviceSpec::gtx1080ti();
     println!("layer:  {layer}");
-    println!("device: {} ({} SMs, {} KiB smem/SM)\n", device.name, device.num_sms, device.smem_per_sm / 1024);
+    println!(
+        "device: {} ({} SMs, {} KiB smem/SM)\n",
+        device.name,
+        device.num_sms,
+        device.smem_per_sm / 1024
+    );
 
     // 1. Theory: how much traffic MUST move through S elements of fast
     //    memory? (Theorem 4.12.)
@@ -45,10 +50,7 @@ fn main() {
         stats.blocks_per_sm,
         if stats.memory_bound { "memory-bound" } else { "compute-bound" },
     );
-    println!(
-        "measured Q / lower bound = {:.2}x (near-optimal)\n",
-        stats.q_elems() as f64 / bound
-    );
+    println!("measured Q / lower bound = {:.2}x (near-optimal)\n", stats.q_elems() as f64 / bound);
 
     // 4. Execute the same schedule for real on the CPU and verify.
     let mut rng = StdRng::seed_from_u64(7);
@@ -59,9 +61,6 @@ fn main() {
     let cfg_small = fast_config(&small, TileKind::Direct, &device).unwrap();
     let ours = execute_direct(&input, &weights, params, &cfg_small, 4);
     let reference = conv2d_reference(&input, &weights, params);
-    assert!(
-        ours.approx_eq(&reference, 1e-4, 1e-4),
-        "dataflow execution must match the reference"
-    );
+    assert!(ours.approx_eq(&reference, 1e-4, 1e-4), "dataflow execution must match the reference");
     println!("CPU execution of the tiled schedule matches the reference convolution. ✓");
 }

@@ -1,0 +1,604 @@
+//! Offline stand-in for the `proptest` crate: the [`Strategy`] trait with
+//! `prop_map`/`prop_filter`, range and tuple strategies, [`Just`],
+//! `prop_oneof!`, `prop::collection::vec`, `any::<T>()`, and the
+//! [`proptest!`] test macro with `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `proptest` cannot be vendored. Semantics kept: each test runs
+//! `Config::cases` generated inputs; assumption failures reject the case
+//! and draw a fresh one (with a global retry cap so a too-strict filter
+//! fails loudly instead of looping); assertion failures panic with the
+//! formatted message. **No shrinking** — a failing case reports the
+//! values via panic message formatting at the call site instead of a
+//! minimised counterexample.
+//!
+//! Case generation is deterministic: the RNG seed is derived from the
+//! test's module path and name, so failures reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// How a test case ended early (mirrors `proptest::test_runner::TestCaseError`).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard the case, draw another.
+    Reject(String),
+    /// `prop_assert!` failed: the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration (mirrors `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// Cap on rejected cases (filters + assumptions) per property.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, ..Config::default() }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+}
+
+/// The alias the prelude exports, as in the real crate.
+pub use test_runner::Config as ProptestConfig;
+
+/// A generator of test-case values.
+///
+/// Unlike the real crate there is no value tree / shrinking; a strategy
+/// simply draws a value from the runner's RNG, or rejects (filters).
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value. `Err` is a *rejection* (filter miss), not a test
+    /// failure; the runner retries against its global reject budget.
+    fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, Rejection>;
+
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, map }
+    }
+
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence: whence.into(), pred }
+    }
+
+    fn prop_filter_map<U, F>(self, whence: impl Into<String>, map: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap { inner: self, whence: whence.into(), map }
+    }
+
+    /// Type-erases the strategy (mirrors `Strategy::boxed`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A rejected draw and why.
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// Boxed, type-erased strategy (mirrors `proptest::strategy::BoxedStrategy`).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> Result<T, Rejection> {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _: &mut StdRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut StdRng) -> Result<U, Rejection> {
+        self.inner.new_value(rng).map(&self.map)
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Result<S::Value, Rejection> {
+        let v = self.inner.new_value(rng)?;
+        if (self.pred)(&v) {
+            Ok(v)
+        } else {
+            Err(Rejection(self.whence.clone()))
+        }
+    }
+}
+
+/// `prop_filter_map` adapter.
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: String,
+    map: F,
+}
+
+impl<S, U, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<U>,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut StdRng) -> Result<U, Rejection> {
+        (self.map)(self.inner.new_value(rng)?).ok_or_else(|| Rejection(self.whence.clone()))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> Result<$t, Rejection> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> Result<$t, Rejection> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, Rejection> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Ok(($($name.new_value(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Runtime choice among same-valued strategies — what `prop_oneof!`
+/// builds (mirrors `proptest::strategy::Union`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> Result<T, Rejection> {
+        let pick = rng.gen_range(0..self.options.len());
+        self.options[pick].new_value(rng)
+    }
+}
+
+/// Types with a canonical "anything" strategy (mirrors
+/// `proptest::arbitrary::Arbitrary`, reduced to full-range primitives).
+pub trait Arbitrary: Sized {
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                (<$t>::MIN..=<$t>::MAX).boxed()
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        (0u8..=1).prop_map(|b| b == 1).boxed()
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies (mirrors `proptest::collection`).
+
+    use super::{Rejection, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (min, max) = r.into_inner();
+            assert!(min <= max, "empty size range");
+            SizeRange { min, max }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Result<Vec<S::Value>, Rejection> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Namespace parity with the real crate.
+    pub use super::{BoxedStrategy, Filter, FilterMap, Just, Map, Strategy, Union};
+}
+
+pub mod prop {
+    //! The `prop::` namespace the prelude exposes.
+    pub use super::collection;
+}
+
+/// Derives a stable 64-bit seed from a test's identity string.
+pub fn seed_for(test_path: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs one property to completion: `config.cases` successful cases, a
+/// shared reject budget, panic on failure. Called by the [`proptest!`]
+/// expansion — not part of the real crate's public API.
+pub fn run_property<V>(
+    test_path: &str,
+    config: &test_runner::Config,
+    strategy: &impl Strategy<Value = V>,
+    case: impl Fn(V) -> Result<(), TestCaseError>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed_for(test_path));
+    let mut rejects = 0u32;
+    let mut done = 0u32;
+    while done < config.cases {
+        let value = match strategy.new_value(&mut rng) {
+            Ok(v) => v,
+            Err(Rejection(why)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "{test_path}: too many strategy rejections ({rejects}); last: {why}"
+                );
+                continue;
+            }
+        };
+        match case(value) {
+            Ok(()) => done += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "{test_path}: too many prop_assume rejections ({rejects}); last: {why}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_path}: property failed after {done} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+/// Defines property tests (mirrors `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            let __strategy = ($($strat,)+);
+            $crate::run_property(__path, &__config, &__strategy, |($($arg,)+)| {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({}):\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Builds a [`Union`] over the listed strategies (mirrors
+/// `proptest::prop_oneof!`). Weighted variants are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports (mirrors `proptest::prelude`).
+    pub use super::prop;
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2i64..=2, f in 0.5f64..1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in (1usize..6, 1usize..6).prop_map(|(a, b)| a * b).prop_filter("even", |n| n % 2 == 0)
+        ) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v <= 25);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..100) {
+            prop_assume!(n % 3 == 0);
+            prop_assert_eq!(n % 3, 0);
+        }
+
+        #[test]
+        fn oneof_and_just_pick_listed_values(v in prop_oneof![Just(1u32), Just(5), Just(9)]) {
+            prop_assert!(v == 1 || v == 5 || v == 9);
+        }
+
+        #[test]
+        fn collection_vec_respects_size(v in prop::collection::vec(0u8..5, 2..=4)) {
+            prop_assert!((2..=4).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn any_u64_works(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(super::seed_for("a::b"), super::seed_for("a::b"));
+        assert_ne!(super::seed_for("a::b"), super::seed_for("a::c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        super::run_property(
+            "shim::failing",
+            &super::test_runner::Config::with_cases(8),
+            &(0usize..4),
+            |v| {
+                prop_assert!(v < 3);
+                Ok(())
+            },
+        );
+    }
+}

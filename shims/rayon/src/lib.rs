@@ -1,0 +1,408 @@
+//! Offline stand-in for the `rayon` crate: genuinely parallel slice
+//! iterators, [`join`], and [`scope`] built on `std::thread::scope`.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `rayon` cannot be vendored. This shim keeps call sites
+//! source-compatible for the subset the workspace uses and preserves the
+//! property the auto-tuner depends on: **order-preserving results**.
+//! `par_iter().map(f).collect::<Vec<_>>()` returns outputs in input
+//! order regardless of thread interleaving, so a caller that reduces the
+//! collected vector serially is bit-for-bit deterministic.
+//!
+//! Work is split into contiguous chunks, one per worker, capped by
+//! [`current_num_threads`]. Small inputs (fewer than two elements per
+//! potential worker, or below a caller-tunable `min_len`) run inline on
+//! the calling thread — thread spawn costs ~10 µs, so fine-grained work
+//! must not fan out.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations may use (mirrors
+/// `rayon::current_num_threads`).
+///
+/// Honors `RAYON_NUM_THREADS` like the real crate's global pool; the
+/// variable is re-read on every call (there is no persistent pool), so
+/// tests can force serial execution for equivalence checks.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, returning both results
+/// (mirrors `rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Structured task scope (mirrors `rayon::scope`).
+///
+/// Spawned tasks run on fresh scoped threads and are joined before
+/// `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Task spawner handed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// How many elements each worker should get at minimum before a parallel
+/// primitive bothers spawning threads.
+const DEFAULT_MIN_LEN: usize = 2;
+
+#[inline]
+fn worker_count(len: usize, min_len: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    let by_grain = len / min_len.max(1);
+    current_num_threads().min(by_grain).max(1)
+}
+
+/// Order-preserving parallel map over a slice.
+fn par_map_slice<'a, T, R, F>(slice: &'a [T], min_len: usize, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let workers = worker_count(slice.len(), min_len);
+    if workers <= 1 {
+        return slice.iter().map(f).collect();
+    }
+    let chunk = slice.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(slice.len());
+    out.resize_with(slice.len(), || None);
+    std::thread::scope(|s| {
+        for (input, output) in slice.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (slot, item) in output.iter_mut().zip(input) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
+}
+
+/// Parallel for-each over disjoint mutable chunks.
+fn par_for_each_chunks_mut<T, F>(slice: &mut [T], chunk: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    let pieces = slice.len().div_ceil(chunk).max(1);
+    let workers = worker_count(pieces, 1);
+    if workers <= 1 || pieces <= 1 {
+        for (i, c) in slice.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    // Hand each worker a contiguous run of whole chunks so at most
+    // `workers` threads spawn no matter how fine the chunking is.
+    let per_worker = pieces.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (g, group) in slice.chunks_mut(per_worker * chunk).enumerate() {
+            s.spawn(move || {
+                for (i, c) in group.chunks_mut(chunk).enumerate() {
+                    f(g * per_worker + i, c);
+                }
+            });
+        }
+    });
+}
+
+/// `.par_iter()` on slices (mirrors `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self, min_len: DEFAULT_MIN_LEN }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self, min_len: DEFAULT_MIN_LEN }
+    }
+}
+
+/// `.par_iter_mut()` / `.par_chunks_mut()` on slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+    fn par_chunks_mut(&'a mut self, chunk: usize) -> ParChunksMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+    fn par_chunks_mut(&'a mut self, chunk: usize) -> ParChunksMut<'a, T> {
+        ParChunksMut { slice: self, chunk }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+    fn par_chunks_mut(&'a mut self, chunk: usize) -> ParChunksMut<'a, T> {
+        ParChunksMut { slice: self, chunk }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+    min_len: usize,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Lower bound on per-worker elements before threads spawn (mirrors
+    /// `IndexedParallelIterator::with_min_len`).
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { slice: self.slice, min_len: self.min_len, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_map_slice(self.slice, self.min_len, &|t| f(t));
+    }
+}
+
+/// Mapped parallel iterator: terminal ops preserve input order.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    min_len: usize,
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Collects mapped values **in input order**.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map_slice(self.slice, self.min_len, &self.f))
+    }
+}
+
+/// Mutable parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        par_for_each_chunks_mut(
+            self.slice,
+            self.slice.len().div_ceil(current_num_threads().max(1)).max(1),
+            &|_, chunk| {
+                for item in chunk {
+                    f(item);
+                }
+            },
+        );
+    }
+
+    /// Pairs each element with its index, like rayon's
+    /// `par_iter_mut().enumerate()`.
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { slice: self.slice }
+    }
+}
+
+pub struct ParIterMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMutEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let chunk = self.slice.len().div_ceil(current_num_threads().max(1)).max(1);
+        par_for_each_chunks_mut(self.slice, chunk, &|ci, items| {
+            for (off, item) in items.iter_mut().enumerate() {
+                f((ci * chunk + off, item));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        par_for_each_chunks_mut(self.slice, self.chunk, &|_, c| f(c));
+    }
+
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { slice: self.slice, chunk: self.chunk }
+    }
+}
+
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        par_for_each_chunks_mut(self.slice, self.chunk, &|i, c| f((i, c)));
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports (mirrors `rayon::prelude`).
+    pub use super::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+pub mod iter {
+    //! Namespace parity with the real crate.
+    pub use super::{ParChunksMut, ParIter, ParIterMut, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_collect_matches_serial_on_tiny_inputs() {
+        for n in 0..5usize {
+            let input: Vec<usize> = (0..n).collect();
+            let out: Vec<usize> = input.par_iter().map(|&x| x + 1).collect();
+            assert_eq!(out, (1..=n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v = vec![1i64; 1000];
+        v.par_iter_mut().for_each(|x| *x += 41);
+        assert!(v.iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let mut v = vec![0usize; 517];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert_eq!(v, (0..517).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_partitions_exactly() {
+        let mut v = vec![0u32; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 10) as u32);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn scope_joins_spawned_tasks() {
+        let mut left = 0u64;
+        let mut right = 0u64;
+        super::scope(|s| {
+            s.spawn(|_| left = 1);
+            s.spawn(|_| right = 2);
+        });
+        assert_eq!((left, right), (1, 2));
+    }
+
+    #[test]
+    fn parallel_map_is_deterministic_across_runs() {
+        let input: Vec<f64> = (0..4096).map(|i| i as f64 * 0.37).collect();
+        let run = || -> f64 {
+            let parts: Vec<f64> = input.par_iter().map(|&x| x.sin()).collect();
+            parts.iter().sum()
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared helpers for the determinism integration tests.
+
+use conv_iolb::autotune::engine::{tune, TuneParams, TuneResult};
+use conv_iolb::autotune::search::walk::ParallelRandomWalk;
+use conv_iolb::autotune::{ConfigSpace, GbtCostModel, Measurer};
+use conv_iolb::core::optimality::TileKind;
+use conv_iolb::core::shapes::ConvShape;
+use conv_iolb::gpusim::DeviceSpec;
+
+pub fn run_tuning(seed: u64) -> TuneResult {
+    let shape = ConvShape::square(64, 28, 32, 3, 1, 1);
+    let device = DeviceSpec::v100();
+    let space = ConfigSpace::new(shape, TileKind::Direct, device.smem_per_sm, true);
+    let measurer = Measurer::new(device, shape, TileKind::Direct);
+    let mut model = GbtCostModel::default();
+    let mut searcher = ParallelRandomWalk::new();
+    let params = TuneParams { max_measurements: 64, batch: 8, patience: 64, seed };
+    tune(&space, &measurer, &mut model, &mut searcher, params)
+        .expect("tuning found no measurable configuration")
+}
+
+/// Bitwise comparison of everything a convergence curve reports.
+pub fn assert_identical(a: &TuneResult, b: &TuneResult, what: &str) {
+    assert_eq!(a.best, b.best, "{what}: best configs differ");
+    assert_eq!(a.best_ms.to_bits(), b.best_ms.to_bits(), "{what}: best_ms differs");
+    assert_eq!(a.best_gflops.to_bits(), b.best_gflops.to_bits(), "{what}: best_gflops differs");
+    assert_eq!(a.measurements, b.measurements, "{what}: budget spent differs");
+    assert_eq!(a.to_best, b.to_best, "{what}: trials-to-best differs");
+    assert_eq!(a.curve.len(), b.curve.len(), "{what}: curve lengths differ");
+    for (i, (pa, pb)) in a.curve.iter().zip(&b.curve).enumerate() {
+        assert_eq!(pa.measurement, pb.measurement, "{what}: curve[{i}] index differs");
+        assert_eq!(
+            pa.best_ms.to_bits(),
+            pb.best_ms.to_bits(),
+            "{what}: curve[{i}] best_ms differs"
+        );
+        assert_eq!(
+            pa.best_gflops.to_bits(),
+            pb.best_gflops.to_bits(),
+            "{what}: curve[{i}] best_gflops differs"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Tuning determinism under parallel measurement (ISSUE 1 acceptance
+//! gate): the engine measures proposal batches on rayon, and that must
+//! not perturb a single bit of the tuning trajectory.
+//!
+//! Run-to-run identity lives here; the parallel-vs-forced-serial check
+//! lives in `determinism_serial.rs` — its own binary, because it
+//! mutates `RAYON_NUM_THREADS` and environment writes must not race
+//! sibling test threads' reads.
+
+mod common;
+
+use common::{assert_identical, run_tuning};
+
+#[test]
+fn same_seed_gives_identical_convergence_curves_with_rayon() {
+    let a = run_tuning(0xD5EED);
+    let b = run_tuning(0xD5EED);
+    assert!(!a.curve.is_empty(), "tuning produced an empty curve");
+    assert_identical(&a, &b, "run-to-run");
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    // Guards against the determinism above being vacuous (e.g. a seed
+    // that is never threaded into the search).
+    let a = run_tuning(1);
+    let b = run_tuning(2);
+    assert!(
+        a.best != b.best || a.curve.len() != b.curve.len() || a.to_best != b.to_best,
+        "two different seeds produced byte-identical tuning runs"
+    );
+}

@@ -146,12 +146,7 @@ fn every_layer_of_every_network_is_plannable() {
     for net in models::all_networks() {
         let t = time_network(&net, &device, PlanMode::Fast);
         for l in &t.layers {
-            assert!(
-                l.ours_ms.is_finite(),
-                "{}/{} unplannable",
-                net.name,
-                l.name
-            );
+            assert!(l.ours_ms.is_finite(), "{}/{} unplannable", net.name, l.name);
         }
     }
 }
