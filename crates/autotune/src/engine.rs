@@ -21,6 +21,19 @@
 //! parallel measurements interleave. The same argument covers the
 //! parallel featurization of the model-training rows: a pure per-row map
 //! collected in row order.
+//!
+//! ## The record store
+//!
+//! [`tune_with_store`] is the loop production services run: identical to
+//! [`tune`] except that an [`iolb_records::RecordStore`] sits between
+//! the searcher and the simulator. Known configurations replay their
+//! stored cost instead of re-measuring (the store is a *measurement
+//! cache*; the simulator is deterministic, so a replayed cost equals a
+//! re-measured one bit for bit), the best stored configurations seed the
+//! searcher's population (*warm start* — exact-workload records first,
+//! falling back to the nearest compatible workload by feature distance,
+//! *cross-layer transfer*), and every fresh measurement is written back,
+//! so measurement cost amortizes across runs, layers and networks.
 
 use crate::cost_model::CostModel;
 use crate::features::featurize;
@@ -28,6 +41,7 @@ use crate::measure::Measurer;
 use crate::search::{History, Searcher};
 use crate::space::ConfigSpace;
 use iolb_dataflow::config::ScheduleConfig;
+use iolb_records::{RecordStore, TuningRecord, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -84,6 +98,93 @@ pub struct TuneResult {
     pub searcher: &'static str,
 }
 
+/// Running bookkeeping of one tuning loop: history, best-so-far,
+/// patience and the convergence curve. Folding is serial and happens in
+/// proposal order, which is what keeps parallel measurement
+/// deterministic.
+struct TuneState {
+    history: History,
+    curve: Vec<CurvePoint>,
+    best: Option<(ScheduleConfig, f64)>,
+    stall: usize,
+    // Failed builds (footprint overflows, unlaunchable blocks) consume
+    // budget exactly like TVM's compile failures do.
+    attempts: usize,
+    to_best: usize,
+}
+
+impl TuneState {
+    fn new() -> Self {
+        Self {
+            history: History::new(),
+            curve: Vec::new(),
+            best: None,
+            stall: 0,
+            attempts: 0,
+            to_best: 0,
+        }
+    }
+
+    /// Whether the loop should keep going.
+    fn live(&self, params: &TuneParams) -> bool {
+        self.attempts < params.max_measurements && self.stall < params.patience
+    }
+
+    /// (1) Model training on the accumulated history.
+    fn train(&self, space: &ConfigSpace, model: &mut dyn CostModel) {
+        if self.history.is_empty() {
+            return;
+        }
+        let rows: Vec<Vec<f64>> = self
+            .history
+            .entries()
+            .par_iter()
+            .with_min_len(crate::gbt::PAR_MIN_ROWS)
+            .map(|(c, _)| featurize(&space.shape, space.kind, c))
+            .collect();
+        let costs: Vec<f64> = self.history.entries().iter().map(|(_, t)| *t).collect();
+        model.train(&rows, &costs);
+    }
+
+    /// (3) Dataset updating, one configuration at a time, in proposal
+    /// order.
+    fn fold(&mut self, cfg: ScheduleConfig, measurement: Option<f64>, measurer: &Measurer) {
+        self.attempts += 1;
+        let Some(ms) = measurement else {
+            // Build failure: budget spent, nothing learned.
+            self.stall += 1;
+            return;
+        };
+        self.history.push(cfg, ms);
+        let improved = self.best.as_ref().is_none_or(|&(_, b)| ms < b);
+        if improved {
+            self.best = Some((cfg, ms));
+            self.to_best = self.attempts;
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+        }
+        let (_, best_ms) = self.best.unwrap();
+        self.curve.push(CurvePoint {
+            measurement: self.attempts,
+            best_ms,
+            best_gflops: measurer.gflops(best_ms),
+        });
+    }
+
+    fn into_result(self, measurer: &Measurer, searcher: &'static str) -> Option<TuneResult> {
+        self.best.map(|(cfg, ms)| TuneResult {
+            best: cfg,
+            best_ms: ms,
+            best_gflops: measurer.gflops(ms),
+            measurements: self.attempts,
+            to_best: self.to_best,
+            curve: self.curve,
+            searcher,
+        })
+    }
+}
+
 /// Runs the full tuning loop.
 ///
 /// Returns `None` only if the space yields no measurable configuration at
@@ -96,29 +197,13 @@ pub fn tune(
     params: TuneParams,
 ) -> Option<TuneResult> {
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut history = History::new();
-    let mut curve = Vec::new();
-    let mut best: Option<(ScheduleConfig, f64)> = None;
-    let mut stall = 0usize;
-    // Failed builds (footprint overflows, unlaunchable blocks) consume
-    // budget exactly like TVM's compile failures do.
-    let mut attempts = 0usize;
-    let mut to_best = 0usize;
+    let mut state = TuneState::new();
 
-    while attempts < params.max_measurements && stall < params.patience {
+    while state.live(&params) {
         // (1) Model training.
-        if !history.is_empty() {
-            let rows: Vec<Vec<f64>> = history
-                .entries()
-                .par_iter()
-                .with_min_len(crate::gbt::PAR_MIN_ROWS)
-                .map(|(c, _)| featurize(&space.shape, space.kind, c))
-                .collect();
-            let costs: Vec<f64> = history.entries().iter().map(|(_, t)| *t).collect();
-            model.train(&rows, &costs);
-        }
+        state.train(space, model);
         // (2) Configuration searching.
-        let mut batch = searcher.propose(space, model, &history, params.batch, &mut rng);
+        let mut batch = searcher.propose(space, model, &state.history, params.batch, &mut rng);
         if batch.is_empty() {
             break;
         }
@@ -126,42 +211,180 @@ pub fn tune(
         // (truncated to the remaining budget, which is exactly the set the
         // serial loop would have reached), then fold serially in proposal
         // order so the bookkeeping is schedule-independent.
-        batch.truncate(params.max_measurements - attempts);
+        batch.truncate(params.max_measurements - state.attempts);
         let measured = measurer.measure_batch(&batch);
         for (cfg, measurement) in batch.into_iter().zip(measured) {
-            attempts += 1;
-            let Some(ms) = measurement else {
-                // Build failure: budget spent, nothing learned.
-                stall += 1;
-                continue;
-            };
-            history.push(cfg, ms);
-            let improved = best.as_ref().is_none_or(|&(_, b)| ms < b);
-            if improved {
-                best = Some((cfg, ms));
-                to_best = attempts;
-                stall = 0;
-            } else {
-                stall += 1;
-            }
-            let (_, best_ms) = best.unwrap();
-            curve.push(CurvePoint {
-                measurement: attempts,
-                best_ms,
-                best_gflops: measurer.gflops(best_ms),
-            });
+            state.fold(cfg, measurement, measurer);
         }
     }
 
-    best.map(|(cfg, ms)| TuneResult {
-        best: cfg,
-        best_ms: ms,
-        best_gflops: measurer.gflops(ms),
-        measurements: attempts,
-        to_best,
-        curve,
-        searcher: searcher.name(),
-    })
+    state.into_result(measurer, searcher.name())
+}
+
+/// The [`Workload`] identity of a tuning problem — the record store's
+/// primary key for everything this `(space, measurer)` pair measures.
+pub fn workload_for(space: &ConfigSpace, measurer: &Measurer) -> Workload {
+    Workload::new(space.shape, space.kind, measurer.device.name, measurer.device.smem_per_sm)
+}
+
+/// Outcome of a store-backed tuning run: the ordinary [`TuneResult`]
+/// plus how the store changed the economics of the run.
+#[derive(Debug, Clone)]
+pub struct StoreTuneResult {
+    /// The tuning outcome. `measurements` counts budget spent, i.e.
+    /// cache replays *and* fresh measurements — identical semantics to
+    /// [`tune`], so curves stay comparable.
+    pub result: TuneResult,
+    /// Attempts answered by the store without touching the simulator.
+    pub cache_hits: usize,
+    /// Attempts that actually invoked the simulator (including build
+    /// failures, which are never cached).
+    pub fresh_measurements: usize,
+    /// Configurations used to warm-start the searcher.
+    pub warm_seeded: usize,
+    /// Whether the warm start came from a *different* workload
+    /// (cross-layer transfer) rather than an exact fingerprint match.
+    pub transferred: bool,
+}
+
+/// Measures a batch through the store: exact hits replay their stored
+/// cost, misses go to the simulator (in parallel, in order). Returns the
+/// per-config `(cost, was_hit)` in proposal order.
+fn measure_batch_cached(
+    measurer: &Measurer,
+    batch: &[ScheduleConfig],
+    store: &RecordStore,
+    fingerprint: &str,
+) -> Vec<(Option<f64>, bool)> {
+    // One index probe per batch (the fingerprint is loop-invariant);
+    // per-config lookup is then a scan of this workload's records only.
+    let records = store.records(fingerprint);
+    let cached: Vec<Option<f64>> =
+        batch.iter().map(|c| records.iter().find(|r| r.config == *c).map(|r| r.cost_ms)).collect();
+    let misses: Vec<ScheduleConfig> =
+        batch.iter().zip(&cached).filter(|(_, hit)| hit.is_none()).map(|(c, _)| *c).collect();
+    let measured = measurer.measure_batch(&misses);
+    let mut fresh = measured.into_iter();
+    cached
+        .into_iter()
+        .map(|hit| match hit {
+            Some(ms) => (Some(ms), true),
+            None => (fresh.next().expect("one fresh measurement per miss"), false),
+        })
+        .collect()
+}
+
+/// How a store-backed tuning run may use the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// Replay cached measurements *and* seed the searcher from the
+    /// store's best records (exact workload first, nearest compatible
+    /// workload as the transfer fallback). The production default.
+    WarmStart,
+    /// Replay cached measurements only. The search trajectory is
+    /// bit-identical to a storeless run (a replayed cost equals a
+    /// re-measured one), so head-to-head tuner comparisons stay honest
+    /// while still amortizing simulator time — what the `fig11`/`tab2`
+    /// comparison binaries use, where warm-starting one method from a
+    /// competitor's records would corrupt the comparison.
+    CacheOnly,
+}
+
+/// [`tune`], backed by a persistent [`RecordStore`] in
+/// [`StoreMode::WarmStart`]: cached measurements replay for free, the
+/// searcher warm-starts from the best stored records, and every fresh
+/// measurement is written back to the store.
+///
+/// Determinism carries over: the store's queries and canonical ordering
+/// are deterministic, replayed costs are bit-identical to re-measured
+/// ones, and the fold stays serial in proposal order. Two runs against
+/// equal stores produce identical results *and* identical stores.
+pub fn tune_with_store(
+    space: &ConfigSpace,
+    measurer: &Measurer,
+    model: &mut dyn CostModel,
+    searcher: &mut dyn Searcher,
+    params: TuneParams,
+    store: &mut RecordStore,
+) -> Option<StoreTuneResult> {
+    tune_with_store_mode(space, measurer, model, searcher, params, store, StoreMode::WarmStart)
+}
+
+/// [`tune_with_store`] with an explicit [`StoreMode`].
+#[allow(clippy::too_many_arguments)] // the tune() signature plus store and mode
+pub fn tune_with_store_mode(
+    space: &ConfigSpace,
+    measurer: &Measurer,
+    model: &mut dyn CostModel,
+    searcher: &mut dyn Searcher,
+    params: TuneParams,
+    store: &mut RecordStore,
+    mode: StoreMode,
+) -> Option<StoreTuneResult> {
+    let workload = workload_for(space, measurer);
+    let fingerprint = workload.fingerprint();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut state = TuneState::new();
+    let mut cache_hits = 0usize;
+    let mut fresh_measurements = 0usize;
+
+    // Fold a batch through the cache, tallying hits and writing fresh
+    // successes back to the store.
+    let mut fold_cached =
+        |state: &mut TuneState, store: &mut RecordStore, batch: Vec<ScheduleConfig>| {
+            let measured = measure_batch_cached(measurer, &batch, store, &fingerprint);
+            for (cfg, (measurement, was_hit)) in batch.into_iter().zip(measured) {
+                if was_hit {
+                    cache_hits += 1;
+                } else {
+                    fresh_measurements += 1;
+                    if let Some(ms) = measurement {
+                        if let Ok(rec) = TuningRecord::new(workload.clone(), cfg, ms, params.seed) {
+                            store.insert(rec);
+                        }
+                    }
+                }
+                state.fold(cfg, measurement, measurer);
+            }
+        };
+
+    // Warm start: replay the store's best configurations for this
+    // workload (or, transferring, the nearest compatible one) as the
+    // zeroth batch, and seed the searcher's population with them. The
+    // replay puts their costs into the history, so the cost model is
+    // trained before the first proposal round — the "guided first batch"
+    // that cold runs pay full price for.
+    let (mut warm, transferred) = match mode {
+        StoreMode::WarmStart => store.warm_start_configs(&workload, params.batch.max(1)),
+        StoreMode::CacheOnly => (Vec::new(), false),
+    };
+    warm.retain(|c| space.contains(c));
+    warm.truncate(params.max_measurements);
+    let warm_seeded = warm.len();
+    // Transfer only counts if at least one transferred config survived
+    // the space filter (a neighbour's tiles need not divide this layer).
+    let transferred = transferred && !warm.is_empty();
+    searcher.warm_start(&warm);
+    if !warm.is_empty() {
+        fold_cached(&mut state, store, warm);
+        // Replaying the store best-first means every warm config after
+        // the first looked like "no improvement"; that is cache priming,
+        // not the search stalling, so it must not eat into patience.
+        state.stall = 0;
+    }
+
+    while state.live(&params) {
+        state.train(space, model);
+        let mut batch = searcher.propose(space, model, &state.history, params.batch, &mut rng);
+        if batch.is_empty() {
+            break;
+        }
+        batch.truncate(params.max_measurements - state.attempts);
+        fold_cached(&mut state, store, batch);
+    }
+
+    let result = state.into_result(measurer, searcher.name())?;
+    Some(StoreTuneResult { result, cache_hits, fresh_measurements, warm_seeded, transferred })
 }
 
 /// Transfer tuning: tunes a sequence of related problems (e.g. the conv
@@ -346,6 +569,139 @@ mod tests {
             rp.best_ms,
             rf.best_ms
         );
+    }
+
+    #[test]
+    fn store_backed_tuning_matches_plain_tuning_on_empty_store() {
+        // With nothing cached, tune_with_store must walk the exact same
+        // trajectory as tune (no hits, no warm seeds, same RNG stream).
+        let (space, measurer) = setup(true);
+        let params = TuneParams { max_measurements: 32, batch: 4, patience: 32, seed: 21 };
+        let plain = {
+            let mut model = GbtCostModel::default();
+            let mut searcher = ParallelRandomWalk::new();
+            tune(&space, &measurer, &mut model, &mut searcher, params).unwrap()
+        };
+        let mut store = iolb_records::RecordStore::new();
+        let cached = {
+            let mut model = GbtCostModel::default();
+            let mut searcher = ParallelRandomWalk::new();
+            tune_with_store(&space, &measurer, &mut model, &mut searcher, params, &mut store)
+                .unwrap()
+        };
+        assert_eq!(cached.cache_hits, 0);
+        assert_eq!(cached.warm_seeded, 0);
+        assert!(!cached.transferred);
+        assert_eq!(cached.fresh_measurements, cached.result.measurements);
+        assert_eq!(cached.result.best, plain.best);
+        assert_eq!(cached.result.best_ms.to_bits(), plain.best_ms.to_bits());
+        assert_eq!(cached.result.measurements, plain.measurements);
+        // Every successful fresh measurement was recorded.
+        assert_eq!(store.len(), cached.result.curve.len());
+    }
+
+    #[test]
+    fn second_run_hits_the_cache_and_never_regresses() {
+        let (space, measurer) = setup(true);
+        // patience == budget so both runs spend the whole budget: the
+        // strict fresh-measurement reduction is then exactly the hits.
+        let params = TuneParams { max_measurements: 40, batch: 8, patience: 40, seed: 33 };
+        let mut store = iolb_records::RecordStore::new();
+        let run = |store: &mut iolb_records::RecordStore| {
+            let mut model = GbtCostModel::default();
+            let mut searcher = ParallelRandomWalk::new();
+            tune_with_store(&space, &measurer, &mut model, &mut searcher, params, store).unwrap()
+        };
+        let first = run(&mut store);
+        let second = run(&mut store);
+        assert!(second.warm_seeded > 0, "second run found no warm seeds");
+        assert!(second.cache_hits > 0, "second run never hit the cache");
+        assert!(
+            second.fresh_measurements < first.fresh_measurements,
+            "second run re-measured as much as the first ({} vs {})",
+            second.fresh_measurements,
+            first.fresh_measurements
+        );
+        assert!(
+            second.result.best_ms <= first.result.best_ms,
+            "warm-started best {} regressed past cold best {}",
+            second.result.best_ms,
+            first.result.best_ms
+        );
+    }
+
+    #[test]
+    fn cache_only_mode_replays_without_changing_the_trajectory() {
+        // In CacheOnly mode a second run must walk the *identical*
+        // trajectory to a storeless run — only cheaper.
+        let (space, measurer) = setup(true);
+        let params = TuneParams { max_measurements: 32, batch: 8, patience: 32, seed: 13 };
+        let plain = {
+            let mut model = GbtCostModel::default();
+            let mut searcher = ParallelRandomWalk::new();
+            tune(&space, &measurer, &mut model, &mut searcher, params).unwrap()
+        };
+        let mut store = iolb_records::RecordStore::new();
+        let run = |store: &mut iolb_records::RecordStore| {
+            let mut model = GbtCostModel::default();
+            let mut searcher = ParallelRandomWalk::new();
+            tune_with_store_mode(
+                &space,
+                &measurer,
+                &mut model,
+                &mut searcher,
+                params,
+                store,
+                StoreMode::CacheOnly,
+            )
+            .unwrap()
+        };
+        let first = run(&mut store);
+        let second = run(&mut store);
+        for cached in [&first, &second] {
+            assert_eq!(cached.warm_seeded, 0);
+            assert!(!cached.transferred);
+            assert_eq!(cached.result.best, plain.best);
+            assert_eq!(cached.result.best_ms.to_bits(), plain.best_ms.to_bits());
+            assert_eq!(cached.result.measurements, plain.measurements);
+            assert_eq!(cached.result.to_best, plain.to_best);
+        }
+        // ... but the second run replays instead of re-measuring.
+        assert_eq!(first.cache_hits, 0);
+        assert!(second.cache_hits > 0);
+        assert!(second.fresh_measurements < first.fresh_measurements);
+    }
+
+    #[test]
+    fn transfer_seeds_from_the_nearest_workload() {
+        let device = DeviceSpec::v100();
+        let near = ConvShape::square(64, 28, 32, 3, 1, 1);
+        let target = ConvShape::square(32, 28, 32, 3, 1, 1);
+        let params = TuneParams { max_measurements: 24, batch: 6, patience: 24, seed: 5 };
+        let mut store = iolb_records::RecordStore::new();
+        // Populate the store with the neighbour layer only.
+        {
+            let space = ConfigSpace::new(near, TileKind::Direct, device.smem_per_sm, true);
+            let measurer = Measurer::new(device.clone(), near, TileKind::Direct);
+            let mut model = GbtCostModel::default();
+            let mut searcher = ParallelRandomWalk::new();
+            tune_with_store(&space, &measurer, &mut model, &mut searcher, params, &mut store)
+                .unwrap();
+        }
+        let space = ConfigSpace::new(target, TileKind::Direct, device.smem_per_sm, true);
+        let measurer = Measurer::new(device, target, TileKind::Direct);
+        let mut model = GbtCostModel::default();
+        let mut searcher = ParallelRandomWalk::new();
+        let out = tune_with_store(&space, &measurer, &mut model, &mut searcher, params, &mut store)
+            .unwrap();
+        // Same spatial extents: the neighbour's configs that survive the
+        // space filter seed the run, flagged as a transfer.
+        assert!(out.transferred, "no cross-workload transfer happened");
+        assert!(out.warm_seeded > 0);
+        assert_eq!(out.cache_hits, 0, "different workload must not hit the cache");
+        // The target workload's fresh measurements are now stored too.
+        let wl = workload_for(&space, &measurer);
+        assert!(!store.top_k(&wl, 1).is_empty());
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! * [`measure`] — the template-manager stand-in: lowers a configuration
 //!   through `iolb-dataflow` and times it on `iolb-gpusim`.
 //! * [`engine`] — the train → search → measure loop (Fig. 8) with the
-//!   paper's convergence criterion.
+//!   paper's convergence criterion, plus the [`engine::tune_with_store`]
+//!   variant backed by the persistent `iolb-records` store (measurement
+//!   cache, warm start, cross-layer transfer).
 
 #![allow(clippy::needless_range_loop)] // index loops read clearer in the tree learner
 pub mod cost_model;
@@ -28,7 +30,10 @@ pub mod search;
 pub mod space;
 
 pub use cost_model::{CostModel, GbtCostModel, NoModel};
-pub use engine::{tune, CurvePoint, TuneParams, TuneResult};
+pub use engine::{
+    tune, tune_with_store, tune_with_store_mode, workload_for, CurvePoint, StoreMode,
+    StoreTuneResult, TuneParams, TuneResult,
+};
 pub use measure::Measurer;
 pub use search::{History, Searcher};
 pub use space::ConfigSpace;

@@ -105,6 +105,16 @@ impl Searcher for GeneticSearch {
         top_up(out, space, history, batch, rng)
     }
 
+    fn warm_start(&mut self, seeds: &[ScheduleConfig]) {
+        // Seeds join the founding population; their (cached) costs in the
+        // history make them tournament favourites from round one.
+        for seed in seeds {
+            if !self.population.contains(seed) {
+                self.population.push(*seed);
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "genetic"
     }

@@ -76,6 +76,13 @@ pub trait Searcher {
         rng: &mut StdRng,
     ) -> Vec<ScheduleConfig>;
 
+    /// Seeds the searcher's internal population with externally-known
+    /// strong configurations — the warm-start hook the tuning-record
+    /// store uses to resume from the best of previous runs (best first).
+    /// Callers guarantee the seeds belong to the space being searched.
+    /// Stateless strategies may ignore this (the default).
+    fn warm_start(&mut self, _seeds: &[ScheduleConfig]) {}
+
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
 }

@@ -79,6 +79,16 @@ impl Searcher for SimulatedAnnealing {
         top_up(out, space, history, batch, rng)
     }
 
+    fn warm_start(&mut self, seeds: &[ScheduleConfig]) {
+        // Warm seeds enter the surviving population, so the first
+        // annealing round starts from known-good points.
+        for seed in seeds {
+            if !self.population.contains(seed) {
+                self.population.push(*seed);
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "simulated-annealing"
     }

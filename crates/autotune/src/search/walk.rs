@@ -117,6 +117,12 @@ impl Searcher for ParallelRandomWalk {
         top_up(out, space, history, batch, rng)
     }
 
+    fn warm_start(&mut self, seeds: &[ScheduleConfig]) {
+        // `propose` consumes `self.seeds` back-to-front; append reversed
+        // so the strongest (first) external seed is placed first.
+        self.seeds.extend(seeds.iter().rev().copied());
+    }
+
     fn name(&self) -> &'static str {
         "parallel-random-walk"
     }

@@ -1,8 +1,21 @@
 //! Figure 11 — convergence of the four automation methods on AlexNet
 //! conv1 (V100): best-found GFLOP/s vs number of measurements, plus the
 //! cuDNN stand-in's flat baseline.
+//!
+//! With `--records <store.jsonl>` the runs go through a persistent
+//! tuning-record store in **cache-only** mode: previously measured
+//! configurations replay from the cache (bit-identical to re-measuring,
+//! so every method's search trajectory — and the comparison — is
+//! unchanged), fresh measurements are appended, and the store is saved
+//! back; re-running the figure becomes incremental instead of starting
+//! from scratch. Warm-starting is deliberately off here: records carry
+//! no searcher identity, so it would seed each method with its
+//! competitors' best configurations.
 
-use iolb_bench::{banner, cudnn_direct_ms, run_tuner, TunerKind};
+use iolb_bench::{
+    banner, cudnn_direct_ms, load_store_or_exit, records_flag, run_tuner, run_tuner_with_store,
+    save_store_or_exit, StoreMode, TunerKind,
+};
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
 use iolb_gpusim::DeviceSpec;
@@ -18,14 +31,35 @@ fn main() {
     let budget = 320;
     let seeds: [u64; 3] = [17, 101, 4242];
     let methods = [TunerKind::Ate, TunerKind::TvmSa, TunerKind::TvmGa, TunerKind::TvmRandom];
+    let records = records_flag();
+    let mut store = records.as_deref().map(load_store_or_exit);
+    let mut cache_hits = 0usize;
+    let mut fresh = 0usize;
     // Search is stochastic; average the best-so-far curves over seeds.
     let results: Vec<_> = methods
         .iter()
         .map(|&m| {
             let runs: Vec<_> = seeds
                 .iter()
-                .map(|&s| {
-                    run_tuner(m, &shape, TileKind::Direct, &device, budget, s).expect("tuning run")
+                .map(|&s| match store.as_mut() {
+                    Some(store) => {
+                        let out = run_tuner_with_store(
+                            m,
+                            &shape,
+                            TileKind::Direct,
+                            &device,
+                            budget,
+                            s,
+                            store,
+                            StoreMode::CacheOnly,
+                        )
+                        .expect("tuning run");
+                        cache_hits += out.cache_hits;
+                        fresh += out.fresh_measurements;
+                        out.result
+                    }
+                    None => run_tuner(m, &shape, TileKind::Direct, &device, budget, s)
+                        .expect("tuning run"),
                 })
                 .collect();
             (m, runs)
@@ -75,6 +109,14 @@ fn main() {
     println!("\nPaper reference: all methods improve over iterations; ATE finds better");
     println!("configurations in fewer steps than SA / GA / random, and all end above");
     println!("the cuDNN line.");
+
+    if let (Some(store), Some(path)) = (&store, &records) {
+        println!(
+            "\nRecord store: {cache_hits} of {} attempts replayed from cache, {fresh} fresh",
+            cache_hits + fresh
+        );
+        save_store_or_exit(store, path);
+    }
 
     // What did the cost model learn? Refit a GBT on the ATE run's history
     // and rank features by permutation importance.

@@ -2,9 +2,19 @@
 //! conv layers: search-space sizes, measurements to converge, and the best
 //! solution's GFLOP/s. `conv3_wino`/`conv4_wino` tune the Winograd
 //! implementation of conv3/conv4.
+//!
+//! With `--records <store.jsonl>` both tuners run against a persistent
+//! tuning-record store in **cache-only** mode (cached measurements
+//! replay bit-identically, fresh ones are appended and saved back), so
+//! repeated table builds are incremental while the TVM-vs-ATE
+//! comparison stays untouched — warm-starting is off because it would
+//! seed each tuner from the other's records of the same workload.
 
 use iolb_autotune::ConfigSpace;
-use iolb_bench::{banner, run_tuner, TunerKind};
+use iolb_bench::{
+    banner, load_store_or_exit, records_flag, run_tuner, run_tuner_with_store, save_store_or_exit,
+    StoreMode, TunerKind,
+};
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::{ConvShape, WinogradTile};
 use iolb_gpusim::DeviceSpec;
@@ -70,6 +80,36 @@ fn main() {
         "ATE/TVM"
     );
     let budget = 800;
+    let records = records_flag();
+    let mut store = records.as_deref().map(load_store_or_exit);
+    let mut cache_hits = 0usize;
+    let mut fresh = 0usize;
+    let mut tuned = |kind: TunerKind,
+                     shape: &ConvShape,
+                     tile: TileKind,
+                     device: &DeviceSpec,
+                     store: &mut Option<iolb_records::RecordStore>|
+     -> iolb_autotune::TuneResult {
+        match store.as_mut() {
+            Some(store) => {
+                let out = run_tuner_with_store(
+                    kind,
+                    shape,
+                    tile,
+                    device,
+                    budget,
+                    11,
+                    store,
+                    StoreMode::CacheOnly,
+                )
+                .expect("tuning run");
+                cache_hits += out.cache_hits;
+                fresh += out.fresh_measurements;
+                out.result
+            }
+            None => run_tuner(kind, shape, tile, device, budget, 11).expect("tuning run"),
+        }
+    };
     // Iterations are compared at a common quality bar: the first attempt
     // at which each tuner reaches 95% of the weaker tuner's final best
     // (both are guaranteed to get there), mirroring the paper's
@@ -83,10 +123,8 @@ fn main() {
         let n_full = full.count();
         let n_pruned = pruned.count();
 
-        let tvm = run_tuner(TunerKind::TvmSa, &case.shape, case.kind, &device, budget, 11)
-            .expect("tvm run");
-        let ate = run_tuner(TunerKind::Ate, &case.shape, case.kind, &device, budget, 11)
-            .expect("ate run");
+        let tvm = tuned(TunerKind::TvmSa, &case.shape, case.kind, &device, &mut store);
+        let ate = tuned(TunerKind::Ate, &case.shape, case.kind, &device, &mut store);
 
         let bar = 0.95 * tvm.best_gflops.min(ate.best_gflops);
         let it_tvm = iters_to(&tvm, bar);
@@ -108,4 +146,12 @@ fn main() {
     println!();
     println!("Paper reference: ATE space is 21-53% of TVM's; ATE converges 0.7-2.3x");
     println!("faster in iterations; final GFLOP/s >= TVM's (1.00-1.84x).");
+
+    if let (Some(store), Some(path)) = (&store, &records) {
+        println!(
+            "\nRecord store: {cache_hits} of {} attempts replayed from cache, {fresh} fresh",
+            cache_hits + fresh
+        );
+        save_store_or_exit(store, path);
+    }
 }

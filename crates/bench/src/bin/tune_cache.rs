@@ -1,0 +1,223 @@
+//! `tune-cache` — inspect, verify, compact and merge tuning-record
+//! stores (the operational face of `iolb-records`).
+//!
+//! ```console
+//! $ tune-cache stats   store.jsonl              # size / workload summary
+//! $ tune-cache top     store.jsonl [--k N]      # best records per workload
+//! $ tune-cache check   store.jsonl              # codec gate (CI): canonical + stable round-trip
+//! $ tune-cache compact store.jsonl --keep N [-o out.jsonl]
+//! $ tune-cache merge   -o out.jsonl a.jsonl b.jsonl [...]
+//! $ tune-cache gen     store.jsonl              # deterministically tune two small layers into a store
+//! ```
+//!
+//! `check` is wired into CI against a committed fixture store: it fails
+//! (exit 1) if any line no longer parses, if the file is not in the
+//! canonical serialization the current codec produces, or if
+//! parse→serialize→parse→serialize is not byte-stable — i.e. any codec
+//! regression that would corrupt or silently rewrite users' stores.
+
+use iolb_bench::{
+    load_store_or_exit, run_tuner_with_store, save_store_or_exit, StoreMode, TunerKind,
+};
+use iolb_core::optimality::TileKind;
+use iolb_core::shapes::ConvShape;
+use iolb_gpusim::DeviceSpec;
+use iolb_records::RecordStore;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tune-cache <stats|top|check|compact|merge|gen> [args]\n\
+         \n\
+         stats   <store>                    record/workload counts and cost ranges\n\
+         top     <store> [--k N]            best N records per workload (default 3)\n\
+         check   <store>                    exit non-zero unless the store parses cleanly,\n\
+         \u{20}                                  is canonical, and round-trips byte-identically\n\
+         compact <store> --keep N [-o OUT]  keep only the N best records per workload\n\
+         merge   -o OUT <in> [<in>...]      merge stores (best cost wins on duplicates)\n\
+         gen     <store>                    generate a small deterministic store by tuning\n\
+         \u{20}                                  two AlexNet-style layers (fixture/demo)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match (cmd.as_str(), &args[1..]) {
+        ("stats", [store]) => stats(Path::new(store)),
+        ("top", [store, rest @ ..]) => top(Path::new(store), flag_value(rest, "--k").unwrap_or(3)),
+        ("check", [store]) => check(Path::new(store)),
+        ("compact", [store, rest @ ..]) => {
+            let Some(keep) = flag_value(rest, "--keep") else {
+                eprintln!("compact requires --keep N");
+                return ExitCode::from(2);
+            };
+            let out = flag_path(rest, "-o").unwrap_or_else(|| PathBuf::from(store));
+            compact(Path::new(store), keep, &out)
+        }
+        ("merge", rest) => {
+            let Some(out) = flag_path(rest, "-o") else {
+                eprintln!("merge requires -o OUT");
+                return ExitCode::from(2);
+            };
+            let inputs: Vec<&String> = rest
+                .iter()
+                .skip_while(|a| *a != "-o")
+                .skip(2)
+                .chain(rest.iter().take_while(|a| *a != "-o"))
+                .collect();
+            if inputs.is_empty() {
+                eprintln!("merge requires at least one input store");
+                return ExitCode::from(2);
+            }
+            merge(&inputs, &out)
+        }
+        ("gen", [store]) => gen(Path::new(store)),
+        _ => usage(),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.get(at + 1)?.parse().ok()
+}
+
+fn flag_path(args: &[String], flag: &str) -> Option<PathBuf> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.get(at + 1).map(PathBuf::from)
+}
+
+fn stats(path: &Path) -> ExitCode {
+    let store = load_store_or_exit(path);
+    println!(
+        "{}: {} record(s) across {} workload(s)",
+        path.display(),
+        store.len(),
+        store.workload_count()
+    );
+    for fp in store.fingerprints() {
+        let recs = store.records(fp);
+        let best = recs.first().map_or(f64::NAN, |r| r.cost_ms);
+        let worst = recs.last().map_or(f64::NAN, |r| r.cost_ms);
+        println!("  {:>5} record(s)  best {best:.6} ms  worst {worst:.6} ms  {fp}", recs.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn top(path: &Path, k: usize) -> ExitCode {
+    let store = load_store_or_exit(path);
+    for fp in store.fingerprints() {
+        println!("{fp}");
+        for rec in store.records(fp).iter().take(k) {
+            println!("  {:>10.6} ms  seed {:>6}  {}", rec.cost_ms, rec.seed, rec.config);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn check(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check FAILED: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let (store, report) = RecordStore::from_jsonl(&text);
+    if !report.is_clean() {
+        eprintln!("check FAILED: {} line(s) no longer parse:", report.skipped.len());
+        for (line, reason) in &report.skipped {
+            eprintln!("  {}:{line}: {reason}", path.display());
+        }
+        return ExitCode::FAILURE;
+    }
+    let canonical = store.to_jsonl();
+    if text != canonical {
+        eprintln!(
+            "check FAILED: {} is not in the codec's canonical serialization \
+             (re-save it with `tune-cache compact {} --keep 1000000`)",
+            path.display(),
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let (reparsed, report2) = RecordStore::from_jsonl(&canonical);
+    if !report2.is_clean() || reparsed.to_jsonl() != canonical {
+        eprintln!("check FAILED: parse -> serialize -> parse is not byte-stable");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "check OK: {} record(s), {} workload(s), canonical and byte-stable",
+        store.len(),
+        store.workload_count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn compact(path: &Path, keep: usize, out: &Path) -> ExitCode {
+    let mut store = load_store_or_exit(path);
+    let dropped = store.compact(keep);
+    save_store_or_exit(&store, out);
+    println!(
+        "compacted {}: dropped {dropped}, kept {} -> {}",
+        path.display(),
+        store.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn merge(inputs: &[&String], out: &Path) -> ExitCode {
+    let mut merged = RecordStore::new();
+    for input in inputs {
+        let store = load_store_or_exit(Path::new(input));
+        let inserted = merged.merge(store);
+        println!("merged {input}: {inserted} record(s) new or improved");
+    }
+    save_store_or_exit(&merged, out);
+    ExitCode::SUCCESS
+}
+
+/// Deterministically tunes two related AlexNet-style layers into a fresh
+/// store: everything is seeded, so the output is byte-reproducible —
+/// which is exactly what a committed CI fixture needs.
+fn gen(path: &Path) -> ExitCode {
+    let device = DeviceSpec::v100();
+    let mut store = RecordStore::new();
+    let layers = [
+        ConvShape::new(256, 13, 13, 384, 3, 3, 1, 1), // AlexNet conv3
+        ConvShape::new(384, 13, 13, 256, 3, 3, 1, 1), // AlexNet conv4
+    ];
+    for (i, shape) in layers.iter().enumerate() {
+        let out = run_tuner_with_store(
+            TunerKind::Ate,
+            shape,
+            TileKind::Direct,
+            &device,
+            48,
+            1000 + i as u64,
+            &mut store,
+            StoreMode::WarmStart,
+        );
+        match out {
+            Some(r) => println!(
+                "tuned {shape}: best {:.6} ms in {} attempt(s) ({} fresh, {} cached{})",
+                r.result.best_ms,
+                r.result.measurements,
+                r.fresh_measurements,
+                r.cache_hits,
+                if r.transferred { ", transfer-seeded" } else { "" },
+            ),
+            None => {
+                eprintln!("error: no measurable configuration for {shape}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    save_store_or_exit(&store, path);
+    ExitCode::SUCCESS
+}

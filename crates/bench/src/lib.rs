@@ -14,18 +14,20 @@
 //!
 //! This library holds the shared runners (planning, tuning, printing).
 
-use iolb_autotune::engine::{tune, TuneParams, TuneResult};
+use iolb_autotune::engine::{tune, tune_with_store_mode, TuneParams, TuneResult};
 use iolb_autotune::search::genetic::GeneticSearch;
 use iolb_autotune::search::random::RandomSearch;
 use iolb_autotune::search::sa::SimulatedAnnealing;
 use iolb_autotune::search::walk::ParallelRandomWalk;
-use iolb_autotune::{ConfigSpace, GbtCostModel, Measurer, NoModel, Searcher};
+pub use iolb_autotune::StoreMode;
+use iolb_autotune::{ConfigSpace, GbtCostModel, Measurer, NoModel, Searcher, StoreTuneResult};
 use iolb_cnn::inference::fast_config;
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::{ConvShape, WinogradTile};
 use iolb_dataflow::baselines;
 use iolb_dataflow::{direct_kernel, winograd_kernel};
 use iolb_gpusim::{simulate, simulate_sequence, DeviceSpec};
+use iolb_records::RecordStore;
 
 /// Our dataflow's simulated time (ms) with the fast (analytic) plan.
 pub fn ours_fast_ms(shape: &ConvShape, kind: TileKind, device: &DeviceSpec) -> Option<f64> {
@@ -97,20 +99,19 @@ impl TunerKind {
     }
 }
 
-/// Runs one tuner on one convolution; `budget` caps measurements.
-pub fn run_tuner(
+fn tuner_setup(
     kind: TunerKind,
     shape: &ConvShape,
     tile_kind: TileKind,
     device: &DeviceSpec,
     budget: usize,
     seed: u64,
-) -> Option<TuneResult> {
+) -> (ConfigSpace, Measurer, TuneParams, Box<dyn Searcher>) {
     let space = ConfigSpace::new(*shape, tile_kind, device.smem_per_sm, kind.pruned());
     let measurer = Measurer::new(device.clone(), *shape, tile_kind);
     let params =
         TuneParams { max_measurements: budget, batch: 8, patience: (budget / 2).max(24), seed };
-    let mut searcher: Box<dyn Searcher> = match kind {
+    let searcher: Box<dyn Searcher> = match kind {
         TunerKind::Ate => {
             // The engine warm-starts one walker at the analytic
             // optimality-condition configuration — the theory picks the
@@ -122,6 +123,20 @@ pub fn run_tuner(
         TunerKind::TvmGa => Box::new(GeneticSearch::new()),
         TunerKind::TvmRandom => Box::new(RandomSearch),
     };
+    (space, measurer, params, searcher)
+}
+
+/// Runs one tuner on one convolution; `budget` caps measurements.
+pub fn run_tuner(
+    kind: TunerKind,
+    shape: &ConvShape,
+    tile_kind: TileKind,
+    device: &DeviceSpec,
+    budget: usize,
+    seed: u64,
+) -> Option<TuneResult> {
+    let (space, measurer, params, mut searcher) =
+        tuner_setup(kind, shape, tile_kind, device, budget, seed);
     match kind {
         TunerKind::TvmGa | TunerKind::TvmRandom => {
             let mut model = NoModel;
@@ -132,6 +147,114 @@ pub fn run_tuner(
             tune(&space, &measurer, &mut model, searcher.as_mut(), params)
         }
     }
+}
+
+/// [`run_tuner`] against a persistent tuning-record store: measurements
+/// already in the store replay for free and fresh measurements are
+/// written back.
+///
+/// `mode` picks how much the store may steer the run. Comparison
+/// harnesses that tune the *same workload* with competing methods (or
+/// several seeds) must use [`StoreMode::CacheOnly`] — records carry no
+/// searcher identity, so warm-starting would hand each run its
+/// competitors' best configurations and flatten the very curves being
+/// compared. [`StoreMode::WarmStart`] is for production-style tuning
+/// where any head start is pure win.
+#[allow(clippy::too_many_arguments)] // run_tuner's signature plus store and mode
+pub fn run_tuner_with_store(
+    kind: TunerKind,
+    shape: &ConvShape,
+    tile_kind: TileKind,
+    device: &DeviceSpec,
+    budget: usize,
+    seed: u64,
+    store: &mut RecordStore,
+    mode: StoreMode,
+) -> Option<StoreTuneResult> {
+    let (space, measurer, params, mut searcher) =
+        tuner_setup(kind, shape, tile_kind, device, budget, seed);
+    match kind {
+        TunerKind::TvmGa | TunerKind::TvmRandom => {
+            let mut model = NoModel;
+            tune_with_store_mode(
+                &space,
+                &measurer,
+                &mut model,
+                searcher.as_mut(),
+                params,
+                store,
+                mode,
+            )
+        }
+        _ => {
+            let mut model = GbtCostModel::default();
+            tune_with_store_mode(
+                &space,
+                &measurer,
+                &mut model,
+                searcher.as_mut(),
+                params,
+                store,
+                mode,
+            )
+        }
+    }
+}
+
+/// Parses the shared `--records <path>` CLI flag of the tuning binaries.
+/// Returns the path when present; exits with a usage message when the
+/// flag is dangling.
+pub fn records_flag() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--records" {
+            match args.next() {
+                Some(path) => return Some(path.into()),
+                None => {
+                    eprintln!("--records requires a path to a JSONL tuning-record store");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Loads a record store for a tuning binary, reporting (to stderr) any
+/// lines the corruption-tolerant loader skipped.
+pub fn load_store_or_exit(path: &std::path::Path) -> RecordStore {
+    match RecordStore::load(path) {
+        Ok((store, report)) => {
+            for (line, reason) in &report.skipped {
+                eprintln!("warning: {}:{line}: skipped record: {reason}", path.display());
+            }
+            eprintln!(
+                "records: loaded {} record(s) across {} workload(s) from {}",
+                store.len(),
+                store.workload_count(),
+                path.display()
+            );
+            store
+        }
+        Err(e) => {
+            eprintln!("error: cannot read record store {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Saves a record store back to disk, printing a one-line summary.
+pub fn save_store_or_exit(store: &RecordStore, path: &std::path::Path) {
+    if let Err(e) = store.save(path) {
+        eprintln!("error: cannot write record store {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "records: saved {} record(s) across {} workload(s) to {}",
+        store.len(),
+        store.workload_count(),
+        path.display()
+    );
 }
 
 /// Formats a ratio as the paper's "N.NNx" speedup.

@@ -11,7 +11,7 @@
 //!   unfused Winograd pipeline per layer.
 
 use crate::layers::{ConvLayer, Network};
-use iolb_autotune::engine::{tune, TuneParams};
+use iolb_autotune::engine::{tune, tune_with_store, TuneParams};
 use iolb_autotune::{ConfigSpace, GbtCostModel, Measurer};
 use iolb_core::optimality::{best_tile, divisors, TileKind};
 use iolb_core::shapes::{ConvShape, WinogradTile};
@@ -19,6 +19,7 @@ use iolb_dataflow::baselines;
 use iolb_dataflow::config::ScheduleConfig;
 use iolb_dataflow::{direct_kernel, winograd_kernel};
 use iolb_gpusim::{simulate, simulate_sequence, DeviceSpec};
+use iolb_records::RecordStore;
 use iolb_tensor::layout::Layout;
 
 /// Planning effort for our schedules.
@@ -121,19 +122,48 @@ fn best_kind_tile(shape: &ConvShape, kind: TileKind, budget: f64) -> Option<(usi
     }
 }
 
+/// The algorithm candidates our planner considers for a layer: direct
+/// always, the two Winograd variants when the shape admits them.
+fn algo_candidates(shape: &ConvShape) -> Vec<(TileKind, &'static str)> {
+    let mut candidates: Vec<(TileKind, &'static str)> = vec![(TileKind::Direct, "direct")];
+    if shape.kh == shape.kw && shape.kh == 3 && shape.stride == 1 {
+        candidates.push((TileKind::Winograd(WinogradTile::F2X3), "winograd-F2x3"));
+        candidates.push((TileKind::Winograd(WinogradTile::F4X3), "winograd-F4x3"));
+    }
+    candidates
+}
+
+/// Space/measurer/model/searcher/params for one tuned candidate — the
+/// identical setup whether or not a record store backs the run.
+fn tuner_setup(
+    shape: &ConvShape,
+    kind: TileKind,
+    device: &DeviceSpec,
+    budget: usize,
+) -> (
+    ConfigSpace,
+    Measurer,
+    GbtCostModel,
+    iolb_autotune::search::walk::ParallelRandomWalk,
+    TuneParams,
+) {
+    let space = ConfigSpace::new(*shape, kind, device.smem_per_sm, true);
+    let measurer = Measurer::new(device.clone(), *shape, kind);
+    let model = GbtCostModel::default();
+    let seeds = fast_config(shape, kind, device).into_iter().collect();
+    let searcher = iolb_autotune::search::walk::ParallelRandomWalk::with_seeds(seeds);
+    let params = TuneParams { max_measurements: budget, batch: 8, patience: budget, seed: 7 };
+    (space, measurer, model, searcher, params)
+}
+
 /// Times one layer under our planner; returns (ms, algorithm label).
 pub fn time_ours(
     shape: &ConvShape,
     device: &DeviceSpec,
     mode: PlanMode,
 ) -> Option<(f64, &'static str)> {
-    let mut candidates: Vec<(TileKind, &'static str)> = vec![(TileKind::Direct, "direct")];
-    if shape.kh == shape.kw && shape.kh == 3 && shape.stride == 1 {
-        candidates.push((TileKind::Winograd(WinogradTile::F2X3), "winograd-F2x3"));
-        candidates.push((TileKind::Winograd(WinogradTile::F4X3), "winograd-F4x3"));
-    }
     let mut best: Option<(f64, &'static str)> = None;
-    for (kind, label) in candidates {
+    for (kind, label) in algo_candidates(shape) {
         let ms = match mode {
             PlanMode::Fast => {
                 let Some(cfg) = fast_config(shape, kind, device) else { continue };
@@ -147,14 +177,8 @@ pub fn time_ours(
                 }
             }
             PlanMode::Tuned { budget } => {
-                let space = ConfigSpace::new(*shape, kind, device.smem_per_sm, true);
-                let measurer = Measurer::new(device.clone(), *shape, kind);
-                let mut model = GbtCostModel::default();
-                let seeds = fast_config(shape, kind, device).into_iter().collect();
-                let mut searcher =
-                    iolb_autotune::search::walk::ParallelRandomWalk::with_seeds(seeds);
-                let params =
-                    TuneParams { max_measurements: budget, batch: 8, patience: budget, seed: 7 };
+                let (space, measurer, mut model, mut searcher, params) =
+                    tuner_setup(shape, kind, device, budget);
                 match tune(&space, &measurer, &mut model, &mut searcher, params) {
                     Some(r) => r.best_ms,
                     None => continue,
@@ -166,6 +190,116 @@ pub fn time_ours(
         }
     }
     best
+}
+
+/// Store economics of a tuning pass: how much the record store saved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TuneEconomics {
+    /// Simulator invocations actually performed.
+    pub fresh_measurements: usize,
+    /// Measurements replayed from the store.
+    pub cache_hits: usize,
+    /// Tuning runs that warm-started from a *different* workload
+    /// (cross-layer transfer).
+    pub transfers: usize,
+}
+
+impl TuneEconomics {
+    fn absorb(&mut self, out: &iolb_autotune::StoreTuneResult) {
+        self.fresh_measurements += out.fresh_measurements;
+        self.cache_hits += out.cache_hits;
+        self.transfers += usize::from(out.transferred);
+    }
+
+    fn merge(&mut self, other: TuneEconomics) {
+        self.fresh_measurements += other.fresh_measurements;
+        self.cache_hits += other.cache_hits;
+        self.transfers += other.transfers;
+    }
+}
+
+/// Times one layer by full auto-tuning against a persistent record
+/// store (the store-backed analogue of [`time_ours`] in
+/// [`PlanMode::Tuned`]): per-algorithm tuning runs replay cached
+/// measurements, warm-start from the store's best records — transferring
+/// from the nearest already-tuned layer when this one is new — and write
+/// everything they measure back.
+pub fn time_ours_with_store(
+    shape: &ConvShape,
+    device: &DeviceSpec,
+    budget: usize,
+    store: &mut RecordStore,
+) -> Option<(f64, &'static str, TuneEconomics)> {
+    let mut economics = TuneEconomics::default();
+    let mut best: Option<(f64, &'static str)> = None;
+    for (kind, label) in algo_candidates(shape) {
+        let (space, measurer, mut model, mut searcher, params) =
+            tuner_setup(shape, kind, device, budget);
+        let Some(out) =
+            tune_with_store(&space, &measurer, &mut model, &mut searcher, params, store)
+        else {
+            continue;
+        };
+        economics.absorb(&out);
+        if best.as_ref().is_none_or(|&(b, _)| out.result.best_ms < b) {
+            best = Some((out.result.best_ms, label));
+        }
+    }
+    best.map(|(ms, label)| (ms, label, economics))
+}
+
+/// Tunes a whole network against a persistent record store and times it.
+///
+/// The first pass over a network measures (and records) everything; a
+/// second pass against the same store replays almost every measurement,
+/// and *new* networks sharing layer geometries warm-start from their
+/// neighbours — this is how the measurement cost of the paper's §7.3
+/// experiment amortizes across invocations.
+pub fn time_network_with_store(
+    net: &Network,
+    device: &DeviceSpec,
+    budget: usize,
+    store: &mut RecordStore,
+) -> (NetworkTime, TuneEconomics) {
+    let mut economics = TuneEconomics::default();
+    let time = time_network_impl(net, device, |shape| {
+        match time_ours_with_store(shape, device, budget, store) {
+            Some((ms, label, eco)) => {
+                economics.merge(eco);
+                (ms, label)
+            }
+            None => (f64::INFINITY, "none"),
+        }
+    });
+    (time, economics)
+}
+
+/// The shared per-layer timing loop behind [`time_network`] and
+/// [`time_network_with_store`]: `time_layer` supplies our planner's
+/// (ms, algorithm) per shape, the baseline and repeat accounting are
+/// common.
+fn time_network_impl(
+    net: &Network,
+    device: &DeviceSpec,
+    mut time_layer: impl FnMut(&ConvShape) -> (f64, &'static str),
+) -> NetworkTime {
+    let mut layers = Vec::with_capacity(net.layers.len());
+    let mut ours_total = 0.0;
+    let mut base_total = 0.0;
+    for layer in &net.layers {
+        let (ours, algorithm) = time_layer(&layer.shape);
+        let baseline = time_baseline(&layer.shape, device);
+        let reps = layer.repeat as f64;
+        ours_total += ours * reps;
+        base_total += baseline * reps;
+        layers.push(LayerTime {
+            name: layer.name.clone(),
+            ours_ms: ours * reps,
+            baseline_ms: baseline * reps,
+            algorithm,
+        });
+    }
+    NetworkTime { network: net.name, layers, ours_ms: ours_total, baseline_ms: base_total }
 }
 
 /// Times one layer under the baseline library (best available algorithm).
@@ -189,24 +323,9 @@ pub fn time_baseline(shape: &ConvShape, device: &DeviceSpec) -> f64 {
 
 /// Times a whole network.
 pub fn time_network(net: &Network, device: &DeviceSpec, mode: PlanMode) -> NetworkTime {
-    let mut layers = Vec::with_capacity(net.layers.len());
-    let mut ours_total = 0.0;
-    let mut base_total = 0.0;
-    for layer in &net.layers {
-        let (ours, algorithm) =
-            time_ours(&layer.shape, device, mode).unwrap_or((f64::INFINITY, "none"));
-        let baseline = time_baseline(&layer.shape, device);
-        let reps = layer.repeat as f64;
-        ours_total += ours * reps;
-        base_total += baseline * reps;
-        layers.push(LayerTime {
-            name: layer.name.clone(),
-            ours_ms: ours * reps,
-            baseline_ms: baseline * reps,
-            algorithm,
-        });
-    }
-    NetworkTime { network: net.name, layers, ours_ms: ours_total, baseline_ms: base_total }
+    time_network_impl(net, device, |shape| {
+        time_ours(shape, device, mode).unwrap_or((f64::INFINITY, "none"))
+    })
 }
 
 /// Convenience for tests / examples: layer accessor on networks.
@@ -289,5 +408,45 @@ mod tests {
     fn layer_lookup() {
         let net = models::alexnet();
         assert_eq!(layer(&net, "conv3").shape.cout, 384);
+    }
+
+    #[test]
+    fn network_retuning_against_a_store_is_mostly_cached() {
+        use crate::layers::{ConvLayer, Network};
+        // A two-layer toy network; 1x1 layers keep the candidate list to
+        // `direct` only, so the test stays fast.
+        let net = Network {
+            name: "toy",
+            layers: vec![
+                ConvLayer::new("a", ConvShape::new(32, 28, 28, 16, 1, 1, 1, 0)),
+                ConvLayer::new("b", ConvShape::new(16, 28, 28, 32, 1, 1, 1, 0)),
+            ],
+        };
+        let mut store = iolb_records::RecordStore::new();
+        let (cold, eco_cold) = time_network_with_store(&net, &device(), 16, &mut store);
+        let (warm, eco_warm) = time_network_with_store(&net, &device(), 16, &mut store);
+        assert_eq!(eco_cold.cache_hits, 0);
+        assert!(eco_cold.fresh_measurements > 0);
+        assert!(
+            eco_warm.fresh_measurements < eco_cold.fresh_measurements,
+            "second network pass re-measured everything ({} vs {})",
+            eco_warm.fresh_measurements,
+            eco_cold.fresh_measurements
+        );
+        assert!(eco_warm.cache_hits > 0);
+        assert!(
+            warm.ours_ms <= cold.ours_ms + 1e-12,
+            "store-backed retune regressed: {} vs {}",
+            warm.ours_ms,
+            cold.ours_ms
+        );
+        // Related layers transfer: a third, unseen layer with the same
+        // spatial extents warm-starts from its neighbours.
+        let related = Network {
+            name: "toy2",
+            layers: vec![ConvLayer::new("c", ConvShape::new(64, 28, 28, 16, 1, 1, 1, 0))],
+        };
+        let (_, eco_rel) = time_network_with_store(&related, &device(), 16, &mut store);
+        assert!(eco_rel.transfers > 0, "unseen layer did not transfer from neighbours");
     }
 }

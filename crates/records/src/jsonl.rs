@@ -1,0 +1,407 @@
+//! Hand-rolled JSONL codec for [`TuningRecord`]s.
+//!
+//! The build environment is offline, so there is no serde; records are
+//! flat JSON objects (string keys; number or string values) written one
+//! per line. The writer is **canonical**: fixed field order, floats in
+//! Rust's shortest-round-trip `Display` form, integers bare — the same
+//! record always serializes to the same bytes, which is what lets two
+//! runs produce bit-identical store files.
+//!
+//! The parser is deliberately small but strict about what it accepts: a
+//! single flat object per line, no trailing garbage. Anything else is an
+//! `Err` with a reason — the store layer turns that into a
+//! skip-and-report instead of a failed load.
+
+use crate::record::{algo_tag, parse_algo_tag, TuningRecord, Workload, SCHEMA_VERSION};
+use iolb_core::shapes::ConvShape;
+use iolb_dataflow::config::ScheduleConfig;
+use iolb_tensor::layout::Layout;
+
+/// Serializes one record as its canonical JSON line (no trailing `\n`).
+///
+/// `cost_ms` uses Rust's float `Display`, which prints the shortest
+/// decimal that parses back to the identical bits — the codec's
+/// round-trip guarantee for floats rests on that.
+pub fn encode(rec: &TuningRecord) -> String {
+    let s = &rec.workload.shape;
+    let c = &rec.config;
+    format!(
+        concat!(
+            "{{\"v\":{},\"algo\":\"{}\",\"batch\":{},\"cin\":{},\"hin\":{},\"win\":{},",
+            "\"cout\":{},\"kh\":{},\"kw\":{},\"stride\":{},\"pad\":{},",
+            "\"dev\":\"{}\",\"smem\":{},",
+            "\"x\":{},\"y\":{},\"z\":{},\"nxt\":{},\"nyt\":{},\"nzt\":{},",
+            "\"sb\":{},\"layout\":\"{}\",\"cost_ms\":{},\"seed\":{}}}"
+        ),
+        SCHEMA_VERSION,
+        algo_tag(rec.workload.kind),
+        s.batch,
+        s.cin,
+        s.hin,
+        s.win,
+        s.cout,
+        s.kh,
+        s.kw,
+        s.stride,
+        s.pad,
+        escape(&rec.workload.device),
+        rec.workload.smem_bytes,
+        c.x,
+        c.y,
+        c.z,
+        c.nxt,
+        c.nyt,
+        c.nzt,
+        c.sb_bytes,
+        c.layout.name(),
+        rec.cost_ms,
+        rec.seed,
+    )
+}
+
+/// Parses one line into a record. Fails (with a reason) on malformed
+/// JSON, missing fields, bad values, or a schema-version mismatch.
+pub fn decode(line: &str) -> Result<TuningRecord, String> {
+    let fields = parse_flat_object(line)?;
+    let get = |key: &str| -> Result<&Value, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let version = get("v")?.as_u64("v")?;
+    if version != u64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "unsupported schema version {version} (this build reads {SCHEMA_VERSION})"
+        ));
+    }
+    let kind = parse_algo_tag(get("algo")?.as_str("algo")?)?;
+    let dim = |key: &str| -> Result<usize, String> { get(key)?.as_usize(key) };
+    let shape = ConvShape {
+        batch: dim("batch")?,
+        cin: dim("cin")?,
+        hin: dim("hin")?,
+        win: dim("win")?,
+        cout: dim("cout")?,
+        kh: dim("kh")?,
+        kw: dim("kw")?,
+        stride: dim("stride")?,
+        pad: dim("pad")?,
+    };
+    shape.validate().map_err(|e| format!("invalid shape: {e}"))?;
+    let workload = Workload {
+        shape,
+        kind,
+        device: get("dev")?.as_str("dev")?.to_string(),
+        smem_bytes: u32::try_from(get("smem")?.as_u64("smem")?)
+            .map_err(|_| "smem out of range".to_string())?,
+    };
+    let layout: Layout = get("layout")?.as_str("layout")?.parse()?;
+    let config = ScheduleConfig {
+        x: dim("x")?,
+        y: dim("y")?,
+        z: dim("z")?,
+        nxt: dim("nxt")?,
+        nyt: dim("nyt")?,
+        nzt: dim("nzt")?,
+        sb_bytes: u32::try_from(get("sb")?.as_u64("sb")?)
+            .map_err(|_| "sb out of range".to_string())?,
+        layout,
+    };
+    let cost_ms = get("cost_ms")?.as_f64("cost_ms")?;
+    let seed = get("seed")?.as_u64("seed")?;
+    TuningRecord::new(workload, config, cost_ms, seed)
+}
+
+/// A parsed flat-JSON value. Numbers keep their raw token so integer
+/// fields can be parsed exactly (a `u64` seed above 2^53 would lose bits
+/// through an `f64` detour).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(String),
+    Str(String),
+}
+
+impl Value {
+    fn as_str(&self, key: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::Num(_) => Err(format!("field {key:?} must be a string")),
+        }
+    }
+
+    fn as_f64(&self, key: &str) -> Result<f64, String> {
+        match self {
+            Value::Num(raw) => {
+                raw.parse::<f64>().map_err(|_| format!("field {key:?}: bad number {raw:?}"))
+            }
+            Value::Str(_) => Err(format!("field {key:?} must be a number")),
+        }
+    }
+
+    fn as_u64(&self, key: &str) -> Result<u64, String> {
+        match self {
+            Value::Num(raw) => {
+                raw.parse::<u64>().map_err(|_| format!("field {key:?}: bad integer {raw:?}"))
+            }
+            Value::Str(_) => Err(format!("field {key:?} must be a number")),
+        }
+    }
+
+    fn as_usize(&self, key: &str) -> Result<usize, String> {
+        usize::try_from(self.as_u64(key)?).map_err(|_| format!("field {key:?} out of range"))
+    }
+}
+
+/// Parses a single flat JSON object (`{"k": v, ...}`; values are numbers
+/// or strings). Duplicate keys are rejected: they signal corruption.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", p.pos)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage after object at byte {}", p.pos));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", want as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    });
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                // Validate the token is actually numeric (the charset
+                // above admits junk like "1e+e").
+                raw.parse::<f64>().map_err(|_| format!("bad number token {raw:?}"))?;
+                Ok(Value::Num(raw.to_string()))
+            }
+            _ => Err(format!("expected a string or number value at byte {}", self.pos)),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_core::optimality::TileKind;
+    use iolb_core::shapes::WinogradTile;
+
+    fn record(cost: f64) -> TuningRecord {
+        TuningRecord::new(
+            Workload::new(
+                ConvShape::square(64, 28, 32, 3, 1, 1),
+                TileKind::Direct,
+                "Tesla V100",
+                96 * 1024,
+            ),
+            ScheduleConfig {
+                x: 7,
+                y: 7,
+                z: 8,
+                nxt: 7,
+                nyt: 7,
+                nzt: 2,
+                sb_bytes: 16 * 1024,
+                layout: Layout::Chw,
+            },
+            cost,
+            0xA7E,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_exact_including_floats() {
+        // Shortest-round-trip Display must restore every bit of the cost.
+        for cost in [
+            0.1,
+            1.0 / 3.0,
+            1e-9,
+            123456.789012345,
+            f64::MIN_POSITIVE,
+            2.2250738585072014e-308,
+            9007199254740993.0, // 2^53 + 1 (rounds; still must round-trip its own bits)
+        ] {
+            let rec = record(cost);
+            let line = encode(&rec);
+            let back = decode(&line).unwrap();
+            assert_eq!(back.cost_ms.to_bits(), rec.cost_ms.to_bits(), "cost {cost} lost bits");
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(encode(&record(0.5)), encode(&record(0.5)));
+    }
+
+    #[test]
+    fn seeds_above_2_pow_53_survive() {
+        let mut rec = record(1.0);
+        rec.seed = u64::MAX - 1;
+        let back = decode(&encode(&rec)).unwrap();
+        assert_eq!(back.seed, u64::MAX - 1);
+    }
+
+    #[test]
+    fn winograd_and_all_layouts_round_trip() {
+        for layout in Layout::ALL {
+            let mut rec = record(2.5);
+            rec.config.layout = layout;
+            rec.workload.kind = TileKind::Winograd(WinogradTile::F4X3);
+            // Winograd spaces require e-multiple tiles; the codec doesn't
+            // validate that (the space does), it just round-trips.
+            let back = decode(&encode(&rec)).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let line = encode(&record(1.0)).replace("\"v\":1,", "\"v\":2,");
+        let err = decode(&line).unwrap_err();
+        assert!(err.contains("version"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_reasons() {
+        for (line, why) in [
+            ("", "empty"),
+            ("not json at all", "no object"),
+            ("{\"v\":1", "truncated"),
+            ("{\"v\":1}", "missing fields"),
+            ("[1,2,3]", "not an object"),
+            ("{\"v\":1,\"v\":1}", "duplicate key"),
+            ("{\"v\":\"one\"}", "wrong type"),
+        ] {
+            assert!(decode(line).is_err(), "{why}: accepted {line:?}");
+        }
+        // Trailing garbage after a valid object.
+        let line = format!("{} trailing", encode(&record(1.0)));
+        assert!(decode(&line).is_err());
+        // A NaN cost can't even be written, but a hand-edited one must be
+        // rejected on read.
+        let line =
+            encode(&record(1.0)).replace(format!("\"cost_ms\":{}", 1.0).as_str(), "\"cost_ms\":-5");
+        assert!(decode(&line).is_err(), "negative cost accepted");
+    }
+
+    #[test]
+    fn device_names_with_specials_round_trip() {
+        let mut rec = record(1.0);
+        rec.workload.device = "dev \"quoted\" \\ slash\tname".to_string();
+        let back = decode(&encode(&rec)).unwrap();
+        assert_eq!(back.workload.device, rec.workload.device);
+    }
+}

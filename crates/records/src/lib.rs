@@ -1,0 +1,29 @@
+//! # iolb-records — the persistent tuning-record store
+//!
+//! The paper's auto-tuner (§6) re-measures every candidate schedule from
+//! scratch on each invocation. A production tuning service amortizes
+//! that cost across runs, layers and devices by logging every
+//! measurement into a persistent store and consulting it first — the
+//! role TVM's tuning logs and autotvm "transfer learning" records play.
+//! This crate is that store:
+//!
+//! * [`record`] — the versioned record schema: a [`Workload`]
+//!   fingerprint (layer shape + algorithm + device preset), the measured
+//!   [`ScheduleConfig`](iolb_dataflow::config::ScheduleConfig), its
+//!   cost, and the tuner seed that produced it.
+//! * [`jsonl`] — a dependency-free, hand-rolled JSONL codec (the build
+//!   environment is offline; no serde). Serialization is canonical and
+//!   deterministic: the same store contents always produce the same
+//!   bytes, so stores diff cleanly and replicate bit-identically.
+//! * [`store`] — the in-memory index: keyed by workload fingerprint,
+//!   top-k-by-cost queries, exact-config lookup (the measurement cache),
+//!   nearest-workload queries by feature distance (cross-layer
+//!   transfer), merge/compaction, and corruption-tolerant loading that
+//!   skips and reports malformed lines instead of failing the run.
+
+pub mod jsonl;
+pub mod record;
+pub mod store;
+
+pub use record::{TuningRecord, Workload, SCHEMA_VERSION};
+pub use store::{LoadReport, RecordStore};

@@ -163,6 +163,15 @@ fn micro_kernel(
 
 /// Multi-threaded GEMM: `c = a * b` (output overwritten), M split across
 /// `threads` workers owning disjoint row bands of `C`.
+///
+/// `B` is packed **once**, up front, into per-`(jc, pc)` macro-tile
+/// panels that every band worker reads; only the (band-private) `A`
+/// panels are packed inside the parallel region. The old scheme ran
+/// [`gemm_acc`] per band, so each of `t` workers re-packed the whole of
+/// `B` — `(t-1) * k * n` redundant pack traffic that grew with the
+/// thread count. Each worker still owns a disjoint row band of `C` and
+/// runs the same `jc -> pc -> ic` loop nest as the serial path, so the
+/// result is bit-identical to `gemm(.., 1)` regardless of thread count.
 pub fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], threads: usize) {
     assert_eq!(a.cols, b.rows, "inner dimension mismatch");
     assert_eq!(c.len(), a.rows * b.cols, "output buffer size mismatch");
@@ -172,16 +181,48 @@ pub fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], threads: usize) {
         gemm_acc(a, b, c);
         return;
     }
-    let band = a.rows.div_ceil(threads);
-    let n = b.cols;
-    // Each worker takes one disjoint row band of A and C; band results
-    // don't interact, so the output matches the serial path exactly.
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+
+    // Pack all of B serially (O(k*n) work against the O(m*k*n) compute
+    // split below; the serial fraction vanishes as m grows). Panel
+    // (jb, pb) lives at slot `jb * k_blocks + pb`, laid out exactly as
+    // `pack_b` emits it.
+    let k_blocks = k.div_ceil(KC);
+    let n_blocks = n.div_ceil(NC);
+    let slot = KC * NC;
+    let mut b_pack = vec![0.0f32; k_blocks * n_blocks * slot];
+    for jb in 0..n_blocks {
+        let jc = jb * NC;
+        let nc = NC.min(n - jc);
+        for pb in 0..k_blocks {
+            let pc = pb * KC;
+            let kc = KC.min(k - pc);
+            pack_b(b, pc, jc, kc, nc, &mut b_pack[(jb * k_blocks + pb) * slot..][..slot]);
+        }
+    }
+    let b_pack = &b_pack;
+
+    let band = m.div_ceil(threads);
     c.par_chunks_mut(band * n).enumerate().for_each(|(t, band_c)| {
         let row = t * band;
-        let rows_here = band.min(a.rows - row);
-        let a_band =
-            MatRef::new(&a.data[row * a.cols..(row + rows_here) * a.cols], rows_here, a.cols);
-        gemm_acc(a_band, b, band_c);
+        let rows_here = band.min(m - row);
+        let mut a_pack = vec![0.0f32; MC * KC];
+        for jb in 0..n_blocks {
+            let jc = jb * NC;
+            let nc = NC.min(n - jc);
+            for pb in 0..k_blocks {
+                let pc = pb * KC;
+                let kc = KC.min(k - pc);
+                let b_panel = &b_pack[(jb * k_blocks + pb) * slot..][..slot];
+                let mut ic = 0;
+                while ic < rows_here {
+                    let mc = MC.min(rows_here - ic);
+                    pack_a(a, row + ic, pc, mc, kc, &mut a_pack);
+                    macro_kernel(&a_pack, b_panel, band_c, ic, jc, mc, nc, kc, n);
+                    ic += MC;
+                }
+            }
+        }
     });
 }
 
@@ -247,6 +288,32 @@ mod tests {
     fn multithreaded_matches_naive() {
         check_against_naive(97, 64, 83, 4, 7);
         check_against_naive(256, 128, 64, 8, 8);
+    }
+
+    #[test]
+    fn multithreaded_bit_identical_to_single_threaded() {
+        // The shared-packed-B parallel path must not change a single bit
+        // relative to one worker: bands run the same jc -> pc -> ic nest.
+        for (m, k, n) in [(97, 259, 131), (MC + 3, KC + 5, NC + 7), (40, 40, 40)] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let a = random_mat(&mut rng, m, k);
+            let b = random_mat(&mut rng, k, n);
+            let ar = MatRef::new(&a, m, k);
+            let br = MatRef::new(&b, k, n);
+            let mut serial = vec![0.0; m * n];
+            gemm(ar, br, &mut serial, 1);
+            for threads in [2, 3, 8] {
+                let mut parallel = vec![0.0; m * n];
+                gemm(ar, br, &mut parallel, threads);
+                for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                    assert_eq!(
+                        s.to_bits(),
+                        p.to_bits(),
+                        "({m}x{k}x{n}, t={threads}) bit mismatch at {i}: {s} vs {p}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Warm-starting the auto-tuner from a persistent record store:
+//! cold-tune → save → reload → warm-tune, plus a transfer-seeded tune of
+//! a layer the store has never seen.
+//!
+//! ```sh
+//! cargo run --release --example warm_start
+//! ```
+
+use conv_iolb::autotune::search::walk::ParallelRandomWalk;
+use conv_iolb::autotune::{
+    tune_with_store, ConfigSpace, GbtCostModel, Measurer, StoreTuneResult, TuneParams,
+};
+use conv_iolb::core::optimality::TileKind;
+use conv_iolb::core::shapes::ConvShape;
+use conv_iolb::gpusim::DeviceSpec;
+use conv_iolb::records::RecordStore;
+
+fn tune_once(shape: ConvShape, device: &DeviceSpec, store: &mut RecordStore) -> StoreTuneResult {
+    let space = ConfigSpace::new(shape, TileKind::Direct, device.smem_per_sm, true);
+    let measurer = Measurer::new(device.clone(), shape, TileKind::Direct);
+    let params = TuneParams { max_measurements: 96, batch: 8, patience: 96, seed: 42 };
+    tune_with_store(
+        &space,
+        &measurer,
+        &mut GbtCostModel::default(),
+        &mut ParallelRandomWalk::new(),
+        params,
+        store,
+    )
+    .expect("tunable layer")
+}
+
+fn report(tag: &str, out: &StoreTuneResult) {
+    println!(
+        "{tag:<12} best {:.6} ms ({:.0} GFLOP/s)  budget {:>3}  fresh {:>3}  cached {:>3}  \
+         warm-seeds {}{}",
+        out.result.best_ms,
+        out.result.best_gflops,
+        out.result.measurements,
+        out.fresh_measurements,
+        out.cache_hits,
+        out.warm_seeded,
+        if out.transferred { " (transferred)" } else { "" },
+    );
+}
+
+fn main() {
+    let device = DeviceSpec::v100();
+    let layer = ConvShape::square(256, 13, 384, 3, 1, 1); // AlexNet conv3-ish
+    let path = std::env::temp_dir().join(format!("iolb-warm-start-{}.jsonl", std::process::id()));
+    println!("layer: {layer}\nstore: {}\n", path.display());
+
+    // 1. Cold run: the store is empty, every measurement hits the
+    //    simulator; everything measured is recorded.
+    let mut store = RecordStore::new();
+    let cold = tune_once(layer, &device, &mut store);
+    report("cold", &cold);
+    store.save(&path).expect("save store");
+
+    // 2. Reload from disk and re-tune: the best stored records warm-start
+    //    the walkers and replay from the cache — strictly fewer simulator
+    //    calls, never a worse result.
+    let (mut store, load) = RecordStore::load(&path).expect("load store");
+    assert!(load.is_clean());
+    let warm = tune_once(layer, &device, &mut store);
+    report("warm", &warm);
+    assert!(warm.fresh_measurements < cold.fresh_measurements);
+    assert!(warm.result.best_ms <= cold.result.best_ms);
+
+    // 3. A related layer the store has never seen: no exact fingerprint
+    //    match, so the tuner transfer-seeds from the nearest compatible
+    //    workload instead of starting blind.
+    let sibling = ConvShape::square(384, 13, 256, 3, 1, 1);
+    let transfer = tune_once(sibling, &device, &mut store);
+    report("transfer", &transfer);
+
+    store.save(&path).expect("save store");
+    let records = store.len();
+    std::fs::remove_file(&path).ok();
+    println!(
+        "\nSecond run: {} fresh measurements instead of {} ({} replayed from cache). \
+         Store ended with {records} records.",
+        warm.fresh_measurements, cold.fresh_measurements, warm.cache_hits
+    );
+}

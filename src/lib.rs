@@ -23,6 +23,7 @@
 //! | [`tensor`] | `iolb-tensor` | tensors, reference conv, im2col, GEMM, Winograd transforms |
 //! | [`gpusim`] | `iolb-gpusim` | device presets, traffic model, occupancy, roofline engine |
 //! | [`dataflow`] | `iolb-dataflow` | §5 dataflow schedules, baselines, CPU execution, analysis |
+//! | [`records`] | `iolb-records` | persistent tuning-record store: JSONL codec, workload index, warm-start/transfer queries |
 //! | [`autotune`] | `iolb-autotune` | §6 config spaces, GBT cost model, searchers, tuning loop |
 //! | [`cnn`] | `iolb-cnn` | network inventories, end-to-end inference timing |
 //!
@@ -41,6 +42,44 @@
 //! assert!(q_flow >= q_min);
 //! assert!(q_flow < 16.0 * q_min); // near-optimal: small constant factor
 //! ```
+//!
+//! ## The tuning-record store
+//!
+//! Production tuning amortizes measurement cost across runs: every
+//! measurement lands in a persistent [`records::RecordStore`] (a
+//! versioned, canonical JSONL file), and later runs replay cached
+//! measurements, warm-start their searchers from the best stored
+//! records, and transfer-seed new layers from the nearest already-tuned
+//! workload. Tuning the same layer twice against one store performs
+//! strictly fewer simulator measurements the second time and never
+//! returns a worse configuration:
+//!
+//! ```
+//! use conv_iolb::autotune::{tune_with_store, ConfigSpace, GbtCostModel, Measurer, TuneParams};
+//! use conv_iolb::autotune::search::walk::ParallelRandomWalk;
+//! use conv_iolb::core::optimality::TileKind;
+//! use conv_iolb::core::shapes::ConvShape;
+//! use conv_iolb::gpusim::DeviceSpec;
+//! use conv_iolb::records::RecordStore;
+//!
+//! let shape = ConvShape::square(64, 28, 32, 3, 1, 1);
+//! let device = DeviceSpec::v100();
+//! let space = ConfigSpace::new(shape, TileKind::Direct, device.smem_per_sm, true);
+//! let measurer = Measurer::new(device, shape, TileKind::Direct);
+//! let params = TuneParams { max_measurements: 24, batch: 6, patience: 24, seed: 7 };
+//! let mut store = RecordStore::new(); // or RecordStore::load("tuning.jsonl")
+//! let run = |store: &mut RecordStore| {
+//!     tune_with_store(
+//!         &space, &measurer, &mut GbtCostModel::default(),
+//!         &mut ParallelRandomWalk::new(), params, store,
+//!     ).unwrap()
+//! };
+//! let cold = run(&mut store);
+//! let warm = run(&mut store); // replays the cache, warm-starts the walk
+//! assert!(warm.fresh_measurements < cold.fresh_measurements);
+//! assert!(warm.result.best_ms <= cold.result.best_ms);
+//! // store.save("tuning.jsonl") writes the canonical JSONL form.
+//! ```
 
 pub use iolb_autotune as autotune;
 pub use iolb_cnn as cnn;
@@ -48,6 +87,7 @@ pub use iolb_core as core;
 pub use iolb_dataflow as dataflow;
 pub use iolb_gpusim as gpusim;
 pub use iolb_pebble as pebble;
+pub use iolb_records as records;
 pub use iolb_tensor as tensor;
 
 /// Crate version (workspace-wide).
