@@ -19,6 +19,25 @@
 //!   paper's convergence criterion, plus the [`engine::tune_with_store`]
 //!   variant backed by the persistent `iolb-records` store (measurement
 //!   cache, warm start, cross-layer transfer).
+//! * [`plan`] — the shared analytic planning defaults: per-layer
+//!   algorithm candidates, the no-search [`plan::fast_config`], and the
+//!   canonical [`plan::tuner_setup`] every layer-level consumer builds
+//!   its runs from.
+//!
+//! ```
+//! use iolb_autotune::plan;
+//! use iolb_core::optimality::TileKind;
+//! use iolb_core::shapes::ConvShape;
+//! use iolb_gpusim::DeviceSpec;
+//!
+//! // A tiny deterministic tuning run: pruned space, GBT model, parallel
+//! // random walk warm-seeded at the analytic optimality-condition config.
+//! let shape = ConvShape::square(32, 14, 32, 3, 1, 1);
+//! let mut s = plan::tuner_setup(&shape, TileKind::Direct, &DeviceSpec::v100(), 16, 7);
+//! let out = iolb_autotune::tune(&s.space, &s.measurer, &mut s.model, &mut s.searcher, s.params)
+//!     .expect("feasible shape");
+//! assert!(out.best_ms > 0.0 && out.measurements <= 16);
+//! ```
 
 #![allow(clippy::needless_range_loop)] // index loops read clearer in the tree learner
 pub mod cost_model;
@@ -26,6 +45,7 @@ pub mod engine;
 pub mod features;
 pub mod gbt;
 pub mod measure;
+pub mod plan;
 pub mod search;
 pub mod space;
 

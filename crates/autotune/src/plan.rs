@@ -1,0 +1,188 @@
+//! Analytic planning: the theory-guided defaults every tuning consumer
+//! shares.
+//!
+//! Three decisions recur in every layer-level consumer (end-to-end
+//! inference timing, the figure harnesses, the background tuning
+//! service), and they must agree across consumers so that results are
+//! comparable and cached records replay exactly:
+//!
+//! * [`algo_candidates`] — which algorithms a layer shape admits (direct
+//!   always; the two Winograd variants for square 3x3 stride-1 kernels);
+//! * [`fast_config`] — the no-search configuration: the best integer
+//!   tile under the paper's optimality condition `xy = Rz`, with a
+//!   default thread split — both the "fast mode" planner and the warm
+//!   seed the tuned mode starts from;
+//! * [`tuner_setup`] — the canonical single-workload tuner: pruned
+//!   space, GBT cost model, parallel random walk seeded at
+//!   [`fast_config`], fixed batch/patience. Given the same
+//!   `(shape, kind, device, budget, seed)` it reproduces the same
+//!   tuning trajectory everywhere — the determinism contract the
+//!   tuning service's "drained == eager" guarantee is built on.
+//!
+//! These lived in `iolb-cnn` originally; they moved here so crates below
+//! the CNN layer (notably `iolb-service`) can plan without a dependency
+//! cycle. `iolb_cnn::inference` re-exports them.
+
+use crate::engine::TuneParams;
+use crate::measure::Measurer;
+use crate::search::walk::ParallelRandomWalk;
+use crate::space::ConfigSpace;
+use crate::GbtCostModel;
+use iolb_core::optimality::{best_tile, divisors, TileKind};
+use iolb_core::shapes::{ConvShape, WinogradTile};
+use iolb_dataflow::config::ScheduleConfig;
+use iolb_gpusim::DeviceSpec;
+use iolb_tensor::layout::Layout;
+
+/// Picks a default thread split for a tile: factors of (x, y, z) whose
+/// product lands near 256 threads.
+fn default_threads(x: usize, y: usize, z: usize) -> (usize, usize, usize) {
+    let pick = |n: usize, cap: usize| divisors(n).into_iter().rfind(|&d| d <= cap).unwrap_or(1);
+    let nxt = pick(x, 16);
+    let nyt = pick(y, 16);
+    let budget = 1024 / (nxt * nyt).max(1);
+    let nzt = pick(z, budget.clamp(1, 32));
+    (nxt, nyt, nzt)
+}
+
+/// Builds the fast-mode configuration for a layer: the best
+/// optimality-condition tile fitting the stage buffers into `S_b`.
+pub fn fast_config(
+    shape: &ConvShape,
+    kind: TileKind,
+    device: &DeviceSpec,
+) -> Option<ScheduleConfig> {
+    let sb_bytes = (device.smem_per_sm / 2).min(device.max_smem_per_block).min(48 * 1024);
+    // Leave room for the stage buffers inside S_b by searching with a
+    // deflated tile budget, then validating the complete footprint.
+    for deflate in [0.75, 0.5, 0.3, 0.15, 0.05] {
+        let budget = sb_bytes as f64 / 4.0 * deflate;
+        let Some(t) = best_kind_tile(shape, kind, budget) else { continue };
+        let (nxt, nyt, nzt) = default_threads(t.0, t.1, t.2);
+        let cfg =
+            ScheduleConfig { x: t.0, y: t.1, z: t.2, nxt, nyt, nzt, sb_bytes, layout: Layout::Chw };
+        if cfg.validate(shape, kind, device.smem_per_sm, false).is_ok() {
+            return Some(cfg);
+        }
+    }
+    None
+}
+
+/// Picks the read-I/O-minimising tile for the kind. Direct tiles come from
+/// the core solver; Winograd tiles are enumerated over the `e`-padded
+/// output extents (divisor-of-13 tiles don't exist, padded 14x14 ones do).
+fn best_kind_tile(shape: &ConvShape, kind: TileKind, budget: f64) -> Option<(usize, usize, usize)> {
+    match kind {
+        TileKind::Direct => best_tile(shape, kind, budget).map(|c| (c.tile.x, c.tile.y, c.tile.z)),
+        TileKind::Winograd(w) => {
+            let (hp, wp) = iolb_dataflow::config::padded_out(shape, kind);
+            let mut best: Option<((usize, usize, usize), f64)> = None;
+            for &x in divisors(hp).iter().filter(|&&d| d % w.e == 0) {
+                for &y in divisors(wp).iter().filter(|&&d| d % w.e == 0) {
+                    for &z in &divisors(shape.cout) {
+                        let tile = iolb_core::optimality::Tile { x, y, z };
+                        if kind.accumulator_elems(&tile) > budget {
+                            continue;
+                        }
+                        let io = kind.exact_read_io(shape, &tile);
+                        if best.as_ref().is_none_or(|&(_, b)| io < b) {
+                            best = Some(((x, y, z), io));
+                        }
+                    }
+                }
+            }
+            best.map(|(t, _)| t)
+        }
+    }
+}
+
+/// The algorithm candidates a planner considers for a layer: direct
+/// always, the two Winograd variants when the shape admits them.
+pub fn algo_candidates(shape: &ConvShape) -> Vec<(TileKind, &'static str)> {
+    let mut candidates: Vec<(TileKind, &'static str)> = vec![(TileKind::Direct, "direct")];
+    if shape.kh == shape.kw && shape.kh == 3 && shape.stride == 1 {
+        candidates.push((TileKind::Winograd(WinogradTile::F2X3), "winograd-F2x3"));
+        candidates.push((TileKind::Winograd(WinogradTile::F4X3), "winograd-F4x3"));
+    }
+    candidates
+}
+
+/// Everything one single-workload tuning run needs, pre-wired the
+/// canonical way.
+pub struct TunerSetup {
+    pub space: ConfigSpace,
+    pub measurer: Measurer,
+    pub model: GbtCostModel,
+    pub searcher: ParallelRandomWalk,
+    pub params: TuneParams,
+}
+
+/// The canonical per-workload tuner: pruned space, GBT model, parallel
+/// random walk seeded at [`fast_config`], `batch = 8`,
+/// `patience = budget` (so a run with budget `b` spends exactly `b`
+/// attempts unless the space is exhausted).
+///
+/// Every consumer that wants replayable, comparable per-workload tuning
+/// (CNN inference timing, the tuning service's background workers and
+/// its eager reference runs) must build its runs through this function:
+/// the trajectory of [`crate::engine::tune_with_store`] is a pure
+/// function of this setup plus the store's records for the workload.
+pub fn tuner_setup(
+    shape: &ConvShape,
+    kind: TileKind,
+    device: &DeviceSpec,
+    budget: usize,
+    seed: u64,
+) -> TunerSetup {
+    let space = ConfigSpace::new(*shape, kind, device.smem_per_sm, true);
+    let measurer = Measurer::new(device.clone(), *shape, kind);
+    let model = GbtCostModel::default();
+    let seeds = fast_config(shape, kind, device).into_iter().collect();
+    let searcher = ParallelRandomWalk::with_seeds(seeds);
+    let params = TuneParams { max_measurements: budget, batch: 8, patience: budget, seed };
+    TunerSetup { space, measurer, model, searcher, params }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    #[test]
+    fn fast_config_is_valid_for_common_shapes() {
+        for shape in [
+            ConvShape::square(64, 28, 64, 3, 1, 1),
+            ConvShape::new(96, 54, 54, 16, 1, 1, 1, 0),
+            ConvShape::new(128, 17, 17, 128, 1, 7, 1, 3),
+        ] {
+            let cfg = fast_config(&shape, TileKind::Direct, &device())
+                .unwrap_or_else(|| panic!("no fast config for {shape}"));
+            assert!(cfg.validate(&shape, TileKind::Direct, device().smem_per_sm, false).is_ok());
+        }
+    }
+
+    #[test]
+    fn algo_candidates_gate_winograd_on_3x3_stride_1() {
+        assert_eq!(algo_candidates(&ConvShape::square(64, 28, 64, 3, 1, 1)).len(), 3);
+        assert_eq!(algo_candidates(&ConvShape::square(64, 28, 64, 3, 2, 1)).len(), 1);
+        assert_eq!(algo_candidates(&ConvShape::new(64, 17, 17, 64, 1, 7, 1, 3)).len(), 1);
+    }
+
+    #[test]
+    fn tuner_setup_is_reproducible() {
+        // Two setups from the same inputs drive identical tuning runs.
+        let shape = ConvShape::square(32, 14, 32, 3, 1, 1);
+        let run = || {
+            let mut s = tuner_setup(&shape, TileKind::Direct, &device(), 16, 7);
+            crate::engine::tune(&s.space, &s.measurer, &mut s.model, &mut s.searcher, s.params)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_ms.to_bits(), b.best_ms.to_bits());
+    }
+}

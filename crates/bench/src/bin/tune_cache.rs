@@ -1,13 +1,18 @@
-//! `tune-cache` — inspect, verify, compact and merge tuning-record
-//! stores (the operational face of `iolb-records`).
+//! `tune-cache` — inspect, verify, compact, merge, shard and evict
+//! tuning-record stores (the operational face of `iolb-records` and
+//! `iolb-service`).
 //!
 //! ```console
-//! $ tune-cache stats   store.jsonl              # size / workload summary
+//! $ tune-cache stats   store.jsonl              # size / workload summary, per-device breakdown
 //! $ tune-cache top     store.jsonl [--k N]      # best records per workload
 //! $ tune-cache check   store.jsonl              # codec gate (CI): canonical + stable round-trip
 //! $ tune-cache compact store.jsonl --keep N [-o out.jsonl]
 //! $ tune-cache merge   -o out.jsonl a.jsonl b.jsonl [...]
 //! $ tune-cache gen     store.jsonl              # deterministically tune two small layers into a store
+//! $ tune-cache shard   store.jsonl -o shards/   # split into device shards (manifest + file per device)
+//! $ tune-cache shard   shards/ -o store.jsonl   # cross-shard merge back into one flat store
+//! $ tune-cache evict   shards/ --max-records N [--top-k K]
+//! $ tune-cache serve-stats shards/              # manifest, LRU and per-device summary
 //! ```
 //!
 //! `check` is wired into CI against a committed fixture store: it fails
@@ -15,6 +20,8 @@
 //! canonical serialization the current codec produces, or if
 //! parse→serialize→parse→serialize is not byte-stable — i.e. any codec
 //! regression that would corrupt or silently rewrite users' stores.
+//! The `shard`/`evict`/`serve-stats` path is smoke-tested by CI too, so
+//! the service's on-disk format cannot rot.
 
 use iolb_bench::{
     load_store_or_exit, run_tuner_with_store, save_store_or_exit, StoreMode, TunerKind,
@@ -23,21 +30,29 @@ use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
 use iolb_gpusim::DeviceSpec;
 use iolb_records::RecordStore;
+use iolb_service::{EvictionPolicy, ShardedStore};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tune-cache <stats|top|check|compact|merge|gen> [args]\n\
+        "usage: tune-cache <stats|top|check|compact|merge|gen|shard|evict|serve-stats> [args]\n\
          \n\
-         stats   <store>                    record/workload counts and cost ranges\n\
+         stats   <store>                    record/workload counts and cost ranges,\n\
+         \u{20}                                  broken down per device (store may be a shard dir)\n\
          top     <store> [--k N]            best N records per workload (default 3)\n\
          check   <store>                    exit non-zero unless the store parses cleanly,\n\
          \u{20}                                  is canonical, and round-trips byte-identically\n\
          compact <store> --keep N [-o OUT]  keep only the N best records per workload\n\
          merge   -o OUT <in> [<in>...]      merge stores (best cost wins on duplicates)\n\
          gen     <store>                    generate a small deterministic store by tuning\n\
-         \u{20}                                  two AlexNet-style layers (fixture/demo)"
+         \u{20}                                  two AlexNet-style layers (fixture/demo)\n\
+         shard   <store.jsonl> -o DIR       split a flat store into device shards\n\
+         shard   <DIR> -o OUT.jsonl         merge a shard directory back into a flat store\n\
+         evict   <DIR|store> --max-records N [--top-k K]\n\
+         \u{20}                                  LRU-evict cold workloads down to their K best\n\
+         \u{20}                                  (never dropping a workload's best record)\n\
+         serve-stats <DIR>                  manifest, LRU and per-device shard summary"
     );
     ExitCode::from(2)
 }
@@ -77,6 +92,22 @@ fn main() -> ExitCode {
             merge(&inputs, &out)
         }
         ("gen", [store]) => gen(Path::new(store)),
+        ("shard", [input, rest @ ..]) => {
+            let Some(out) = flag_path(rest, "-o") else {
+                eprintln!("shard requires -o OUT (a directory for split, a .jsonl for merge)");
+                return ExitCode::from(2);
+            };
+            shard(Path::new(input), &out)
+        }
+        ("evict", [input, rest @ ..]) => {
+            let Some(max_records) = flag_value(rest, "--max-records") else {
+                eprintln!("evict requires --max-records N");
+                return ExitCode::from(2);
+            };
+            let top_k = flag_value(rest, "--top-k").unwrap_or(EvictionPolicy::default().top_k);
+            evict(Path::new(input), EvictionPolicy { max_records, top_k })
+        }
+        ("serve-stats", [dir]) => serve_stats(Path::new(dir)),
         _ => usage(),
     }
 }
@@ -91,19 +122,152 @@ fn flag_path(args: &[String], flag: &str) -> Option<PathBuf> {
     args.get(at + 1).map(PathBuf::from)
 }
 
+/// Loads either a flat store file or a shard directory as a
+/// `ShardedStore` (flat files shard by routing every record).
+fn load_sharded_or_exit(path: &Path) -> ShardedStore {
+    if path.is_dir() {
+        match ShardedStore::load(path) {
+            Ok((sharded, report)) => {
+                for w in &report.warnings {
+                    eprintln!("warning: {w}");
+                }
+                sharded
+            }
+            Err(e) => {
+                eprintln!("error: cannot load shard directory {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        ShardedStore::from_flat(load_store_or_exit(path))
+    }
+}
+
 fn stats(path: &Path) -> ExitCode {
-    let store = load_store_or_exit(path);
+    let sharded = load_sharded_or_exit(path);
     println!(
-        "{}: {} record(s) across {} workload(s)",
+        "{}: {} record(s) across {} workload(s) on {} device(s)",
         path.display(),
-        store.len(),
-        store.workload_count()
+        sharded.len(),
+        sharded.workload_count(),
+        sharded.shard_count()
     );
-    for fp in store.fingerprints() {
-        let recs = store.records(fp);
-        let best = recs.first().map_or(f64::NAN, |r| r.cost_ms);
-        let worst = recs.last().map_or(f64::NAN, |r| r.cost_ms);
-        println!("  {:>5} record(s)  best {best:.6} ms  worst {worst:.6} ms  {fp}", recs.len());
+    // Per-device breakdown first — one flat store silently mixing
+    // several devices is exactly what this report exists to expose.
+    for (key, shard) in sharded.shards() {
+        println!(
+            "device {key}: {} record(s) across {} workload(s)",
+            shard.len(),
+            shard.workload_count()
+        );
+        for fp in shard.fingerprints() {
+            let recs = shard.records(fp);
+            let best = recs.first().map_or(f64::NAN, |r| r.cost_ms);
+            let worst = recs.last().map_or(f64::NAN, |r| r.cost_ms);
+            println!("  {:>5} record(s)  best {best:.6} ms  worst {worst:.6} ms  {fp}", recs.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Splits a flat store into a device-sharded directory, or merges a
+/// shard directory back into one flat store, depending on the input.
+fn shard(input: &Path, out: &Path) -> ExitCode {
+    if input.is_dir() {
+        let sharded = load_sharded_or_exit(input);
+        let flat = sharded.merged();
+        save_store_or_exit(&flat, out);
+        println!(
+            "merged {} shard(s) ({} record(s)) -> {}",
+            sharded.shard_count(),
+            flat.len(),
+            out.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let sharded = ShardedStore::from_flat(load_store_or_exit(input));
+    if let Err(e) = sharded.save(out) {
+        eprintln!("error: cannot write shard directory {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sharded {} -> {}: {} device(s), {} record(s)",
+        input.display(),
+        out.display(),
+        sharded.shard_count(),
+        sharded.len()
+    );
+    for (key, store) in sharded.shards() {
+        println!(
+            "  {:>5} record(s)  {} -> {}",
+            store.len(),
+            key,
+            iolb_service::shard_file_name(key)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Applies the LRU eviction policy to a shard directory (or flat store)
+/// in place.
+fn evict(input: &Path, policy: EvictionPolicy) -> ExitCode {
+    let mut sharded = load_sharded_or_exit(input);
+    let before = sharded.len();
+    let dropped = sharded.evict(&policy);
+    let saved = if input.is_dir() {
+        sharded.save(input).map_err(|e| format!("{}: {e}", input.display()))
+    } else {
+        let flat = sharded.merged();
+        flat.save(input).map_err(|e| format!("{}: {e}", input.display()))
+    };
+    if let Err(e) = saved {
+        eprintln!("error: cannot rewrite {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "evicted {}: dropped {dropped} of {before} record(s), kept {} (max {}, top-{} per cold workload)",
+        input.display(),
+        sharded.len(),
+        policy.max_records,
+        policy.top_k
+    );
+    ExitCode::SUCCESS
+}
+
+/// Summarizes a service shard directory: manifest, per-device shards,
+/// LRU temperature.
+fn serve_stats(dir: &Path) -> ExitCode {
+    if !dir.is_dir() {
+        eprintln!("error: {} is not a shard directory", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let sharded = load_sharded_or_exit(dir);
+    println!(
+        "{}: {} device shard(s), {} workload(s), {} record(s), clock {}",
+        dir.display(),
+        sharded.shard_count(),
+        sharded.workload_count(),
+        sharded.len(),
+        sharded.clock()
+    );
+    for (key, shard) in sharded.shards() {
+        println!(
+            "device {key} ({}): {} workload(s), {} record(s)",
+            iolb_service::shard_file_name(key),
+            shard.workload_count(),
+            shard.len()
+        );
+        for fp in shard.fingerprints() {
+            let recs = shard.records(fp);
+            let stamp = sharded.last_hit(fp);
+            let heat =
+                if stamp == 0 { "never hit".to_string() } else { format!("last hit @{stamp}") };
+            println!(
+                "  {:>5} record(s)  best {:.6} ms  {heat}  {fp}",
+                recs.len(),
+                recs.first().map_or(f64::NAN, |r| r.cost_ms)
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -12,7 +12,21 @@
 //! | `fig13` | cross-architecture sensitivity (1080Ti / Titan X / gfx906) |
 //! | `theory`| lower-bound validation: pebbling sandwich + 1/sqrt(S) scaling |
 //!
+//! Plus `tune-cache`, the operational CLI over `iolb-records` and
+//! `iolb-service` stores (stats/check/compact/merge/shard/evict/
+//! serve-stats), and `ablation`/`probe` for model studies.
+//!
 //! This library holds the shared runners (planning, tuning, printing).
+//!
+//! ```
+//! use iolb_bench::{fmt_speedup, TunerKind};
+//!
+//! assert_eq!(fmt_speedup(1.975), "1.98x");
+//! // The paper's engine searches the pruned domain; the TVM stand-ins
+//! // search the full one.
+//! assert!(TunerKind::Ate.pruned());
+//! assert!(!TunerKind::TvmSa.pruned());
+//! ```
 
 use iolb_autotune::engine::{tune, tune_with_store_mode, TuneParams, TuneResult};
 use iolb_autotune::search::genetic::GeneticSearch;

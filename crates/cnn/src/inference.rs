@@ -11,16 +11,18 @@
 //!   unfused Winograd pipeline per layer.
 
 use crate::layers::{ConvLayer, Network};
-use iolb_autotune::engine::{tune, tune_with_store, TuneParams};
-use iolb_autotune::{ConfigSpace, GbtCostModel, Measurer};
-use iolb_core::optimality::{best_tile, divisors, TileKind};
+use iolb_autotune::engine::{tune, tune_with_store};
+// The analytic planning defaults live in `iolb_autotune::plan` (shared
+// with the tuning service); re-exported here because they are part of
+// this module's historical API.
+pub use iolb_autotune::plan::{algo_candidates, fast_config};
+use iolb_core::optimality::TileKind;
 use iolb_core::shapes::{ConvShape, WinogradTile};
 use iolb_dataflow::baselines;
-use iolb_dataflow::config::ScheduleConfig;
 use iolb_dataflow::{direct_kernel, winograd_kernel};
 use iolb_gpusim::{simulate, simulate_sequence, DeviceSpec};
 use iolb_records::RecordStore;
-use iolb_tensor::layout::Layout;
+use iolb_service::{ServeSource, TuningService};
 
 /// Planning effort for our schedules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,101 +62,11 @@ impl NetworkTime {
     }
 }
 
-/// Picks a default thread split for a tile: factors of (x, y, z) whose
-/// product lands near 256 threads.
-fn default_threads(x: usize, y: usize, z: usize) -> (usize, usize, usize) {
-    let pick = |n: usize, cap: usize| divisors(n).into_iter().rfind(|&d| d <= cap).unwrap_or(1);
-    let nxt = pick(x, 16);
-    let nyt = pick(y, 16);
-    let budget = 1024 / (nxt * nyt).max(1);
-    let nzt = pick(z, budget.clamp(1, 32));
-    (nxt, nyt, nzt)
-}
-
-/// Builds the fast-mode configuration for a layer: the best
-/// optimality-condition tile fitting the stage buffers into `S_b`.
-pub fn fast_config(
-    shape: &ConvShape,
-    kind: TileKind,
-    device: &DeviceSpec,
-) -> Option<ScheduleConfig> {
-    let sb_bytes = (device.smem_per_sm / 2).min(device.max_smem_per_block).min(48 * 1024);
-    // Leave room for the stage buffers inside S_b by searching with a
-    // deflated tile budget, then validating the complete footprint.
-    for deflate in [0.75, 0.5, 0.3, 0.15, 0.05] {
-        let budget = sb_bytes as f64 / 4.0 * deflate;
-        let Some(t) = best_kind_tile(shape, kind, budget) else { continue };
-        let (nxt, nyt, nzt) = default_threads(t.0, t.1, t.2);
-        let cfg =
-            ScheduleConfig { x: t.0, y: t.1, z: t.2, nxt, nyt, nzt, sb_bytes, layout: Layout::Chw };
-        if cfg.validate(shape, kind, device.smem_per_sm, false).is_ok() {
-            return Some(cfg);
-        }
-    }
-    None
-}
-
-/// Picks the read-I/O-minimising tile for the kind. Direct tiles come from
-/// the core solver; Winograd tiles are enumerated over the `e`-padded
-/// output extents (divisor-of-13 tiles don't exist, padded 14x14 ones do).
-fn best_kind_tile(shape: &ConvShape, kind: TileKind, budget: f64) -> Option<(usize, usize, usize)> {
-    match kind {
-        TileKind::Direct => best_tile(shape, kind, budget).map(|c| (c.tile.x, c.tile.y, c.tile.z)),
-        TileKind::Winograd(w) => {
-            let (hp, wp) = iolb_dataflow::config::padded_out(shape, kind);
-            let mut best: Option<((usize, usize, usize), f64)> = None;
-            for &x in divisors(hp).iter().filter(|&&d| d % w.e == 0) {
-                for &y in divisors(wp).iter().filter(|&&d| d % w.e == 0) {
-                    for &z in &divisors(shape.cout) {
-                        let tile = iolb_core::optimality::Tile { x, y, z };
-                        if kind.accumulator_elems(&tile) > budget {
-                            continue;
-                        }
-                        let io = kind.exact_read_io(shape, &tile);
-                        if best.as_ref().is_none_or(|&(_, b)| io < b) {
-                            best = Some(((x, y, z), io));
-                        }
-                    }
-                }
-            }
-            best.map(|(t, _)| t)
-        }
-    }
-}
-
-/// The algorithm candidates our planner considers for a layer: direct
-/// always, the two Winograd variants when the shape admits them.
-fn algo_candidates(shape: &ConvShape) -> Vec<(TileKind, &'static str)> {
-    let mut candidates: Vec<(TileKind, &'static str)> = vec![(TileKind::Direct, "direct")];
-    if shape.kh == shape.kw && shape.kh == 3 && shape.stride == 1 {
-        candidates.push((TileKind::Winograd(WinogradTile::F2X3), "winograd-F2x3"));
-        candidates.push((TileKind::Winograd(WinogradTile::F4X3), "winograd-F4x3"));
-    }
-    candidates
-}
-
-/// Space/measurer/model/searcher/params for one tuned candidate — the
-/// identical setup whether or not a record store backs the run.
-fn tuner_setup(
-    shape: &ConvShape,
-    kind: TileKind,
-    device: &DeviceSpec,
-    budget: usize,
-) -> (
-    ConfigSpace,
-    Measurer,
-    GbtCostModel,
-    iolb_autotune::search::walk::ParallelRandomWalk,
-    TuneParams,
-) {
-    let space = ConfigSpace::new(*shape, kind, device.smem_per_sm, true);
-    let measurer = Measurer::new(device.clone(), *shape, kind);
-    let model = GbtCostModel::default();
-    let seeds = fast_config(shape, kind, device).into_iter().collect();
-    let searcher = iolb_autotune::search::walk::ParallelRandomWalk::with_seeds(seeds);
-    let params = TuneParams { max_measurements: budget, batch: 8, patience: budget, seed: 7 };
-    (space, measurer, model, searcher, params)
-}
+/// The per-workload tuner seed every CNN-level tuning run uses.
+///
+/// Pinned so store-backed runs, service-backed runs and the eager
+/// reference runs in tests all replay the same trajectories.
+pub const TUNER_SEED: u64 = 7;
 
 /// Times one layer under our planner; returns (ms, algorithm label).
 pub fn time_ours(
@@ -177,9 +89,9 @@ pub fn time_ours(
                 }
             }
             PlanMode::Tuned { budget } => {
-                let (space, measurer, mut model, mut searcher, params) =
-                    tuner_setup(shape, kind, device, budget);
-                match tune(&space, &measurer, &mut model, &mut searcher, params) {
+                let mut s =
+                    iolb_autotune::plan::tuner_setup(shape, kind, device, budget, TUNER_SEED);
+                match tune(&s.space, &s.measurer, &mut s.model, &mut s.searcher, s.params) {
                     Some(r) => r.best_ms,
                     None => continue,
                 }
@@ -233,10 +145,9 @@ pub fn time_ours_with_store(
     let mut economics = TuneEconomics::default();
     let mut best: Option<(f64, &'static str)> = None;
     for (kind, label) in algo_candidates(shape) {
-        let (space, measurer, mut model, mut searcher, params) =
-            tuner_setup(shape, kind, device, budget);
+        let mut s = iolb_autotune::plan::tuner_setup(shape, kind, device, budget, TUNER_SEED);
         let Some(out) =
-            tune_with_store(&space, &measurer, &mut model, &mut searcher, params, store)
+            tune_with_store(&s.space, &s.measurer, &mut s.model, &mut s.searcher, s.params, store)
         else {
             continue;
         };
@@ -270,6 +181,66 @@ pub fn time_network_with_store(
             }
             None => (f64::INFINITY, "none"),
         }
+    });
+    (time, economics)
+}
+
+/// Economics of serving a network through the tuning service: how the
+/// requests were answered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceEconomics {
+    /// Requests answered instantly from the device shards.
+    pub shard_hits: usize,
+    /// Requests that waited for (and took) an in-flight background tune.
+    pub stolen: usize,
+    /// Requests the caller had to tune inline.
+    pub inline_tuned: usize,
+    /// Simulator invocations the requests themselves triggered (zero
+    /// when the background workers already filled the store).
+    pub fresh_measurements: usize,
+    /// Store replays the inline runs used.
+    pub cache_hits: usize,
+}
+
+impl ServiceEconomics {
+    fn absorb(&mut self, out: &iolb_service::ServeResult) {
+        match out.source {
+            ServeSource::ShardHit => self.shard_hits += 1,
+            ServeSource::Stolen => self.stolen += 1,
+            ServeSource::Inline { .. } => self.inline_tuned += 1,
+        }
+        self.fresh_measurements += out.fresh_measurements;
+        self.cache_hits += out.cache_hits;
+    }
+}
+
+/// Times a whole network through the background [`TuningService`] — the
+/// service-backed analogue of [`time_network_with_store`].
+///
+/// Each layer × algorithm candidate is requested via
+/// [`TuningService::tune_or_wait`]: layers the speculative workers
+/// already tuned replay instantly, in-flight ones are stolen, and cold
+/// ones tune inline (at the service's per-workload budget). After the
+/// service's queue has drained, serving a registered network performs
+/// **zero** new simulator measurements and returns costs bit-identical
+/// to eager [`time_network_with_store`] runs at the same budget and
+/// seed — that contract is pinned by `tests/service.rs`.
+pub fn time_network_with_service(
+    net: &Network,
+    device: &DeviceSpec,
+    service: &TuningService,
+) -> (NetworkTime, ServiceEconomics) {
+    let mut economics = ServiceEconomics::default();
+    let time = time_network_impl(net, device, |shape| {
+        let mut best: Option<(f64, &'static str)> = None;
+        for (kind, label) in algo_candidates(shape) {
+            let Some(out) = service.tune_or_wait(shape, kind, device) else { continue };
+            economics.absorb(&out);
+            if best.as_ref().is_none_or(|&(b, _)| out.cost_ms < b) {
+                best = Some((out.cost_ms, label));
+            }
+        }
+        best.unwrap_or((f64::INFINITY, "none"))
     });
     (time, economics)
 }
@@ -408,6 +379,40 @@ mod tests {
     fn layer_lookup() {
         let net = models::alexnet();
         assert_eq!(layer(&net, "conv3").shape.cout, 384);
+    }
+
+    #[test]
+    fn service_serving_after_drain_is_all_hits() {
+        use crate::layers::{ConvLayer, Network};
+        use iolb_service::{ServiceConfig, ShardedStore, TuningService};
+        let net = Network {
+            name: "toy",
+            layers: vec![
+                ConvLayer::new("a", ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0)),
+                ConvLayer::new("b", ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0)),
+            ],
+        };
+        let config = ServiceConfig {
+            budget_per_workload: 12,
+            workers: 0,
+            speculate_neighbors: false,
+            seed: TUNER_SEED,
+            ..ServiceConfig::default()
+        };
+        let service = TuningService::new(ShardedStore::new(), config);
+        assert_eq!(service.register_network(&net, &device()), 2);
+        service.drain();
+        let (timed, eco) = time_network_with_service(&net, &device(), &service);
+        assert_eq!(eco.shard_hits, 2, "drained service must answer from the shards");
+        assert_eq!(eco.inline_tuned, 0);
+        assert_eq!(eco.fresh_measurements, 0);
+        assert!(timed.ours_ms.is_finite() && timed.ours_ms > 0.0);
+        // A cold service serves the same costs, just inline.
+        let cold = TuningService::new(ShardedStore::new(), config);
+        let (timed_cold, eco_cold) = time_network_with_service(&net, &device(), &cold);
+        assert_eq!(eco_cold.inline_tuned, 2);
+        assert!(eco_cold.fresh_measurements > 0);
+        assert_eq!(timed_cold.ours_ms.to_bits(), timed.ours_ms.to_bits());
     }
 
     #[test]

@@ -50,6 +50,12 @@ impl Network {
         self.layers.iter().map(ConvLayer::total_macs).sum()
     }
 
+    /// The distinct layer shapes, in network order (what the tuning
+    /// service registers).
+    pub fn layer_shapes(&self) -> Vec<&iolb_core::shapes::ConvShape> {
+        self.layers.iter().map(|l| &l.shape).collect()
+    }
+
     /// Number of distinct conv layers.
     pub fn len(&self) -> usize {
         self.layers.len()
@@ -66,6 +72,13 @@ impl Network {
             l.shape.validate().map_err(|e| format!("{}/{}: {e}", self.name, l.name))?;
         }
         Ok(())
+    }
+}
+
+/// Networks register directly with the tuning service.
+impl iolb_service::register::LayerSource for Network {
+    fn layer_shapes(&self) -> Vec<&iolb_core::shapes::ConvShape> {
+        self.layer_shapes()
     }
 }
 

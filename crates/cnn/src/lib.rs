@@ -3,11 +3,27 @@
 //! The workload side of the evaluation: exact conv-layer inventories for
 //! AlexNet, SqueezeNet, VGG-19, ResNet-18/34 and Inception-v3
 //! ([`models`]), and the per-layer algorithm selection + timing pipeline
-//! behind the paper's Fig. 12 end-to-end comparison ([`inference`]).
+//! behind the paper's Fig. 12 end-to-end comparison ([`inference`]) —
+//! analytic fast mode, full per-layer tuning, store-backed tuning
+//! ([`inference::time_network_with_store`]), and service-backed serving
+//! ([`inference::time_network_with_service`]).
+//!
+//! ```
+//! use iolb_cnn::models;
+//!
+//! // Layer inventories carry exact geometry; repeats fold duplicates.
+//! let net = models::alexnet();
+//! assert_eq!(net.name, "AlexNet");
+//! assert!(net.len() >= 5 && net.total_macs() > 0);
+//! assert_eq!(iolb_cnn::inference::layer(&net, "conv3").shape.cout, 384);
+//! ```
 
 pub mod inference;
 pub mod layers;
 pub mod models;
 
-pub use inference::{time_network, LayerTime, NetworkTime, PlanMode};
+pub use inference::{
+    time_network, time_network_with_service, time_network_with_store, LayerTime, NetworkTime,
+    PlanMode, ServiceEconomics, TuneEconomics,
+};
 pub use layers::{ConvLayer, Network};

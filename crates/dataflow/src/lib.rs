@@ -13,6 +13,23 @@
 //! checking; [`baselines`] provides the cuDNN/MIOpen stand-ins (im2col +
 //! GEMM, naive direct, unfused Winograd); [`analysis`] compares measured
 //! traffic against the lower bounds.
+//!
+//! ```
+//! use iolb_core::optimality::TileKind;
+//! use iolb_core::shapes::ConvShape;
+//! use iolb_dataflow::{analyze_direct, ScheduleConfig};
+//! use iolb_tensor::layout::Layout;
+//!
+//! let shape = ConvShape::square(256, 56, 128, 3, 1, 1);
+//! let cfg = ScheduleConfig {
+//!     x: 14, y: 14, z: 16, nxt: 7, nyt: 7, nzt: 4,
+//!     sb_bytes: 32 * 1024, layout: Layout::Chw,
+//! };
+//! cfg.validate(&shape, TileKind::Direct, 96 * 1024, false).unwrap();
+//! // The lowered schedule's exact traffic never beats the lower bound.
+//! let report = analyze_direct(&shape, &cfg);
+//! assert!(report.ratio >= 1.0);
+//! ```
 
 pub mod analysis;
 pub mod baselines;

@@ -19,6 +19,23 @@
 //! what the theory bounds — while time is a monotone roofline model, good
 //! enough to rank schedules the way real hardware does. Absolute ms/GFLOPs
 //! are not comparable to the paper's; relative speedups are.
+//!
+//! ```
+//! use iolb_gpusim::kernel::{BlockWork, KernelDesc};
+//! use iolb_gpusim::memory::TileAccess;
+//! use iolb_gpusim::occupancy::BlockShape;
+//! use iolb_gpusim::{simulate, DeviceSpec};
+//!
+//! let device = DeviceSpec::v100();
+//! let kernel = KernelDesc {
+//!     name: "demo".into(),
+//!     grid_blocks: 160,
+//!     block: BlockShape { threads: 256, smem_bytes: 16 * 1024 },
+//!     work: BlockWork::new(1 << 20).read(TileAccess::contiguous(4096)),
+//! };
+//! let stats = simulate(&device, &kernel).unwrap();
+//! assert!(stats.time_ms > 0.0 && stats.q_elems() > 0);
+//! ```
 
 pub mod device;
 pub mod engine;

@@ -21,6 +21,21 @@
 //! * [`conv_dag`] — literal DAG builders for the direct convolution
 //!   (Fig. 4) and the Winograd algorithm (Fig. 5), whose vertex counts
 //!   reproduce Lemmas 4.8 and 4.14 exactly.
+//!
+//! ```
+//! use iolb_core::shapes::ConvShape;
+//! use iolb_pebble::conv_dag::direct_conv_dag;
+//! use iolb_pebble::strategies::{pebble_topological, Eviction};
+//!
+//! // Pebble a tiny direct convolution with 16 red pebbles: the legal
+//! // trace's I/O upper-bounds the true minimum, and a larger fast
+//! // memory can never need more I/O under the same policy.
+//! let dag = direct_conv_dag(&ConvShape::square(2, 4, 2, 3, 1, 0)); // unpadded
+//! let small = pebble_topological(&dag, 16, Eviction::Lru);
+//! let large = pebble_topological(&dag, 64, Eviction::Lru);
+//! assert!(small.io >= large.io);
+//! assert!(large.loads >= dag.inputs().len() as u64);
+//! ```
 
 #![allow(clippy::needless_range_loop)] // index loops read clearer in graph code
 pub mod conv_dag;

@@ -20,6 +20,28 @@
 //!   nearest-workload queries by feature distance (cross-layer
 //!   transfer), merge/compaction, and corruption-tolerant loading that
 //!   skips and reports malformed lines instead of failing the run.
+//!
+//! ```
+//! use iolb_core::optimality::TileKind;
+//! use iolb_core::shapes::ConvShape;
+//! use iolb_dataflow::config::ScheduleConfig;
+//! use iolb_records::{RecordStore, TuningRecord, Workload};
+//! use iolb_tensor::layout::Layout;
+//!
+//! let workload = Workload::new(
+//!     ConvShape::square(64, 28, 32, 3, 1, 1), TileKind::Direct, "Tesla V100", 96 * 1024,
+//! );
+//! let config = ScheduleConfig {
+//!     x: 7, y: 7, z: 8, nxt: 1, nyt: 1, nzt: 1, sb_bytes: 16 * 1024, layout: Layout::Chw,
+//! };
+//! let mut store = RecordStore::new();
+//! store.insert(TuningRecord::new(workload.clone(), config, 0.25, 7).unwrap());
+//! // Exact hits replay their stored cost; serialization is canonical.
+//! assert_eq!(store.lookup(&workload, &config), Some(0.25));
+//! let (reloaded, report) = RecordStore::from_jsonl(&store.to_jsonl());
+//! assert!(report.is_clean());
+//! assert_eq!(reloaded.to_jsonl(), store.to_jsonl());
+//! ```
 
 pub mod jsonl;
 pub mod record;

@@ -71,6 +71,39 @@ impl RecordStore {
         self.by_workload.get(fingerprint).map_or(&[], Vec::as_slice)
     }
 
+    /// Every `(fingerprint, records)` pair, in deterministic fingerprint
+    /// order; record lists are canonical (best cost first). This is the
+    /// iteration surface sharding and eviction are built on.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[TuningRecord])> {
+        self.by_workload.iter().map(|(fp, list)| (fp.as_str(), list.as_slice()))
+    }
+
+    /// Consuming variant of [`entries`](Self::entries): yields every
+    /// `(fingerprint, records)` pair in fingerprint order, moving the
+    /// records out (what re-sharding wants — no clones).
+    pub fn into_entries(self) -> impl Iterator<Item = (String, Vec<TuningRecord>)> {
+        self.by_workload.into_iter()
+    }
+
+    /// Keeps only the `keep` best records of *one* workload (the list is
+    /// canonical, so truncation always retains the best-cost record when
+    /// `keep >= 1`). `keep == 0` removes the workload entirely. Returns
+    /// how many records were dropped; unknown fingerprints drop nothing.
+    pub fn truncate_workload(&mut self, fingerprint: &str, keep: usize) -> usize {
+        let Some(list) = self.by_workload.get_mut(fingerprint) else {
+            return 0;
+        };
+        if list.len() <= keep {
+            return 0;
+        }
+        let dropped = list.len() - keep;
+        list.truncate(keep);
+        if list.is_empty() {
+            self.by_workload.remove(fingerprint);
+        }
+        dropped
+    }
+
     /// Inserts a record. If the workload+config pair already exists the
     /// lower cost wins (re-measurements of a deterministic simulator
     /// agree, but merged stores from different tuner versions may not).
@@ -415,6 +448,45 @@ mod tests {
         assert_eq!(dropped, 1);
         assert_eq!(a.len(), 2);
         assert_eq!(a.top_k(&wl(64), 9)[0].cost_ms, 1.0, "compaction keeps the best");
+    }
+
+    #[test]
+    fn entries_iterate_in_fingerprint_order() {
+        let mut s = RecordStore::new();
+        s.insert(rec(64, 7, 2.0));
+        s.insert(rec(32, 7, 3.0));
+        s.insert(rec(64, 14, 1.0));
+        let fps: Vec<&str> = s.entries().map(|(fp, _)| fp).collect();
+        let mut sorted = fps.clone();
+        sorted.sort_unstable();
+        assert_eq!(fps, sorted);
+        let total: usize = s.entries().map(|(_, r)| r.len()).sum();
+        assert_eq!(total, s.len());
+        // Lists come back canonical: best cost first.
+        for (_, list) in s.entries() {
+            for w in list.windows(2) {
+                assert!(w[0].cost_ms <= w[1].cost_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_workload_keeps_the_best_prefix() {
+        let mut s = RecordStore::new();
+        for (x, cost) in [(4, 3.0), (1, 5.0), (14, 1.0), (2, 4.0)] {
+            s.insert(rec(64, x, cost));
+        }
+        s.insert(rec(32, 7, 9.0));
+        let fp = wl(64).fingerprint();
+        assert_eq!(s.truncate_workload(&fp, 2), 2);
+        assert_eq!(s.records(&fp).len(), 2);
+        assert_eq!(s.records(&fp)[0].cost_ms, 1.0, "truncation must keep the best record");
+        assert_eq!(s.truncate_workload(&fp, 2), 0, "already within bound");
+        assert_eq!(s.truncate_workload("no-such-workload", 1), 0);
+        // keep == 0 removes the workload entirely.
+        assert_eq!(s.truncate_workload(&fp, 0), 2);
+        assert!(s.records(&fp).is_empty());
+        assert_eq!(s.workload_count(), 1);
     }
 
     #[test]

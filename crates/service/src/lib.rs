@@ -1,0 +1,61 @@
+//! # iolb-service — speculative background tuning over sharded stores
+//!
+//! The production face of the auto-tuner: the paper makes tuning cheap
+//! enough (I/O-lower-bound pruning, §6) that a service can afford to
+//! tune **ahead of demand**. This crate turns the passive
+//! `iolb-records` store into that service:
+//!
+//! * [`shard`] — device-sharded stores: one canonical JSONL file per
+//!   device fingerprint under a manifest index, cross-shard merge,
+//!   persisted LRU stamps, and an [`EvictionPolicy`] for long-lived
+//!   stores (coldest-workload truncation that never drops a workload's
+//!   best-cost record).
+//! * [`queue`] — the priority work queue: layer workloads (plus
+//!   shape-perturbation neighbors) ranked by predicted I/O-bound gap
+//!   `Q_model / Q_lower`, drained in a deterministic order.
+//! * [`service`] — the [`TuningService`]: background tuner workers on
+//!   the rayon shim's persistent pool fill the shards in idle time
+//!   under a measurement budget, and [`TuningService::tune_or_wait`]
+//!   answers requests from the shards, steals in-flight background
+//!   results, or tunes inline.
+//!
+//! Per-workload tuning runs are *hermetic* (see the [`service`] module
+//! docs), so a drained service reproduces exactly what eager
+//! `tune_with_store` runs produce — bit-identical costs — regardless of
+//! worker count or scheduling.
+//!
+//! ```
+//! use iolb_core::optimality::TileKind;
+//! use iolb_core::shapes::ConvShape;
+//! use iolb_gpusim::DeviceSpec;
+//! use iolb_service::{ServeSource, ServiceConfig, ShardedStore, TuningService};
+//!
+//! let config = ServiceConfig {
+//!     budget_per_workload: 12,
+//!     workers: 0, // doctest: drain on this thread, deterministically
+//!     speculate_neighbors: false,
+//!     ..ServiceConfig::default()
+//! };
+//! let service = TuningService::new(ShardedStore::new(), config);
+//! let layer = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+//! let device = DeviceSpec::v100();
+//!
+//! // Speculate: enqueue the layer, fill the store in the background.
+//! service.register_network(&layer, &device);
+//! service.drain();
+//!
+//! // Serve: the request replays instantly from the shard.
+//! let out = service.tune_or_wait(&layer, TileKind::Direct, &device).unwrap();
+//! assert_eq!(out.source, ServeSource::ShardHit);
+//! assert_eq!(out.fresh_measurements, 0);
+//! ```
+
+pub mod queue;
+pub mod service;
+pub mod shard;
+
+pub use queue::{io_gap, shape_perturbations, Job, PushOutcome, WorkQueue};
+pub use service::{register, ServeResult, ServeSource, ServiceConfig, ServiceStats, TuningService};
+pub use shard::{
+    device_key, shard_file_name, EvictionPolicy, ShardLoadReport, ShardedStore, MANIFEST_FILE,
+};

@@ -1,0 +1,307 @@
+//! The speculative work queue: what to tune next, and why.
+//!
+//! The service fills its stores *before* workloads are requested, so it
+//! has to decide which pending workload deserves measurement budget
+//! first. The paper's thesis supplies the ranking: a workload whose
+//! analytic dataflow I/O (the Eq. 20/22 cost model evaluated at the
+//! no-search [`fast_config`] schedule) sits far above its I/O lower
+//! bound has the most to gain from search, so its **I/O-bound gap**
+//! `Q_model / Q_lower` is its priority. Registered layers always
+//! outrank speculative shape-perturbation neighbors; remaining ties
+//! break on the workload fingerprint, keeping the drain order — and
+//! therefore the budget cutoff — fully deterministic.
+//!
+//! [`fast_config`]: iolb_autotune::plan::fast_config
+
+use iolb_autotune::plan::fast_config;
+use iolb_core::optimality::TileKind;
+use iolb_core::shapes::ConvShape;
+use iolb_gpusim::DeviceSpec;
+use iolb_records::Workload;
+use std::collections::BTreeMap;
+
+/// One pending tuning task.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub shape: ConvShape,
+    pub kind: TileKind,
+    pub device: DeviceSpec,
+    /// `true` for shape-perturbation neighbors (enqueued on the hunch
+    /// that a similar layer will be requested), `false` for layers of a
+    /// registered network.
+    pub speculative: bool,
+}
+
+impl Job {
+    /// The record-store identity of this job.
+    pub fn workload(&self) -> Workload {
+        Workload::new(self.shape, self.kind, self.device.name, self.device.smem_per_sm)
+    }
+
+    pub fn fingerprint(&self) -> String {
+        self.workload().fingerprint()
+    }
+}
+
+/// The predicted I/O-bound gap of a workload: analytic dataflow I/O of
+/// the no-search schedule over the I/O lower bound at that schedule's
+/// stage-buffer size (both in elements). Always `>= 1` for feasible
+/// workloads; infeasible ones (no valid fast config) rank last at 1.
+pub fn io_gap(shape: &ConvShape, kind: TileKind, device: &DeviceSpec) -> f64 {
+    let Some(cfg) = fast_config(shape, kind, device) else {
+        return 1.0;
+    };
+    let s = cfg.sb_elems();
+    let (q_model, q_lower) = match kind {
+        TileKind::Direct => (
+            iolb_dataflow::direct::analytic_io_elems(shape, &cfg),
+            iolb_core::direct::io_lower_bound(shape, s),
+        ),
+        TileKind::Winograd(t) => (
+            iolb_dataflow::winograd::analytic_io_elems(shape, t, &cfg),
+            iolb_core::winograd::io_lower_bound(shape, t, s),
+        ),
+    };
+    let gap = q_model / q_lower.max(1.0);
+    if gap.is_finite() {
+        gap.max(1.0)
+    } else {
+        1.0
+    }
+}
+
+/// Speculative neighbors of a layer shape: the channel-halved/-doubled
+/// variants (the axes along which CNN families actually vary between
+/// versions — VGG-16 vs VGG-19, ResNet widths). Spatial extents and
+/// kernel geometry stay fixed: those perturbations change the algorithm
+/// candidates themselves and transfer poorly.
+pub fn shape_perturbations(shape: &ConvShape) -> Vec<ConvShape> {
+    let mut out: Vec<ConvShape> = Vec::new();
+    let mut push = |candidate: ConvShape| {
+        if candidate != *shape && candidate.validate().is_ok() && !out.contains(&candidate) {
+            out.push(candidate);
+        }
+    };
+    push(ConvShape { cin: shape.cin * 2, ..*shape });
+    if shape.cin.is_multiple_of(2) {
+        push(ConvShape { cin: shape.cin / 2, ..*shape });
+    }
+    push(ConvShape { cout: shape.cout * 2, ..*shape });
+    if shape.cout.is_multiple_of(2) {
+        push(ConvShape { cout: shape.cout / 2, ..*shape });
+    }
+    out
+}
+
+/// Queue ordering key: registered layers before speculative neighbors,
+/// then larger I/O-bound gap first, then fingerprint. The float is
+/// compared through its IEEE bit pattern, which is order-preserving for
+/// the non-negative finite gaps [`io_gap`] produces.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct JobKey {
+    speculative: bool,
+    gap_descending: std::cmp::Reverse<u64>,
+    fingerprint: String,
+}
+
+/// What [`WorkQueue::push`] did with a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The workload was new: the queue grew.
+    Added,
+    /// The workload was already pending as a *speculative* neighbor and
+    /// the incoming job is a registered layer: the pending entry was
+    /// promoted to the registered tier (the queue did not grow).
+    Promoted,
+    /// The workload was already pending at an equal-or-better tier.
+    AlreadyPending,
+}
+
+/// Deterministic priority queue of pending jobs, deduplicated by
+/// workload fingerprint.
+#[derive(Debug, Default)]
+pub struct WorkQueue {
+    jobs: BTreeMap<JobKey, Job>,
+    by_fingerprint: BTreeMap<String, JobKey>,
+}
+
+impl WorkQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.by_fingerprint.contains_key(fingerprint)
+    }
+
+    /// Every pending workload fingerprint with its tier (`true` =
+    /// speculative), in fingerprint order. Registration snapshots this
+    /// to avoid recomputing priorities for already-pending workloads.
+    pub fn pending(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.by_fingerprint.iter().map(|(fp, key)| (fp.as_str(), key.speculative))
+    }
+
+    /// Enqueues a job at the given [`io_gap`] priority (computed by the
+    /// caller so it can happen outside any service lock — the gap is a
+    /// pure function of the workload). A workload already pending as a
+    /// speculative neighbor is *promoted* when re-pushed as a registered
+    /// layer — a layer of a registered network must never drain at (or
+    /// be budget-dropped from) neighbor priority just because a
+    /// perturbation of an earlier layer aliased it.
+    pub fn push(&mut self, job: Job, gap: f64) -> PushOutcome {
+        let fingerprint = job.fingerprint();
+        if let Some(existing) = self.by_fingerprint.get(&fingerprint) {
+            if !existing.speculative || job.speculative {
+                return PushOutcome::AlreadyPending;
+            }
+            // Same fingerprint = same workload = same gap: keep the key's
+            // gap, lift the tier.
+            let old_key = existing.clone();
+            let promoted = self.jobs.remove(&old_key).expect("pending job for indexed key");
+            let new_key = JobKey { speculative: false, ..old_key };
+            self.by_fingerprint.insert(fingerprint, new_key.clone());
+            self.jobs.insert(new_key, Job { speculative: false, ..promoted });
+            return PushOutcome::Promoted;
+        }
+        let key = JobKey {
+            speculative: job.speculative,
+            gap_descending: std::cmp::Reverse(gap.to_bits()),
+            fingerprint: fingerprint.clone(),
+        };
+        self.by_fingerprint.insert(fingerprint, key.clone());
+        self.jobs.insert(key, job);
+        PushOutcome::Added
+    }
+
+    /// Removes and returns the highest-priority job.
+    pub fn pop_first(&mut self) -> Option<Job> {
+        let (key, job) = self.jobs.pop_first()?;
+        self.by_fingerprint.remove(&key.fingerprint);
+        Some(job)
+    }
+
+    /// Cancels a pending job by workload fingerprint (the "speculative
+    /// duplicate" path: someone is about to tune this inline). Returns
+    /// whether a job was actually cancelled.
+    pub fn remove(&mut self, fingerprint: &str) -> bool {
+        match self.by_fingerprint.remove(fingerprint) {
+            Some(key) => self.jobs.remove(&key).is_some(),
+            None => false,
+        }
+    }
+
+    /// Drops every pending job (budget exhaustion). Returns how many.
+    pub fn clear(&mut self) -> usize {
+        let n = self.jobs.len();
+        self.jobs.clear();
+        self.by_fingerprint.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(cin: usize, speculative: bool) -> Job {
+        Job {
+            shape: ConvShape::square(cin, 28, 32, 3, 1, 1),
+            kind: TileKind::Direct,
+            device: DeviceSpec::v100(),
+            speculative,
+        }
+    }
+
+    fn push(q: &mut WorkQueue, j: Job) -> PushOutcome {
+        let gap = io_gap(&j.shape, j.kind, &j.device);
+        q.push(j, gap)
+    }
+
+    #[test]
+    fn io_gap_is_at_least_one_and_feasible_shapes_exceed_it() {
+        let d = DeviceSpec::v100();
+        let gap = io_gap(&ConvShape::square(256, 56, 128, 3, 1, 1), TileKind::Direct, &d);
+        assert!(gap >= 1.0 && gap.is_finite());
+    }
+
+    #[test]
+    fn registered_layers_outrank_speculative_neighbors() {
+        let mut q = WorkQueue::new();
+        assert_eq!(push(&mut q, job(64, true)), PushOutcome::Added);
+        assert_eq!(push(&mut q, job(128, false)), PushOutcome::Added);
+        assert_eq!(push(&mut q, job(32, true)), PushOutcome::Added);
+        let first = q.pop_first().unwrap();
+        assert!(!first.speculative, "registered layer must drain first");
+        assert!(q.pop_first().unwrap().speculative);
+    }
+
+    #[test]
+    fn queue_dedupes_by_fingerprint_and_cancels() {
+        let mut q = WorkQueue::new();
+        assert_eq!(push(&mut q, job(64, false)), PushOutcome::Added);
+        assert_eq!(
+            push(&mut q, job(64, false)),
+            PushOutcome::AlreadyPending,
+            "duplicate workload must not enqueue"
+        );
+        assert_eq!(q.len(), 1);
+        let fp = job(64, false).fingerprint();
+        assert!(q.contains(&fp));
+        assert!(q.remove(&fp));
+        assert!(!q.remove(&fp));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn registered_push_promotes_a_pending_speculative_duplicate() {
+        let mut q = WorkQueue::new();
+        // The neighbor of one layer aliases a later registered layer.
+        assert_eq!(push(&mut q, job(64, true)), PushOutcome::Added);
+        assert_eq!(push(&mut q, job(128, false)), PushOutcome::Added);
+        assert_eq!(push(&mut q, job(64, false)), PushOutcome::Promoted);
+        // A registered layer never demotes.
+        assert_eq!(push(&mut q, job(64, true)), PushOutcome::AlreadyPending);
+        assert_eq!(q.len(), 2);
+        // Both drain at registered priority now.
+        assert!(!q.pop_first().unwrap().speculative);
+        assert!(!q.pop_first().unwrap().speculative);
+    }
+
+    #[test]
+    fn drain_order_is_deterministic() {
+        let build = || {
+            let mut q = WorkQueue::new();
+            for cin in [64, 32, 128, 16] {
+                push(&mut q, job(cin, false));
+            }
+            let mut order = Vec::new();
+            while let Some(j) = q.pop_first() {
+                order.push(j.fingerprint());
+            }
+            order
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn perturbations_are_valid_distinct_shapes() {
+        let shape = ConvShape::square(64, 28, 32, 3, 1, 1);
+        let neighbors = shape_perturbations(&shape);
+        assert_eq!(neighbors.len(), 4);
+        for n in &neighbors {
+            assert!(n.validate().is_ok());
+            assert_ne!(*n, shape);
+        }
+        // Odd channel counts halve away.
+        let odd = ConvShape::square(3, 28, 32, 3, 1, 1);
+        assert!(shape_perturbations(&odd).iter().all(|n| n.cin != 1 || n.cout != 32));
+    }
+}

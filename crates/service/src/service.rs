@@ -1,0 +1,782 @@
+//! The tuning service: speculative background tuning over sharded stores.
+//!
+//! A [`TuningService`] owns a [`ShardedStore`], a priority
+//! [`WorkQueue`], and a set of background tuner workers on the rayon
+//! shim's persistent pool. Registering a network enqueues every layer ×
+//! algorithm-candidate workload (plus shape-perturbation neighbors),
+//! prioritized by predicted I/O-bound gap; workers drain the queue in
+//! the background and write records back under a fresh-measurement
+//! budget. A request via [`TuningService::tune_or_wait`] then returns
+//! instantly from the shard, steals the result of an in-flight
+//! background job, or tunes inline (cancelling the speculative
+//! duplicate).
+//!
+//! ## The determinism contract
+//!
+//! Background workers race, so every per-workload tuning run is
+//! **hermetic**: it is driven by the canonical
+//! [`iolb_autotune::plan::tuner_setup`] against a fresh private store,
+//! making its trajectory a pure function of `(workload, budget, seed)`.
+//! No run observes any other record — a workload is only ever tuned
+//! while its shard holds nothing for it, at most once at a time — so
+//! the drained store is independent of worker count, interleaving and
+//! queue order, and identical to what eager per-workload
+//! [`tune_with_store`] calls produce. The price is deliberate: the
+//! speculative path gives up cross-workload transfer seeding (which
+//! would make results depend on completion order) in exchange for
+//! reproducibility; transfer stays available to eager callers that
+//! choose a shared store.
+//!
+//! The one scheduling-dependent quantity is *which speculative jobs ran*
+//! before the background budget ran out — never what any completed job
+//! measured. A request for an untuned workload simply tunes inline.
+
+use crate::queue::{shape_perturbations, Job, WorkQueue};
+use crate::shard::{EvictionPolicy, ShardLoadReport, ShardedStore};
+use iolb_autotune::engine::tune_with_store;
+use iolb_autotune::plan::{self, algo_candidates};
+use iolb_core::optimality::TileKind;
+use iolb_core::shapes::ConvShape;
+use iolb_dataflow::config::ScheduleConfig;
+use iolb_gpusim::DeviceSpec;
+use iolb_records::{RecordStore, Workload};
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Service-wide knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Measurement budget of each per-workload tuning run (speculative
+    /// and inline alike — they must match for replay to be exact).
+    pub budget_per_workload: usize,
+    /// Total *fresh* (simulator-touching) measurements the speculative
+    /// path may spend; once exhausted, pending queue entries are
+    /// dropped. A **soft** cap: it is checked before each claim, not
+    /// mid-run (clamping a run would change its trajectory and break
+    /// replay), so concurrent workers can overshoot by up to
+    /// `workers × budget_per_workload`. Inline requests are user work
+    /// and never budget-limited.
+    pub background_budget: usize,
+    /// Background workers spawned onto the persistent pool per
+    /// [`TuningService::kick`]. `0` disables background tuning; the
+    /// queue then drains only via [`TuningService::drain`] or inline
+    /// requests.
+    pub workers: usize,
+    /// Whether registering a network also enqueues shape-perturbation
+    /// neighbors of its layers (at lower priority).
+    pub speculate_neighbors: bool,
+    /// Tuner seed shared by every per-workload run.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            budget_per_workload: 32,
+            background_budget: 100_000,
+            workers: 2,
+            speculate_neighbors: true,
+            seed: 7,
+        }
+    }
+}
+
+/// Where a [`ServeResult`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeSource {
+    /// The shard already held records for the workload: zero work.
+    ShardHit,
+    /// A background worker was tuning the workload; the caller blocked
+    /// until it finished and took its result.
+    Stolen,
+    /// The caller tuned the workload on its own thread.
+    /// `cancelled_speculative` reports whether a pending queue entry for
+    /// the same workload was cancelled (the background duplicate).
+    Inline { cancelled_speculative: bool },
+}
+
+/// Outcome of one [`TuningService::tune_or_wait`] request.
+#[derive(Debug, Clone)]
+pub struct ServeResult {
+    /// Best known configuration for the workload.
+    pub config: ScheduleConfig,
+    /// Its measured cost (ms), bit-identical to what an eager
+    /// store-backed tuning run measures.
+    pub cost_ms: f64,
+    pub source: ServeSource,
+    /// Simulator invocations this request itself triggered (0 for hits
+    /// and steals).
+    pub fresh_measurements: usize,
+    /// Store replays this request itself used.
+    pub cache_hits: usize,
+}
+
+/// Monotonic counters describing service activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Layer workloads enqueued by registration.
+    pub enqueued: usize,
+    /// Shape-perturbation neighbors enqueued by registration.
+    pub speculative_enqueued: usize,
+    /// Jobs tuned by the background path (workers or [`TuningService::drain`]).
+    pub background_tuned: usize,
+    /// Workloads tuned inline by `tune_or_wait` callers.
+    pub inline_tuned: usize,
+    /// Requests answered instantly from the shards.
+    pub shard_hits: usize,
+    /// Requests that waited for an in-flight background job.
+    pub stolen: usize,
+    /// Pending speculative jobs cancelled because a caller tuned the
+    /// same workload inline.
+    pub cancelled_speculative: usize,
+    /// Pending jobs dropped when the background budget ran out.
+    pub budget_dropped: usize,
+    /// Total simulator invocations across background and inline tuning.
+    pub fresh_measurements: usize,
+    /// Total store replays across background and inline tuning.
+    pub cache_hits: usize,
+    /// Workloads that turned out to have no measurable configuration.
+    pub infeasible: usize,
+}
+
+struct State {
+    shards: ShardedStore,
+    queue: WorkQueue,
+    /// Fingerprints currently being tuned (by a worker or an inline
+    /// caller). At most one tuner per workload, ever.
+    in_flight: BTreeSet<String>,
+    /// Workloads that yielded no measurable configuration — remembered
+    /// so neither waiters nor workers retry them forever.
+    infeasible: BTreeSet<String>,
+    budget_left: usize,
+    stats: ServiceStats,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signalled whenever the queue, the in-flight set or the shards
+    /// change: waiters in `tune_or_wait` and `drain` re-check on it.
+    changed: Condvar,
+    config: ServiceConfig,
+}
+
+/// The speculative background-tuning service. Cheap to clone between
+/// threads (`Arc` inside); all state is interior.
+#[derive(Clone)]
+pub struct TuningService {
+    inner: Arc<Inner>,
+}
+
+impl TuningService {
+    /// A service over an existing sharded store.
+    pub fn new(shards: ShardedStore, config: ServiceConfig) -> Self {
+        let budget_left = config.background_budget;
+        Self {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    shards,
+                    queue: WorkQueue::new(),
+                    in_flight: BTreeSet::new(),
+                    infeasible: BTreeSet::new(),
+                    budget_left,
+                    stats: ServiceStats::default(),
+                }),
+                changed: Condvar::new(),
+                config,
+            }),
+        }
+    }
+
+    /// Opens (or initializes) a service over a shard directory.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: ServiceConfig,
+    ) -> std::io::Result<(Self, ShardLoadReport)> {
+        let (shards, report) = ShardedStore::load(dir)?;
+        Ok((Self::new(shards, config), report))
+    }
+
+    pub fn config(&self) -> ServiceConfig {
+        self.inner.config
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.inner.state.lock().expect("service state poisoned")
+    }
+
+    /// Current counters (a snapshot).
+    pub fn stats(&self) -> ServiceStats {
+        self.lock().stats
+    }
+
+    /// Pending (not yet claimed) jobs.
+    pub fn queue_len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Remaining background fresh-measurement budget.
+    pub fn budget_left(&self) -> usize {
+        self.lock().budget_left
+    }
+
+    /// A deep copy of the shards. Held lock time is the clone only, so
+    /// expensive follow-ups (merging, disk writes) never stall serving.
+    fn snapshot_shards(&self) -> ShardedStore {
+        self.lock().shards.clone()
+    }
+
+    /// Cross-shard merge-out of everything the service knows (a snapshot).
+    pub fn merged_store(&self) -> RecordStore {
+        self.snapshot_shards().merged()
+    }
+
+    /// Persists the shards (and LRU metadata) to a directory. The disk
+    /// write (including fsyncs) happens on a snapshot, outside the
+    /// service lock — concurrent `tune_or_wait` hits stay instant.
+    pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        self.snapshot_shards().save(dir)
+    }
+
+    /// Applies an eviction policy to the shards now.
+    pub fn evict(&self, policy: &EvictionPolicy) -> usize {
+        self.lock().shards.evict(policy)
+    }
+
+    /// Enqueues one workload for background tuning (deduplicated against
+    /// the shards, the queue, in-flight work and known-infeasible
+    /// workloads). Returns whether the queue grew. Call
+    /// [`kick`](Self::kick) afterwards, or let [`drain`](Self::drain) /
+    /// inline requests pick it up.
+    pub fn enqueue(
+        &self,
+        shape: &ConvShape,
+        kind: TileKind,
+        device: &DeviceSpec,
+        speculative: bool,
+    ) -> bool {
+        let job = Job { shape: *shape, kind, device: device.clone(), speculative };
+        // The priority is a pure function of the workload: compute it
+        // before taking the lock (it enumerates tile spaces).
+        let gap = crate::queue::io_gap(shape, kind, device);
+        let grew = Self::enqueue_locked(&mut self.lock(), job, gap);
+        if grew {
+            self.inner.changed.notify_all();
+        }
+        grew
+    }
+
+    fn enqueue_locked(st: &mut State, job: Job, gap: f64) -> bool {
+        let fingerprint = job.fingerprint();
+        if !st.shards.records(&job.workload()).is_empty()
+            || st.in_flight.contains(&fingerprint)
+            || st.infeasible.contains(&fingerprint)
+        {
+            return false;
+        }
+        let speculative = job.speculative;
+        match st.queue.push(job, gap) {
+            crate::queue::PushOutcome::Added => {
+                if speculative {
+                    st.stats.speculative_enqueued += 1;
+                } else {
+                    st.stats.enqueued += 1;
+                }
+                true
+            }
+            crate::queue::PushOutcome::Promoted => {
+                // The workload was pending as a neighbor and is in fact
+                // a registered layer: re-book it under the right column.
+                st.stats.speculative_enqueued -= 1;
+                st.stats.enqueued += 1;
+                false
+            }
+            crate::queue::PushOutcome::AlreadyPending => false,
+        }
+    }
+
+    /// Registers a network on a device: enqueues every layer × algorithm
+    /// candidate (and, if configured, shape-perturbation neighbors at
+    /// lower priority), then kicks the background workers. Returns how
+    /// many jobs the queue gained. A layer that was already pending as
+    /// some earlier layer's perturbation neighbor is promoted to
+    /// registered priority.
+    pub fn register_network(&self, net: &impl register::LayerSource, device: &DeviceSpec) -> usize {
+        // Candidate jobs are cheap to enumerate; do it without the lock.
+        let mut candidates: Vec<Job> = Vec::new();
+        let mut stage = |shape: ConvShape, speculative: bool| {
+            for (kind, _) in algo_candidates(&shape) {
+                candidates.push(Job { shape, kind, device: device.clone(), speculative });
+            }
+        };
+        for layer in net.layer_shapes() {
+            stage(*layer, false);
+            if self.inner.config.speculate_neighbors {
+                for neighbor in shape_perturbations(layer) {
+                    stage(neighbor, true);
+                }
+            }
+        }
+        // Snapshot what the service already knows so re-registration
+        // (the supported dedupe path) skips the priority computation —
+        // io_gap runs a tile-space enumeration per workload. The
+        // snapshot is advisory; enqueue_locked re-checks authoritatively.
+        let (settled, pending_registered, pending_speculative) = {
+            let st = self.lock();
+            let mut settled: BTreeSet<String> = st.in_flight.clone();
+            settled.extend(st.infeasible.iter().cloned());
+            for (_, shard) in st.shards.shards() {
+                settled.extend(shard.fingerprints().map(str::to_string));
+            }
+            let mut registered = BTreeSet::new();
+            let mut speculative = BTreeSet::new();
+            for (fp, is_spec) in st.queue.pending() {
+                if is_spec { &mut speculative } else { &mut registered }.insert(fp.to_string());
+            }
+            (settled, registered, speculative)
+        };
+        // Priorities for the jobs that actually need them, lock-free:
+        // io_gap is a pure function of the workload, and a VGG-scale
+        // registration must not stall concurrent serves.
+        let jobs: Vec<(Job, f64)> = candidates
+            .into_iter()
+            .filter_map(|job| {
+                let fp = job.fingerprint();
+                if settled.contains(&fp)
+                    || pending_registered.contains(&fp)
+                    || (job.speculative && pending_speculative.contains(&fp))
+                {
+                    return None;
+                }
+                // Still staged when a registered layer aliases a pending
+                // speculative neighbor: the push below promotes it.
+                let gap = crate::queue::io_gap(&job.shape, job.kind, device);
+                Some((job, gap))
+            })
+            .collect();
+        let mut added = 0;
+        {
+            let mut st = self.lock();
+            for (job, gap) in jobs {
+                added += usize::from(Self::enqueue_locked(&mut st, job, gap));
+            }
+        }
+        if added > 0 {
+            self.inner.changed.notify_all();
+            self.kick();
+        }
+        added
+    }
+
+    /// Spawns up to `config.workers` background workers onto the
+    /// persistent pool. Each worker claims queued jobs until the queue
+    /// is empty (or the budget is gone) and then exits, so kicking an
+    /// idle service is free and kicking repeatedly is safe.
+    ///
+    /// On hosts whose pool has zero workers (single core) this is a
+    /// no-op rather than an inline drain: `rayon::spawn` would run the
+    /// worker loop on the calling thread, turning "register and move
+    /// on" into "block until the whole queue is tuned". There is no
+    /// background parallelism to exploit there anyway — the queue
+    /// drains via [`drain`](Self::drain) and inline requests instead.
+    pub fn kick(&self) {
+        if rayon::pool_thread_count() == 0 || self.lock().queue.is_empty() {
+            return;
+        }
+        for _ in 0..self.inner.config.workers {
+            let service = self.clone();
+            rayon::spawn(move || while service.claim_and_run_one() {});
+        }
+    }
+
+    /// Blocks until the queue is empty and nothing is in flight,
+    /// *helping* with queued jobs on the calling thread while it waits
+    /// (so a drain completes even with `workers == 0`, and on hosts
+    /// whose pool has no threads). Speculative budget accounting applies
+    /// exactly as it does to workers.
+    pub fn drain(&self) {
+        loop {
+            if self.claim_and_run_one() {
+                continue;
+            }
+            // Nothing claimable: either truly done, or background jobs
+            // are still in flight — wait for them to land, then re-check
+            // (a worker may have exposed nothing new, or a waiter may
+            // have enqueued more work meanwhile).
+            let mut st = self.lock();
+            loop {
+                if !st.queue.is_empty() {
+                    break; // claimable again
+                }
+                if st.in_flight.is_empty() {
+                    return;
+                }
+                st = self.inner.changed.wait(st).expect("service state poisoned");
+            }
+        }
+    }
+
+    /// Claims the highest-priority runnable job and tunes it on the
+    /// calling thread. Returns `false` when nothing was claimable
+    /// (empty queue or exhausted budget).
+    fn claim_and_run_one(&self) -> bool {
+        let claimed = {
+            let mut st = self.lock();
+            if st.budget_left == 0 {
+                let dropped = st.queue.clear();
+                if dropped > 0 {
+                    st.stats.budget_dropped += dropped;
+                    self.inner.changed.notify_all();
+                }
+                return false;
+            }
+            loop {
+                let Some(job) = st.queue.pop_first() else { break None };
+                let fingerprint = job.fingerprint();
+                // Registration dedupes, but a workload can be satisfied
+                // (or fail) between enqueue and claim; skip stale entries.
+                if !st.shards.records(&job.workload()).is_empty()
+                    || st.in_flight.contains(&fingerprint)
+                    || st.infeasible.contains(&fingerprint)
+                {
+                    continue;
+                }
+                st.in_flight.insert(fingerprint.clone());
+                break Some((job, fingerprint));
+            }
+        };
+        let Some((job, fingerprint)) = claimed else {
+            return false;
+        };
+        let outcome = self.run_guarded(&job, &fingerprint);
+        let mut st = self.lock();
+        st.in_flight.remove(&fingerprint);
+        match outcome {
+            Some((out, private)) => {
+                st.stats.background_tuned += 1;
+                st.stats.fresh_measurements += out.fresh_measurements;
+                st.stats.cache_hits += out.cache_hits;
+                st.budget_left = st.budget_left.saturating_sub(out.fresh_measurements);
+                st.shards.merge_flat(private);
+            }
+            None => {
+                st.stats.infeasible += 1;
+                st.infeasible.insert(fingerprint);
+            }
+        }
+        drop(st);
+        self.inner.changed.notify_all();
+        true
+    }
+
+    /// Runs one hermetic tuning with panic cleanup: if the tuner
+    /// panics, the fingerprint is removed from the in-flight set and
+    /// waiters are woken *before* the panic resumes — otherwise every
+    /// later `tune_or_wait` for the workload would block forever on a
+    /// job that no longer exists. (On the background path the resumed
+    /// panic is then caught by the pool's worker loop, which survives.)
+    fn run_guarded(
+        &self,
+        job: &Job,
+        fingerprint: &str,
+    ) -> Option<(iolb_autotune::StoreTuneResult, RecordStore)> {
+        let config = self.inner.config;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_hermetic_tuning(&config, job)
+        })) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let mut st = self.lock();
+                st.in_flight.remove(fingerprint);
+                drop(st);
+                self.inner.changed.notify_all();
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Serves the best configuration for a workload:
+    ///
+    /// * **shard hit** — records exist: returns instantly, zero
+    ///   measurements;
+    /// * **steal** — a background worker is mid-tune on this workload:
+    ///   blocks until it lands and takes its result;
+    /// * **inline** — tunes on the calling thread (cancelling any
+    ///   pending speculative duplicate in the queue), writes the records
+    ///   back, and returns the best.
+    ///
+    /// Returns `None` only for workloads with no measurable
+    /// configuration at all. The returned cost is bit-identical to what
+    /// an eager [`tune_with_store`] run of the same workload measures.
+    pub fn tune_or_wait(
+        &self,
+        shape: &ConvShape,
+        kind: TileKind,
+        device: &DeviceSpec,
+    ) -> Option<ServeResult> {
+        let workload = Workload::new(*shape, kind, device.name, device.smem_per_sm);
+        let fingerprint = workload.fingerprint();
+        let mut waited = false;
+        let mut st = self.lock();
+        loop {
+            if let Some(best) = st.shards.best(&workload).cloned() {
+                st.shards.touch(&fingerprint);
+                if waited {
+                    st.stats.stolen += 1;
+                } else {
+                    st.stats.shard_hits += 1;
+                }
+                return Some(ServeResult {
+                    config: best.config,
+                    cost_ms: best.cost_ms,
+                    source: if waited { ServeSource::Stolen } else { ServeSource::ShardHit },
+                    fresh_measurements: 0,
+                    cache_hits: 0,
+                });
+            }
+            if st.infeasible.contains(&fingerprint) {
+                return None;
+            }
+            if st.in_flight.contains(&fingerprint) {
+                waited = true;
+                st = self.inner.changed.wait(st).expect("service state poisoned");
+                continue;
+            }
+            break;
+        }
+        // Miss: tune inline, cancelling the speculative duplicate.
+        let cancelled = st.queue.remove(&fingerprint);
+        if cancelled {
+            st.stats.cancelled_speculative += 1;
+        }
+        st.in_flight.insert(fingerprint.clone());
+        drop(st);
+        let job = Job { shape: *shape, kind, device: device.clone(), speculative: false };
+        let outcome = self.run_guarded(&job, &fingerprint);
+        let mut st = self.lock();
+        st.in_flight.remove(&fingerprint);
+        let result = match outcome {
+            Some((out, private)) => {
+                st.stats.inline_tuned += 1;
+                st.stats.fresh_measurements += out.fresh_measurements;
+                st.stats.cache_hits += out.cache_hits;
+                st.shards.merge_flat(private);
+                st.shards.touch(&fingerprint);
+                let best = st.shards.best(&workload).expect("tuned workload has records");
+                Some(ServeResult {
+                    config: best.config,
+                    cost_ms: best.cost_ms,
+                    source: ServeSource::Inline { cancelled_speculative: cancelled },
+                    fresh_measurements: out.fresh_measurements,
+                    cache_hits: out.cache_hits,
+                })
+            }
+            None => {
+                st.stats.infeasible += 1;
+                st.infeasible.insert(fingerprint);
+                None
+            }
+        };
+        drop(st);
+        self.inner.changed.notify_all();
+        result
+    }
+}
+
+/// One hermetic per-workload tuning run: the canonical tuner setup
+/// against a fresh private store. Pure function of `(workload, budget,
+/// seed)` — the service's whole determinism contract reduces to this.
+/// (A workload is only ever tuned when its shard holds no records — the
+/// claim paths guarantee it under the lock — so there is nothing to
+/// seed the private store with.)
+fn run_hermetic_tuning(
+    config: &ServiceConfig,
+    job: &Job,
+) -> Option<(iolb_autotune::StoreTuneResult, RecordStore)> {
+    let mut private = RecordStore::new();
+    let mut s = plan::tuner_setup(
+        &job.shape,
+        job.kind,
+        &job.device,
+        config.budget_per_workload,
+        config.seed,
+    );
+    let out = tune_with_store(
+        &s.space,
+        &s.measurer,
+        &mut s.model,
+        &mut s.searcher,
+        s.params,
+        &mut private,
+    )?;
+    Some((out, private))
+}
+
+/// Minimal "network" view the service needs: just the layer shapes.
+///
+/// `iolb-cnn` sits *above* this crate (its inference timer calls into
+/// the service), so the service cannot name `iolb_cnn::Network`
+/// directly. Anything that exposes its conv-layer shapes — a network, a
+/// slice of shapes, a single shape — registers via this trait;
+/// `iolb-cnn` implements it for its `Network` type.
+pub mod register {
+    use iolb_core::shapes::ConvShape;
+
+    /// Anything with conv layers to register.
+    pub trait LayerSource {
+        /// The conv-layer shapes, in order.
+        fn layer_shapes(&self) -> Vec<&ConvShape>;
+    }
+
+    impl LayerSource for [ConvShape] {
+        fn layer_shapes(&self) -> Vec<&ConvShape> {
+            self.iter().collect()
+        }
+    }
+
+    impl LayerSource for Vec<ConvShape> {
+        fn layer_shapes(&self) -> Vec<&ConvShape> {
+            self.iter().collect()
+        }
+    }
+
+    impl LayerSource for ConvShape {
+        fn layer_shapes(&self) -> Vec<&ConvShape> {
+            vec![self]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    fn small_config() -> ServiceConfig {
+        ServiceConfig {
+            budget_per_workload: 12,
+            background_budget: 10_000,
+            workers: 0, // tests drive the queue deterministically
+            speculate_neighbors: false,
+            seed: 7,
+        }
+    }
+
+    // 1x1 layers keep algorithm candidates to `direct` only: fast tests.
+    fn shapes() -> Vec<ConvShape> {
+        vec![ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0), ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0)]
+    }
+
+    #[test]
+    fn register_drain_then_hit() {
+        let service = TuningService::new(ShardedStore::new(), small_config());
+        let added = service.register_network(&shapes(), &device());
+        assert_eq!(added, 2);
+        assert_eq!(service.queue_len(), 2);
+        service.drain();
+        assert_eq!(service.queue_len(), 0);
+        let stats = service.stats();
+        assert_eq!(stats.background_tuned, 2);
+        assert!(stats.fresh_measurements > 0);
+        for shape in shapes() {
+            let out = service.tune_or_wait(&shape, TileKind::Direct, &device()).unwrap();
+            assert_eq!(out.source, ServeSource::ShardHit);
+            assert_eq!(out.fresh_measurements, 0);
+            assert!(out.cost_ms > 0.0);
+        }
+        assert_eq!(service.stats().shard_hits, 2);
+        assert_eq!(
+            service.stats().fresh_measurements,
+            stats.fresh_measurements,
+            "hits must not measure"
+        );
+    }
+
+    #[test]
+    fn inline_tune_cancels_the_speculative_duplicate() {
+        let service = TuningService::new(ShardedStore::new(), small_config());
+        service.register_network(&shapes(), &device());
+        let shape = shapes()[0];
+        let out = service.tune_or_wait(&shape, TileKind::Direct, &device()).unwrap();
+        assert_eq!(out.source, ServeSource::Inline { cancelled_speculative: true });
+        assert!(out.fresh_measurements > 0);
+        assert_eq!(service.stats().cancelled_speculative, 1);
+        assert_eq!(service.queue_len(), 1, "only the other layer remains queued");
+        // Serving the same workload again is a pure hit.
+        let again = service.tune_or_wait(&shape, TileKind::Direct, &device()).unwrap();
+        assert_eq!(again.source, ServeSource::ShardHit);
+        assert_eq!(again.config, out.config);
+        assert_eq!(again.cost_ms.to_bits(), out.cost_ms.to_bits());
+    }
+
+    #[test]
+    fn registration_dedupes_against_everything() {
+        let service = TuningService::new(ShardedStore::new(), small_config());
+        assert_eq!(service.register_network(&shapes(), &device()), 2);
+        assert_eq!(service.register_network(&shapes(), &device()), 0, "queued dedupe");
+        service.drain();
+        assert_eq!(service.register_network(&shapes(), &device()), 0, "stored dedupe");
+    }
+
+    #[test]
+    fn neighbors_enqueue_at_lower_priority() {
+        let config = ServiceConfig { speculate_neighbors: true, ..small_config() };
+        let service = TuningService::new(ShardedStore::new(), config);
+        let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+        let added = service.register_network(&shape, &device());
+        // 1 layer + 4 channel perturbations, all direct-only.
+        assert_eq!(added, 5);
+        let stats = service.stats();
+        assert_eq!(stats.enqueued, 1);
+        assert_eq!(stats.speculative_enqueued, 4);
+    }
+
+    #[test]
+    fn budget_exhaustion_drops_the_queue_but_not_inline_requests() {
+        let config = ServiceConfig { background_budget: 0, ..small_config() };
+        let service = TuningService::new(ShardedStore::new(), config);
+        service.register_network(&shapes(), &device());
+        service.drain();
+        let stats = service.stats();
+        assert_eq!(stats.background_tuned, 0);
+        assert_eq!(stats.budget_dropped, 2);
+        // The user path still works.
+        let out = service.tune_or_wait(&shapes()[0], TileKind::Direct, &device()).unwrap();
+        assert!(matches!(out.source, ServeSource::Inline { .. }));
+        assert!(out.fresh_measurements > 0);
+    }
+
+    #[test]
+    fn infeasible_workloads_are_remembered_not_retried() {
+        let service = TuningService::new(ShardedStore::new(), small_config());
+        // A shape whose footprint can never fit: absurd kernel.
+        let shape = ConvShape::new(1, 1, 1, 1, 1, 1, 1, 0);
+        let device = DeviceSpec { smem_per_sm: 1, ..device() };
+        let first = service.tune_or_wait(&shape, TileKind::Direct, &device);
+        assert!(first.is_none());
+        let measured = service.stats().fresh_measurements;
+        let second = service.tune_or_wait(&shape, TileKind::Direct, &device);
+        assert!(second.is_none());
+        assert_eq!(service.stats().fresh_measurements, measured, "no retry measurement");
+        assert_eq!(service.stats().infeasible, 1, "only the first attempt counts");
+    }
+
+    #[test]
+    fn background_workers_race_safely_with_waiters() {
+        // Real workers on the pool + a concurrent tune_or_wait caller:
+        // whatever the interleaving, the result matches a drained run.
+        let config = ServiceConfig { workers: 2, ..small_config() };
+        let service = TuningService::new(ShardedStore::new(), config);
+        service.register_network(&shapes(), &device());
+        let shape = shapes()[0];
+        let out = service.tune_or_wait(&shape, TileKind::Direct, &device()).unwrap();
+        service.drain();
+        let reference = TuningService::new(ShardedStore::new(), small_config());
+        let expected = reference.tune_or_wait(&shape, TileKind::Direct, &device()).unwrap();
+        assert_eq!(out.config, expected.config);
+        assert_eq!(out.cost_ms.to_bits(), expected.cost_ms.to_bits());
+    }
+}

@@ -1,0 +1,561 @@
+//! Device-sharded record stores with a manifest index and LRU metadata.
+//!
+//! A long-lived tuning service accumulates records for *many* devices,
+//! and costs from different devices must never be mixed — the workload
+//! fingerprint already separates them logically, but one flat file makes
+//! every load parse every device's history and every save rewrite it.
+//! A [`ShardedStore`] keeps **one [`RecordStore`] file per device
+//! fingerprint** (`"<preset name>|<smem bytes>"`) inside a directory,
+//! indexed by a manifest that also persists the service's LRU metadata
+//! (a logical clock plus a last-hit stamp per workload).
+//!
+//! Everything stays deterministic: shards are a `BTreeMap` keyed by
+//! device key, each shard file is the store's canonical JSONL, and the
+//! manifest lists shards and stamps in sorted order — two services that
+//! saw the same history write byte-identical directories.
+//!
+//! Splitting a flat store into shards and merging shards back into a
+//! flat store are exact inverses on the record set ([`from_flat`] /
+//! [`merged`]; pinned by the crate's property tests).
+//!
+//! [`from_flat`]: ShardedStore::from_flat
+//! [`merged`]: ShardedStore::merged
+
+use iolb_records::{RecordStore, TuningRecord, Workload};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// Manifest file name inside a shard directory.
+pub const MANIFEST_FILE: &str = "manifest.tsv";
+
+/// Version tag written into the manifest header. Loaders reject foreign
+/// versions (same stance as the record schema: re-tune, never guess).
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The device fingerprint a record is sharded by: preset name plus
+/// shared-memory size, exactly the two fields [`Workload`] identifies a
+/// device with.
+pub fn device_key(device: &str, smem_bytes: u32) -> String {
+    format!("{device}|{smem_bytes}")
+}
+
+/// The device key of a workload.
+pub fn workload_device_key(w: &Workload) -> String {
+    device_key(&w.device, w.smem_bytes)
+}
+
+/// FNV-1a, the same dependency-free hash the proptest shim uses.
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic shard file name for a device key: a readable slug plus
+/// the full 64-bit FNV hash so distinct keys can never collide after
+/// slugification (`"Tesla V100|98304"` → `"tesla-v100-98304-<hash>.jsonl"`).
+pub fn shard_file_name(key: &str) -> String {
+    let mut slug = String::with_capacity(key.len());
+    let mut last_dash = true; // suppress a leading dash
+    for c in key.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+            last_dash = false;
+        } else if !last_dash {
+            slug.push('-');
+            last_dash = true;
+        }
+    }
+    let slug = slug.trim_end_matches('-');
+    format!("{slug}-{:016x}.jsonl", fnv1a(key))
+}
+
+/// How records leave a long-lived store: least-recently-hit workloads
+/// are truncated to their `top_k` best records (and, if the store is
+/// still over budget, to their single best). The best-cost record of a
+/// workload is **never** evicted — replay of a known workload must stay
+/// exact forever; only the diversity of its alternatives ages out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionPolicy {
+    /// Target total record count across all shards.
+    pub max_records: usize,
+    /// Records retained per evicted (cold) workload in the first pass.
+    pub top_k: usize,
+}
+
+impl Default for EvictionPolicy {
+    fn default() -> Self {
+        Self { max_records: 4096, top_k: 4 }
+    }
+}
+
+/// What a tolerant [`ShardedStore::load`] observed.
+#[derive(Debug, Clone, Default)]
+pub struct ShardLoadReport {
+    /// Records indexed across all shards.
+    pub loaded: usize,
+    /// Human-readable problems (skipped lines, missing files, foreign
+    /// manifest entries). Empty means the directory was pristine.
+    pub warnings: Vec<String>,
+}
+
+impl ShardLoadReport {
+    pub fn is_clean(&self) -> bool {
+        self.warnings.is_empty()
+    }
+}
+
+/// A set of per-device [`RecordStore`] shards plus LRU metadata.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStore {
+    /// device key → that device's records.
+    shards: BTreeMap<String, RecordStore>,
+    /// workload fingerprint → logical last-hit stamp.
+    last_hit: BTreeMap<String, u64>,
+    /// Logical clock; bumped by every [`touch`](Self::touch).
+    clock: u64,
+}
+
+impl ShardedStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits a flat store into device shards (the record-set identity
+    /// inverse of [`merged`](Self::merged)).
+    pub fn from_flat(flat: RecordStore) -> Self {
+        let mut sharded = Self::new();
+        sharded.merge_flat(flat);
+        sharded
+    }
+
+    /// Total records across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.values().map(RecordStore::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.values().all(RecordStore::is_empty)
+    }
+
+    /// Number of device shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Distinct workloads across all shards.
+    pub fn workload_count(&self) -> usize {
+        self.shards.values().map(RecordStore::workload_count).sum()
+    }
+
+    /// Device keys in deterministic order.
+    pub fn device_keys(&self) -> impl Iterator<Item = &str> {
+        self.shards.keys().map(String::as_str)
+    }
+
+    /// One device's shard, if any.
+    pub fn shard(&self, key: &str) -> Option<&RecordStore> {
+        self.shards.get(key)
+    }
+
+    /// `(device key, shard)` pairs in deterministic order.
+    pub fn shards(&self) -> impl Iterator<Item = (&str, &RecordStore)> {
+        self.shards.iter().map(|(k, s)| (k.as_str(), s))
+    }
+
+    /// Routes a record into its device's shard.
+    pub fn insert(&mut self, rec: TuningRecord) -> bool {
+        self.shards.entry(workload_device_key(&rec.workload)).or_default().insert(rec)
+    }
+
+    /// All records of a workload (canonical order, best first).
+    pub fn records(&self, workload: &Workload) -> &[TuningRecord] {
+        self.shards
+            .get(&workload_device_key(workload))
+            .map_or(&[], |s| s.records(&workload.fingerprint()))
+    }
+
+    /// The best stored record of a workload, if any.
+    pub fn best(&self, workload: &Workload) -> Option<&TuningRecord> {
+        self.records(workload).first()
+    }
+
+    /// Marks a workload as hit *now* (bumps the logical clock). The
+    /// eviction policy keeps what is touched often.
+    pub fn touch(&mut self, fingerprint: &str) {
+        self.clock += 1;
+        self.last_hit.insert(fingerprint.to_string(), self.clock);
+    }
+
+    /// The last-hit stamp of a workload (0 = never hit, coldest).
+    pub fn last_hit(&self, fingerprint: &str) -> u64 {
+        self.last_hit.get(fingerprint).copied().unwrap_or(0)
+    }
+
+    /// Current logical clock value.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Merges a flat store in, routing every record to its device shard.
+    /// Returns how many records changed the store.
+    pub fn merge_flat(&mut self, flat: RecordStore) -> usize {
+        let mut inserted = 0;
+        for (_, list) in flat.into_entries() {
+            for rec in list {
+                if self.insert(rec) {
+                    inserted += 1;
+                }
+            }
+        }
+        inserted
+    }
+
+    /// Cross-shard merge-out: every shard's records folded into one flat
+    /// store (the record-set identity inverse of [`Self::from_flat`]).
+    pub fn merged(&self) -> RecordStore {
+        let mut flat = RecordStore::new();
+        for shard in self.shards.values() {
+            flat.merge(shard.clone());
+        }
+        flat
+    }
+
+    /// Applies the eviction policy: while the store holds more than
+    /// `policy.max_records` records, least-recently-hit workloads are
+    /// truncated to their `policy.top_k` best records (coldest first;
+    /// ties break on fingerprint), then — if still over budget — to
+    /// their single best record. A workload's best-cost record is never
+    /// removed, so the store can stay above `max_records` when it holds
+    /// more workloads than that. Returns how many records were dropped.
+    pub fn evict(&mut self, policy: &EvictionPolicy) -> usize {
+        let mut total = self.len();
+        if total <= policy.max_records {
+            return 0;
+        }
+        // Coldest-first eviction order: (stamp, fingerprint) ascending.
+        let mut order: Vec<(u64, String, String)> = Vec::new();
+        for (key, shard) in &self.shards {
+            for (fp, _) in shard.entries() {
+                order.push((self.last_hit(fp), fp.to_string(), key.clone()));
+            }
+        }
+        order.sort();
+        let mut dropped = 0;
+        'passes: for keep_floor in [policy.top_k.max(1), 1] {
+            for (_, fp, key) in &order {
+                if total <= policy.max_records {
+                    break 'passes;
+                }
+                let shard = self.shards.get_mut(key).expect("shard of listed workload");
+                // Truncate only as far as the budget requires: the
+                // last-touched workload keeps everything the budget
+                // still allows, never less than the pass's floor.
+                let excess = total - policy.max_records;
+                let keep = keep_floor.max(shard.records(fp).len().saturating_sub(excess));
+                let d = shard.truncate_workload(fp, keep);
+                dropped += d;
+                total -= d;
+            }
+        }
+        dropped
+    }
+
+    /// Canonical manifest text: version header, clock, shard index
+    /// (sorted by device key), last-hit stamps (sorted by fingerprint).
+    /// Tab-separated because device names contain spaces and
+    /// fingerprints contain `|`.
+    fn manifest_text(&self) -> String {
+        let mut out = format!("# iolb-service shard manifest v{MANIFEST_VERSION}\n");
+        out.push_str(&format!("clock\t{}\n", self.clock));
+        for key in self.shards.keys() {
+            out.push_str(&format!("shard\t{key}\t{}\n", shard_file_name(key)));
+        }
+        for (fp, stamp) in &self.last_hit {
+            out.push_str(&format!("hit\t{stamp}\t{fp}\n"));
+        }
+        out
+    }
+
+    /// Writes the directory: one canonical JSONL file per shard plus the
+    /// manifest, each atomically (temp file + rename). Deterministic:
+    /// equal stores write byte-identical directories.
+    pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (key, shard) in &self.shards {
+            shard.save(dir.join(shard_file_name(key)))?;
+        }
+        let tmp = dir.join("manifest.tsv.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.manifest_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(tmp, dir.join(MANIFEST_FILE))
+    }
+
+    /// Loads a shard directory. A missing directory or manifest loads as
+    /// an empty store with a clean report (first runs need no special
+    /// casing); malformed manifest lines, unreadable shard files and
+    /// skipped records are reported as warnings, never errors —
+    /// corruption costs re-tuning, not availability.
+    pub fn load(dir: impl AsRef<Path>) -> std::io::Result<(Self, ShardLoadReport)> {
+        let dir = dir.as_ref();
+        let mut sharded = Self::new();
+        let mut report = ShardLoadReport::default();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if !manifest_path.exists() {
+            return Ok((sharded, report));
+        }
+        let text = std::fs::read_to_string(&manifest_path)?;
+        let mut max_stamp = 0u64;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(version) = line.strip_prefix("# iolb-service shard manifest v") {
+                if version.trim().parse::<u32>() != Ok(MANIFEST_VERSION) {
+                    report.warnings.push(format!(
+                        "manifest:{}: foreign manifest version {version:?}; ignoring directory",
+                        i + 1
+                    ));
+                    return Ok((Self::new(), report));
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            match (fields.next(), fields.next(), fields.next()) {
+                (Some("clock"), Some(c), None) => match c.parse() {
+                    Ok(c) => sharded.clock = c,
+                    Err(_) => report.warnings.push(format!("manifest:{}: bad clock {c:?}", i + 1)),
+                },
+                (Some("shard"), Some(key), Some(file)) => {
+                    let path = dir.join(file);
+                    match std::fs::read_to_string(&path) {
+                        Ok(jsonl) => {
+                            let (store, load) = RecordStore::from_jsonl(&jsonl);
+                            for (line_no, reason) in &load.skipped {
+                                report.warnings.push(format!("{file}:{line_no}: {reason}"));
+                            }
+                            report.loaded += store.len();
+                            // Route through insert(): records misfiled
+                            // under the wrong shard self-heal, and the
+                            // shard exists even when empty.
+                            sharded.shards.entry(key.to_string()).or_default();
+                            for (_, list) in store.into_entries() {
+                                for rec in list {
+                                    sharded.insert(rec);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            report.warnings.push(format!("{file}: unreadable shard: {e}"));
+                        }
+                    }
+                }
+                (Some("hit"), Some(stamp), Some(fp)) => match stamp.parse::<u64>() {
+                    Ok(stamp) => {
+                        max_stamp = max_stamp.max(stamp);
+                        sharded.last_hit.insert(fp.to_string(), stamp);
+                    }
+                    Err(_) => {
+                        report.warnings.push(format!("manifest:{}: bad stamp {stamp:?}", i + 1))
+                    }
+                },
+                _ => {
+                    report.warnings.push(format!("manifest:{}: unrecognized line {line:?}", i + 1))
+                }
+            }
+        }
+        // A crash between shard saves and the manifest write can leave
+        // stamps ahead of the clock; never let the clock run backwards.
+        sharded.clock = sharded.clock.max(max_stamp);
+        Ok((sharded, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_core::optimality::TileKind;
+    use iolb_core::shapes::ConvShape;
+    use iolb_dataflow::config::ScheduleConfig;
+    use iolb_tensor::layout::Layout;
+
+    fn wl(cin: usize, device: &str) -> Workload {
+        Workload::new(ConvShape::square(cin, 28, 32, 3, 1, 1), TileKind::Direct, device, 96 * 1024)
+    }
+
+    fn cfg(x: usize) -> ScheduleConfig {
+        ScheduleConfig {
+            x,
+            y: 7,
+            z: 8,
+            nxt: 1,
+            nyt: 1,
+            nzt: 1,
+            sb_bytes: 16 * 1024,
+            layout: Layout::Chw,
+        }
+    }
+
+    fn rec(cin: usize, device: &str, x: usize, cost: f64) -> TuningRecord {
+        TuningRecord::new(wl(cin, device), cfg(x), cost, 7).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "iolb-service-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn insert_routes_by_device() {
+        let mut s = ShardedStore::new();
+        assert!(s.insert(rec(64, "Tesla V100", 7, 1.0)));
+        assert!(s.insert(rec(64, "GTX 1080 Ti", 7, 2.0)));
+        assert_eq!(s.shard_count(), 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.best(&wl(64, "Tesla V100")).unwrap().cost_ms, 1.0);
+        assert_eq!(s.best(&wl(64, "GTX 1080 Ti")).unwrap().cost_ms, 2.0);
+        assert!(s.best(&wl(32, "Tesla V100")).is_none());
+    }
+
+    #[test]
+    fn split_then_merge_is_identity_on_records() {
+        let mut flat = RecordStore::new();
+        for (cin, dev, x, cost) in [
+            (64, "Tesla V100", 7, 1.0),
+            (64, "Tesla V100", 14, 2.0),
+            (64, "GTX 1080 Ti", 7, 3.0),
+            (32, "Titan X", 7, 0.5),
+        ] {
+            flat.insert(rec(cin, dev, x, cost));
+        }
+        let sharded = ShardedStore::from_flat(flat.clone());
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.merged().to_jsonl(), flat.to_jsonl());
+    }
+
+    #[test]
+    fn shard_file_names_are_distinct_and_stable() {
+        let a = shard_file_name(&device_key("Tesla V100", 96 * 1024));
+        let b = shard_file_name(&device_key("Tesla V100", 64 * 1024));
+        let c = shard_file_name(&device_key("tesla v100", 96 * 1024));
+        assert_ne!(a, b);
+        assert_ne!(a, c, "slug collision must be broken by the hash suffix");
+        assert_eq!(a, shard_file_name(&device_key("Tesla V100", 96 * 1024)));
+        assert!(a.ends_with(".jsonl") && a.starts_with("tesla-v100-98304-"));
+    }
+
+    #[test]
+    fn eviction_is_coldest_first_and_keeps_best() {
+        let mut s = ShardedStore::new();
+        for x in [7, 14, 28, 4, 2] {
+            s.insert(rec(64, "Tesla V100", x, x as f64));
+        }
+        for x in [7, 14, 28] {
+            s.insert(rec(32, "Tesla V100", x, x as f64));
+        }
+        // cin=32 is hot, cin=64 never hit (stamp 0, coldest).
+        s.touch(&wl(32, "Tesla V100").fingerprint());
+        let dropped = s.evict(&EvictionPolicy { max_records: 5, top_k: 2 });
+        assert_eq!(dropped, 3, "cold workload truncated to top-2");
+        assert_eq!(s.records(&wl(64, "Tesla V100")).len(), 2);
+        assert_eq!(s.records(&wl(32, "Tesla V100")).len(), 3, "hot workload untouched");
+        assert_eq!(s.best(&wl(64, "Tesla V100")).unwrap().cost_ms, 2.0, "best survives");
+        // Tighter budget: second pass cuts everything to its best record.
+        let dropped = s.evict(&EvictionPolicy { max_records: 2, top_k: 2 });
+        assert_eq!(dropped, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.best(&wl(32, "Tesla V100")).unwrap().cost_ms, 7.0);
+        // Below the per-workload floor nothing more can go.
+        assert_eq!(s.evict(&EvictionPolicy { max_records: 1, top_k: 1 }), 0);
+    }
+
+    #[test]
+    fn evict_under_budget_is_a_no_op() {
+        let mut s = ShardedStore::new();
+        s.insert(rec(64, "Tesla V100", 7, 1.0));
+        assert_eq!(s.evict(&EvictionPolicy::default()), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn save_load_round_trips_records_clock_and_stamps() {
+        let mut s = ShardedStore::new();
+        s.insert(rec(64, "Tesla V100", 7, 1.0));
+        s.insert(rec(64, "GTX 1080 Ti", 7, 2.0));
+        s.insert(rec(32, "Tesla V100", 14, 3.0));
+        s.touch(&wl(64, "Tesla V100").fingerprint());
+        s.touch(&wl(32, "Tesla V100").fingerprint());
+        let dir = temp_dir("roundtrip");
+        s.save(&dir).unwrap();
+        let (loaded, report) = ShardedStore::load(&dir).unwrap();
+        assert!(report.is_clean(), "warnings: {:?}", report.warnings);
+        assert_eq!(report.loaded, 3);
+        assert_eq!(loaded.merged().to_jsonl(), s.merged().to_jsonl());
+        assert_eq!(loaded.clock(), s.clock());
+        assert_eq!(
+            loaded.last_hit(&wl(32, "Tesla V100").fingerprint()),
+            s.last_hit(&wl(32, "Tesla V100").fingerprint())
+        );
+        // Saving the loaded store reproduces the manifest byte-for-byte.
+        let manifest_a = std::fs::read(dir.join(MANIFEST_FILE)).unwrap();
+        let dir2 = temp_dir("roundtrip2");
+        loaded.save(&dir2).unwrap();
+        let manifest_b = std::fs::read(dir2.join(MANIFEST_FILE)).unwrap();
+        assert_eq!(manifest_a, manifest_b);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn missing_directory_loads_empty_and_clean() {
+        let (s, report) = ShardedStore::load(temp_dir("missing")).unwrap();
+        assert!(s.is_empty() && report.is_clean());
+    }
+
+    #[test]
+    fn corrupt_manifest_lines_warn_but_load_continues() {
+        let mut s = ShardedStore::new();
+        s.insert(rec(64, "Tesla V100", 7, 1.0));
+        let dir = temp_dir("corrupt");
+        s.save(&dir).unwrap();
+        let manifest = dir.join(MANIFEST_FILE);
+        let mut text = std::fs::read_to_string(&manifest).unwrap();
+        text.push_str("shard\tNo Such Device|1\tmissing-shard.jsonl\n");
+        text.push_str("gibberish line\n");
+        text.push_str("hit\tnot-a-number\tsome|fingerprint\n");
+        std::fs::write(&manifest, text).unwrap();
+        let (loaded, report) = ShardedStore::load(&dir).unwrap();
+        assert_eq!(loaded.len(), 1, "good shard still loads");
+        assert_eq!(report.warnings.len(), 3, "warnings: {:?}", report.warnings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_manifest_version_is_rejected_whole() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), "# iolb-service shard manifest v999\nclock\t5\n")
+            .unwrap();
+        let (loaded, report) = ShardedStore::load(&dir).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(report.warnings.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

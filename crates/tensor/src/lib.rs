@@ -20,6 +20,20 @@
 //!
 //! All convolution paths are cross-validated against [`conv_ref`]; property
 //! tests live in the crate's `tests/` directory.
+//!
+//! ```
+//! use iolb_tensor::conv_ref::{conv2d_reference, ConvParams};
+//! use iolb_tensor::im2col::conv2d_im2col;
+//! use iolb_tensor::tensor::Tensor4;
+//!
+//! // The im2col+GEMM path agrees with the reference convolution.
+//! let input = Tensor4::from_fn(1, 2, 5, 5, |n, c, h, w| (n + c + h * w) as f32 * 0.25);
+//! let weights = Tensor4::from_fn(3, 2, 3, 3, |o, c, kh, kw| (o + c + kh + kw) as f32 * 0.5);
+//! let params = ConvParams::new(1, 1);
+//! let reference = conv2d_reference(&input, &weights, params);
+//! let im2col = conv2d_im2col(&input, &weights, params, 1);
+//! assert!(reference.approx_eq(&im2col, 1e-5, 1e-6));
+//! ```
 
 #![allow(clippy::needless_range_loop)] // index loops read clearer in numeric kernels
 pub mod conv_ref;

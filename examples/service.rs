@@ -1,0 +1,89 @@
+//! The tuning-service quickstart: register a network, let the
+//! background workers fill the device-sharded store speculatively, then
+//! serve every layer instantly.
+//!
+//! ```console
+//! $ cargo run --release --example service
+//! ```
+
+use conv_iolb::cnn::inference::TUNER_SEED;
+use conv_iolb::cnn::{time_network_with_service, ConvLayer, Network};
+use conv_iolb::core::shapes::ConvShape;
+use conv_iolb::gpusim::DeviceSpec;
+use conv_iolb::service::{EvictionPolicy, ServiceConfig, ShardedStore, TuningService};
+
+fn main() {
+    let device = DeviceSpec::v100();
+    let net = Network {
+        name: "toy",
+        layers: vec![
+            ConvLayer::new("squeeze", ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0)),
+            ConvLayer::new("expand1x1", ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0)),
+            ConvLayer::new("conv3x3", ConvShape::square(16, 14, 16, 3, 1, 1)),
+        ],
+    };
+
+    let config = ServiceConfig {
+        budget_per_workload: 16,
+        workers: 2,
+        speculate_neighbors: true,
+        seed: TUNER_SEED,
+        ..ServiceConfig::default()
+    };
+    let service = TuningService::new(ShardedStore::new(), config);
+
+    // 1. Register: every layer x algorithm candidate (plus channel
+    //    perturbation neighbors) lands in the priority queue, ranked by
+    //    predicted I/O-bound gap.
+    let enqueued = service.register_network(&net, &device);
+    println!("registered {}: {enqueued} workload(s) enqueued for background tuning", net.name);
+
+    // 2. Background fill: workers on the persistent pool drain the
+    //    queue; drain() helps from this thread and blocks until done.
+    service.drain();
+    let stats = service.stats();
+    println!(
+        "drained: {} tuned in background, {} fresh measurement(s), {} cache hit(s)",
+        stats.background_tuned, stats.fresh_measurements, stats.cache_hits
+    );
+
+    // 3. Instant replay: serving the whole network touches the
+    //    simulator zero times.
+    let (timed, eco) = time_network_with_service(&net, &device, &service);
+    println!(
+        "served {}: {:.6} ms (baseline {:.6} ms, {:.2}x) — {} shard hit(s), {} inline, {} fresh",
+        timed.network,
+        timed.ours_ms,
+        timed.baseline_ms,
+        timed.speedup(),
+        eco.shard_hits,
+        eco.stolen + eco.inline_tuned,
+        eco.fresh_measurements
+    );
+    assert_eq!(eco.fresh_measurements, 0, "drained service must serve without measuring");
+
+    // 4. Persistence: the shard directory survives restarts...
+    let dir = std::env::temp_dir().join(format!("iolb-service-example-{}", std::process::id()));
+    service.save(&dir).expect("save shard directory");
+    let (reopened, report) = TuningService::open(&dir, config).expect("reopen shard directory");
+    assert!(report.is_clean());
+    let (timed2, eco2) = time_network_with_service(&net, &device, &reopened);
+    assert_eq!(timed2.ours_ms.to_bits(), timed.ours_ms.to_bits());
+    assert_eq!(eco2.fresh_measurements, 0);
+    println!(
+        "reopened from {}: {} record(s) across {} shard(s), replayed bit-identically",
+        dir.display(),
+        reopened.merged_store().len(),
+        ShardedStore::load(&dir).unwrap().0.shard_count()
+    );
+
+    // 5. ... and long-lived stores stay bounded via LRU eviction that
+    //    never drops a workload's best record.
+    let dropped = reopened.evict(&EvictionPolicy { max_records: 8, top_k: 1 });
+    let (timed3, eco3) = time_network_with_service(&net, &device, &reopened);
+    assert_eq!(timed3.ours_ms.to_bits(), timed.ours_ms.to_bits());
+    assert_eq!(eco3.fresh_measurements, 0);
+    println!("evicted {dropped} cold record(s); serving still replays bit-identically");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

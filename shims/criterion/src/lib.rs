@@ -9,6 +9,14 @@
 //! and prints median/min/max per benchmark. No statistics engine, no
 //! HTML reports, no regression baselines; `cargo bench --no-run` compile
 //! coverage and a useful wall-clock signal are the goals.
+//!
+//! ```
+//! use criterion::{black_box, BenchmarkId};
+//!
+//! // black_box defeats constant folding inside benchmark bodies.
+//! assert_eq!(black_box(2 + 2), 4);
+//! let _id = BenchmarkId::new("gemm", 64); // renders as "gemm/64"
+//! ```
 
 use std::time::{Duration, Instant};
 

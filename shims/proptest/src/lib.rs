@@ -15,6 +15,18 @@
 //!
 //! Case generation is deterministic: the RNG seed is derived from the
 //! test's module path and name, so failures reproduce across runs.
+//!
+//! ```
+//! use proptest::Strategy;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A strategy is just a seeded value generator here.
+//! let even = (0u32..10).prop_map(|x| x * 2);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let v = even.new_value(&mut rng).unwrap();
+//! assert!(v < 20 && v % 2 == 0);
+//! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

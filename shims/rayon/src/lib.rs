@@ -33,6 +33,15 @@
 //! variables**; `RAYON_NUM_THREADS` is consulted only by the thread that
 //! issues a parallel call, so tests that mutate it between (not during)
 //! parallel regions stay free of `setenv`/`getenv` races.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! // Order-preserving: collect returns results in input order no matter
+//! // how the pool interleaves the chunks.
+//! let doubled: Vec<i32> = vec![1, 2, 3, 4].par_iter().map(|&x| x * 2).collect();
+//! assert_eq!(doubled, vec![2, 4, 6, 8]);
+//! ```
 
 use std::num::NonZeroUsize;
 
@@ -86,7 +95,14 @@ mod pool {
                         // running a job.
                         let job = { receiver.lock().unwrap().recv() };
                         match job {
-                            Ok(job) => job(),
+                            // A panicking job must not kill the worker:
+                            // batch helpers already catch per-task (so
+                            // this never fires for them), but detached
+                            // `spawn` jobs reach here raw, and a dead
+                            // worker would shrink the pool forever.
+                            Ok(job) => {
+                                let _ = catch_unwind(AssertUnwindSafe(job));
+                            }
                             Err(_) => break, // channel closed: process exit
                         }
                     })
@@ -103,6 +119,20 @@ mod pool {
     /// exceed this.
     pub fn pool_thread_count() -> usize {
         pool().workers
+    }
+
+    /// Fire-and-forget: enqueues a `'static` job onto the persistent pool
+    /// (mirrors `rayon::spawn`). Unlike batches there is no completion
+    /// barrier — the caller never helps and never waits, so the job runs
+    /// whenever a worker is idle. On a single-core host the pool has zero
+    /// workers and the job would never run; it is executed inline instead,
+    /// preserving the "spawn always eventually runs" contract.
+    pub fn spawn_detached(job: Box<dyn FnOnce() + Send + 'static>) {
+        let p = pool();
+        if p.workers == 0 {
+            return job();
+        }
+        let _ = p.sender.send(job);
     }
 
     /// Shared state of one batch of tasks.
@@ -295,6 +325,28 @@ mod pool {
 }
 
 pub use pool::pool_thread_count;
+
+/// Spawns a fire-and-forget task on the persistent pool (mirrors
+/// `rayon::spawn`).
+///
+/// The task runs when a pool worker is free; there is no join handle and
+/// no completion barrier. Long-lived background tasks (e.g. the tuning
+/// service's speculative workers) each occupy one pool worker while they
+/// run, but can never starve batch primitives: batch callers always help
+/// with their own batches, so `par_iter` completes even with every pool
+/// worker busy. On single-core hosts (zero pool workers) the task runs
+/// inline, so spawned work always eventually executes.
+///
+/// A panicking task is caught and discarded so the pool worker survives
+/// (the real crate aborts the process instead; with no process to
+/// restart us here, a swallowed panic beats a silently shrinking pool).
+/// Tasks that must surface failures should catch their own panics.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    pool::spawn_detached(Box::new(f));
+}
 
 /// Number of worker threads parallel operations may use (mirrors
 /// `rayon::current_num_threads`).
@@ -759,6 +811,61 @@ mod tests {
         // The pool still works afterwards.
         let out: Vec<u64> = input.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, (1..=256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spawn_runs_detached_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            super::spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // No join handle by design: poll with a generous deadline.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) < 8 {
+            assert!(std::time::Instant::now() < deadline, "spawned tasks never ran");
+            std::thread::yield_now();
+        }
+        // Spawned tasks must not wedge the batch machinery.
+        let input: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    /// A panicking spawned job must not kill its pool worker: later
+    /// spawns and batches still run on the full pool.
+    #[test]
+    fn panicking_spawn_does_not_shrink_the_pool() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        for _ in 0..super::pool_thread_count().max(1) + 1 {
+            // On a zero-worker pool spawn runs inline and the panic
+            // reaches the caller (documented); catch it so the test
+            // exercises both modes.
+            let _ = std::panic::catch_unwind(|| super::spawn(|| panic!("boom")));
+        }
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            super::spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pool lost its workers to panicking spawns"
+            );
+            std::thread::yield_now();
+        }
+        let input: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //! | [`gpusim`] | `iolb-gpusim` | device presets, traffic model, occupancy, roofline engine |
 //! | [`dataflow`] | `iolb-dataflow` | §5 dataflow schedules, baselines, CPU execution, analysis |
 //! | [`records`] | `iolb-records` | persistent tuning-record store: JSONL codec, workload index, warm-start/transfer queries |
-//! | [`autotune`] | `iolb-autotune` | §6 config spaces, GBT cost model, searchers, tuning loop |
+//! | [`autotune`] | `iolb-autotune` | §6 config spaces, GBT cost model, searchers, tuning loop, analytic planning |
+//! | [`service`] | `iolb-service` | speculative background tuning: device shards, priority queue, eviction |
 //! | [`cnn`] | `iolb-cnn` | network inventories, end-to-end inference timing |
 //!
 //! ## Quickstart
@@ -81,6 +82,14 @@
 //! // store.save("tuning.jsonl") writes the canonical JSONL form.
 //! ```
 
+//! ## The tuning service
+//!
+//! [`service`] layers speculative background tuning on top of the
+//! store: register a network, let pool-backed workers fill
+//! device-sharded stores ahead of demand, then serve
+//! `tune_or_wait` requests instantly — see `docs/ARCHITECTURE.md` and
+//! `examples/service.rs`.
+
 pub use iolb_autotune as autotune;
 pub use iolb_cnn as cnn;
 pub use iolb_core as core;
@@ -88,6 +97,7 @@ pub use iolb_dataflow as dataflow;
 pub use iolb_gpusim as gpusim;
 pub use iolb_pebble as pebble;
 pub use iolb_records as records;
+pub use iolb_service as service;
 pub use iolb_tensor as tensor;
 
 /// Crate version (workspace-wide).

@@ -1,0 +1,193 @@
+//! ISSUE 3 acceptance gates for the tuning service:
+//!
+//! * **drained == eager** — after the background queue drains,
+//!   `tune_or_wait` for every layer × algorithm candidate of a
+//!   registered network performs zero new simulator measurements and
+//!   returns the same best configs (bit-identical costs) as eager
+//!   `tune_with_store` runs of the same workloads;
+//! * **eviction keeps the best** — applying any eviction policy never
+//!   removes a workload's best-cost record, and serving after eviction
+//!   still replays without measuring;
+//! * the service round-trips through its shard directory: save, reopen,
+//!   serve — still zero measurements, still the same configs.
+
+use conv_iolb::autotune::plan::{algo_candidates, tuner_setup};
+use conv_iolb::autotune::tune_with_store;
+use conv_iolb::cnn::inference::TUNER_SEED;
+use conv_iolb::cnn::{ConvLayer, Network};
+use conv_iolb::core::optimality::TileKind;
+use conv_iolb::core::shapes::ConvShape;
+use conv_iolb::gpusim::DeviceSpec;
+use conv_iolb::records::RecordStore;
+use conv_iolb::service::{EvictionPolicy, ServeSource, ServiceConfig, ShardedStore, TuningService};
+
+const BUDGET: usize = 16;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::v100()
+}
+
+/// A small mixed network: 1x1 layers (direct only) plus a 3x3 layer
+/// that exercises all three algorithm candidates.
+fn toy_network() -> Network {
+    Network {
+        name: "toy",
+        layers: vec![
+            ConvLayer::new("a", ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0)),
+            ConvLayer::new("b", ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0)),
+            ConvLayer::new("c", ConvShape::square(16, 14, 16, 3, 1, 1)),
+        ],
+    }
+}
+
+fn service_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        budget_per_workload: BUDGET,
+        background_budget: 100_000,
+        workers,
+        speculate_neighbors: false,
+        seed: TUNER_SEED,
+    }
+}
+
+/// The eager reference: `tune_with_store` on a fresh store, the exact
+/// run a service-less consumer would perform for one workload.
+fn eager(shape: &ConvShape, kind: TileKind) -> Option<(RecordStore, f64)> {
+    let mut store = RecordStore::new();
+    let mut s = tuner_setup(shape, kind, &device(), BUDGET, TUNER_SEED);
+    let out = tune_with_store(
+        &s.space,
+        &s.measurer,
+        &mut s.model,
+        &mut s.searcher,
+        s.params,
+        &mut store,
+    )?;
+    Some((store, out.result.best_ms))
+}
+
+/// The ISSUE 3 pinned test: drained service == eager tuning, with zero
+/// new measurements at serve time.
+#[test]
+fn drained_service_matches_eager_tuning_with_zero_measurements() {
+    let net = toy_network();
+    // Workers race on the pool AND the drain helps: the contract must
+    // hold regardless of who tuned what.
+    let service = TuningService::new(ShardedStore::new(), service_config(2));
+    let enqueued = service.register_network(&net, &device());
+    // 2 direct-only layers + 1 layer with direct + two Winograd variants.
+    assert_eq!(enqueued, 5);
+    service.drain();
+    let drained = service.stats();
+    assert_eq!(drained.background_tuned + drained.infeasible, 5);
+    assert!(drained.fresh_measurements > 0);
+
+    for layer in &net.layers {
+        for (kind, _) in algo_candidates(&layer.shape) {
+            let served = service.tune_or_wait(&layer.shape, kind, &device());
+            match eager(&layer.shape, kind) {
+                Some((eager_store, eager_best_ms)) => {
+                    let served = served.expect("service missed a feasible workload");
+                    assert_eq!(served.source, ServeSource::ShardHit, "drained service must hit");
+                    assert_eq!(served.fresh_measurements, 0);
+                    assert_eq!(
+                        served.cost_ms.to_bits(),
+                        eager_best_ms.to_bits(),
+                        "layer {} {kind:?}: served cost {} != eager cost {}",
+                        layer.name,
+                        served.cost_ms,
+                        eager_best_ms
+                    );
+                    // Same best config as the eager store's canonical best.
+                    let wl = conv_iolb::records::Workload::new(
+                        layer.shape,
+                        kind,
+                        device().name,
+                        device().smem_per_sm,
+                    );
+                    let eager_best = &eager_store.top_k(&wl, 1)[0];
+                    assert_eq!(served.config, eager_best.config);
+                }
+                None => assert!(served.is_none()),
+            }
+        }
+    }
+    // The serve pass itself measured nothing.
+    let after = service.stats();
+    assert_eq!(after.fresh_measurements, drained.fresh_measurements);
+    assert_eq!(after.inline_tuned, 0);
+}
+
+/// Eviction never removes a workload's best-cost record, and a served
+/// (hence hot) store keeps replaying bit-identically after eviction.
+#[test]
+fn eviction_preserves_every_best_record() {
+    let net = toy_network();
+    let service = TuningService::new(ShardedStore::new(), service_config(0));
+    service.register_network(&net, &device());
+    service.drain();
+    let full = service.merged_store();
+    let bests: Vec<(String, f64)> =
+        full.entries().map(|(fp, recs)| (fp.to_string(), recs[0].cost_ms)).collect();
+    assert!(!bests.is_empty());
+    // Brutal policy: one record per workload.
+    let dropped = service.evict(&EvictionPolicy { max_records: 1, top_k: 1 });
+    assert!(dropped > 0);
+    let evicted = service.merged_store();
+    for (fp, best_cost) in &bests {
+        let recs = evicted.records(fp);
+        assert!(!recs.is_empty(), "eviction removed workload {fp} entirely");
+        assert_eq!(
+            recs[0].cost_ms.to_bits(),
+            best_cost.to_bits(),
+            "eviction lost the best record of {fp}"
+        );
+    }
+    // Serving still replays without measuring.
+    let measured_before = service.stats().fresh_measurements;
+    for layer in &net.layers {
+        for (kind, _) in algo_candidates(&layer.shape) {
+            if let Some(out) = service.tune_or_wait(&layer.shape, kind, &device()) {
+                assert_eq!(out.fresh_measurements, 0);
+            }
+        }
+    }
+    assert_eq!(service.stats().fresh_measurements, measured_before);
+}
+
+/// Save → reopen → serve: the shard directory carries everything.
+#[test]
+fn service_round_trips_through_its_shard_directory() {
+    let net = toy_network();
+    let dir = std::env::temp_dir().join(format!("iolb-service-accept-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let costs: Vec<u64> = {
+        let service = TuningService::new(ShardedStore::new(), service_config(0));
+        service.register_network(&net, &device());
+        service.drain();
+        service.save(&dir).unwrap();
+        net.layers
+            .iter()
+            .flat_map(|l| {
+                algo_candidates(&l.shape).into_iter().filter_map(|(kind, _)| {
+                    service.tune_or_wait(&l.shape, kind, &device()).map(|o| o.cost_ms.to_bits())
+                })
+            })
+            .collect()
+    };
+    let (reopened, report) = TuningService::open(&dir, service_config(0)).unwrap();
+    assert!(report.is_clean(), "warnings: {:?}", report.warnings);
+    let mut reopened_costs = Vec::new();
+    for layer in &net.layers {
+        for (kind, _) in algo_candidates(&layer.shape) {
+            if let Some(out) = reopened.tune_or_wait(&layer.shape, kind, &device()) {
+                assert_eq!(out.source, ServeSource::ShardHit);
+                assert_eq!(out.fresh_measurements, 0);
+                reopened_costs.push(out.cost_ms.to_bits());
+            }
+        }
+    }
+    assert_eq!(costs, reopened_costs);
+    assert_eq!(reopened.stats().fresh_measurements, 0, "reopened service never measured");
+    let _ = std::fs::remove_dir_all(&dir);
+}
