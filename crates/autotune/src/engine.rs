@@ -41,6 +41,7 @@ use crate::measure::Measurer;
 use crate::search::{History, Searcher};
 use crate::space::ConfigSpace;
 use iolb_dataflow::config::ScheduleConfig;
+use iolb_gpusim::DeviceSpec;
 use iolb_records::{RecordStore, TuningRecord, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -387,6 +388,84 @@ pub fn tune_with_store_mode(
     Some(StoreTuneResult { result, cache_hits, fresh_measurements, warm_seeded, transferred })
 }
 
+/// Outcome of a [`tune_batch`] call.
+#[derive(Debug, Clone)]
+pub struct BatchTuneOutcome {
+    /// Per original request, in order: the tuning outcome of its unique
+    /// representative (duplicates share their representative's result,
+    /// cloned). `None` for infeasible workloads.
+    pub results: Vec<Option<StoreTuneResult>>,
+    /// Union of every run's records — what the batch learned.
+    pub store: RecordStore,
+    /// Hermetic tuning runs actually performed (one per unique workload).
+    pub unique_runs: usize,
+    /// Requests that rode along on another request's run for free.
+    pub deduped: usize,
+}
+
+/// Tunes a whole batch of related workloads — "one network on one
+/// device" — sharing the canonical tuner setup across batch members.
+///
+/// The batch is first deduplicated by workload fingerprint
+/// ([`crate::plan::dedup_requests`]): repeated layer shapes become one
+/// tuning run whose result fans out to every occurrence. Each unique
+/// workload then runs the canonical [`crate::plan::tuner_setup`] against
+/// a **fresh private store** — exactly the hermetic per-workload run the
+/// tuning service's background workers perform, so a batch-tuned config
+/// is bit-identical to an eager [`tune_with_store`] run of the same
+/// `(workload, budget, seed)`, and the unique runs can safely fan out
+/// across rayon workers (results are collected in request order, so the
+/// outcome is independent of scheduling).
+///
+/// Hermeticity is deliberate: sharing measurements *across* members
+/// would make each result depend on batch composition and completion
+/// order, breaking replay. What the batch shares is the planning —
+/// dedup, setup construction — which Li et al.'s analytical DSE shows is
+/// the cheap part; the measurements it *avoids* are the duplicated ones.
+pub fn tune_batch(
+    requests: &[crate::plan::BatchRequest],
+    device: &DeviceSpec,
+    budget: usize,
+    seed: u64,
+) -> BatchTuneOutcome {
+    let (unique, representative) = crate::plan::dedup_requests(requests, device);
+    let runs: Vec<Option<(StoreTuneResult, RecordStore)>> = unique
+        .par_iter()
+        .map(|req| {
+            let mut private = RecordStore::new();
+            let mut s = crate::plan::tuner_setup(&req.shape, req.kind, device, budget, seed);
+            let out = tune_with_store(
+                &s.space,
+                &s.measurer,
+                &mut s.model,
+                &mut s.searcher,
+                s.params,
+                &mut private,
+            )?;
+            Some((out, private))
+        })
+        .collect();
+    let mut store = RecordStore::new();
+    let mut results_by_unique: Vec<Option<StoreTuneResult>> = Vec::with_capacity(runs.len());
+    for run in runs {
+        match run {
+            Some((out, private)) => {
+                store.merge(private);
+                results_by_unique.push(Some(out));
+            }
+            None => results_by_unique.push(None),
+        }
+    }
+    let results =
+        representative.iter().map(|&at| results_by_unique[at].clone()).collect::<Vec<_>>();
+    BatchTuneOutcome {
+        results,
+        store,
+        unique_runs: unique.len(),
+        deduped: requests.len() - unique.len(),
+    }
+}
+
 /// Transfer tuning: tunes a sequence of related problems (e.g. the conv
 /// layers of one network) while *sharing one cost model* across them.
 ///
@@ -702,6 +781,73 @@ mod tests {
         // The target workload's fresh measurements are now stored too.
         let wl = workload_for(&space, &measurer);
         assert!(!store.top_k(&wl, 1).is_empty());
+    }
+
+    #[test]
+    fn tune_batch_dedupes_and_matches_eager_runs() {
+        use crate::plan::{tuner_setup, BatchRequest};
+        let device = DeviceSpec::v100();
+        let a = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+        let b = ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0);
+        // Four requests, two unique workloads: a appears three times.
+        let requests: Vec<BatchRequest> = [a, a, b, a]
+            .iter()
+            .map(|&shape| BatchRequest { shape, kind: TileKind::Direct })
+            .collect();
+        let out = tune_batch(&requests, &device, 12, 7);
+        assert_eq!(out.unique_runs, 2);
+        assert_eq!(out.deduped, 2);
+        assert_eq!(out.results.len(), 4);
+        // Duplicates share their representative's result bit-for-bit.
+        let first = out.results[0].as_ref().unwrap();
+        for dup in [1, 3] {
+            let r = out.results[dup].as_ref().unwrap();
+            assert_eq!(r.result.best, first.result.best);
+            assert_eq!(r.result.best_ms.to_bits(), first.result.best_ms.to_bits());
+        }
+        // Each unique run is bit-identical to the eager single-workload
+        // run of the same (workload, budget, seed) — hermeticity.
+        let mut batch_fresh = 0;
+        for (req, result) in [(requests[0], first), (requests[2], out.results[2].as_ref().unwrap())]
+        {
+            let mut store = RecordStore::new();
+            let mut s = tuner_setup(&req.shape, req.kind, &device, 12, 7);
+            let eager = tune_with_store(
+                &s.space,
+                &s.measurer,
+                &mut s.model,
+                &mut s.searcher,
+                s.params,
+                &mut store,
+            )
+            .unwrap();
+            assert_eq!(result.result.best, eager.result.best);
+            assert_eq!(result.result.best_ms.to_bits(), eager.result.best_ms.to_bits());
+            assert_eq!(result.fresh_measurements, eager.fresh_measurements);
+            batch_fresh += result.fresh_measurements;
+        }
+        // The merged store holds exactly the unique runs' records, and
+        // the batch spent exactly one run per unique workload: repeats
+        // cost zero measurements.
+        assert_eq!(out.store.workload_count(), 2);
+        let total: usize =
+            [0, 2].iter().map(|&i| out.results[i].as_ref().unwrap().fresh_measurements).sum();
+        assert_eq!(total, batch_fresh);
+    }
+
+    #[test]
+    fn tune_batch_reports_infeasible_members_without_sinking_the_batch() {
+        use crate::plan::BatchRequest;
+        // A device with no usable shared memory makes every run infeasible.
+        let ok = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+        let device = DeviceSpec::v100();
+        let hopeless = DeviceSpec { smem_per_sm: 1, ..device.clone() };
+        let requests = [BatchRequest { shape: ok, kind: TileKind::Direct }];
+        let out = tune_batch(&requests, &hopeless, 8, 7);
+        assert!(out.results[0].is_none());
+        assert!(out.store.is_empty());
+        let out = tune_batch(&requests, &device, 8, 7);
+        assert!(out.results[0].is_some());
     }
 
     #[test]

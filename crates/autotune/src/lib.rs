@@ -51,9 +51,10 @@ pub mod space;
 
 pub use cost_model::{CostModel, GbtCostModel, NoModel};
 pub use engine::{
-    tune, tune_with_store, tune_with_store_mode, workload_for, CurvePoint, StoreMode,
-    StoreTuneResult, TuneParams, TuneResult,
+    tune, tune_batch, tune_with_store, tune_with_store_mode, workload_for, BatchTuneOutcome,
+    CurvePoint, StoreMode, StoreTuneResult, TuneParams, TuneResult,
 };
 pub use measure::Measurer;
+pub use plan::BatchRequest;
 pub use search::{History, Searcher};
 pub use space::ConfigSpace;

@@ -143,6 +143,51 @@ pub fn tuner_setup(
     TunerSetup { space, measurer, model, searcher, params }
 }
 
+/// One member of a batch tuning call ([`crate::engine::tune_batch`]): a
+/// layer shape plus the algorithm to tune it under. The device, budget
+/// and seed are batch-wide — a batch is "one network on one device".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRequest {
+    pub shape: ConvShape,
+    pub kind: TileKind,
+}
+
+impl BatchRequest {
+    /// The record-store identity of this request on a device.
+    pub fn workload(&self, device: &DeviceSpec) -> iolb_records::Workload {
+        iolb_records::Workload::new(self.shape, self.kind, device.name, device.smem_per_sm)
+    }
+}
+
+/// Deduplicates a batch of requests by workload fingerprint: repeated
+/// layer shapes (VGG's stacked 3x3 blocks, ResNet's repeated stages)
+/// collapse onto one canonical tuner setup instead of rebuilding — and
+/// re-running — one per occurrence.
+///
+/// Returns the unique requests in first-seen order plus, per original
+/// request, the index of its unique representative. This is the
+/// network-level planning step: dedup is pure bookkeeping, so it costs
+/// nothing next to measurement, and everything downstream (the tuning
+/// service's sessions, [`crate::engine::tune_batch`]) builds on it.
+pub fn dedup_requests(
+    requests: &[BatchRequest],
+    device: &DeviceSpec,
+) -> (Vec<BatchRequest>, Vec<usize>) {
+    let mut unique: Vec<BatchRequest> = Vec::new();
+    let mut by_fingerprint: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    let mut representative = Vec::with_capacity(requests.len());
+    for req in requests {
+        let fp = req.workload(device).fingerprint();
+        let at = *by_fingerprint.entry(fp).or_insert_with(|| {
+            unique.push(*req);
+            unique.len() - 1
+        });
+        representative.push(at);
+    }
+    (unique, representative)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,17 +26,22 @@
 use iolb_bench::{
     load_store_or_exit, run_tuner_with_store, save_store_or_exit, StoreMode, TunerKind,
 };
+use iolb_cnn::inference::time_network_with_service;
+use iolb_cnn::layers::{ConvLayer, Network};
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
 use iolb_gpusim::DeviceSpec;
 use iolb_records::RecordStore;
-use iolb_service::{EvictionPolicy, ShardedStore};
+use iolb_service::{
+    DirLock, EvictionPolicy, PerturbationKind, ServiceConfig, ServiceSnapshot, ShardedStore,
+    TuningService, LOCK_TIMEOUT,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tune-cache <stats|top|check|compact|merge|gen|shard|evict|serve-stats> [args]\n\
+        "usage: tune-cache <stats|top|check|compact|merge|gen|shard|evict|serve-stats|tune-net> [args]\n\
          \n\
          stats   <store>                    record/workload counts and cost ranges,\n\
          \u{20}                                  broken down per device (store may be a shard dir)\n\
@@ -51,8 +56,17 @@ fn usage() -> ExitCode {
          shard   <DIR> -o OUT.jsonl         merge a shard directory back into a flat store\n\
          evict   <DIR|store> --max-records N [--top-k K]\n\
          \u{20}                                  LRU-evict cold workloads down to their K best\n\
-         \u{20}                                  (never dropping a workload's best record)\n\
-         serve-stats <DIR>                  manifest, LRU and per-device shard summary"
+         \u{20}                                  (never dropping a workload's best record;\n\
+         \u{20}                                  shard dirs are locked against other writers)\n\
+         serve-stats <DIR>                  manifest, LRU, per-device shard summary and the\n\
+         \u{20}                                  service stats sidecar (queue depth, budget,\n\
+         \u{20}                                  speculation telemetry)\n\
+         tune-net <network|--layers SPEC> -o DIR [--budget N] [--seed N] [--workers N]\n\
+         \u{20}                                  batch-tune a whole network in one session and\n\
+         \u{20}                                  merge the records into DIR under its advisory\n\
+         \u{20}                                  lock (multi-process safe). <network> is a model\n\
+         \u{20}                                  name (alexnet, vgg-19, ...); SPEC is layers as\n\
+         \u{20}                                  cin,hin,win,cout,kh,kw,stride,pad;..."
     );
     ExitCode::from(2)
 }
@@ -108,7 +122,151 @@ fn main() -> ExitCode {
             evict(Path::new(input), EvictionPolicy { max_records, top_k })
         }
         ("serve-stats", [dir]) => serve_stats(Path::new(dir)),
+        ("tune-net", [target, rest @ ..]) => {
+            let Some(out) = flag_path(rest, "-o") else {
+                eprintln!("tune-net requires -o DIR (the shard directory to merge into)");
+                return ExitCode::from(2);
+            };
+            let layers = if target == "--layers" {
+                match rest.first().map(String::as_str).map(parse_layers) {
+                    Some(Ok(layers)) => layers,
+                    Some(Err(e)) => {
+                        eprintln!("error: bad --layers spec: {e}");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("--layers requires a spec argument");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                match named_network_layers(target) {
+                    Some(layers) => layers,
+                    None => {
+                        eprintln!(
+                            "error: unknown network {target:?}; known: {}",
+                            iolb_cnn::models::all_networks()
+                                .iter()
+                                .map(|n| n.name.to_ascii_lowercase())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            };
+            let budget = flag_value(rest, "--budget").unwrap_or(16);
+            let seed = flag_value(rest, "--seed").unwrap_or(7) as u64;
+            let workers = flag_value(rest, "--workers").unwrap_or(0);
+            tune_net(layers, &out, budget, seed, workers)
+        }
         _ => usage(),
+    }
+}
+
+/// Parses a compact layer spec: `cin,hin,win,cout,kh,kw,stride,pad`
+/// groups separated by `;`. Repeated groups are allowed (and exercised
+/// by the session's dedup).
+fn parse_layers(spec: &str) -> Result<Vec<ConvShape>, String> {
+    let mut layers = Vec::new();
+    for (i, group) in spec.split(';').filter(|g| !g.trim().is_empty()).enumerate() {
+        let fields: Vec<usize> = group
+            .split(',')
+            .map(|f| f.trim().parse::<usize>().map_err(|e| format!("layer {i}: {e}")))
+            .collect::<Result<_, _>>()?;
+        let [cin, hin, win, cout, kh, kw, stride, pad] = fields.as_slice() else {
+            return Err(format!("layer {i}: expected 8 fields, got {}", fields.len()));
+        };
+        let shape = ConvShape::new(*cin, *hin, *win, *cout, *kh, *kw, *stride, *pad);
+        shape.validate().map_err(|e| format!("layer {i}: {e}"))?;
+        layers.push(shape);
+    }
+    if layers.is_empty() {
+        return Err("no layers in spec".to_string());
+    }
+    Ok(layers)
+}
+
+/// The conv layers of a named model (case-insensitive).
+fn named_network_layers(name: &str) -> Option<Vec<ConvShape>> {
+    let wanted = name.to_ascii_lowercase();
+    iolb_cnn::models::all_networks()
+        .into_iter()
+        .find(|n| n.name.to_ascii_lowercase() == wanted)
+        .map(|n| n.layers.iter().map(|l| l.shape).collect())
+}
+
+/// Batch-tunes a whole network through one tuning session and merges
+/// the records into the shard directory under its advisory lock — the
+/// CLI face of the multi-process protocol: any number of `tune-net`
+/// processes may target the same directory concurrently and the result
+/// is the union of their records.
+fn tune_net(
+    layers: Vec<ConvShape>,
+    dir: &Path,
+    budget: usize,
+    seed: u64,
+    workers: usize,
+) -> ExitCode {
+    let device = DeviceSpec::v100();
+    let config = ServiceConfig {
+        budget_per_workload: budget,
+        workers,
+        speculate_neighbors: false, // tune exactly what was asked
+        seed,
+        ..ServiceConfig::default()
+    };
+    // Load whatever the directory already holds: overlapping layers
+    // replay instead of re-tuning (runs are hermetic, so a replayed and
+    // a re-tuned config are bit-identical anyway).
+    let (service, report) = match TuningService::open(dir, config) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("error: cannot open shard directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+    let net = Network {
+        name: "tune-net",
+        layers: layers
+            .iter()
+            .enumerate()
+            .map(|(i, &shape)| ConvLayer::new(format!("layer{i}"), shape))
+            .collect(),
+    };
+    let (timed, eco) = time_network_with_service(&net, &device, &service);
+    println!(
+        "tuned {} layer(s) in one session: {:.6} ms total ({} deduped, {} hit(s), {} stolen, \
+         {} tuned inline, {} fresh measurement(s), {} cache hit(s))",
+        net.layers.len(),
+        timed.ours_ms,
+        eco.deduped,
+        eco.shard_hits,
+        eco.stolen,
+        eco.inline_tuned,
+        eco.fresh_measurements,
+        eco.cache_hits
+    );
+    for layer in &timed.layers {
+        println!("  {:>10.6} ms  {:<14} {}", layer.ours_ms, layer.algorithm, layer.name);
+    }
+    match service.sync_dir(dir) {
+        Ok(merge) => {
+            println!(
+                "merged into {}: {} new record(s), {} total",
+                dir.display(),
+                merge.inserted,
+                merge.total
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot merge into {}: {e}", dir.display());
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -143,6 +301,52 @@ fn load_sharded_or_exit(path: &Path) -> ShardedStore {
     }
 }
 
+/// Reports the service stats sidecar of a shard directory, if present —
+/// the offline view of queue depth, remaining budget, session counters
+/// and speculation telemetry that used to be visible only in-process.
+fn print_sidecar(dir: &Path) {
+    match ServiceSnapshot::load(dir) {
+        Ok(Some(snap)) => {
+            let s = &snap.stats;
+            println!(
+                "service: queue depth {}, budget left {}, {} network(s) served \
+                 ({} session(s), {} request(s), {} deduped)",
+                snap.queue_len,
+                snap.budget_left,
+                s.networks_served,
+                s.batch_groups,
+                s.batch_requests,
+                s.batch_deduped
+            );
+            println!(
+                "serving: {} hit(s), {} stolen, {} inline, {} background, \
+                 {} fresh measurement(s), {} cache hit(s), {} infeasible",
+                s.shard_hits,
+                s.stolen,
+                s.inline_tuned,
+                s.background_tuned,
+                s.fresh_measurements,
+                s.cache_hits,
+                s.infeasible
+            );
+            for kind in PerturbationKind::ALL {
+                let k = s.speculation_of(kind);
+                if k.enqueued + k.tuned + k.hits > 0 {
+                    println!(
+                        "speculation {:<13} {} enqueued, {} tuned, {} hit(s)",
+                        kind.label(),
+                        k.enqueued,
+                        k.tuned,
+                        k.hits
+                    );
+                }
+            }
+        }
+        Ok(None) => println!("service: no stats sidecar (written by save/sync/tune-net)"),
+        Err(e) => eprintln!("warning: unreadable stats sidecar: {e}"),
+    }
+}
+
 fn stats(path: &Path) -> ExitCode {
     let sharded = load_sharded_or_exit(path);
     println!(
@@ -152,6 +356,9 @@ fn stats(path: &Path) -> ExitCode {
         sharded.workload_count(),
         sharded.shard_count()
     );
+    if path.is_dir() {
+        print_sidecar(path);
+    }
     // Per-device breakdown first — one flat store silently mixing
     // several devices is exactly what this report exists to expose.
     for (key, shard) in sharded.shards() {
@@ -186,7 +393,11 @@ fn shard(input: &Path, out: &Path) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let sharded = ShardedStore::from_flat(load_store_or_exit(input));
-    if let Err(e) = sharded.save(out) {
+    // The split writes (overwrites) a shard directory: take its writer
+    // lock like every other directory writer, so a concurrent tune-net
+    // merge can never interleave with (and lose records to) this save.
+    let lock = DirLock::acquire(out, LOCK_TIMEOUT);
+    if let Err(e) = lock.and_then(|_lock| sharded.save(out)) {
         eprintln!("error: cannot write shard directory {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
@@ -209,8 +420,21 @@ fn shard(input: &Path, out: &Path) -> ExitCode {
 }
 
 /// Applies the LRU eviction policy to a shard directory (or flat store)
-/// in place.
+/// in place. Shard directories are rewritten under their advisory
+/// [`DirLock`], so an eviction can never interleave with (and lose) a
+/// concurrent writer's records.
 fn evict(input: &Path, policy: EvictionPolicy) -> ExitCode {
+    let _lock = if input.is_dir() {
+        match DirLock::acquire(input, LOCK_TIMEOUT) {
+            Ok(lock) => Some(lock),
+            Err(e) => {
+                eprintln!("error: cannot lock {}: {e}", input.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let mut sharded = load_sharded_or_exit(input);
     let before = sharded.len();
     let dropped = sharded.evict(&policy);
@@ -250,6 +474,7 @@ fn serve_stats(dir: &Path) -> ExitCode {
         sharded.len(),
         sharded.clock()
     );
+    print_sidecar(dir);
     for (key, shard) in sharded.shards() {
         println!(
             "device {key} ({}): {} workload(s), {} record(s)",

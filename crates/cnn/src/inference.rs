@@ -22,7 +22,7 @@ use iolb_dataflow::baselines;
 use iolb_dataflow::{direct_kernel, winograd_kernel};
 use iolb_gpusim::{simulate, simulate_sequence, DeviceSpec};
 use iolb_records::RecordStore;
-use iolb_service::{ServeSource, TuningService};
+use iolb_service::{ServeSource, TuneRequest, TuningService};
 
 /// Planning effort for our schedules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,17 +189,21 @@ pub fn time_network_with_store(
 /// requests were answered.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceEconomics {
-    /// Requests answered instantly from the device shards.
+    /// Requests answered instantly from the device shards (including
+    /// duplicate layer shapes deduplicated within the batch session).
     pub shard_hits: usize,
     /// Requests that waited for (and took) an in-flight background tune.
     pub stolen: usize,
-    /// Requests the caller had to tune inline.
+    /// Requests tuned on the waiting session's thread.
     pub inline_tuned: usize,
     /// Simulator invocations the requests themselves triggered (zero
     /// when the background workers already filled the store).
     pub fresh_measurements: usize,
     /// Store replays the inline runs used.
     pub cache_hits: usize,
+    /// Requests that rode along on another request in the same session
+    /// (duplicate layer shapes: one tuning job, many waiters).
+    pub deduped: usize,
 }
 
 impl ServiceEconomics {
@@ -215,33 +219,55 @@ impl ServiceEconomics {
 }
 
 /// Times a whole network through the background [`TuningService`] — the
-/// service-backed analogue of [`time_network_with_store`].
+/// service-backed analogue of [`time_network_with_store`], built on one
+/// batch **session** over every layer × algorithm candidate.
 ///
-/// Each layer × algorithm candidate is requested via
-/// [`TuningService::tune_or_wait`]: layers the speculative workers
-/// already tuned replay instantly, in-flight ones are stolen, and cold
-/// ones tune inline (at the service's per-workload budget). After the
-/// service's queue has drained, serving a registered network performs
-/// **zero** new simulator measurements and returns costs bit-identical
-/// to eager [`time_network_with_store`] runs at the same budget and
-/// seed — that contract is pinned by `tests/service.rs`.
+/// The session dedupes repeated layer shapes (one tuning job with
+/// fan-out waiters), submits the batch as a tracked group that outranks
+/// all speculative queue work, and collects results as they land:
+/// workloads the speculative workers already tuned replay instantly,
+/// in-flight ones are stolen, and cold ones tune on this thread as one
+/// parallel hermetic batch (at the service's per-workload budget).
+/// After the service's queue has drained, serving a registered network
+/// performs **zero** new simulator measurements and returns costs
+/// bit-identical to eager [`time_network_with_store`] runs at the same
+/// budget and seed — that contract is pinned by `tests/service.rs` and
+/// `tests/session.rs`.
 pub fn time_network_with_service(
     net: &Network,
     device: &DeviceSpec,
     service: &TuningService,
 ) -> (NetworkTime, ServiceEconomics) {
-    let mut economics = ServiceEconomics::default();
-    let time = time_network_impl(net, device, |shape| {
+    // One request per layer x algorithm candidate, all in one session.
+    let mut requests: Vec<TuneRequest> = Vec::new();
+    let mut spans: Vec<(usize, Vec<&'static str>)> = Vec::with_capacity(net.layers.len());
+    for layer in &net.layers {
+        let start = requests.len();
+        let mut labels = Vec::new();
+        for (kind, label) in algo_candidates(&layer.shape) {
+            requests.push(TuneRequest { shape: layer.shape, kind });
+            labels.push(label);
+        }
+        spans.push((start, labels));
+    }
+    let handle = service.submit(&requests, device);
+    let deduped = requests.len() - handle.unique_workloads();
+    let results = handle.wait();
+
+    let mut economics = ServiceEconomics { deduped, ..ServiceEconomics::default() };
+    let mut per_layer = spans.iter().map(|(start, labels)| {
         let mut best: Option<(f64, &'static str)> = None;
-        for (kind, label) in algo_candidates(shape) {
-            let Some(out) = service.tune_or_wait(shape, kind, device) else { continue };
-            economics.absorb(&out);
+        for (offset, label) in labels.iter().enumerate() {
+            let Some(out) = &results[start + offset] else { continue };
+            economics.absorb(out);
             if best.as_ref().is_none_or(|&(b, _)| out.cost_ms < b) {
                 best = Some((out.cost_ms, label));
             }
         }
         best.unwrap_or((f64::INFINITY, "none"))
     });
+    let time = time_network_impl(net, device, |_| per_layer.next().expect("one span per layer"));
+    drop(per_layer);
     (time, economics)
 }
 

@@ -267,10 +267,12 @@ impl RecordStore {
 
     /// Writes the canonical serialization to a file (atomically: temp
     /// file in the same directory, then rename — a crashed run never
-    /// leaves a half-written store).
+    /// leaves a half-written store). The temp name is pid-qualified so
+    /// two *processes* saving into the same directory can never truncate
+    /// each other's in-flight write (the last rename wins whole).
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
-        let tmp = path.with_extension("jsonl.tmp");
+        let tmp = path.with_extension(format!("jsonl.tmp.{}", std::process::id()));
         {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(self.to_jsonl().as_bytes())?;

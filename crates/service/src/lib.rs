@@ -7,17 +7,25 @@
 //!
 //! * [`shard`] — device-sharded stores: one canonical JSONL file per
 //!   device fingerprint under a manifest index, cross-shard merge,
-//!   persisted LRU stamps, and an [`EvictionPolicy`] for long-lived
-//!   stores (coldest-workload truncation that never drops a workload's
-//!   best-cost record).
-//! * [`queue`] — the priority work queue: layer workloads (plus
-//!   shape-perturbation neighbors) ranked by predicted I/O-bound gap
-//!   `Q_model / Q_lower`, drained in a deterministic order.
+//!   persisted LRU stamps, an [`EvictionPolicy`] for long-lived stores
+//!   (coldest-workload truncation that never drops a workload's
+//!   best-cost record), and the cross-process protocol: an advisory
+//!   [`DirLock`] plus [`ShardedStore::merge_into_dir`] so any number of
+//!   OS processes append to one directory without corruption.
+//! * [`queue`] — the tiered work queue: client batch jobs before
+//!   registered layers before shape-perturbation neighbors, ranked
+//!   within a tier by predicted I/O-bound gap `Q_model / Q_lower`,
+//!   drained in a deterministic order.
+//! * [`session`] — batch tuning sessions, the network-level request
+//!   path: [`TuningService::submit`] dedupes a whole network's
+//!   workloads into one tracked group (repeated layer shapes become one
+//!   job with fan-out waiters) and [`SessionHandle::wait`] collects
+//!   results as they land.
 //! * [`service`] — the [`TuningService`]: background tuner workers on
 //!   the rayon shim's persistent pool fill the shards in idle time
-//!   under a measurement budget, and [`TuningService::tune_or_wait`]
-//!   answers requests from the shards, steals in-flight background
-//!   results, or tunes inline.
+//!   under a measurement budget, [`TuningService::tune_or_wait`] (the
+//!   one-element session) answers single requests, and per-kind
+//!   speculation telemetry retires perturbation kinds that never hit.
 //!
 //! Per-workload tuning runs are *hermetic* (see the [`service`] module
 //! docs), so a drained service reproduces exactly what eager
@@ -52,10 +60,18 @@
 
 pub mod queue;
 pub mod service;
+pub mod session;
 pub mod shard;
 
-pub use queue::{io_gap, shape_perturbations, Job, PushOutcome, WorkQueue};
-pub use service::{register, ServeResult, ServeSource, ServiceConfig, ServiceStats, TuningService};
+pub use queue::{
+    io_gap, shape_perturbations, Job, JobTier, PerturbationKind, PushOutcome, WorkQueue,
+};
+pub use service::{
+    register, KindStats, ServeResult, ServeSource, ServiceConfig, ServiceSnapshot, ServiceStats,
+    TuningService, STATS_FILE,
+};
+pub use session::{SessionHandle, TuneRequest, TuningSession};
 pub use shard::{
-    device_key, shard_file_name, EvictionPolicy, ShardLoadReport, ShardedStore, MANIFEST_FILE,
+    device_key, shard_file_name, DirLock, DirMergeReport, EvictionPolicy, ShardLoadReport,
+    ShardedStore, LOCK_FILE, LOCK_TIMEOUT, MANIFEST_FILE,
 };

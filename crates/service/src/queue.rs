@@ -1,15 +1,30 @@
-//! The speculative work queue: what to tune next, and why.
+//! The tiered work queue: what to tune next, and why.
 //!
 //! The service fills its stores *before* workloads are requested, so it
 //! has to decide which pending workload deserves measurement budget
-//! first. The paper's thesis supplies the ranking: a workload whose
-//! analytic dataflow I/O (the Eq. 20/22 cost model evaluated at the
-//! no-search [`fast_config`] schedule) sits far above its I/O lower
+//! first. Three tiers exist, in strictly descending priority:
+//!
+//! 1. **Batch** — members of a client batch session ([`crate::session`]):
+//!    a caller is blocked on these *right now*, so they outrank all
+//!    background work. Each batch job carries its session's group id so
+//!    completion can be counted per group.
+//! 2. **Registered** — layers of a registered network: background fill
+//!    ahead of demand.
+//! 3. **Neighbor** — shape-perturbation speculation about networks
+//!    nobody has asked for yet.
+//!
+//! Within a tier the paper's thesis supplies the ranking: a workload
+//! whose analytic dataflow I/O (the Eq. 20/22 cost model evaluated at
+//! the no-search [`fast_config`] schedule) sits far above its I/O lower
 //! bound has the most to gain from search, so its **I/O-bound gap**
-//! `Q_model / Q_lower` is its priority. Registered layers always
-//! outrank speculative shape-perturbation neighbors; remaining ties
-//! break on the workload fingerprint, keeping the drain order — and
-//! therefore the budget cutoff — fully deterministic.
+//! `Q_model / Q_lower` is its priority. Remaining ties break on the
+//! workload fingerprint, keeping the drain order — and therefore the
+//! budget cutoff — fully deterministic.
+//!
+//! A workload pending at a weaker tier is *promoted* when re-pushed at a
+//! stronger one (neighbor → registered when a speculated shape turns out
+//! to be a real layer; anything → batch when a client asks for it), and
+//! never demoted.
 //!
 //! [`fast_config`]: iolb_autotune::plan::fast_config
 
@@ -20,16 +35,91 @@ use iolb_gpusim::DeviceSpec;
 use iolb_records::Workload;
 use std::collections::BTreeMap;
 
+/// Which axis a speculative neighbor shape was perturbed along. The
+/// service keeps per-kind hit/miss telemetry and stops enqueuing kinds
+/// whose predictions never come true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PerturbationKind {
+    CinHalved,
+    CinDoubled,
+    CoutHalved,
+    CoutDoubled,
+}
+
+impl PerturbationKind {
+    /// Every kind, in the canonical (telemetry-array) order.
+    pub const ALL: [Self; 4] =
+        [Self::CinHalved, Self::CinDoubled, Self::CoutHalved, Self::CoutDoubled];
+
+    /// Index into per-kind telemetry arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Self::CinHalved => 0,
+            Self::CinDoubled => 1,
+            Self::CoutHalved => 2,
+            Self::CoutDoubled => 3,
+        }
+    }
+
+    /// Stable human-readable tag (used by the stats sidecar and CLI).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::CinHalved => "cin-halved",
+            Self::CinDoubled => "cin-doubled",
+            Self::CoutHalved => "cout-halved",
+            Self::CoutDoubled => "cout-doubled",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// Priority tier of a pending job. Ordering is priority: batch members
+/// (a client is waiting) before registered layers (background fill)
+/// before speculative neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobTier {
+    /// Member of a client batch session; `group` identifies the session
+    /// so completion is countable per group.
+    Batch { group: u64 },
+    /// Layer of a registered network.
+    Registered,
+    /// Shape-perturbation neighbor.
+    Neighbor,
+}
+
+impl JobTier {
+    /// Smaller drains first. Batch jobs share one rank regardless of
+    /// group: which session submitted first must not starve another.
+    pub fn rank(self) -> u8 {
+        match self {
+            Self::Batch { .. } => 0,
+            Self::Registered => 1,
+            Self::Neighbor => 2,
+        }
+    }
+
+    /// Whether budget exhaustion may drop this job. Batch jobs are user
+    /// work — a session is blocked on them — so they are never dropped
+    /// and never billed to the speculative budget.
+    pub fn droppable(self) -> bool {
+        !matches!(self, Self::Batch { .. })
+    }
+}
+
 /// One pending tuning task.
 #[derive(Debug, Clone)]
 pub struct Job {
     pub shape: ConvShape,
     pub kind: TileKind,
     pub device: DeviceSpec,
-    /// `true` for shape-perturbation neighbors (enqueued on the hunch
-    /// that a similar layer will be requested), `false` for layers of a
-    /// registered network.
-    pub speculative: bool,
+    pub tier: JobTier,
+    /// For [`JobTier::Neighbor`] jobs: which perturbation predicted this
+    /// shape (drives the speculation telemetry). `None` on other tiers.
+    pub perturbation: Option<PerturbationKind>,
 }
 
 impl Job {
@@ -70,36 +160,41 @@ pub fn io_gap(shape: &ConvShape, kind: TileKind, device: &DeviceSpec) -> f64 {
     }
 }
 
-/// Speculative neighbors of a layer shape: the channel-halved/-doubled
-/// variants (the axes along which CNN families actually vary between
-/// versions — VGG-16 vs VGG-19, ResNet widths). Spatial extents and
-/// kernel geometry stay fixed: those perturbations change the algorithm
-/// candidates themselves and transfer poorly.
-pub fn shape_perturbations(shape: &ConvShape) -> Vec<ConvShape> {
-    let mut out: Vec<ConvShape> = Vec::new();
-    let mut push = |candidate: ConvShape| {
-        if candidate != *shape && candidate.validate().is_ok() && !out.contains(&candidate) {
-            out.push(candidate);
+/// Speculative neighbors of a layer shape, each tagged with the
+/// perturbation that produced it: the channel-halved/-doubled variants
+/// (the axes along which CNN families actually vary between versions —
+/// VGG-16 vs VGG-19, ResNet widths). Spatial extents and kernel geometry
+/// stay fixed: those perturbations change the algorithm candidates
+/// themselves and transfer poorly.
+pub fn shape_perturbations(shape: &ConvShape) -> Vec<(ConvShape, PerturbationKind)> {
+    let mut out: Vec<(ConvShape, PerturbationKind)> = Vec::new();
+    let mut push = |candidate: ConvShape, kind: PerturbationKind| {
+        if candidate != *shape
+            && candidate.validate().is_ok()
+            && !out.iter().any(|(c, _)| *c == candidate)
+        {
+            out.push((candidate, kind));
         }
     };
-    push(ConvShape { cin: shape.cin * 2, ..*shape });
+    push(ConvShape { cin: shape.cin * 2, ..*shape }, PerturbationKind::CinDoubled);
     if shape.cin.is_multiple_of(2) {
-        push(ConvShape { cin: shape.cin / 2, ..*shape });
+        push(ConvShape { cin: shape.cin / 2, ..*shape }, PerturbationKind::CinHalved);
     }
-    push(ConvShape { cout: shape.cout * 2, ..*shape });
+    push(ConvShape { cout: shape.cout * 2, ..*shape }, PerturbationKind::CoutDoubled);
     if shape.cout.is_multiple_of(2) {
-        push(ConvShape { cout: shape.cout / 2, ..*shape });
+        push(ConvShape { cout: shape.cout / 2, ..*shape }, PerturbationKind::CoutHalved);
     }
     out
 }
 
-/// Queue ordering key: registered layers before speculative neighbors,
-/// then larger I/O-bound gap first, then fingerprint. The float is
-/// compared through its IEEE bit pattern, which is order-preserving for
-/// the non-negative finite gaps [`io_gap`] produces.
+/// Queue ordering key: tier rank first (batch before registered before
+/// neighbor), then larger I/O-bound gap first, then fingerprint. The
+/// float is compared through its IEEE bit pattern, which is
+/// order-preserving for the non-negative finite gaps [`io_gap`]
+/// produces.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct JobKey {
-    speculative: bool,
+    rank: u8,
     gap_descending: std::cmp::Reverse<u64>,
     fingerprint: String,
 }
@@ -109,15 +204,16 @@ struct JobKey {
 pub enum PushOutcome {
     /// The workload was new: the queue grew.
     Added,
-    /// The workload was already pending as a *speculative* neighbor and
-    /// the incoming job is a registered layer: the pending entry was
-    /// promoted to the registered tier (the queue did not grow).
-    Promoted,
+    /// The workload was already pending at a *weaker* tier and has been
+    /// lifted to the incoming job's tier (the queue did not grow).
+    /// Reports the displaced tier and, when the displaced job was a
+    /// neighbor, the perturbation kind whose prediction just came true.
+    Promoted { from: JobTier, perturbation: Option<PerturbationKind> },
     /// The workload was already pending at an equal-or-better tier.
     AlreadyPending,
 }
 
-/// Deterministic priority queue of pending jobs, deduplicated by
+/// Deterministic tiered priority queue of pending jobs, deduplicated by
 /// workload fingerprint.
 #[derive(Debug, Default)]
 pub struct WorkQueue {
@@ -142,37 +238,44 @@ impl WorkQueue {
         self.by_fingerprint.contains_key(fingerprint)
     }
 
-    /// Every pending workload fingerprint with its tier (`true` =
-    /// speculative), in fingerprint order. Registration snapshots this
-    /// to avoid recomputing priorities for already-pending workloads.
-    pub fn pending(&self) -> impl Iterator<Item = (&str, bool)> {
-        self.by_fingerprint.iter().map(|(fp, key)| (fp.as_str(), key.speculative))
+    /// Every pending workload fingerprint with its tier, in fingerprint
+    /// order. Registration snapshots this to avoid recomputing
+    /// priorities for already-pending workloads.
+    pub fn pending(&self) -> impl Iterator<Item = (&str, JobTier)> {
+        self.by_fingerprint.iter().map(|(fp, key)| (fp.as_str(), self.jobs[key].tier))
+    }
+
+    /// Pending jobs belonging to a batch group.
+    pub fn group_pending(&self, group: u64) -> usize {
+        self.jobs.values().filter(|j| j.tier == JobTier::Batch { group }).count()
     }
 
     /// Enqueues a job at the given [`io_gap`] priority (computed by the
     /// caller so it can happen outside any service lock — the gap is a
-    /// pure function of the workload). A workload already pending as a
-    /// speculative neighbor is *promoted* when re-pushed as a registered
-    /// layer — a layer of a registered network must never drain at (or
-    /// be budget-dropped from) neighbor priority just because a
-    /// perturbation of an earlier layer aliased it.
+    /// pure function of the workload). A workload already pending at a
+    /// weaker tier is *promoted* to the incoming tier — a job someone is
+    /// waiting on must never drain at (or be budget-dropped from)
+    /// background priority just because speculation staged it first.
     pub fn push(&mut self, job: Job, gap: f64) -> PushOutcome {
         let fingerprint = job.fingerprint();
-        if let Some(existing) = self.by_fingerprint.get(&fingerprint) {
-            if !existing.speculative || job.speculative {
+        if let Some(existing_key) = self.by_fingerprint.get(&fingerprint) {
+            let existing = &self.jobs[existing_key];
+            if existing.tier.rank() <= job.tier.rank() {
                 return PushOutcome::AlreadyPending;
             }
-            // Same fingerprint = same workload = same gap: keep the key's
-            // gap, lift the tier.
-            let old_key = existing.clone();
-            let promoted = self.jobs.remove(&old_key).expect("pending job for indexed key");
-            let new_key = JobKey { speculative: false, ..old_key };
+            // Same fingerprint = same workload = same gap: keep the
+            // key's gap, lift the tier.
+            let old_key = existing_key.clone();
+            let displaced = self.jobs.remove(&old_key).expect("pending job for indexed key");
+            let from = displaced.tier;
+            let perturbation = displaced.perturbation;
+            let new_key = JobKey { rank: job.tier.rank(), ..old_key };
             self.by_fingerprint.insert(fingerprint, new_key.clone());
-            self.jobs.insert(new_key, Job { speculative: false, ..promoted });
-            return PushOutcome::Promoted;
+            self.jobs.insert(new_key, Job { tier: job.tier, perturbation: None, ..displaced });
+            return PushOutcome::Promoted { from, perturbation };
         }
         let key = JobKey {
-            speculative: job.speculative,
+            rank: job.tier.rank(),
             gap_descending: std::cmp::Reverse(gap.to_bits()),
             fingerprint: fingerprint.clone(),
         };
@@ -188,22 +291,31 @@ impl WorkQueue {
         Some(job)
     }
 
-    /// Cancels a pending job by workload fingerprint (the "speculative
-    /// duplicate" path: someone is about to tune this inline). Returns
-    /// whether a job was actually cancelled.
-    pub fn remove(&mut self, fingerprint: &str) -> bool {
-        match self.by_fingerprint.remove(fingerprint) {
-            Some(key) => self.jobs.remove(&key).is_some(),
-            None => false,
-        }
+    /// Removes and returns a pending job by workload fingerprint — the
+    /// session claim path: a waiter tunes the jobs it needs itself,
+    /// whatever tier (or group) staged them.
+    pub fn take(&mut self, fingerprint: &str) -> Option<Job> {
+        let key = self.by_fingerprint.remove(fingerprint)?;
+        self.jobs.remove(&key)
     }
 
-    /// Drops every pending job (budget exhaustion). Returns how many.
-    pub fn clear(&mut self) -> usize {
-        let n = self.jobs.len();
-        self.jobs.clear();
-        self.by_fingerprint.clear();
-        n
+    /// Cancels a pending job by workload fingerprint. Returns whether a
+    /// job was actually cancelled.
+    pub fn remove(&mut self, fingerprint: &str) -> bool {
+        self.take(fingerprint).is_some()
+    }
+
+    /// Drops every *droppable* pending job (budget exhaustion). Batch
+    /// jobs survive: sessions are blocked on them and user work is never
+    /// budget-limited. Returns how many jobs were dropped.
+    pub fn clear_droppable(&mut self) -> usize {
+        let doomed: Vec<JobKey> =
+            self.jobs.iter().filter(|(_, j)| j.tier.droppable()).map(|(k, _)| k.clone()).collect();
+        for key in &doomed {
+            self.jobs.remove(key);
+            self.by_fingerprint.remove(&key.fingerprint);
+        }
+        doomed.len()
     }
 }
 
@@ -211,12 +323,17 @@ impl WorkQueue {
 mod tests {
     use super::*;
 
-    fn job(cin: usize, speculative: bool) -> Job {
+    fn job(cin: usize, tier: JobTier) -> Job {
         Job {
             shape: ConvShape::square(cin, 28, 32, 3, 1, 1),
             kind: TileKind::Direct,
             device: DeviceSpec::v100(),
-            speculative,
+            tier,
+            perturbation: if matches!(tier, JobTier::Neighbor) {
+                Some(PerturbationKind::CinDoubled)
+            } else {
+                None
+            },
         }
     }
 
@@ -233,27 +350,28 @@ mod tests {
     }
 
     #[test]
-    fn registered_layers_outrank_speculative_neighbors() {
+    fn tiers_drain_batch_then_registered_then_neighbor() {
         let mut q = WorkQueue::new();
-        assert_eq!(push(&mut q, job(64, true)), PushOutcome::Added);
-        assert_eq!(push(&mut q, job(128, false)), PushOutcome::Added);
-        assert_eq!(push(&mut q, job(32, true)), PushOutcome::Added);
-        let first = q.pop_first().unwrap();
-        assert!(!first.speculative, "registered layer must drain first");
-        assert!(q.pop_first().unwrap().speculative);
+        assert_eq!(push(&mut q, job(64, JobTier::Neighbor)), PushOutcome::Added);
+        assert_eq!(push(&mut q, job(128, JobTier::Registered)), PushOutcome::Added);
+        assert_eq!(push(&mut q, job(32, JobTier::Batch { group: 1 })), PushOutcome::Added);
+        assert_eq!(q.group_pending(1), 1);
+        assert_eq!(q.pop_first().unwrap().tier, JobTier::Batch { group: 1 });
+        assert_eq!(q.pop_first().unwrap().tier, JobTier::Registered);
+        assert_eq!(q.pop_first().unwrap().tier, JobTier::Neighbor);
     }
 
     #[test]
     fn queue_dedupes_by_fingerprint_and_cancels() {
         let mut q = WorkQueue::new();
-        assert_eq!(push(&mut q, job(64, false)), PushOutcome::Added);
+        assert_eq!(push(&mut q, job(64, JobTier::Registered)), PushOutcome::Added);
         assert_eq!(
-            push(&mut q, job(64, false)),
+            push(&mut q, job(64, JobTier::Registered)),
             PushOutcome::AlreadyPending,
             "duplicate workload must not enqueue"
         );
         assert_eq!(q.len(), 1);
-        let fp = job(64, false).fingerprint();
+        let fp = job(64, JobTier::Registered).fingerprint();
         assert!(q.contains(&fp));
         assert!(q.remove(&fp));
         assert!(!q.remove(&fp));
@@ -261,18 +379,53 @@ mod tests {
     }
 
     #[test]
-    fn registered_push_promotes_a_pending_speculative_duplicate() {
+    fn stronger_push_promotes_and_reports_the_displaced_tier() {
         let mut q = WorkQueue::new();
         // The neighbor of one layer aliases a later registered layer.
-        assert_eq!(push(&mut q, job(64, true)), PushOutcome::Added);
-        assert_eq!(push(&mut q, job(128, false)), PushOutcome::Added);
-        assert_eq!(push(&mut q, job(64, false)), PushOutcome::Promoted);
-        // A registered layer never demotes.
-        assert_eq!(push(&mut q, job(64, true)), PushOutcome::AlreadyPending);
+        assert_eq!(push(&mut q, job(64, JobTier::Neighbor)), PushOutcome::Added);
+        assert_eq!(push(&mut q, job(128, JobTier::Registered)), PushOutcome::Added);
+        assert_eq!(
+            push(&mut q, job(64, JobTier::Registered)),
+            PushOutcome::Promoted {
+                from: JobTier::Neighbor,
+                perturbation: Some(PerturbationKind::CinDoubled),
+            },
+            "a registered layer lifts its pending neighbor alias"
+        );
+        // A weaker push never demotes.
+        assert_eq!(push(&mut q, job(64, JobTier::Neighbor)), PushOutcome::AlreadyPending);
+        // A batch push lifts a registered job and reports where from.
+        assert_eq!(
+            push(&mut q, job(64, JobTier::Batch { group: 9 })),
+            PushOutcome::Promoted { from: JobTier::Registered, perturbation: None }
+        );
         assert_eq!(q.len(), 2);
-        // Both drain at registered priority now.
-        assert!(!q.pop_first().unwrap().speculative);
-        assert!(!q.pop_first().unwrap().speculative);
+        assert_eq!(q.group_pending(9), 1);
+        assert_eq!(q.pop_first().unwrap().tier, JobTier::Batch { group: 9 });
+        assert_eq!(q.pop_first().unwrap().tier, JobTier::Registered);
+    }
+
+    #[test]
+    fn take_claims_by_fingerprint_across_tiers() {
+        let mut q = WorkQueue::new();
+        push(&mut q, job(64, JobTier::Neighbor));
+        push(&mut q, job(128, JobTier::Batch { group: 2 }));
+        let fp = job(64, JobTier::Neighbor).fingerprint();
+        let taken = q.take(&fp).expect("pending job claimable by fingerprint");
+        assert_eq!(taken.shape.cin, 64);
+        assert!(q.take(&fp).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn budget_drop_spares_batch_jobs() {
+        let mut q = WorkQueue::new();
+        push(&mut q, job(64, JobTier::Registered));
+        push(&mut q, job(32, JobTier::Neighbor));
+        push(&mut q, job(128, JobTier::Batch { group: 3 }));
+        assert_eq!(q.clear_droppable(), 2, "registered + neighbor jobs drop");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_first().unwrap().tier, JobTier::Batch { group: 3 });
     }
 
     #[test]
@@ -280,7 +433,7 @@ mod tests {
         let build = || {
             let mut q = WorkQueue::new();
             for cin in [64, 32, 128, 16] {
-                push(&mut q, job(cin, false));
+                push(&mut q, job(cin, JobTier::Registered));
             }
             let mut order = Vec::new();
             while let Some(j) = q.pop_first() {
@@ -292,16 +445,29 @@ mod tests {
     }
 
     #[test]
-    fn perturbations_are_valid_distinct_shapes() {
+    fn perturbations_are_valid_distinct_tagged_shapes() {
         let shape = ConvShape::square(64, 28, 32, 3, 1, 1);
         let neighbors = shape_perturbations(&shape);
         assert_eq!(neighbors.len(), 4);
-        for n in &neighbors {
+        let mut kinds: Vec<PerturbationKind> = neighbors.iter().map(|(_, k)| *k).collect();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 4, "every kind appears exactly once");
+        for (n, _) in &neighbors {
             assert!(n.validate().is_ok());
             assert_ne!(*n, shape);
         }
         // Odd channel counts halve away.
         let odd = ConvShape::square(3, 28, 32, 3, 1, 1);
-        assert!(shape_perturbations(&odd).iter().all(|n| n.cin != 1 || n.cout != 32));
+        assert!(shape_perturbations(&odd).iter().all(|(n, _)| n.cin != 1 || n.cout != 32));
+    }
+
+    #[test]
+    fn perturbation_labels_round_trip() {
+        for kind in PerturbationKind::ALL {
+            assert_eq!(PerturbationKind::from_label(kind.label()), Some(kind));
+            assert_eq!(PerturbationKind::ALL[kind.index()], kind);
+        }
+        assert_eq!(PerturbationKind::from_label("sideways"), None);
     }
 }

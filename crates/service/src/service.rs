@@ -1,15 +1,17 @@
 //! The tuning service: speculative background tuning over sharded stores.
 //!
-//! A [`TuningService`] owns a [`ShardedStore`], a priority
+//! A [`TuningService`] owns a [`ShardedStore`], a tiered priority
 //! [`WorkQueue`], and a set of background tuner workers on the rayon
 //! shim's persistent pool. Registering a network enqueues every layer ×
 //! algorithm-candidate workload (plus shape-perturbation neighbors),
 //! prioritized by predicted I/O-bound gap; workers drain the queue in
 //! the background and write records back under a fresh-measurement
-//! budget. A request via [`TuningService::tune_or_wait`] then returns
-//! instantly from the shard, steals the result of an in-flight
-//! background job, or tunes inline (cancelling the speculative
-//! duplicate).
+//! budget. Requests are served through batch **sessions**
+//! ([`crate::session`]): [`TuningService::submit`] dedupes a whole
+//! network's workloads into one tracked batch group, and
+//! [`TuningService::tune_or_wait`] is the one-element session — answered
+//! from the shard, by stealing an in-flight background job, or by tuning
+//! on the waiting thread.
 //!
 //! ## The determinism contract
 //!
@@ -29,18 +31,33 @@
 //!
 //! The one scheduling-dependent quantity is *which speculative jobs ran*
 //! before the background budget ran out — never what any completed job
-//! measured. A request for an untuned workload simply tunes inline.
+//! measured. A request for an untuned workload simply tunes on the
+//! waiting session's thread.
+//!
+//! ## Speculation telemetry
+//!
+//! Every speculative neighbor job carries its [`PerturbationKind`]; the
+//! service counts per-kind enqueues, completed tunes and **hits** (a
+//! client actually requested a workload the kind predicted — either a
+//! tuned neighbor replayed from the shard, or a pending neighbor job
+//! promoted into a client batch). After
+//! [`ServiceConfig::speculation_probation`] completed sessions, kinds
+//! with enqueues but zero hits stop being enqueued: the service learns
+//! which perturbation axes its traffic actually explores.
 
-use crate::queue::{shape_perturbations, Job, WorkQueue};
-use crate::shard::{EvictionPolicy, ShardLoadReport, ShardedStore};
+use crate::queue::{shape_perturbations, Job, JobTier, PerturbationKind, PushOutcome, WorkQueue};
+use crate::shard::{
+    DirLock, DirMergeReport, EvictionPolicy, ShardLoadReport, ShardedStore, LOCK_TIMEOUT,
+};
 use iolb_autotune::engine::tune_with_store;
 use iolb_autotune::plan::{self, algo_candidates};
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
 use iolb_dataflow::config::ScheduleConfig;
 use iolb_gpusim::DeviceSpec;
-use iolb_records::{RecordStore, Workload};
-use std::collections::BTreeSet;
+use iolb_records::RecordStore;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -48,24 +65,30 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Measurement budget of each per-workload tuning run (speculative
-    /// and inline alike — they must match for replay to be exact).
+    /// and session-inline alike — they must match for replay to be
+    /// exact).
     pub budget_per_workload: usize,
     /// Total *fresh* (simulator-touching) measurements the speculative
-    /// path may spend; once exhausted, pending queue entries are
-    /// dropped. A **soft** cap: it is checked before each claim, not
-    /// mid-run (clamping a run would change its trajectory and break
-    /// replay), so concurrent workers can overshoot by up to
-    /// `workers × budget_per_workload`. Inline requests are user work
+    /// path may spend; once exhausted, pending background queue entries
+    /// are dropped (batch jobs survive: a session is blocked on them).
+    /// A **soft** cap: it is checked before each claim, not mid-run
+    /// (clamping a run would change its trajectory and break replay),
+    /// so concurrent workers can overshoot by up to
+    /// `workers × budget_per_workload`. Session requests are user work
     /// and never budget-limited.
     pub background_budget: usize,
     /// Background workers spawned onto the persistent pool per
     /// [`TuningService::kick`]. `0` disables background tuning; the
-    /// queue then drains only via [`TuningService::drain`] or inline
-    /// requests.
+    /// queue then drains only via [`TuningService::drain`] or waiting
+    /// sessions.
     pub workers: usize,
     /// Whether registering a network also enqueues shape-perturbation
     /// neighbors of its layers (at lower priority).
     pub speculate_neighbors: bool,
+    /// Completed sessions ("served networks") after which a
+    /// perturbation kind that was enqueued but never hit stops being
+    /// enqueued. See the module docs on speculation telemetry.
+    pub speculation_probation: usize,
     /// Tuner seed shared by every per-workload run.
     pub seed: u64,
 }
@@ -77,6 +100,7 @@ impl Default for ServiceConfig {
             background_budget: 100_000,
             workers: 2,
             speculate_neighbors: true,
+            speculation_probation: 8,
             seed: 7,
         }
     }
@@ -86,17 +110,20 @@ impl Default for ServiceConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeSource {
     /// The shard already held records for the workload: zero work.
+    /// Duplicate requests within one session also report this — their
+    /// result replays from the record their representative produced.
     ShardHit,
-    /// A background worker was tuning the workload; the caller blocked
-    /// until it finished and took its result.
+    /// A background worker (or another session) was tuning the workload;
+    /// the session blocked until it finished and took its result.
     Stolen,
-    /// The caller tuned the workload on its own thread.
-    /// `cancelled_speculative` reports whether a pending queue entry for
-    /// the same workload was cancelled (the background duplicate).
+    /// The waiting session tuned the workload on its own thread.
+    /// `cancelled_speculative` reports whether a pending background
+    /// queue entry for the same workload was absorbed into the session
+    /// (the speculative duplicate).
     Inline { cancelled_speculative: bool },
 }
 
-/// Outcome of one [`TuningService::tune_or_wait`] request.
+/// Outcome of one served request.
 #[derive(Debug, Clone)]
 pub struct ServeResult {
     /// Best known configuration for the workload.
@@ -112,6 +139,19 @@ pub struct ServeResult {
     pub cache_hits: usize,
 }
 
+/// Per-perturbation-kind speculation telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Neighbor jobs of this kind enqueued by registration.
+    pub enqueued: usize,
+    /// Neighbor jobs of this kind tuned to completion in the background.
+    pub tuned: usize,
+    /// Predictions that came true: a client requested a workload this
+    /// kind speculated (replayed from a speculatively-tuned record, or
+    /// promoted out of the queue into a client batch).
+    pub hits: usize,
+}
+
 /// Monotonic counters describing service activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -119,53 +159,251 @@ pub struct ServiceStats {
     pub enqueued: usize,
     /// Shape-perturbation neighbors enqueued by registration.
     pub speculative_enqueued: usize,
+    /// Queue jobs created (or promoted) on behalf of batch sessions.
+    pub batch_enqueued: usize,
     /// Jobs tuned by the background path (workers or [`TuningService::drain`]).
     pub background_tuned: usize,
-    /// Workloads tuned inline by `tune_or_wait` callers.
+    /// Workloads tuned on a waiting session's thread.
     pub inline_tuned: usize,
-    /// Requests answered instantly from the shards.
+    /// Requests answered instantly from the shards (including duplicate
+    /// requests deduplicated within one session).
     pub shard_hits: usize,
-    /// Requests that waited for an in-flight background job.
+    /// Requests that waited for an in-flight job someone else ran.
     pub stolen: usize,
-    /// Pending speculative jobs cancelled because a caller tuned the
-    /// same workload inline.
+    /// Pending background jobs absorbed into a session because a client
+    /// requested the same workload.
     pub cancelled_speculative: usize,
-    /// Pending jobs dropped when the background budget ran out.
+    /// Pending background jobs dropped when the budget ran out.
     pub budget_dropped: usize,
-    /// Total simulator invocations across background and inline tuning.
+    /// Total simulator invocations across background and session tuning.
     pub fresh_measurements: usize,
-    /// Total store replays across background and inline tuning.
+    /// Total store replays across background and session tuning.
     pub cache_hits: usize,
     /// Workloads that turned out to have no measurable configuration.
     pub infeasible: usize,
+    /// Batch sessions submitted.
+    pub batch_groups: usize,
+    /// Requests across all batch sessions.
+    pub batch_requests: usize,
+    /// Requests that deduplicated onto another request in their session.
+    pub batch_deduped: usize,
+    /// Completed sessions (the "served networks" clock the speculation
+    /// probation runs on).
+    pub networks_served: usize,
+    /// Per-perturbation-kind speculation telemetry, indexed by
+    /// [`PerturbationKind::index`].
+    pub speculation: [KindStats; 4],
 }
 
-struct State {
-    shards: ShardedStore,
-    queue: WorkQueue,
-    /// Fingerprints currently being tuned (by a worker or an inline
-    /// caller). At most one tuner per workload, ever.
-    in_flight: BTreeSet<String>,
+impl ServiceStats {
+    /// Telemetry of one perturbation kind.
+    pub fn speculation_of(&self, kind: PerturbationKind) -> KindStats {
+        self.speculation[kind.index()]
+    }
+}
+
+/// File name of the stats sidecar a [`TuningService::save`] /
+/// [`TuningService::sync_dir`] writes next to the manifest, so
+/// `tune-cache serve-stats` can report queue depth, remaining budget and
+/// speculation telemetry from a directory instead of only in-process.
+pub const STATS_FILE: &str = "service-stats.tsv";
+
+/// Version tag of the stats sidecar. Foreign versions are ignored
+/// whole (stale telemetry is worse than none).
+pub const STATS_VERSION: u32 = 1;
+
+/// A point-in-time export of a service's observable state: the counters
+/// plus the two live numbers ([`queue_len`](TuningService::queue_len),
+/// [`budget_left`](TuningService::budget_left)) that previously were
+/// visible only in-process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    pub stats: ServiceStats,
+    pub queue_len: usize,
+    pub budget_left: usize,
+}
+
+impl ServiceSnapshot {
+    /// Canonical TSV serialization (deterministic field order).
+    pub fn to_tsv(&self) -> String {
+        let s = &self.stats;
+        let mut out = format!("# iolb-service stats v{STATS_VERSION}\n");
+        for (key, value) in [
+            ("enqueued", s.enqueued),
+            ("speculative_enqueued", s.speculative_enqueued),
+            ("batch_enqueued", s.batch_enqueued),
+            ("background_tuned", s.background_tuned),
+            ("inline_tuned", s.inline_tuned),
+            ("shard_hits", s.shard_hits),
+            ("stolen", s.stolen),
+            ("cancelled_speculative", s.cancelled_speculative),
+            ("budget_dropped", s.budget_dropped),
+            ("fresh_measurements", s.fresh_measurements),
+            ("cache_hits", s.cache_hits),
+            ("infeasible", s.infeasible),
+            ("batch_groups", s.batch_groups),
+            ("batch_requests", s.batch_requests),
+            ("batch_deduped", s.batch_deduped),
+            ("networks_served", s.networks_served),
+            ("queue_len", self.queue_len),
+            ("budget_left", self.budget_left),
+        ] {
+            out.push_str(&format!("{key}\t{value}\n"));
+        }
+        for kind in PerturbationKind::ALL {
+            let k = s.speculation[kind.index()];
+            out.push_str(&format!(
+                "speculation\t{}\t{}\t{}\t{}\n",
+                kind.label(),
+                k.enqueued,
+                k.tuned,
+                k.hits
+            ));
+        }
+        out
+    }
+
+    /// Parses the sidecar, tolerantly: unknown keys are skipped, missing
+    /// keys stay zero. Returns `None` for a foreign version header.
+    pub fn from_tsv(text: &str) -> Option<Self> {
+        let mut snap = Self::default();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if let Some(version) = line.strip_prefix("# iolb-service stats v") {
+                if version.trim().parse::<u32>() != Ok(STATS_VERSION) {
+                    return None;
+                }
+                continue;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields.as_slice() {
+                [key, value] => {
+                    let Ok(v) = value.parse::<usize>() else { continue };
+                    let s = &mut snap.stats;
+                    match *key {
+                        "enqueued" => s.enqueued = v,
+                        "speculative_enqueued" => s.speculative_enqueued = v,
+                        "batch_enqueued" => s.batch_enqueued = v,
+                        "background_tuned" => s.background_tuned = v,
+                        "inline_tuned" => s.inline_tuned = v,
+                        "shard_hits" => s.shard_hits = v,
+                        "stolen" => s.stolen = v,
+                        "cancelled_speculative" => s.cancelled_speculative = v,
+                        "budget_dropped" => s.budget_dropped = v,
+                        "fresh_measurements" => s.fresh_measurements = v,
+                        "cache_hits" => s.cache_hits = v,
+                        "infeasible" => s.infeasible = v,
+                        "batch_groups" => s.batch_groups = v,
+                        "batch_requests" => s.batch_requests = v,
+                        "batch_deduped" => s.batch_deduped = v,
+                        "networks_served" => s.networks_served = v,
+                        "queue_len" => snap.queue_len = v,
+                        "budget_left" => snap.budget_left = v,
+                        _ => {}
+                    }
+                }
+                ["speculation", label, enqueued, tuned, hits] => {
+                    let Some(kind) = PerturbationKind::from_label(label) else { continue };
+                    let parse = |t: &str| t.parse::<usize>().unwrap_or(0);
+                    snap.stats.speculation[kind.index()] = KindStats {
+                        enqueued: parse(enqueued),
+                        tuned: parse(tuned),
+                        hits: parse(hits),
+                    };
+                }
+                _ => {}
+            }
+        }
+        Some(snap)
+    }
+
+    /// Writes the sidecar into a shard directory (atomically).
+    pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!("{STATS_FILE}.tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_tsv().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(tmp, dir.join(STATS_FILE))
+    }
+
+    /// Loads the sidecar from a shard directory, if one exists and has
+    /// the current version.
+    pub fn load(dir: impl AsRef<Path>) -> std::io::Result<Option<Self>> {
+        let path = dir.as_ref().join(STATS_FILE);
+        if !path.exists() {
+            return Ok(None);
+        }
+        Ok(Self::from_tsv(&std::fs::read_to_string(path)?))
+    }
+}
+
+pub(crate) struct State {
+    pub(crate) shards: ShardedStore,
+    pub(crate) queue: WorkQueue,
+    /// Fingerprints currently being tuned (by a worker or a waiting
+    /// session). At most one tuner per workload, ever.
+    pub(crate) in_flight: BTreeSet<String>,
     /// Workloads that yielded no measurable configuration — remembered
     /// so neither waiters nor workers retry them forever.
-    infeasible: BTreeSet<String>,
-    budget_left: usize,
-    stats: ServiceStats,
+    pub(crate) infeasible: BTreeSet<String>,
+    /// Workloads tuned from neighbor-speculation jobs whose prediction
+    /// has not (yet) been confirmed by a client request, by kind.
+    pub(crate) speculative_origin: BTreeMap<String, PerturbationKind>,
+    pub(crate) budget_left: usize,
+    pub(crate) next_group: u64,
+    pub(crate) stats: ServiceStats,
 }
 
-struct Inner {
-    state: Mutex<State>,
+impl State {
+    /// Re-books a promoted queue entry's counters under its new tier,
+    /// and counts the speculation hit when a neighbor prediction is
+    /// absorbed into a *client* batch (the guess came true before the
+    /// neighbor was even tuned). Shared by every promotion site so the
+    /// stats cannot drift between the registration and session paths.
+    pub(crate) fn rebook_promotion(
+        &mut self,
+        from: JobTier,
+        to: JobTier,
+        perturbation: Option<PerturbationKind>,
+    ) {
+        match from {
+            JobTier::Batch { .. } => self.stats.batch_enqueued -= 1,
+            JobTier::Registered => self.stats.enqueued -= 1,
+            JobTier::Neighbor => self.stats.speculative_enqueued -= 1,
+        }
+        match to {
+            JobTier::Batch { .. } => self.stats.batch_enqueued += 1,
+            JobTier::Registered => self.stats.enqueued += 1,
+            JobTier::Neighbor => self.stats.speculative_enqueued += 1,
+        }
+        if matches!(to, JobTier::Batch { .. }) {
+            if let Some(kind) = perturbation {
+                self.stats.speculation[kind.index()].hits += 1;
+            }
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) state: Mutex<State>,
     /// Signalled whenever the queue, the in-flight set or the shards
-    /// change: waiters in `tune_or_wait` and `drain` re-check on it.
-    changed: Condvar,
-    config: ServiceConfig,
+    /// change: waiting sessions and `drain` re-check on it.
+    pub(crate) changed: Condvar,
+    pub(crate) config: ServiceConfig,
 }
 
 /// The speculative background-tuning service. Cheap to clone between
 /// threads (`Arc` inside); all state is interior.
 #[derive(Clone)]
 pub struct TuningService {
-    inner: Arc<Inner>,
+    pub(crate) inner: Arc<Inner>,
 }
 
 impl TuningService {
@@ -179,7 +417,9 @@ impl TuningService {
                     queue: WorkQueue::new(),
                     in_flight: BTreeSet::new(),
                     infeasible: BTreeSet::new(),
+                    speculative_origin: BTreeMap::new(),
                     budget_left,
+                    next_group: 0,
                     stats: ServiceStats::default(),
                 }),
                 changed: Condvar::new(),
@@ -188,7 +428,10 @@ impl TuningService {
         }
     }
 
-    /// Opens (or initializes) a service over a shard directory.
+    /// Opens (or initializes) a service over a shard directory. The
+    /// stats sidecar, if any, is *not* folded into the live counters —
+    /// a reopened service starts its own history; the sidecar exists for
+    /// offline inspection (`tune-cache serve-stats`).
     pub fn open(
         dir: impl AsRef<Path>,
         config: ServiceConfig,
@@ -201,7 +444,7 @@ impl TuningService {
         self.inner.config
     }
 
-    fn lock(&self) -> MutexGuard<'_, State> {
+    pub(crate) fn lock(&self) -> MutexGuard<'_, State> {
         self.inner.state.lock().expect("service state poisoned")
     }
 
@@ -220,6 +463,12 @@ impl TuningService {
         self.lock().budget_left
     }
 
+    /// The full observable state in one consistent snapshot.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let st = self.lock();
+        ServiceSnapshot { stats: st.stats, queue_len: st.queue.len(), budget_left: st.budget_left }
+    }
+
     /// A deep copy of the shards. Held lock time is the clone only, so
     /// expensive follow-ups (merging, disk writes) never stall serving.
     fn snapshot_shards(&self) -> ShardedStore {
@@ -231,11 +480,52 @@ impl TuningService {
         self.snapshot_shards().merged()
     }
 
-    /// Persists the shards (and LRU metadata) to a directory. The disk
-    /// write (including fsyncs) happens on a snapshot, outside the
-    /// service lock — concurrent `tune_or_wait` hits stay instant.
+    /// Persists the shards (and LRU metadata) plus the stats sidecar to
+    /// a directory, under the directory's advisory [`DirLock`].
+    /// **Overwrites** the directory's records with this service's view;
+    /// use [`sync_dir`](Self::sync_dir) when other processes write the
+    /// same directory. The disk write (including fsyncs) happens on a
+    /// snapshot, outside the service lock — concurrent serving stays
+    /// instant.
     pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
-        self.snapshot_shards().save(dir)
+        let dir = dir.as_ref();
+        let (shards, snapshot) = {
+            let st = self.lock();
+            (
+                st.shards.clone(),
+                ServiceSnapshot {
+                    stats: st.stats,
+                    queue_len: st.queue.len(),
+                    budget_left: st.budget_left,
+                },
+            )
+        };
+        let _lock = DirLock::acquire(dir, LOCK_TIMEOUT)?;
+        shards.save(dir)?;
+        snapshot.save(dir)
+    }
+
+    /// Cross-process persistence: merges this service's records into the
+    /// directory under its advisory lock (union semantics — nothing any
+    /// other process wrote is lost), then refreshes the stats sidecar
+    /// with this process's snapshot (last writer wins; the sidecar is
+    /// per-writer telemetry, not mergeable history).
+    pub fn sync_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<DirMergeReport> {
+        let dir = dir.as_ref();
+        let (shards, snapshot) = {
+            let st = self.lock();
+            (
+                st.shards.clone(),
+                ServiceSnapshot {
+                    stats: st.stats,
+                    queue_len: st.queue.len(),
+                    budget_left: st.budget_left,
+                },
+            )
+        };
+        let report = shards.merge_into_dir(dir)?;
+        snapshot.save(dir)?;
+        Ok(report)
     }
 
     /// Applies an eviction policy to the shards now.
@@ -245,9 +535,9 @@ impl TuningService {
 
     /// Enqueues one workload for background tuning (deduplicated against
     /// the shards, the queue, in-flight work and known-infeasible
-    /// workloads). Returns whether the queue grew. Call
-    /// [`kick`](Self::kick) afterwards, or let [`drain`](Self::drain) /
-    /// inline requests pick it up.
+    /// workloads). `speculative` enqueues at neighbor priority. Returns
+    /// whether the queue grew. Call [`kick`](Self::kick) afterwards, or
+    /// let [`drain`](Self::drain) / waiting sessions pick it up.
     pub fn enqueue(
         &self,
         shape: &ConvShape,
@@ -255,7 +545,8 @@ impl TuningService {
         device: &DeviceSpec,
         speculative: bool,
     ) -> bool {
-        let job = Job { shape: *shape, kind, device: device.clone(), speculative };
+        let tier = if speculative { JobTier::Neighbor } else { JobTier::Registered };
+        let job = Job { shape: *shape, kind, device: device.clone(), tier, perturbation: None };
         // The priority is a pure function of the workload: compute it
         // before taking the lock (it enumerates tile spaces).
         let gap = crate::queue::io_gap(shape, kind, device);
@@ -266,7 +557,7 @@ impl TuningService {
         grew
     }
 
-    fn enqueue_locked(st: &mut State, job: Job, gap: f64) -> bool {
+    pub(crate) fn enqueue_locked(st: &mut State, job: Job, gap: f64) -> bool {
         let fingerprint = job.fingerprint();
         if !st.shards.records(&job.workload()).is_empty()
             || st.in_flight.contains(&fingerprint)
@@ -274,25 +565,36 @@ impl TuningService {
         {
             return false;
         }
-        let speculative = job.speculative;
+        let tier = job.tier;
+        let perturbation = job.perturbation;
         match st.queue.push(job, gap) {
-            crate::queue::PushOutcome::Added => {
-                if speculative {
-                    st.stats.speculative_enqueued += 1;
-                } else {
-                    st.stats.enqueued += 1;
+            PushOutcome::Added => {
+                match tier {
+                    JobTier::Batch { .. } => st.stats.batch_enqueued += 1,
+                    JobTier::Registered => st.stats.enqueued += 1,
+                    JobTier::Neighbor => {
+                        st.stats.speculative_enqueued += 1;
+                        if let Some(kind) = perturbation {
+                            st.stats.speculation[kind.index()].enqueued += 1;
+                        }
+                    }
                 }
                 true
             }
-            crate::queue::PushOutcome::Promoted => {
-                // The workload was pending as a neighbor and is in fact
-                // a registered layer: re-book it under the right column.
-                st.stats.speculative_enqueued -= 1;
-                st.stats.enqueued += 1;
+            PushOutcome::Promoted { from, perturbation: displaced } => {
+                st.rebook_promotion(from, tier, displaced);
                 false
             }
-            crate::queue::PushOutcome::AlreadyPending => false,
+            PushOutcome::AlreadyPending => false,
         }
+    }
+
+    /// Whether registration should still speculate along a perturbation
+    /// axis: after the probation window, kinds that were tried but never
+    /// predicted a real request stop being enqueued.
+    fn speculation_live(stats: &ServiceStats, probation: usize, kind: PerturbationKind) -> bool {
+        let k = stats.speculation[kind.index()];
+        stats.networks_served < probation || k.enqueued == 0 || k.hits > 0
     }
 
     /// Registers a network on a device: enqueues every layer × algorithm
@@ -300,20 +602,27 @@ impl TuningService {
     /// lower priority), then kicks the background workers. Returns how
     /// many jobs the queue gained. A layer that was already pending as
     /// some earlier layer's perturbation neighbor is promoted to
-    /// registered priority.
+    /// registered priority. Perturbation kinds whose speculation
+    /// probation expired hitless are skipped (see the module docs).
     pub fn register_network(&self, net: &impl register::LayerSource, device: &DeviceSpec) -> usize {
-        // Candidate jobs are cheap to enumerate; do it without the lock.
+        // Candidate jobs are cheap to enumerate; do it without the lock
+        // (the probation check reads a stats snapshot).
+        let (probation, stats_snapshot) = (self.inner.config.speculation_probation, self.stats());
         let mut candidates: Vec<Job> = Vec::new();
-        let mut stage = |shape: ConvShape, speculative: bool| {
+        let mut stage = |shape: ConvShape,
+                         tier: JobTier,
+                         perturbation: Option<PerturbationKind>| {
             for (kind, _) in algo_candidates(&shape) {
-                candidates.push(Job { shape, kind, device: device.clone(), speculative });
+                candidates.push(Job { shape, kind, device: device.clone(), tier, perturbation });
             }
         };
         for layer in net.layer_shapes() {
-            stage(*layer, false);
+            stage(*layer, JobTier::Registered, None);
             if self.inner.config.speculate_neighbors {
-                for neighbor in shape_perturbations(layer) {
-                    stage(neighbor, true);
+                for (neighbor, kind) in shape_perturbations(layer) {
+                    if Self::speculation_live(&stats_snapshot, probation, kind) {
+                        stage(neighbor, JobTier::Neighbor, Some(kind));
+                    }
                 }
             }
         }
@@ -321,19 +630,16 @@ impl TuningService {
         // (the supported dedupe path) skips the priority computation —
         // io_gap runs a tile-space enumeration per workload. The
         // snapshot is advisory; enqueue_locked re-checks authoritatively.
-        let (settled, pending_registered, pending_speculative) = {
+        let (settled, pending_rank) = {
             let st = self.lock();
             let mut settled: BTreeSet<String> = st.in_flight.clone();
             settled.extend(st.infeasible.iter().cloned());
             for (_, shard) in st.shards.shards() {
                 settled.extend(shard.fingerprints().map(str::to_string));
             }
-            let mut registered = BTreeSet::new();
-            let mut speculative = BTreeSet::new();
-            for (fp, is_spec) in st.queue.pending() {
-                if is_spec { &mut speculative } else { &mut registered }.insert(fp.to_string());
-            }
-            (settled, registered, speculative)
+            let pending_rank: BTreeMap<String, u8> =
+                st.queue.pending().map(|(fp, tier)| (fp.to_string(), tier.rank())).collect();
+            (settled, pending_rank)
         };
         // Priorities for the jobs that actually need them, lock-free:
         // io_gap is a pure function of the workload, and a VGG-scale
@@ -342,14 +648,16 @@ impl TuningService {
             .into_iter()
             .filter_map(|job| {
                 let fp = job.fingerprint();
-                if settled.contains(&fp)
-                    || pending_registered.contains(&fp)
-                    || (job.speculative && pending_speculative.contains(&fp))
-                {
+                if settled.contains(&fp) {
                     return None;
                 }
-                // Still staged when a registered layer aliases a pending
-                // speculative neighbor: the push below promotes it.
+                if let Some(&rank) = pending_rank.get(&fp) {
+                    // Pending at an equal-or-stronger tier: nothing to
+                    // do. Still staged when this push would promote it.
+                    if rank <= job.tier.rank() {
+                        return None;
+                    }
+                }
                 let gap = crate::queue::io_gap(&job.shape, job.kind, device);
                 Some((job, gap))
             })
@@ -370,15 +678,15 @@ impl TuningService {
 
     /// Spawns up to `config.workers` background workers onto the
     /// persistent pool. Each worker claims queued jobs until the queue
-    /// is empty (or the budget is gone) and then exits, so kicking an
-    /// idle service is free and kicking repeatedly is safe.
+    /// is empty (or only budget-dropped work remains) and then exits, so
+    /// kicking an idle service is free and kicking repeatedly is safe.
     ///
     /// On hosts whose pool has zero workers (single core) this is a
     /// no-op rather than an inline drain: `rayon::spawn` would run the
     /// worker loop on the calling thread, turning "register and move
     /// on" into "block until the whole queue is tuned". There is no
     /// background parallelism to exploit there anyway — the queue
-    /// drains via [`drain`](Self::drain) and inline requests instead.
+    /// drains via [`drain`](Self::drain) and waiting sessions instead.
     pub fn kick(&self) {
         if rayon::pool_thread_count() == 0 || self.lock().queue.is_empty() {
             return;
@@ -418,17 +726,18 @@ impl TuningService {
 
     /// Claims the highest-priority runnable job and tunes it on the
     /// calling thread. Returns `false` when nothing was claimable
-    /// (empty queue or exhausted budget).
+    /// (empty queue, or only budget-dropped background work). Batch-tier
+    /// jobs are user work: they survive budget exhaustion and are never
+    /// billed to the background budget.
     fn claim_and_run_one(&self) -> bool {
         let claimed = {
             let mut st = self.lock();
             if st.budget_left == 0 {
-                let dropped = st.queue.clear();
+                let dropped = st.queue.clear_droppable();
                 if dropped > 0 {
                     st.stats.budget_dropped += dropped;
                     self.inner.changed.notify_all();
                 }
-                return false;
             }
             loop {
                 let Some(job) = st.queue.pop_first() else { break None };
@@ -456,7 +765,13 @@ impl TuningService {
                 st.stats.background_tuned += 1;
                 st.stats.fresh_measurements += out.fresh_measurements;
                 st.stats.cache_hits += out.cache_hits;
-                st.budget_left = st.budget_left.saturating_sub(out.fresh_measurements);
+                if job.tier.droppable() {
+                    st.budget_left = st.budget_left.saturating_sub(out.fresh_measurements);
+                }
+                if let (JobTier::Neighbor, Some(kind)) = (job.tier, job.perturbation) {
+                    st.stats.speculation[kind.index()].tuned += 1;
+                    st.speculative_origin.insert(fingerprint, kind);
+                }
                 st.shards.merge_flat(private);
             }
             None => {
@@ -472,9 +787,11 @@ impl TuningService {
     /// Runs one hermetic tuning with panic cleanup: if the tuner
     /// panics, the fingerprint is removed from the in-flight set and
     /// waiters are woken *before* the panic resumes — otherwise every
-    /// later `tune_or_wait` for the workload would block forever on a
+    /// later session waiting on the workload would block forever on a
     /// job that no longer exists. (On the background path the resumed
-    /// panic is then caught by the pool's worker loop, which survives.)
+    /// panic is then caught by the pool's worker loop, which survives.
+    /// Waiting sessions additionally re-arm jobs they find neither
+    /// queued, in flight, nor finished.)
     fn run_guarded(
         &self,
         job: &Job,
@@ -495,15 +812,10 @@ impl TuningService {
         }
     }
 
-    /// Serves the best configuration for a workload:
-    ///
-    /// * **shard hit** — records exist: returns instantly, zero
-    ///   measurements;
-    /// * **steal** — a background worker is mid-tune on this workload:
-    ///   blocks until it lands and takes its result;
-    /// * **inline** — tunes on the calling thread (cancelling any
-    ///   pending speculative duplicate in the queue), writes the records
-    ///   back, and returns the best.
+    /// Serves the best configuration for a single workload — the
+    /// one-element [`session`](crate::session): shard hit, steal of an
+    /// in-flight background job, or tune on this thread (absorbing any
+    /// pending background duplicate into the request).
     ///
     /// Returns `None` only for workloads with no measurable
     /// configuration at all. The returned cost is bit-identical to what
@@ -514,72 +826,8 @@ impl TuningService {
         kind: TileKind,
         device: &DeviceSpec,
     ) -> Option<ServeResult> {
-        let workload = Workload::new(*shape, kind, device.name, device.smem_per_sm);
-        let fingerprint = workload.fingerprint();
-        let mut waited = false;
-        let mut st = self.lock();
-        loop {
-            if let Some(best) = st.shards.best(&workload).cloned() {
-                st.shards.touch(&fingerprint);
-                if waited {
-                    st.stats.stolen += 1;
-                } else {
-                    st.stats.shard_hits += 1;
-                }
-                return Some(ServeResult {
-                    config: best.config,
-                    cost_ms: best.cost_ms,
-                    source: if waited { ServeSource::Stolen } else { ServeSource::ShardHit },
-                    fresh_measurements: 0,
-                    cache_hits: 0,
-                });
-            }
-            if st.infeasible.contains(&fingerprint) {
-                return None;
-            }
-            if st.in_flight.contains(&fingerprint) {
-                waited = true;
-                st = self.inner.changed.wait(st).expect("service state poisoned");
-                continue;
-            }
-            break;
-        }
-        // Miss: tune inline, cancelling the speculative duplicate.
-        let cancelled = st.queue.remove(&fingerprint);
-        if cancelled {
-            st.stats.cancelled_speculative += 1;
-        }
-        st.in_flight.insert(fingerprint.clone());
-        drop(st);
-        let job = Job { shape: *shape, kind, device: device.clone(), speculative: false };
-        let outcome = self.run_guarded(&job, &fingerprint);
-        let mut st = self.lock();
-        st.in_flight.remove(&fingerprint);
-        let result = match outcome {
-            Some((out, private)) => {
-                st.stats.inline_tuned += 1;
-                st.stats.fresh_measurements += out.fresh_measurements;
-                st.stats.cache_hits += out.cache_hits;
-                st.shards.merge_flat(private);
-                st.shards.touch(&fingerprint);
-                let best = st.shards.best(&workload).expect("tuned workload has records");
-                Some(ServeResult {
-                    config: best.config,
-                    cost_ms: best.cost_ms,
-                    source: ServeSource::Inline { cancelled_speculative: cancelled },
-                    fresh_measurements: out.fresh_measurements,
-                    cache_hits: out.cache_hits,
-                })
-            }
-            None => {
-                st.stats.infeasible += 1;
-                st.infeasible.insert(fingerprint);
-                None
-            }
-        };
-        drop(st);
-        self.inner.changed.notify_all();
-        result
+        let requests = [crate::session::TuneRequest { shape: *shape, kind }];
+        self.submit(&requests, device).wait().pop().expect("one result per request")
     }
 }
 
@@ -588,7 +836,9 @@ impl TuningService {
 /// seed)` — the service's whole determinism contract reduces to this.
 /// (A workload is only ever tuned when its shard holds no records — the
 /// claim paths guarantee it under the lock — so there is nothing to
-/// seed the private store with.)
+/// seed the private store with.) Session batches run the same setup
+/// through [`iolb_autotune::engine::tune_batch`], which is this run
+/// fanned across unique workloads.
 fn run_hermetic_tuning(
     config: &ServiceConfig,
     job: &Job,
@@ -661,6 +911,7 @@ mod tests {
             background_budget: 10_000,
             workers: 0, // tests drive the queue deterministically
             speculate_neighbors: false,
+            speculation_probation: 8,
             seed: 7,
         }
     }
@@ -732,6 +983,9 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.enqueued, 1);
         assert_eq!(stats.speculative_enqueued, 4);
+        let per_kind: usize =
+            PerturbationKind::ALL.iter().map(|k| stats.speculation_of(*k).enqueued).sum();
+        assert_eq!(per_kind, 4, "every neighbor is attributed to its kind");
     }
 
     #[test]
@@ -778,5 +1032,121 @@ mod tests {
         let expected = reference.tune_or_wait(&shape, TileKind::Direct, &device()).unwrap();
         assert_eq!(out.config, expected.config);
         assert_eq!(out.cost_ms.to_bits(), expected.cost_ms.to_bits());
+    }
+
+    #[test]
+    fn hitless_speculation_kinds_retire_after_probation() {
+        let config =
+            ServiceConfig { speculate_neighbors: true, speculation_probation: 1, ..small_config() };
+        let service = TuningService::new(ShardedStore::new(), config);
+        let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+        service.register_network(&shape, &device());
+        let speculated = service.stats().speculative_enqueued;
+        assert_eq!(speculated, 4);
+        // One served network (the layer itself — no speculation hit),
+        // probation over.
+        service.tune_or_wait(&shape, TileKind::Direct, &device()).unwrap();
+        assert!(service.stats().networks_served >= 1);
+        // Registering another network enqueues its layer but no longer
+        // speculates along any (hitless) kind.
+        let other = ConvShape::new(24, 14, 14, 12, 1, 1, 1, 0);
+        service.register_network(&other, &device());
+        let stats = service.stats();
+        assert_eq!(stats.speculative_enqueued, speculated, "no new speculation after probation");
+        for kind in PerturbationKind::ALL {
+            assert_eq!(stats.speculation_of(kind).hits, 0);
+        }
+    }
+
+    #[test]
+    fn speculation_hits_keep_a_kind_alive_and_are_counted() {
+        let config =
+            ServiceConfig { speculate_neighbors: true, speculation_probation: 1, ..small_config() };
+        let service = TuningService::new(ShardedStore::new(), config);
+        let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+        service.register_network(&shape, &device());
+        service.drain();
+        // Request the cin-halved neighbor: the speculative record
+        // answers instantly and the prediction counts as a hit.
+        let neighbor = ConvShape { cin: 16, ..shape };
+        let out = service.tune_or_wait(&neighbor, TileKind::Direct, &device()).unwrap();
+        assert_eq!(out.source, ServeSource::ShardHit);
+        let stats = service.stats();
+        assert_eq!(stats.speculation_of(PerturbationKind::CinHalved).hits, 1);
+        assert!(stats.speculation_of(PerturbationKind::CinHalved).tuned >= 1);
+        // Past probation, the hitting kind keeps speculating while the
+        // hitless ones retire.
+        let other = ConvShape::new(24, 14, 14, 12, 1, 1, 1, 0);
+        service.register_network(&other, &device());
+        let after = service.stats();
+        assert_eq!(
+            after.speculation_of(PerturbationKind::CinHalved).enqueued,
+            stats.speculation_of(PerturbationKind::CinHalved).enqueued + 1,
+            "the confirmed kind still speculates"
+        );
+        assert_eq!(
+            after.speculation_of(PerturbationKind::CoutDoubled).enqueued,
+            stats.speculation_of(PerturbationKind::CoutDoubled).enqueued,
+            "hitless kinds stay retired"
+        );
+    }
+
+    #[test]
+    fn promoting_a_pending_neighbor_counts_as_a_speculation_hit() {
+        let config = ServiceConfig {
+            speculate_neighbors: true,
+            background_budget: 0, // nothing tunes in the background
+            ..small_config()
+        };
+        let service = TuningService::new(ShardedStore::new(), config);
+        let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+        service.register_network(&shape, &device());
+        // Request a neighbor while its speculative job is still queued:
+        // the job is absorbed into the session (promotion), which counts
+        // as a prediction hit even though nothing was tuned yet.
+        let neighbor = ConvShape { cin: 64, ..shape };
+        let out = service.tune_or_wait(&neighbor, TileKind::Direct, &device()).unwrap();
+        assert_eq!(out.source, ServeSource::Inline { cancelled_speculative: true });
+        let stats = service.stats();
+        assert_eq!(stats.speculation_of(PerturbationKind::CinDoubled).hits, 1);
+        assert_eq!(stats.cancelled_speculative, 1);
+    }
+
+    #[test]
+    fn snapshot_sidecar_round_trips_and_tolerates_noise() {
+        let service = TuningService::new(ShardedStore::new(), small_config());
+        service.register_network(&shapes(), &device());
+        service.tune_or_wait(&shapes()[0], TileKind::Direct, &device()).unwrap();
+        let snap = service.snapshot();
+        assert_eq!(snap.queue_len, 1);
+        let parsed = ServiceSnapshot::from_tsv(&snap.to_tsv()).unwrap();
+        assert_eq!(parsed, snap);
+        // Unknown keys and junk lines are skipped, not fatal.
+        let noisy = format!("{}unknown_key\t5\nnot a line\n", snap.to_tsv());
+        assert_eq!(ServiceSnapshot::from_tsv(&noisy).unwrap(), snap);
+        // Foreign versions are ignored whole.
+        assert!(ServiceSnapshot::from_tsv("# iolb-service stats v999\nenqueued\t3\n").is_none());
+    }
+
+    #[test]
+    fn save_writes_the_sidecar_and_open_does_not_restore_it() {
+        let dir = std::env::temp_dir().join(format!(
+            "iolb-service-sidecar-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = TuningService::new(ShardedStore::new(), small_config());
+        service.register_network(&shapes(), &device());
+        service.drain();
+        service.save(&dir).unwrap();
+        let sidecar = ServiceSnapshot::load(&dir).unwrap().expect("sidecar written by save");
+        assert_eq!(sidecar.stats, service.stats());
+        assert_eq!(sidecar.queue_len, 0);
+        assert_eq!(sidecar.budget_left, service.budget_left());
+        let (reopened, report) = TuningService::open(&dir, small_config()).unwrap();
+        assert!(report.is_clean(), "warnings: {:?}", report.warnings);
+        assert_eq!(reopened.stats(), ServiceStats::default(), "live counters start fresh");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,440 @@
+//! Batch tuning sessions: the network-level request path.
+//!
+//! A client serving a whole CNN does not want one round-trip per layer —
+//! it wants to hand the service *all* its workloads and collect results
+//! as they land. A [`TuningSession`] does exactly that:
+//!
+//! 1. [`submit`] **dedupes** the requests by workload fingerprint
+//!    (repeated layer shapes — VGG's stacked 3×3 blocks — become one
+//!    job with fan-out waiters), classifies each unique workload
+//!    against the service (already stored → instant; already being
+//!    tuned → steal when it lands), and enqueues the rest as one
+//!    tracked **batch group**: [`JobTier::Batch`] members outrank every
+//!    speculative neighbor in the queue, survive budget exhaustion, and
+//!    are never billed to the background budget (they are user work).
+//! 2. [`wait`] **collects**: it claims whatever of its jobs are still
+//!    queued and tunes them on the calling thread as one batch
+//!    ([`iolb_autotune::engine::tune_batch`] — the canonical hermetic
+//!    per-workload runs, fanned across the pool), steals results that
+//!    background workers produce meanwhile, and returns one result per
+//!    original request, in order.
+//!
+//! Because every run is hermetic (see [`crate::service`] module docs),
+//! a batch-tuned config is bit-identical to an eager
+//! [`iolb_autotune::engine::tune_with_store`] run of the same workload —
+//! batching changes *how much* work happens (duplicates are free,
+//! setup is shared, no speculation rides along), never *what* any
+//! workload's result is.
+//!
+//! [`submit`]: TuningSession::submit
+//! [`wait`]: SessionHandle::wait
+
+use crate::queue::{io_gap, Job, JobTier, PushOutcome};
+use crate::service::{ServeResult, ServeSource, State, TuningService};
+use iolb_autotune::engine::tune_batch;
+use iolb_autotune::plan::{dedup_requests, BatchRequest};
+use iolb_core::optimality::TileKind;
+use iolb_core::shapes::ConvShape;
+use iolb_gpusim::DeviceSpec;
+use iolb_records::Workload;
+use std::sync::MutexGuard;
+
+/// One workload a session asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneRequest {
+    pub shape: ConvShape,
+    pub kind: TileKind,
+}
+
+/// A batch tuning session against one service on one device. Cheap to
+/// construct; [`submit`](Self::submit) does the work.
+#[derive(Clone)]
+pub struct TuningSession {
+    service: TuningService,
+    device: DeviceSpec,
+}
+
+/// How a unique session member got (or will get) its records.
+#[derive(Debug, Clone, Copy)]
+enum Resolution {
+    /// The shard already held records at submit time: zero work.
+    Hit,
+    /// Someone else (a background worker, another session) tuned it
+    /// while this session waited.
+    Stolen,
+    /// This session tuned it on the waiting thread.
+    Inline { fresh_measurements: usize, cache_hits: usize },
+    /// No measurable configuration exists.
+    Infeasible,
+}
+
+/// One unique workload within a session.
+struct Member {
+    shape: ConvShape,
+    kind: TileKind,
+    workload: Workload,
+    fingerprint: String,
+    resolution: Option<Resolution>,
+    /// A pending background job for this workload was absorbed into the
+    /// session at submit (the "cancelled speculative duplicate").
+    cancelled_speculative: bool,
+}
+
+/// A submitted batch: results are collected with [`wait`](Self::wait).
+///
+/// Dropping a handle without waiting is safe: its queued jobs stay in
+/// the queue at batch priority and are picked up by background workers,
+/// [`TuningService::drain`], or any later session that needs the same
+/// workloads.
+pub struct SessionHandle {
+    service: TuningService,
+    device: DeviceSpec,
+    group: u64,
+    members: Vec<Member>,
+    /// Per original request: (member index, whether this request is the
+    /// member's first occurrence — duplicates report as shard hits).
+    requests: Vec<(usize, bool)>,
+}
+
+impl TuningSession {
+    pub fn new(service: &TuningService, device: &DeviceSpec) -> Self {
+        Self { service: service.clone(), device: device.clone() }
+    }
+
+    /// Dedupes and submits a batch of requests as one tracked group.
+    /// Returns immediately; background workers are kicked so the batch
+    /// tunes concurrently with whatever the caller does before
+    /// [`SessionHandle::wait`].
+    pub fn submit(&self, requests: &[TuneRequest]) -> SessionHandle {
+        let service = &self.service;
+        // Dedup by workload fingerprint, preserving first-seen order —
+        // the same network-level planning step the engine's tune_batch
+        // uses, so the two layers can never disagree on what counts as
+        // a duplicate.
+        let batch_requests: Vec<BatchRequest> =
+            requests.iter().map(|r| BatchRequest { shape: r.shape, kind: r.kind }).collect();
+        let (unique, representative) = dedup_requests(&batch_requests, &self.device);
+        let mut members: Vec<Member> = unique
+            .iter()
+            .map(|req| {
+                let workload = req.workload(&self.device);
+                Member {
+                    shape: req.shape,
+                    kind: req.kind,
+                    fingerprint: workload.fingerprint(),
+                    workload,
+                    resolution: None,
+                    cancelled_speculative: false,
+                }
+            })
+            .collect();
+        let mut seen = vec![false; members.len()];
+        let request_map: Vec<(usize, bool)> = representative
+            .into_iter()
+            .map(|at| {
+                let first = !seen[at];
+                seen[at] = true;
+                (at, first)
+            })
+            .collect();
+        // Book the group and snapshot what the service already knows, so
+        // the expensive io_gap priorities are only computed for members
+        // that actually need a queue job — and outside the lock.
+        let (group, needs_gap) = {
+            let mut st = service.lock();
+            st.stats.batch_groups += 1;
+            st.stats.batch_requests += requests.len();
+            st.stats.batch_deduped += requests.len() - members.len();
+            let group = st.next_group;
+            st.next_group += 1;
+            let needs_gap: Vec<bool> = members
+                .iter()
+                .map(|m| {
+                    st.shards.records(&m.workload).is_empty()
+                        && !st.infeasible.contains(&m.fingerprint)
+                        && !st.in_flight.contains(&m.fingerprint)
+                        && !st.queue.contains(&m.fingerprint)
+                })
+                .collect();
+            (group, needs_gap)
+        };
+        let gaps: Vec<Option<f64>> = members
+            .iter()
+            .zip(&needs_gap)
+            .map(|(m, &needed)| needed.then(|| io_gap(&m.shape, m.kind, &self.device)))
+            .collect();
+        // Authoritative classification + enqueue, under one lock.
+        let mut pushed = false;
+        {
+            let mut st = service.lock();
+            for (member, gap) in members.iter_mut().zip(gaps) {
+                if !st.shards.records(&member.workload).is_empty() {
+                    member.resolution = Some(Resolution::Hit);
+                    confirm_speculation(&mut st, &member.fingerprint);
+                    continue;
+                }
+                if st.infeasible.contains(&member.fingerprint) {
+                    member.resolution = Some(Resolution::Infeasible);
+                    continue;
+                }
+                if st.in_flight.contains(&member.fingerprint) {
+                    continue; // steal when it lands
+                }
+                // Pending (ours or anyone's) or brand new: push at batch
+                // tier. The gap was precomputed unless the snapshot saw
+                // the workload pending/settled; the rare race re-computes
+                // under the lock (correctness over elegance).
+                let gap = gap.unwrap_or_else(|| io_gap(&member.shape, member.kind, &self.device));
+                let job = Job {
+                    shape: member.shape,
+                    kind: member.kind,
+                    device: self.device.clone(),
+                    tier: JobTier::Batch { group },
+                    perturbation: None,
+                };
+                match st.queue.push(job, gap) {
+                    PushOutcome::Added => {
+                        st.stats.batch_enqueued += 1;
+                        pushed = true;
+                    }
+                    PushOutcome::Promoted { from, perturbation } => {
+                        // A pending background duplicate was absorbed
+                        // into this session — the batch-path "cancel the
+                        // speculative duplicate".
+                        st.rebook_promotion(from, JobTier::Batch { group }, perturbation);
+                        st.stats.cancelled_speculative += 1;
+                        member.cancelled_speculative = true;
+                    }
+                    PushOutcome::AlreadyPending => {
+                        // An earlier session already owns this workload
+                        // at batch tier; we steal its landing.
+                    }
+                }
+            }
+        }
+        if pushed {
+            service.inner.changed.notify_all();
+        }
+        service.kick();
+        SessionHandle {
+            service: service.clone(),
+            device: self.device.clone(),
+            group,
+            members,
+            requests: request_map,
+        }
+    }
+}
+
+/// A client request confirmed a speculated workload: count the hit once.
+fn confirm_speculation(st: &mut State, fingerprint: &str) {
+    if let Some(kind) = st.speculative_origin.remove(fingerprint) {
+        st.stats.speculation[kind.index()].hits += 1;
+    }
+}
+
+impl TuningService {
+    /// Submits a batch of requests on a device — shorthand for
+    /// [`TuningSession::new`] + [`TuningSession::submit`].
+    pub fn submit(&self, requests: &[TuneRequest], device: &DeviceSpec) -> SessionHandle {
+        TuningSession::new(self, device).submit(requests)
+    }
+}
+
+impl SessionHandle {
+    /// The session's batch-group id.
+    pub fn group(&self) -> u64 {
+        self.group
+    }
+
+    /// Unique workloads in this session (after dedup).
+    pub fn unique_workloads(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Original requests in this session.
+    pub fn request_count(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Blocks until every member workload is resolved, helping with the
+    /// session's own queued jobs on the calling thread (so a session
+    /// completes even with zero workers on a single-core host), then
+    /// returns one result per original request, in request order.
+    /// Duplicate requests share their representative's records and
+    /// report as shard hits; infeasible workloads yield `None`.
+    pub fn wait(mut self) -> Vec<Option<ServeResult>> {
+        'progress: loop {
+            // Claim every job of ours still in the queue (whatever tier
+            // or group staged it — promotion makes this almost always
+            // batch tier) and tune the whole set as one hermetic batch.
+            let claimed: Vec<(usize, Job)> = {
+                let mut st = self.service.lock();
+                let mut claimed = Vec::new();
+                for (at, member) in self.members.iter().enumerate() {
+                    if member.resolution.is_none() && !st.in_flight.contains(&member.fingerprint) {
+                        if let Some(job) = st.queue.take(&member.fingerprint) {
+                            // Absorbing a background-tier duplicate is
+                            // the session-path "cancel the speculative
+                            // duplicate".
+                            st.in_flight.insert(member.fingerprint.clone());
+                            claimed.push((at, job));
+                        }
+                    }
+                }
+                claimed
+            };
+            if !claimed.is_empty() {
+                self.run_claimed(claimed);
+                continue 'progress;
+            }
+            let mut st = self.service.lock();
+            loop {
+                let mut lost = false;
+                let mut all_resolved = true;
+                for member in &mut self.members {
+                    if member.resolution.is_some() {
+                        continue;
+                    }
+                    if !st.shards.records(&member.workload).is_empty() {
+                        member.resolution = Some(Resolution::Stolen);
+                        confirm_speculation(&mut st, &member.fingerprint);
+                        continue;
+                    }
+                    if st.infeasible.contains(&member.fingerprint) {
+                        member.resolution = Some(Resolution::Infeasible);
+                        continue;
+                    }
+                    all_resolved = false;
+                    if st.queue.contains(&member.fingerprint) {
+                        // Claimable: go around the claim loop again.
+                        drop(st);
+                        continue 'progress;
+                    }
+                    if !st.in_flight.contains(&member.fingerprint) {
+                        // Neither stored, queued, nor in flight: the job
+                        // was lost (a panicked worker). Re-arm it.
+                        let gap = 1.0; // re-arm priority is irrelevant: we claim it ourselves next
+                        let job = Job {
+                            shape: member.shape,
+                            kind: member.kind,
+                            device: self.device.clone(),
+                            tier: JobTier::Batch { group: self.group },
+                            perturbation: None,
+                        };
+                        if let PushOutcome::Added = st.queue.push(job, gap) {
+                            lost = true;
+                        }
+                    }
+                }
+                if all_resolved {
+                    return self.collect(st);
+                }
+                if lost {
+                    drop(st);
+                    continue 'progress;
+                }
+                // Everything outstanding is in flight elsewhere: wait
+                // for a landing, then re-check.
+                st = self.service.inner.changed.wait(st).expect("service state poisoned");
+            }
+        }
+    }
+
+    /// Tunes the claimed jobs as one batch on this thread, with the
+    /// same panic hygiene as the background path: on unwind the claimed
+    /// fingerprints leave the in-flight set and waiters are woken before
+    /// the panic resumes.
+    fn run_claimed(&mut self, claimed: Vec<(usize, Job)>) {
+        let config = self.service.config();
+        let requests: Vec<BatchRequest> = claimed
+            .iter()
+            .map(|(_, job)| BatchRequest { shape: job.shape, kind: job.kind })
+            .collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tune_batch(&requests, &self.device, config.budget_per_workload, config.seed)
+        }));
+        let mut st = self.service.lock();
+        for (at, _) in &claimed {
+            st.in_flight.remove(&self.members[*at].fingerprint);
+        }
+        let batch = match outcome {
+            Ok(batch) => batch,
+            Err(payload) => {
+                drop(st);
+                self.service.inner.changed.notify_all();
+                std::panic::resume_unwind(payload);
+            }
+        };
+        st.shards.merge_flat(batch.store);
+        for ((at, _), result) in claimed.iter().zip(batch.results) {
+            let member = &mut self.members[*at];
+            match result {
+                Some(out) => {
+                    st.stats.inline_tuned += 1;
+                    st.stats.fresh_measurements += out.fresh_measurements;
+                    st.stats.cache_hits += out.cache_hits;
+                    member.resolution = Some(Resolution::Inline {
+                        fresh_measurements: out.fresh_measurements,
+                        cache_hits: out.cache_hits,
+                    });
+                }
+                None => {
+                    st.stats.infeasible += 1;
+                    st.infeasible.insert(member.fingerprint.clone());
+                    member.resolution = Some(Resolution::Infeasible);
+                }
+            }
+        }
+        drop(st);
+        self.service.inner.changed.notify_all();
+    }
+
+    /// Builds the per-request results under the final lock.
+    fn collect(&self, mut st: MutexGuard<'_, State>) -> Vec<Option<ServeResult>> {
+        st.stats.networks_served += 1;
+        let mut out = Vec::with_capacity(self.requests.len());
+        for &(at, first) in &self.requests {
+            let member = &self.members[at];
+            let resolution = member.resolution.expect("collect after full resolution");
+            if matches!(resolution, Resolution::Infeasible) {
+                out.push(None);
+                continue;
+            }
+            st.shards.touch(&member.fingerprint);
+            let best =
+                st.shards.best(&member.workload).expect("resolved member has records").clone();
+            let (source, fresh_measurements, cache_hits) = if !first {
+                // Fan-out duplicate: replays its representative's record.
+                st.stats.shard_hits += 1;
+                (ServeSource::ShardHit, 0, 0)
+            } else {
+                match resolution {
+                    Resolution::Hit => {
+                        st.stats.shard_hits += 1;
+                        (ServeSource::ShardHit, 0, 0)
+                    }
+                    Resolution::Stolen => {
+                        st.stats.stolen += 1;
+                        (ServeSource::Stolen, 0, 0)
+                    }
+                    Resolution::Inline { fresh_measurements, cache_hits } => (
+                        // inline_tuned was counted when the tune ran.
+                        ServeSource::Inline { cancelled_speculative: member.cancelled_speculative },
+                        fresh_measurements,
+                        cache_hits,
+                    ),
+                    Resolution::Infeasible => unreachable!("handled above"),
+                }
+            };
+            out.push(Some(ServeResult {
+                config: best.config,
+                cost_ms: best.cost_ms,
+                source,
+                fresh_measurements,
+                cache_hits,
+            }));
+        }
+        out
+    }
+}

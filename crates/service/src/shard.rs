@@ -24,10 +24,19 @@
 use iolb_records::{RecordStore, TuningRecord, Workload};
 use std::collections::BTreeMap;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Manifest file name inside a shard directory.
 pub const MANIFEST_FILE: &str = "manifest.tsv";
+
+/// Advisory lock file name inside a shard directory. The file itself is
+/// permanent (never deleted — unlinking an advisory lock file races
+/// with concurrent acquirers); the *lock* is an OS `flock` on it.
+pub const LOCK_FILE: &str = "manifest.lock";
+
+/// How long writers wait for the directory lock before giving up.
+pub const LOCK_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Version tag written into the manifest header. Loaders reject foreign
 /// versions (same stance as the record schema: re-tune, never guess).
@@ -91,6 +100,94 @@ impl Default for EvictionPolicy {
     fn default() -> Self {
         Self { max_records: 4096, top_k: 4 }
     }
+}
+
+/// An exclusive advisory lock on a shard directory — the cross-process
+/// write protocol.
+///
+/// **Who takes it:** every *writer* ([`ShardedStore::merge_into_dir`],
+/// the service's `save`/`sync_dir`, `tune-cache evict`/`tune-net`), for
+/// the duration of one load → mutate → save cycle (milliseconds; tuning
+/// itself happens *outside* the lock). **Readers never lock**: every
+/// file in the directory is replaced atomically (pid-qualified temp +
+/// rename), so a concurrent load always sees a consistent manifest and
+/// consistent shard files — at worst one save older than the newest.
+///
+/// **Crash behavior:** the lock is an OS `flock` on [`LOCK_FILE`], so
+/// the kernel releases it the instant the holding process dies — a
+/// crashed writer can never wedge the directory. The lock *file* is
+/// deliberately never deleted: unlinking it would race a concurrent
+/// acquirer (two processes each holding "the" lock on different
+/// inodes). Its contents (the last holder's pid) are diagnostic only.
+#[derive(Debug)]
+pub struct DirLock {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Acquires the directory's writer lock, polling until `timeout`
+    /// elapses (the critical sections it guards are short, so waiters
+    /// spin briefly in practice). Creates the directory and lock file if
+    /// missing. Fails with [`std::io::ErrorKind::TimedOut`] when some
+    /// other process holds the lock for the whole window.
+    pub fn acquire(dir: impl AsRef<Path>, timeout: Duration) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LOCK_FILE);
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match file.try_lock() {
+                Ok(()) => break,
+                Err(std::fs::TryLockError::WouldBlock) => {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("timed out waiting for {}", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(std::fs::TryLockError::Error(e)) => return Err(e),
+            }
+        }
+        // Best-effort diagnostics: who holds it. Failure to write the
+        // pid must not fail the acquisition.
+        let _ = file.set_len(0);
+        let _ = (&file).write_all(format!("pid {}\n", std::process::id()).as_bytes());
+        Ok(Self { file, path })
+    }
+
+    /// The lock file's path (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        // Explicit for clarity; closing the descriptor releases the
+        // flock anyway (as does process death — the crash story).
+        let _ = self.file.unlock();
+    }
+}
+
+/// What a cross-process [`ShardedStore::merge_into_dir`] did.
+#[derive(Debug, Clone)]
+pub struct DirMergeReport {
+    /// Records this merge added to the directory (records the directory
+    /// already held count zero).
+    pub inserted: usize,
+    /// Records the directory holds after the merge.
+    pub total: usize,
+    /// What loading the directory's prior contents observed.
+    pub load: ShardLoadReport,
 }
 
 /// What a tolerant [`ShardedStore::load`] observed.
@@ -225,6 +322,41 @@ impl ShardedStore {
         flat
     }
 
+    /// Union-merges another sharded store into this one: records route
+    /// to their device shards, LRU stamps take the per-workload maximum,
+    /// and the logical clock takes the maximum — so two histories merge
+    /// without either's recency information running backwards. Returns
+    /// how many records changed the store.
+    pub fn absorb(&mut self, other: ShardedStore) -> usize {
+        let inserted = self.merge_flat(other.merged());
+        for (fp, stamp) in other.last_hit {
+            let entry = self.last_hit.entry(fp).or_insert(0);
+            *entry = (*entry).max(stamp);
+        }
+        self.clock = self.clock.max(other.clock);
+        inserted
+    }
+
+    /// Cross-process append: under the directory's advisory [`DirLock`],
+    /// loads whatever the directory currently holds, [`absorb`]s this
+    /// store into it, and writes the union back. This — not [`save`],
+    /// which *overwrites* — is how multiple OS processes share one shard
+    /// directory: every writer's records survive, in canonical order,
+    /// whatever the interleaving. Records are deduplicated by
+    /// `(workload, config)`, so two processes that tuned the same
+    /// workload (hermetic runs are bit-identical) merge to one copy.
+    ///
+    /// [`absorb`]: Self::absorb
+    /// [`save`]: Self::save
+    pub fn merge_into_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<DirMergeReport> {
+        let dir = dir.as_ref();
+        let _lock = DirLock::acquire(dir, LOCK_TIMEOUT)?;
+        let (mut disk, load) = Self::load(dir)?;
+        let inserted = disk.absorb(self.clone());
+        disk.save(dir)?;
+        Ok(DirMergeReport { inserted, total: disk.len(), load })
+    }
+
     /// Applies the eviction policy: while the store holds more than
     /// `policy.max_records` records, least-recently-hit workloads are
     /// truncated to their `policy.top_k` best records (coldest first;
@@ -282,15 +414,19 @@ impl ShardedStore {
     }
 
     /// Writes the directory: one canonical JSONL file per shard plus the
-    /// manifest, each atomically (temp file + rename). Deterministic:
-    /// equal stores write byte-identical directories.
+    /// manifest, each atomically (pid-qualified temp file + rename, so
+    /// concurrent processes can never truncate each other's in-flight
+    /// writes). Deterministic: equal stores write byte-identical
+    /// directories. **Overwrites**: records other processes added since
+    /// this store loaded are lost — cross-process writers use
+    /// [`merge_into_dir`](Self::merge_into_dir) instead.
     pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         for (key, shard) in &self.shards {
             shard.save(dir.join(shard_file_name(key)))?;
         }
-        let tmp = dir.join("manifest.tsv.tmp");
+        let tmp = dir.join(format!("manifest.tsv.tmp.{}", std::process::id()));
         {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(self.manifest_text().as_bytes())?;
@@ -544,6 +680,62 @@ mod tests {
         let (loaded, report) = ShardedStore::load(&dir).unwrap();
         assert_eq!(loaded.len(), 1, "good shard still loads");
         assert_eq!(report.warnings.len(), 3, "warnings: {:?}", report.warnings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_lock_is_exclusive_until_dropped() {
+        let dir = temp_dir("lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        let held = DirLock::acquire(&dir, Duration::from_secs(5)).unwrap();
+        assert!(held.path().exists());
+        let contended = DirLock::acquire(&dir, Duration::from_millis(20));
+        assert_eq!(contended.unwrap_err().kind(), std::io::ErrorKind::TimedOut);
+        drop(held);
+        let reacquired = DirLock::acquire(&dir, Duration::from_secs(5));
+        assert!(reacquired.is_ok());
+        drop(reacquired);
+        assert!(dir.join(LOCK_FILE).exists(), "lock file is permanent by design");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absorb_unions_records_stamps_and_clock() {
+        let mut a = ShardedStore::new();
+        a.insert(rec(64, "Tesla V100", 7, 1.0));
+        a.touch(&wl(64, "Tesla V100").fingerprint()); // clock 1
+        let mut b = ShardedStore::new();
+        b.insert(rec(64, "Tesla V100", 7, 1.0)); // duplicate record
+        b.insert(rec(32, "GTX 1080 Ti", 14, 2.0));
+        b.touch(&wl(32, "GTX 1080 Ti").fingerprint());
+        b.touch(&wl(32, "GTX 1080 Ti").fingerprint()); // clock 2
+        let inserted = a.absorb(b);
+        assert_eq!(inserted, 1, "only the genuinely new record lands");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.clock(), 2, "clock takes the maximum");
+        assert_eq!(a.last_hit(&wl(64, "Tesla V100").fingerprint()), 1);
+        assert_eq!(a.last_hit(&wl(32, "GTX 1080 Ti").fingerprint()), 2);
+    }
+
+    #[test]
+    fn merge_into_dir_unions_with_prior_contents() {
+        let dir = temp_dir("mergeinto");
+        let mut a = ShardedStore::new();
+        a.insert(rec(64, "Tesla V100", 7, 1.0));
+        let report = a.merge_into_dir(&dir).unwrap();
+        assert_eq!((report.inserted, report.total), (1, 1));
+        assert!(report.load.is_clean());
+        // A second writer with overlapping + new records: union, not
+        // overwrite.
+        let mut b = ShardedStore::new();
+        b.insert(rec(64, "Tesla V100", 7, 1.0));
+        b.insert(rec(64, "Tesla V100", 14, 2.0));
+        let report = b.merge_into_dir(&dir).unwrap();
+        assert_eq!((report.inserted, report.total), (1, 2));
+        let (merged, _) = ShardedStore::load(&dir).unwrap();
+        let mut expected = a;
+        expected.absorb(b);
+        assert_eq!(merged.merged().to_jsonl(), expected.merged().to_jsonl());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

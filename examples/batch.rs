@@ -1,0 +1,97 @@
+//! Batch tuning sessions, end to end: submit a whole network —
+//! duplicate layer shapes and all — as ONE session, and compare the
+//! work done against the per-layer request path.
+//!
+//! ```console
+//! $ cargo run --release --example batch
+//! ```
+//!
+//! The same flow is available from the command line:
+//! `tune-cache tune-net --layers ... -o shards/` — and because the
+//! shard directory is guarded by an advisory file lock, any number of
+//! `tune-net` processes may append to one directory concurrently.
+
+use conv_iolb::cnn::inference::TUNER_SEED;
+use conv_iolb::core::optimality::TileKind;
+use conv_iolb::core::shapes::ConvShape;
+use conv_iolb::gpusim::DeviceSpec;
+use conv_iolb::service::{ServiceConfig, ShardedStore, TuneRequest, TuningService};
+
+fn main() {
+    let device = DeviceSpec::v100();
+    // A VGG-flavored toy: 6 layers, only 3 distinct shapes (stacked
+    // blocks repeat their geometry). 1x1 layers keep the demo fast.
+    let a = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let b = ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0);
+    let c = ConvShape::new(24, 14, 14, 12, 1, 1, 1, 0);
+    let layers = [a, b, a, c, a, b];
+
+    let config = ServiceConfig {
+        budget_per_workload: 16,
+        workers: 2,
+        speculate_neighbors: true,
+        seed: TUNER_SEED,
+        ..ServiceConfig::default()
+    };
+
+    // Path 1 — the batch session: one submit, one wait.
+    let service = TuningService::new(ShardedStore::new(), config);
+    let requests: Vec<TuneRequest> =
+        layers.iter().map(|&shape| TuneRequest { shape, kind: TileKind::Direct }).collect();
+    let handle = service.submit(&requests, &device);
+    println!(
+        "session {}: {} request(s) -> {} unique workload(s) ({} rode along for free)",
+        handle.group(),
+        handle.request_count(),
+        handle.unique_workloads(),
+        handle.request_count() - handle.unique_workloads()
+    );
+    let results = handle.wait();
+    let session_stats = service.stats();
+    println!(
+        "batch: {} queue job(s), {} fresh measurement(s), {} tuned inline, {} deduped",
+        session_stats.batch_enqueued,
+        session_stats.fresh_measurements,
+        session_stats.inline_tuned,
+        session_stats.batch_deduped
+    );
+    for (shape, result) in layers.iter().zip(&results) {
+        let result = result.as_ref().expect("feasible layer");
+        println!("  {:>10.6} ms  {:?}  {shape}", result.cost_ms, result.source);
+    }
+
+    // Path 2 — the per-layer request path over a registered network
+    // (what whole-network serving looked like before sessions).
+    let per_layer = TuningService::new(ShardedStore::new(), config);
+    per_layer.register_network(&layers.to_vec(), &device);
+    per_layer.drain();
+    let mut per_layer_costs = Vec::new();
+    for shape in &layers {
+        let out = per_layer.tune_or_wait(shape, TileKind::Direct, &device).unwrap();
+        per_layer_costs.push(out.cost_ms);
+    }
+    let loop_stats = per_layer.stats();
+    let loop_jobs = loop_stats.enqueued + loop_stats.speculative_enqueued;
+    println!(
+        "per-layer: {} queue job(s) (speculation included), {} fresh measurement(s)",
+        loop_jobs, loop_stats.fresh_measurements
+    );
+
+    // The acceptance claim, asserted so this example doubles as a gate:
+    // strictly less work, bit-identical answers.
+    assert!(session_stats.batch_enqueued < loop_jobs);
+    assert!(session_stats.fresh_measurements < loop_stats.fresh_measurements);
+    for (result, reference) in results.iter().zip(&per_layer_costs) {
+        assert_eq!(result.as_ref().unwrap().cost_ms.to_bits(), reference.to_bits());
+    }
+    println!(
+        "batch did {}x fewer measurements for bit-identical configs",
+        loop_stats.fresh_measurements as f64 / session_stats.fresh_measurements.max(1) as f64
+    );
+
+    // Re-serving the network is pure replay: zero measurements.
+    let replay = service.submit(&requests, &device).wait();
+    assert_eq!(service.stats().fresh_measurements, session_stats.fresh_measurements);
+    assert!(replay.iter().flatten().all(|r| r.fresh_measurements == 0));
+    println!("second session replayed everything: 0 fresh measurements");
+}

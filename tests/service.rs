@@ -46,6 +46,7 @@ fn service_config(workers: usize) -> ServiceConfig {
         background_budget: 100_000,
         workers,
         speculate_neighbors: false,
+        speculation_probation: 8,
         seed: TUNER_SEED,
     }
 }

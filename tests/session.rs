@@ -1,0 +1,226 @@
+//! ISSUE 4 acceptance gates for batch tuning sessions:
+//!
+//! * **dedup** — a session over a network with k duplicate layer shapes
+//!   enqueues exactly one queue job for them (fan-out waiters);
+//! * **batch beats per-layer** — batch-tuning a network performs
+//!   strictly fewer queue jobs and strictly fewer simulator
+//!   measurements than the production per-layer flow (register with
+//!   speculation + drain + `tune_or_wait` loop), while every per-layer
+//!   config stays bit-identical to eager `tune_with_store`;
+//! * **steal path** — many threads requesting the same workload
+//!   concurrently trigger exactly one tuning run; everyone gets the
+//!   identical result.
+
+use conv_iolb::autotune::plan::tuner_setup;
+use conv_iolb::autotune::tune_with_store;
+use conv_iolb::cnn::inference::TUNER_SEED;
+use conv_iolb::core::optimality::TileKind;
+use conv_iolb::core::shapes::ConvShape;
+use conv_iolb::gpusim::DeviceSpec;
+use conv_iolb::records::{RecordStore, Workload};
+use conv_iolb::service::{
+    ServeResult, ServeSource, ServiceConfig, ShardedStore, TuneRequest, TuningService,
+};
+
+const BUDGET: usize = 12;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::v100()
+}
+
+fn config(speculate_neighbors: bool) -> ServiceConfig {
+    ServiceConfig {
+        budget_per_workload: BUDGET,
+        background_budget: 100_000,
+        workers: 0, // deterministic: the session/drain threads do the work
+        speculate_neighbors,
+        speculation_probation: 8,
+        seed: TUNER_SEED,
+    }
+}
+
+/// A "network" with duplicate layer shapes: 5 layers, 3 unique (1x1
+/// layers keep algorithm candidates to `direct` only, so requests map
+/// 1:1 to workloads).
+fn shapes() -> Vec<ConvShape> {
+    let a = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let b = ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0);
+    let c = ConvShape::new(24, 14, 14, 12, 1, 1, 1, 0);
+    vec![a, b, a, c, a]
+}
+
+fn requests() -> Vec<TuneRequest> {
+    shapes().iter().map(|&shape| TuneRequest { shape, kind: TileKind::Direct }).collect()
+}
+
+/// The eager reference for one workload: `tune_with_store` on a fresh
+/// store — the exact run a service-less consumer would perform.
+fn eager(shape: &ConvShape) -> (RecordStore, f64, usize) {
+    let mut store = RecordStore::new();
+    let mut s = tuner_setup(shape, TileKind::Direct, &device(), BUDGET, TUNER_SEED);
+    let out =
+        tune_with_store(&s.space, &s.measurer, &mut s.model, &mut s.searcher, s.params, &mut store)
+            .expect("feasible workload");
+    (store, out.result.best_ms, out.fresh_measurements)
+}
+
+/// The ISSUE 4 pinned test: one batch session over a
+/// duplicate-layer network does strictly less work than the per-layer
+/// production flow, with bit-identical per-layer results.
+#[test]
+fn batch_session_beats_per_layer_serving_and_stays_bit_identical() {
+    // Path A (per-layer): the pre-session production flow for a whole
+    // network — register (speculating neighbors, the default), drain,
+    // then a per-layer tune_or_wait loop.
+    let per_layer = TuningService::new(ShardedStore::new(), config(true));
+    per_layer.register_network(&shapes(), &device());
+    per_layer.drain();
+    let mut served_a: Vec<ServeResult> = Vec::new();
+    for shape in &shapes() {
+        served_a.push(per_layer.tune_or_wait(shape, TileKind::Direct, &device()).unwrap());
+    }
+    let stats_a = per_layer.stats();
+    let jobs_a = stats_a.enqueued + stats_a.speculative_enqueued + stats_a.batch_enqueued;
+
+    // Path B (batch session): submit the same five layers at once.
+    let batch = TuningService::new(ShardedStore::new(), config(true));
+    let handle = batch.submit(&requests(), &device());
+    assert_eq!(handle.request_count(), 5);
+    assert_eq!(handle.unique_workloads(), 3, "duplicate shapes fold into one member");
+    let served_b = handle.wait();
+    let stats_b = batch.stats();
+    let jobs_b = stats_b.enqueued + stats_b.speculative_enqueued + stats_b.batch_enqueued;
+    assert_eq!(stats_b.batch_enqueued, 3, "one queue job per unique workload");
+    assert_eq!(stats_b.batch_deduped, 2, "the two duplicate requests rode along");
+    assert_eq!(stats_b.inline_tuned, 3);
+
+    // Strictly fewer queue jobs AND strictly fewer simulator
+    // measurements: no duplicate work, no speculative neighbors riding
+    // on the request path.
+    assert!(jobs_b < jobs_a, "batch {jobs_b} jobs vs per-layer {jobs_a}");
+    assert!(
+        stats_b.fresh_measurements < stats_a.fresh_measurements,
+        "batch {} measurements vs per-layer {}",
+        stats_b.fresh_measurements,
+        stats_a.fresh_measurements
+    );
+
+    // Per-layer configs bit-identical to eager tune_with_store (and to
+    // what the per-layer path served).
+    for ((shape, served), reference) in shapes().iter().zip(&served_b).zip(&served_a) {
+        let served = served.as_ref().expect("feasible layer");
+        let (eager_store, eager_best_ms, _) = eager(shape);
+        let wl = Workload::new(*shape, TileKind::Direct, device().name, device().smem_per_sm);
+        assert_eq!(served.cost_ms.to_bits(), eager_best_ms.to_bits());
+        assert_eq!(served.config, eager_store.top_k(&wl, 1)[0].config);
+        assert_eq!(served.cost_ms.to_bits(), reference.cost_ms.to_bits());
+        assert_eq!(served.config, reference.config);
+    }
+}
+
+/// Satellite: a network with k duplicate layer shapes enqueues exactly
+/// one job; every waiter gets the identical result for the price of one
+/// tuning run.
+#[test]
+fn session_with_k_duplicates_enqueues_exactly_one_job() {
+    let service = TuningService::new(ShardedStore::new(), config(false));
+    let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let k = 4;
+    let reqs = vec![TuneRequest { shape, kind: TileKind::Direct }; k];
+    let handle = service.submit(&reqs, &device());
+    assert_eq!(service.queue_len(), 1, "k duplicates must enqueue exactly one job");
+    assert_eq!(handle.unique_workloads(), 1);
+    let stats = service.stats();
+    assert_eq!(stats.batch_enqueued, 1);
+    assert_eq!(stats.batch_deduped, k - 1);
+    let results = handle.wait();
+    assert_eq!(results.len(), k);
+    let (_, eager_best_ms, eager_fresh) = eager(&shape);
+    let stats = service.stats();
+    assert_eq!(stats.inline_tuned, 1, "one tuning run serves all waiters");
+    assert_eq!(stats.fresh_measurements, eager_fresh, "exactly one run's worth of measurements");
+    for r in &results {
+        let r = r.as_ref().unwrap();
+        assert_eq!(r.cost_ms.to_bits(), eager_best_ms.to_bits());
+    }
+    // The first occurrence tuned inline; the fan-out duplicates replay.
+    assert!(matches!(results[0].as_ref().unwrap().source, ServeSource::Inline { .. }));
+    for dup in &results[1..] {
+        assert_eq!(dup.as_ref().unwrap().source, ServeSource::ShardHit);
+    }
+}
+
+/// Satellite: concurrent `tune_or_wait` from many threads on the same
+/// workload — exactly one tuning run happens; the rest steal (or hit)
+/// and everyone sees bit-identical results.
+#[test]
+fn concurrent_tune_or_wait_tunes_once_and_steals() {
+    let service = TuningService::new(ShardedStore::new(), config(false));
+    let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let service = service.clone();
+            let device = device();
+            std::thread::spawn(move || {
+                service.tune_or_wait(&shape, TileKind::Direct, &device).unwrap()
+            })
+        })
+        .collect();
+    let results: Vec<ServeResult> =
+        threads.into_iter().map(|t| t.join().expect("request thread panicked")).collect();
+    let stats = service.stats();
+    assert_eq!(
+        stats.inline_tuned + stats.background_tuned,
+        1,
+        "exactly one tuning run across all racers"
+    );
+    let (_, eager_best_ms, eager_fresh) = eager(&shape);
+    assert_eq!(stats.fresh_measurements, eager_fresh, "no duplicate measurements");
+    let inline = results.iter().filter(|r| matches!(r.source, ServeSource::Inline { .. })).count();
+    assert_eq!(inline, 1, "exactly one racer tuned; the rest stole or hit");
+    for r in &results {
+        assert_eq!(r.cost_ms.to_bits(), eager_best_ms.to_bits());
+        assert_eq!(r.config, results[0].config);
+    }
+}
+
+/// Sessions with racing background workers resolve to the same
+/// bit-identical results as the zero-worker run (hermetic runs make the
+/// outcome scheduling-independent).
+#[test]
+fn session_results_are_identical_with_and_without_workers() {
+    let run = |workers: usize| {
+        let service =
+            TuningService::new(ShardedStore::new(), ServiceConfig { workers, ..config(false) });
+        // Register first so background workers race the session's own
+        // claims on the same workloads.
+        service.register_network(&shapes(), &device());
+        let results = service.submit(&requests(), &device()).wait();
+        results
+            .into_iter()
+            .map(|r| {
+                let r = r.unwrap();
+                (r.config, r.cost_ms.to_bits())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(0), run(2));
+}
+
+/// Infeasible workloads resolve to `None` per request without failing
+/// the rest of the batch — and are remembered.
+#[test]
+fn infeasible_members_resolve_to_none_and_are_remembered() {
+    let hopeless = DeviceSpec { smem_per_sm: 1, ..device() };
+    let service = TuningService::new(ShardedStore::new(), config(false));
+    let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let reqs = vec![TuneRequest { shape, kind: TileKind::Direct }; 2];
+    let results = service.submit(&reqs, &hopeless).wait();
+    assert!(results.iter().all(Option::is_none));
+    assert_eq!(service.stats().infeasible, 1, "one unique workload failed once");
+    // A second session resolves instantly from the infeasible memory.
+    let measured = service.stats().fresh_measurements;
+    let again = service.submit(&reqs, &hopeless).wait();
+    assert!(again.iter().all(Option::is_none));
+    assert_eq!(service.stats().fresh_measurements, measured);
+}
