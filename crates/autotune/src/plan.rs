@@ -157,6 +157,59 @@ impl BatchRequest {
     pub fn workload(&self, device: &DeviceSpec) -> iolb_records::Workload {
         iolb_records::Workload::new(self.shape, self.kind, device.name, device.smem_per_sm)
     }
+
+    /// Canonical flat-JSON wire line for this request: the shape and
+    /// algorithm under the same field names the record codec uses, so
+    /// the socket protocol and the store files share one vocabulary.
+    pub fn to_wire_line(&self) -> String {
+        let s = &self.shape;
+        format!(
+            concat!(
+                "{{\"algo\":\"{}\",\"batch\":{},\"cin\":{},\"hin\":{},\"win\":{},",
+                "\"cout\":{},\"kh\":{},\"kw\":{},\"stride\":{},\"pad\":{}}}"
+            ),
+            iolb_records::record::algo_tag(self.kind),
+            s.batch,
+            s.cin,
+            s.hin,
+            s.win,
+            s.cout,
+            s.kh,
+            s.kw,
+            s.stride,
+            s.pad,
+        )
+    }
+
+    /// Parses a line written by [`to_wire_line`](Self::to_wire_line).
+    /// Rejects malformed JSON, missing fields, unknown algorithm tags
+    /// and invalid shapes (with a reason) — never panics on hostile
+    /// input.
+    pub fn from_wire_line(line: &str) -> Result<Self, String> {
+        let fields = iolb_records::jsonl::parse_flat_object(line)?;
+        let get = |key: &str| -> Result<&iolb_records::jsonl::Value, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        };
+        let kind = iolb_records::record::parse_algo_tag(get("algo")?.as_str("algo")?)?;
+        let dim = |key: &str| -> Result<usize, String> { get(key)?.as_usize(key) };
+        let shape = ConvShape {
+            batch: dim("batch")?,
+            cin: dim("cin")?,
+            hin: dim("hin")?,
+            win: dim("win")?,
+            cout: dim("cout")?,
+            kh: dim("kh")?,
+            kw: dim("kw")?,
+            stride: dim("stride")?,
+            pad: dim("pad")?,
+        };
+        shape.validate().map_err(|e| format!("invalid shape: {e}"))?;
+        Ok(Self { shape, kind })
+    }
 }
 
 /// Deduplicates a batch of requests by workload fingerprint: repeated
@@ -214,6 +267,28 @@ mod tests {
         assert_eq!(algo_candidates(&ConvShape::square(64, 28, 64, 3, 1, 1)).len(), 3);
         assert_eq!(algo_candidates(&ConvShape::square(64, 28, 64, 3, 2, 1)).len(), 1);
         assert_eq!(algo_candidates(&ConvShape::new(64, 17, 17, 64, 1, 7, 1, 3)).len(), 1);
+    }
+
+    #[test]
+    fn batch_requests_round_trip_over_the_wire_line() {
+        use iolb_core::shapes::WinogradTile;
+        for kind in [
+            TileKind::Direct,
+            TileKind::Winograd(WinogradTile::F2X3),
+            TileKind::Winograd(WinogradTile::F4X3),
+        ] {
+            let req = BatchRequest { shape: ConvShape::square(64, 28, 32, 3, 1, 1), kind };
+            let back = BatchRequest::from_wire_line(&req.to_wire_line()).unwrap();
+            assert_eq!(back, req);
+        }
+        for (line, why) in [
+            ("", "empty"),
+            ("{\"algo\":\"direct\"}", "missing shape fields"),
+            ("{\"algo\":\"im2col\",\"batch\":1,\"cin\":1,\"hin\":4,\"win\":4,\"cout\":1,\"kh\":1,\"kw\":1,\"stride\":1,\"pad\":0}", "unknown algo"),
+            ("{\"algo\":\"direct\",\"batch\":1,\"cin\":0,\"hin\":4,\"win\":4,\"cout\":1,\"kh\":1,\"kw\":1,\"stride\":1,\"pad\":0}", "invalid shape"),
+        ] {
+            assert!(BatchRequest::from_wire_line(line).is_err(), "{why}: accepted {line:?}");
+        }
     }
 
     #[test]

@@ -26,22 +26,24 @@
 use iolb_bench::{
     load_store_or_exit, run_tuner_with_store, save_store_or_exit, StoreMode, TunerKind,
 };
-use iolb_cnn::inference::time_network_with_service;
+use iolb_cnn::inference::{time_network_with_backend, time_network_with_service};
 use iolb_cnn::layers::{ConvLayer, Network};
+use iolb_cnn::{NetworkTime, ServiceEconomics};
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
 use iolb_gpusim::DeviceSpec;
 use iolb_records::RecordStore;
 use iolb_service::{
-    DirLock, EvictionPolicy, PerturbationKind, ServiceConfig, ServiceSnapshot, ShardedStore,
-    TuningService, LOCK_TIMEOUT,
+    Backend, Daemon, DaemonConfig, DirLock, EvictionPolicy, PerturbationKind, ServiceConfig,
+    ServiceSnapshot, ShardedStore, SocketBackend, TuningService, LOCK_TIMEOUT, SOCKET_FILE,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tune-cache <stats|top|check|compact|merge|gen|shard|evict|serve-stats|tune-net> [args]\n\
+        "usage: tune-cache <stats|top|check|compact|merge|gen|shard|evict|serve-stats|tune-net|serve|stop> [args]\n\
          \n\
          stats   <store>                    record/workload counts and cost ranges,\n\
          \u{20}                                  broken down per device (store may be a shard dir)\n\
@@ -61,14 +63,36 @@ fn usage() -> ExitCode {
          serve-stats <DIR>                  manifest, LRU, per-device shard summary and the\n\
          \u{20}                                  service stats sidecar (queue depth, budget,\n\
          \u{20}                                  speculation telemetry)\n\
-         tune-net <network|--layers SPEC> -o DIR [--budget N] [--seed N] [--workers N]\n\
-         \u{20}                                  batch-tune a whole network in one session and\n\
-         \u{20}                                  merge the records into DIR under its advisory\n\
-         \u{20}                                  lock (multi-process safe). <network> is a model\n\
-         \u{20}                                  name (alexnet, vgg-19, ...); SPEC is layers as\n\
-         \u{20}                                  cin,hin,win,cout,kh,kw,stride,pad;..."
+         tune-net <network|--layers SPEC> (-o DIR | --daemon SOCK)\n\
+         \u{20}                                  [--budget N] [--seed N] [--workers N]\n\
+         \u{20}                                  batch-tune a whole network in one session. With\n\
+         \u{20}                                  -o DIR, tune embedded and merge the records into\n\
+         \u{20}                                  DIR under its advisory lock (multi-process safe);\n\
+         \u{20}                                  with --daemon SOCK, send the session to a resident\n\
+         \u{20}                                  shard server (budget/seed/workers are then the\n\
+         \u{20}                                  daemon's). <network> is a model name (alexnet,\n\
+         \u{20}                                  vgg-19, ...); SPEC is layers as\n\
+         \u{20}                                  cin,hin,win,cout,kh,kw,stride,pad;...\n\
+         serve   <DIR> [--socket PATH] [--budget N] [--seed N] [--workers N]\n\
+         \u{20}                                  [--merge-interval-ms N] [--idle-timeout SECS]\n\
+         \u{20}                                  run a resident shard-server daemon: hold DIR's\n\
+         \u{20}                                  lock for the daemon's lifetime, serve sessions on\n\
+         \u{20}                                  PATH (default DIR/daemon.sock), batch persistence\n\
+         \u{20}                                  on the merge interval, drop idle connections\n\
+         stop    <SOCK>                     ask the daemon on SOCK to persist and exit\n\
+         \n\
+         every directory-locking command also takes --lock-timeout SECS\n\
+         (default 30): how long to wait for the advisory lock before\n\
+         failing with a typed timeout"
     );
     ExitCode::from(2)
+}
+
+/// The `--lock-timeout SECS` flag (default [`LOCK_TIMEOUT`]).
+fn lock_timeout_flag(args: &[String]) -> Duration {
+    flag_value(args, "--lock-timeout")
+        .map(|s| Duration::from_secs(s as u64))
+        .unwrap_or(LOCK_TIMEOUT)
 }
 
 fn main() -> ExitCode {
@@ -111,7 +135,7 @@ fn main() -> ExitCode {
                 eprintln!("shard requires -o OUT (a directory for split, a .jsonl for merge)");
                 return ExitCode::from(2);
             };
-            shard(Path::new(input), &out)
+            shard(Path::new(input), &out, lock_timeout_flag(rest))
         }
         ("evict", [input, rest @ ..]) => {
             let Some(max_records) = flag_value(rest, "--max-records") else {
@@ -119,14 +143,42 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             let top_k = flag_value(rest, "--top-k").unwrap_or(EvictionPolicy::default().top_k);
-            evict(Path::new(input), EvictionPolicy { max_records, top_k })
+            evict(Path::new(input), EvictionPolicy { max_records, top_k }, lock_timeout_flag(rest))
         }
         ("serve-stats", [dir]) => serve_stats(Path::new(dir)),
-        ("tune-net", [target, rest @ ..]) => {
-            let Some(out) = flag_path(rest, "-o") else {
-                eprintln!("tune-net requires -o DIR (the shard directory to merge into)");
-                return ExitCode::from(2);
+        ("serve", [dir, rest @ ..]) => {
+            let socket =
+                flag_path(rest, "--socket").unwrap_or_else(|| Path::new(dir).join(SOCKET_FILE));
+            let config = DaemonConfig {
+                service: ServiceConfig {
+                    budget_per_workload: flag_value(rest, "--budget").unwrap_or(16),
+                    seed: flag_value(rest, "--seed").unwrap_or(7) as u64,
+                    workers: flag_value(rest, "--workers")
+                        .unwrap_or(ServiceConfig::default().workers),
+                    speculate_neighbors: false, // serve exactly what clients ask
+                    lock_timeout: lock_timeout_flag(rest),
+                    ..ServiceConfig::default()
+                },
+                merge_interval: Duration::from_millis(
+                    flag_value(rest, "--merge-interval-ms").unwrap_or(1000) as u64,
+                ),
+                idle_timeout: Duration::from_secs(
+                    flag_value(rest, "--idle-timeout").unwrap_or(30) as u64
+                ),
             };
+            serve(Path::new(dir), &socket, config)
+        }
+        ("stop", [socket]) => stop(Path::new(socket)),
+        ("tune-net", [target, rest @ ..]) => {
+            let daemon = flag_path(rest, "--daemon");
+            let out = flag_path(rest, "-o");
+            if daemon.is_none() && out.is_none() {
+                eprintln!(
+                    "tune-net requires -o DIR (embedded; merge into the shard directory) \
+                     or --daemon SOCK (send the session to a resident daemon)"
+                );
+                return ExitCode::from(2);
+            }
             let layers = if target == "--layers" {
                 match rest.first().map(String::as_str).map(parse_layers) {
                     Some(Ok(layers)) => layers,
@@ -155,10 +207,20 @@ fn main() -> ExitCode {
                     }
                 }
             };
+            if let Some(socket) = daemon {
+                return tune_net_daemon(layers, &socket);
+            }
             let budget = flag_value(rest, "--budget").unwrap_or(16);
             let seed = flag_value(rest, "--seed").unwrap_or(7) as u64;
             let workers = flag_value(rest, "--workers").unwrap_or(0);
-            tune_net(layers, &out, budget, seed, workers)
+            tune_net(
+                layers,
+                &out.expect("checked above"),
+                budget,
+                seed,
+                workers,
+                lock_timeout_flag(rest),
+            )
         }
         _ => usage(),
     }
@@ -196,6 +258,39 @@ fn named_network_layers(name: &str) -> Option<Vec<ConvShape>> {
         .map(|n| n.layers.iter().map(|l| l.shape).collect())
 }
 
+/// Builds the throwaway network a `tune-net` layer spec describes.
+fn spec_network(layers: &[ConvShape]) -> Network {
+    Network {
+        name: "tune-net",
+        layers: layers
+            .iter()
+            .enumerate()
+            .map(|(i, &shape)| ConvLayer::new(format!("layer{i}"), shape))
+            .collect(),
+    }
+}
+
+/// The session summary both `tune-net` modes print (CI greps this line
+/// for "0 fresh measurement(s)" on replay, so embedded and daemon mode
+/// must emit the identical shape).
+fn print_session_summary(net: &Network, timed: &NetworkTime, eco: &ServiceEconomics) {
+    println!(
+        "tuned {} layer(s) in one session: {:.6} ms total ({} deduped, {} hit(s), {} stolen, \
+         {} tuned inline, {} fresh measurement(s), {} cache hit(s))",
+        net.layers.len(),
+        timed.ours_ms,
+        eco.deduped,
+        eco.shard_hits,
+        eco.stolen,
+        eco.inline_tuned,
+        eco.fresh_measurements,
+        eco.cache_hits
+    );
+    for layer in &timed.layers {
+        println!("  {:>10.6} ms  {:<14} {}", layer.ours_ms, layer.algorithm, layer.name);
+    }
+}
+
 /// Batch-tunes a whole network through one tuning session and merges
 /// the records into the shard directory under its advisory lock — the
 /// CLI face of the multi-process protocol: any number of `tune-net`
@@ -207,12 +302,14 @@ fn tune_net(
     budget: usize,
     seed: u64,
     workers: usize,
+    lock_timeout: Duration,
 ) -> ExitCode {
     let device = DeviceSpec::v100();
     let config = ServiceConfig {
         budget_per_workload: budget,
         workers,
         speculate_neighbors: false, // tune exactly what was asked
+        lock_timeout,
         seed,
         ..ServiceConfig::default()
     };
@@ -229,30 +326,9 @@ fn tune_net(
     for w in &report.warnings {
         eprintln!("warning: {w}");
     }
-    let net = Network {
-        name: "tune-net",
-        layers: layers
-            .iter()
-            .enumerate()
-            .map(|(i, &shape)| ConvLayer::new(format!("layer{i}"), shape))
-            .collect(),
-    };
+    let net = spec_network(&layers);
     let (timed, eco) = time_network_with_service(&net, &device, &service);
-    println!(
-        "tuned {} layer(s) in one session: {:.6} ms total ({} deduped, {} hit(s), {} stolen, \
-         {} tuned inline, {} fresh measurement(s), {} cache hit(s))",
-        net.layers.len(),
-        timed.ours_ms,
-        eco.deduped,
-        eco.shard_hits,
-        eco.stolen,
-        eco.inline_tuned,
-        eco.fresh_measurements,
-        eco.cache_hits
-    );
-    for layer in &timed.layers {
-        println!("  {:>10.6} ms  {:<14} {}", layer.ours_ms, layer.algorithm, layer.name);
-    }
+    print_session_summary(&net, &timed, &eco);
     match service.sync_dir(dir) {
         Ok(merge) => {
             println!(
@@ -265,6 +341,101 @@ fn tune_net(
         }
         Err(e) => {
             eprintln!("error: cannot merge into {}: {e}", dir.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `tune-net --daemon`: the same session, served by a resident shard
+/// server over its Unix socket. Budget, seed and workers are the
+/// daemon's (server-side state — that is what makes every client's
+/// results bit-identical); the client only names workloads.
+fn tune_net_daemon(layers: Vec<ConvShape>, socket: &Path) -> ExitCode {
+    let device = DeviceSpec::v100();
+    let backend = match SocketBackend::connect(socket) {
+        Ok(backend) => backend,
+        Err(e) => {
+            eprintln!(
+                "error: cannot connect to daemon socket {} (is `tune-cache serve` running?): {e}",
+                socket.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let net = spec_network(&layers);
+    let (timed, eco) = match time_network_with_backend(&net, &device, &backend) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("error: daemon session failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_session_summary(&net, &timed, &eco);
+    match backend.sync() {
+        Ok(sync) => {
+            println!("daemon persisted: {} record(s) total", sync.total);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: daemon sync failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `serve`: run the resident shard-server daemon in the foreground
+/// until a client sends shutdown (`tune-cache stop SOCK`).
+fn serve(dir: &Path, socket: &Path, config: DaemonConfig) -> ExitCode {
+    let (daemon, report) = match Daemon::bind(dir, socket, config) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("error: cannot start daemon over {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+    println!(
+        "serving {} on {} ({} record(s) loaded; budget {}, seed {}, workers {}, \
+         merge interval {} ms); stop with `tune-cache stop {}`",
+        dir.display(),
+        socket.display(),
+        report.loaded,
+        config.service.budget_per_workload,
+        config.service.seed,
+        config.service.workers,
+        config.merge_interval.as_millis(),
+        socket.display()
+    );
+    match daemon.run() {
+        Ok(()) => {
+            println!("daemon shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: daemon failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `stop`: ask the daemon to persist and exit.
+fn stop(socket: &Path) -> ExitCode {
+    let backend = match SocketBackend::connect(socket) {
+        Ok(backend) => backend,
+        Err(e) => {
+            eprintln!("error: cannot connect to daemon socket {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match backend.shutdown() {
+        Ok(()) => {
+            println!("daemon at {} is shutting down", socket.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: shutdown request failed: {e}");
             ExitCode::FAILURE
         }
     }
@@ -379,7 +550,7 @@ fn stats(path: &Path) -> ExitCode {
 
 /// Splits a flat store into a device-sharded directory, or merges a
 /// shard directory back into one flat store, depending on the input.
-fn shard(input: &Path, out: &Path) -> ExitCode {
+fn shard(input: &Path, out: &Path, lock_timeout: Duration) -> ExitCode {
     if input.is_dir() {
         let sharded = load_sharded_or_exit(input);
         let flat = sharded.merged();
@@ -396,7 +567,7 @@ fn shard(input: &Path, out: &Path) -> ExitCode {
     // The split writes (overwrites) a shard directory: take its writer
     // lock like every other directory writer, so a concurrent tune-net
     // merge can never interleave with (and lose records to) this save.
-    let lock = DirLock::acquire(out, LOCK_TIMEOUT);
+    let lock = DirLock::acquire(out, lock_timeout).map_err(std::io::Error::from);
     if let Err(e) = lock.and_then(|_lock| sharded.save(out)) {
         eprintln!("error: cannot write shard directory {}: {e}", out.display());
         return ExitCode::FAILURE;
@@ -423,9 +594,9 @@ fn shard(input: &Path, out: &Path) -> ExitCode {
 /// in place. Shard directories are rewritten under their advisory
 /// [`DirLock`], so an eviction can never interleave with (and lose) a
 /// concurrent writer's records.
-fn evict(input: &Path, policy: EvictionPolicy) -> ExitCode {
+fn evict(input: &Path, policy: EvictionPolicy, lock_timeout: Duration) -> ExitCode {
     let _lock = if input.is_dir() {
-        match DirLock::acquire(input, LOCK_TIMEOUT) {
+        match DirLock::acquire(input, lock_timeout) {
             Ok(lock) => Some(lock),
             Err(e) => {
                 eprintln!("error: cannot lock {}: {e}", input.display());

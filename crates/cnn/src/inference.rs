@@ -22,7 +22,9 @@ use iolb_dataflow::baselines;
 use iolb_dataflow::{direct_kernel, winograd_kernel};
 use iolb_gpusim::{simulate, simulate_sequence, DeviceSpec};
 use iolb_records::RecordStore;
-use iolb_service::{ServeSource, TuneRequest, TuningService};
+use iolb_service::{
+    Backend, BackendError, BackendSession, ServeSource, TuneRequest, TuningService,
+};
 
 /// Planning effort for our schedules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,6 +240,23 @@ pub fn time_network_with_service(
     device: &DeviceSpec,
     service: &TuningService,
 ) -> (NetworkTime, ServiceEconomics) {
+    time_network_with_backend(net, device, service)
+        .expect("the in-process tuning service is infallible")
+}
+
+/// Times a whole network through any tuning [`Backend`] — the
+/// transport-abstracted generalization of [`time_network_with_service`]:
+/// pass the in-process [`TuningService`] and this is the embedded path,
+/// pass an [`iolb_service::SocketBackend`] and the same session runs
+/// against a resident shard-server daemon over its Unix socket (with
+/// bit-identical results: the daemon runs the identical hermetic tuning;
+/// pinned by `tests/daemon.rs`). Errors can only come from a remote
+/// backend's transport or daemon.
+pub fn time_network_with_backend<B: Backend>(
+    net: &Network,
+    device: &DeviceSpec,
+    backend: &B,
+) -> Result<(NetworkTime, ServiceEconomics), BackendError> {
     // One request per layer x algorithm candidate, all in one session.
     let mut requests: Vec<TuneRequest> = Vec::new();
     let mut spans: Vec<(usize, Vec<&'static str>)> = Vec::with_capacity(net.layers.len());
@@ -250,9 +269,9 @@ pub fn time_network_with_service(
         }
         spans.push((start, labels));
     }
-    let handle = service.submit(&requests, device);
+    let handle = backend.submit_batch(&requests, device)?;
     let deduped = requests.len() - handle.unique_workloads();
-    let results = handle.wait();
+    let results = handle.wait()?;
 
     let mut economics = ServiceEconomics { deduped, ..ServiceEconomics::default() };
     let mut per_layer = spans.iter().map(|(start, labels)| {
@@ -268,7 +287,7 @@ pub fn time_network_with_service(
     });
     let time = time_network_impl(net, device, |_| per_layer.next().expect("one span per layer"));
     drop(per_layer);
-    (time, economics)
+    Ok((time, economics))
 }
 
 /// The shared per-layer timing loop behind [`time_network`] and

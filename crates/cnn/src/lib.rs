@@ -5,8 +5,13 @@
 //! ([`models`]), and the per-layer algorithm selection + timing pipeline
 //! behind the paper's Fig. 12 end-to-end comparison ([`inference`]) —
 //! analytic fast mode, full per-layer tuning, store-backed tuning
-//! ([`inference::time_network_with_store`]), and service-backed serving
-//! ([`inference::time_network_with_service`]).
+//! ([`inference::time_network_with_store`]), and backend-served tuning
+//! ([`inference::time_network_with_backend`] over any
+//! `iolb_service::Backend` — the embedded [`TuningService`] wrapper is
+//! [`inference::time_network_with_service`]; a `SocketBackend` runs the
+//! same session against a resident shard-server daemon).
+//!
+//! [`TuningService`]: iolb_service::TuningService
 //!
 //! ```
 //! use iolb_cnn::models;
@@ -23,7 +28,7 @@ pub mod layers;
 pub mod models;
 
 pub use inference::{
-    time_network, time_network_with_service, time_network_with_store, LayerTime, NetworkTime,
-    PlanMode, ServiceEconomics, TuneEconomics,
+    time_network, time_network_with_backend, time_network_with_service, time_network_with_store,
+    LayerTime, NetworkTime, PlanMode, ServiceEconomics, TuneEconomics,
 };
 pub use layers::{ConvLayer, Network};

@@ -11,6 +11,11 @@
 //! single flat object per line, no trailing garbage. Anything else is an
 //! `Err` with a reason — the store layer turns that into a
 //! skip-and-report instead of a failed load.
+//!
+//! [`parse_flat_object`], [`Value`] and [`escape`] are public: the
+//! tuning service's wire protocol (`iolb_service::wire`) builds its
+//! framed messages out of the same flat-object lines, so the two
+//! formats share one parser and cannot drift apart.
 
 use crate::record::{algo_tag, parse_algo_tag, TuningRecord, Workload, SCHEMA_VERSION};
 use iolb_core::shapes::ConvShape;
@@ -117,21 +122,25 @@ pub fn decode(line: &str) -> Result<TuningRecord, String> {
 /// A parsed flat-JSON value. Numbers keep their raw token so integer
 /// fields can be parsed exactly (a `u64` seed above 2^53 would lose bits
 /// through an `f64` detour).
+///
+/// Public because the wire codec in `iolb-service` reuses this crate's
+/// flat-object conventions for its framed messages — one JSON dialect
+/// across the store files and the socket protocol.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub enum Value {
     Num(String),
     Str(String),
 }
 
 impl Value {
-    fn as_str(&self, key: &str) -> Result<&str, String> {
+    pub fn as_str(&self, key: &str) -> Result<&str, String> {
         match self {
             Value::Str(s) => Ok(s),
             Value::Num(_) => Err(format!("field {key:?} must be a string")),
         }
     }
 
-    fn as_f64(&self, key: &str) -> Result<f64, String> {
+    pub fn as_f64(&self, key: &str) -> Result<f64, String> {
         match self {
             Value::Num(raw) => {
                 raw.parse::<f64>().map_err(|_| format!("field {key:?}: bad number {raw:?}"))
@@ -140,7 +149,7 @@ impl Value {
         }
     }
 
-    fn as_u64(&self, key: &str) -> Result<u64, String> {
+    pub fn as_u64(&self, key: &str) -> Result<u64, String> {
         match self {
             Value::Num(raw) => {
                 raw.parse::<u64>().map_err(|_| format!("field {key:?}: bad integer {raw:?}"))
@@ -149,14 +158,14 @@ impl Value {
         }
     }
 
-    fn as_usize(&self, key: &str) -> Result<usize, String> {
+    pub fn as_usize(&self, key: &str) -> Result<usize, String> {
         usize::try_from(self.as_u64(key)?).map_err(|_| format!("field {key:?} out of range"))
     }
 }
 
 /// Parses a single flat JSON object (`{"k": v, ...}`; values are numbers
 /// or strings). Duplicate keys are rejected: they signal corruption.
-fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
     let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
     p.skip_ws();
     p.expect(b'{')?;
@@ -276,7 +285,7 @@ impl Parser<'_> {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn escape(s: &str) -> String {
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {

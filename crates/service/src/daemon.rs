@@ -1,0 +1,604 @@
+//! The resident shard-server daemon and its socket client.
+//!
+//! PR 4 let N `tune-net` processes share one shard directory, but every
+//! sync still rendezvoused on the directory `flock` and re-loaded /
+//! re-merged the JSONL from disk. A [`Daemon`] removes that rendezvous:
+//! it takes the directory's advisory [`DirLock`] **once, for its whole
+//! lifetime**, owns the [`ShardedStore`](crate::shard::ShardedStore)
+//! in memory, serves tuning
+//! sessions over a Unix domain socket, and batches persistence on a
+//! merge interval instead of per request.
+//!
+//! * **Single-flock ownership** — while the daemon runs, no other writer
+//!   can touch the directory (they time out with the typed
+//!   [`LockError`](crate::shard::LockError)); lock-free readers keep
+//!   working as always (every persist is atomic temp + rename). Because
+//!   the daemon holds the flock, its own persists skip re-acquisition
+//!   and re-merging entirely — an overwrite save of the authoritative
+//!   in-memory state.
+//! * **Cross-client dedup for free** — every client `Submit` becomes a
+//!   [`TuningService`] session inside one process, so two clients
+//!   requesting the same workload hit the existing
+//!   fingerprint/in-flight machinery: exactly one tuning run, fanned
+//!   out to every waiter (pinned cross-process by
+//!   `crates/bench/tests/daemon.rs`).
+//! * **Concurrent clients on the pool** — each accepted connection is
+//!   handled by a `rayon::spawn` task on the shim's persistent pool.
+//!   A blocked `Wait` *helps tune its own session's jobs* on that very
+//!   thread (the session contract), so progress never depends on free
+//!   pool workers; on a zero-worker (single-core) pool, connections are
+//!   handled inline on the accept thread, serialized but correct.
+//! * **Results are bit-identical** — the daemon runs the same hermetic
+//!   per-workload tuning as the embedded path; `tests/daemon.rs` pins
+//!   daemon-served configs against eager `tune_with_store`.
+//!
+//! [`SocketBackend`] is the client half: it implements [`Backend`], so
+//! everything written against the trait
+//! (`iolb_cnn::time_network_with_backend`, `tune-net`) runs embedded or
+//! client/server without changing a line.
+
+use crate::service::{ServiceSnapshot, TuningService};
+use crate::session::{Backend, BackendError, BackendSession, SyncOutcome, TuneRequest};
+use crate::shard::{DirLock, ShardLoadReport};
+use crate::wire::{self, Request, Response, WireError};
+use iolb_gpusim::DeviceSpec;
+use std::collections::BTreeMap;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Conventional socket file name inside a shard directory
+/// (`tune-cache serve DIR` listens on `DIR/daemon.sock` by default).
+pub const SOCKET_FILE: &str = "daemon.sock";
+
+/// Daemon knobs on top of the service's own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// The tuning service the daemon embeds (budget, seed, workers,
+    /// lock timeout for the startup lock, ...). Clients inherit these:
+    /// budget and seed are server-side state so every client's results
+    /// replay bit-identically.
+    pub service: crate::service::ServiceConfig,
+    /// How often the persister flushes dirty in-memory state to the
+    /// shard directory. Between flushes, requests are served purely from
+    /// memory — this is the "batch merges instead of per-request
+    /// rendezvous" the daemon exists for. A client `Sync` forces an
+    /// immediate flush; shutdown always flushes.
+    pub merge_interval: Duration,
+    /// How long a connection may sit idle (no request in flight) before
+    /// the daemon drops it. Connection handlers run on the shared rayon
+    /// pool, so a parked connection occupies a pool worker; without this
+    /// bound, a handful of idle (or hostile) clients could pin every
+    /// worker and starve new connections — including `tune-cache stop`.
+    /// Clients are short-lived CLI sessions; reconnecting is cheap.
+    pub idle_timeout: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            service: crate::service::ServiceConfig::default(),
+            merge_interval: Duration::from_secs(1),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// State shared between the accept loop, connection handlers and the
+/// persister thread.
+struct Shared {
+    shutdown: AtomicBool,
+    /// Live client connections; shutdown drains to zero before the
+    /// final persist.
+    active: AtomicUsize,
+    gate: Mutex<()>,
+    /// Signalled on connection-count changes and persister wake-ups.
+    changed: Condvar,
+    /// Serializes persists. The atomic-save protocol qualifies its temp
+    /// files by *pid* (enough for the cross-process protocol, where
+    /// each process saves from one thread) — but the daemon persists
+    /// from several threads of one process (the interval persister and
+    /// any client `Sync` handler), which would share a temp path and
+    /// rename each other's half-written files into place.
+    persist_gate: Mutex<()>,
+}
+
+impl Shared {
+    fn request_shutdown(&self, socket_path: &Path) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.gate.lock().expect("daemon gate poisoned");
+            self.changed.notify_all();
+        }
+        // Wake the accept loop: it re-checks the flag per connection.
+        let _ = UnixStream::connect(socket_path);
+    }
+}
+
+/// A resident shard-server: owns a shard directory (one flock for its
+/// lifetime) and serves tuning sessions over a Unix domain socket.
+pub struct Daemon {
+    service: TuningService,
+    config: DaemonConfig,
+    dir: PathBuf,
+    socket_path: PathBuf,
+    listener: UnixListener,
+    shared: Arc<Shared>,
+    /// Held from bind to drop: the directory belongs to this process.
+    _lock: DirLock,
+}
+
+impl Daemon {
+    /// Claims the shard directory (advisory lock, held until the daemon
+    /// exits), loads its records and persisted telemetry (the same
+    /// restore path as [`TuningService::open`], under our lock), and
+    /// binds the socket. A pre-existing socket file is removed only
+    /// when nothing answers on it (a stale leftover from a crashed
+    /// daemon); a *live* listener — e.g. another daemon given the same
+    /// `--socket` path over a different directory, which our flock says
+    /// nothing about — fails the bind with `AddrInUse` instead of being
+    /// silently unplugged.
+    pub fn bind(
+        dir: impl AsRef<Path>,
+        socket_path: impl AsRef<Path>,
+        config: DaemonConfig,
+    ) -> std::io::Result<(Self, ShardLoadReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        let socket_path = socket_path.as_ref().to_path_buf();
+        let lock = DirLock::acquire(&dir, config.service.lock_timeout)?;
+        let (service, report) = TuningService::open(&dir, config.service)?;
+        if socket_path.exists() {
+            if UnixStream::connect(&socket_path).is_ok() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("a live daemon already listens on {}", socket_path.display()),
+                ));
+            }
+            std::fs::remove_file(&socket_path)?;
+        }
+        let listener = UnixListener::bind(&socket_path)?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            changed: Condvar::new(),
+            persist_gate: Mutex::new(()),
+        });
+        Ok((Self { service, config, dir, socket_path, listener, shared, _lock: lock }, report))
+    }
+
+    /// The embedded tuning service (tests and in-process callers).
+    pub fn service(&self) -> &TuningService {
+        &self.service
+    }
+
+    /// The socket clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// The shard directory this daemon owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Serves until a client sends `Shutdown`: accepts connections,
+    /// hands each to a pool task, and keeps the persister flushing on
+    /// the merge interval. On shutdown it drains live connections, does
+    /// a final persist, and removes the socket file.
+    pub fn run(self) -> std::io::Result<()> {
+        let persister = {
+            let service = self.service.clone();
+            let dir = self.dir.clone();
+            let shared = Arc::clone(&self.shared);
+            let interval = self.config.merge_interval;
+            std::thread::Builder::new().name("iolb-daemon-persist".into()).spawn(move || {
+                let mut last: Option<ServiceSnapshot> = None;
+                loop {
+                    {
+                        let guard = shared.gate.lock().expect("daemon gate poisoned");
+                        let _ = shared
+                            .changed
+                            .wait_timeout(guard, interval)
+                            .expect("daemon gate poisoned");
+                    }
+                    let stop = shared.shutdown.load(Ordering::SeqCst);
+                    if stop {
+                        // Final flush happens after connections drain,
+                        // below in run(); stop ticking.
+                        break;
+                    }
+                    let snapshot = service.snapshot();
+                    if last != Some(snapshot) {
+                        let (_, persisted) = persist(&service, &dir, &shared);
+                        if persisted {
+                            last = Some(snapshot);
+                        }
+                        // A failed flush leaves `last` stale, so the next
+                        // tick retries instead of believing it succeeded.
+                    }
+                }
+            })?
+        };
+
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                // A persistent accept failure (fd exhaustion) must not
+                // busy-spin a core; back off briefly and retry.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            };
+            self.shared.active.fetch_add(1, Ordering::SeqCst);
+            let service = self.service.clone();
+            let dir = self.dir.clone();
+            let shared = Arc::clone(&self.shared);
+            let socket_path = self.socket_path.clone();
+            let idle_timeout = self.config.idle_timeout;
+            rayon::spawn(move || {
+                // Decrement even if the handler panics (a panicking tuner
+                // is caught by the pool; shutdown must still drain).
+                struct Departure(Arc<Shared>);
+                impl Drop for Departure {
+                    fn drop(&mut self) {
+                        self.0.active.fetch_sub(1, Ordering::SeqCst);
+                        let _g = self.0.gate.lock().expect("daemon gate poisoned");
+                        self.0.changed.notify_all();
+                    }
+                }
+                let _departure = Departure(shared.clone());
+                handle_connection(&service, stream, &dir, &shared, &socket_path, idle_timeout);
+            });
+        }
+
+        // Shutdown: let in-flight clients finish, then flush once.
+        {
+            let mut guard = self.shared.gate.lock().expect("daemon gate poisoned");
+            while self.shared.active.load(Ordering::SeqCst) > 0 {
+                guard = self.shared.changed.wait(guard).expect("daemon gate poisoned");
+            }
+        }
+        persister.join().expect("daemon persister panicked");
+        let (_, persisted) = persist(&self.service, &self.dir, &self.shared);
+        let _ = std::fs::remove_file(&self.socket_path);
+        if persisted {
+            Ok(())
+        } else {
+            // Exiting 0 here would tell orchestrators the shutdown was
+            // clean while the last merge-interval's records were lost.
+            Err(std::io::Error::other(format!(
+                "final flush to {} failed; records tuned since the last successful persist were                  not saved",
+                self.dir.display()
+            )))
+        }
+    }
+}
+
+/// Overwrite-saves the service's authoritative state into the daemon's
+/// directory. No [`DirLock`] here — the daemon already holds the
+/// directory's flock for its lifetime (re-acquiring on the same file
+/// would deadlock against ourselves, and nobody else may write). Errors
+/// are reported, not fatal to *serving* — but the returned flag is
+/// honest, so a client `Sync` answers `persisted: false` and the
+/// interval persister retries rather than believing the flush landed.
+/// Returns `(total records, persisted ok)`.
+fn persist(service: &TuningService, dir: &Path, shared: &Shared) -> (usize, bool) {
+    // One persist at a time: see `Shared::persist_gate`.
+    let _serialized = shared.persist_gate.lock().expect("daemon persist gate poisoned");
+    let (shards, snapshot) = {
+        let st = service.lock();
+        (
+            st.shards.clone(),
+            ServiceSnapshot {
+                stats: st.stats,
+                queue_len: st.queue.len(),
+                budget_left: st.budget_left,
+            },
+        )
+    };
+    let total = shards.len();
+    let persisted = match shards.save(dir).and_then(|()| snapshot.save(dir)) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("iolb-daemon: cannot persist {}: {e}", dir.display());
+            false
+        }
+    };
+    (total, persisted)
+}
+
+/// How often an idle connection handler wakes to check the shutdown
+/// flag and its idle budget.
+const IDLE_TICK: Duration = Duration::from_millis(250);
+
+/// Upper bound on reading one frame once its first byte has arrived —
+/// generous for local sockets, but finite, so a peer that trickles a
+/// frame byte-by-byte cannot pin a pool worker forever.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A reader that enforces an *overall* deadline across however many
+/// `read` calls a frame takes. The socket's own `SO_RCVTIMEO` stays at
+/// [`IDLE_TICK`], so each blocked read wakes often enough to re-check
+/// the deadline and the daemon's shutdown flag — without this, a peer
+/// trickling bytes would reset the per-read timeout indefinitely.
+struct DeadlineReader<'a> {
+    stream: &'a mut UnixStream,
+    deadline: std::time::Instant,
+    shared: &'a Shared,
+}
+
+impl std::io::Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "daemon is shutting down",
+                ));
+            }
+            if std::time::Instant::now() >= self.deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "frame deadline exceeded",
+                ));
+            }
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Serves one client connection: a sequence of framed requests until
+/// EOF, a transport error, the idle timeout, or `Shutdown`. Sessions
+/// are per-connection; an abandoned connection's queued jobs stay in
+/// the service queue at batch priority (the documented drop semantics
+/// of `SessionHandle`).
+///
+/// Handlers run on the shared rayon pool, so a connection must never
+/// occupy a worker indefinitely while doing nothing: between requests
+/// the handler reads the next frame's 4-byte length prefix *resumably*
+/// under a short read timeout (partial prefix bytes are kept across
+/// ticks, so a timeout never desynchronizes the frame stream), evicting
+/// the connection after [`DaemonConfig::idle_timeout`] and noticing a
+/// requested shutdown within one tick.
+fn handle_connection(
+    service: &TuningService,
+    mut stream: UnixStream,
+    dir: &Path,
+    shared: &Shared,
+    socket_path: &Path,
+    idle_timeout: Duration,
+) {
+    use std::io::Read;
+    let mut sessions = BTreeMap::new();
+    let mut next_session = 0u64;
+    let mut idle = Duration::ZERO;
+    if stream.set_read_timeout(Some(IDLE_TICK)).is_err() {
+        return;
+    }
+    'connection: loop {
+        // Resumable prefix read: idle ticks between frames, a bounded
+        // patience window once a frame has started arriving.
+        let mut len_buf = [0u8; 4];
+        let mut filled = 0usize;
+        let mut frame_deadline: Option<std::time::Instant> = None;
+        let len = loop {
+            match stream.read(&mut len_buf[filled..]) {
+                // EOF: clean between frames, truncated inside a prefix —
+                // either way the connection is over.
+                Ok(0) => break 'connection,
+                Ok(n) => {
+                    filled += n;
+                    idle = Duration::ZERO;
+                    frame_deadline.get_or_insert_with(|| std::time::Instant::now() + FRAME_TIMEOUT);
+                    if filled == len_buf.len() {
+                        break u32::from_be_bytes(len_buf) as usize;
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break 'connection;
+                    }
+                    match frame_deadline {
+                        Some(deadline) if std::time::Instant::now() >= deadline => {
+                            break 'connection
+                        }
+                        Some(_) => {}
+                        None => {
+                            idle += IDLE_TICK;
+                            if idle >= idle_timeout {
+                                break 'connection;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break 'connection,
+            }
+        };
+        // The payload is owed now. The socket timeout alone cannot
+        // bound it — SO_RCVTIMEO is per read() call, so a peer
+        // trickling one byte per tick would reset it forever; the
+        // DeadlineReader enforces the frame deadline (and notices
+        // shutdown) across the whole payload.
+        let deadline = frame_deadline.unwrap_or_else(|| std::time::Instant::now() + FRAME_TIMEOUT);
+        let request = {
+            let mut reader = DeadlineReader { stream: &mut stream, deadline, shared };
+            wire::read_payload(&mut reader, len).and_then(wire::decode_request_payload)
+        };
+        let request = match request {
+            Ok(request) => request,
+            Err(e) => {
+                // A malformed client must not take the daemon down; tell
+                // it what was wrong if the pipe still works, then drop it.
+                let _ =
+                    wire::write_response(&mut stream, &Response::Error { message: e.to_string() });
+                break;
+            }
+        };
+        let response = match request {
+            Request::Submit { device, requests } => {
+                let handle = service.submit(&requests, &device);
+                let session = next_session;
+                next_session += 1;
+                let unique = handle.unique_workloads();
+                sessions.insert(session, handle);
+                Response::Submitted { session, unique }
+            }
+            Request::Wait { session } => match sessions.remove(&session) {
+                // wait() helps tune this session's jobs on this thread.
+                Some(handle) => Response::Results { results: handle.wait() },
+                None => Response::Error { message: format!("unknown session {session}") },
+            },
+            Request::Sync => {
+                let (total, persisted) = persist(service, dir, shared);
+                Response::Synced { persisted, total }
+            }
+            Request::Stats => Response::Stats { snapshot: Box::new(service.snapshot()) },
+            Request::Shutdown => {
+                let _ = wire::write_response(&mut stream, &Response::Bye);
+                shared.request_shutdown(socket_path);
+                break;
+            }
+        };
+        if wire::write_response(&mut stream, &response).is_err() {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- client
+
+impl From<WireError> for BackendError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => BackendError::Transport(io),
+            other => BackendError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// The daemon client: a [`Backend`] over one Unix-socket connection.
+/// Cheap to clone (clones share the connection); requests are
+/// serialized request/response pairs, so a blocked [`wait`] occupies
+/// the connection — use one `SocketBackend` per concurrent session.
+///
+/// [`wait`]: BackendSession::wait
+#[derive(Clone)]
+pub struct SocketBackend {
+    stream: Arc<Mutex<UnixStream>>,
+}
+
+impl SocketBackend {
+    /// Connects to a daemon's socket.
+    pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self { stream: Arc::new(Mutex::new(UnixStream::connect(path)?)) })
+    }
+
+    /// One request/response exchange. Daemon-reported errors surface as
+    /// [`BackendError::Remote`].
+    fn call(&self, request: &Request) -> Result<Response, BackendError> {
+        let mut stream = self.stream.lock().expect("socket backend poisoned");
+        wire::write_request(&mut *stream, request)?;
+        match wire::read_response(&mut *stream)? {
+            Response::Error { message } => Err(BackendError::Remote(message)),
+            response => Ok(response),
+        }
+    }
+
+    /// Asks the daemon to persist and exit. The daemon finishes serving
+    /// live connections, flushes once more, and removes its socket.
+    pub fn shutdown(&self) -> Result<(), BackendError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(BackendError::Protocol(format!("expected Bye, got {other:?}"))),
+        }
+    }
+}
+
+/// A batch submitted over the socket; the daemon holds the real
+/// [`SessionHandle`](crate::session::SessionHandle) server-side.
+pub struct SocketSession {
+    backend: SocketBackend,
+    session: u64,
+    requests: usize,
+    unique: usize,
+}
+
+impl BackendSession for SocketSession {
+    fn request_count(&self) -> usize {
+        self.requests
+    }
+
+    fn unique_workloads(&self) -> usize {
+        self.unique
+    }
+
+    fn wait(self) -> Result<Vec<Option<crate::service::ServeResult>>, BackendError> {
+        match self.backend.call(&Request::Wait { session: self.session })? {
+            Response::Results { results } => {
+                if results.len() != self.requests {
+                    return Err(BackendError::Protocol(format!(
+                        "daemon returned {} result(s) for {} request(s)",
+                        results.len(),
+                        self.requests
+                    )));
+                }
+                Ok(results)
+            }
+            other => Err(BackendError::Protocol(format!("expected Results, got {other:?}"))),
+        }
+    }
+}
+
+impl Backend for SocketBackend {
+    type Session = SocketSession;
+
+    fn submit_batch(
+        &self,
+        requests: &[TuneRequest],
+        device: &DeviceSpec,
+    ) -> Result<SocketSession, BackendError> {
+        let request = Request::Submit { device: device.clone(), requests: requests.to_vec() };
+        match self.call(&request)? {
+            Response::Submitted { session, unique } => Ok(SocketSession {
+                backend: self.clone(),
+                session,
+                requests: requests.len(),
+                unique,
+            }),
+            other => Err(BackendError::Protocol(format!("expected Submitted, got {other:?}"))),
+        }
+    }
+
+    fn sync(&self) -> Result<SyncOutcome, BackendError> {
+        match self.call(&Request::Sync)? {
+            Response::Synced { persisted, total } => Ok(SyncOutcome { persisted, total }),
+            other => Err(BackendError::Protocol(format!("expected Synced, got {other:?}"))),
+        }
+    }
+
+    fn stats(&self) -> Result<ServiceSnapshot, BackendError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { snapshot } => Ok(*snapshot),
+            other => Err(BackendError::Protocol(format!("expected Stats, got {other:?}"))),
+        }
+    }
+}

@@ -25,7 +25,22 @@
 //!   the rayon shim's persistent pool fill the shards in idle time
 //!   under a measurement budget, [`TuningService::tune_or_wait`] (the
 //!   one-element session) answers single requests, and per-kind
-//!   speculation telemetry retires perturbation kinds that never hit.
+//!   speculation telemetry rate-weights neighbor priority and retires
+//!   perturbation kinds that never hit (both survive restarts via the
+//!   stats sidecar).
+//! * [`wire`] — the daemon protocol: length-prefixed, versioned frames
+//!   of the record codec's flat-JSON lines; hostile input yields typed
+//!   errors, never panics.
+//! * [`daemon`] — the resident shard server: a [`Daemon`] owns a shard
+//!   directory (one advisory flock for its lifetime), serves
+//!   Submit/Wait/Sync/Stats/Shutdown over a Unix domain socket with
+//!   cross-client fingerprint dedup, and batches persistence on a merge
+//!   interval; [`SocketBackend`] is the client half.
+//!
+//! The request path is transport-abstracted through [`Backend`]
+//! (submit/wait/sync/stats): the in-process [`TuningService`] and the
+//! socket client implement the same trait, so callers run embedded or
+//! client/server without code changes.
 //!
 //! Per-workload tuning runs are *hermetic* (see the [`service`] module
 //! docs), so a drained service reproduces exactly what eager
@@ -58,11 +73,14 @@
 //! assert_eq!(out.fresh_measurements, 0);
 //! ```
 
+pub mod daemon;
 pub mod queue;
 pub mod service;
 pub mod session;
 pub mod shard;
+pub mod wire;
 
+pub use daemon::{Daemon, DaemonConfig, SocketBackend, SocketSession, SOCKET_FILE};
 pub use queue::{
     io_gap, shape_perturbations, Job, JobTier, PerturbationKind, PushOutcome, WorkQueue,
 };
@@ -70,8 +88,11 @@ pub use service::{
     register, KindStats, ServeResult, ServeSource, ServiceConfig, ServiceSnapshot, ServiceStats,
     TuningService, STATS_FILE,
 };
-pub use session::{SessionHandle, TuneRequest, TuningSession};
-pub use shard::{
-    device_key, shard_file_name, DirLock, DirMergeReport, EvictionPolicy, ShardLoadReport,
-    ShardedStore, LOCK_FILE, LOCK_TIMEOUT, MANIFEST_FILE,
+pub use session::{
+    Backend, BackendError, BackendSession, SessionHandle, SyncOutcome, TuneRequest, TuningSession,
 };
+pub use shard::{
+    device_key, shard_file_name, DirLock, DirMergeReport, EvictionPolicy, LockError,
+    ShardLoadReport, ShardedStore, LOCK_FILE, LOCK_TIMEOUT, MANIFEST_FILE,
+};
+pub use wire::{WireError, MAX_FRAME_BYTES, WIRE_VERSION};

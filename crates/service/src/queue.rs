@@ -17,9 +17,12 @@
 //! whose analytic dataflow I/O (the Eq. 20/22 cost model evaluated at
 //! the no-search [`fast_config`] schedule) sits far above its I/O lower
 //! bound has the most to gain from search, so its **I/O-bound gap**
-//! `Q_model / Q_lower` is its priority. Remaining ties break on the
-//! workload fingerprint, keeping the drain order — and therefore the
-//! budget cutoff — fully deterministic.
+//! `Q_model / Q_lower` is its priority. Neighbor jobs additionally scale
+//! that gap by their perturbation kind's learned hit rate
+//! (`TuningService::speculation_weight` in [`crate::service`]), so
+//! speculation budget concentrates on the axes clients actually request.
+//! Remaining ties break on the workload fingerprint, keeping the drain
+//! order — and therefore the budget cutoff — fully deterministic.
 //!
 //! A workload pending at a weaker tier is *promoted* when re-pushed at a
 //! stronger one (neighbor → registered when a speculated shape turns out

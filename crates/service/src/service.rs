@@ -40,10 +40,16 @@
 //! service counts per-kind enqueues, completed tunes and **hits** (a
 //! client actually requested a workload the kind predicted — either a
 //! tuned neighbor replayed from the shard, or a pending neighbor job
-//! promoted into a client batch). After
-//! [`ServiceConfig::speculation_probation`] completed sessions, kinds
-//! with enqueues but zero hits stop being enqueued: the service learns
-//! which perturbation axes its traffic actually explores.
+//! promoted into a client batch). The learning acts on two timescales:
+//! continuously, each kind's smoothed hit *rate*
+//! ([`TuningService::speculation_weight`]) scales the priority of its
+//! neighbor jobs in the queue (rate-weighted `Q_model / Q_lower` rank,
+//! deterministic fingerprint tie-breaks preserved); and terminally,
+//! after [`ServiceConfig::speculation_probation`] completed sessions,
+//! kinds with enqueues but zero hits stop being enqueued at all. The
+//! counters are persisted in the stats sidecar and restored by
+//! [`TuningService::open`], so both the rates and the retirement
+//! decisions survive a service (or daemon) restart.
 
 use crate::queue::{shape_perturbations, Job, JobTier, PerturbationKind, PushOutcome, WorkQueue};
 use crate::shard::{
@@ -60,6 +66,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Service-wide knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +96,11 @@ pub struct ServiceConfig {
     /// perturbation kind that was enqueued but never hit stops being
     /// enqueued. See the module docs on speculation telemetry.
     pub speculation_probation: usize,
+    /// How long directory writers ([`TuningService::save`],
+    /// [`TuningService::sync_dir`], the daemon's startup lock) wait for
+    /// the shard directory's advisory [`DirLock`] before failing with a
+    /// typed [`crate::shard::LockError::Timeout`].
+    pub lock_timeout: Duration,
     /// Tuner seed shared by every per-workload run.
     pub seed: u64,
 }
@@ -101,6 +113,7 @@ impl Default for ServiceConfig {
             workers: 2,
             speculate_neighbors: true,
             speculation_probation: 8,
+            lock_timeout: LOCK_TIMEOUT,
             seed: 7,
         }
     }
@@ -124,7 +137,7 @@ pub enum ServeSource {
 }
 
 /// Outcome of one served request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeResult {
     /// Best known configuration for the workload.
     pub config: ScheduleConfig,
@@ -199,6 +212,51 @@ impl ServiceStats {
     /// Telemetry of one perturbation kind.
     pub fn speculation_of(&self, kind: PerturbationKind) -> KindStats {
         self.speculation[kind.index()]
+    }
+
+    /// Applies `f` to every counter of `self`, paired with the same
+    /// counter of `other` — one field list shared by
+    /// [`saturating_delta`](Self::saturating_delta) and
+    /// [`saturating_add`](Self::saturating_add), so the two can never
+    /// drift when a counter is added.
+    fn zip_counters(&mut self, other: &ServiceStats, f: &impl Fn(&mut usize, usize)) {
+        f(&mut self.enqueued, other.enqueued);
+        f(&mut self.speculative_enqueued, other.speculative_enqueued);
+        f(&mut self.batch_enqueued, other.batch_enqueued);
+        f(&mut self.background_tuned, other.background_tuned);
+        f(&mut self.inline_tuned, other.inline_tuned);
+        f(&mut self.shard_hits, other.shard_hits);
+        f(&mut self.stolen, other.stolen);
+        f(&mut self.cancelled_speculative, other.cancelled_speculative);
+        f(&mut self.budget_dropped, other.budget_dropped);
+        f(&mut self.fresh_measurements, other.fresh_measurements);
+        f(&mut self.cache_hits, other.cache_hits);
+        f(&mut self.infeasible, other.infeasible);
+        f(&mut self.batch_groups, other.batch_groups);
+        f(&mut self.batch_requests, other.batch_requests);
+        f(&mut self.batch_deduped, other.batch_deduped);
+        f(&mut self.networks_served, other.networks_served);
+        for kind in PerturbationKind::ALL {
+            let at = kind.index();
+            f(&mut self.speculation[at].enqueued, other.speculation[at].enqueued);
+            f(&mut self.speculation[at].tuned, other.speculation[at].tuned);
+            f(&mut self.speculation[at].hits, other.speculation[at].hits);
+        }
+    }
+
+    /// Counter-wise `self - baseline` (saturating): what this process
+    /// contributed since `baseline` was captured. Used by
+    /// [`TuningService::sync_dir`] to merge telemetry additively across
+    /// processes instead of last-writer-wins.
+    pub fn saturating_delta(mut self, baseline: &ServiceStats) -> ServiceStats {
+        self.zip_counters(baseline, &|mine, theirs| *mine = mine.saturating_sub(theirs));
+        self
+    }
+
+    /// Counter-wise `self + other` (saturating).
+    pub fn saturating_add(mut self, other: &ServiceStats) -> ServiceStats {
+        self.zip_counters(other, &|mine, theirs| *mine = mine.saturating_add(theirs));
+        self
     }
 }
 
@@ -359,6 +417,10 @@ pub(crate) struct State {
     pub(crate) budget_left: usize,
     pub(crate) next_group: u64,
     pub(crate) stats: ServiceStats,
+    /// The counters as of the last [`TuningService::sync_dir`] (or the
+    /// values restored at open): `stats - last_synced` is what this
+    /// process still owes the shared sidecar.
+    pub(crate) last_synced: ServiceStats,
 }
 
 impl State {
@@ -421,6 +483,7 @@ impl TuningService {
                     budget_left,
                     next_group: 0,
                     stats: ServiceStats::default(),
+                    last_synced: ServiceStats::default(),
                 }),
                 changed: Condvar::new(),
                 config,
@@ -429,15 +492,35 @@ impl TuningService {
     }
 
     /// Opens (or initializes) a service over a shard directory. The
-    /// stats sidecar, if any, is *not* folded into the live counters —
-    /// a reopened service starts its own history; the sidecar exists for
-    /// offline inspection (`tune-cache serve-stats`).
+    /// stats sidecar, if any, is folded into the live counters, so
+    /// telemetry — speculation hit rates, probation retirement, the
+    /// served-network clock — survives a restart instead of resetting
+    /// every time a daemon or `tune-net` process reopens the directory.
+    /// Queue depth and remaining budget are *not* restored: pending work
+    /// died with the previous process and the budget is per-process by
+    /// design.
     pub fn open(
         dir: impl AsRef<Path>,
         config: ServiceConfig,
     ) -> std::io::Result<(Self, ShardLoadReport)> {
+        let dir = dir.as_ref();
         let (shards, report) = ShardedStore::load(dir)?;
-        Ok((Self::new(shards, config), report))
+        let service = Self::new(shards, config);
+        if let Some(snapshot) = ServiceSnapshot::load(dir)? {
+            service.adopt_stats(snapshot.stats);
+        }
+        Ok((service, report))
+    }
+
+    /// Replaces the live counters with previously persisted ones (the
+    /// restart-restore path of [`open`](Self::open) and the daemon).
+    /// The restored values also become the sync baseline: a later
+    /// [`sync_dir`](Self::sync_dir) contributes only what *this*
+    /// process added on top of them.
+    pub(crate) fn adopt_stats(&self, stats: ServiceStats) {
+        let mut st = self.lock();
+        st.stats = stats;
+        st.last_synced = stats;
     }
 
     pub fn config(&self) -> ServiceConfig {
@@ -500,31 +583,50 @@ impl TuningService {
                 },
             )
         };
-        let _lock = DirLock::acquire(dir, LOCK_TIMEOUT)?;
+        let _lock = DirLock::acquire(dir, self.inner.config.lock_timeout)?;
         shards.save(dir)?;
         snapshot.save(dir)
     }
 
-    /// Cross-process persistence: merges this service's records into the
-    /// directory under its advisory lock (union semantics — nothing any
-    /// other process wrote is lost), then refreshes the stats sidecar
-    /// with this process's snapshot (last writer wins; the sidecar is
-    /// per-writer telemetry, not mergeable history).
+    /// Cross-process persistence: under one hold of the directory's
+    /// advisory lock, merges this service's records into the directory
+    /// (union semantics — nothing any other process wrote is lost) and
+    /// folds this process's counter *deltas since its last sync* into
+    /// the stats sidecar. Counters merge additively, so N concurrent
+    /// `tune-net` processes each contribute their telemetry instead of
+    /// the last writer erasing the others' — which matters now that
+    /// [`open`](Self::open) restores the sidecar into live state.
+    /// (Queue depth and remaining budget are point-in-time gauges, not
+    /// counters; they stay last-writer.) Mixing the overwrite-style
+    /// [`save`](Self::save) with `sync_dir` on one directory can double
+    /// count telemetry — pick one persistence style per directory, as
+    /// with the record files themselves.
     pub fn sync_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<DirMergeReport> {
         let dir = dir.as_ref();
-        let (shards, snapshot) = {
-            let st = self.lock();
+        let shards = self.lock().shards.clone();
+        let _lock = DirLock::acquire(dir, self.inner.config.lock_timeout)?;
+        let report = shards.merge_into_dir_locked(dir)?;
+        let disk = ServiceSnapshot::load(dir)?.map(|s| s.stats).unwrap_or_default();
+        let (snapshot, previous_baseline) = {
+            let mut st = self.lock();
+            let delta = st.stats.saturating_delta(&st.last_synced);
+            let previous = st.last_synced;
+            st.last_synced = st.stats;
             (
-                st.shards.clone(),
                 ServiceSnapshot {
-                    stats: st.stats,
+                    stats: disk.saturating_add(&delta),
                     queue_len: st.queue.len(),
                     budget_left: st.budget_left,
                 },
+                previous,
             )
         };
-        let report = shards.merge_into_dir(dir)?;
-        snapshot.save(dir)?;
+        if let Err(e) = snapshot.save(dir) {
+            // The delta never landed: roll the baseline back so the next
+            // sync re-contributes it.
+            self.lock().last_synced = previous_baseline;
+            return Err(e);
+        }
         Ok(report)
     }
 
@@ -597,6 +699,21 @@ impl TuningService {
         stats.networks_served < probation || k.enqueued == 0 || k.hits > 0
     }
 
+    /// The queue-priority weight of a perturbation kind: its smoothed
+    /// hit *rate*, `(1 + hits) / (1 + enqueued)`. A fresh kind starts at
+    /// weight 1 (full analytic priority); every unconfirmed enqueue
+    /// shrinks the weight and every confirmed prediction restores it, so
+    /// neighbor jobs drain in `rate × (Q_model / Q_lower)` order — the
+    /// service spends its background budget along the perturbation axes
+    /// its traffic actually explores, continuously, not only through the
+    /// binary probation cutoff. Deterministic: the weight is a pure
+    /// function of the counters snapshotted at registration, and the
+    /// queue still tie-breaks on the workload fingerprint.
+    pub fn speculation_weight(stats: &ServiceStats, kind: PerturbationKind) -> f64 {
+        let k = stats.speculation[kind.index()];
+        (1 + k.hits) as f64 / (1 + k.enqueued) as f64
+    }
+
     /// Registers a network on a device: enqueues every layer × algorithm
     /// candidate (and, if configured, shape-perturbation neighbors at
     /// lower priority), then kicks the background workers. Returns how
@@ -643,7 +760,8 @@ impl TuningService {
         };
         // Priorities for the jobs that actually need them, lock-free:
         // io_gap is a pure function of the workload, and a VGG-scale
-        // registration must not stall concurrent serves.
+        // registration must not stall concurrent serves. Neighbor jobs
+        // scale their analytic gap by the kind's learned hit rate.
         let jobs: Vec<(Job, f64)> = candidates
             .into_iter()
             .filter_map(|job| {
@@ -658,7 +776,10 @@ impl TuningService {
                         return None;
                     }
                 }
-                let gap = crate::queue::io_gap(&job.shape, job.kind, device);
+                let mut gap = crate::queue::io_gap(&job.shape, job.kind, device);
+                if let Some(kind) = job.perturbation {
+                    gap *= Self::speculation_weight(&stats_snapshot, kind);
+                }
                 Some((job, gap))
             })
             .collect();
@@ -911,8 +1032,7 @@ mod tests {
             background_budget: 10_000,
             workers: 0, // tests drive the queue deterministically
             speculate_neighbors: false,
-            speculation_probation: 8,
-            seed: 7,
+            ..ServiceConfig::default()
         }
     }
 
@@ -1129,24 +1249,143 @@ mod tests {
     }
 
     #[test]
-    fn save_writes_the_sidecar_and_open_does_not_restore_it() {
+    fn save_writes_the_sidecar_and_open_restores_it() {
         let dir = std::env::temp_dir().join(format!(
             "iolb-service-sidecar-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let service = TuningService::new(ShardedStore::new(), small_config());
+        let config = ServiceConfig { speculate_neighbors: true, ..small_config() };
+        let service = TuningService::new(ShardedStore::new(), config);
         service.register_network(&shapes(), &device());
         service.drain();
+        // A confirmed speculation so the restored telemetry is non-trivial.
+        let neighbor = ConvShape { cin: 16, ..shapes()[0] };
+        service.tune_or_wait(&neighbor, TileKind::Direct, &device()).unwrap();
         service.save(&dir).unwrap();
         let sidecar = ServiceSnapshot::load(&dir).unwrap().expect("sidecar written by save");
         assert_eq!(sidecar.stats, service.stats());
         assert_eq!(sidecar.queue_len, 0);
         assert_eq!(sidecar.budget_left, service.budget_left());
-        let (reopened, report) = TuningService::open(&dir, small_config()).unwrap();
+        // Round trip: a reopened service continues the persisted history —
+        // hit rates and the probation clock survive the restart...
+        let (reopened, report) = TuningService::open(&dir, config).unwrap();
         assert!(report.is_clean(), "warnings: {:?}", report.warnings);
-        assert_eq!(reopened.stats(), ServiceStats::default(), "live counters start fresh");
+        assert_eq!(reopened.stats(), service.stats(), "counters must survive the restart");
+        assert!(reopened.stats().speculation_of(PerturbationKind::CinHalved).hits > 0);
+        // ...while the queue and budget start fresh (per-process state).
+        assert_eq!(reopened.queue_len(), 0);
+        assert_eq!(reopened.budget_left(), config.background_budget);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_dir_merges_counters_additively_across_writers() {
+        let dir = std::env::temp_dir().join(format!(
+            "iolb-service-syncstats-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two independent "processes" (services) sync into one directory.
+        let a = TuningService::new(ShardedStore::new(), small_config());
+        a.register_network(&shapes()[0], &device());
+        a.drain();
+        a.sync_dir(&dir).unwrap();
+        let b = TuningService::new(ShardedStore::new(), small_config());
+        b.register_network(&shapes()[1], &device());
+        b.drain();
+        b.sync_dir(&dir).unwrap();
+        // The sidecar holds the SUM of both writers' counters, not the
+        // last writer's view.
+        let snap = ServiceSnapshot::load(&dir).unwrap().expect("sidecar written");
+        assert_eq!(
+            snap.stats.fresh_measurements,
+            a.stats().fresh_measurements + b.stats().fresh_measurements
+        );
+        assert_eq!(snap.stats.background_tuned, 2);
+        // Re-syncing without new activity contributes nothing.
+        a.sync_dir(&dir).unwrap();
+        let again = ServiceSnapshot::load(&dir).unwrap().unwrap();
+        assert_eq!(again.stats, snap.stats, "idempotent re-sync");
+        // A service opened from the directory restores the merged view
+        // and contributes only what it adds on top.
+        let (reopened, _) = TuningService::open(&dir, small_config()).unwrap();
+        assert_eq!(reopened.stats(), snap.stats);
+        reopened.tune_or_wait(&shapes()[0], TileKind::Direct, &device()).unwrap();
+        reopened.sync_dir(&dir).unwrap();
+        let after = ServiceSnapshot::load(&dir).unwrap().unwrap();
+        assert_eq!(after.stats.shard_hits, snap.stats.shard_hits + 1);
+        assert_eq!(after.stats.fresh_measurements, snap.stats.fresh_measurements);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn speculation_weight_is_the_smoothed_hit_rate() {
+        let mut stats = ServiceStats::default();
+        let kind = PerturbationKind::CinHalved;
+        // Fresh kind: full priority.
+        assert_eq!(TuningService::speculation_weight(&stats, kind), 1.0);
+        // Unconfirmed enqueues shrink the weight...
+        stats.speculation[kind.index()].enqueued = 3;
+        assert_eq!(TuningService::speculation_weight(&stats, kind), 0.25);
+        // ...and hits restore it.
+        stats.speculation[kind.index()].hits = 3;
+        assert_eq!(TuningService::speculation_weight(&stats, kind), 1.0);
+        // Other kinds are unaffected.
+        assert_eq!(TuningService::speculation_weight(&stats, PerturbationKind::CoutDoubled), 1.0);
+    }
+
+    #[test]
+    fn speculation_hit_rates_weight_neighbor_queue_priority() {
+        // Long probation: retirement never kicks in, so any ordering
+        // change is the rate weighting alone.
+        let config = ServiceConfig {
+            speculate_neighbors: true,
+            speculation_probation: 100,
+            ..small_config()
+        };
+        let service = TuningService::new(ShardedStore::new(), config);
+        let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+        service.register_network(&shape, &device());
+        service.drain();
+        // Confirm exactly one kind's prediction: its rate rises back to 1
+        // while the other kinds sit at 1/2.
+        let neighbor = ConvShape { cin: 16, ..shape };
+        service.tune_or_wait(&neighbor, TileKind::Direct, &device()).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.speculation_of(PerturbationKind::CinHalved).hits, 1);
+
+        // Register a fresh layer; its neighbor jobs must drain in
+        // rate-weighted io_gap order with fingerprint tie-breaks — the
+        // exact order this test recomputes from public pieces.
+        let other = ConvShape::new(48, 14, 14, 24, 1, 1, 1, 0);
+        service.register_network(&other, &device());
+        let mut expected: Vec<(u64, String)> = shape_perturbations(&other)
+            .into_iter()
+            .map(|(n, kind)| {
+                let gap = crate::queue::io_gap(&n, TileKind::Direct, &device())
+                    * TuningService::speculation_weight(&stats, kind);
+                let job = Job {
+                    shape: n,
+                    kind: TileKind::Direct,
+                    device: device(),
+                    tier: JobTier::Neighbor,
+                    perturbation: Some(kind),
+                };
+                (gap.to_bits(), job.fingerprint())
+            })
+            .collect();
+        expected.sort_by(|(ga, fa), (gb, fb)| gb.cmp(ga).then_with(|| fa.cmp(fb)));
+        let mut st = service.lock();
+        let mut drained = Vec::new();
+        while let Some(job) = st.queue.pop_first() {
+            if matches!(job.tier, JobTier::Neighbor) {
+                drained.push(job.fingerprint());
+            }
+        }
+        let expected: Vec<String> = expected.into_iter().map(|(_, fp)| fp).collect();
+        assert_eq!(drained, expected, "neighbor drain order must follow rate-weighted gaps");
     }
 }

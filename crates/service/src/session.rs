@@ -26,11 +26,18 @@
 //! setup is shared, no speculation rides along), never *what* any
 //! workload's result is.
 //!
+//! The session path is **transport-abstracted** through the [`Backend`]
+//! trait (submit/wait/sync/stats): the in-process [`TuningService`]
+//! implements it directly, and [`crate::daemon::SocketBackend`]
+//! implements it over the daemon's Unix-socket wire protocol — so every
+//! consumer (notably `iolb_cnn::time_network_with_backend`) runs
+//! identically embedded or client/server.
+//!
 //! [`submit`]: TuningSession::submit
 //! [`wait`]: SessionHandle::wait
 
 use crate::queue::{io_gap, Job, JobTier, PushOutcome};
-use crate::service::{ServeResult, ServeSource, State, TuningService};
+use crate::service::{ServeResult, ServeSource, ServiceSnapshot, State, TuningService};
 use iolb_autotune::engine::tune_batch;
 use iolb_autotune::plan::{dedup_requests, BatchRequest};
 use iolb_core::optimality::TileKind;
@@ -223,6 +230,136 @@ impl TuningSession {
             members,
             requests: request_map,
         }
+    }
+}
+
+/// How a [`Backend`] request can fail. The in-process backend never
+/// fails; the socket backend surfaces transport, protocol and
+/// daemon-reported errors separately so callers can tell "the socket
+/// died" from "the daemon refused".
+#[derive(Debug)]
+pub enum BackendError {
+    /// The transport failed (socket I/O).
+    Transport(std::io::Error),
+    /// The peer spoke the protocol wrong (truncated/oversized frame,
+    /// foreign version, malformed message).
+    Protocol(String),
+    /// The daemon processed the request and reported an error.
+    Remote(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Transport(e) => write!(f, "backend transport failed: {e}"),
+            BackendError::Protocol(m) => write!(f, "backend protocol error: {m}"),
+            BackendError::Remote(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// What a [`Backend::sync`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// Whether the backend had durable storage to flush (the daemon
+    /// persists its shard directory; a plain in-process service has no
+    /// directory attached at the trait level and reports `false` —
+    /// embedded callers persist explicitly via
+    /// [`TuningService::sync_dir`]).
+    pub persisted: bool,
+    /// Total records the backend holds after the sync.
+    pub total: usize,
+}
+
+/// Transport-independent face of the tuning service: everything the
+/// request path needs. Implemented by the in-process [`TuningService`]
+/// and by [`crate::daemon::SocketBackend`] (the daemon client), so the
+/// same calling code serves from an embedded service or over a socket.
+pub trait Backend {
+    /// The in-flight batch handle this backend hands out.
+    type Session: BackendSession;
+
+    /// Submits a batch of requests on a device as one deduplicated
+    /// session (see [`TuningSession::submit`] for the semantics every
+    /// backend must preserve).
+    fn submit_batch(
+        &self,
+        requests: &[TuneRequest],
+        device: &DeviceSpec,
+    ) -> Result<Self::Session, BackendError>;
+
+    /// Asks the backend to flush whatever durable state it owns.
+    fn sync(&self) -> Result<SyncOutcome, BackendError>;
+
+    /// A consistent snapshot of the backend's counters and live state.
+    fn stats(&self) -> Result<ServiceSnapshot, BackendError>;
+
+    /// Serves one workload — the one-element session.
+    fn tune_or_wait_via(
+        &self,
+        shape: &ConvShape,
+        kind: TileKind,
+        device: &DeviceSpec,
+    ) -> Result<Option<ServeResult>, BackendError> {
+        let session = self.submit_batch(&[TuneRequest { shape: *shape, kind }], device)?;
+        Ok(session.wait()?.pop().expect("one result per request"))
+    }
+}
+
+/// A submitted batch on some [`Backend`]: query its shape, then block
+/// for the results.
+pub trait BackendSession {
+    /// Original requests in the session.
+    fn request_count(&self) -> usize;
+
+    /// Unique workloads after fingerprint dedup.
+    fn unique_workloads(&self) -> usize;
+
+    /// Blocks until every member resolves; one result per original
+    /// request, in request order (`None` = infeasible workload).
+    fn wait(self) -> Result<Vec<Option<ServeResult>>, BackendError>;
+}
+
+impl Backend for TuningService {
+    type Session = SessionHandle;
+
+    fn submit_batch(
+        &self,
+        requests: &[TuneRequest],
+        device: &DeviceSpec,
+    ) -> Result<SessionHandle, BackendError> {
+        Ok(self.submit(requests, device))
+    }
+
+    fn sync(&self) -> Result<SyncOutcome, BackendError> {
+        Ok(SyncOutcome { persisted: false, total: self.lock().shards.len() })
+    }
+
+    fn stats(&self) -> Result<ServiceSnapshot, BackendError> {
+        Ok(self.snapshot())
+    }
+}
+
+impl BackendSession for SessionHandle {
+    fn request_count(&self) -> usize {
+        SessionHandle::request_count(self)
+    }
+
+    fn unique_workloads(&self) -> usize {
+        SessionHandle::unique_workloads(self)
+    }
+
+    fn wait(self) -> Result<Vec<Option<ServeResult>>, BackendError> {
+        Ok(SessionHandle::wait(self))
     }
 }
 

@@ -35,8 +35,67 @@ pub const MANIFEST_FILE: &str = "manifest.tsv";
 /// with concurrent acquirers); the *lock* is an OS `flock` on it.
 pub const LOCK_FILE: &str = "manifest.lock";
 
-/// How long writers wait for the directory lock before giving up.
+/// Default time writers wait for the directory lock before giving up.
+/// Configurable per service via `ServiceConfig::lock_timeout` and on the
+/// CLI via `tune-cache --lock-timeout`.
 pub const LOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Why a [`DirLock`] could not be acquired — the typed alternative to a
+/// generic I/O failure, so callers can distinguish "another writer held
+/// the directory for the whole window" (retryable, report who/where)
+/// from a real filesystem error.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another process held the lock for the entire timeout window.
+    Timeout {
+        /// The lock file that stayed held.
+        path: PathBuf,
+        /// How long this acquirer waited before giving up.
+        waited: Duration,
+    },
+    /// Filesystem-level failure (permissions, unreadable directory, ...).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Timeout { path, waited } => write!(
+                f,
+                "timed out after {:.1}s waiting for {}",
+                waited.as_secs_f64(),
+                path.display()
+            ),
+            LockError::Io(e) => write!(f, "cannot acquire directory lock: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LockError::Io(e) => Some(e),
+            LockError::Timeout { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LockError {
+    fn from(e: std::io::Error) -> Self {
+        LockError::Io(e)
+    }
+}
+
+impl From<LockError> for std::io::Error {
+    fn from(e: LockError) -> Self {
+        match e {
+            LockError::Timeout { .. } => {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, e.to_string())
+            }
+            LockError::Io(io) => io,
+        }
+    }
+}
 
 /// Version tag written into the manifest header. Loaders reject foreign
 /// versions (same stance as the record schema: re-tune, never guess).
@@ -129,9 +188,11 @@ impl DirLock {
     /// Acquires the directory's writer lock, polling until `timeout`
     /// elapses (the critical sections it guards are short, so waiters
     /// spin briefly in practice). Creates the directory and lock file if
-    /// missing. Fails with [`std::io::ErrorKind::TimedOut`] when some
-    /// other process holds the lock for the whole window.
-    pub fn acquire(dir: impl AsRef<Path>, timeout: Duration) -> std::io::Result<Self> {
+    /// missing. Fails with the typed [`LockError::Timeout`] when some
+    /// other process holds the lock for the whole window (converting to
+    /// `std::io::ErrorKind::TimedOut` through `?` in `io::Result`
+    /// contexts).
+    pub fn acquire(dir: impl AsRef<Path>, timeout: Duration) -> Result<Self, LockError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let path = dir.join(LOCK_FILE);
@@ -147,14 +208,11 @@ impl DirLock {
                 Ok(()) => break,
                 Err(std::fs::TryLockError::WouldBlock) => {
                     if Instant::now() >= deadline {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::TimedOut,
-                            format!("timed out waiting for {}", path.display()),
-                        ));
+                        return Err(LockError::Timeout { path, waited: timeout });
                     }
                     std::thread::sleep(Duration::from_millis(2));
                 }
-                Err(std::fs::TryLockError::Error(e)) => return Err(e),
+                Err(std::fs::TryLockError::Error(e)) => return Err(LockError::Io(e)),
             }
         }
         // Best-effort diagnostics: who holds it. Failure to write the
@@ -349,8 +407,29 @@ impl ShardedStore {
     /// [`absorb`]: Self::absorb
     /// [`save`]: Self::save
     pub fn merge_into_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<DirMergeReport> {
+        self.merge_into_dir_with(dir, LOCK_TIMEOUT)
+    }
+
+    /// [`merge_into_dir`](Self::merge_into_dir) with a caller-chosen
+    /// lock-acquisition timeout (the service threads its
+    /// `ServiceConfig::lock_timeout` through here).
+    pub fn merge_into_dir_with(
+        &self,
+        dir: impl AsRef<Path>,
+        lock_timeout: Duration,
+    ) -> std::io::Result<DirMergeReport> {
         let dir = dir.as_ref();
-        let _lock = DirLock::acquire(dir, LOCK_TIMEOUT)?;
+        let _lock = DirLock::acquire(dir, lock_timeout)?;
+        self.merge_into_dir_locked(dir)
+    }
+
+    /// The body of [`merge_into_dir`](Self::merge_into_dir) for callers
+    /// that **already hold** the directory's [`DirLock`] — the service's
+    /// `sync_dir` uses this so it can merge records *and* the stats
+    /// sidecar inside one critical section (a sidecar written after the
+    /// lock drops could be overwritten by a concurrent writer,
+    /// silently losing telemetry).
+    pub fn merge_into_dir_locked(&self, dir: &Path) -> std::io::Result<DirMergeReport> {
         let (mut disk, load) = Self::load(dir)?;
         let inserted = disk.absorb(self.clone());
         disk.save(dir)?;
@@ -690,7 +769,15 @@ mod tests {
         let held = DirLock::acquire(&dir, Duration::from_secs(5)).unwrap();
         assert!(held.path().exists());
         let contended = DirLock::acquire(&dir, Duration::from_millis(20));
-        assert_eq!(contended.unwrap_err().kind(), std::io::ErrorKind::TimedOut);
+        let err = contended.unwrap_err();
+        assert!(
+            matches!(err, LockError::Timeout { ref path, waited } if path == &dir.join(LOCK_FILE)
+                && waited == Duration::from_millis(20)),
+            "expected a typed timeout, got {err:?}"
+        );
+        // The io::Error conversion (used by `?` in io::Result contexts)
+        // preserves the TimedOut kind.
+        assert_eq!(std::io::Error::from(err).kind(), std::io::ErrorKind::TimedOut);
         drop(held);
         let reacquired = DirLock::acquire(&dir, Duration::from_secs(5));
         assert!(reacquired.is_ok());

@@ -1,0 +1,715 @@
+//! The daemon wire protocol: length-prefixed, versioned frames of
+//! flat-JSON lines.
+//!
+//! Every message is one **frame**: a 4-byte big-endian payload length
+//! followed by a UTF-8 payload of newline-separated flat JSON objects —
+//! the exact object dialect the record store's JSONL codec defines
+//! (string keys, number/string values, canonical writer), parsed by the
+//! same [`iolb_records::jsonl`] parser, so the socket protocol and the
+//! store files cannot drift apart. The first line of every payload is a
+//! header carrying the protocol version (`"v"`) and the message type;
+//! list-shaped messages (submit requests, batch results) follow with
+//! one object per element.
+//!
+//! The decoder is written for hostile input: truncated frames, payloads
+//! above [`MAX_FRAME_BYTES`], foreign versions, non-UTF-8 bytes and
+//! malformed objects are all **typed errors** ([`WireError`]), never
+//! panics — pinned by `crates/service/tests/proptest_wire.rs`.
+//!
+//! Five request kinds exist, mirroring the [`crate::session::Backend`]
+//! trait plus lifecycle control:
+//!
+//! | request | response |
+//! |---------|----------|
+//! | `Submit { device, requests }` | `Submitted { session, unique }` |
+//! | `Wait { session }` | `Results { results }` |
+//! | `Sync` | `Synced { persisted, total }` |
+//! | `Stats` | `Stats { snapshot }` |
+//! | `Shutdown` | `Bye` |
+//!
+//! plus `Error { message }`, which the daemon may answer to anything.
+
+use crate::service::{ServeResult, ServeSource, ServiceSnapshot};
+use crate::session::TuneRequest;
+use iolb_autotune::plan::BatchRequest;
+use iolb_dataflow::config::ScheduleConfig;
+use iolb_gpusim::DeviceSpec;
+use iolb_records::jsonl::{escape, parse_flat_object, Value};
+use iolb_tensor::layout::Layout;
+use std::io::{Read, Write};
+
+/// Protocol version stamped into every payload header. Foreign versions
+/// are rejected whole (same stance as the record schema and the shard
+/// manifest: re-issue the request from a matching build, never guess at
+/// field semantics).
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard ceiling on a frame payload. A VGG-scale submit is a few KiB;
+/// anything claiming megabytes is hostile or corrupt and is rejected
+/// *before* the payload is allocated or read.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// The transport failed mid-operation.
+    Io(std::io::Error),
+    /// The stream ended before a full frame arrived.
+    Truncated { expected: usize, got: usize },
+    /// The peer closed the connection where a frame was required.
+    ConnectionClosed,
+    /// The frame header claims a payload above [`MAX_FRAME_BYTES`].
+    Oversized { len: usize },
+    /// The payload header carries a protocol version this build does not
+    /// speak.
+    ForeignVersion { got: u64 },
+    /// The payload is not valid UTF-8 / flat JSON / a known message.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o failed: {e}"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} byte(s), got {got}")
+            }
+            WireError::ConnectionClosed => write!(f, "connection closed before a response"),
+            WireError::Oversized { len } => {
+                write!(f, "oversized frame: {len} byte(s) exceeds the {MAX_FRAME_BYTES} cap")
+            }
+            WireError::ForeignVersion { got } => {
+                write!(f, "foreign wire version {got} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A client-to-daemon message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a batch of tuning requests on a device (one session).
+    Submit { device: DeviceSpec, requests: Vec<TuneRequest> },
+    /// Block until a previously submitted session resolves.
+    Wait { session: u64 },
+    /// Flush the daemon's shard directory now.
+    Sync,
+    /// Snapshot the daemon's counters.
+    Stats,
+    /// Persist and exit.
+    Shutdown,
+}
+
+/// A daemon-to-client message. The stats snapshot is boxed: it is by
+/// far the largest variant and would otherwise bloat every `Response`
+/// on the stack (clippy's `large_enum_variant`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Submitted { session: u64, unique: usize },
+    Results { results: Vec<Option<ServeResult>> },
+    Synced { persisted: bool, total: usize },
+    Stats { snapshot: Box<ServiceSnapshot> },
+    Bye,
+    Error { message: String },
+}
+
+// ---------------------------------------------------------------- frames
+
+/// Reads exactly `buf.len()` bytes unless the stream ends first; returns
+/// how many bytes actually arrived.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// Writes one frame (length prefix + payload). Rejects oversized
+/// payloads on the way *out* too, so a misbehaving caller cannot emit a
+/// frame no peer will accept.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized { len: payload.len() });
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between frames); a stream ending *inside* a frame is
+/// [`WireError::Truncated`], and a length prefix above the cap is
+/// rejected before any payload byte is read or allocated.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let got = read_full(r, &mut len_buf)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < 4 {
+        return Err(WireError::Truncated { expected: 4, got });
+    }
+    read_payload(r, u32::from_be_bytes(len_buf) as usize).map(Some)
+}
+
+/// Reads a frame's payload once its 4-byte length prefix has been
+/// consumed (the daemon reads the prefix itself, resumably, so idle
+/// ticks between frames never desynchronize the stream). Enforces the
+/// [`MAX_FRAME_BYTES`] cap *before* allocating.
+pub(crate) fn read_payload(r: &mut impl Read, len: usize) -> Result<Vec<u8>, WireError> {
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len];
+    let got = read_full(r, &mut payload)?;
+    if got < len {
+        return Err(WireError::Truncated { expected: len, got });
+    }
+    Ok(payload)
+}
+
+/// Decodes a request from a raw frame payload (UTF-8 check included).
+pub(crate) fn decode_request_payload(payload: Vec<u8>) -> Result<Request, WireError> {
+    let text = String::from_utf8(payload)
+        .map_err(|_| WireError::Malformed("frame payload is not UTF-8".into()))?;
+    decode_request(&text)
+}
+
+// ------------------------------------------------------------- payloads
+
+/// Field accessor over one parsed flat object, converting the record
+/// codec's string-reason errors into [`WireError::Malformed`].
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn parse(line: &str) -> Result<Self, WireError> {
+        parse_flat_object(line).map(Self).map_err(WireError::Malformed)
+    }
+
+    fn get(&self, key: &str) -> Result<&Value, WireError> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| WireError::Malformed(format!("missing field {key:?}")))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, WireError> {
+        self.get(key)?.as_str(key).map_err(WireError::Malformed)
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, WireError> {
+        self.get(key)?.as_u64(key).map_err(WireError::Malformed)
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, WireError> {
+        self.get(key)?.as_usize(key).map_err(WireError::Malformed)
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, WireError> {
+        u32::try_from(self.u64(key)?)
+            .map_err(|_| WireError::Malformed(format!("field {key:?} out of range")))
+    }
+
+    fn finite_f64(&self, key: &str) -> Result<f64, WireError> {
+        let v = self.get(key)?.as_f64(key).map_err(WireError::Malformed)?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(WireError::Malformed(format!("field {key:?} must be finite, got {v}")))
+        }
+    }
+}
+
+fn header(kind: &str) -> String {
+    format!("{{\"v\":{WIRE_VERSION},\"type\":\"{kind}\"}}")
+}
+
+/// Checks the header's version and returns the message type tag.
+fn parse_header(fields: &Fields) -> Result<String, WireError> {
+    let v = fields.u64("v")?;
+    if v != u64::from(WIRE_VERSION) {
+        return Err(WireError::ForeignVersion { got: v });
+    }
+    Ok(fields.str("type")?.to_string())
+}
+
+fn encode_device(d: &DeviceSpec) -> String {
+    format!(
+        concat!(
+            "{{\"dev\":\"{}\",\"sms\":{},\"smem\":{},\"smem_block\":{},\"threads_sm\":{},",
+            "\"threads_block\":{},\"blocks_sm\":{},\"clock_ghz\":{},\"lanes\":{},",
+            "\"dram_gbps\":{},\"txn\":{},\"launch_us\":{},\"eff\":{}}}"
+        ),
+        escape(d.name),
+        d.num_sms,
+        d.smem_per_sm,
+        d.max_smem_per_block,
+        d.max_threads_per_sm,
+        d.max_threads_per_block,
+        d.max_blocks_per_sm,
+        d.clock_ghz,
+        d.fma_lanes_per_sm,
+        d.dram_gbps,
+        d.transaction_bytes,
+        d.launch_overhead_us,
+        d.compute_efficiency,
+    )
+}
+
+/// Decodes a device line. The preset name resolves the `&'static str`
+/// device name; every numeric field then comes from the wire, so a
+/// client with a customised preset (e.g. a clamped `smem_per_sm`) is
+/// served faithfully. Unknown preset names are a typed error — a record
+/// tuned for a device this build cannot even name must not be fabricated.
+fn decode_device(line: &str) -> Result<DeviceSpec, WireError> {
+    let fields = Fields::parse(line)?;
+    let name = fields.str("dev")?;
+    let preset = DeviceSpec::all()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| WireError::Malformed(format!("unknown device preset {name:?}")))?;
+    Ok(DeviceSpec {
+        name: preset.name,
+        num_sms: fields.u32("sms")?,
+        smem_per_sm: fields.u32("smem")?,
+        max_smem_per_block: fields.u32("smem_block")?,
+        max_threads_per_sm: fields.u32("threads_sm")?,
+        max_threads_per_block: fields.u32("threads_block")?,
+        max_blocks_per_sm: fields.u32("blocks_sm")?,
+        clock_ghz: fields.finite_f64("clock_ghz")?,
+        fma_lanes_per_sm: fields.u32("lanes")?,
+        dram_gbps: fields.finite_f64("dram_gbps")?,
+        transaction_bytes: fields.u32("txn")?,
+        launch_overhead_us: fields.finite_f64("launch_us")?,
+        compute_efficiency: fields.finite_f64("eff")?,
+    })
+}
+
+fn encode_result(result: &Option<ServeResult>) -> String {
+    match result {
+        None => "{\"ok\":0}".to_string(),
+        Some(r) => {
+            let (src, cancelled) = match r.source {
+                ServeSource::ShardHit => ("hit", 0),
+                ServeSource::Stolen => ("stolen", 0),
+                ServeSource::Inline { cancelled_speculative } => {
+                    ("inline", usize::from(cancelled_speculative))
+                }
+            };
+            let c = &r.config;
+            format!(
+                concat!(
+                    "{{\"ok\":1,\"src\":\"{}\",\"cancel\":{},\"fresh\":{},\"cached\":{},",
+                    "\"cost_ms\":{},\"x\":{},\"y\":{},\"z\":{},\"nxt\":{},\"nyt\":{},",
+                    "\"nzt\":{},\"sb\":{},\"layout\":\"{}\"}}"
+                ),
+                src,
+                cancelled,
+                r.fresh_measurements,
+                r.cache_hits,
+                r.cost_ms,
+                c.x,
+                c.y,
+                c.z,
+                c.nxt,
+                c.nyt,
+                c.nzt,
+                c.sb_bytes,
+                c.layout.name(),
+            )
+        }
+    }
+}
+
+fn decode_result(line: &str) -> Result<Option<ServeResult>, WireError> {
+    let fields = Fields::parse(line)?;
+    if fields.u64("ok")? == 0 {
+        return Ok(None);
+    }
+    let source = match fields.str("src")? {
+        "hit" => ServeSource::ShardHit,
+        "stolen" => ServeSource::Stolen,
+        "inline" => ServeSource::Inline { cancelled_speculative: fields.u64("cancel")? != 0 },
+        other => return Err(WireError::Malformed(format!("unknown serve source {other:?}"))),
+    };
+    let layout: Layout = fields.str("layout")?.parse().map_err(WireError::Malformed)?;
+    let config = ScheduleConfig {
+        x: fields.usize("x")?,
+        y: fields.usize("y")?,
+        z: fields.usize("z")?,
+        nxt: fields.usize("nxt")?,
+        nyt: fields.usize("nyt")?,
+        nzt: fields.usize("nzt")?,
+        sb_bytes: fields.u32("sb")?,
+        layout,
+    };
+    Ok(Some(ServeResult {
+        config,
+        cost_ms: fields.finite_f64("cost_ms")?,
+        source,
+        fresh_measurements: fields.usize("fresh")?,
+        cache_hits: fields.usize("cached")?,
+    }))
+}
+
+/// Serializes a request payload (frame body, no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = String::new();
+    match req {
+        Request::Submit { device, requests } => {
+            out.push_str(&format!(
+                "{{\"v\":{WIRE_VERSION},\"type\":\"submit\",\"n\":{}}}\n",
+                requests.len()
+            ));
+            out.push_str(&encode_device(device));
+            out.push('\n');
+            for r in requests {
+                out.push_str(&BatchRequest { shape: r.shape, kind: r.kind }.to_wire_line());
+                out.push('\n');
+            }
+        }
+        Request::Wait { session } => {
+            out.push_str(&format!(
+                "{{\"v\":{WIRE_VERSION},\"type\":\"wait\",\"session\":{session}}}\n"
+            ));
+        }
+        Request::Sync => {
+            out.push_str(&header("sync"));
+            out.push('\n');
+        }
+        Request::Stats => {
+            out.push_str(&header("stats"));
+            out.push('\n');
+        }
+        Request::Shutdown => {
+            out.push_str(&header("shutdown"));
+            out.push('\n');
+        }
+    }
+    out.into_bytes()
+}
+
+/// Parses a request payload. Never panics: every malformation is a
+/// typed [`WireError`].
+pub fn decode_request(payload: &str) -> Result<Request, WireError> {
+    let mut lines = payload.lines().filter(|l| !l.trim().is_empty());
+    let head =
+        Fields::parse(lines.next().ok_or_else(|| WireError::Malformed("empty frame".into()))?)?;
+    let kind = parse_header(&head)?;
+    let req = match kind.as_str() {
+        "submit" => {
+            let n = head.usize("n")?;
+            let device = decode_device(lines.next().ok_or_else(|| {
+                WireError::Malformed("submit frame is missing its device line".into())
+            })?)?;
+            let mut requests = Vec::new();
+            for i in 0..n {
+                let line = lines.next().ok_or_else(|| {
+                    WireError::Malformed(format!("submit frame ends after {i} of {n} request(s)"))
+                })?;
+                let br = BatchRequest::from_wire_line(line).map_err(WireError::Malformed)?;
+                requests.push(TuneRequest { shape: br.shape, kind: br.kind });
+            }
+            Request::Submit { device, requests }
+        }
+        "wait" => Request::Wait { session: head.u64("session")? },
+        "sync" => Request::Sync,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(WireError::Malformed(format!("unknown request type {other:?}"))),
+    };
+    if lines.next().is_some() {
+        return Err(WireError::Malformed("trailing lines after message".into()));
+    }
+    Ok(req)
+}
+
+/// Serializes a response payload (frame body, no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = String::new();
+    match resp {
+        Response::Submitted { session, unique } => {
+            out.push_str(&format!(
+                "{{\"v\":{WIRE_VERSION},\"type\":\"submitted\",\"session\":{session},\"unique\":{unique}}}\n"
+            ));
+        }
+        Response::Results { results } => {
+            out.push_str(&format!(
+                "{{\"v\":{WIRE_VERSION},\"type\":\"results\",\"n\":{}}}\n",
+                results.len()
+            ));
+            for r in results {
+                out.push_str(&encode_result(r));
+                out.push('\n');
+            }
+        }
+        Response::Synced { persisted, total } => {
+            out.push_str(&format!(
+                "{{\"v\":{WIRE_VERSION},\"type\":\"synced\",\"persisted\":{},\"total\":{total}}}\n",
+                u8::from(*persisted)
+            ));
+        }
+        Response::Stats { snapshot } => {
+            out.push_str(&format!(
+                "{{\"v\":{WIRE_VERSION},\"type\":\"stats\",\"tsv\":\"{}\"}}\n",
+                escape(&snapshot.to_tsv())
+            ));
+        }
+        Response::Bye => {
+            out.push_str(&header("bye"));
+            out.push('\n');
+        }
+        Response::Error { message } => {
+            out.push_str(&format!(
+                "{{\"v\":{WIRE_VERSION},\"type\":\"error\",\"msg\":\"{}\"}}\n",
+                escape(message)
+            ));
+        }
+    }
+    out.into_bytes()
+}
+
+/// Parses a response payload. Never panics on hostile input.
+pub fn decode_response(payload: &str) -> Result<Response, WireError> {
+    let mut lines = payload.lines().filter(|l| !l.trim().is_empty());
+    let head =
+        Fields::parse(lines.next().ok_or_else(|| WireError::Malformed("empty frame".into()))?)?;
+    let kind = parse_header(&head)?;
+    let resp = match kind.as_str() {
+        "submitted" => {
+            Response::Submitted { session: head.u64("session")?, unique: head.usize("unique")? }
+        }
+        "results" => {
+            let n = head.usize("n")?;
+            let mut results = Vec::new();
+            for i in 0..n {
+                let line = lines.next().ok_or_else(|| {
+                    WireError::Malformed(format!("results frame ends after {i} of {n} result(s)"))
+                })?;
+                results.push(decode_result(line)?);
+            }
+            Response::Results { results }
+        }
+        "synced" => {
+            Response::Synced { persisted: head.u64("persisted")? != 0, total: head.usize("total")? }
+        }
+        "stats" => {
+            let snapshot = ServiceSnapshot::from_tsv(head.str("tsv")?).ok_or_else(|| {
+                WireError::Malformed("stats payload carries a foreign sidecar version".into())
+            })?;
+            Response::Stats { snapshot: Box::new(snapshot) }
+        }
+        "bye" => Response::Bye,
+        "error" => Response::Error { message: head.str("msg")?.to_string() },
+        other => return Err(WireError::Malformed(format!("unknown response type {other:?}"))),
+    };
+    if lines.next().is_some() {
+        return Err(WireError::Malformed("trailing lines after message".into()));
+    }
+    Ok(resp)
+}
+
+// ------------------------------------------------------ framed messages
+
+/// Writes one framed request.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), WireError> {
+    write_frame(w, &encode_request(req))
+}
+
+/// Reads one framed request; `Ok(None)` is a clean client disconnect.
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, WireError> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    decode_request_payload(payload).map(Some)
+}
+
+/// Writes one framed response.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireError> {
+    write_frame(w, &encode_response(resp))
+}
+
+/// Reads one framed response. A response is always owed, so a clean
+/// close here is [`WireError::ConnectionClosed`].
+pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
+    let Some(payload) = read_frame(r)? else {
+        return Err(WireError::ConnectionClosed);
+    };
+    let text = String::from_utf8(payload)
+        .map_err(|_| WireError::Malformed("frame payload is not UTF-8".into()))?;
+    decode_response(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_core::optimality::TileKind;
+    use iolb_core::shapes::{ConvShape, WinogradTile};
+
+    fn sample_requests() -> Vec<TuneRequest> {
+        vec![
+            TuneRequest {
+                shape: ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0),
+                kind: TileKind::Direct,
+            },
+            TuneRequest {
+                shape: ConvShape::square(16, 14, 16, 3, 1, 1),
+                kind: TileKind::Winograd(WinogradTile::F4X3),
+            },
+        ]
+    }
+
+    fn sample_result() -> ServeResult {
+        ServeResult {
+            config: ScheduleConfig {
+                x: 7,
+                y: 14,
+                z: 8,
+                nxt: 7,
+                nyt: 2,
+                nzt: 4,
+                sb_bytes: 16 * 1024,
+                layout: Layout::Chw,
+            },
+            cost_ms: 1.0 / 3.0,
+            source: ServeSource::Inline { cancelled_speculative: true },
+            fresh_measurements: 12,
+            cache_hits: 3,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let device = DeviceSpec { smem_per_sm: 1234, ..DeviceSpec::v100() };
+        for req in [
+            Request::Submit { device: device.clone(), requests: sample_requests() },
+            Request::Submit { device, requests: Vec::new() },
+            Request::Wait { session: u64::MAX - 1 },
+            Request::Sync,
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let payload = encode_request(&req);
+            let back = decode_request(std::str::from_utf8(&payload).unwrap()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let snapshot = ServiceSnapshot {
+            stats: crate::service::ServiceStats { fresh_measurements: 42, ..Default::default() },
+            queue_len: 3,
+            budget_left: 17,
+        };
+        for resp in [
+            Response::Submitted { session: 7, unique: 3 },
+            Response::Results { results: vec![Some(sample_result()), None] },
+            Response::Synced { persisted: true, total: 99 },
+            Response::Stats { snapshot: Box::new(snapshot) },
+            Response::Bye,
+            Response::Error { message: "tab\there \"quoted\"".to_string() },
+        ] {
+            let payload = encode_response(&resp);
+            let back = decode_response(std::str::from_utf8(&payload).unwrap()).unwrap();
+            if let (Response::Results { results: a }, Response::Results { results: b }) =
+                (&resp, &back)
+            {
+                let lhs = a[0].as_ref().unwrap();
+                let rhs = b[0].as_ref().unwrap();
+                assert_eq!(lhs.cost_ms.to_bits(), rhs.cost_ms.to_bits(), "cost lost bits");
+            }
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn framed_round_trip_over_a_buffer() {
+        let req = Request::Submit { device: DeviceSpec::v100(), requests: sample_requests() };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        write_request(&mut buf, &Request::Shutdown).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_request(&mut cursor).unwrap(), Some(req));
+        assert_eq!(read_request(&mut cursor).unwrap(), Some(Request::Shutdown));
+        assert_eq!(read_request(&mut cursor).unwrap(), None, "clean end of stream");
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        let mut full = Vec::new();
+        write_request(&mut full, &Request::Stats).unwrap();
+        for cut in 1..full.len() {
+            let mut cursor = std::io::Cursor::new(full[..cut].to_vec());
+            match read_request(&mut cursor) {
+                Err(WireError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut prefix = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes().to_vec();
+        prefix.extend_from_slice(b"whatever");
+        let mut cursor = std::io::Cursor::new(prefix);
+        assert!(matches!(
+            read_request(&mut cursor),
+            Err(WireError::Oversized { len }) if len == MAX_FRAME_BYTES + 1
+        ));
+        // And the writer refuses to emit one.
+        let huge = vec![b'x'; MAX_FRAME_BYTES + 1];
+        assert!(matches!(write_frame(&mut Vec::new(), &huge), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn foreign_versions_are_rejected() {
+        let payload = format!("{{\"v\":{},\"type\":\"stats\"}}", WIRE_VERSION + 1);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::ForeignVersion { got }) if got == u64::from(WIRE_VERSION) + 1
+        ));
+        assert!(matches!(decode_response(&payload), Err(WireError::ForeignVersion { .. })));
+    }
+
+    #[test]
+    fn unknown_devices_and_sources_are_rejected() {
+        let mut payload = String::from_utf8(encode_request(&Request::Submit {
+            device: DeviceSpec::v100(),
+            requests: Vec::new(),
+        }))
+        .unwrap();
+        payload = payload.replace("Tesla V100", "TPU v9");
+        assert!(matches!(decode_request(&payload), Err(WireError::Malformed(_))));
+        let resp = String::from_utf8(encode_response(&Response::Results {
+            results: vec![Some(sample_result())],
+        }))
+        .unwrap();
+        let resp = resp.replace("\"src\":\"inline\"", "\"src\":\"teleported\"");
+        assert!(matches!(decode_response(&resp), Err(WireError::Malformed(_))));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the daemon wire codec (mirroring the JSONL
+//! corruption-tolerance tests in `iolb-records`): whatever bytes arrive
+//! on the socket, the decoder returns a typed [`WireError`] — it never
+//! panics, never fabricates a message, and never reads past the frame
+//! cap.
+
+use iolb_core::optimality::TileKind;
+use iolb_core::shapes::ConvShape;
+use iolb_gpusim::DeviceSpec;
+use iolb_service::wire::{self, read_request, read_response, Request, WireError, MAX_FRAME_BYTES};
+use iolb_service::TuneRequest;
+use proptest::prelude::*;
+
+/// A valid framed Submit built from drawn layer coordinates.
+fn framed_submit(draws: &[(u32, u32)]) -> (Request, Vec<u8>) {
+    let requests: Vec<TuneRequest> = draws
+        .iter()
+        .map(|&(cin_pow, cout_pow)| TuneRequest {
+            shape: ConvShape::new(1 << (cin_pow % 5), 14, 14, 1 << (cout_pow % 5), 1, 1, 1, 0),
+            kind: TileKind::Direct,
+        })
+        .collect();
+    let request = Request::Submit { device: DeviceSpec::v100(), requests };
+    let mut frame = Vec::new();
+    wire::write_request(&mut frame, &request).expect("encode valid request");
+    (request, frame)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soup through both decoders and the framed reader:
+    /// typed errors only, no panics, no fabricated messages.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_codec(
+        data in prop::collection::vec(0u32..256, 0..160),
+    ) {
+        let bytes: Vec<u8> = data.iter().map(|&b| b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = wire::decode_request(&text);
+        let _ = wire::decode_response(&text);
+        let mut cursor = std::io::Cursor::new(bytes);
+        // The byte soup is its own framing: whatever the first 4 bytes
+        // claim, the reader must return (Ok or typed Err), not panic or
+        // hang.
+        let _ = read_request(&mut cursor);
+        let mut cursor = std::io::Cursor::new(text.into_bytes());
+        let _ = read_response(&mut cursor);
+    }
+
+    /// Every strict prefix of a valid frame is rejected as truncated
+    /// (or is the clean empty stream), and never decodes to a message.
+    #[test]
+    fn truncated_frames_are_rejected_without_panicking(
+        draws in prop::collection::vec((0u32..5, 0u32..5), 0..6),
+        cut_seed in 0usize..10_000,
+    ) {
+        let (_, frame) = framed_submit(&draws);
+        let cut = cut_seed % frame.len();
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        match read_request(&mut cursor) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only the empty stream is a clean EOF"),
+            Ok(Some(msg)) => prop_assert!(false, "truncated frame decoded to {msg:?}"),
+            Err(WireError::Truncated { expected, got }) => prop_assert!(got < expected),
+            Err(other) => prop_assert!(false, "expected Truncated, got {other:?}"),
+        }
+        // A response reader on the same prefix: closed or truncated,
+        // never a fabricated response.
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        match read_response(&mut cursor) {
+            Err(WireError::ConnectionClosed) => prop_assert_eq!(cut, 0),
+            Err(WireError::Truncated { .. }) => prop_assert!(cut > 0),
+            Err(WireError::Malformed(_)) | Err(WireError::ForeignVersion { .. }) => {
+                // A request payload is not a response: also acceptable
+                // once the whole frame arrived — but a *strict* prefix
+                // can never parse that far.
+                prop_assert!(false, "prefix decoded past the frame layer");
+            }
+            other => prop_assert!(false, "expected a typed error, got {other:?}"),
+        }
+    }
+
+    /// Length prefixes above the cap are rejected before any payload
+    /// allocation, whatever the claimed size.
+    #[test]
+    fn oversized_payloads_are_rejected(len_over in 1usize..(u32::MAX as usize - MAX_FRAME_BYTES)) {
+        let len = MAX_FRAME_BYTES + len_over;
+        let mut stream = (len as u32).to_be_bytes().to_vec();
+        stream.extend_from_slice(b"ignored");
+        let mut cursor = std::io::Cursor::new(stream);
+        match read_request(&mut cursor) {
+            Err(WireError::Oversized { len: got }) => prop_assert_eq!(got, len),
+            other => prop_assert!(false, "expected Oversized, got {other:?}"),
+        }
+    }
+
+    /// Unknown message versions are rejected whole, with the version
+    /// reported.
+    #[test]
+    fn foreign_versions_are_rejected(version in 2u64..1_000_000) {
+        let payload = format!("{{\"v\":{version},\"type\":\"sync\"}}");
+        match wire::decode_request(&payload) {
+            Err(WireError::ForeignVersion { got }) => prop_assert_eq!(got, version),
+            other => prop_assert!(false, "expected ForeignVersion, got {other:?}"),
+        }
+        match wire::decode_response(&payload) {
+            Err(WireError::ForeignVersion { got }) => prop_assert_eq!(got, version),
+            other => prop_assert!(false, "expected ForeignVersion, got {other:?}"),
+        }
+    }
+
+    /// Valid submits round-trip exactly through the framed reader.
+    #[test]
+    fn valid_submits_round_trip(draws in prop::collection::vec((0u32..5, 0u32..5), 0..8)) {
+        let (request, frame) = framed_submit(&draws);
+        let mut cursor = std::io::Cursor::new(frame);
+        prop_assert_eq!(read_request(&mut cursor).unwrap(), Some(request));
+    }
+}

@@ -1,0 +1,213 @@
+//! ISSUE 5 acceptance gates for the resident shard-server daemon
+//! (in-process half; the cross-process half lives in
+//! `crates/bench/tests/daemon.rs`):
+//!
+//! * **daemon == eager** — configs served over the Unix socket are
+//!   bit-identical to eager `tune_with_store` runs of the same
+//!   workloads (the daemon runs the identical hermetic tuning);
+//! * **restart** — the daemon's directory carries everything: a second
+//!   daemon over the same directory serves pure shard hits with zero
+//!   fresh measurements, and the persisted telemetry counters survive;
+//! * **cross-client dedup** — two concurrent socket clients requesting
+//!   the same workload trigger exactly one tuning run, fanned out.
+
+use conv_iolb::autotune::plan::tuner_setup;
+use conv_iolb::autotune::tune_with_store;
+use conv_iolb::cnn::inference::TUNER_SEED;
+use conv_iolb::core::optimality::TileKind;
+use conv_iolb::core::shapes::ConvShape;
+use conv_iolb::gpusim::DeviceSpec;
+use conv_iolb::records::RecordStore;
+use conv_iolb::service::{
+    Backend, BackendSession, Daemon, DaemonConfig, ServeSource, ServiceConfig, ShardedStore,
+    SocketBackend, TuneRequest,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const BUDGET: usize = 12;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::v100()
+}
+
+fn daemon_config() -> DaemonConfig {
+    DaemonConfig {
+        service: ServiceConfig {
+            budget_per_workload: BUDGET,
+            workers: 0, // sessions tune on the handler threads: deterministic
+            speculate_neighbors: false,
+            seed: TUNER_SEED,
+            ..ServiceConfig::default()
+        },
+        merge_interval: Duration::from_millis(50),
+        ..DaemonConfig::default()
+    }
+}
+
+/// Unique per test run: pid alone collides when the OS recycles pids
+/// across back-to-back invocations.
+fn unique_tag() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    format!("{}-{nanos}", std::process::id())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iolb-daemon-{tag}-{}", unique_tag()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The eager reference: `tune_with_store` on a fresh store at the
+/// daemon's budget and seed.
+fn eager(shape: &ConvShape) -> (RecordStore, f64, usize) {
+    let mut store = RecordStore::new();
+    let mut s = tuner_setup(shape, TileKind::Direct, &device(), BUDGET, TUNER_SEED);
+    let out =
+        tune_with_store(&s.space, &s.measurer, &mut s.model, &mut s.searcher, s.params, &mut store)
+            .expect("feasible workload");
+    (store, out.result.best_ms, out.fresh_measurements)
+}
+
+/// 5 requests, 3 unique — the duplicate-layer network from the session
+/// tests, now crossing a socket.
+fn requests() -> Vec<TuneRequest> {
+    let a = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let b = ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0);
+    let c = ConvShape::new(24, 14, 14, 12, 1, 1, 1, 0);
+    [a, b, a, c, a].iter().map(|&shape| TuneRequest { shape, kind: TileKind::Direct }).collect()
+}
+
+/// The ISSUE 5 pinned test: daemon-served per-layer configs are
+/// bit-identical to embedded/eager tuning, and a daemon restart serves
+/// the same bits from disk with zero new measurements.
+#[test]
+fn daemon_served_configs_are_bit_identical_to_eager() {
+    let dir = temp_dir("eager");
+    let sock = std::env::temp_dir().join(format!("iolb-daemon-eager-{}.sock", unique_tag()));
+    let (daemon, report) = Daemon::bind(&dir, &sock, daemon_config()).unwrap();
+    assert!(report.is_clean(), "warnings: {:?}", report.warnings);
+    let server = std::thread::spawn(move || daemon.run().unwrap());
+
+    let backend = SocketBackend::connect(&sock).unwrap();
+    let session = backend.submit_batch(&requests(), &device()).unwrap();
+    assert_eq!(session.request_count(), 5);
+    assert_eq!(session.unique_workloads(), 3, "dedup happens server-side");
+    let results = session.wait().unwrap();
+    assert_eq!(results.len(), 5);
+    for (request, served) in requests().iter().zip(&results) {
+        let served = served.as_ref().expect("feasible layer");
+        let (eager_store, eager_best_ms, _) = eager(&request.shape);
+        let workload = conv_iolb::records::Workload::new(
+            request.shape,
+            TileKind::Direct,
+            device().name,
+            device().smem_per_sm,
+        );
+        assert_eq!(
+            served.cost_ms.to_bits(),
+            eager_best_ms.to_bits(),
+            "daemon-served cost differs from eager for {}",
+            workload.fingerprint()
+        );
+        assert_eq!(served.config, eager_store.top_k(&workload, 1)[0].config);
+    }
+    // Exactly one tuning run per unique fingerprint, visible over the wire.
+    let snap = backend.stats().unwrap();
+    assert_eq!(snap.stats.inline_tuned + snap.stats.background_tuned, 3);
+    // requests() is a,b,a,c,a — three unique shapes.
+    let expected_fresh: usize = {
+        let mut seen = std::collections::BTreeSet::new();
+        requests()
+            .iter()
+            .filter(|r| seen.insert(format!("{}", r.shape)))
+            .map(|r| eager(&r.shape).2)
+            .sum()
+    };
+    assert_eq!(snap.stats.fresh_measurements, expected_fresh);
+    // Sync flushes to the daemon's directory.
+    let sync = backend.sync().unwrap();
+    assert!(sync.persisted);
+    assert!(sync.total > 0);
+    backend.shutdown().unwrap();
+    server.join().unwrap();
+    assert!(!sock.exists(), "clean shutdown removes the socket file");
+
+    // Restart: a second daemon over the same directory replays from the
+    // shards (zero fresh measurements) and carries the telemetry over.
+    let (daemon, report) = Daemon::bind(&dir, &sock, daemon_config()).unwrap();
+    assert!(report.is_clean(), "warnings: {:?}", report.warnings);
+    let server = std::thread::spawn(move || daemon.run().unwrap());
+    let backend = SocketBackend::connect(&sock).unwrap();
+    let restored = backend.stats().unwrap();
+    assert_eq!(
+        restored.stats.fresh_measurements, expected_fresh,
+        "telemetry must survive the restart"
+    );
+    let replay = backend.submit_batch(&requests(), &device()).unwrap().wait().unwrap();
+    for (fresh_run, replayed) in results.iter().zip(&replay) {
+        let fresh_run = fresh_run.as_ref().unwrap();
+        let replayed = replayed.as_ref().unwrap();
+        assert_eq!(replayed.source, ServeSource::ShardHit);
+        assert_eq!(replayed.fresh_measurements, 0);
+        assert_eq!(replayed.cost_ms.to_bits(), fresh_run.cost_ms.to_bits());
+        assert_eq!(replayed.config, fresh_run.config);
+    }
+    assert_eq!(
+        backend.stats().unwrap().stats.fresh_measurements,
+        expected_fresh,
+        "replay measured nothing"
+    );
+    backend.shutdown().unwrap();
+    server.join().unwrap();
+
+    // The directory holds exactly what an embedded service would hold.
+    let (store, report) = ShardedStore::load(&dir).unwrap();
+    assert!(report.is_clean());
+    assert!(!store.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two concurrent socket clients, same workload: one tuning run, both
+/// get identical bits.
+#[test]
+fn concurrent_socket_clients_share_one_tuning_run() {
+    let dir = temp_dir("dedup");
+    let sock = std::env::temp_dir().join(format!("iolb-daemon-dedup-{}.sock", unique_tag()));
+    let (daemon, _) = Daemon::bind(&dir, &sock, daemon_config()).unwrap();
+    let server = std::thread::spawn(move || daemon.run().unwrap());
+
+    let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let backend = SocketBackend::connect(&sock).unwrap();
+                backend
+                    .tune_or_wait_via(&shape, TileKind::Direct, &device())
+                    .unwrap()
+                    .expect("feasible workload")
+            })
+        })
+        .collect();
+    let results: Vec<_> = clients.into_iter().map(|t| t.join().unwrap()).collect();
+    let (_, eager_best_ms, eager_fresh) = eager(&shape);
+    for r in &results {
+        assert_eq!(r.cost_ms.to_bits(), eager_best_ms.to_bits());
+        assert_eq!(r.config, results[0].config);
+    }
+    let backend = SocketBackend::connect(&sock).unwrap();
+    let snap = backend.stats().unwrap();
+    assert_eq!(
+        snap.stats.inline_tuned + snap.stats.background_tuned,
+        1,
+        "two clients, one tuning run"
+    );
+    assert_eq!(snap.stats.fresh_measurements, eager_fresh, "no duplicate measurements");
+    backend.shutdown().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

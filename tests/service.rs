@@ -46,8 +46,8 @@ fn service_config(workers: usize) -> ServiceConfig {
         background_budget: 100_000,
         workers,
         speculate_neighbors: false,
-        speculation_probation: 8,
         seed: TUNER_SEED,
+        ..ServiceConfig::default()
     }
 }
 
@@ -178,6 +178,10 @@ fn service_round_trips_through_its_shard_directory() {
     };
     let (reopened, report) = TuningService::open(&dir, service_config(0)).unwrap();
     assert!(report.is_clean(), "warnings: {:?}", report.warnings);
+    // Counters are restored from the sidecar (telemetry survives the
+    // restart); serving must not add to them.
+    let restored = reopened.stats().fresh_measurements;
+    assert!(restored > 0, "sidecar counters restored on open");
     let mut reopened_costs = Vec::new();
     for layer in &net.layers {
         for (kind, _) in algo_candidates(&layer.shape) {
@@ -189,6 +193,10 @@ fn service_round_trips_through_its_shard_directory() {
         }
     }
     assert_eq!(costs, reopened_costs);
-    assert_eq!(reopened.stats().fresh_measurements, 0, "reopened service never measured");
+    assert_eq!(
+        reopened.stats().fresh_measurements,
+        restored,
+        "reopened service never measured while serving"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -34,8 +34,8 @@ fn config(speculate_neighbors: bool) -> ServiceConfig {
         background_budget: 100_000,
         workers: 0, // deterministic: the session/drain threads do the work
         speculate_neighbors,
-        speculation_probation: 8,
         seed: TUNER_SEED,
+        ..ServiceConfig::default()
     }
 }
 
