@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Fleet smoke: boot a 3-daemon TCP fleet, tune a network through the
+# consistent-hash router, assert per-layer configs are bit-identical to
+# an embedded run at the same budget/seed, then kill one daemon and
+# re-run through the unchanged 3-peer spec — the router must fail over
+# to the survivors and still produce the identical configs.
+#
+# Session traffic rides TCP and control (stop) rides the Unix sockets,
+# per the single-core deployment layout in docs/OPERATIONS.md.
+set -euo pipefail
+
+TC=target/release/tune-cache
+DIR=$(mktemp -d /tmp/iolb-fleet-smoke.XXXXXX)
+NET="32,14,14,16,1,1,1,0;16,14,14,32,1,1,1,0;32,14,14,16,1,1,1,0;24,14,14,12,1,1,1,0"
+BUDGET=8
+
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+SPECS=()
+for i in 1 2 3; do
+  mkdir -p "$DIR/d$i"
+  "$TC" serve "$DIR/d$i" --tcp 127.0.0.1:0 --budget "$BUDGET" --seed 7 \
+      --merge-interval-ms 100 > "$DIR/d$i.log" &
+  PIDS+=($!)
+done
+# Port 0 picks a free port; each daemon prints where it really listens.
+for i in 1 2 3; do
+  for _ in $(seq 1 100); do
+    grep -q '^listening on tcp ' "$DIR/d$i.log" && break
+    sleep 0.1
+  done
+  ADDR=$(sed -n 's/^listening on tcp //p' "$DIR/d$i.log")
+  [ -n "$ADDR" ] || { echo "daemon $i never reported a TCP address"; cat "$DIR/d$i.log"; exit 1; }
+  SPECS+=("tcp:$ADDR")
+done
+FLEET=$(IFS=,; echo "${SPECS[*]}")
+echo "fleet: $FLEET"
+
+# The embedded reference at the same budget and seed.
+mkdir -p "$DIR/ref"
+"$TC" tune-net --layers "$NET" -o "$DIR/ref" --budget "$BUDGET" --seed 7 > "$DIR/ref.out"
+grep '^  ' "$DIR/ref.out" > "$DIR/ref.layers"
+
+# Session 1: the full fleet must match the embedded run per layer.
+"$TC" tune-net --layers "$NET" --fleet "$FLEET" > "$DIR/fleet1.out"
+grep '^  ' "$DIR/fleet1.out" > "$DIR/fleet1.layers"
+diff -u "$DIR/ref.layers" "$DIR/fleet1.layers" \
+  || { echo "fleet configs differ from the embedded run"; exit 1; }
+
+# Kill daemon 2, then re-run through the unchanged 3-peer spec: the
+# router must mark it dead, re-route its key range, and still serve the
+# identical session.
+"$TC" stop "$DIR/d2/daemon.sock"
+wait "${PIDS[1]}"
+"$TC" tune-net --layers "$NET" --fleet "$FLEET" > "$DIR/fleet2.out"
+grep '^  ' "$DIR/fleet2.out" > "$DIR/fleet2.layers"
+diff -u "$DIR/ref.layers" "$DIR/fleet2.layers" \
+  || { echo "failover configs differ from the embedded run"; exit 1; }
+grep -q 'across 2 of 3 peer(s)' "$DIR/fleet2.out" \
+  || { echo "router did not report the dead peer"; cat "$DIR/fleet2.out"; exit 1; }
+
+# Survivors shut down cleanly and their directories are loadable.
+"$TC" stop "$DIR/d1/daemon.sock"
+"$TC" stop "$DIR/d3/daemon.sock"
+wait "${PIDS[0]}" "${PIDS[2]}"
+"$TC" serve-stats "$DIR/d1" > /dev/null
+"$TC" serve-stats "$DIR/d3" > /dev/null
+echo "fleet smoke OK"

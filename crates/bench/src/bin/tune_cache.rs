@@ -34,8 +34,9 @@ use iolb_core::shapes::ConvShape;
 use iolb_gpusim::DeviceSpec;
 use iolb_records::RecordStore;
 use iolb_service::{
-    Backend, Daemon, DaemonConfig, DirLock, EvictionPolicy, PerturbationKind, ServiceConfig,
-    ServiceSnapshot, ShardedStore, SocketBackend, TuningService, LOCK_TIMEOUT, SOCKET_FILE,
+    Backend, Daemon, DaemonConfig, DirLock, EvictionPolicy, FleetRouter, PeerAddr,
+    PerturbationKind, ServiceConfig, ServiceSnapshot, ShardedStore, SocketBackend, TcpBackend,
+    TuningService, LOCK_TIMEOUT, SOCKET_FILE,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -63,23 +64,31 @@ fn usage() -> ExitCode {
          serve-stats <DIR>                  manifest, LRU, per-device shard summary and the\n\
          \u{20}                                  service stats sidecar (queue depth, budget,\n\
          \u{20}                                  speculation telemetry)\n\
-         tune-net <network|--layers SPEC> (-o DIR | --daemon SOCK)\n\
+         tune-net <network|--layers SPEC> (-o DIR | --daemon SOCK | --fleet PEERS)\n\
          \u{20}                                  [--budget N] [--seed N] [--workers N]\n\
          \u{20}                                  batch-tune a whole network in one session. With\n\
          \u{20}                                  -o DIR, tune embedded and merge the records into\n\
          \u{20}                                  DIR under its advisory lock (multi-process safe);\n\
          \u{20}                                  with --daemon SOCK, send the session to a resident\n\
          \u{20}                                  shard server (budget/seed/workers are then the\n\
-         \u{20}                                  daemon's). <network> is a model name (alexnet,\n\
-         \u{20}                                  vgg-19, ...); SPEC is layers as\n\
+         \u{20}                                  daemon's); with --fleet PEERS (comma-separated\n\
+         \u{20}                                  tcp:HOST:PORT / unix:PATH specs, flag repeatable),\n\
+         \u{20}                                  consistent-hash the session across N daemons and\n\
+         \u{20}                                  fail over if one dies. <network> is a model name\n\
+         \u{20}                                  (alexnet, vgg-19, ...); SPEC is layers as\n\
          \u{20}                                  cin,hin,win,cout,kh,kw,stride,pad;...\n\
-         serve   <DIR> [--socket PATH] [--budget N] [--seed N] [--workers N]\n\
-         \u{20}                                  [--merge-interval-ms N] [--idle-timeout SECS]\n\
+         serve   <DIR> [--socket PATH] [--tcp HOST:PORT] [--budget N] [--seed N]\n\
+         \u{20}                                  [--workers N] [--merge-interval-ms N]\n\
+         \u{20}                                  [--idle-timeout SECS] [--peer SPEC]...\n\
+         \u{20}                                  [--peer-sync-ms N]\n\
          \u{20}                                  run a resident shard-server daemon: hold DIR's\n\
          \u{20}                                  lock for the daemon's lifetime, serve sessions on\n\
-         \u{20}                                  PATH (default DIR/daemon.sock), batch persistence\n\
-         \u{20}                                  on the merge interval, drop idle connections\n\
-         stop    <SOCK>                     ask the daemon on SOCK to persist and exit\n\
+         \u{20}                                  PATH (default DIR/daemon.sock) and optionally on\n\
+         \u{20}                                  TCP (port 0 picks a free port, printed at start),\n\
+         \u{20}                                  batch persistence on the merge interval, drop idle\n\
+         \u{20}                                  connections, and anti-entropy-pull every --peer\n\
+         \u{20}                                  daemon on the sync interval (default 5000 ms)\n\
+         stop    <SOCK|tcp:HOST:PORT>       ask the daemon there to persist and exit\n\
          \n\
          every directory-locking command also takes --lock-timeout SECS\n\
          (default 30): how long to wait for the advisory lock before\n\
@@ -165,17 +174,29 @@ fn main() -> ExitCode {
                 idle_timeout: Duration::from_secs(
                     flag_value(rest, "--idle-timeout").unwrap_or(30) as u64
                 ),
+                tcp: flag_string(rest, "--tcp"),
+                peers: flag_strings(rest, "--peer").iter().map(|s| PeerAddr::parse(s)).collect(),
+                peer_sync_interval: Duration::from_millis(
+                    flag_value(rest, "--peer-sync-ms").unwrap_or(5000) as u64,
+                ),
             };
             serve(Path::new(dir), &socket, config)
         }
-        ("stop", [socket]) => stop(Path::new(socket)),
+        ("stop", [spec]) => stop(spec),
         ("tune-net", [target, rest @ ..]) => {
             let daemon = flag_path(rest, "--daemon");
             let out = flag_path(rest, "-o");
-            if daemon.is_none() && out.is_none() {
+            let fleet: Vec<String> = flag_strings(rest, "--fleet")
+                .iter()
+                .flat_map(|group| group.split(','))
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if daemon.is_none() && out.is_none() && fleet.is_empty() {
                 eprintln!(
-                    "tune-net requires -o DIR (embedded; merge into the shard directory) \
-                     or --daemon SOCK (send the session to a resident daemon)"
+                    "tune-net requires -o DIR (embedded; merge into the shard directory), \
+                     --daemon SOCK (send the session to a resident daemon), \
+                     or --fleet PEERS (route it across a daemon fleet)"
                 );
                 return ExitCode::from(2);
             }
@@ -207,6 +228,9 @@ fn main() -> ExitCode {
                     }
                 }
             };
+            if !fleet.is_empty() {
+                return tune_net_fleet(layers, &fleet);
+            }
             if let Some(socket) = daemon {
                 return tune_net_daemon(layers, &socket);
             }
@@ -383,10 +407,45 @@ fn tune_net_daemon(layers: Vec<ConvShape>, socket: &Path) -> ExitCode {
     }
 }
 
+/// `tune-net --fleet`: the same session, consistent-hash-routed across
+/// a fleet of daemons. Each layer's workload fingerprint picks its
+/// owning daemon; a daemon that dies mid-session has its slice re-routed
+/// to the survivors (hermetic tuning keeps the results bit-identical to
+/// a single daemon or an embedded run).
+fn tune_net_fleet(layers: Vec<ConvShape>, specs: &[String]) -> ExitCode {
+    let device = DeviceSpec::v100();
+    let router = FleetRouter::from_specs(specs);
+    let net = spec_network(&layers);
+    let (timed, eco) = match time_network_with_backend(&net, &device, &router) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("error: fleet session failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_session_summary(&net, &timed, &eco);
+    match router.sync() {
+        Ok(sync) => {
+            println!(
+                "fleet persisted: {} record(s) total across {} of {} peer(s){}",
+                sync.total,
+                router.live_peers(),
+                router.peers().len(),
+                if sync.persisted { "" } else { " (some peers unreachable or flush failed)" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: fleet sync failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `serve`: run the resident shard-server daemon in the foreground
 /// until a client sends shutdown (`tune-cache stop SOCK`).
 fn serve(dir: &Path, socket: &Path, config: DaemonConfig) -> ExitCode {
-    let (daemon, report) = match Daemon::bind(dir, socket, config) {
+    let (daemon, report) = match Daemon::bind(dir, socket, config.clone()) {
         Ok(ok) => ok,
         Err(e) => {
             eprintln!("error: cannot start daemon over {}: {e}", dir.display());
@@ -408,6 +467,17 @@ fn serve(dir: &Path, socket: &Path, config: DaemonConfig) -> ExitCode {
         config.merge_interval.as_millis(),
         socket.display()
     );
+    // The actual port matters when the config said `:0`; fleet scripts
+    // parse this line to learn where the daemon really listens.
+    if let Some(addr) = daemon.tcp_addr() {
+        println!("listening on tcp {addr}");
+    }
+    for peer in &config.peers {
+        println!(
+            "anti-entropy peer {peer} (pull every {} ms)",
+            config.peer_sync_interval.as_millis()
+        );
+    }
     match daemon.run() {
         Ok(()) => {
             println!("daemon shut down cleanly");
@@ -420,22 +490,25 @@ fn serve(dir: &Path, socket: &Path, config: DaemonConfig) -> ExitCode {
     }
 }
 
-/// `stop`: ask the daemon to persist and exit.
-fn stop(socket: &Path) -> ExitCode {
-    let backend = match SocketBackend::connect(socket) {
-        Ok(backend) => backend,
-        Err(e) => {
-            eprintln!("error: cannot connect to daemon socket {}: {e}", socket.display());
-            return ExitCode::FAILURE;
-        }
+/// `stop`: ask the daemon — on a Unix socket or a TCP address — to
+/// persist and exit.
+fn stop(spec: &str) -> ExitCode {
+    let addr = PeerAddr::parse(spec);
+    let outcome = match &addr {
+        PeerAddr::Unix(path) => SocketBackend::connect(path)
+            .map_err(|e| format!("cannot connect to daemon socket {}: {e}", path.display()))
+            .and_then(|b| b.shutdown().map_err(|e| format!("shutdown request failed: {e}"))),
+        PeerAddr::Tcp(host) => TcpBackend::connect(host.as_str())
+            .map_err(|e| format!("cannot connect to daemon at tcp:{host}: {e}"))
+            .and_then(|b| b.shutdown().map_err(|e| format!("shutdown request failed: {e}"))),
     };
-    match backend.shutdown() {
+    match outcome {
         Ok(()) => {
-            println!("daemon at {} is shutting down", socket.display());
+            println!("daemon at {addr} is shutting down");
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: shutdown request failed: {e}");
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -449,6 +522,25 @@ fn flag_value(args: &[String], flag: &str) -> Option<usize> {
 fn flag_path(args: &[String], flag: &str) -> Option<PathBuf> {
     let at = args.iter().position(|a| a == flag)?;
     args.get(at + 1).map(PathBuf::from)
+}
+
+fn flag_string(args: &[String], flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.get(at + 1).cloned()
+}
+
+/// Every value of a repeatable flag, in order (`--peer A --peer B`).
+fn flag_strings(args: &[String], flag: &str) -> Vec<String> {
+    let mut values = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == flag {
+            if let Some(value) = it.next() {
+                values.push(value.clone());
+            }
+        }
+    }
+    values
 }
 
 /// Loads either a flat store file or a shard directory as a

@@ -247,11 +247,14 @@ pub fn time_network_with_service(
 /// Times a whole network through any tuning [`Backend`] — the
 /// transport-abstracted generalization of [`time_network_with_service`]:
 /// pass the in-process [`TuningService`] and this is the embedded path,
-/// pass an [`iolb_service::SocketBackend`] and the same session runs
-/// against a resident shard-server daemon over its Unix socket (with
-/// bit-identical results: the daemon runs the identical hermetic tuning;
-/// pinned by `tests/daemon.rs`). Errors can only come from a remote
-/// backend's transport or daemon.
+/// pass an [`iolb_service::SocketBackend`] / [`iolb_service::TcpBackend`]
+/// and the same session runs against a resident shard-server daemon over
+/// its Unix socket or TCP listener, pass an
+/// [`iolb_service::FleetRouter`] and it is consistent-hash-scattered
+/// across a whole daemon fleet — all with bit-identical results: every
+/// backend runs the identical hermetic tuning (pinned by
+/// `tests/daemon.rs` and `tests/fleet.rs`). Errors can only come from a
+/// remote backend's transport or daemon.
 pub fn time_network_with_backend<B: Backend>(
     net: &Network,
     device: &DeviceSpec,

@@ -36,7 +36,7 @@ impl LoadReport {
 }
 
 /// The tuning-record database.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecordStore {
     /// fingerprint -> records, each list sorted canonically (best first).
     by_workload: BTreeMap<String, Vec<TuningRecord>>,

@@ -1,13 +1,13 @@
-//! The resident shard-server daemon and its socket client.
+//! The resident shard-server daemon and its socket clients.
 //!
 //! PR 4 let N `tune-net` processes share one shard directory, but every
 //! sync still rendezvoused on the directory `flock` and re-loaded /
 //! re-merged the JSONL from disk. A [`Daemon`] removes that rendezvous:
 //! it takes the directory's advisory [`DirLock`] **once, for its whole
-//! lifetime**, owns the [`ShardedStore`](crate::shard::ShardedStore)
-//! in memory, serves tuning
-//! sessions over a Unix domain socket, and batches persistence on a
-//! merge interval instead of per request.
+//! lifetime**, owns the [`ShardedStore`] in memory, serves tuning
+//! sessions over a Unix domain socket — and, since PR 6, optionally a
+//! TCP listener at the same time — and batches persistence on a merge
+//! interval instead of per request.
 //!
 //! * **Single-flock ownership** — while the daemon runs, no other writer
 //!   can touch the directory (they time out with the typed
@@ -30,19 +30,36 @@
 //!   handled inline on the accept thread, serialized but correct.
 //! * **Results are bit-identical** — the daemon runs the same hermetic
 //!   per-workload tuning as the embedded path; `tests/daemon.rs` pins
-//!   daemon-served configs against eager `tune_with_store`.
+//!   daemon-served configs against eager `tune_with_store`, and
+//!   `tests/fleet.rs` pins a 3-daemon TCP fleet against the same
+//!   reference.
+//! * **Anti-entropy replication** — a daemon given `--peer` addresses
+//!   ([`DaemonConfig::peers`]) periodically `Pull`s each peer's full
+//!   store and merges it with
+//!   [`ShardedStore::absorb`](crate::shard::ShardedStore::absorb) —
+//!   a commutative, idempotent union (records ∪, per-fingerprint max
+//!   LRU stamps, max clock), so two daemons that diverged while
+//!   partitioned converge to the same store once either can reach the
+//!   other. Peers that are down are skipped silently: unreachable is
+//!   the *normal* state anti-entropy exists to heal.
 //!
-//! [`SocketBackend`] is the client half: it implements [`Backend`], so
-//! everything written against the trait
-//! (`iolb_cnn::time_network_with_backend`, `tune-net`) runs embedded or
-//! client/server without changing a line.
+//! [`SocketBackend`] and [`TcpBackend`] are the client half — the same
+//! generic [`WireBackend`] over a Unix or TCP stream. Both implement
+//! [`Backend`], so everything written against the trait
+//! (`iolb_cnn::time_network_with_backend`, `tune-net`) runs embedded,
+//! against one daemon, or — through
+//! [`FleetRouter`](crate::fleet::FleetRouter) — against a whole fleet
+//! without changing a line.
 
+use crate::fleet::PeerAddr;
 use crate::service::{ServiceSnapshot, TuningService};
 use crate::session::{Backend, BackendError, BackendSession, SyncOutcome, TuneRequest};
-use crate::shard::{DirLock, ShardLoadReport};
+use crate::shard::{DirLock, ShardLoadReport, ShardedStore};
 use crate::wire::{self, Request, Response, WireError};
 use iolb_gpusim::DeviceSpec;
 use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -54,7 +71,7 @@ use std::time::Duration;
 pub const SOCKET_FILE: &str = "daemon.sock";
 
 /// Daemon knobs on top of the service's own.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DaemonConfig {
     /// The tuning service the daemon embeds (budget, seed, workers,
     /// lock timeout for the startup lock, ...). Clients inherit these:
@@ -74,6 +91,23 @@ pub struct DaemonConfig {
     /// worker and starve new connections — including `tune-cache stop`.
     /// Clients are short-lived CLI sessions; reconnecting is cheap.
     pub idle_timeout: Duration,
+    /// When set, the daemon additionally listens on this TCP address
+    /// (`host:port`; port `0` picks a free port, reported by
+    /// [`Daemon::tcp_addr`]). The Unix socket always stays up — local
+    /// clients and `tune-cache stop` keep working unchanged. The wire
+    /// protocol is byte-identical on both transports.
+    pub tcp: Option<String>,
+    /// Fleet peers this daemon anti-entropy-syncs *from*: every
+    /// [`peer_sync_interval`](Self::peer_sync_interval) it pulls each
+    /// peer's full store and absorbs it. List every *other* daemon of
+    /// the fleet; pulls are one-directional, so mutual replication needs
+    /// each daemon to list its peers (the usual full-mesh spec).
+    pub peers: Vec<PeerAddr>,
+    /// How often the anti-entropy thread walks [`peers`](Self::peers).
+    /// Convergence lag between two daemons is at most one interval per
+    /// hop; shorter intervals cost one full-store transfer per peer per
+    /// tick (see `docs/OPERATIONS.md` for sizing).
+    pub peer_sync_interval: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -82,12 +116,57 @@ impl Default for DaemonConfig {
             service: crate::service::ServiceConfig::default(),
             merge_interval: Duration::from_secs(1),
             idle_timeout: Duration::from_secs(30),
+            tcp: None,
+            peers: Vec::new(),
+            peer_sync_interval: Duration::from_secs(5),
         }
     }
 }
 
-/// State shared between the accept loop, connection handlers and the
-/// persister thread.
+/// One accepted server-side connection, whichever listener it came in
+/// on. The framing layer only needs `Read + Write`, so the daemon
+/// serves both transports through one handler.
+enum ServerStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl ServerStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            ServerStream::Unix(s) => s.set_read_timeout(timeout),
+            ServerStream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for ServerStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ServerStream::Unix(s) => s.read(buf),
+            ServerStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ServerStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ServerStream::Unix(s) => s.write(buf),
+            ServerStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ServerStream::Unix(s) => s.flush(),
+            ServerStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// State shared between the accept loops, connection handlers and the
+/// persister / peer-sync threads.
 struct Shared {
     shutdown: AtomicBool,
     /// Live client connections; shutdown drains to zero before the
@@ -103,28 +182,38 @@ struct Shared {
     /// any client `Sync` handler), which would share a temp path and
     /// rename each other's half-written files into place.
     persist_gate: Mutex<()>,
+    /// Where the listeners live, so `request_shutdown` can poke each
+    /// accept loop awake (they re-check the flag per connection).
+    socket_path: PathBuf,
+    tcp_addr: Option<SocketAddr>,
 }
 
 impl Shared {
-    fn request_shutdown(&self, socket_path: &Path) {
+    fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         {
             let _g = self.gate.lock().expect("daemon gate poisoned");
             self.changed.notify_all();
         }
-        // Wake the accept loop: it re-checks the flag per connection.
-        let _ = UnixStream::connect(socket_path);
+        // Wake both accept loops: each re-checks the flag per connection.
+        let _ = UnixStream::connect(&self.socket_path);
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
     }
 }
 
 /// A resident shard-server: owns a shard directory (one flock for its
-/// lifetime) and serves tuning sessions over a Unix domain socket.
+/// lifetime) and serves tuning sessions over a Unix domain socket and,
+/// optionally, TCP.
 pub struct Daemon {
     service: TuningService,
     config: DaemonConfig,
     dir: PathBuf,
     socket_path: PathBuf,
     listener: UnixListener,
+    tcp_listener: Option<TcpListener>,
+    tcp_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     /// Held from bind to drop: the directory belongs to this process.
     _lock: DirLock,
@@ -134,12 +223,13 @@ impl Daemon {
     /// Claims the shard directory (advisory lock, held until the daemon
     /// exits), loads its records and persisted telemetry (the same
     /// restore path as [`TuningService::open`], under our lock), and
-    /// binds the socket. A pre-existing socket file is removed only
+    /// binds the socket(s). A pre-existing socket file is removed only
     /// when nothing answers on it (a stale leftover from a crashed
     /// daemon); a *live* listener — e.g. another daemon given the same
     /// `--socket` path over a different directory, which our flock says
     /// nothing about — fails the bind with `AddrInUse` instead of being
-    /// silently unplugged.
+    /// silently unplugged. A TCP bind failure (typically `AddrInUse`)
+    /// is likewise fatal at bind time, never discovered mid-serve.
     pub fn bind(
         dir: impl AsRef<Path>,
         socket_path: impl AsRef<Path>,
@@ -159,14 +249,37 @@ impl Daemon {
             std::fs::remove_file(&socket_path)?;
         }
         let listener = UnixListener::bind(&socket_path)?;
+        let (tcp_listener, tcp_addr) = match &config.tcp {
+            Some(addr) => {
+                let tcp = TcpListener::bind(addr.as_str())?;
+                let local = tcp.local_addr()?;
+                (Some(tcp), Some(local))
+            }
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             gate: Mutex::new(()),
             changed: Condvar::new(),
             persist_gate: Mutex::new(()),
+            socket_path: socket_path.clone(),
+            tcp_addr,
         });
-        Ok((Self { service, config, dir, socket_path, listener, shared, _lock: lock }, report))
+        Ok((
+            Self {
+                service,
+                config,
+                dir,
+                socket_path,
+                listener,
+                tcp_listener,
+                tcp_addr,
+                shared,
+                _lock: lock,
+            },
+            report,
+        ))
     }
 
     /// The embedded tuning service (tests and in-process callers).
@@ -179,15 +292,23 @@ impl Daemon {
         &self.socket_path
     }
 
+    /// The TCP address actually bound, when [`DaemonConfig::tcp`] was
+    /// set — with the real port even if the config said `:0`.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
     /// The shard directory this daemon owns.
     pub fn dir(&self) -> &Path {
         &self.dir
     }
 
-    /// Serves until a client sends `Shutdown`: accepts connections,
-    /// hands each to a pool task, and keeps the persister flushing on
-    /// the merge interval. On shutdown it drains live connections, does
-    /// a final persist, and removes the socket file.
+    /// Serves until a client sends `Shutdown`: accepts connections on
+    /// every bound listener, hands each to a pool task, keeps the
+    /// persister flushing on the merge interval, and (when peers are
+    /// configured) anti-entropy-pulls the fleet. On shutdown it drains
+    /// live connections, does a final persist, and removes the socket
+    /// file.
     pub fn run(self) -> std::io::Result<()> {
         let persister = {
             let service = self.service.clone();
@@ -223,6 +344,81 @@ impl Daemon {
             })?
         };
 
+        let peer_sync = if self.config.peers.is_empty() {
+            None
+        } else {
+            let service = self.service.clone();
+            let dir = self.dir.clone();
+            let shared = Arc::clone(&self.shared);
+            let peers = self.config.peers.clone();
+            let interval = self.config.peer_sync_interval;
+            Some(std::thread::Builder::new().name("iolb-daemon-peersync".into()).spawn(
+                move || {
+                    'sync: loop {
+                        // Sleep in short ticks so a requested shutdown is
+                        // noticed within one tick, not one sync interval.
+                        let mut slept = Duration::ZERO;
+                        while slept < interval {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                break 'sync;
+                            }
+                            std::thread::sleep(IDLE_TICK.min(interval));
+                            slept += IDLE_TICK.min(interval);
+                        }
+                        let mut absorbed = 0usize;
+                        for peer in &peers {
+                            match pull_peer(peer) {
+                                Ok(store) => {
+                                    absorbed += service.lock().shards.absorb(store);
+                                }
+                                // An unreachable peer is the normal case
+                                // anti-entropy exists for; try next tick.
+                                Err(BackendError::Transport(_)) => {}
+                                Err(e) => {
+                                    eprintln!("iolb-daemon: anti-entropy pull from {peer}: {e}")
+                                }
+                            }
+                        }
+                        // Absorbed records change the store but not the
+                        // ServiceSnapshot the interval persister diffs on,
+                        // so flush them explicitly.
+                        if absorbed > 0 {
+                            persist(&service, &dir, &shared);
+                        }
+                    }
+                },
+            )?)
+        };
+
+        let tcp_thread = self.tcp_listener.map(|tcp| {
+            let service = self.service.clone();
+            let dir = self.dir.clone();
+            let shared = Arc::clone(&self.shared);
+            let idle_timeout = self.config.idle_timeout;
+            std::thread::Builder::new()
+                .name("iolb-daemon-tcp".into())
+                .spawn(move || {
+                    for stream in tcp.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else {
+                            std::thread::sleep(Duration::from_millis(50));
+                            continue;
+                        };
+                        let _ = stream.set_nodelay(true);
+                        spawn_handler(
+                            ServerStream::Tcp(stream),
+                            &service,
+                            &dir,
+                            &shared,
+                            idle_timeout,
+                        );
+                    }
+                })
+                .expect("cannot spawn iolb-daemon-tcp")
+        });
+
         for stream in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -233,29 +429,20 @@ impl Daemon {
                 std::thread::sleep(Duration::from_millis(50));
                 continue;
             };
-            self.shared.active.fetch_add(1, Ordering::SeqCst);
-            let service = self.service.clone();
-            let dir = self.dir.clone();
-            let shared = Arc::clone(&self.shared);
-            let socket_path = self.socket_path.clone();
-            let idle_timeout = self.config.idle_timeout;
-            rayon::spawn(move || {
-                // Decrement even if the handler panics (a panicking tuner
-                // is caught by the pool; shutdown must still drain).
-                struct Departure(Arc<Shared>);
-                impl Drop for Departure {
-                    fn drop(&mut self) {
-                        self.0.active.fetch_sub(1, Ordering::SeqCst);
-                        let _g = self.0.gate.lock().expect("daemon gate poisoned");
-                        self.0.changed.notify_all();
-                    }
-                }
-                let _departure = Departure(shared.clone());
-                handle_connection(&service, stream, &dir, &shared, &socket_path, idle_timeout);
-            });
+            spawn_handler(
+                ServerStream::Unix(stream),
+                &self.service,
+                &self.dir,
+                &self.shared,
+                self.config.idle_timeout,
+            );
         }
 
-        // Shutdown: let in-flight clients finish, then flush once.
+        // Shutdown: stop accepting (both loops were woken), let
+        // in-flight clients finish, then flush once.
+        if let Some(t) = tcp_thread {
+            t.join().expect("daemon tcp acceptor panicked");
+        }
         {
             let mut guard = self.shared.gate.lock().expect("daemon gate poisoned");
             while self.shared.active.load(Ordering::SeqCst) > 0 {
@@ -263,6 +450,9 @@ impl Daemon {
             }
         }
         persister.join().expect("daemon persister panicked");
+        if let Some(t) = peer_sync {
+            t.join().expect("daemon peer-sync panicked");
+        }
         let (_, persisted) = persist(&self.service, &self.dir, &self.shared);
         let _ = std::fs::remove_file(&self.socket_path);
         if persisted {
@@ -274,6 +464,48 @@ impl Daemon {
                 "final flush to {} failed; records tuned since the last successful persist were                  not saved",
                 self.dir.display()
             )))
+        }
+    }
+}
+
+/// Registers a connection as active and hands it to a pool task; used
+/// identically by the Unix and TCP accept loops.
+fn spawn_handler(
+    stream: ServerStream,
+    service: &TuningService,
+    dir: &Path,
+    shared: &Arc<Shared>,
+    idle_timeout: Duration,
+) {
+    shared.active.fetch_add(1, Ordering::SeqCst);
+    let service = service.clone();
+    let dir = dir.to_path_buf();
+    let shared = Arc::clone(shared);
+    rayon::spawn(move || {
+        // Decrement even if the handler panics (a panicking tuner
+        // is caught by the pool; shutdown must still drain).
+        struct Departure(Arc<Shared>);
+        impl Drop for Departure {
+            fn drop(&mut self) {
+                self.0.active.fetch_sub(1, Ordering::SeqCst);
+                let _g = self.0.gate.lock().expect("daemon gate poisoned");
+                self.0.changed.notify_all();
+            }
+        }
+        let _departure = Departure(shared.clone());
+        handle_connection(&service, stream, &dir, &shared, idle_timeout);
+    });
+}
+
+/// One anti-entropy pull: connect to the peer on whichever transport it
+/// speaks and fetch its full store.
+fn pull_peer(peer: &PeerAddr) -> Result<ShardedStore, BackendError> {
+    match peer {
+        PeerAddr::Unix(path) => {
+            SocketBackend::connect(path).map_err(BackendError::Transport)?.pull()
+        }
+        PeerAddr::Tcp(addr) => {
+            TcpBackend::connect(addr.as_str()).map_err(BackendError::Transport)?.pull()
         }
     }
 }
@@ -326,12 +558,12 @@ const FRAME_TIMEOUT: Duration = Duration::from_secs(30);
 /// the deadline and the daemon's shutdown flag — without this, a peer
 /// trickling bytes would reset the per-read timeout indefinitely.
 struct DeadlineReader<'a> {
-    stream: &'a mut UnixStream,
+    stream: &'a mut ServerStream,
     deadline: std::time::Instant,
     shared: &'a Shared,
 }
 
-impl std::io::Read for DeadlineReader<'_> {
+impl Read for DeadlineReader<'_> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         loop {
             if self.shared.shutdown.load(Ordering::SeqCst) {
@@ -375,13 +607,11 @@ impl std::io::Read for DeadlineReader<'_> {
 /// requested shutdown within one tick.
 fn handle_connection(
     service: &TuningService,
-    mut stream: UnixStream,
+    mut stream: ServerStream,
     dir: &Path,
     shared: &Shared,
-    socket_path: &Path,
     idle_timeout: Duration,
 ) {
-    use std::io::Read;
     let mut sessions = BTreeMap::new();
     let mut next_session = 0u64;
     let mut idle = Duration::ZERO;
@@ -472,9 +702,13 @@ fn handle_connection(
                 Response::Synced { persisted, total }
             }
             Request::Stats => Response::Stats { snapshot: Box::new(service.snapshot()) },
+            // Anti-entropy: ship a snapshot of the whole store; the
+            // puller absorbs it (commutative union), so concurrent
+            // tuning on either side is never lost, only re-merged.
+            Request::Pull => Response::State { store: Box::new(service.lock().shards.clone()) },
             Request::Shutdown => {
                 let _ = wire::write_response(&mut stream, &Response::Bye);
-                shared.request_shutdown(socket_path);
+                shared.request_shutdown();
                 break;
             }
         };
@@ -495,27 +729,52 @@ impl From<WireError> for BackendError {
     }
 }
 
-/// The daemon client: a [`Backend`] over one Unix-socket connection.
+/// The daemon client: a [`Backend`] over one connection of stream type
+/// `S`. Use the [`SocketBackend`] (Unix) and [`TcpBackend`] aliases.
 /// Cheap to clone (clones share the connection); requests are
 /// serialized request/response pairs, so a blocked [`wait`] occupies
-/// the connection — use one `SocketBackend` per concurrent session.
+/// the connection — use one backend per concurrent session.
 ///
 /// [`wait`]: BackendSession::wait
-#[derive(Clone)]
-pub struct SocketBackend {
-    stream: Arc<Mutex<UnixStream>>,
+pub struct WireBackend<S> {
+    stream: Arc<Mutex<S>>,
 }
 
-impl SocketBackend {
-    /// Connects to a daemon's socket.
+impl<S> Clone for WireBackend<S> {
+    fn clone(&self) -> Self {
+        Self { stream: Arc::clone(&self.stream) }
+    }
+}
+
+/// [`WireBackend`] over a Unix domain socket (same-machine clients).
+pub type SocketBackend = WireBackend<UnixStream>;
+
+/// [`WireBackend`] over TCP (fleet clients and anti-entropy pulls).
+pub type TcpBackend = WireBackend<TcpStream>;
+
+impl WireBackend<UnixStream> {
+    /// Connects to a daemon's Unix socket.
     pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Self> {
         Ok(Self { stream: Arc::new(Mutex::new(UnixStream::connect(path)?)) })
     }
+}
 
+impl WireBackend<TcpStream> {
+    /// Connects to a daemon's TCP listener. Nagle is disabled: the
+    /// protocol is small request/response frames, where coalescing only
+    /// adds latency.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream: Arc::new(Mutex::new(stream)) })
+    }
+}
+
+impl<S: Read + Write> WireBackend<S> {
     /// One request/response exchange. Daemon-reported errors surface as
     /// [`BackendError::Remote`].
-    fn call(&self, request: &Request) -> Result<Response, BackendError> {
-        let mut stream = self.stream.lock().expect("socket backend poisoned");
+    pub(crate) fn call(&self, request: &Request) -> Result<Response, BackendError> {
+        let mut stream = self.stream.lock().expect("wire backend poisoned");
         wire::write_request(&mut *stream, request)?;
         match wire::read_response(&mut *stream)? {
             Response::Error { message } => Err(BackendError::Remote(message)),
@@ -531,18 +790,36 @@ impl SocketBackend {
             other => Err(BackendError::Protocol(format!("expected Bye, got {other:?}"))),
         }
     }
+
+    /// Fetches the daemon's full store (the anti-entropy `Pull`). The
+    /// caller merges it with
+    /// [`ShardedStore::absorb`](crate::shard::ShardedStore::absorb);
+    /// tests also use it to observe convergence.
+    pub fn pull(&self) -> Result<ShardedStore, BackendError> {
+        match self.call(&Request::Pull)? {
+            Response::State { store } => Ok(*store),
+            other => Err(BackendError::Protocol(format!("expected State, got {other:?}"))),
+        }
+    }
 }
 
-/// A batch submitted over the socket; the daemon holds the real
-/// [`SessionHandle`](crate::session::SessionHandle) server-side.
-pub struct SocketSession {
-    backend: SocketBackend,
+/// A batch submitted over a [`WireBackend`] connection; the daemon
+/// holds the real [`SessionHandle`](crate::session::SessionHandle)
+/// server-side.
+pub struct WireSession<S> {
+    backend: WireBackend<S>,
     session: u64,
     requests: usize,
     unique: usize,
 }
 
-impl BackendSession for SocketSession {
+/// [`WireSession`] over a Unix domain socket.
+pub type SocketSession = WireSession<UnixStream>;
+
+/// [`WireSession`] over TCP.
+pub type TcpSession = WireSession<TcpStream>;
+
+impl<S: Read + Write> BackendSession for WireSession<S> {
     fn request_count(&self) -> usize {
         self.requests
     }
@@ -568,22 +845,19 @@ impl BackendSession for SocketSession {
     }
 }
 
-impl Backend for SocketBackend {
-    type Session = SocketSession;
+impl<S: Read + Write> Backend for WireBackend<S> {
+    type Session = WireSession<S>;
 
     fn submit_batch(
         &self,
         requests: &[TuneRequest],
         device: &DeviceSpec,
-    ) -> Result<SocketSession, BackendError> {
+    ) -> Result<WireSession<S>, BackendError> {
         let request = Request::Submit { device: device.clone(), requests: requests.to_vec() };
         match self.call(&request)? {
-            Response::Submitted { session, unique } => Ok(SocketSession {
-                backend: self.clone(),
-                session,
-                requests: requests.len(),
-                unique,
-            }),
+            Response::Submitted { session, unique } => {
+                Ok(WireSession { backend: self.clone(), session, requests: requests.len(), unique })
+            }
             other => Err(BackendError::Protocol(format!("expected Submitted, got {other:?}"))),
         }
     }

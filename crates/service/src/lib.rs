@@ -33,14 +33,23 @@
 //!   errors, never panics.
 //! * [`daemon`] — the resident shard server: a [`Daemon`] owns a shard
 //!   directory (one advisory flock for its lifetime), serves
-//!   Submit/Wait/Sync/Stats/Shutdown over a Unix domain socket with
-//!   cross-client fingerprint dedup, and batches persistence on a merge
-//!   interval; [`SocketBackend`] is the client half.
+//!   Submit/Wait/Sync/Stats/Pull/Shutdown over a Unix domain socket
+//!   and, optionally, TCP, with cross-client fingerprint dedup, batched
+//!   persistence on a merge interval, and periodic anti-entropy pulls
+//!   from fleet peers (absorbed with the commutative
+//!   [`ShardedStore::absorb`] union); [`SocketBackend`] /
+//!   [`TcpBackend`] are the client half.
+//! * [`fleet`] — the client-side fleet router: [`FleetRouter`]
+//!   consistent-hashes workload fingerprints across N daemons
+//!   ([`PeerAddr`] specs, Unix or TCP), re-routes a dead peer's key
+//!   range to the survivors, and re-submits its in-flight slice —
+//!   hermetic tuning makes the failed-over results bit-identical.
 //!
 //! The request path is transport-abstracted through [`Backend`]
-//! (submit/wait/sync/stats): the in-process [`TuningService`] and the
-//! socket client implement the same trait, so callers run embedded or
-//! client/server without code changes.
+//! (submit/wait/sync/stats): the in-process [`TuningService`], the
+//! socket/TCP clients and the fleet router implement the same trait, so
+//! callers run embedded, client/server, or against a replicated fleet
+//! without code changes.
 //!
 //! Per-workload tuning runs are *hermetic* (see the [`service`] module
 //! docs), so a drained service reproduces exactly what eager
@@ -74,13 +83,18 @@
 //! ```
 
 pub mod daemon;
+pub mod fleet;
 pub mod queue;
 pub mod service;
 pub mod session;
 pub mod shard;
 pub mod wire;
 
-pub use daemon::{Daemon, DaemonConfig, SocketBackend, SocketSession, SOCKET_FILE};
+pub use daemon::{
+    Daemon, DaemonConfig, SocketBackend, SocketSession, TcpBackend, TcpSession, WireBackend,
+    WireSession, SOCKET_FILE,
+};
+pub use fleet::{FleetRouter, FleetSession, PeerAddr, VNODES_PER_PEER};
 pub use queue::{
     io_gap, shape_perturbations, Job, JobTier, PerturbationKind, PushOutcome, WorkQueue,
 };

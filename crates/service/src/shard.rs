@@ -113,8 +113,11 @@ pub fn workload_device_key(w: &Workload) -> String {
     device_key(&w.device, w.smem_bytes)
 }
 
-/// FNV-1a, the same dependency-free hash the proptest shim uses.
-fn fnv1a(text: &str) -> u64 {
+/// FNV-1a, the same dependency-free hash the proptest shim uses. Also
+/// the hash the fleet router's consistent-hash ring is built on (see
+/// [`crate::fleet`]): stable across runs and builds, so the same
+/// fingerprint set always lands on the same peers.
+pub(crate) fn fnv1a(text: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in text.bytes() {
         h ^= b as u64;
@@ -265,7 +268,7 @@ impl ShardLoadReport {
 }
 
 /// A set of per-device [`RecordStore`] shards plus LRU metadata.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShardedStore {
     /// device key → that device's records.
     shards: BTreeMap<String, RecordStore>,
@@ -349,6 +352,29 @@ impl ShardedStore {
     /// The last-hit stamp of a workload (0 = never hit, coldest).
     pub fn last_hit(&self, fingerprint: &str) -> u64 {
         self.last_hit.get(fingerprint).copied().unwrap_or(0)
+    }
+
+    /// All persisted `(fingerprint, last-hit stamp)` pairs in
+    /// deterministic (fingerprint) order — the wire codec serializes a
+    /// store's LRU metadata from here.
+    pub fn hit_stamps(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.last_hit.iter().map(|(fp, &stamp)| (fp.as_str(), stamp))
+    }
+
+    /// Restores a persisted stamp *without* bumping the logical clock
+    /// (the deserialization inverse of [`hit_stamps`](Self::hit_stamps);
+    /// [`touch`](Self::touch) is the live path). Keeps the stamp
+    /// invariant: the clock never falls behind a restored stamp.
+    pub fn restore_hit(&mut self, fingerprint: &str, stamp: u64) {
+        let entry = self.last_hit.entry(fingerprint.to_string()).or_insert(0);
+        *entry = (*entry).max(stamp);
+        self.clock = self.clock.max(stamp);
+    }
+
+    /// Forces the logical clock to at least `clock` (state transfer;
+    /// the clock never runs backwards).
+    pub fn restore_clock(&mut self, clock: u64) {
+        self.clock = self.clock.max(clock);
     }
 
     /// Current logical clock value.

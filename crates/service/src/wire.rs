@@ -16,8 +16,8 @@
 //! malformed objects are all **typed errors** ([`WireError`]), never
 //! panics — pinned by `crates/service/tests/proptest_wire.rs`.
 //!
-//! Five request kinds exist, mirroring the [`crate::session::Backend`]
-//! trait plus lifecycle control:
+//! Six request kinds exist, mirroring the [`crate::session::Backend`]
+//! trait plus replication and lifecycle control:
 //!
 //! | request | response |
 //! |---------|----------|
@@ -25,12 +25,22 @@
 //! | `Wait { session }` | `Results { results }` |
 //! | `Sync` | `Synced { persisted, total }` |
 //! | `Stats` | `Stats { snapshot }` |
+//! | `Pull` | `State { store }` |
 //! | `Shutdown` | `Bye` |
 //!
 //! plus `Error { message }`, which the daemon may answer to anything.
+//!
+//! `Pull`/`State` is the anti-entropy path: a peer daemon pulls another
+//! daemon's full in-memory state — every record (serialized with the
+//! record store's own per-line codec, [`iolb_records::jsonl`]), every
+//! LRU stamp, and the logical clock — and folds it in with
+//! [`ShardedStore::absorb`], the CRDT-style union merge. The normative
+//! protocol spec lives in `docs/PROTOCOL.md`; CI checks that document's
+//! frame constants against this file.
 
 use crate::service::{ServeResult, ServeSource, ServiceSnapshot};
 use crate::session::TuneRequest;
+use crate::shard::ShardedStore;
 use iolb_autotune::plan::BatchRequest;
 use iolb_dataflow::config::ScheduleConfig;
 use iolb_gpusim::DeviceSpec;
@@ -41,8 +51,11 @@ use std::io::{Read, Write};
 /// Protocol version stamped into every payload header. Foreign versions
 /// are rejected whole (same stance as the record schema and the shard
 /// manifest: re-issue the request from a matching build, never guess at
-/// field semantics).
-pub const WIRE_VERSION: u32 = 1;
+/// field semantics). Version 2 added the `Pull`/`State` anti-entropy
+/// messages; version-1 peers are rejected with
+/// [`WireError::ForeignVersion`] rather than served a grammar they
+/// cannot fully speak.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Hard ceiling on a frame payload. A VGG-scale submit is a few KiB;
 /// anything claiming megabytes is hostile or corrupt and is rejected
@@ -112,6 +125,9 @@ pub enum Request {
     Sync,
     /// Snapshot the daemon's counters.
     Stats,
+    /// Replicate: send me your full in-memory store state (records, LRU
+    /// stamps, logical clock). The anti-entropy request peers exchange.
+    Pull,
     /// Persist and exit.
     Shutdown,
 }
@@ -121,12 +137,31 @@ pub enum Request {
 /// on the stack (clippy's `large_enum_variant`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    Submitted { session: u64, unique: usize },
-    Results { results: Vec<Option<ServeResult>> },
-    Synced { persisted: bool, total: usize },
-    Stats { snapshot: Box<ServiceSnapshot> },
+    Submitted {
+        session: u64,
+        unique: usize,
+    },
+    Results {
+        results: Vec<Option<ServeResult>>,
+    },
+    Synced {
+        persisted: bool,
+        total: usize,
+    },
+    Stats {
+        snapshot: Box<ServiceSnapshot>,
+    },
+    /// Full store state answering a [`Request::Pull`]: the receiver
+    /// [`ShardedStore::absorb`]s it (union of records, per-fingerprint
+    /// max stamps, max clock), so replication converges whatever the
+    /// exchange order.
+    State {
+        store: Box<ShardedStore>,
+    },
     Bye,
-    Error { message: String },
+    Error {
+        message: String,
+    },
 }
 
 // ---------------------------------------------------------------- frames
@@ -405,6 +440,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push_str(&header("stats"));
             out.push('\n');
         }
+        Request::Pull => {
+            out.push_str(&header("pull"));
+            out.push('\n');
+        }
         Request::Shutdown => {
             out.push_str(&header("shutdown"));
             out.push('\n');
@@ -439,6 +478,7 @@ pub fn decode_request(payload: &str) -> Result<Request, WireError> {
         "wait" => Request::Wait { session: head.u64("session")? },
         "sync" => Request::Sync,
         "stats" => Request::Stats,
+        "pull" => Request::Pull,
         "shutdown" => Request::Shutdown,
         other => return Err(WireError::Malformed(format!("unknown request type {other:?}"))),
     };
@@ -478,6 +518,30 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 "{{\"v\":{WIRE_VERSION},\"type\":\"stats\",\"tsv\":\"{}\"}}\n",
                 escape(&snapshot.to_tsv())
             ));
+        }
+        Response::State { store } => {
+            let records: Vec<&iolb_records::TuningRecord> = store
+                .shards()
+                .flat_map(|(_, shard)| shard.entries())
+                .flat_map(|(_, r)| r)
+                .collect();
+            let hits: Vec<(&str, u64)> = store.hit_stamps().collect();
+            out.push_str(&format!(
+                "{{\"v\":{WIRE_VERSION},\"type\":\"state\",\"n\":{},\"h\":{},\"clock\":{}}}\n",
+                records.len(),
+                hits.len(),
+                store.clock()
+            ));
+            // One line per record, in the record store's own canonical
+            // per-line codec — the wire state and the shard files are
+            // the same dialect by construction.
+            for rec in records {
+                out.push_str(&iolb_records::jsonl::encode(rec));
+                out.push('\n');
+            }
+            for (fp, stamp) in hits {
+                out.push_str(&format!("{{\"fp\":\"{}\",\"stamp\":{stamp}}}\n", escape(fp)));
+            }
         }
         Response::Bye => {
             out.push_str(&header("bye"));
@@ -522,6 +586,26 @@ pub fn decode_response(payload: &str) -> Result<Response, WireError> {
                 WireError::Malformed("stats payload carries a foreign sidecar version".into())
             })?;
             Response::Stats { snapshot: Box::new(snapshot) }
+        }
+        "state" => {
+            let n = head.usize("n")?;
+            let h = head.usize("h")?;
+            let mut store = ShardedStore::new();
+            for i in 0..n {
+                let line = lines.next().ok_or_else(|| {
+                    WireError::Malformed(format!("state frame ends after {i} of {n} record(s)"))
+                })?;
+                store.insert(iolb_records::jsonl::decode(line).map_err(WireError::Malformed)?);
+            }
+            for i in 0..h {
+                let line = lines.next().ok_or_else(|| {
+                    WireError::Malformed(format!("state frame ends after {i} of {h} stamp(s)"))
+                })?;
+                let fields = Fields::parse(line)?;
+                store.restore_hit(fields.str("fp")?, fields.u64("stamp")?);
+            }
+            store.restore_clock(head.u64("clock")?);
+            Response::State { store: Box::new(store) }
         }
         "bye" => Response::Bye,
         "error" => Response::Error { message: head.str("msg")?.to_string() },
@@ -583,6 +667,26 @@ mod tests {
         ]
     }
 
+    /// A two-device store with records, LRU stamps and a non-trivial
+    /// clock — everything a `State` frame must carry bit-exactly.
+    fn sample_store() -> ShardedStore {
+        let mut store = ShardedStore::new();
+        for (device, cost) in [("Tesla V100", 1.0 / 3.0), ("GTX 1080 Ti", 0.25)] {
+            let workload = iolb_records::Workload::new(
+                ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0),
+                TileKind::Direct,
+                device,
+                96 * 1024,
+            );
+            let rec =
+                iolb_records::TuningRecord::new(workload.clone(), sample_result().config, cost, 7)
+                    .unwrap();
+            store.insert(rec);
+            store.touch(&workload.fingerprint());
+        }
+        store
+    }
+
     fn sample_result() -> ServeResult {
         ServeResult {
             config: ScheduleConfig {
@@ -611,6 +715,7 @@ mod tests {
             Request::Wait { session: u64::MAX - 1 },
             Request::Sync,
             Request::Stats,
+            Request::Pull,
             Request::Shutdown,
         ] {
             let payload = encode_request(&req);
@@ -631,6 +736,8 @@ mod tests {
             Response::Results { results: vec![Some(sample_result()), None] },
             Response::Synced { persisted: true, total: 99 },
             Response::Stats { snapshot: Box::new(snapshot) },
+            Response::State { store: Box::new(sample_store()) },
+            Response::State { store: Box::new(ShardedStore::new()) },
             Response::Bye,
             Response::Error { message: "tab\there \"quoted\"".to_string() },
         ] {
@@ -645,6 +752,27 @@ mod tests {
             }
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn state_round_trip_preserves_records_stamps_and_clock() {
+        let store = sample_store();
+        let payload = encode_response(&Response::State { store: Box::new(store.clone()) });
+        let Response::State { store: back } =
+            decode_response(std::str::from_utf8(&payload).unwrap()).unwrap()
+        else {
+            panic!("state frame decoded to a different message");
+        };
+        assert_eq!(back.clock(), store.clock());
+        assert_eq!(back.merged().to_jsonl(), store.merged().to_jsonl(), "records drifted");
+        for (fp, stamp) in store.hit_stamps() {
+            assert_eq!(back.last_hit(fp), stamp, "stamp of {fp} drifted");
+        }
+        // A state frame cut mid-record is a typed error, never a partial
+        // store.
+        let text = std::str::from_utf8(&payload).unwrap();
+        let cut = text.lines().next().unwrap().len() + 1 + 10;
+        assert!(matches!(decode_response(&text[..cut]), Err(WireError::Malformed(_))));
     }
 
     #[test]

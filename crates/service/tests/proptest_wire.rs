@@ -6,9 +6,13 @@
 
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
+use iolb_dataflow::config::ScheduleConfig;
 use iolb_gpusim::DeviceSpec;
-use iolb_service::wire::{self, read_request, read_response, Request, WireError, MAX_FRAME_BYTES};
-use iolb_service::TuneRequest;
+use iolb_service::wire::{
+    self, read_request, read_response, Request, Response, WireError, MAX_FRAME_BYTES, WIRE_VERSION,
+};
+use iolb_service::{ShardedStore, TuneRequest};
+use iolb_tensor::layout::Layout;
 use proptest::prelude::*;
 
 /// A valid framed Submit built from drawn layer coordinates.
@@ -95,9 +99,15 @@ proptest! {
     }
 
     /// Unknown message versions are rejected whole, with the version
-    /// reported.
+    /// reported — obsolete ones (version-1 peers predate Pull/State)
+    /// just like future ones.
     #[test]
-    fn foreign_versions_are_rejected(version in 2u64..1_000_000) {
+    fn foreign_versions_are_rejected(
+        version in prop_oneof![
+            0u64..u64::from(WIRE_VERSION),
+            (u64::from(WIRE_VERSION) + 1)..1_000_000,
+        ],
+    ) {
         let payload = format!("{{\"v\":{version},\"type\":\"sync\"}}");
         match wire::decode_request(&payload) {
             Err(WireError::ForeignVersion { got }) => prop_assert_eq!(got, version),
@@ -115,5 +125,55 @@ proptest! {
         let (request, frame) = framed_submit(&draws);
         let mut cursor = std::io::Cursor::new(frame);
         prop_assert_eq!(read_request(&mut cursor).unwrap(), Some(request));
+    }
+
+    /// `State` frames — the anti-entropy payload — round-trip an
+    /// arbitrary store exactly (records, LRU stamps, clock), and every
+    /// strict prefix of the frame is rejected at the framing layer,
+    /// never decoded into a partial store.
+    #[test]
+    fn state_frames_round_trip(
+        draws in prop::collection::vec((0u32..5, 0u32..3, 1u32..50, 0u32..4), 0..8),
+        cut_seed in 0usize..10_000,
+    ) {
+        let mut store = ShardedStore::new();
+        for &(cin_pow, dev, cost_scale, touches) in &draws {
+            let device = ["Tesla V100", "GTX 1080 Ti", "Jetson AGX"][dev as usize];
+            let workload = iolb_records::Workload::new(
+                ConvShape::new(1 << (cin_pow % 5), 14, 14, 16, 1, 1, 1, 0),
+                TileKind::Direct,
+                device,
+                96 * 1024,
+            );
+            let config = ScheduleConfig {
+                x: 7, y: 7, z: 1 << (cin_pow % 5),
+                nxt: 1, nyt: 1, nzt: 1,
+                sb_bytes: 16 * 1024,
+                layout: Layout::Chw,
+            };
+            let fingerprint = workload.fingerprint();
+            store.insert(
+                iolb_records::TuningRecord::new(workload, config, f64::from(cost_scale) / 3.0, 7)
+                    .expect("valid record"),
+            );
+            for _ in 0..touches {
+                store.touch(&fingerprint);
+            }
+        }
+        let response = Response::State { store: Box::new(store.clone()) };
+        let mut frame = Vec::new();
+        wire::write_response(&mut frame, &response).expect("encode state");
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        match read_response(&mut cursor).expect("read state back") {
+            Response::State { store: got } => prop_assert_eq!(*got, store),
+            other => prop_assert!(false, "expected State, got {other:?}"),
+        }
+        let cut = cut_seed % frame.len();
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        match read_response(&mut cursor) {
+            Err(WireError::ConnectionClosed) => prop_assert_eq!(cut, 0),
+            Err(WireError::Truncated { expected, got }) => prop_assert!(got < expected),
+            other => prop_assert!(false, "expected a framing error, got {other:?}"),
+        }
     }
 }
