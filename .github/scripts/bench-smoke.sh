@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Replay-benchmark smoke: run `tune-bench replay` on a tiny model-zoo
+# mix (embedded AND daemon modes inside one run), then validate the
+# emitted BENCH_replay.json with `tune-cache check-bench` — schema,
+# value ranges, and the bit-identical embedded/daemon total cost. The
+# caller's RAYON_NUM_THREADS is honored, so CI exercises both the
+# pooled and the single-thread paths with the same script.
+set -euo pipefail
+
+TB=target/release/tune-bench
+TC=target/release/tune-cache
+OUT=$(mktemp /tmp/iolb-bench-replay.XXXXXX.json)
+trap 'rm -f "$OUT"' EXIT
+
+"$TB" replay --networks alexnet --clients 2 --repeat 2 --budget 4 -o "$OUT"
+
+# The bench file must pass the schema/invariant gate.
+"$TC" check-bench "$OUT"
+
+# And a malformed file must fail it (the gate itself is load-bearing).
+if echo '{"schema":"wrong","v":1}' | "$TC" check-bench /dev/stdin 2>/dev/null; then
+  echo "check-bench accepted a malformed bench file"
+  exit 1
+fi
+
+echo "bench smoke OK"

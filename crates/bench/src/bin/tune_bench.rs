@@ -1,0 +1,329 @@
+//! `tune-bench` — measured performance trajectory points for the tuning
+//! service.
+//!
+//! ```console
+//! $ tune-bench replay [--networks alexnet,squeezenet] [--clients N]
+//!       [--repeat N] [--budget N] [--seed N] [-o BENCH_replay.json]
+//! ```
+//!
+//! `replay` drives a model-zoo traffic mix — every named network's conv
+//! layers, duplicated `--repeat` times with deterministic shape jitter
+//! on the copies — through N concurrent client threads, twice: once
+//! against the embedded [`TuningService`] and once against an
+//! in-process [`Daemon`] over its Unix socket. It reports throughput,
+//! p50/p99 session latency (from the telemetry layer's
+//! [`LatencyHistogram`]), hit rate and fresh-measurement counts per
+//! mode as one schema-versioned flat JSON object (`BENCH_replay.json`,
+//! validated in CI by `tune-cache check-bench`).
+//!
+//! Latency and throughput are wall-clock and vary run to run; the
+//! tuning *results* do not — both modes run the identical hermetic
+//! sessions, so the summed session cost must be bit-identical between
+//! embedded and daemon serving. The replay asserts that, making every
+//! benchmark run double as an end-to-end correctness check.
+
+use iolb_cnn::layers::{ConvLayer, Network};
+use iolb_cnn::{inference::time_network_with_backend, ServiceEconomics};
+use iolb_core::shapes::ConvShape;
+use iolb_gpusim::DeviceSpec;
+use iolb_service::{
+    shape_perturbations, Backend, Daemon, DaemonConfig, LatencyHistogram, ServiceConfig,
+    ShardedStore, SocketBackend, TuningService,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tune-bench replay [--networks A,B,...] [--clients N] [--repeat N]\n\
+         \u{20}                        [--budget N] [--seed N] [-o FILE]\n\
+         \n\
+         replay a model-zoo traffic mix (each network's conv layers,\n\
+         duplicated --repeat times with deterministic shape jitter) through\n\
+         N client threads, against the embedded service and against an\n\
+         in-process daemon, and write one flat JSON summary (default\n\
+         BENCH_replay.json): throughput, p50/p99 session latency, hit rate,\n\
+         fresh measurements per mode. Fails unless both modes' total costs\n\
+         are bit-identical (hermetic tuning)."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("replay") {
+        return usage();
+    }
+    let rest = &args[1..];
+    let networks = flag_string(rest, "--networks").unwrap_or_else(|| "alexnet,squeezenet".into());
+    let clients = flag_value(rest, "--clients").unwrap_or(2).max(1);
+    let repeat = flag_value(rest, "--repeat").unwrap_or(2).max(1);
+    let budget = flag_value(rest, "--budget").unwrap_or(16);
+    let seed = flag_value(rest, "--seed").unwrap_or(7) as u64;
+    let out = flag_path(rest, "-o").unwrap_or_else(|| PathBuf::from("BENCH_replay.json"));
+
+    let mix = match build_mix(&networks, repeat) {
+        Ok(mix) => mix,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let requests_hint: usize = mix.iter().map(|n| n.layers.len()).sum();
+    eprintln!(
+        "replaying {} session(s) ({requests_hint} layer(s)) over {clients} client thread(s), \
+         budget {budget}, seed {seed}",
+        mix.len()
+    );
+
+    let config = ServiceConfig {
+        budget_per_workload: budget,
+        workers: 0, // clients tune inline; keeps the replay deterministic
+        speculate_neighbors: false,
+        seed,
+        ..ServiceConfig::default()
+    };
+
+    // Mode 1: embedded — every client thread drives one shared service.
+    let service = TuningService::new(ShardedStore::new(), config);
+    let embedded = run_mode(&mix, clients, || Ok(service.clone()));
+    let embedded = match embedded {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: embedded replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Mode 2: daemon — the same mix over a Unix socket against a fresh
+    // in-process daemon (own shard directory, own store).
+    let daemon = match run_daemon_mode(&mix, clients, config) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: daemon replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The two modes ran the identical hermetic sessions; their summed
+    // costs must agree to the bit or one of the serving paths is broken.
+    if embedded.total_cost_ms.to_bits() != daemon.total_cost_ms.to_bits() {
+        eprintln!(
+            "error: embedded ({}) and daemon ({}) total costs differ — serving is not hermetic",
+            embedded.total_cost_ms, daemon.total_cost_ms
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let line = format!(
+        "{{\"schema\":\"iolb-bench-replay\",\"v\":1,\"networks\":\"{}\",\"clients\":{clients},\
+         \"repeat\":{repeat},\"budget\":{budget},\"seed\":{seed},\"sessions\":{},\"requests\":{}{}{}}}",
+        iolb_records::jsonl::escape(&networks),
+        mix.len(),
+        embedded.requests,
+        mode_fields("embedded", &embedded),
+        mode_fields("daemon", &daemon),
+    );
+    if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{line}");
+    eprintln!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+/// One serving mode's aggregate outcome.
+struct ModeOutcome {
+    sessions: usize,
+    requests: usize,
+    fresh: usize,
+    hits: usize,
+    wall: Duration,
+    latency: LatencyHistogram,
+    /// Sum of per-session total costs, accumulated in mix order so the
+    /// embedded/daemon comparison is bit-exact.
+    total_cost_ms: f64,
+}
+
+/// `"{mode}_*"` fields of the summary line.
+fn mode_fields(mode: &str, o: &ModeOutcome) -> String {
+    let wall_s = o.wall.as_secs_f64();
+    let throughput = if wall_s > 0.0 { o.sessions as f64 / wall_s } else { 0.0 };
+    let hit_rate = if o.requests == 0 { 0.0 } else { o.hits as f64 / o.requests as f64 };
+    format!(
+        ",\"{mode}_throughput_rps\":{throughput},\
+         \"{mode}_p50_ms\":{},\"{mode}_p99_ms\":{},\
+         \"{mode}_hit_rate\":{hit_rate},\"{mode}_fresh\":{},\"{mode}_total_cost_ms\":{}",
+        o.latency.quantile(0.5) as f64 / 1000.0,
+        o.latency.quantile(0.99) as f64 / 1000.0,
+        o.fresh,
+        o.total_cost_ms,
+    )
+}
+
+/// Builds the traffic mix: every named network's conv layers, `repeat`
+/// copies each. Copy 0 is the zoo network verbatim; later copies jitter
+/// each layer's shape through the service's own perturbation
+/// neighborhood (deterministically — no clock, no RNG), modelling
+/// near-duplicate traffic the way the paper's speculation story does.
+fn build_mix(networks: &str, repeat: usize) -> Result<Vec<Network>, String> {
+    let zoo = iolb_cnn::models::all_networks();
+    let mut mix = Vec::new();
+    for name in networks.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let wanted = name.to_ascii_lowercase();
+        let net = zoo.iter().find(|n| n.name.to_ascii_lowercase() == wanted).ok_or_else(|| {
+            format!(
+                "unknown network {name:?}; known: {}",
+                zoo.iter().map(|n| n.name.to_ascii_lowercase()).collect::<Vec<_>>().join(", ")
+            )
+        })?;
+        for copy in 0..repeat {
+            let layers: Vec<ConvLayer> = net
+                .layers
+                .iter()
+                .enumerate()
+                .map(|(at, layer)| {
+                    let shape =
+                        if copy == 0 { layer.shape } else { jitter(&layer.shape, copy + at) };
+                    ConvLayer::new(format!("{}#{copy}", layer.name), shape)
+                })
+                .collect();
+            mix.push(Network { name: net.name, layers });
+        }
+    }
+    if mix.is_empty() {
+        return Err("no networks in --networks".to_string());
+    }
+    Ok(mix)
+}
+
+/// Deterministic shape jitter: the `salt`-th valid perturbation
+/// neighbor, or the shape itself when it has none.
+fn jitter(shape: &ConvShape, salt: usize) -> ConvShape {
+    let neighbors = shape_perturbations(shape);
+    if neighbors.is_empty() {
+        *shape
+    } else {
+        neighbors[salt % neighbors.len()].0
+    }
+}
+
+/// Replays the whole mix through `clients` threads, each with its own
+/// backend from `make_backend`. Sessions are claimed off a shared
+/// cursor; per-session wall latency lands in one merged histogram and
+/// per-session costs are summed in mix order.
+fn run_mode<B, F>(mix: &[Network], clients: usize, make_backend: F) -> Result<ModeOutcome, String>
+where
+    B: Backend,
+    F: Fn() -> Result<B, String> + Sync,
+{
+    let device = DeviceSpec::v100();
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<(f64, ServiceEconomics, u64)>>> = Mutex::new(vec![None; mix.len()]);
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let backend = match make_backend() {
+                    Ok(backend) => backend,
+                    Err(e) => {
+                        failure.lock().unwrap().get_or_insert(e);
+                        return;
+                    }
+                };
+                loop {
+                    let at = cursor.fetch_add(1, Ordering::SeqCst);
+                    if at >= mix.len() {
+                        return;
+                    }
+                    let session_started = Instant::now();
+                    match time_network_with_backend(&mix[at], &device, &backend) {
+                        Ok((timed, eco)) => {
+                            let us = u64::try_from(session_started.elapsed().as_micros())
+                                .unwrap_or(u64::MAX);
+                            slots.lock().unwrap()[at] = Some((timed.ours_ms, eco, us));
+                        }
+                        Err(e) => {
+                            failure.lock().unwrap().get_or_insert(format!("session {at}: {e}"));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    if let Some(e) = failure.into_inner().unwrap() {
+        return Err(e);
+    }
+    let slots = slots.into_inner().unwrap();
+    let mut outcome = ModeOutcome {
+        sessions: mix.len(),
+        requests: 0,
+        fresh: 0,
+        hits: 0,
+        wall,
+        latency: LatencyHistogram::new(),
+        total_cost_ms: 0.0,
+    };
+    for slot in slots {
+        let (cost, eco, us) = slot.ok_or("a session was never run")?;
+        outcome.total_cost_ms += cost;
+        outcome.requests += eco.shard_hits + eco.stolen + eco.inline_tuned;
+        outcome.fresh += eco.fresh_measurements;
+        outcome.hits += eco.shard_hits;
+        outcome.latency.record(us);
+    }
+    Ok(outcome)
+}
+
+/// The daemon mode: bind an in-process [`Daemon`] on a scratch shard
+/// directory, replay the mix over its Unix socket (one connection per
+/// client thread), then shut it down and clean up.
+fn run_daemon_mode(
+    mix: &[Network],
+    clients: usize,
+    config: ServiceConfig,
+) -> Result<ModeOutcome, String> {
+    let dir = std::env::temp_dir().join(format!("iolb-tune-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let sock = dir.join("daemon.sock");
+    let daemon_config = DaemonConfig {
+        service: config,
+        merge_interval: Duration::from_millis(200),
+        ..DaemonConfig::default()
+    };
+    let (daemon, _report) = Daemon::bind(&dir, &sock, daemon_config)
+        .map_err(|e| format!("cannot bind replay daemon: {e}"))?;
+    let server = std::thread::spawn(move || daemon.run());
+    let outcome = run_mode(mix, clients, || {
+        SocketBackend::connect(&sock).map_err(|e| format!("cannot connect to replay daemon: {e}"))
+    });
+    let stop = SocketBackend::connect(&sock)
+        .map_err(|e| format!("cannot connect for shutdown: {e}"))
+        .and_then(|b| b.shutdown().map_err(|e| format!("daemon shutdown failed: {e}")));
+    let run = server.join().map_err(|_| "replay daemon panicked".to_string())?;
+    let _ = std::fs::remove_dir_all(&dir);
+    stop?;
+    run.map_err(|e| format!("replay daemon failed: {e}"))?;
+    outcome
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.get(at + 1)?.parse().ok()
+}
+
+fn flag_string(args: &[String], flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.get(at + 1).cloned()
+}
+
+fn flag_path(args: &[String], flag: &str) -> Option<PathBuf> {
+    flag_string(args, flag).map(PathBuf::from)
+}

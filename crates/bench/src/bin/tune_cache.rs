@@ -34,9 +34,9 @@ use iolb_core::shapes::ConvShape;
 use iolb_gpusim::DeviceSpec;
 use iolb_records::RecordStore;
 use iolb_service::{
-    Backend, Daemon, DaemonConfig, DirLock, EvictionPolicy, FleetRouter, PeerAddr,
-    PerturbationKind, ServiceConfig, ServiceSnapshot, ShardedStore, SocketBackend, TcpBackend,
-    TuningService, LOCK_TIMEOUT, SOCKET_FILE,
+    Backend, Daemon, DaemonConfig, DirLock, EvictionPolicy, FleetRouter, MetricsSnapshot, PeerAddr,
+    PerturbationKind, ServiceConfig, ServiceSnapshot, ShardedStore, SocketBackend, StatsReport,
+    TcpBackend, TuningService, LOCK_TIMEOUT, SOCKET_FILE,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -44,7 +44,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tune-cache <stats|top|check|compact|merge|gen|shard|evict|serve-stats|tune-net|serve|stop> [args]\n\
+        "usage: tune-cache <stats|top|check|compact|merge|gen|shard|evict|serve-stats|metrics|check-bench|tune-net|serve|stop> [args]\n\
          \n\
          stats   <store>                    record/workload counts and cost ranges,\n\
          \u{20}                                  broken down per device (store may be a shard dir)\n\
@@ -61,10 +61,16 @@ fn usage() -> ExitCode {
          \u{20}                                  LRU-evict cold workloads down to their K best\n\
          \u{20}                                  (never dropping a workload's best record;\n\
          \u{20}                                  shard dirs are locked against other writers)\n\
-         serve-stats <DIR>                  manifest, LRU, per-device shard summary and the\n\
+         serve-stats <DIR> [--json]         manifest, LRU, per-device shard summary and the\n\
          \u{20}                                  service stats sidecar (queue depth, budget,\n\
-         \u{20}                                  speculation telemetry)\n\
-         tune-net <network|--layers SPEC> (-o DIR | --daemon SOCK | --fleet PEERS)\n\
+         \u{20}                                  speculation telemetry); --json emits the sidecar\n\
+         \u{20}                                  as one flat JSON object instead\n\
+         metrics <DIR|SOCK|tcp:HOST:PORT>   Prometheus-style text exposition: from a live\n\
+         \u{20}                                  daemon (socket/TCP, including latency\n\
+         \u{20}                                  histograms) or a directory's stats sidecar\n\
+         check-bench <FILE>                 exit non-zero unless FILE is a schema-valid\n\
+         \u{20}                                  BENCH_replay.json (written by `tune-bench replay`)\n\
+         tune-net <network|--layers SPEC> (-o DIR | --daemon SOCK | --fleet PEERS) [--json]\n\
          \u{20}                                  [--budget N] [--seed N] [--workers N]\n\
          \u{20}                                  batch-tune a whole network in one session. With\n\
          \u{20}                                  -o DIR, tune embedded and merge the records into\n\
@@ -77,6 +83,8 @@ fn usage() -> ExitCode {
          \u{20}                                  fail over if one dies. <network> is a model name\n\
          \u{20}                                  (alexnet, vgg-19, ...); SPEC is layers as\n\
          \u{20}                                  cin,hin,win,cout,kh,kw,stride,pad;...\n\
+         \u{20}                                  --json replaces the human summary with one flat\n\
+         \u{20}                                  JSON object (per-layer costs, economics, peers)\n\
          serve   <DIR> [--socket PATH] [--tcp HOST:PORT] [--budget N] [--seed N]\n\
          \u{20}                                  [--workers N] [--merge-interval-ms N]\n\
          \u{20}                                  [--idle-timeout SECS] [--peer SPEC]...\n\
@@ -154,7 +162,11 @@ fn main() -> ExitCode {
             let top_k = flag_value(rest, "--top-k").unwrap_or(EvictionPolicy::default().top_k);
             evict(Path::new(input), EvictionPolicy { max_records, top_k }, lock_timeout_flag(rest))
         }
-        ("serve-stats", [dir]) => serve_stats(Path::new(dir)),
+        ("serve-stats", [dir, rest @ ..]) => {
+            serve_stats(Path::new(dir), rest.iter().any(|a| a == "--json"))
+        }
+        ("metrics", [target]) => metrics_cmd(target),
+        ("check-bench", [file]) => check_bench(Path::new(file)),
         ("serve", [dir, rest @ ..]) => {
             let socket =
                 flag_path(rest, "--socket").unwrap_or_else(|| Path::new(dir).join(SOCKET_FILE));
@@ -228,11 +240,12 @@ fn main() -> ExitCode {
                     }
                 }
             };
+            let json = rest.iter().any(|a| a == "--json");
             if !fleet.is_empty() {
-                return tune_net_fleet(layers, &fleet);
+                return tune_net_fleet(layers, &fleet, json);
             }
             if let Some(socket) = daemon {
-                return tune_net_daemon(layers, &socket);
+                return tune_net_daemon(layers, &socket, json);
             }
             let budget = flag_value(rest, "--budget").unwrap_or(16);
             let seed = flag_value(rest, "--seed").unwrap_or(7) as u64;
@@ -244,6 +257,7 @@ fn main() -> ExitCode {
                 seed,
                 workers,
                 lock_timeout_flag(rest),
+                json,
             )
         }
         _ => usage(),
@@ -315,6 +329,51 @@ fn print_session_summary(net: &Network, timed: &NetworkTime, eco: &ServiceEconom
     }
 }
 
+/// The `tune-net --json` end-of-run summary: one flat JSON object (the
+/// record codec's dialect, so `parse_flat_object` reads it back), with
+/// field names shared with `BENCH_replay.json` where the two overlap
+/// (`fresh`, `hit_rate`, `requests`, `*_ms`).
+fn print_session_json(
+    mode: &str,
+    net: &Network,
+    timed: &NetworkTime,
+    eco: &ServiceEconomics,
+    peers: Option<(usize, usize)>,
+) {
+    let answered = eco.shard_hits + eco.stolen + eco.inline_tuned;
+    let hit_rate = if answered == 0 { 0.0 } else { eco.shard_hits as f64 / answered as f64 };
+    let layer_ms: Vec<String> = timed
+        .layers
+        .iter()
+        .map(|l| format!("{}={}", l.name.replace(['=', ';'], "_"), l.ours_ms))
+        .collect();
+    let mut line = format!(
+        "{{\"schema\":\"iolb-tune-net\",\"v\":1,\"mode\":\"{}\",\"network\":\"{}\",\
+         \"layers\":{},\"requests\":{},\"total_ms\":{},\"fresh\":{},\"hit_rate\":{},\
+         \"hits\":{},\"stolen\":{},\"inline\":{},\"deduped\":{},\"cache_hits\":{}",
+        iolb_records::jsonl::escape(mode),
+        iolb_records::jsonl::escape(net.name),
+        net.layers.len(),
+        answered,
+        timed.ours_ms,
+        eco.fresh_measurements,
+        hit_rate,
+        eco.shard_hits,
+        eco.stolen,
+        eco.inline_tuned,
+        eco.deduped,
+        eco.cache_hits,
+    );
+    if let Some((live, total)) = peers {
+        line.push_str(&format!(",\"peers_live\":{live},\"peers_total\":{total}"));
+    }
+    line.push_str(&format!(
+        ",\"layer_ms\":\"{}\"}}",
+        iolb_records::jsonl::escape(&layer_ms.join(";"))
+    ));
+    println!("{line}");
+}
+
 /// Batch-tunes a whole network through one tuning session and merges
 /// the records into the shard directory under its advisory lock — the
 /// CLI face of the multi-process protocol: any number of `tune-net`
@@ -327,6 +386,7 @@ fn tune_net(
     seed: u64,
     workers: usize,
     lock_timeout: Duration,
+    json: bool,
 ) -> ExitCode {
     let device = DeviceSpec::v100();
     let config = ServiceConfig {
@@ -352,15 +412,21 @@ fn tune_net(
     }
     let net = spec_network(&layers);
     let (timed, eco) = time_network_with_service(&net, &device, &service);
-    print_session_summary(&net, &timed, &eco);
+    if json {
+        print_session_json("embedded", &net, &timed, &eco, None);
+    } else {
+        print_session_summary(&net, &timed, &eco);
+    }
     match service.sync_dir(dir) {
         Ok(merge) => {
-            println!(
-                "merged into {}: {} new record(s), {} total",
-                dir.display(),
-                merge.inserted,
-                merge.total
-            );
+            if !json {
+                println!(
+                    "merged into {}: {} new record(s), {} total",
+                    dir.display(),
+                    merge.inserted,
+                    merge.total
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -374,7 +440,7 @@ fn tune_net(
 /// server over its Unix socket. Budget, seed and workers are the
 /// daemon's (server-side state — that is what makes every client's
 /// results bit-identical); the client only names workloads.
-fn tune_net_daemon(layers: Vec<ConvShape>, socket: &Path) -> ExitCode {
+fn tune_net_daemon(layers: Vec<ConvShape>, socket: &Path, json: bool) -> ExitCode {
     let device = DeviceSpec::v100();
     let backend = match SocketBackend::connect(socket) {
         Ok(backend) => backend,
@@ -394,10 +460,16 @@ fn tune_net_daemon(layers: Vec<ConvShape>, socket: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    print_session_summary(&net, &timed, &eco);
+    if json {
+        print_session_json("daemon", &net, &timed, &eco, None);
+    } else {
+        print_session_summary(&net, &timed, &eco);
+    }
     match backend.sync() {
         Ok(sync) => {
-            println!("daemon persisted: {} record(s) total", sync.total);
+            if !json {
+                println!("daemon persisted: {} record(s) total", sync.total);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -412,7 +484,7 @@ fn tune_net_daemon(layers: Vec<ConvShape>, socket: &Path) -> ExitCode {
 /// owning daemon; a daemon that dies mid-session has its slice re-routed
 /// to the survivors (hermetic tuning keeps the results bit-identical to
 /// a single daemon or an embedded run).
-fn tune_net_fleet(layers: Vec<ConvShape>, specs: &[String]) -> ExitCode {
+fn tune_net_fleet(layers: Vec<ConvShape>, specs: &[String], json: bool) -> ExitCode {
     let device = DeviceSpec::v100();
     let router = FleetRouter::from_specs(specs);
     let net = spec_network(&layers);
@@ -423,16 +495,28 @@ fn tune_net_fleet(layers: Vec<ConvShape>, specs: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    print_session_summary(&net, &timed, &eco);
+    if json {
+        print_session_json(
+            "fleet",
+            &net,
+            &timed,
+            &eco,
+            Some((router.live_peers(), router.peers().len())),
+        );
+    } else {
+        print_session_summary(&net, &timed, &eco);
+    }
     match router.sync() {
         Ok(sync) => {
-            println!(
-                "fleet persisted: {} record(s) total across {} of {} peer(s){}",
-                sync.total,
-                router.live_peers(),
-                router.peers().len(),
-                if sync.persisted { "" } else { " (some peers unreachable or flush failed)" }
-            );
+            if !json {
+                println!(
+                    "fleet persisted: {} record(s) total across {} of {} peer(s){}",
+                    sync.total,
+                    router.live_peers(),
+                    router.peers().len(),
+                    if sync.persisted { "" } else { " (some peers unreachable or flush failed)" }
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -512,6 +596,166 @@ fn stop(spec: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Folds a [`ServiceSnapshot`] into a metrics snapshot — the service's
+/// classic counters become `iolb_service_*` counters and the two live
+/// numbers become gauges, so one Prometheus page carries everything.
+fn snapshot_as_metrics(snap: &ServiceSnapshot) -> MetricsSnapshot {
+    let s = &snap.stats;
+    let counters = [
+        ("iolb_service_enqueued_total", s.enqueued),
+        ("iolb_service_speculative_enqueued_total", s.speculative_enqueued),
+        ("iolb_service_batch_enqueued_total", s.batch_enqueued),
+        ("iolb_service_background_tuned_total", s.background_tuned),
+        ("iolb_service_inline_tuned_total", s.inline_tuned),
+        ("iolb_service_shard_hits_total", s.shard_hits),
+        ("iolb_service_stolen_total", s.stolen),
+        ("iolb_service_cancelled_speculative_total", s.cancelled_speculative),
+        ("iolb_service_budget_dropped_total", s.budget_dropped),
+        ("iolb_service_fresh_measurements_total", s.fresh_measurements),
+        ("iolb_service_cache_hits_total", s.cache_hits),
+        ("iolb_service_infeasible_total", s.infeasible),
+        ("iolb_service_batch_groups_total", s.batch_groups),
+        ("iolb_service_batch_requests_total", s.batch_requests),
+        ("iolb_service_batch_deduped_total", s.batch_deduped),
+        ("iolb_service_networks_served_total", s.networks_served),
+    ];
+    let mut extra = MetricsSnapshot::default();
+    for (name, value) in counters {
+        extra.counters.push((name.to_string(), value as u64));
+    }
+    extra.counters.sort();
+    extra.gauges.push(("iolb_budget_left".to_string(), snap.budget_left as u64));
+    extra.gauges.push(("iolb_queue_len".to_string(), snap.queue_len as u64));
+    extra
+}
+
+/// `metrics`: Prometheus-style text exposition. A directory target reads
+/// the offline stats sidecar (counters and gauges only — histograms live
+/// in the serving process); a socket or `tcp:HOST:PORT` target asks the
+/// live daemon, whose v3 `Stats` response carries the full registry,
+/// latency histograms included.
+fn metrics_cmd(target: &str) -> ExitCode {
+    let path = Path::new(target);
+    if path.is_dir() {
+        let snap = match ServiceSnapshot::load(path) {
+            Ok(Some(snap)) => snap,
+            Ok(None) => {
+                eprintln!(
+                    "error: {} has no stats sidecar (written by save/sync/tune-net)",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: unreadable stats sidecar: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", snapshot_as_metrics(&snap).to_prometheus());
+        return ExitCode::SUCCESS;
+    }
+    let report: Result<StatsReport, String> = match PeerAddr::parse(target) {
+        PeerAddr::Unix(sock) => SocketBackend::connect(&sock)
+            .map_err(|e| format!("cannot connect to daemon socket {}: {e}", sock.display()))
+            .and_then(|b| b.stats().map_err(|e| format!("stats request failed: {e}"))),
+        PeerAddr::Tcp(host) => TcpBackend::connect(host.as_str())
+            .map_err(|e| format!("cannot connect to daemon at tcp:{host}: {e}"))
+            .and_then(|b| b.stats().map_err(|e| format!("stats request failed: {e}"))),
+    };
+    match report {
+        Ok(report) => {
+            let mut metrics = snapshot_as_metrics(&report.snapshot);
+            metrics.merge(&report.metrics);
+            print!("{}", metrics.to_prometheus());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `check-bench`: the CI gate over `BENCH_replay.json` — one flat JSON
+/// object (the record codec's dialect) with the replay schema tag and
+/// every required field present, numeric and sane. Exit 1 with a reason
+/// otherwise, so a broken benchmark artifact can never land silently.
+fn check_bench(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-bench FAILED: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_bench_replay(text.trim()) {
+        Ok(summary) => {
+            println!("check-bench OK: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check-bench FAILED: {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The actual `BENCH_replay.json` schema check, separated so the error
+/// path is one string.
+fn validate_bench_replay(line: &str) -> Result<String, String> {
+    use iolb_records::jsonl::{parse_flat_object, Value};
+    let fields = parse_flat_object(line)?;
+    let get = |key: &str| -> Result<&Value, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let schema = get("schema")?.as_str("schema")?;
+    if schema != "iolb-bench-replay" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let version = get("v")?.as_u64("v")?;
+    if version != 1 {
+        return Err(format!("unsupported replay schema version {version}"));
+    }
+    get("networks")?.as_str("networks")?;
+    for key in ["clients", "repeat", "sessions", "requests"] {
+        if get(key)?.as_u64(key)? == 0 {
+            return Err(format!("field {key:?} must be positive"));
+        }
+    }
+    for mode in ["embedded", "daemon"] {
+        for suffix in ["throughput_rps", "p50_ms", "p99_ms", "total_cost_ms"] {
+            let key = format!("{mode}_{suffix}");
+            let value = get(&key)?.as_f64(&key)?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("field {key:?} must be finite and non-negative"));
+            }
+        }
+        let key = format!("{mode}_hit_rate");
+        let rate = get(&key)?.as_f64(&key)?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("field {key:?} must be within [0, 1], got {rate}"));
+        }
+        get(&format!("{mode}_fresh"))?.as_u64(&format!("{mode}_fresh"))?;
+    }
+    let embedded = get("embedded_total_cost_ms")?.as_f64("embedded_total_cost_ms")?;
+    let daemon = get("daemon_total_cost_ms")?.as_f64("daemon_total_cost_ms")?;
+    if embedded.to_bits() != daemon.to_bits() {
+        return Err(format!(
+            "embedded and daemon total costs must be bit-identical (hermetic tuning), \
+             got {embedded} vs {daemon}"
+        ));
+    }
+    Ok(format!(
+        "{} session(s), {} request(s), embedded/daemon costs bit-identical",
+        get("sessions")?.as_u64("sessions")?,
+        get("requests")?.as_u64("requests")?
+    ))
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<usize> {
@@ -722,13 +966,49 @@ fn evict(input: &Path, policy: EvictionPolicy, lock_timeout: Duration) -> ExitCo
 }
 
 /// Summarizes a service shard directory: manifest, per-device shards,
-/// LRU temperature.
-fn serve_stats(dir: &Path) -> ExitCode {
+/// LRU temperature. With `json`, emits one flat JSON object (store
+/// totals plus the stats sidecar) instead of the human report.
+fn serve_stats(dir: &Path, json: bool) -> ExitCode {
     if !dir.is_dir() {
         eprintln!("error: {} is not a shard directory", dir.display());
         return ExitCode::FAILURE;
     }
     let sharded = load_sharded_or_exit(dir);
+    if json {
+        let snap = match ServiceSnapshot::load(dir) {
+            Ok(snap) => snap.unwrap_or_default(),
+            Err(e) => {
+                eprintln!("error: unreadable stats sidecar: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let s = &snap.stats;
+        println!(
+            "{{\"schema\":\"iolb-serve-stats\",\"v\":1,\"shards\":{},\"workloads\":{},\
+             \"records\":{},\"clock\":{},\"queue_len\":{},\"budget_left\":{},\
+             \"networks_served\":{},\"sessions\":{},\"requests\":{},\"deduped\":{},\
+             \"hits\":{},\"stolen\":{},\"inline\":{},\"background\":{},\"fresh\":{},\
+             \"cache_hits\":{},\"infeasible\":{}}}",
+            sharded.shard_count(),
+            sharded.workload_count(),
+            sharded.len(),
+            sharded.clock(),
+            snap.queue_len,
+            snap.budget_left,
+            s.networks_served,
+            s.batch_groups,
+            s.batch_requests,
+            s.batch_deduped,
+            s.shard_hits,
+            s.stolen,
+            s.inline_tuned,
+            s.background_tuned,
+            s.fresh_measurements,
+            s.cache_hits,
+            s.infeasible,
+        );
+        return ExitCode::SUCCESS;
+    }
     println!(
         "{}: {} device shard(s), {} workload(s), {} record(s), clock {}",
         dir.display(),

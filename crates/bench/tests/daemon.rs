@@ -170,10 +170,13 @@ fn daemon_dedupes_across_client_processes_and_shuts_down_cleanly() {
     let snap = Backend::stats(&backend).expect("wire stats");
     let expected_fresh: usize = unique_shapes().iter().map(|s| eager(s).2).sum();
     assert_eq!(
-        snap.stats.fresh_measurements, expected_fresh,
+        snap.snapshot.stats.fresh_measurements, expected_fresh,
         "cross-client dedup must yield exactly one run per unique fingerprint"
     );
-    assert_eq!(snap.stats.inline_tuned + snap.stats.background_tuned, unique_shapes().len());
+    assert_eq!(
+        snap.snapshot.stats.inline_tuned + snap.snapshot.stats.background_tuned,
+        unique_shapes().len()
+    );
 
     // Clean shutdown: persists, removes the socket, exits zero.
     backend.shutdown().expect("wire shutdown");

@@ -53,7 +53,9 @@
 
 use crate::fleet::PeerAddr;
 use crate::service::{ServiceSnapshot, TuningService};
-use crate::session::{Backend, BackendError, BackendSession, SyncOutcome, TuneRequest};
+use crate::session::{
+    Backend, BackendError, BackendSession, StatsReport, SyncOutcome, TuneRequest,
+};
 use crate::shard::{DirLock, ShardLoadReport, ShardedStore};
 use crate::wire::{self, Request, Response, WireError};
 use iolb_gpusim::DeviceSpec;
@@ -367,15 +369,31 @@ impl Daemon {
                         }
                         let mut absorbed = 0usize;
                         for peer in &peers {
+                            let pull_started = std::time::Instant::now();
                             match pull_peer(peer) {
                                 Ok(store) => {
-                                    absorbed += service.lock().shards.absorb(store);
+                                    let fresh = service.lock().shards.absorb(store);
+                                    absorbed += fresh;
+                                    let telemetry = service.telemetry();
+                                    telemetry.observe_since("iolb_daemon_pull_us", pull_started);
+                                    telemetry.incr("iolb_daemon_pull_absorbed_total", fresh as u64);
+                                    crate::log_event!(
+                                        Debug,
+                                        "daemon.pull",
+                                        peer = peer,
+                                        absorbed = fresh,
+                                    );
                                 }
                                 // An unreachable peer is the normal case
                                 // anti-entropy exists for; try next tick.
                                 Err(BackendError::Transport(_)) => {}
                                 Err(e) => {
-                                    eprintln!("iolb-daemon: anti-entropy pull from {peer}: {e}")
+                                    crate::log_event!(
+                                        Warn,
+                                        "daemon.pull_failed",
+                                        peer = peer,
+                                        error = e,
+                                    );
                                 }
                             }
                         }
@@ -521,6 +539,7 @@ fn pull_peer(peer: &PeerAddr) -> Result<ShardedStore, BackendError> {
 fn persist(service: &TuningService, dir: &Path, shared: &Shared) -> (usize, bool) {
     // One persist at a time: see `Shared::persist_gate`.
     let _serialized = shared.persist_gate.lock().expect("daemon persist gate poisoned");
+    let started = std::time::Instant::now();
     let (shards, snapshot) = {
         let st = service.lock();
         (
@@ -534,12 +553,16 @@ fn persist(service: &TuningService, dir: &Path, shared: &Shared) -> (usize, bool
     };
     let total = shards.len();
     let persisted = match shards.save(dir).and_then(|()| snapshot.save(dir)) {
-        Ok(()) => true,
+        Ok(()) => {
+            crate::log_event!(Info, "daemon.persisted", records = total, dir = dir.display());
+            true
+        }
         Err(e) => {
-            eprintln!("iolb-daemon: cannot persist {}: {e}", dir.display());
+            crate::log_event!(Error, "daemon.persist_failed", dir = dir.display(), error = e);
             false
         }
     };
+    service.telemetry().observe_since("iolb_daemon_persist_us", started);
     (total, persisted)
 }
 
@@ -615,6 +638,8 @@ fn handle_connection(
     let mut sessions = BTreeMap::new();
     let mut next_session = 0u64;
     let mut idle = Duration::ZERO;
+    let telemetry = service.telemetry().clone();
+    telemetry.incr("iolb_daemon_connections_total", 1);
     if stream.set_read_timeout(Some(IDLE_TICK)).is_err() {
         return;
     }
@@ -654,6 +679,8 @@ fn handle_connection(
                         None => {
                             idle += IDLE_TICK;
                             if idle >= idle_timeout {
+                                telemetry.incr("iolb_daemon_idle_evictions_total", 1);
+                                crate::log_event!(Debug, "daemon.idle_evicted");
                                 break 'connection;
                             }
                         }
@@ -669,6 +696,11 @@ fn handle_connection(
         // DeadlineReader enforces the frame deadline (and notices
         // shutdown) across the whole payload.
         let deadline = frame_deadline.unwrap_or_else(|| std::time::Instant::now() + FRAME_TIMEOUT);
+        // Request latency is measured from the moment the frame length
+        // is known (prefix complete) to the response being written —
+        // idle time between frames never counts.
+        let served_started = std::time::Instant::now();
+        telemetry.observe("iolb_daemon_frame_bytes", len as u64);
         let request = {
             let mut reader = DeadlineReader { stream: &mut stream, deadline, shared };
             wire::read_payload(&mut reader, len).and_then(wire::decode_request_payload)
@@ -701,7 +733,10 @@ fn handle_connection(
                 let (total, persisted) = persist(service, dir, shared);
                 Response::Synced { persisted, total }
             }
-            Request::Stats => Response::Stats { snapshot: Box::new(service.snapshot()) },
+            Request::Stats => Response::Stats {
+                snapshot: Box::new(service.snapshot()),
+                metrics: service.metrics(),
+            },
             // Anti-entropy: ship a snapshot of the whole store; the
             // puller absorbs it (commutative union), so concurrent
             // tuning on either side is never lost, only re-merged.
@@ -712,7 +747,9 @@ fn handle_connection(
                 break;
             }
         };
-        if wire::write_response(&mut stream, &response).is_err() {
+        let wrote = wire::write_response(&mut stream, &response);
+        telemetry.observe_since("iolb_daemon_request_us", served_started);
+        if wrote.is_err() {
             break;
         }
     }
@@ -869,9 +906,11 @@ impl<S: Read + Write> Backend for WireBackend<S> {
         }
     }
 
-    fn stats(&self) -> Result<ServiceSnapshot, BackendError> {
+    fn stats(&self) -> Result<StatsReport, BackendError> {
         match self.call(&Request::Stats)? {
-            Response::Stats { snapshot } => Ok(*snapshot),
+            Response::Stats { snapshot, metrics } => {
+                Ok(StatsReport { snapshot: *snapshot, metrics })
+            }
             other => Err(BackendError::Protocol(format!("expected Stats, got {other:?}"))),
         }
     }

@@ -38,8 +38,11 @@
 
 use crate::daemon::{SocketBackend, TcpBackend};
 use crate::service::{ServeResult, ServiceSnapshot};
-use crate::session::{Backend, BackendError, BackendSession, SyncOutcome, TuneRequest};
+use crate::session::{
+    Backend, BackendError, BackendSession, StatsReport, SyncOutcome, TuneRequest,
+};
 use crate::shard::fnv1a;
+use crate::telemetry::Telemetry;
 use crate::wire::{Request, Response};
 use iolb_gpusim::DeviceSpec;
 use iolb_records::Workload;
@@ -141,6 +144,9 @@ struct RouterInner {
     /// `(vnode hash, peer index)`, sorted by hash — the ring.
     ring: Vec<(u64, usize)>,
     state: Mutex<FleetState>,
+    /// Client-side registry: per-peer request counters and failover
+    /// counts. Purely observational — routing never reads it.
+    telemetry: Telemetry,
 }
 
 /// A [`Backend`] over a fleet of daemons: consistent-hash routing,
@@ -175,7 +181,7 @@ impl FleetRouter {
             clients: (0..peers.len()).map(|_| None).collect(),
             dead: vec![false; peers.len()],
         });
-        Self { inner: Arc::new(RouterInner { peers, ring, state }) }
+        Self { inner: Arc::new(RouterInner { peers, ring, state, telemetry: Telemetry::new() }) }
     }
 
     /// Convenience: [`new`](Self::new) over parsed specs.
@@ -192,6 +198,13 @@ impl FleetRouter {
     pub fn live_peers(&self) -> usize {
         let st = self.inner.state.lock().expect("fleet state poisoned");
         st.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// The router's client-side metrics registry (per-peer request
+    /// counters `iolb_fleet_requests{peer="..."}`, failovers). Shared by
+    /// clones; [`Backend::stats`] folds it into the fleet aggregate.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// The fingerprint of one request on one device — the routing key.
@@ -234,10 +247,15 @@ impl FleetRouter {
                 Ok(client) => st.clients[peer] = Some(client),
                 Err(e) => {
                     st.dead[peer] = true;
+                    self.inner.telemetry.incr("iolb_fleet_failovers_total", 1);
                     return Err(CallFailure::PeerDown(BackendError::Transport(e)));
                 }
             }
         }
+        self.inner.telemetry.incr(
+            &format!("iolb_fleet_requests{{peer=\"{}\"}}", self.inner.peers[peer].label()),
+            1,
+        );
         let outcome = st.clients[peer].as_ref().expect("connected above").call(request);
         match outcome {
             Ok(response) => Ok(response),
@@ -247,6 +265,7 @@ impl FleetRouter {
                 // cannot be trusted with this key range any more.
                 st.dead[peer] = true;
                 st.clients[peer] = None;
+                self.inner.telemetry.incr("iolb_fleet_failovers_total", 1);
                 Err(CallFailure::PeerDown(e))
             }
         }
@@ -357,10 +376,12 @@ impl BackendSession for FleetSession {
                     // The peer died with our sub-session on it. Tuning is
                     // hermetic, so re-running the slice on the survivors
                     // reproduces the dead peer's results bit for bit.
-                    eprintln!(
-                        "iolb-fleet: peer {} lost mid-session ({e}); re-routing {} request(s)",
-                        self.router.inner.peers[sub.peer],
-                        sub.positions.len()
+                    crate::log_event!(
+                        Warn,
+                        "fleet.peer_lost",
+                        peer = self.router.inner.peers[sub.peer],
+                        error = e,
+                        rerouted = sub.positions.len(),
                     );
                     let (resubmitted, _) = self.router.submit_positions(
                         &self.requests,
@@ -428,19 +449,29 @@ impl Backend for FleetRouter {
     }
 
     /// Aggregates the fleet's counters: stats sum saturatingly across
-    /// live peers (dead peers contribute nothing).
-    fn stats(&self) -> Result<ServiceSnapshot, BackendError> {
-        let mut aggregate: Option<ServiceSnapshot> = None;
+    /// live peers (dead peers contribute nothing); metric registries
+    /// merge by name (the order-free [`crate::telemetry::MetricsSnapshot::merge`],
+    /// so a peer missing a metric another peer has is fine), and the
+    /// router's own client-side registry rides along.
+    fn stats(&self) -> Result<StatsReport, BackendError> {
+        let mut aggregate: Option<StatsReport> = None;
         for peer in 0..self.inner.peers.len() {
             match self.call_peer(peer, &Request::Stats) {
-                Ok(Response::Stats { snapshot }) => {
+                Ok(Response::Stats { snapshot, metrics }) => {
                     aggregate = Some(match aggregate.take() {
-                        None => *snapshot,
-                        Some(acc) => ServiceSnapshot {
-                            stats: acc.stats.saturating_add(&snapshot.stats),
-                            queue_len: acc.queue_len + snapshot.queue_len,
-                            budget_left: acc.budget_left.saturating_add(snapshot.budget_left),
-                        },
+                        None => StatsReport { snapshot: *snapshot, metrics },
+                        Some(mut acc) => {
+                            acc.snapshot = ServiceSnapshot {
+                                stats: acc.snapshot.stats.saturating_add(&snapshot.stats),
+                                queue_len: acc.snapshot.queue_len + snapshot.queue_len,
+                                budget_left: acc
+                                    .snapshot
+                                    .budget_left
+                                    .saturating_add(snapshot.budget_left),
+                            };
+                            acc.metrics.merge(&metrics);
+                            acc
+                        }
                     });
                 }
                 Ok(other) => {
@@ -450,7 +481,9 @@ impl Backend for FleetRouter {
                 Err(CallFailure::PeerDown(_)) => {}
             }
         }
-        aggregate.ok_or_else(no_live_peers)
+        let mut report = aggregate.ok_or_else(no_live_peers)?;
+        report.metrics.merge(&self.inner.telemetry.snapshot());
+        Ok(report)
     }
 }
 

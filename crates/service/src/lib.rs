@@ -44,6 +44,13 @@
 //!   ([`PeerAddr`] specs, Unix or TCP), re-routes a dead peer's key
 //!   range to the survivors, and re-submits its in-flight slice —
 //!   hermetic tuning makes the failed-over results bit-identical.
+//! * [`telemetry`] — dependency-free observability: a [`Telemetry`]
+//!   metrics registry (monotonic counters, gauges, log-spaced
+//!   [`LatencyHistogram`]s with exact quantile readout and associative
+//!   merge), Prometheus-style exposition, and a leveled structured
+//!   [`EventLog`] (JSONL sink via `IOLB_EVENT_LOG`). Strictly
+//!   observational: no wall-clock reading feeds tuning decisions, so
+//!   instrumented runs stay bit-identical to bare ones.
 //!
 //! The request path is transport-abstracted through [`Backend`]
 //! (submit/wait/sync/stats): the in-process [`TuningService`], the
@@ -88,6 +95,7 @@ pub mod queue;
 pub mod service;
 pub mod session;
 pub mod shard;
+pub mod telemetry;
 pub mod wire;
 
 pub use daemon::{
@@ -103,10 +111,15 @@ pub use service::{
     TuningService, STATS_FILE,
 };
 pub use session::{
-    Backend, BackendError, BackendSession, SessionHandle, SyncOutcome, TuneRequest, TuningSession,
+    Backend, BackendError, BackendSession, SessionHandle, StatsReport, SyncOutcome, TuneRequest,
+    TuningSession,
 };
 pub use shard::{
     device_key, shard_file_name, DirLock, DirMergeReport, EvictionPolicy, LockError,
     ShardLoadReport, ShardedStore, LOCK_FILE, LOCK_TIMEOUT, MANIFEST_FILE,
+};
+pub use telemetry::{
+    events, EventLog, HistogramSnapshot, LatencyHistogram, Level, MetricsSnapshot, Telemetry,
+    NUM_BUCKETS,
 };
 pub use wire::{WireError, MAX_FRAME_BYTES, WIRE_VERSION};

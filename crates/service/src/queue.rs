@@ -111,6 +111,15 @@ impl JobTier {
     pub fn droppable(self) -> bool {
         !matches!(self, Self::Batch { .. })
     }
+
+    /// Stable tag for telemetry (the per-tier drain-latency histograms).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Batch { .. } => "batch",
+            Self::Registered => "registered",
+            Self::Neighbor => "neighbor",
+        }
+    }
 }
 
 /// One pending tuning task.
@@ -123,6 +132,11 @@ pub struct Job {
     /// For [`JobTier::Neighbor`] jobs: which perturbation predicted this
     /// shape (drives the speculation telemetry). `None` on other tiers.
     pub perturbation: Option<PerturbationKind>,
+    /// When the job entered the queue — stamped by [`WorkQueue::push`]
+    /// (and preserved across tier promotion), read by the claim paths
+    /// for the queue-wait histogram. Observational only: never part of
+    /// the drain order or the tuning trajectory.
+    pub enqueued_at: Option<std::time::Instant>,
 }
 
 impl Job {
@@ -259,7 +273,8 @@ impl WorkQueue {
     /// weaker tier is *promoted* to the incoming tier — a job someone is
     /// waiting on must never drain at (or be budget-dropped from)
     /// background priority just because speculation staged it first.
-    pub fn push(&mut self, job: Job, gap: f64) -> PushOutcome {
+    pub fn push(&mut self, mut job: Job, gap: f64) -> PushOutcome {
+        job.enqueued_at.get_or_insert_with(std::time::Instant::now);
         let fingerprint = job.fingerprint();
         if let Some(existing_key) = self.by_fingerprint.get(&fingerprint) {
             let existing = &self.jobs[existing_key];
@@ -337,6 +352,7 @@ mod tests {
             } else {
                 None
             },
+            enqueued_at: None,
         }
     }
 

@@ -55,6 +55,7 @@ use crate::queue::{shape_perturbations, Job, JobTier, PerturbationKind, PushOutc
 use crate::shard::{
     DirLock, DirMergeReport, EvictionPolicy, ShardLoadReport, ShardedStore, LOCK_TIMEOUT,
 };
+use crate::telemetry::{MetricsSnapshot, Telemetry};
 use iolb_autotune::engine::tune_with_store;
 use iolb_autotune::plan::{self, algo_candidates};
 use iolb_core::optimality::TileKind;
@@ -459,6 +460,9 @@ pub(crate) struct Inner {
     /// change: waiting sessions and `drain` re-check on it.
     pub(crate) changed: Condvar,
     pub(crate) config: ServiceConfig,
+    /// Latency histograms and counters for the serving paths. Purely
+    /// observational: nothing here ever feeds a tuning trajectory.
+    pub(crate) telemetry: Telemetry,
 }
 
 /// The speculative background-tuning service. Cheap to clone between
@@ -487,6 +491,7 @@ impl TuningService {
                 }),
                 changed: Condvar::new(),
                 config,
+                telemetry: Telemetry::new(),
             }),
         }
     }
@@ -550,6 +555,18 @@ impl TuningService {
     pub fn snapshot(&self) -> ServiceSnapshot {
         let st = self.lock();
         ServiceSnapshot { stats: st.stats, queue_len: st.queue.len(), budget_left: st.budget_left }
+    }
+
+    /// The service's metrics registry (shared with the daemon when this
+    /// service is served over a socket).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// A point-in-time copy of the metrics registry — what the v3 wire
+    /// `Stats` response carries beside the counter snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.telemetry.snapshot()
     }
 
     /// A deep copy of the shards. Held lock time is the clone only, so
@@ -648,7 +665,14 @@ impl TuningService {
         speculative: bool,
     ) -> bool {
         let tier = if speculative { JobTier::Neighbor } else { JobTier::Registered };
-        let job = Job { shape: *shape, kind, device: device.clone(), tier, perturbation: None };
+        let job = Job {
+            shape: *shape,
+            kind,
+            device: device.clone(),
+            tier,
+            perturbation: None,
+            enqueued_at: None,
+        };
         // The priority is a pure function of the workload: compute it
         // before taking the lock (it enumerates tile spaces).
         let gap = crate::queue::io_gap(shape, kind, device);
@@ -726,13 +750,19 @@ impl TuningService {
         // (the probation check reads a stats snapshot).
         let (probation, stats_snapshot) = (self.inner.config.speculation_probation, self.stats());
         let mut candidates: Vec<Job> = Vec::new();
-        let mut stage = |shape: ConvShape,
-                         tier: JobTier,
-                         perturbation: Option<PerturbationKind>| {
-            for (kind, _) in algo_candidates(&shape) {
-                candidates.push(Job { shape, kind, device: device.clone(), tier, perturbation });
-            }
-        };
+        let mut stage =
+            |shape: ConvShape, tier: JobTier, perturbation: Option<PerturbationKind>| {
+                for (kind, _) in algo_candidates(&shape) {
+                    candidates.push(Job {
+                        shape,
+                        kind,
+                        device: device.clone(),
+                        tier,
+                        perturbation,
+                        enqueued_at: None,
+                    });
+                }
+            };
         for layer in net.layer_shapes() {
             stage(*layer, JobTier::Registered, None);
             if self.inner.config.speculate_neighbors {
@@ -878,7 +908,20 @@ impl TuningService {
         let Some((job, fingerprint)) = claimed else {
             return false;
         };
+        let telemetry = &self.inner.telemetry;
+        if let Some(at) = job.enqueued_at {
+            telemetry.observe_since("iolb_queue_wait_us", at);
+        }
+        let started = std::time::Instant::now();
         let outcome = self.run_guarded(&job, &fingerprint);
+        telemetry.observe_since(&format!("iolb_drain_{}_us", job.tier.label()), started);
+        crate::log_event!(
+            Debug,
+            "queue.drained",
+            tier = job.tier.label(),
+            fingerprint = fingerprint,
+            tuned = u8::from(outcome.is_some()),
+        );
         let mut st = self.lock();
         st.in_flight.remove(&fingerprint);
         match outcome {
@@ -1063,6 +1106,24 @@ mod tests {
             service.stats().fresh_measurements,
             stats.fresh_measurements,
             "hits must not measure"
+        );
+    }
+
+    #[test]
+    fn drain_populates_queue_wait_and_drain_histograms() {
+        let service = TuningService::new(ShardedStore::new(), small_config());
+        service.register_network(&shapes(), &device());
+        service.drain();
+        let metrics = service.metrics();
+        assert_eq!(
+            metrics.histogram("iolb_queue_wait_us").unwrap().count(),
+            2,
+            "every drained job observes its queue wait"
+        );
+        assert_eq!(metrics.histogram("iolb_drain_registered_us").unwrap().count(), 2);
+        assert!(
+            metrics.histogram("iolb_drain_batch_us").is_none(),
+            "no batch job ran, so no batch drain histogram exists"
         );
     }
 
@@ -1373,6 +1434,7 @@ mod tests {
                     device: device(),
                     tier: JobTier::Neighbor,
                     perturbation: Some(kind),
+                    enqueued_at: None,
                 };
                 (gap.to_bits(), job.fingerprint())
             })

@@ -38,6 +38,7 @@
 
 use crate::queue::{io_gap, Job, JobTier, PushOutcome};
 use crate::service::{ServeResult, ServeSource, ServiceSnapshot, State, TuningService};
+use crate::telemetry::MetricsSnapshot;
 use iolb_autotune::engine::tune_batch;
 use iolb_autotune::plan::{dedup_requests, BatchRequest};
 use iolb_core::optimality::TileKind;
@@ -101,6 +102,9 @@ pub struct SessionHandle {
     /// Per original request: (member index, whether this request is the
     /// member's first occurrence — duplicates report as shard hits).
     requests: Vec<(usize, bool)>,
+    /// When the session was submitted; drives the session-latency
+    /// histogram at collect time. Observational only.
+    started: std::time::Instant,
 }
 
 impl TuningSession {
@@ -198,6 +202,7 @@ impl TuningSession {
                     device: self.device.clone(),
                     tier: JobTier::Batch { group },
                     perturbation: None,
+                    enqueued_at: None,
                 };
                 match st.queue.push(job, gap) {
                     PushOutcome::Added => {
@@ -223,12 +228,20 @@ impl TuningSession {
             service.inner.changed.notify_all();
         }
         service.kick();
+        crate::log_event!(
+            Info,
+            "session.submit",
+            group = group,
+            requests = request_map.len(),
+            unique = members.len(),
+        );
         SessionHandle {
             service: service.clone(),
             device: self.device.clone(),
             group,
             members,
             requests: request_map,
+            started: std::time::Instant::now(),
         }
     }
 }
@@ -280,6 +293,19 @@ pub struct SyncOutcome {
     pub total: usize,
 }
 
+/// What [`Backend::stats`] reports: the counter snapshot every backend
+/// has carried since v1, plus the metrics registry (latency histograms,
+/// counters, gauges) the v3 wire protocol added. For a fleet the report
+/// is the order-free merge across live peers ([`ServiceStats`]
+/// counters add saturating; histograms merge bucket-wise).
+///
+/// [`ServiceStats`]: crate::service::ServiceStats
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReport {
+    pub snapshot: ServiceSnapshot,
+    pub metrics: MetricsSnapshot,
+}
+
 /// Transport-independent face of the tuning service: everything the
 /// request path needs. Implemented by the in-process [`TuningService`]
 /// and by [`crate::daemon::SocketBackend`] (the daemon client), so the
@@ -300,8 +326,9 @@ pub trait Backend {
     /// Asks the backend to flush whatever durable state it owns.
     fn sync(&self) -> Result<SyncOutcome, BackendError>;
 
-    /// A consistent snapshot of the backend's counters and live state.
-    fn stats(&self) -> Result<ServiceSnapshot, BackendError>;
+    /// A consistent snapshot of the backend's counters, live state and
+    /// metrics registry.
+    fn stats(&self) -> Result<StatsReport, BackendError>;
 
     /// Serves one workload — the one-element session.
     fn tune_or_wait_via(
@@ -344,8 +371,8 @@ impl Backend for TuningService {
         Ok(SyncOutcome { persisted: false, total: self.lock().shards.len() })
     }
 
-    fn stats(&self) -> Result<ServiceSnapshot, BackendError> {
-        Ok(self.snapshot())
+    fn stats(&self) -> Result<StatsReport, BackendError> {
+        Ok(StatsReport { snapshot: self.snapshot(), metrics: self.metrics() })
     }
 }
 
@@ -458,6 +485,7 @@ impl SessionHandle {
                             device: self.device.clone(),
                             tier: JobTier::Batch { group: self.group },
                             perturbation: None,
+                            enqueued_at: None,
                         };
                         if let PushOutcome::Added = st.queue.push(job, gap) {
                             lost = true;
@@ -530,6 +558,9 @@ impl SessionHandle {
     /// Builds the per-request results under the final lock.
     fn collect(&self, mut st: MutexGuard<'_, State>) -> Vec<Option<ServeResult>> {
         st.stats.networks_served += 1;
+        let telemetry = self.service.inner.telemetry.clone();
+        telemetry.observe_since("iolb_session_us", self.started);
+        telemetry.incr("iolb_sessions_total", 1);
         let mut out = Vec::with_capacity(self.requests.len());
         for &(at, first) in &self.requests {
             let member = &self.members[at];
@@ -564,6 +595,19 @@ impl SessionHandle {
                     Resolution::Infeasible => unreachable!("handled above"),
                 }
             };
+            let source_label = match source {
+                ServeSource::ShardHit => "hit",
+                ServeSource::Stolen => "stolen",
+                ServeSource::Inline { .. } => "inline",
+            };
+            crate::log_event!(
+                Debug,
+                "session.result",
+                group = self.group,
+                fingerprint = member.fingerprint,
+                source = source_label,
+                fresh = fresh_measurements,
+            );
             out.push(Some(ServeResult {
                 config: best.config,
                 cost_ms: best.cost_ms,

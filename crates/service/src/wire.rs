@@ -24,7 +24,7 @@
 //! | `Submit { device, requests }` | `Submitted { session, unique }` |
 //! | `Wait { session }` | `Results { results }` |
 //! | `Sync` | `Synced { persisted, total }` |
-//! | `Stats` | `Stats { snapshot }` |
+//! | `Stats` | `Stats { snapshot, metrics }` |
 //! | `Pull` | `State { store }` |
 //! | `Shutdown` | `Bye` |
 //!
@@ -41,6 +41,7 @@
 use crate::service::{ServeResult, ServeSource, ServiceSnapshot};
 use crate::session::TuneRequest;
 use crate::shard::ShardedStore;
+use crate::telemetry::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 use iolb_autotune::plan::BatchRequest;
 use iolb_dataflow::config::ScheduleConfig;
 use iolb_gpusim::DeviceSpec;
@@ -52,10 +53,12 @@ use std::io::{Read, Write};
 /// are rejected whole (same stance as the record schema and the shard
 /// manifest: re-issue the request from a matching build, never guess at
 /// field semantics). Version 2 added the `Pull`/`State` anti-entropy
-/// messages; version-1 peers are rejected with
+/// messages; version 3 extended the `Stats` response with the metrics
+/// registry (counters, gauges, latency-histogram snapshots). Version-1
+/// and version-2 peers alike are rejected with
 /// [`WireError::ForeignVersion`] rather than served a grammar they
 /// cannot fully speak.
-pub const WIRE_VERSION: u32 = 2;
+pub const WIRE_VERSION: u32 = 3;
 
 /// Hard ceiling on a frame payload. A VGG-scale submit is a few KiB;
 /// anything claiming megabytes is hostile or corrupt and is rejected
@@ -148,8 +151,11 @@ pub enum Response {
         persisted: bool,
         total: usize,
     },
+    /// Counter snapshot plus the metrics registry (v3: counters, gauges
+    /// and latency-histogram snapshots ride beside the TSV sidecar).
     Stats {
         snapshot: Box<ServiceSnapshot>,
+        metrics: MetricsSnapshot,
     },
     /// Full store state answering a [`Request::Pull`]: the receiver
     /// [`ShardedStore::absorb`]s it (union of records, per-fingerprint
@@ -513,11 +519,27 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 u8::from(*persisted)
             ));
         }
-        Response::Stats { snapshot } => {
+        Response::Stats { snapshot, metrics } => {
             out.push_str(&format!(
-                "{{\"v\":{WIRE_VERSION},\"type\":\"stats\",\"tsv\":\"{}\"}}\n",
-                escape(&snapshot.to_tsv())
+                "{{\"v\":{WIRE_VERSION},\"type\":\"stats\",\"tsv\":\"{}\",\"c\":{},\"g\":{},\"h\":{}}}\n",
+                escape(&snapshot.to_tsv()),
+                metrics.counters.len(),
+                metrics.gauges.len(),
+                metrics.histograms.len(),
             ));
+            for (name, value) in metrics.counters.iter().chain(metrics.gauges.iter()) {
+                out.push_str(&format!("{{\"k\":\"{}\",\"val\":{value}}}\n", escape(name)));
+            }
+            for h in &metrics.histograms {
+                let buckets: Vec<String> =
+                    h.histogram.buckets().iter().map(u64::to_string).collect();
+                out.push_str(&format!(
+                    "{{\"k\":\"{}\",\"sum\":{},\"buckets\":\"{}\"}}\n",
+                    escape(&h.name),
+                    h.histogram.sum(),
+                    buckets.join(","),
+                ));
+            }
         }
         Response::State { store } => {
             let records: Vec<&iolb_records::TuningRecord> = store
@@ -585,7 +607,42 @@ pub fn decode_response(payload: &str) -> Result<Response, WireError> {
             let snapshot = ServiceSnapshot::from_tsv(head.str("tsv")?).ok_or_else(|| {
                 WireError::Malformed("stats payload carries a foreign sidecar version".into())
             })?;
-            Response::Stats { snapshot: Box::new(snapshot) }
+            let (c, g, h) = (head.usize("c")?, head.usize("g")?, head.usize("h")?);
+            let mut metrics = MetricsSnapshot::default();
+            let mut scalar_line = |i: usize, total: usize| {
+                let line = lines.next().ok_or_else(|| {
+                    WireError::Malformed(format!("stats frame ends after {i} of {total} metric(s)"))
+                })?;
+                let fields = Fields::parse(line)?;
+                Ok::<(String, u64), WireError>((fields.str("k")?.to_string(), fields.u64("val")?))
+            };
+            for i in 0..c {
+                metrics.counters.push(scalar_line(i, c)?);
+            }
+            for i in 0..g {
+                metrics.gauges.push(scalar_line(i, g)?);
+            }
+            for i in 0..h {
+                let line = lines.next().ok_or_else(|| {
+                    WireError::Malformed(format!("stats frame ends after {i} of {h} histogram(s)"))
+                })?;
+                let fields = Fields::parse(line)?;
+                let buckets: Vec<u64> = fields
+                    .str("buckets")?
+                    .split(',')
+                    .map(|b| {
+                        b.parse::<u64>().map_err(|_| {
+                            WireError::Malformed(format!("non-numeric histogram bucket {b:?}"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let histogram = LatencyHistogram::from_parts(fields.u64("sum")?, &buckets)
+                    .map_err(WireError::Malformed)?;
+                metrics
+                    .histograms
+                    .push(HistogramSnapshot { name: fields.str("k")?.to_string(), histogram });
+            }
+            Response::Stats { snapshot: Box::new(snapshot), metrics }
         }
         "state" => {
             let n = head.usize("n")?;
@@ -731,11 +788,20 @@ mod tests {
             queue_len: 3,
             budget_left: 17,
         };
+        let telemetry = crate::telemetry::Telemetry::new();
+        telemetry.incr("iolb_sessions_total", 5);
+        telemetry.gauge("iolb_daemon_open_connections", 2);
+        telemetry.observe("iolb_session_us", 1234);
+        telemetry.observe("iolb_session_us", u64::MAX);
         for resp in [
             Response::Submitted { session: 7, unique: 3 },
             Response::Results { results: vec![Some(sample_result()), None] },
             Response::Synced { persisted: true, total: 99 },
-            Response::Stats { snapshot: Box::new(snapshot) },
+            Response::Stats { snapshot: Box::new(snapshot), metrics: telemetry.snapshot() },
+            Response::Stats {
+                snapshot: Box::new(ServiceSnapshot::default()),
+                metrics: MetricsSnapshot::default(),
+            },
             Response::State { store: Box::new(sample_store()) },
             Response::State { store: Box::new(ShardedStore::new()) },
             Response::Bye,

@@ -11,7 +11,10 @@ use iolb_gpusim::DeviceSpec;
 use iolb_service::wire::{
     self, read_request, read_response, Request, Response, WireError, MAX_FRAME_BYTES, WIRE_VERSION,
 };
-use iolb_service::{ShardedStore, TuneRequest};
+use iolb_service::{
+    HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServiceSnapshot, ServiceStats,
+    ShardedStore, TuneRequest, NUM_BUCKETS,
+};
 use iolb_tensor::layout::Layout;
 use proptest::prelude::*;
 
@@ -174,6 +177,93 @@ proptest! {
             Err(WireError::ConnectionClosed) => prop_assert_eq!(cut, 0),
             Err(WireError::Truncated { expected, got }) => prop_assert!(got < expected),
             other => prop_assert!(false, "expected a framing error, got {other:?}"),
+        }
+    }
+
+    /// v3 `Stats` frames round-trip an arbitrary metrics registry —
+    /// counters, gauges, and full histogram bucket vectors — alongside
+    /// the service snapshot, exactly. This pins the acceptance bar that
+    /// histogram readouts fetched over the wire equal the in-process
+    /// registry.
+    #[test]
+    fn stats_frames_round_trip(
+        counters in prop::collection::vec((0u32..26, 0u64..1_000_000_000), 0..6),
+        gauges in prop::collection::vec((0u32..26, 0u64..1_000_000_000), 0..4),
+        histograms in prop::collection::vec(
+            (0u32..26, prop::collection::vec(0u64..1_000_000, NUM_BUCKETS)),
+            0..4,
+        ),
+        fresh in 0usize..1_000_000,
+        queue_len in 0usize..10_000,
+    ) {
+        // Distinct sorted names, as a real registry snapshot yields.
+        let named = |draws: &[(u32, u64)]| -> Vec<(String, u64)> {
+            let mut out: Vec<(String, u64)> = draws
+                .iter()
+                .map(|&(n, v)| (format!("iolb_metric_{:02}", n % 26), v))
+                .collect();
+            out.sort();
+            out.dedup_by(|a, b| a.0 == b.0);
+            out
+        };
+        let mut hists: Vec<HistogramSnapshot> = histograms
+            .iter()
+            .map(|(n, buckets)| HistogramSnapshot {
+                name: format!("iolb_hist_{:02}_us", n % 26),
+                histogram: LatencyHistogram::from_parts(
+                    buckets.iter().sum(),
+                    buckets,
+                ).expect("fixed arity"),
+            })
+            .collect();
+        hists.sort_by(|a, b| a.name.cmp(&b.name));
+        hists.dedup_by(|a, b| a.name == b.name);
+        let metrics = MetricsSnapshot {
+            counters: named(&counters),
+            gauges: named(&gauges),
+            histograms: hists,
+        };
+        let snapshot = ServiceSnapshot {
+            stats: ServiceStats { fresh_measurements: fresh, ..Default::default() },
+            queue_len,
+            budget_left: queue_len / 2,
+        };
+        let response = Response::Stats {
+            snapshot: Box::new(snapshot),
+            metrics: metrics.clone(),
+        };
+        let mut frame = Vec::new();
+        wire::write_response(&mut frame, &response).expect("encode stats");
+        let mut cursor = std::io::Cursor::new(frame);
+        match read_response(&mut cursor).expect("read stats back") {
+            Response::Stats { snapshot: got_snap, metrics: got_metrics } => {
+                prop_assert_eq!(*got_snap, snapshot);
+                prop_assert_eq!(got_metrics, metrics);
+            }
+            other => prop_assert!(false, "expected Stats, got {other:?}"),
+        }
+    }
+}
+
+/// The previous protocol revision is rejected whole by both sides —
+/// a v2 peer (pre-histogram `Stats`) must get a clean
+/// [`WireError::ForeignVersion`], not a partially-understood message,
+/// from the request decoder and the response decoder alike.
+#[test]
+fn wire_v2_is_rejected_by_both_decoders() {
+    assert_eq!(WIRE_VERSION, 3, "update this pin when the protocol rolls");
+    for payload in [
+        "{\"v\":2,\"type\":\"sync\"}",
+        "{\"v\":2,\"type\":\"stats\"}",
+        "{\"v\":2,\"type\":\"shutdown\"}",
+    ] {
+        match wire::decode_request(payload) {
+            Err(WireError::ForeignVersion { got: 2 }) => {}
+            other => panic!("request decoder: expected ForeignVersion(2), got {other:?}"),
+        }
+        match wire::decode_response(payload) {
+            Err(WireError::ForeignVersion { got: 2 }) => {}
+            other => panic!("response decoder: expected ForeignVersion(2), got {other:?}"),
         }
     }
 }

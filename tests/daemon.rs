@@ -117,7 +117,14 @@ fn daemon_served_configs_are_bit_identical_to_eager() {
     }
     // Exactly one tuning run per unique fingerprint, visible over the wire.
     let snap = backend.stats().unwrap();
-    assert_eq!(snap.stats.inline_tuned + snap.stats.background_tuned, 3);
+    assert_eq!(snap.snapshot.stats.inline_tuned + snap.snapshot.stats.background_tuned, 3);
+    // The v3 stats frame carries the daemon's metrics registry: one
+    // session so far, and its latency histogram agrees.
+    assert_eq!(snap.metrics.counter("iolb_sessions_total"), Some(1));
+    let session_us = snap.metrics.histogram("iolb_session_us").expect("session histogram on wire");
+    assert_eq!(session_us.count(), 1);
+    let request_us = snap.metrics.histogram("iolb_daemon_request_us").expect("request histogram");
+    assert!(request_us.count() >= 2, "submit + wait were served before this stats call");
     // requests() is a,b,a,c,a — three unique shapes.
     let expected_fresh: usize = {
         let mut seen = std::collections::BTreeSet::new();
@@ -127,7 +134,7 @@ fn daemon_served_configs_are_bit_identical_to_eager() {
             .map(|r| eager(&r.shape).2)
             .sum()
     };
-    assert_eq!(snap.stats.fresh_measurements, expected_fresh);
+    assert_eq!(snap.snapshot.stats.fresh_measurements, expected_fresh);
     // Sync flushes to the daemon's directory.
     let sync = backend.sync().unwrap();
     assert!(sync.persisted);
@@ -144,7 +151,7 @@ fn daemon_served_configs_are_bit_identical_to_eager() {
     let backend = SocketBackend::connect(&sock).unwrap();
     let restored = backend.stats().unwrap();
     assert_eq!(
-        restored.stats.fresh_measurements, expected_fresh,
+        restored.snapshot.stats.fresh_measurements, expected_fresh,
         "telemetry must survive the restart"
     );
     let replay = backend.submit_batch(&requests(), &device()).unwrap().wait().unwrap();
@@ -157,7 +164,7 @@ fn daemon_served_configs_are_bit_identical_to_eager() {
         assert_eq!(replayed.config, fresh_run.config);
     }
     assert_eq!(
-        backend.stats().unwrap().stats.fresh_measurements,
+        backend.stats().unwrap().snapshot.stats.fresh_measurements,
         expected_fresh,
         "replay measured nothing"
     );
@@ -202,12 +209,53 @@ fn concurrent_socket_clients_share_one_tuning_run() {
     let backend = SocketBackend::connect(&sock).unwrap();
     let snap = backend.stats().unwrap();
     assert_eq!(
-        snap.stats.inline_tuned + snap.stats.background_tuned,
+        snap.snapshot.stats.inline_tuned + snap.snapshot.stats.background_tuned,
         1,
         "two clients, one tuning run"
     );
-    assert_eq!(snap.stats.fresh_measurements, eager_fresh, "no duplicate measurements");
+    assert_eq!(snap.snapshot.stats.fresh_measurements, eager_fresh, "no duplicate measurements");
     backend.shutdown().unwrap();
     server.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ISSUE 7 acceptance pin: histogram readouts fetched over the wire
+/// equal the in-process registry. An embedded service runs a session;
+/// its live `StatsReport` is pushed through the v3 codec and the
+/// decoded metrics must match the registry snapshot field-for-field,
+/// bucket-for-bucket.
+#[test]
+fn wire_stats_equal_in_process_registry() {
+    use conv_iolb::service::wire::{self, Response};
+    use conv_iolb::service::TuningService;
+
+    let config = ServiceConfig {
+        budget_per_workload: BUDGET,
+        workers: 0,
+        speculate_neighbors: false,
+        seed: TUNER_SEED,
+        ..ServiceConfig::default()
+    };
+    let service = TuningService::new(ShardedStore::new(), config);
+    let session = service.submit_batch(&requests(), &device()).unwrap();
+    let results = session.wait();
+    assert_eq!(results.len(), 5);
+
+    let report = Backend::stats(&service).unwrap();
+    let session_us = report.metrics.histogram("iolb_session_us").expect("session latency recorded");
+    assert_eq!(session_us.count(), 1, "one session ran");
+    assert_eq!(report.metrics.counter("iolb_sessions_total"), Some(1));
+
+    let response =
+        Response::Stats { snapshot: Box::new(report.snapshot), metrics: report.metrics.clone() };
+    let mut frame = Vec::new();
+    wire::write_response(&mut frame, &response).unwrap();
+    let mut cursor = std::io::Cursor::new(frame);
+    match wire::read_response(&mut cursor).unwrap() {
+        Response::Stats { snapshot, metrics } => {
+            assert_eq!(*snapshot, report.snapshot, "snapshot survives the wire");
+            assert_eq!(metrics, report.metrics, "registry survives the wire exactly");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
 }

@@ -162,7 +162,7 @@ fn fleet_matches_eager_and_survives_killing_a_daemon_mid_session() {
     // One tuning run per unique fingerprint *fleet-wide*: the aggregated
     // stats prove no workload tuned on two daemons.
     let snap = router.stats().unwrap();
-    assert_eq!(snap.stats.inline_tuned + snap.stats.background_tuned, 3);
+    assert_eq!(snap.snapshot.stats.inline_tuned + snap.snapshot.stats.background_tuned, 3);
     let sync = router.sync().unwrap();
     assert!(sync.persisted, "all three daemons flushed");
     assert!(sync.total > 0);
