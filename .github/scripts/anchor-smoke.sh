@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Anchored-serving smoke (ISSUE 8 acceptance): `tune-bench replay
+# --jitter` warms the store on the unjittered model-zoo shapes, then
+# replays every session with in-bucket jittered copies. Exact hit rate
+# collapses to ~0 (every fingerprint is new) but the anchor layer must
+# answer >= 95% of requests from the buckets with ZERO fresh
+# measurements — in the embedded service and through a live daemon, at
+# bit-identical total cost. The caller's RAYON_NUM_THREADS is honored,
+# so CI exercises both the pooled and single-thread paths.
+set -euo pipefail
+
+TB=target/release/tune-bench
+TC=target/release/tune-cache
+OUT=$(mktemp /tmp/iolb-anchor-replay.XXXXXX.json)
+trap 'rm -f "$OUT"' EXIT
+
+"$TB" replay --networks alexnet --clients 2 --repeat 2 --budget 4 --jitter -o "$OUT"
+
+# check-bench enforces the jittered invariants: anchored_hit_rate >=
+# 0.95 and fresh == 0 in both modes, embedded/daemon bit-identity.
+"$TC" check-bench "$OUT"
+
+# Belt and braces: assert the load-bearing fields directly, so a
+# check-bench regression cannot silently weaken this gate.
+for field in '"jitter":1' \
+             '"embedded_hit_rate":0' '"daemon_hit_rate":0' \
+             '"embedded_anchored_hit_rate":1' '"daemon_anchored_hit_rate":1' \
+             '"embedded_fresh":0' '"daemon_fresh":0'; do
+  grep -qF "$field" "$OUT" \
+    || { echo "anchor smoke: expected $field in $(cat "$OUT")"; exit 1; }
+done
+
+# And an unjittered file claiming a jittered fresh-measurement count
+# must fail the gate (the gate itself is load-bearing).
+if sed 's/"embedded_fresh":0/"embedded_fresh":7/' "$OUT" | "$TC" check-bench /dev/stdin 2>/dev/null; then
+  echo "check-bench accepted fresh measurements under --jitter"
+  exit 1
+fi
+
+echo "anchor smoke OK"

@@ -143,6 +143,51 @@ pub fn tuner_setup(
     TunerSetup { space, measurer, model, searcher, params }
 }
 
+/// Default anchor floor: dimensions at or below this stay exact when a
+/// workload is anchored; larger dimensions round up to the next power
+/// of two. Small extents (late-stage feature maps, narrow channel
+/// counts) are exactly where tile feasibility is most shape-sensitive,
+/// so they never share a bucket with a different extent.
+pub const ANCHOR_FLOOR: usize = 16;
+
+/// Anchors one dimension: exact at or below `floor`, next power of two
+/// above it. Idempotent — a power of two maps to itself, and an
+/// anchored value above the floor stays above the floor.
+pub fn anchor_dim(d: usize, floor: usize) -> usize {
+    if d <= floor {
+        d
+    } else {
+        d.next_power_of_two()
+    }
+}
+
+/// Anchors a shape's data dimensions (H/W/C/K) to their buckets.
+/// Batch, kernel extents, stride and padding stay exact: they change
+/// the algorithm candidates and the schedule constraint structure, not
+/// just the problem scale, so they never merge.
+pub fn anchor_shape(shape: &ConvShape, floor: usize) -> ConvShape {
+    ConvShape {
+        cin: anchor_dim(shape.cin, floor),
+        hin: anchor_dim(shape.hin, floor),
+        win: anchor_dim(shape.win, floor),
+        cout: anchor_dim(shape.cout, floor),
+        ..*shape
+    }
+}
+
+/// The anchor-bucket representative of a workload: same algorithm,
+/// device and shared memory, anchored shape.
+pub fn anchor_workload(workload: &iolb_records::Workload, floor: usize) -> iolb_records::Workload {
+    iolb_records::Workload { shape: anchor_shape(&workload.shape, floor), ..workload.clone() }
+}
+
+/// The secondary store key: the anchored workload's fingerprint,
+/// prefixed with the floor it was computed under so indexes built with
+/// different floors can never alias each other.
+pub fn anchor_fingerprint(workload: &iolb_records::Workload, floor: usize) -> String {
+    format!("a{floor}|{}", anchor_workload(workload, floor).fingerprint())
+}
+
 /// One member of a batch tuning call ([`crate::engine::tune_batch`]): a
 /// layer shape plus the algorithm to tune it under. The device, budget
 /// and seed are batch-wide — a batch is "one network on one device".
@@ -289,6 +334,60 @@ mod tests {
         ] {
             assert!(BatchRequest::from_wire_line(line).is_err(), "{why}: accepted {line:?}");
         }
+    }
+
+    #[test]
+    fn anchoring_is_idempotent_and_respects_the_floor() {
+        for floor in [0, 8, ANCHOR_FLOOR, 64] {
+            for d in [1, 3, 13, 14, 16, 17, 27, 54, 96, 224, 1000] {
+                let once = anchor_dim(d, floor);
+                assert_eq!(anchor_dim(once, floor), once, "anchor_dim({d}, {floor})");
+                if d <= floor {
+                    assert_eq!(once, d, "at or below the floor stays exact");
+                } else {
+                    assert!(once >= d, "anchoring never shrinks a dimension");
+                    assert!(once.is_power_of_two());
+                }
+            }
+        }
+        let shape = ConvShape::new(96, 54, 54, 16, 1, 1, 1, 0);
+        let anchored = anchor_shape(&shape, ANCHOR_FLOOR);
+        assert_eq!(anchor_shape(&anchored, ANCHOR_FLOOR), anchored);
+        assert_eq!((anchored.cin, anchored.hin, anchored.win), (128, 64, 64));
+        assert_eq!(anchored.cout, 16, "cout sits on the floor and stays exact");
+        assert_eq!(
+            (anchored.batch, anchored.kh, anchored.kw, anchored.stride, anchored.pad),
+            (shape.batch, shape.kh, shape.kw, shape.stride, shape.pad),
+            "structural fields never anchor"
+        );
+    }
+
+    #[test]
+    fn anchor_fingerprints_bucket_nearby_shapes_and_embed_the_floor() {
+        let wl = |hin: usize, win: usize| {
+            iolb_records::Workload::new(
+                ConvShape::new(96, hin, win, 24, 1, 1, 1, 0),
+                TileKind::Direct,
+                "Tesla V100",
+                96 * 1024,
+            )
+        };
+        // In-bucket neighbors share the anchor key but not the exact key.
+        assert_ne!(wl(54, 54).fingerprint(), wl(52, 53).fingerprint());
+        assert_eq!(
+            anchor_fingerprint(&wl(54, 54), ANCHOR_FLOOR),
+            anchor_fingerprint(&wl(52, 53), ANCHOR_FLOOR)
+        );
+        // Crossing a power of two changes the bucket.
+        assert_ne!(
+            anchor_fingerprint(&wl(54, 54), ANCHOR_FLOOR),
+            anchor_fingerprint(&wl(70, 54), ANCHOR_FLOOR)
+        );
+        // The floor is part of the key: different floors never alias.
+        assert_ne!(
+            anchor_fingerprint(&wl(54, 54), ANCHOR_FLOOR),
+            anchor_fingerprint(&wl(54, 54), 8)
+        );
     }
 
     #[test]

@@ -39,15 +39,19 @@ use std::time::{Duration, Instant};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tune-bench replay [--networks A,B,...] [--clients N] [--repeat N]\n\
-         \u{20}                        [--budget N] [--seed N] [-o FILE]\n\
+         \u{20}                        [--budget N] [--seed N] [--jitter] [-o FILE]\n\
          \n\
          replay a model-zoo traffic mix (each network's conv layers,\n\
          duplicated --repeat times with deterministic shape jitter) through\n\
          N client threads, against the embedded service and against an\n\
          in-process daemon, and write one flat JSON summary (default\n\
          BENCH_replay.json): throughput, p50/p99 session latency, hit rate,\n\
-         fresh measurements per mode. Fails unless both modes' total costs\n\
-         are bit-identical (hermetic tuning)."
+         anchored hit rate, fresh measurements per mode. Fails unless both\n\
+         modes' total costs are bit-identical (hermetic tuning).\n\
+         \n\
+         --jitter warms each backend on the unjittered zoo shapes first,\n\
+         then replays every copy with in-anchor-bucket shape jitter, so the\n\
+         measured phase exercises anchored transfer serving directly."
     );
     ExitCode::from(2)
 }
@@ -63,21 +67,8 @@ fn main() -> ExitCode {
     let repeat = flag_value(rest, "--repeat").unwrap_or(2).max(1);
     let budget = flag_value(rest, "--budget").unwrap_or(16);
     let seed = flag_value(rest, "--seed").unwrap_or(7) as u64;
+    let jitter_mode = rest.iter().any(|a| a == "--jitter");
     let out = flag_path(rest, "-o").unwrap_or_else(|| PathBuf::from("BENCH_replay.json"));
-
-    let mix = match build_mix(&networks, repeat) {
-        Ok(mix) => mix,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let requests_hint: usize = mix.iter().map(|n| n.layers.len()).sum();
-    eprintln!(
-        "replaying {} session(s) ({requests_hint} layer(s)) over {clients} client thread(s), \
-         budget {budget}, seed {seed}",
-        mix.len()
-    );
 
     let config = ServiceConfig {
         budget_per_workload: budget,
@@ -87,9 +78,24 @@ fn main() -> ExitCode {
         ..ServiceConfig::default()
     };
 
+    let (mix, warm) = match build_mix(&networks, repeat, jitter_mode, config.anchor_floor) {
+        Ok(built) => built,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let requests_hint: usize = mix.iter().map(|n| n.layers.len()).sum();
+    eprintln!(
+        "replaying {} session(s) ({requests_hint} layer(s)) over {clients} client thread(s), \
+         budget {budget}, seed {seed}{}",
+        mix.len(),
+        if jitter_mode { ", in-bucket jitter (anchored serving)" } else { "" },
+    );
+
     // Mode 1: embedded — every client thread drives one shared service.
     let service = TuningService::new(ShardedStore::new(), config);
-    let embedded = run_mode(&mix, clients, || Ok(service.clone()));
+    let embedded = run_mode(&mix, &warm, clients, || Ok(service.clone()));
     let embedded = match embedded {
         Ok(outcome) => outcome,
         Err(e) => {
@@ -100,7 +106,7 @@ fn main() -> ExitCode {
 
     // Mode 2: daemon — the same mix over a Unix socket against a fresh
     // in-process daemon (own shard directory, own store).
-    let daemon = match run_daemon_mode(&mix, clients, config) {
+    let daemon = match run_daemon_mode(&mix, &warm, clients, config) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("error: daemon replay failed: {e}");
@@ -119,9 +125,13 @@ fn main() -> ExitCode {
     }
 
     let line = format!(
-        "{{\"schema\":\"iolb-bench-replay\",\"v\":1,\"networks\":\"{}\",\"clients\":{clients},\
-         \"repeat\":{repeat},\"budget\":{budget},\"seed\":{seed},\"sessions\":{},\"requests\":{}{}{}}}",
+        "{{\"schema\":\"iolb-bench-replay\",\"v\":2,\"networks\":\"{}\",\"clients\":{clients},\
+         \"repeat\":{repeat},\"budget\":{budget},\"seed\":{seed},\"jitter\":{},\
+         \"anchor_floor\":{},\"transfer_gap_permille\":{},\"sessions\":{},\"requests\":{}{}{}}}",
         iolb_records::jsonl::escape(&networks),
+        u8::from(jitter_mode),
+        config.anchor_floor,
+        config.transfer_gap_permille,
         mix.len(),
         embedded.requests,
         mode_fields("embedded", &embedded),
@@ -142,6 +152,8 @@ struct ModeOutcome {
     requests: usize,
     fresh: usize,
     hits: usize,
+    anchored: usize,
+    retunes: usize,
     wall: Duration,
     latency: LatencyHistogram,
     /// Sum of per-session total costs, accumulated in mix order so the
@@ -153,26 +165,46 @@ struct ModeOutcome {
 fn mode_fields(mode: &str, o: &ModeOutcome) -> String {
     let wall_s = o.wall.as_secs_f64();
     let throughput = if wall_s > 0.0 { o.sessions as f64 / wall_s } else { 0.0 };
-    let hit_rate = if o.requests == 0 { 0.0 } else { o.hits as f64 / o.requests as f64 };
+    let rate = |n: usize| if o.requests == 0 { 0.0 } else { n as f64 / o.requests as f64 };
     format!(
         ",\"{mode}_throughput_rps\":{throughput},\
          \"{mode}_p50_ms\":{},\"{mode}_p99_ms\":{},\
-         \"{mode}_hit_rate\":{hit_rate},\"{mode}_fresh\":{},\"{mode}_total_cost_ms\":{}",
+         \"{mode}_hit_rate\":{},\"{mode}_anchored_hit_rate\":{},\
+         \"{mode}_anchored\":{},\"{mode}_retunes\":{},\
+         \"{mode}_fresh\":{},\"{mode}_total_cost_ms\":{}",
         o.latency.quantile(0.5) as f64 / 1000.0,
         o.latency.quantile(0.99) as f64 / 1000.0,
+        rate(o.hits),
+        rate(o.anchored),
+        o.anchored,
+        o.retunes,
         o.fresh,
         o.total_cost_ms,
     )
 }
 
-/// Builds the traffic mix: every named network's conv layers, `repeat`
-/// copies each. Copy 0 is the zoo network verbatim; later copies jitter
-/// each layer's shape through the service's own perturbation
-/// neighborhood (deterministically — no clock, no RNG), modelling
-/// near-duplicate traffic the way the paper's speculation story does.
-fn build_mix(networks: &str, repeat: usize) -> Result<Vec<Network>, String> {
+/// Builds the traffic mix plus the warm-up networks.
+///
+/// Default mode: every named network's conv layers, `repeat` copies
+/// each — copy 0 verbatim, later copies jittered through the service's
+/// own perturbation neighborhood (deterministically — no clock, no
+/// RNG), modelling near-duplicate traffic the way the paper's
+/// speculation story does. No warm-up.
+///
+/// Jitter mode (`--jitter`): the warm-up list is the zoo networks
+/// verbatim and *every* measured copy applies in-anchor-bucket jitter
+/// ([`bucket_jitter`]), so each measured request is an exact miss whose
+/// anchor bucket the warm phase already tuned — the anchored-serving
+/// trajectory.
+fn build_mix(
+    networks: &str,
+    repeat: usize,
+    jitter_mode: bool,
+    anchor_floor: usize,
+) -> Result<(Vec<Network>, Vec<Network>), String> {
     let zoo = iolb_cnn::models::all_networks();
     let mut mix = Vec::new();
+    let mut warm = Vec::new();
     for name in networks.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         let wanted = name.to_ascii_lowercase();
         let net = zoo.iter().find(|n| n.name.to_ascii_lowercase() == wanted).ok_or_else(|| {
@@ -181,14 +213,22 @@ fn build_mix(networks: &str, repeat: usize) -> Result<Vec<Network>, String> {
                 zoo.iter().map(|n| n.name.to_ascii_lowercase()).collect::<Vec<_>>().join(", ")
             )
         })?;
+        if jitter_mode {
+            warm.push(Network { name: net.name, layers: net.layers.clone() });
+        }
         for copy in 0..repeat {
             let layers: Vec<ConvLayer> = net
                 .layers
                 .iter()
                 .enumerate()
                 .map(|(at, layer)| {
-                    let shape =
-                        if copy == 0 { layer.shape } else { jitter(&layer.shape, copy + at) };
+                    let shape = if jitter_mode {
+                        bucket_jitter(&layer.shape, anchor_floor, copy * 31 + at + 1)
+                    } else if copy == 0 {
+                        layer.shape
+                    } else {
+                        jitter(&layer.shape, copy + at)
+                    };
                     ConvLayer::new(format!("{}#{copy}", layer.name), shape)
                 })
                 .collect();
@@ -198,7 +238,7 @@ fn build_mix(networks: &str, repeat: usize) -> Result<Vec<Network>, String> {
     if mix.is_empty() {
         return Err("no networks in --networks".to_string());
     }
-    Ok(mix)
+    Ok((mix, warm))
 }
 
 /// Deterministic shape jitter: the `salt`-th valid perturbation
@@ -212,16 +252,59 @@ fn jitter(shape: &ConvShape, salt: usize) -> ConvShape {
     }
 }
 
+/// Deterministic *in-anchor-bucket* jitter of one dimension: decrement
+/// by 1..=3 (salted), but never past the bucket's lower edge (the next
+/// power of two's half, exclusive) or the anchor floor — so the
+/// jittered dimension provably shares the original's anchor bucket
+/// ([`iolb_autotune::plan::anchor_dim`]). Dimensions at or below the
+/// floor anchor exactly and stay untouched.
+fn bucket_jitter_dim(d: usize, floor: usize, salt: usize) -> usize {
+    let lo = (d.next_power_of_two() / 2 + 1).max(floor + 1);
+    if d <= lo {
+        return d;
+    }
+    let span = d - lo;
+    d - (1 + salt % span.min(3))
+}
+
+/// In-bucket jitter of a layer shape: spatial extents and channel
+/// counts move within their anchor buckets; filter geometry, stride,
+/// padding and batch (the exact-match anchor fields) stay put.
+fn bucket_jitter(shape: &ConvShape, floor: usize, salt: usize) -> ConvShape {
+    ConvShape {
+        cin: bucket_jitter_dim(shape.cin, floor, salt),
+        hin: bucket_jitter_dim(shape.hin, floor, salt + 1),
+        win: bucket_jitter_dim(shape.win, floor, salt + 1),
+        cout: bucket_jitter_dim(shape.cout, floor, salt + 2),
+        ..*shape
+    }
+}
+
 /// Replays the whole mix through `clients` threads, each with its own
 /// backend from `make_backend`. Sessions are claimed off a shared
 /// cursor; per-session wall latency lands in one merged histogram and
-/// per-session costs are summed in mix order.
-fn run_mode<B, F>(mix: &[Network], clients: usize, make_backend: F) -> Result<ModeOutcome, String>
+/// per-session costs are summed in mix order. The `warm` networks run
+/// first, sequentially, on one backend — outside the measured window
+/// and outside every counter (they pre-tune the anchor buckets for a
+/// `--jitter` replay).
+fn run_mode<B, F>(
+    mix: &[Network],
+    warm: &[Network],
+    clients: usize,
+    make_backend: F,
+) -> Result<ModeOutcome, String>
 where
     B: Backend,
     F: Fn() -> Result<B, String> + Sync,
 {
     let device = DeviceSpec::v100();
+    if !warm.is_empty() {
+        let backend = make_backend()?;
+        for net in warm {
+            time_network_with_backend(net, &device, &backend)
+                .map_err(|e| format!("warm-up of {}: {e}", net.name))?;
+        }
+    }
     let cursor = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<(f64, ServiceEconomics, u64)>>> = Mutex::new(vec![None; mix.len()]);
     let failure: Mutex<Option<String>> = Mutex::new(None);
@@ -267,6 +350,8 @@ where
         requests: 0,
         fresh: 0,
         hits: 0,
+        anchored: 0,
+        retunes: 0,
         wall,
         latency: LatencyHistogram::new(),
         total_cost_ms: 0.0,
@@ -274,9 +359,11 @@ where
     for slot in slots {
         let (cost, eco, us) = slot.ok_or("a session was never run")?;
         outcome.total_cost_ms += cost;
-        outcome.requests += eco.shard_hits + eco.stolen + eco.inline_tuned;
+        outcome.requests += eco.shard_hits + eco.stolen + eco.inline_tuned + eco.anchored;
         outcome.fresh += eco.fresh_measurements;
         outcome.hits += eco.shard_hits;
+        outcome.anchored += eco.anchored;
+        outcome.retunes += eco.transfer_retunes;
         outcome.latency.record(us);
     }
     Ok(outcome)
@@ -287,6 +374,7 @@ where
 /// client thread), then shut it down and clean up.
 fn run_daemon_mode(
     mix: &[Network],
+    warm: &[Network],
     clients: usize,
     config: ServiceConfig,
 ) -> Result<ModeOutcome, String> {
@@ -301,7 +389,7 @@ fn run_daemon_mode(
     let (daemon, _report) = Daemon::bind(&dir, &sock, daemon_config)
         .map_err(|e| format!("cannot bind replay daemon: {e}"))?;
     let server = std::thread::spawn(move || daemon.run());
-    let outcome = run_mode(mix, clients, || {
+    let outcome = run_mode(mix, warm, clients, || {
         SocketBackend::connect(&sock).map_err(|e| format!("cannot connect to replay daemon: {e}"))
     });
     let stop = SocketBackend::connect(&sock)

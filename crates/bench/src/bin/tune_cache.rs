@@ -88,7 +88,8 @@ fn usage() -> ExitCode {
          serve   <DIR> [--socket PATH] [--tcp HOST:PORT] [--budget N] [--seed N]\n\
          \u{20}                                  [--workers N] [--merge-interval-ms N]\n\
          \u{20}                                  [--idle-timeout SECS] [--peer SPEC]...\n\
-         \u{20}                                  [--peer-sync-ms N]\n\
+         \u{20}                                  [--peer-sync-ms N] [--anchor-floor N]\n\
+         \u{20}                                  [--transfer-gap-permille N]\n\
          \u{20}                                  run a resident shard-server daemon: hold DIR's\n\
          \u{20}                                  lock for the daemon's lifetime, serve sessions on\n\
          \u{20}                                  PATH (default DIR/daemon.sock) and optionally on\n\
@@ -178,6 +179,11 @@ fn main() -> ExitCode {
                         .unwrap_or(ServiceConfig::default().workers),
                     speculate_neighbors: false, // serve exactly what clients ask
                     lock_timeout: lock_timeout_flag(rest),
+                    anchor_floor: flag_value(rest, "--anchor-floor")
+                        .unwrap_or(ServiceConfig::default().anchor_floor),
+                    transfer_gap_permille: flag_value(rest, "--transfer-gap-permille")
+                        .map(|v| v as u32)
+                        .unwrap_or(ServiceConfig::default().transfer_gap_permille),
                     ..ServiceConfig::default()
                 },
                 merge_interval: Duration::from_millis(
@@ -313,12 +319,15 @@ fn spec_network(layers: &[ConvShape]) -> Network {
 /// must emit the identical shape).
 fn print_session_summary(net: &Network, timed: &NetworkTime, eco: &ServiceEconomics) {
     println!(
-        "tuned {} layer(s) in one session: {:.6} ms total ({} deduped, {} hit(s), {} stolen, \
-         {} tuned inline, {} fresh measurement(s), {} cache hit(s))",
+        "tuned {} layer(s) in one session: {:.6} ms total ({} deduped, {} hit(s), \
+         {} anchored ({} re-tune(s)), {} stolen, {} tuned inline, {} fresh measurement(s), \
+         {} cache hit(s))",
         net.layers.len(),
         timed.ours_ms,
         eco.deduped,
         eco.shard_hits,
+        eco.anchored,
+        eco.transfer_retunes,
         eco.stolen,
         eco.inline_tuned,
         eco.fresh_measurements,
@@ -340,17 +349,19 @@ fn print_session_json(
     eco: &ServiceEconomics,
     peers: Option<(usize, usize)>,
 ) {
-    let answered = eco.shard_hits + eco.stolen + eco.inline_tuned;
+    let answered = eco.shard_hits + eco.anchored + eco.stolen + eco.inline_tuned;
     let hit_rate = if answered == 0 { 0.0 } else { eco.shard_hits as f64 / answered as f64 };
+    let anchored_rate = if answered == 0 { 0.0 } else { eco.anchored as f64 / answered as f64 };
     let layer_ms: Vec<String> = timed
         .layers
         .iter()
         .map(|l| format!("{}={}", l.name.replace(['=', ';'], "_"), l.ours_ms))
         .collect();
     let mut line = format!(
-        "{{\"schema\":\"iolb-tune-net\",\"v\":1,\"mode\":\"{}\",\"network\":\"{}\",\
+        "{{\"schema\":\"iolb-tune-net\",\"v\":2,\"mode\":\"{}\",\"network\":\"{}\",\
          \"layers\":{},\"requests\":{},\"total_ms\":{},\"fresh\":{},\"hit_rate\":{},\
-         \"hits\":{},\"stolen\":{},\"inline\":{},\"deduped\":{},\"cache_hits\":{}",
+         \"anchored_hit_rate\":{},\"hits\":{},\"anchored\":{},\"retunes\":{},\"stolen\":{},\
+         \"inline\":{},\"deduped\":{},\"cache_hits\":{}",
         iolb_records::jsonl::escape(mode),
         iolb_records::jsonl::escape(net.name),
         net.layers.len(),
@@ -358,7 +369,10 @@ fn print_session_json(
         timed.ours_ms,
         eco.fresh_measurements,
         hit_rate,
+        anchored_rate,
         eco.shard_hits,
+        eco.anchored,
+        eco.transfer_retunes,
         eco.stolen,
         eco.inline_tuned,
         eco.deduped,
@@ -610,6 +624,9 @@ fn snapshot_as_metrics(snap: &ServiceSnapshot) -> MetricsSnapshot {
         ("iolb_service_background_tuned_total", s.background_tuned),
         ("iolb_service_inline_tuned_total", s.inline_tuned),
         ("iolb_service_shard_hits_total", s.shard_hits),
+        ("iolb_service_anchored_hits_total", s.anchored_hits),
+        ("iolb_service_transfer_retunes_total", s.transfer_retunes),
+        ("iolb_service_transfer_enqueued_total", s.transfer_enqueued),
         ("iolb_service_stolen_total", s.stolen),
         ("iolb_service_cancelled_speculative_total", s.cancelled_speculative),
         ("iolb_service_budget_dropped_total", s.budget_dropped),
@@ -719,11 +736,22 @@ fn validate_bench_replay(line: &str) -> Result<String, String> {
         return Err(format!("unexpected schema {schema:?}"));
     }
     let version = get("v")?.as_u64("v")?;
-    if version != 1 {
+    if version != 2 {
         return Err(format!("unsupported replay schema version {version}"));
     }
     get("networks")?.as_str("networks")?;
     for key in ["clients", "repeat", "sessions", "requests"] {
+        if get(key)?.as_u64(key)? == 0 {
+            return Err(format!("field {key:?} must be positive"));
+        }
+    }
+    // v2: the anchoring settings ride along so a trajectory point is
+    // self-describing — jittered and exact replays are not comparable.
+    let jitter = get("jitter")?.as_u64("jitter")?;
+    if jitter > 1 {
+        return Err(format!("field \"jitter\" must be 0 or 1, got {jitter}"));
+    }
+    for key in ["anchor_floor", "transfer_gap_permille"] {
         if get(key)?.as_u64(key)? == 0 {
             return Err(format!("field {key:?} must be positive"));
         }
@@ -736,12 +764,40 @@ fn validate_bench_replay(line: &str) -> Result<String, String> {
                 return Err(format!("field {key:?} must be finite and non-negative"));
             }
         }
-        let key = format!("{mode}_hit_rate");
-        let rate = get(&key)?.as_f64(&key)?;
-        if !(0.0..=1.0).contains(&rate) {
-            return Err(format!("field {key:?} must be within [0, 1], got {rate}"));
+        for suffix in ["hit_rate", "anchored_hit_rate"] {
+            let key = format!("{mode}_{suffix}");
+            let rate = get(&key)?.as_f64(&key)?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("field {key:?} must be within [0, 1], got {rate}"));
+            }
+        }
+        let anchored = get(&format!("{mode}_anchored"))?.as_u64(&format!("{mode}_anchored"))?;
+        let retunes = get(&format!("{mode}_retunes"))?.as_u64(&format!("{mode}_retunes"))?;
+        if retunes > anchored {
+            return Err(format!(
+                "field \"{mode}_retunes\" ({retunes}) cannot exceed \
+                 \"{mode}_anchored\" ({anchored}): every re-tune is an anchored serve"
+            ));
         }
         get(&format!("{mode}_fresh"))?.as_u64(&format!("{mode}_fresh"))?;
+    }
+    // A jittered replay against a pre-warmed store is the anchoring
+    // acceptance run: every request must be answered from the anchor
+    // bucket without a single fresh measurement.
+    if jitter == 1 {
+        for mode in ["embedded", "daemon"] {
+            let key = format!("{mode}_anchored_hit_rate");
+            let rate = get(&key)?.as_f64(&key)?;
+            if rate < 0.95 {
+                return Err(format!("field {key:?} must be >= 0.95 under --jitter, got {rate}"));
+            }
+            let fresh = get(&format!("{mode}_fresh"))?.as_u64(&format!("{mode}_fresh"))?;
+            if fresh != 0 {
+                return Err(format!(
+                    "field \"{mode}_fresh\" must be 0 under --jitter, got {fresh}"
+                ));
+            }
+        }
     }
     let embedded = get("embedded_total_cost_ms")?.as_f64("embedded_total_cost_ms")?;
     let daemon = get("daemon_total_cost_ms")?.as_f64("daemon_total_cost_ms")?;
@@ -752,9 +808,11 @@ fn validate_bench_replay(line: &str) -> Result<String, String> {
         ));
     }
     Ok(format!(
-        "{} session(s), {} request(s), embedded/daemon costs bit-identical",
+        "{} session(s), {} request(s), jitter {jitter}, anchored hit rate {}, \
+         embedded/daemon costs bit-identical",
         get("sessions")?.as_u64("sessions")?,
-        get("requests")?.as_u64("requests")?
+        get("requests")?.as_u64("requests")?,
+        get("embedded_anchored_hit_rate")?.as_f64("embedded_anchored_hit_rate")?
     ))
 }
 
@@ -826,9 +884,11 @@ fn print_sidecar(dir: &Path) {
                 s.batch_deduped
             );
             println!(
-                "serving: {} hit(s), {} stolen, {} inline, {} background, \
-                 {} fresh measurement(s), {} cache hit(s), {} infeasible",
+                "serving: {} exact hit(s), {} anchored ({} re-tune(s)), {} stolen, {} inline, \
+                 {} background, {} fresh measurement(s), {} cache hit(s), {} infeasible",
                 s.shard_hits,
+                s.anchored_hits,
+                s.transfer_retunes,
                 s.stolen,
                 s.inline_tuned,
                 s.background_tuned,
@@ -870,9 +930,11 @@ fn stats(path: &Path) -> ExitCode {
     // several devices is exactly what this report exists to expose.
     for (key, shard) in sharded.shards() {
         println!(
-            "device {key}: {} record(s) across {} workload(s)",
+            "device {key}: {} record(s) across {} workload(s) in {} anchor bucket(s) (floor {})",
             shard.len(),
-            shard.workload_count()
+            shard.workload_count(),
+            sharded.anchor_bucket_count(key),
+            sharded.anchor_floor()
         );
         for fp in shard.fingerprints() {
             let recs = shard.records(fp);
@@ -983,11 +1045,17 @@ fn serve_stats(dir: &Path, json: bool) -> ExitCode {
             }
         };
         let s = &snap.stats;
+        // v2 breaks serving out into exact vs anchored vs fresh: `hits`
+        // stays the exact-fingerprint count, `anchored` the bucket
+        // serves (with `retunes` the gate-failed subset), `fresh` the
+        // measurement count — the three-way split the anchoring layer
+        // introduces.
         println!(
-            "{{\"schema\":\"iolb-serve-stats\",\"v\":1,\"shards\":{},\"workloads\":{},\
+            "{{\"schema\":\"iolb-serve-stats\",\"v\":2,\"shards\":{},\"workloads\":{},\
              \"records\":{},\"clock\":{},\"queue_len\":{},\"budget_left\":{},\
              \"networks_served\":{},\"sessions\":{},\"requests\":{},\"deduped\":{},\
-             \"hits\":{},\"stolen\":{},\"inline\":{},\"background\":{},\"fresh\":{},\
+             \"hits\":{},\"anchored\":{},\"retunes\":{},\"transfer_enqueued\":{},\
+             \"stolen\":{},\"inline\":{},\"background\":{},\"fresh\":{},\
              \"cache_hits\":{},\"infeasible\":{}}}",
             sharded.shard_count(),
             sharded.workload_count(),
@@ -1000,6 +1068,9 @@ fn serve_stats(dir: &Path, json: bool) -> ExitCode {
             s.batch_requests,
             s.batch_deduped,
             s.shard_hits,
+            s.anchored_hits,
+            s.transfer_retunes,
+            s.transfer_enqueued,
             s.stolen,
             s.inline_tuned,
             s.background_tuned,
@@ -1020,10 +1091,11 @@ fn serve_stats(dir: &Path, json: bool) -> ExitCode {
     print_sidecar(dir);
     for (key, shard) in sharded.shards() {
         println!(
-            "device {key} ({}): {} workload(s), {} record(s)",
+            "device {key} ({}): {} workload(s), {} record(s), {} anchor bucket(s)",
             iolb_service::shard_file_name(key),
             shard.workload_count(),
-            shard.len()
+            shard.len(),
+            sharded.anchor_bucket_count(key)
         );
         for fp in shard.fingerprints() {
             let recs = shard.records(fp);

@@ -206,6 +206,14 @@ pub struct ServiceEconomics {
     /// Requests that rode along on another request in the same session
     /// (duplicate layer shapes: one tuning job, many waiters).
     pub deduped: usize,
+    /// Requests answered from the workload's anchor bucket: a
+    /// bucket-mate's tuned config projected onto the requested shape,
+    /// with zero fresh tuning measurements.
+    pub anchored: usize,
+    /// Anchored answers the analytic gate could not prove within the
+    /// gap bound — served provisionally with a background re-tune
+    /// enqueued. Always `<= anchored`.
+    pub transfer_retunes: usize,
 }
 
 impl ServiceEconomics {
@@ -214,6 +222,10 @@ impl ServiceEconomics {
             ServeSource::ShardHit => self.shard_hits += 1,
             ServeSource::Stolen => self.stolen += 1,
             ServeSource::Inline { .. } => self.inline_tuned += 1,
+            ServeSource::Anchored { retune } => {
+                self.anchored += 1;
+                self.transfer_retunes += usize::from(retune);
+            }
         }
         self.fresh_measurements += out.fresh_measurements;
         self.cache_hits += out.cache_hits;

@@ -166,6 +166,61 @@ impl ScheduleConfig {
             }
         }
     }
+
+    /// Projects this configuration onto another shape's divisor lattice:
+    /// each tile extent snaps to the nearest-below divisor of the new
+    /// output extent (falling back to the nearest-above when no smaller
+    /// one satisfies the Winograd `e`-multiple constraint), and the
+    /// thread split re-snaps to the projected tile the same way. Shared
+    /// memory and layout carry over unchanged.
+    ///
+    /// Snapping *downward first* is what makes transfer safe: a smaller
+    /// tile has a strictly smaller on-chip footprint and thread count,
+    /// so for the direct dataflow a config valid on its donor shape
+    /// projects to a config valid on any target with the same filter,
+    /// stride and padding (the anchor-bucket invariant). Optimality is
+    /// not preserved — callers gate the projection analytically
+    /// (`Q_model/Q_lower`) before trusting it.
+    pub fn project_onto(&self, shape: &ConvShape, kind: TileKind) -> ScheduleConfig {
+        let (hout, wout) = padded_out(shape, kind);
+        let e = match kind {
+            TileKind::Winograd(t) => t.e,
+            TileKind::Direct => 1,
+        };
+        let x = snap_divisor(hout, self.x, e);
+        let y = snap_divisor(wout, self.y, e);
+        let z = snap_divisor(shape.cout, self.z, 1);
+        ScheduleConfig {
+            x,
+            y,
+            z,
+            nxt: snap_divisor(x, self.nxt, 1),
+            nyt: snap_divisor(y, self.nyt, 1),
+            nzt: snap_divisor(z, self.nzt, 1),
+            ..*self
+        }
+    }
+}
+
+/// The largest divisor of `n` that is a multiple of `step` and at most
+/// `want` — or, when every such divisor exceeds `want` (a Winograd tile
+/// floor), the smallest one. `n` itself is always a candidate whenever
+/// `step | n`, so the result is well-defined for every valid output
+/// extent (padded extents are `e`-multiples by construction).
+fn snap_divisor(n: usize, want: usize, step: usize) -> usize {
+    let mut below: Option<usize> = None;
+    let mut above: Option<usize> = None;
+    for d in 1..=n {
+        if !n.is_multiple_of(d) || !d.is_multiple_of(step) {
+            continue;
+        }
+        if d <= want {
+            below = Some(d);
+        } else if above.is_none() {
+            above = Some(d);
+        }
+    }
+    below.or(above).unwrap_or_else(|| n.max(1))
 }
 
 /// Integer-factor slack on the pruned-domain inequalities: exact factor
@@ -363,5 +418,63 @@ mod tests {
         let s = format!("{c}");
         assert!(s.contains("14x14x16"));
         assert!(s.contains("CHW"));
+    }
+
+    #[test]
+    fn projection_snaps_to_the_target_divisor_lattice() {
+        let c = valid_config(); // tuned on 56x56 output
+                                // hout = wout = 50, padded to 52 (a multiple of 4): the donor's
+                                // 14 no longer divides, and the nearest-below divisor is 13.
+        let target = ConvShape::square(256, 50, 128, 3, 1, 1);
+        let p = c.project_onto(&target, TileKind::Direct);
+        assert_eq!((p.x, p.y), (13, 13));
+        assert_eq!(p.z, 16, "cout unchanged, z carries over exactly");
+        assert!(p.x.is_multiple_of(p.nxt) && p.y.is_multiple_of(p.nyt));
+        assert_eq!((p.sb_bytes, p.layout), (c.sb_bytes, c.layout));
+        assert_eq!(p.validate(&target, TileKind::Direct, SSM, false), Ok(()));
+        // Projecting onto the shape it already fits is the identity.
+        assert_eq!(c.project_onto(&shape(), TileKind::Direct), c);
+        assert_eq!(p.project_onto(&target, TileKind::Direct), p);
+    }
+
+    #[test]
+    fn downward_projection_of_a_valid_direct_config_stays_valid() {
+        let c = valid_config();
+        assert_eq!(c.validate(&shape(), TileKind::Direct, SSM, false), Ok(()));
+        // Same filter/stride/pad, jittered spatial and channel extents:
+        // the anchor-bucket transfer case.
+        for (hw, cout) in [(54, 128), (50, 120), (55, 124), (49, 127)] {
+            let target = ConvShape::square(256, hw, cout, 3, 1, 1);
+            let p = c.project_onto(&target, TileKind::Direct);
+            assert_eq!(
+                p.validate(&target, TileKind::Direct, SSM, false),
+                Ok(()),
+                "projection onto {hw}x{hw} cout={cout} must stay valid"
+            );
+            assert!(p.threads() <= c.threads(), "downward snap never adds threads");
+        }
+    }
+
+    #[test]
+    fn winograd_projection_respects_the_tile_multiple_floor() {
+        let tile = iolb_core::shapes::WinogradTile::F4X3;
+        let shape = ConvShape::square(64, 28, 64, 3, 1, 1); // padded out = 28
+        let c = ScheduleConfig {
+            x: 4,
+            y: 4,
+            z: 8,
+            nxt: 2,
+            nyt: 2,
+            nzt: 4,
+            sb_bytes: 32 * 1024,
+            layout: Layout::Chw,
+        };
+        let kind = TileKind::Winograd(tile);
+        assert_eq!(c.validate(&shape, kind, SSM, false), Ok(()));
+        let target = ConvShape::square(64, 26, 64, 3, 1, 1);
+        let p = c.project_onto(&target, kind);
+        assert!(p.x.is_multiple_of(tile.e) && p.y.is_multiple_of(tile.e));
+        let (hout, wout) = padded_out(&target, kind);
+        assert!(hout.is_multiple_of(p.x) && wout.is_multiple_of(p.y));
     }
 }

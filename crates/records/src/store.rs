@@ -78,6 +78,14 @@ impl RecordStore {
         self.by_workload.iter().map(|(fp, list)| (fp.as_str(), list.as_slice()))
     }
 
+    /// The best record of every workload, in deterministic fingerprint
+    /// order — the iteration surface secondary indexes (e.g. the
+    /// service's anchor-bucket index) are built over without walking
+    /// full record lists.
+    pub fn best_entries(&self) -> impl Iterator<Item = (&str, &TuningRecord)> {
+        self.by_workload.iter().filter_map(|(fp, list)| list.first().map(|rec| (fp.as_str(), rec)))
+    }
+
     /// Consuming variant of [`entries`](Self::entries): yields every
     /// `(fingerprint, records)` pair in fingerprint order, moving the
     /// records out (what re-sharding wants — no clones).
@@ -470,6 +478,21 @@ mod tests {
                 assert!(w[0].cost_ms <= w[1].cost_ms);
             }
         }
+    }
+
+    #[test]
+    fn best_entries_yield_one_best_record_per_workload() {
+        let mut s = RecordStore::new();
+        s.insert(rec(64, 7, 2.0));
+        s.insert(rec(64, 14, 1.0));
+        s.insert(rec(32, 7, 3.0));
+        let best: Vec<(&str, f64)> = s.best_entries().map(|(fp, r)| (fp, r.cost_ms)).collect();
+        assert_eq!(best.len(), s.workload_count());
+        assert_eq!(best.iter().find(|(fp, _)| *fp == wl(64).fingerprint()).unwrap().1, 1.0);
+        let fps: Vec<&str> = best.iter().map(|(fp, _)| *fp).collect();
+        let mut sorted = fps.clone();
+        sorted.sort_unstable();
+        assert_eq!(fps, sorted, "fingerprint order");
     }
 
     #[test]

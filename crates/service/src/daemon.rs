@@ -333,6 +333,17 @@ impl Daemon {
                         // below in run(); stop ticking.
                         break;
                     }
+                    // On hosts whose pool has no background threads
+                    // (single core) `kick` is a no-op, so the interval
+                    // thread is the daemon's only background muscle:
+                    // drain staged transfer re-tunes and abandoned batch
+                    // work here, then flush what that produced. Daemons
+                    // configured with zero workers opt out (the replay
+                    // benchmark relies on nothing tuning behind its
+                    // back).
+                    if service.config().workers > 0 {
+                        service.drain();
+                    }
                     let snapshot = service.snapshot();
                     if last != Some(snapshot) {
                         let (_, persisted) = persist(&service, &dir, &shared);

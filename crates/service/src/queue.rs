@@ -8,9 +8,13 @@
 //!    a caller is blocked on these *right now*, so they outrank all
 //!    background work. Each batch job carries its session's group id so
 //!    completion can be counted per group.
-//! 2. **Registered** — layers of a registered network: background fill
+//! 2. **Transfer** — re-tunes behind provisionally-served anchored
+//!    transfers: a client already *received* a config for these, so
+//!    nobody blocks, but the served answer is only analytically bounded
+//!    — closing that gap outranks speculative fill.
+//! 3. **Registered** — layers of a registered network: background fill
 //!    ahead of demand.
-//! 3. **Neighbor** — shape-perturbation speculation about networks
+//! 4. **Neighbor** — shape-perturbation speculation about networks
 //!    nobody has asked for yet.
 //!
 //! Within a tier the paper's thesis supplies the ranking: a workload
@@ -88,6 +92,10 @@ pub enum JobTier {
     /// Member of a client batch session; `group` identifies the session
     /// so completion is countable per group.
     Batch { group: u64 },
+    /// Background re-tune behind a provisionally-served anchored
+    /// transfer: the client already has a (bounded but unproven) answer,
+    /// so nothing blocks on this — but it outranks plain background fill.
+    Transfer,
     /// Layer of a registered network.
     Registered,
     /// Shape-perturbation neighbor.
@@ -100,8 +108,9 @@ impl JobTier {
     pub fn rank(self) -> u8 {
         match self {
             Self::Batch { .. } => 0,
-            Self::Registered => 1,
-            Self::Neighbor => 2,
+            Self::Transfer => 1,
+            Self::Registered => 2,
+            Self::Neighbor => 3,
         }
     }
 
@@ -116,6 +125,7 @@ impl JobTier {
     pub fn label(self) -> &'static str {
         match self {
             Self::Batch { .. } => "batch",
+            Self::Transfer => "transfer",
             Self::Registered => "registered",
             Self::Neighbor => "neighbor",
         }
@@ -175,6 +185,75 @@ pub fn io_gap(shape: &ConvShape, kind: TileKind, device: &DeviceSpec) -> f64 {
     } else {
         1.0
     }
+}
+
+/// The I/O-bound gap of a *given* configuration on a shape: its analytic
+/// dataflow I/O over the shape's I/O lower bound at the configuration's
+/// stage-buffer size. `None` when the configuration does not validate on
+/// the shape — a transferred config that cannot even launch has no gap.
+pub fn config_io_gap(
+    shape: &ConvShape,
+    kind: TileKind,
+    device: &DeviceSpec,
+    cfg: &iolb_dataflow::config::ScheduleConfig,
+) -> Option<f64> {
+    cfg.validate(shape, kind, device.smem_per_sm, false).ok()?;
+    let s = cfg.sb_elems();
+    let (q_model, q_lower) = match kind {
+        TileKind::Direct => (
+            iolb_dataflow::direct::analytic_io_elems(shape, cfg),
+            iolb_core::direct::io_lower_bound(shape, s),
+        ),
+        TileKind::Winograd(t) => (
+            iolb_dataflow::winograd::analytic_io_elems(shape, t, cfg),
+            iolb_core::winograd::io_lower_bound(shape, t, s),
+        ),
+    };
+    let gap = q_model / q_lower.max(1.0);
+    gap.is_finite().then(|| gap.max(1.0))
+}
+
+/// The anchored-transfer gate: whether serving `cfg` (tuned for `donor`)
+/// to `target` is provably within `gap_bound` of the analytic optimum.
+/// Three conditions, all under the one bound:
+///
+/// 1. `cfg` validates on the target shape;
+/// 2. the target's I/O-bound gap *at `cfg`* is at most `gap_bound`
+///    times the gap of the target's own analytic reference schedule
+///    ([`io_gap`]) — the transferred schedule moves no more data,
+///    relative to the target's I/O lower bound, than `gap_bound` times
+///    what the target could provably reach without tuning. The ratio of
+///    the two gaps cancels the lower-bound scale, so the condition stays
+///    meaningful even for layers whose absolute `Q_lower` is degenerate
+///    (1x1 convolutions at large `S_b` bound to zero);
+/// 3. the two shapes' I/O lower bounds (at `cfg`'s stage-buffer size)
+///    are within `gap_bound` of each other — bucket-mates whose
+///    analytic difficulty genuinely differs never merge.
+pub fn transfer_admissible(
+    target: &ConvShape,
+    donor: &ConvShape,
+    kind: TileKind,
+    device: &DeviceSpec,
+    cfg: &iolb_dataflow::config::ScheduleConfig,
+    gap_bound: f64,
+) -> bool {
+    let Some(gap) = config_io_gap(target, kind, device, cfg) else {
+        return false;
+    };
+    if gap > gap_bound * io_gap(target, kind, device) {
+        return false;
+    }
+    let s = cfg.sb_elems();
+    let lower = |shape: &ConvShape| {
+        let q = match kind {
+            TileKind::Direct => iolb_core::direct::io_lower_bound(shape, s),
+            TileKind::Winograd(t) => iolb_core::winograd::io_lower_bound(shape, t, s),
+        };
+        q.max(1.0)
+    };
+    let (a, b) = (lower(target), lower(donor));
+    let ratio = if a > b { a / b } else { b / a };
+    ratio.is_finite() && ratio <= gap_bound
 }
 
 /// Speculative neighbors of a layer shape, each tagged with the
@@ -369,15 +448,70 @@ mod tests {
     }
 
     #[test]
-    fn tiers_drain_batch_then_registered_then_neighbor() {
+    fn tiers_drain_batch_then_transfer_then_registered_then_neighbor() {
         let mut q = WorkQueue::new();
         assert_eq!(push(&mut q, job(64, JobTier::Neighbor)), PushOutcome::Added);
         assert_eq!(push(&mut q, job(128, JobTier::Registered)), PushOutcome::Added);
+        assert_eq!(push(&mut q, job(16, JobTier::Transfer)), PushOutcome::Added);
         assert_eq!(push(&mut q, job(32, JobTier::Batch { group: 1 })), PushOutcome::Added);
         assert_eq!(q.group_pending(1), 1);
         assert_eq!(q.pop_first().unwrap().tier, JobTier::Batch { group: 1 });
+        assert_eq!(q.pop_first().unwrap().tier, JobTier::Transfer);
         assert_eq!(q.pop_first().unwrap().tier, JobTier::Registered);
         assert_eq!(q.pop_first().unwrap().tier, JobTier::Neighbor);
+    }
+
+    #[test]
+    fn transfer_jobs_are_droppable_and_promotable() {
+        assert!(JobTier::Transfer.droppable(), "nobody blocks on a provisional re-tune");
+        let mut q = WorkQueue::new();
+        push(&mut q, job(64, JobTier::Registered));
+        assert_eq!(
+            push(&mut q, job(64, JobTier::Transfer)),
+            PushOutcome::Promoted { from: JobTier::Registered, perturbation: None }
+        );
+        assert_eq!(
+            push(&mut q, job(64, JobTier::Batch { group: 4 })),
+            PushOutcome::Promoted { from: JobTier::Transfer, perturbation: None }
+        );
+    }
+
+    #[test]
+    fn config_io_gap_bounds_the_gate() {
+        let d = DeviceSpec::v100();
+        let shape = ConvShape::square(64, 28, 32, 3, 1, 1);
+        let cfg = fast_config(&shape, TileKind::Direct, &d).unwrap();
+        // The fast config's gap at its own shape matches io_gap.
+        let own = config_io_gap(&shape, TileKind::Direct, &d, &cfg).unwrap();
+        assert_eq!(own.to_bits(), io_gap(&shape, TileKind::Direct, &d).to_bits());
+        // An invalid config (absurd staging buffer) has no gap.
+        let broken = iolb_dataflow::config::ScheduleConfig { sb_bytes: 1024 * 1024 * 1024, ..cfg };
+        assert!(config_io_gap(&shape, TileKind::Direct, &d, &broken).is_none());
+    }
+
+    #[test]
+    fn transfer_admissibility_tightens_with_the_bound() {
+        let d = DeviceSpec::v100();
+        let donor = ConvShape::new(96, 64, 64, 24, 1, 1, 1, 0);
+        let target = ConvShape::new(96, 54, 54, 24, 1, 1, 1, 0);
+        // Donor configs land on the target through the divisor-lattice
+        // projection — the same step the session serve path takes.
+        let cfg = fast_config(&donor, TileKind::Direct, &d)
+            .unwrap()
+            .project_onto(&target, TileKind::Direct);
+        // A generous bound admits the in-bucket neighbor; a bound of
+        // exactly 1.0 demands the provable optimum and rejects it.
+        assert!(transfer_admissible(&target, &donor, TileKind::Direct, &d, &cfg, 1e6));
+        assert!(!transfer_admissible(&target, &donor, TileKind::Direct, &d, &cfg, 1.0));
+        // A config that cannot validate on the target is never admissible.
+        let broken = iolb_dataflow::config::ScheduleConfig { sb_bytes: 1024 * 1024 * 1024, ..cfg };
+        assert!(!transfer_admissible(&target, &donor, TileKind::Direct, &d, &broken, 1e6));
+        // Analytically distant shapes never merge even when the config
+        // happens to validate on both.
+        let far = ConvShape::new(96, 8, 8, 24, 1, 1, 1, 0);
+        if config_io_gap(&far, TileKind::Direct, &d, &cfg).is_some() {
+            assert!(!transfer_admissible(&far, &donor, TileKind::Direct, &d, &cfg, 1.5));
+        }
     }
 
     #[test]

@@ -104,6 +104,26 @@ pub struct ServiceConfig {
     pub lock_timeout: Duration,
     /// Tuner seed shared by every per-workload run.
     pub seed: u64,
+    /// Anchor floor of the store's secondary index
+    /// ([`iolb_autotune::plan::anchor_dim`]): dimensions at or below it
+    /// stay exact, larger ones bucket to the next power of two.
+    pub anchor_floor: usize,
+    /// The anchored-transfer gap bound, in permille (an integer so the
+    /// config stays `Eq`): a transferred config is served as a
+    /// zero-measurement anchored hit only when the analytic
+    /// `Q_model / Q_lower` gate ([`crate::queue::transfer_admissible`])
+    /// proves it within `transfer_gap_permille / 1000` of the target's
+    /// I/O lower bound. Transfers outside the bound are served
+    /// provisionally with a background re-tune. `1000` (ratio 1.0)
+    /// demands the provable optimum and in practice re-tunes everything.
+    pub transfer_gap_permille: u32,
+}
+
+impl ServiceConfig {
+    /// The transfer gate's gap bound as a ratio.
+    pub fn transfer_gap_bound(&self) -> f64 {
+        self.transfer_gap_permille as f64 / 1000.0
+    }
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +136,8 @@ impl Default for ServiceConfig {
             speculation_probation: 8,
             lock_timeout: LOCK_TIMEOUT,
             seed: 7,
+            anchor_floor: iolb_autotune::plan::ANCHOR_FLOOR,
+            transfer_gap_permille: 2000,
         }
     }
 }
@@ -135,6 +157,14 @@ pub enum ServeSource {
     /// queue entry for the same workload was absorbed into the session
     /// (the speculative duplicate).
     Inline { cancelled_speculative: bool },
+    /// An exact miss answered from the workload's anchor bucket: a
+    /// bucket-mate's tuned config, re-costed on the requested shape by
+    /// one deterministic simulator evaluation — zero fresh tuning
+    /// measurements. `retune` reports whether the analytic gate could
+    /// *not* prove the transfer within the configured gap bound, so the
+    /// result is provisional and a background re-tune was enqueued at
+    /// [`JobTier::Transfer`].
+    Anchored { retune: bool },
 }
 
 /// Outcome of one served request.
@@ -184,6 +214,14 @@ pub struct ServiceStats {
     pub shard_hits: usize,
     /// Requests that waited for an in-flight job someone else ran.
     pub stolen: usize,
+    /// Exact misses answered from the anchor bucket (provisional serves
+    /// included): zero fresh tuning measurements each.
+    pub anchored_hits: usize,
+    /// Anchored serves the analytic gate could not prove within the gap
+    /// bound: served provisionally with a background re-tune enqueued.
+    pub transfer_retunes: usize,
+    /// Queue jobs created (or promoted) at the transfer re-tune tier.
+    pub transfer_enqueued: usize,
     /// Pending background jobs absorbed into a session because a client
     /// requested the same workload.
     pub cancelled_speculative: usize,
@@ -228,6 +266,9 @@ impl ServiceStats {
         f(&mut self.inline_tuned, other.inline_tuned);
         f(&mut self.shard_hits, other.shard_hits);
         f(&mut self.stolen, other.stolen);
+        f(&mut self.anchored_hits, other.anchored_hits);
+        f(&mut self.transfer_retunes, other.transfer_retunes);
+        f(&mut self.transfer_enqueued, other.transfer_enqueued);
         f(&mut self.cancelled_speculative, other.cancelled_speculative);
         f(&mut self.budget_dropped, other.budget_dropped);
         f(&mut self.fresh_measurements, other.fresh_measurements);
@@ -295,6 +336,9 @@ impl ServiceSnapshot {
             ("inline_tuned", s.inline_tuned),
             ("shard_hits", s.shard_hits),
             ("stolen", s.stolen),
+            ("anchored_hits", s.anchored_hits),
+            ("transfer_retunes", s.transfer_retunes),
+            ("transfer_enqueued", s.transfer_enqueued),
             ("cancelled_speculative", s.cancelled_speculative),
             ("budget_dropped", s.budget_dropped),
             ("fresh_measurements", s.fresh_measurements),
@@ -350,6 +394,9 @@ impl ServiceSnapshot {
                         "inline_tuned" => s.inline_tuned = v,
                         "shard_hits" => s.shard_hits = v,
                         "stolen" => s.stolen = v,
+                        "anchored_hits" => s.anchored_hits = v,
+                        "transfer_retunes" => s.transfer_retunes = v,
+                        "transfer_enqueued" => s.transfer_enqueued = v,
                         "cancelled_speculative" => s.cancelled_speculative = v,
                         "budget_dropped" => s.budget_dropped = v,
                         "fresh_measurements" => s.fresh_measurements = v,
@@ -438,11 +485,13 @@ impl State {
     ) {
         match from {
             JobTier::Batch { .. } => self.stats.batch_enqueued -= 1,
+            JobTier::Transfer => self.stats.transfer_enqueued -= 1,
             JobTier::Registered => self.stats.enqueued -= 1,
             JobTier::Neighbor => self.stats.speculative_enqueued -= 1,
         }
         match to {
             JobTier::Batch { .. } => self.stats.batch_enqueued += 1,
+            JobTier::Transfer => self.stats.transfer_enqueued += 1,
             JobTier::Registered => self.stats.enqueued += 1,
             JobTier::Neighbor => self.stats.speculative_enqueued += 1,
         }
@@ -473,8 +522,10 @@ pub struct TuningService {
 }
 
 impl TuningService {
-    /// A service over an existing sharded store.
-    pub fn new(shards: ShardedStore, config: ServiceConfig) -> Self {
+    /// A service over an existing sharded store. The store's anchor
+    /// index is (re)bucketed under the service's configured floor.
+    pub fn new(mut shards: ShardedStore, config: ServiceConfig) -> Self {
+        shards.set_anchor_floor(config.anchor_floor);
         let budget_left = config.background_budget;
         Self {
             inner: Arc::new(Inner {
@@ -697,6 +748,7 @@ impl TuningService {
             PushOutcome::Added => {
                 match tier {
                     JobTier::Batch { .. } => st.stats.batch_enqueued += 1,
+                    JobTier::Transfer => st.stats.transfer_enqueued += 1,
                     JobTier::Registered => st.stats.enqueued += 1,
                     JobTier::Neighbor => {
                         st.stats.speculative_enqueued += 1;
@@ -1142,6 +1194,66 @@ mod tests {
         assert_eq!(again.source, ServeSource::ShardHit);
         assert_eq!(again.config, out.config);
         assert_eq!(again.cost_ms.to_bits(), out.cost_ms.to_bits());
+    }
+
+    #[test]
+    fn anchored_misses_serve_from_the_bucket_with_zero_fresh_measurements() {
+        // A generous gap bound: the in-bucket transfer is admissible.
+        let config = ServiceConfig { transfer_gap_permille: 1_000_000, ..small_config() };
+        let service = TuningService::new(ShardedStore::new(), config);
+        let warm = ConvShape::new(32, 56, 56, 16, 1, 1, 1, 0);
+        let warmed = service.tune_or_wait(&warm, TileKind::Direct, &device()).unwrap();
+        let fresh_before = service.stats().fresh_measurements;
+        // Same anchor bucket (52 and 56 both round to 64), no records.
+        let jittered = ConvShape::new(32, 52, 52, 16, 1, 1, 1, 0);
+        let out = service.tune_or_wait(&jittered, TileKind::Direct, &device()).unwrap();
+        assert_eq!(out.source, ServeSource::Anchored { retune: false });
+        assert_eq!(out.fresh_measurements, 0);
+        assert_eq!(
+            service.stats().fresh_measurements,
+            fresh_before,
+            "anchored serves never touch the tuner"
+        );
+        assert_eq!(
+            out.config,
+            warmed.config.project_onto(&jittered, TileKind::Direct),
+            "the served config is the donor's, projected"
+        );
+        assert!(out.cost_ms > 0.0);
+        let stats = service.stats();
+        assert_eq!((stats.anchored_hits, stats.transfer_retunes), (1, 0));
+        assert_eq!(service.queue_len(), 0, "an admissible transfer is final");
+        assert_eq!(service.metrics().counter("iolb_anchor_hits_total"), Some(1));
+        assert_eq!(service.metrics().counter("iolb_transfer_retunes_total"), None);
+    }
+
+    #[test]
+    fn gate_failure_serves_provisionally_and_converges_to_the_exact_config() {
+        // Gap bound 1.0 demands the provable optimum: the transfer is
+        // served but flagged for a background re-tune.
+        let config = ServiceConfig { transfer_gap_permille: 1000, ..small_config() };
+        let service = TuningService::new(ShardedStore::new(), config);
+        let warm = ConvShape::new(32, 56, 56, 16, 1, 1, 1, 0);
+        service.tune_or_wait(&warm, TileKind::Direct, &device()).unwrap();
+        let jittered = ConvShape::new(32, 52, 52, 16, 1, 1, 1, 0);
+        let out = service.tune_or_wait(&jittered, TileKind::Direct, &device()).unwrap();
+        assert_eq!(out.source, ServeSource::Anchored { retune: true });
+        assert_eq!(out.fresh_measurements, 0);
+        let stats = service.stats();
+        assert_eq!((stats.anchored_hits, stats.transfer_retunes), (1, 1));
+        assert_eq!(stats.transfer_enqueued, 1);
+        assert_eq!(service.queue_len(), 1, "the re-tune waits at transfer tier");
+        assert_eq!(service.metrics().counter("iolb_transfer_retunes_total"), Some(1));
+        // Draining the transfer job converges the workload to the same
+        // bits an eager tune of the jittered shape produces.
+        service.drain();
+        let again = service.tune_or_wait(&jittered, TileKind::Direct, &device()).unwrap();
+        assert_eq!(again.source, ServeSource::ShardHit);
+        let eager = TuningService::new(ShardedStore::new(), small_config())
+            .tune_or_wait(&jittered, TileKind::Direct, &device())
+            .unwrap();
+        assert_eq!(again.config, eager.config, "re-tune must converge to the exact config");
+        assert_eq!(again.cost_ms.to_bits(), eager.cost_ms.to_bits());
     }
 
     #[test]

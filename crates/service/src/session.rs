@@ -36,10 +36,11 @@
 //! [`submit`]: TuningSession::submit
 //! [`wait`]: SessionHandle::wait
 
-use crate::queue::{io_gap, Job, JobTier, PushOutcome};
+use crate::queue::{io_gap, transfer_admissible, Job, JobTier, PushOutcome};
 use crate::service::{ServeResult, ServeSource, ServiceSnapshot, State, TuningService};
 use crate::telemetry::MetricsSnapshot;
 use iolb_autotune::engine::tune_batch;
+use iolb_autotune::measure::Measurer;
 use iolb_autotune::plan::{dedup_requests, BatchRequest};
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
@@ -72,8 +73,22 @@ enum Resolution {
     Stolen,
     /// This session tuned it on the waiting thread.
     Inline { fresh_measurements: usize, cache_hits: usize },
+    /// An anchor-bucket neighbor donated its config at submit time.
+    /// `cost_ms` is the donor config re-costed on *this* shape by one
+    /// deterministic simulator evaluation (never a fresh measurement);
+    /// `retune` records that the analytic gate failed, so the serve is
+    /// provisional and a [`JobTier::Transfer`] re-tune was enqueued.
+    Anchored { config: iolb_dataflow::config::ScheduleConfig, cost_ms: f64, retune: bool },
     /// No measurable configuration exists.
     Infeasible,
+}
+
+/// A donor candidate pulled from the anchor index under the phase-1
+/// lock, evaluated (gate + re-cost) outside the lock.
+struct AnchorEval {
+    config: iolb_dataflow::config::ScheduleConfig,
+    cost_ms: f64,
+    admissible: bool,
 }
 
 /// One unique workload within a session.
@@ -150,35 +165,82 @@ impl TuningSession {
             .collect();
         // Book the group and snapshot what the service already knows, so
         // the expensive io_gap priorities are only computed for members
-        // that actually need a queue job — and outside the lock.
-        let (group, needs_gap) = {
+        // that actually need a queue job — and outside the lock. The
+        // same snapshot pulls each fresh miss's best anchor-bucket donor
+        // (config + donor shape), so the transfer gate and the donor
+        // re-cost also run outside the lock.
+        let (group, needs_gap, donors) = {
             let mut st = service.lock();
             st.stats.batch_groups += 1;
             st.stats.batch_requests += requests.len();
             st.stats.batch_deduped += requests.len() - members.len();
             let group = st.next_group;
             st.next_group += 1;
-            let needs_gap: Vec<bool> = members
+            // A fingerprint that is merely *queued* (a pending transfer
+            // re-tune, or another session's batch job) still serves
+            // anchored — only a settled record, a known-infeasible
+            // verdict, or an in-flight tuning pre-empts the bucket.
+            let wants_donor: Vec<bool> = members
                 .iter()
                 .map(|m| {
                     st.shards.records(&m.workload).is_empty()
                         && !st.infeasible.contains(&m.fingerprint)
                         && !st.in_flight.contains(&m.fingerprint)
-                        && !st.queue.contains(&m.fingerprint)
                 })
                 .collect();
-            (group, needs_gap)
+            let needs_gap: Vec<bool> = members
+                .iter()
+                .zip(&wants_donor)
+                .map(|(m, &wanted)| wanted && !st.queue.contains(&m.fingerprint))
+                .collect();
+            let donors: Vec<Option<(iolb_dataflow::config::ScheduleConfig, ConvShape)>> = members
+                .iter()
+                .zip(&wants_donor)
+                .map(|(m, &wanted)| {
+                    if !wanted {
+                        return None;
+                    }
+                    st.shards.anchor_donor(&m.workload).map(|rec| (rec.config, rec.workload.shape))
+                })
+                .collect();
+            (group, needs_gap, donors)
         };
         let gaps: Vec<Option<f64>> = members
             .iter()
             .zip(&needs_gap)
             .map(|(m, &needed)| needed.then(|| io_gap(&m.shape, m.kind, &self.device)))
             .collect();
+        // Evaluate each donor outside the lock: project the donated
+        // config onto the target's divisor lattice, then run the
+        // analytic admission gate plus one deterministic simulator
+        // re-cost on the *target* shape. An unevaluable donor (the
+        // projection fails to validate) falls through to the normal
+        // miss path.
+        let gap_bound = service.config().transfer_gap_bound();
+        let anchor_evals: Vec<Option<AnchorEval>> = members
+            .iter()
+            .zip(&donors)
+            .map(|(m, donor)| {
+                let (cfg, donor_shape) = donor.as_ref()?;
+                let cfg = cfg.project_onto(&m.shape, m.kind);
+                let cost_ms =
+                    Measurer::new(self.device.clone(), m.shape, m.kind).measure_ms(&cfg)?;
+                let admissible = transfer_admissible(
+                    &m.shape,
+                    donor_shape,
+                    m.kind,
+                    &self.device,
+                    &cfg,
+                    gap_bound,
+                );
+                Some(AnchorEval { config: cfg, cost_ms, admissible })
+            })
+            .collect();
         // Authoritative classification + enqueue, under one lock.
         let mut pushed = false;
         {
             let mut st = service.lock();
-            for (member, gap) in members.iter_mut().zip(gaps) {
+            for ((member, gap), anchor) in members.iter_mut().zip(gaps).zip(anchor_evals) {
                 if !st.shards.records(&member.workload).is_empty() {
                     member.resolution = Some(Resolution::Hit);
                     confirm_speculation(&mut st, &member.fingerprint);
@@ -190,6 +252,41 @@ impl TuningSession {
                 }
                 if st.in_flight.contains(&member.fingerprint) {
                     continue; // steal when it lands
+                }
+                if let Some(eval) = anchor {
+                    // Anchored serve: the bucket mate's config answers
+                    // this request with zero fresh measurements. An
+                    // admissible transfer is final; a gate failure is
+                    // served provisionally and re-tuned in the
+                    // background at transfer tier.
+                    member.resolution = Some(Resolution::Anchored {
+                        config: eval.config,
+                        cost_ms: eval.cost_ms,
+                        retune: !eval.admissible,
+                    });
+                    if !eval.admissible {
+                        let gap =
+                            gap.unwrap_or_else(|| io_gap(&member.shape, member.kind, &self.device));
+                        let job = Job {
+                            shape: member.shape,
+                            kind: member.kind,
+                            device: self.device.clone(),
+                            tier: JobTier::Transfer,
+                            perturbation: None,
+                            enqueued_at: None,
+                        };
+                        match st.queue.push(job, gap) {
+                            PushOutcome::Added => {
+                                st.stats.transfer_enqueued += 1;
+                                pushed = true;
+                            }
+                            PushOutcome::Promoted { from, perturbation } => {
+                                st.rebook_promotion(from, JobTier::Transfer, perturbation);
+                            }
+                            PushOutcome::AlreadyPending => {}
+                        }
+                    }
+                    continue;
                 }
                 // Pending (ours or anyone's) or brand new: push at batch
                 // tier. The gap was precomputed unless the snapshot saw
@@ -569,6 +666,33 @@ impl SessionHandle {
                 out.push(None);
                 continue;
             }
+            if let Resolution::Anchored { config, cost_ms, retune } = resolution {
+                // Anchored members (and their fan-out duplicates) replay
+                // the transferred config; the store holds no record for
+                // this exact fingerprint, so there is nothing to touch.
+                st.stats.anchored_hits += 1;
+                telemetry.incr("iolb_anchor_hits_total", 1);
+                if retune {
+                    st.stats.transfer_retunes += 1;
+                    telemetry.incr("iolb_transfer_retunes_total", 1);
+                }
+                crate::log_event!(
+                    Debug,
+                    "session.result",
+                    group = self.group,
+                    fingerprint = member.fingerprint,
+                    source = "anchor",
+                    fresh = 0usize,
+                );
+                out.push(Some(ServeResult {
+                    config,
+                    cost_ms,
+                    source: ServeSource::Anchored { retune },
+                    fresh_measurements: 0,
+                    cache_hits: 0,
+                }));
+                continue;
+            }
             st.shards.touch(&member.fingerprint);
             let best =
                 st.shards.best(&member.workload).expect("resolved member has records").clone();
@@ -593,12 +717,14 @@ impl SessionHandle {
                         cache_hits,
                     ),
                     Resolution::Infeasible => unreachable!("handled above"),
+                    Resolution::Anchored { .. } => unreachable!("handled above"),
                 }
             };
             let source_label = match source {
                 ServeSource::ShardHit => "hit",
                 ServeSource::Stolen => "stolen",
                 ServeSource::Inline { .. } => "inline",
+                ServeSource::Anchored { .. } => "anchor",
             };
             crate::log_event!(
                 Debug,

@@ -21,8 +21,9 @@
 //! [`from_flat`]: ShardedStore::from_flat
 //! [`merged`]: ShardedStore::merged
 
+use iolb_autotune::plan::{anchor_fingerprint, ANCHOR_FLOOR};
 use iolb_records::{RecordStore, TuningRecord, Workload};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -267,8 +268,12 @@ impl ShardLoadReport {
     }
 }
 
-/// A set of per-device [`RecordStore`] shards plus LRU metadata.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// A set of per-device [`RecordStore`] shards plus LRU metadata and an
+/// anchor-bucket secondary index (see
+/// [`iolb_autotune::plan::anchor_fingerprint`]): every stored workload
+/// is also findable by the anchor fingerprint of its bucket, so an
+/// exact-fingerprint miss can consult bucket-mates for transfer.
+#[derive(Debug, Clone)]
 pub struct ShardedStore {
     /// device key → that device's records.
     shards: BTreeMap<String, RecordStore>,
@@ -276,6 +281,35 @@ pub struct ShardedStore {
     last_hit: BTreeMap<String, u64>,
     /// Logical clock; bumped by every [`touch`](Self::touch).
     clock: u64,
+    /// The anchor floor the secondary index is built under.
+    anchor_floor: usize,
+    /// device key → anchor fingerprint → exact fingerprints in the
+    /// bucket. Pure function of `(records, anchor_floor)`: maintained by
+    /// [`insert`](Self::insert) (the one membership-adding path) and
+    /// rebuilt by [`set_anchor_floor`](Self::set_anchor_floor).
+    anchor_index: BTreeMap<String, BTreeMap<String, BTreeSet<String>>>,
+}
+
+impl Default for ShardedStore {
+    fn default() -> Self {
+        Self {
+            shards: BTreeMap::new(),
+            last_hit: BTreeMap::new(),
+            clock: 0,
+            anchor_floor: ANCHOR_FLOOR,
+            anchor_index: BTreeMap::new(),
+        }
+    }
+}
+
+impl PartialEq for ShardedStore {
+    /// Equality is over the observable history (records, stamps, clock).
+    /// The anchor index is a pure function of the records and floor, and
+    /// the floor is service configuration, not transferred state — two
+    /// stores holding the same records are the same store.
+    fn eq(&self, other: &Self) -> bool {
+        self.shards == other.shards && self.last_hit == other.last_hit && self.clock == other.clock
+    }
 }
 
 impl ShardedStore {
@@ -325,9 +359,84 @@ impl ShardedStore {
         self.shards.iter().map(|(k, s)| (k.as_str(), s))
     }
 
-    /// Routes a record into its device's shard.
+    /// Routes a record into its device's shard and indexes the workload
+    /// under its anchor bucket. Membership is monotone: even a
+    /// superseded duplicate proves the workload exists in its bucket.
     pub fn insert(&mut self, rec: TuningRecord) -> bool {
-        self.shards.entry(workload_device_key(&rec.workload)).or_default().insert(rec)
+        let device = workload_device_key(&rec.workload);
+        let anchor = anchor_fingerprint(&rec.workload, self.anchor_floor);
+        let exact = rec.workload.fingerprint();
+        self.anchor_index
+            .entry(device.clone())
+            .or_default()
+            .entry(anchor)
+            .or_default()
+            .insert(exact);
+        self.shards.entry(device).or_default().insert(rec)
+    }
+
+    /// The anchor floor the secondary index is built under.
+    pub fn anchor_floor(&self) -> usize {
+        self.anchor_floor
+    }
+
+    /// Re-buckets the secondary index under a new anchor floor (the
+    /// service threads `ServiceConfig::anchor_floor` through here when
+    /// it adopts a store). A no-op at the current floor.
+    pub fn set_anchor_floor(&mut self, floor: usize) {
+        if floor != self.anchor_floor {
+            self.anchor_floor = floor;
+            self.rebuild_anchor_index();
+        }
+    }
+
+    fn rebuild_anchor_index(&mut self) {
+        let mut index: BTreeMap<String, BTreeMap<String, BTreeSet<String>>> = BTreeMap::new();
+        for (key, shard) in &self.shards {
+            for (fp, rec) in shard.best_entries() {
+                index
+                    .entry(key.clone())
+                    .or_default()
+                    .entry(anchor_fingerprint(&rec.workload, self.anchor_floor))
+                    .or_default()
+                    .insert(fp.to_string());
+            }
+        }
+        self.anchor_index = index;
+    }
+
+    /// Distinct anchor buckets indexed for one device shard.
+    pub fn anchor_bucket_count(&self, device_key: &str) -> usize {
+        self.anchor_index.get(device_key).map_or(0, BTreeMap::len)
+    }
+
+    /// The best transfer donor in the workload's anchor bucket: among
+    /// same-bucket, transfer-compatible workloads — the exact
+    /// fingerprint itself excluded — the stored best record with the
+    /// lowest cost. Ties break toward the lexicographically smaller
+    /// fingerprint (the bucket iterates in sorted order), so the donor
+    /// choice is fully deterministic. The caller still gates the
+    /// transfer analytically ([`crate::queue::transfer_admissible`]).
+    pub fn anchor_donor(&self, workload: &Workload) -> Option<&TuningRecord> {
+        let key = workload_device_key(workload);
+        let shard = self.shards.get(&key)?;
+        let bucket =
+            self.anchor_index.get(&key)?.get(&anchor_fingerprint(workload, self.anchor_floor))?;
+        let own = workload.fingerprint();
+        let mut best: Option<&TuningRecord> = None;
+        for fp in bucket {
+            if *fp == own {
+                continue;
+            }
+            let Some(candidate) = shard.records(fp).first() else { continue };
+            if !workload.transfer_compatible(&candidate.workload) {
+                continue;
+            }
+            if best.is_none_or(|b| candidate.canonical_cmp(b) == std::cmp::Ordering::Less) {
+                best = Some(candidate);
+            }
+        }
+        best
     }
 
     /// All records of a workload (canonical order, best first).
@@ -850,6 +959,80 @@ mod tests {
         expected.absorb(b);
         assert_eq!(merged.merged().to_jsonl(), expected.merged().to_jsonl());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn anchor_donor_finds_bucket_mates_on_the_same_device_only() {
+        // 52x53 and 54x54 share the 64x64 anchor bucket; 70x54 does not.
+        let shaped = |hin: usize, win: usize, device: &str| {
+            Workload::new(
+                ConvShape::new(96, hin, win, 24, 1, 1, 1, 0),
+                TileKind::Direct,
+                device,
+                96 * 1024,
+            )
+        };
+        let mut s = ShardedStore::new();
+        let donor = shaped(54, 54, "Tesla V100");
+        s.insert(TuningRecord::new(donor.clone(), cfg(2), 1.0, 7).unwrap());
+        s.insert(TuningRecord::new(shaped(70, 54, "Tesla V100"), cfg(2), 0.1, 7).unwrap());
+        s.insert(TuningRecord::new(shaped(52, 53, "GTX 1080 Ti"), cfg(2), 0.1, 7).unwrap());
+        let target = shaped(52, 53, "Tesla V100");
+        let found = s.anchor_donor(&target).expect("bucket mate on the same device");
+        assert_eq!(found.workload.fingerprint(), donor.fingerprint());
+        // The exact workload itself is never its own donor.
+        s.insert(TuningRecord::new(target.clone(), cfg(2), 0.01, 7).unwrap());
+        let found = s.anchor_donor(&target).expect("donor survives an exact record");
+        assert_eq!(found.workload.fingerprint(), donor.fingerprint());
+        // Transfer-incompatible bucket mates (different batch) are skipped.
+        let batched = Workload { shape: target.shape.with_batch(4), ..target.clone() };
+        assert!(s.anchor_donor(&batched).is_none());
+        assert!(s.anchor_bucket_count(&device_key("Tesla V100", 96 * 1024)) >= 2);
+    }
+
+    #[test]
+    fn anchor_donor_prefers_the_cheapest_bucket_mate_deterministically() {
+        let shaped = |hin: usize| {
+            Workload::new(
+                ConvShape::new(96, hin, 54, 24, 1, 1, 1, 0),
+                TileKind::Direct,
+                "Tesla V100",
+                96 * 1024,
+            )
+        };
+        let mut s = ShardedStore::new();
+        s.insert(TuningRecord::new(shaped(54), cfg(2), 2.0, 7).unwrap());
+        s.insert(TuningRecord::new(shaped(50), cfg(4), 1.0, 7).unwrap());
+        let found = s.anchor_donor(&shaped(52)).unwrap();
+        assert_eq!(found.workload.shape.hin, 50, "lowest stored cost wins");
+        // Survives save/load: the index is rebuilt from the records.
+        let dir = temp_dir("anchoridx");
+        s.save(&dir).unwrap();
+        let (loaded, report) = ShardedStore::load(&dir).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(loaded.anchor_donor(&shaped(52)).unwrap(), found);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn set_anchor_floor_rebuckets_the_index() {
+        let shaped = |hin: usize| {
+            Workload::new(
+                ConvShape::new(8, hin, 12, 8, 1, 1, 1, 0),
+                TileKind::Direct,
+                "Tesla V100",
+                96 * 1024,
+            )
+        };
+        let mut s = ShardedStore::new();
+        s.insert(TuningRecord::new(shaped(12), cfg(2), 1.0, 7).unwrap());
+        // At the default floor (16), hin 12 vs 10 stay exact: no bucket
+        // sharing, no donor.
+        assert_eq!(s.anchor_floor(), iolb_autotune::plan::ANCHOR_FLOOR);
+        assert!(s.anchor_donor(&shaped(10)).is_none());
+        // At floor 8 both anchor to 16: the donor appears.
+        s.set_anchor_floor(8);
+        assert!(s.anchor_donor(&shaped(10)).is_some());
     }
 
     #[test]

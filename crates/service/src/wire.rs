@@ -54,11 +54,12 @@ use std::io::{Read, Write};
 /// manifest: re-issue the request from a matching build, never guess at
 /// field semantics). Version 2 added the `Pull`/`State` anti-entropy
 /// messages; version 3 extended the `Stats` response with the metrics
-/// registry (counters, gauges, latency-histogram snapshots). Version-1
-/// and version-2 peers alike are rejected with
-/// [`WireError::ForeignVersion`] rather than served a grammar they
-/// cannot fully speak.
-pub const WIRE_VERSION: u32 = 3;
+/// registry (counters, gauges, latency-histogram snapshots); version 4
+/// added the `anchor` serve source and the `retune` result flag
+/// (anchored transfer serving). Version-1 through version-3 peers alike
+/// are rejected with [`WireError::ForeignVersion`] rather than served a
+/// grammar they cannot fully speak.
+pub const WIRE_VERSION: u32 = 4;
 
 /// Hard ceiling on a frame payload. A VGG-scale submit is a few KiB;
 /// anything claiming megabytes is hostile or corrupt and is rejected
@@ -354,22 +355,24 @@ fn encode_result(result: &Option<ServeResult>) -> String {
     match result {
         None => "{\"ok\":0}".to_string(),
         Some(r) => {
-            let (src, cancelled) = match r.source {
-                ServeSource::ShardHit => ("hit", 0),
-                ServeSource::Stolen => ("stolen", 0),
+            let (src, cancelled, retune) = match r.source {
+                ServeSource::ShardHit => ("hit", 0, 0),
+                ServeSource::Stolen => ("stolen", 0, 0),
                 ServeSource::Inline { cancelled_speculative } => {
-                    ("inline", usize::from(cancelled_speculative))
+                    ("inline", usize::from(cancelled_speculative), 0)
                 }
+                ServeSource::Anchored { retune } => ("anchor", 0, usize::from(retune)),
             };
             let c = &r.config;
             format!(
                 concat!(
-                    "{{\"ok\":1,\"src\":\"{}\",\"cancel\":{},\"fresh\":{},\"cached\":{},",
+                    "{{\"ok\":1,\"src\":\"{}\",\"cancel\":{},\"retune\":{},\"fresh\":{},\"cached\":{},",
                     "\"cost_ms\":{},\"x\":{},\"y\":{},\"z\":{},\"nxt\":{},\"nyt\":{},",
                     "\"nzt\":{},\"sb\":{},\"layout\":\"{}\"}}"
                 ),
                 src,
                 cancelled,
+                retune,
                 r.fresh_measurements,
                 r.cache_hits,
                 r.cost_ms,
@@ -395,6 +398,7 @@ fn decode_result(line: &str) -> Result<Option<ServeResult>, WireError> {
         "hit" => ServeSource::ShardHit,
         "stolen" => ServeSource::Stolen,
         "inline" => ServeSource::Inline { cancelled_speculative: fields.u64("cancel")? != 0 },
+        "anchor" => ServeSource::Anchored { retune: fields.u64("retune")? != 0 },
         other => return Err(WireError::Malformed(format!("unknown serve source {other:?}"))),
     };
     let layout: Layout = fields.str("layout")?.parse().map_err(WireError::Malformed)?;
@@ -796,6 +800,20 @@ mod tests {
         for resp in [
             Response::Submitted { session: 7, unique: 3 },
             Response::Results { results: vec![Some(sample_result()), None] },
+            Response::Results {
+                results: vec![
+                    Some(ServeResult {
+                        source: ServeSource::Anchored { retune: true },
+                        fresh_measurements: 0,
+                        cache_hits: 0,
+                        ..sample_result()
+                    }),
+                    Some(ServeResult {
+                        source: ServeSource::Anchored { retune: false },
+                        ..sample_result()
+                    }),
+                ],
+            },
             Response::Synced { persisted: true, total: 99 },
             Response::Stats { snapshot: Box::new(snapshot), metrics: telemetry.snapshot() },
             Response::Stats {

@@ -1,0 +1,207 @@
+//! Property tests for the shape-anchoring layer: the bucket map is a
+//! well-behaved canonicalization (idempotent, deterministic, injective
+//! over everything that must not merge), the analytic transfer gate
+//! never admits a donor whose I/O lower bound is further than the gap
+//! bound from the target's, and the sharded store's on-disk round trip
+//! preserves both the exact and the anchored index.
+
+use iolb_autotune::plan::{
+    anchor_dim, anchor_fingerprint, anchor_shape, anchor_workload, fast_config, ANCHOR_FLOOR,
+};
+use iolb_core::optimality::TileKind;
+use iolb_core::shapes::ConvShape;
+use iolb_gpusim::DeviceSpec;
+use iolb_records::{TuningRecord, Workload};
+use iolb_service::queue::transfer_admissible;
+use iolb_service::ShardedStore;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh scratch directory per proptest case (cases run concurrently
+/// within one process, so a shared path would interleave saves).
+fn scratch_dir() -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "iolb-proptest-anchor-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// In-bucket variants: every value in `(pow2/2, pow2]` above the floor
+/// anchors to the same `pow2` bucket.
+fn bucket_mate(d: usize, salt: usize) -> usize {
+    let lo = (d.next_power_of_two() / 2 + 1).max(ANCHOR_FLOOR + 1);
+    if d <= lo {
+        return d;
+    }
+    let span = d - lo;
+    d - (1 + salt % span.min(5))
+}
+
+fn workload_of(shape: ConvShape) -> Workload {
+    Workload::new(shape, TileKind::Direct, "Tesla V100", 96 * 1024)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Anchoring is idempotent at every floor: a dimension (and a whole
+    /// shape) that has been anchored once is a fixed point, so the
+    /// anchor fingerprint of an anchored workload is its own.
+    #[test]
+    fn anchoring_is_idempotent(
+        dims in prop::collection::vec(1usize..4096, 4),
+        floor_pow in 1u32..8,
+    ) {
+        let floor = 1usize << floor_pow;
+        for &d in &dims {
+            let once = anchor_dim(d, floor);
+            prop_assert_eq!(anchor_dim(once, floor), once, "anchor_dim({d}, {floor})");
+            // The bucket never sits below its members: exact below the
+            // floor, next power of two (>= d) above it.
+            prop_assert!(once >= d || d <= floor);
+        }
+        let shape = ConvShape::new(dims[0], dims[1], dims[2], dims[3], 3, 3, 1, 1);
+        let once = anchor_shape(&shape, floor);
+        prop_assert_eq!(anchor_shape(&once, floor), once);
+        let w = workload_of(shape);
+        let anchored = anchor_workload(&w, floor);
+        prop_assert_eq!(
+            anchor_fingerprint(&anchored, floor),
+            anchor_fingerprint(&w, floor)
+        );
+    }
+
+    /// The anchor fingerprint is a pure function of the workload's
+    /// *values*: however the shape struct is assembled (constructor,
+    /// struct literal, field-by-field mutation in a different order),
+    /// equal values give byte-identical fingerprints — and every
+    /// in-bucket jitter of the spatial/channel extents lands in the
+    /// same bucket, while batch/kernel/stride/pad never merge.
+    #[test]
+    fn anchor_fingerprints_are_deterministic_and_bucket_exact(
+        cin in 17usize..512,
+        hw in 17usize..256,
+        cout in 17usize..512,
+        salt in 0usize..1000,
+    ) {
+        let built = ConvShape::new(cin, hw, hw, cout, 3, 3, 1, 1);
+        // Same values, assembled in a different textual order.
+        let mut literal = ConvShape { cout, kh: 3, kw: 3, pad: 1, stride: 1, win: hw, hin: hw, cin, batch: 1 };
+        prop_assert_eq!(built, literal);
+        prop_assert_eq!(
+            anchor_fingerprint(&workload_of(built), ANCHOR_FLOOR),
+            anchor_fingerprint(&workload_of(literal), ANCHOR_FLOOR)
+        );
+        // In-bucket jitter: same anchor fingerprint.
+        let jittered = ConvShape {
+            cin: bucket_mate(cin, salt),
+            hin: bucket_mate(hw, salt + 1),
+            win: bucket_mate(hw, salt + 1),
+            cout: bucket_mate(cout, salt + 2),
+            ..built
+        };
+        prop_assert_eq!(
+            anchor_fingerprint(&workload_of(jittered), ANCHOR_FLOOR),
+            anchor_fingerprint(&workload_of(built), ANCHOR_FLOOR)
+        );
+        // Exact-geometry fields never merge: a different stride (and a
+        // different batch) is always a different bucket.
+        literal.stride = 2;
+        prop_assert_ne!(
+            anchor_fingerprint(&workload_of(literal), ANCHOR_FLOOR),
+            anchor_fingerprint(&workload_of(built), ANCHOR_FLOOR)
+        );
+        let batched = ConvShape { batch: 2, ..built };
+        prop_assert_ne!(
+            anchor_fingerprint(&workload_of(batched), ANCHOR_FLOOR),
+            anchor_fingerprint(&workload_of(built), ANCHOR_FLOOR)
+        );
+    }
+
+    /// The analytic gate's contract: whenever `transfer_admissible`
+    /// admits a donor config for a target, the I/O lower bounds of
+    /// target and donor (at the config's stage-buffer size) are within
+    /// the gap bound of each other — workloads whose analytic cost
+    /// floors differ by more than the bound are never merged, whatever
+    /// the draw.
+    #[test]
+    fn admissible_transfers_stay_within_the_lower_bound_gap(
+        cin in 17usize..256,
+        h in 17usize..128,
+        w in 17usize..128,
+        cout in 17usize..256,
+        salt in 0usize..1000,
+        bound_millis in 1000u64..3000,
+    ) {
+        let device = DeviceSpec::v100();
+        let gap_bound = bound_millis as f64 / 1000.0;
+        let donor = ConvShape::new(cin, h, w, cout, 1, 1, 1, 0);
+        let target = ConvShape {
+            cin: bucket_mate(cin, salt),
+            hin: bucket_mate(h, salt + 1),
+            win: bucket_mate(w, salt + 1),
+            cout: bucket_mate(cout, salt + 2),
+            ..donor
+        };
+        let Some(cfg) = fast_config(&donor, TileKind::Direct, &device) else {
+            return Ok(()); // nothing to transfer for this draw
+        };
+        let cfg = cfg.project_onto(&target, TileKind::Direct);
+        if transfer_admissible(&target, &donor, TileKind::Direct, &device, &cfg, gap_bound) {
+            let s = cfg.sb_elems();
+            let lower = |shape: &ConvShape| iolb_core::direct::io_lower_bound(shape, s).max(1.0);
+            let (a, b) = (lower(&target), lower(&donor));
+            let ratio = if a > b { a / b } else { b / a };
+            prop_assert!(
+                ratio <= gap_bound,
+                "admitted transfer with lower-bound ratio {ratio} > bound {gap_bound}"
+            );
+        }
+    }
+
+    /// Save/load of a sharded store preserves the anchored view exactly:
+    /// the reloaded store has the same records, the same per-device
+    /// anchor bucket counts, and resolves the same donor for every
+    /// in-bucket jitter of every stored workload.
+    #[test]
+    fn store_round_trip_preserves_both_fingerprints(
+        draws in prop::collection::vec((17usize..512, 17usize..128, 17usize..512, 0usize..1000), 1..8),
+    ) {
+        let device = DeviceSpec::v100();
+        let mut store = ShardedStore::new();
+        for (i, &(cin, hw, cout, _)) in draws.iter().enumerate() {
+            let shape = ConvShape::new(cin, hw, hw, cout, 1, 1, 1, 0);
+            let Some(cfg) = fast_config(&shape, TileKind::Direct, &device) else { continue };
+            store.insert(
+                TuningRecord::new(workload_of(shape), cfg, 1.0 + i as f64, 7)
+                    .expect("valid record"),
+            );
+        }
+        let dir = scratch_dir();
+        store.save(&dir).expect("save store");
+        let (reloaded, report) = ShardedStore::load(&dir).expect("load store");
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert!(report.warnings.is_empty(), "clean reload: {:?}", report.warnings);
+        prop_assert_eq!(&reloaded, &store);
+        for (key, _) in store.shards() {
+            prop_assert_eq!(reloaded.anchor_bucket_count(key), store.anchor_bucket_count(key));
+        }
+        // Every in-bucket jitter resolves to the same donor before and
+        // after the round trip (both fingerprints survived the disk).
+        for &(cin, hw, cout, salt) in &draws {
+            let jittered = ConvShape::new(
+                bucket_mate(cin, salt),
+                bucket_mate(hw, salt + 1),
+                bucket_mate(hw, salt + 1),
+                bucket_mate(cout, salt + 2),
+                1, 1, 1, 0,
+            );
+            let probe = workload_of(jittered);
+            prop_assert_eq!(store.anchor_donor(&probe), reloaded.anchor_donor(&probe));
+        }
+    }
+}

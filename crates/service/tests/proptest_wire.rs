@@ -245,25 +245,27 @@ proptest! {
     }
 }
 
-/// The previous protocol revision is rejected whole by both sides —
-/// a v2 peer (pre-histogram `Stats`) must get a clean
-/// [`WireError::ForeignVersion`], not a partially-understood message,
-/// from the request decoder and the response decoder alike.
+/// Previous protocol revisions are rejected whole by both sides —
+/// a v2 peer (pre-histogram `Stats`) or a v3 peer (pre-anchor serve
+/// source) must get a clean [`WireError::ForeignVersion`], not a
+/// partially-understood message, from the request decoder and the
+/// response decoder alike.
 #[test]
-fn wire_v2_is_rejected_by_both_decoders() {
-    assert_eq!(WIRE_VERSION, 3, "update this pin when the protocol rolls");
-    for payload in [
-        "{\"v\":2,\"type\":\"sync\"}",
-        "{\"v\":2,\"type\":\"stats\"}",
-        "{\"v\":2,\"type\":\"shutdown\"}",
-    ] {
-        match wire::decode_request(payload) {
-            Err(WireError::ForeignVersion { got: 2 }) => {}
-            other => panic!("request decoder: expected ForeignVersion(2), got {other:?}"),
-        }
-        match wire::decode_response(payload) {
-            Err(WireError::ForeignVersion { got: 2 }) => {}
-            other => panic!("response decoder: expected ForeignVersion(2), got {other:?}"),
+fn stale_wire_versions_are_rejected_by_both_decoders() {
+    assert_eq!(WIRE_VERSION, 4, "update this pin when the protocol rolls");
+    for stale in [2u64, 3] {
+        for kind in ["sync", "stats", "shutdown"] {
+            let payload = format!("{{\"v\":{stale},\"type\":\"{kind}\"}}");
+            match wire::decode_request(&payload) {
+                Err(WireError::ForeignVersion { got }) if got == stale => {}
+                other => panic!("request decoder: expected ForeignVersion({stale}), got {other:?}"),
+            }
+            match wire::decode_response(&payload) {
+                Err(WireError::ForeignVersion { got }) if got == stale => {}
+                other => {
+                    panic!("response decoder: expected ForeignVersion({stale}), got {other:?}")
+                }
+            }
         }
     }
 }
