@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Compute-kernel smoke: run a small `tune-bench kernels` sweep (every
+# timed shape is also diffed bit-for-bit between the scalar and vector
+# paths, so a sweep that completes is a correctness run), then validate
+# the emitted BENCH_kernels.json with `tune-cache check-bench` —
+# schema, internal consistency (speedup vs. GFLOP/s ratio, schedule
+# I/O >= lower bound), and the perf gate: the vector path must not
+# lose to scalar on the largest GEMM. The caller's RAYON_NUM_THREADS
+# is honored, so CI exercises both the pooled and the single-thread
+# paths with the same script.
+set -euo pipefail
+
+TB=target/release/tune-bench
+TC=target/release/tune-cache
+OUT=$(mktemp /tmp/iolb-bench-kernels.XXXXXX.json)
+trap 'rm -f "$OUT"' EXIT
+
+"$TB" kernels --sizes 64,128 --networks alexnet --max-layers 2 --reps 2 -o "$OUT"
+
+# The bench file must pass the schema/invariant/perf gate.
+"$TC" check-bench "$OUT"
+
+# And a tampered file must fail it (the gate itself is load-bearing):
+# claim the vector path lost on the only GEMM row.
+TAMPERED=$(mktemp /tmp/iolb-bench-kernels-bad.XXXXXX.json)
+trap 'rm -f "$OUT" "$TAMPERED"' EXIT
+{
+  printf '%s\n' '{"schema":"iolb-bench-kernels","v":1,"sizes":"64","networks":"","reps":1,"threads":1,"sram_kib":32,"rows":1}'
+  printf '%s\n' '{"row":"gemm","name":"gemm-64","algo":"blocked","shape":"64x64x64","gflop":0.000524288,"scalar_gflops":5.0,"vector_gflops":4.0,"speedup":0.8,"q_lower_bytes":0,"q_sched_bytes":500.0,"roofline_gap":0}'
+} > "$TAMPERED"
+if "$TC" check-bench "$TAMPERED" 2>/dev/null; then
+  echo "check-bench accepted a vector-lost-to-scalar kernels file"
+  exit 1
+fi
+
+echo "kernel smoke OK"

@@ -1,9 +1,12 @@
 //! `tune-bench` — measured performance trajectory points for the tuning
-//! service.
+//! service and the compute kernels underneath it.
 //!
 //! ```console
 //! $ tune-bench replay [--networks alexnet,squeezenet] [--clients N]
 //!       [--repeat N] [--budget N] [--seed N] [-o BENCH_replay.json]
+//! $ tune-bench kernels [--sizes 64,128,...] [--networks alexnet]
+//!       [--reps N] [--threads N] [--max-layers N] [--sram-kib N]
+//!       [-o BENCH_kernels.json]
 //! ```
 //!
 //! `replay` drives a model-zoo traffic mix — every named network's conv
@@ -16,20 +19,37 @@
 //! mode as one schema-versioned flat JSON object (`BENCH_replay.json`,
 //! validated in CI by `tune-cache check-bench`).
 //!
+//! `kernels` sweeps the scalar and vector compute kernels over square
+//! GEMM sizes and the model zoo's conv layers (im2col on every layer,
+//! Winograd `F(2,3)` where eligible), best-of-`--reps` wall time per
+//! path. Each row carries GFLOP/s per path, the vector/scalar speedup,
+//! and the shape's modeled slow-memory traffic against its `Q_lower`
+//! I/O bound (the roofline gap). It writes schema-versioned JSON lines
+//! (`BENCH_kernels.json`, validated by `tune-cache check-bench`).
+//!
 //! Latency and throughput are wall-clock and vary run to run; the
-//! tuning *results* do not — both modes run the identical hermetic
-//! sessions, so the summed session cost must be bit-identical between
-//! embedded and daemon serving. The replay asserts that, making every
-//! benchmark run double as an end-to-end correctness check.
+//! *results* do not — a replay's two modes run identical hermetic
+//! sessions (summed session cost asserted bit-identical), and a kernel
+//! sweep diffs the vector path's output bits against scalar on every
+//! shape it times. Every benchmark run doubles as a correctness check.
 
 use iolb_cnn::layers::{ConvLayer, Network};
 use iolb_cnn::{inference::time_network_with_backend, ServiceEconomics};
 use iolb_core::shapes::ConvShape;
+use iolb_core::{matmul, Algorithm, WinogradTile};
 use iolb_gpusim::DeviceSpec;
 use iolb_service::{
     shape_perturbations, Backend, Daemon, DaemonConfig, LatencyHistogram, ServiceConfig,
     ShardedStore, SocketBackend, TuningService,
 };
+use iolb_tensor::conv_ref::ConvParams;
+use iolb_tensor::gemm::{gemm_with_path, MatRef};
+use iolb_tensor::im2col::conv2d_im2col_with_path;
+use iolb_tensor::kernel::KernelPath;
+use iolb_tensor::tensor::Tensor4;
+use iolb_tensor::winograd_conv::{conv2d_winograd_with_plan_path, WinogradPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,10 +58,13 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tune-bench replay [--networks A,B,...] [--clients N] [--repeat N]\n\
+        "usage: tune-bench replay  [--networks A,B,...] [--clients N] [--repeat N]\n\
          \u{20}                        [--budget N] [--seed N] [--jitter] [-o FILE]\n\
+         \u{20}      tune-bench kernels [--sizes N,N,...] [--networks A,B,...] [--reps N]\n\
+         \u{20}                        [--threads N] [--max-layers N] [--sram-kib N]\n\
+         \u{20}                        [-o FILE]\n\
          \n\
-         replay a model-zoo traffic mix (each network's conv layers,\n\
+         replay: drive a model-zoo traffic mix (each network's conv layers,\n\
          duplicated --repeat times with deterministic shape jitter) through\n\
          N client threads, against the embedded service and against an\n\
          in-process daemon, and write one flat JSON summary (default\n\
@@ -51,17 +74,31 @@ fn usage() -> ExitCode {
          \n\
          --jitter warms each backend on the unjittered zoo shapes first,\n\
          then replays every copy with in-anchor-bucket shape jitter, so the\n\
-         measured phase exercises anchored transfer serving directly."
+         measured phase exercises anchored transfer serving directly.\n\
+         \n\
+         kernels: sweep the scalar vs vector compute kernels over square\n\
+         GEMM sizes (--sizes, default 64,128,256,512) and each named\n\
+         network's conv layers (im2col everywhere, Winograd F(2,3) where\n\
+         eligible; --max-layers caps layers per network), best of --reps\n\
+         runs per path. Write JSON lines (default BENCH_kernels.json): one\n\
+         header, then per shape GFLOP/s per path, vector/scalar speedup,\n\
+         and modeled bytes moved vs the Q_lower bound (--sram-kib fast\n\
+         memory, default 32). Fails unless the vector path's output bits\n\
+         match scalar on every shape."
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("replay") {
-        return usage();
+    match args.first().map(String::as_str) {
+        Some("replay") => run_replay(&args[1..]),
+        Some("kernels") => run_kernels(&args[1..]),
+        _ => usage(),
     }
-    let rest = &args[1..];
+}
+
+fn run_replay(rest: &[String]) -> ExitCode {
     let networks = flag_string(rest, "--networks").unwrap_or_else(|| "alexnet,squeezenet".into());
     let clients = flag_value(rest, "--clients").unwrap_or(2).max(1);
     let repeat = flag_value(rest, "--repeat").unwrap_or(2).max(1);
@@ -144,6 +181,297 @@ fn main() -> ExitCode {
     println!("{line}");
     eprintln!("wrote {}", out.display());
     ExitCode::SUCCESS
+}
+
+/// One swept shape's measurements: both kernel paths timed
+/// (best-of-reps), outputs diffed to the bit, traffic modeled against
+/// the shape's I/O lower bound.
+struct KernelRow {
+    /// `"gemm"` or `"conv"`.
+    kind: &'static str,
+    /// Diagnostic name, e.g. `"gemm-512"` or `"alexnet/conv3"`.
+    name: String,
+    /// Algorithm label: `"blocked"` for GEMM, `"im2col"`/`"winograd"`
+    /// for conv layers.
+    algo: &'static str,
+    /// Human-readable shape, e.g. `"512x512x512"`.
+    shape: String,
+    /// FLOPs of one run (the crate's own accounting).
+    flops: f64,
+    /// Best-of-reps wall seconds per path.
+    scalar_s: f64,
+    vector_s: f64,
+    /// Modeled traffic of the blocked/dataflow schedule vs the bound,
+    /// in bytes (`f32` elements x 4).
+    q_lower_bytes: f64,
+    q_sched_bytes: f64,
+}
+
+impl KernelRow {
+    fn scalar_gflops(&self) -> f64 {
+        self.flops / self.scalar_s / 1e9
+    }
+
+    fn vector_gflops(&self) -> f64 {
+        self.flops / self.vector_s / 1e9
+    }
+
+    fn speedup(&self) -> f64 {
+        self.scalar_s / self.vector_s
+    }
+
+    /// Modeled-schedule bytes over bound bytes; 0 when the bound
+    /// degenerates to 0 (shape fits in fast memory — no gap to speak of).
+    fn roofline_gap(&self) -> f64 {
+        if self.q_lower_bytes > 0.0 {
+            self.q_sched_bytes / self.q_lower_bytes
+        } else {
+            0.0
+        }
+    }
+
+    fn json_line(&self) -> String {
+        format!(
+            "{{\"row\":\"{}\",\"name\":\"{}\",\"algo\":\"{}\",\"shape\":\"{}\",\
+             \"gflop\":{},\"scalar_gflops\":{},\"vector_gflops\":{},\"speedup\":{},\
+             \"q_lower_bytes\":{},\"q_sched_bytes\":{},\"roofline_gap\":{}}}",
+            self.kind,
+            iolb_records::jsonl::escape(&self.name),
+            self.algo,
+            iolb_records::jsonl::escape(&self.shape),
+            self.flops / 1e9,
+            self.scalar_gflops(),
+            self.vector_gflops(),
+            self.speedup(),
+            self.q_lower_bytes,
+            self.q_sched_bytes,
+            self.roofline_gap(),
+        )
+    }
+}
+
+/// Times `work` `reps` times and returns the best wall seconds — the
+/// noise-robust estimator on a shared machine (any interference only
+/// inflates a sample, never deflates it). Scalar and vector runs are
+/// interleaved by the caller so drift hits both paths alike.
+fn best_of(reps: usize, mut work: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        work();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The `kernels` subcommand: sweep scalar vs vector kernels over GEMM
+/// sizes and model-zoo conv layers, write `BENCH_kernels.json`.
+fn run_kernels(rest: &[String]) -> ExitCode {
+    let sizes_arg = flag_string(rest, "--sizes").unwrap_or_else(|| "64,128,256,512".into());
+    let networks = flag_string(rest, "--networks").unwrap_or_else(|| "alexnet".into());
+    let reps = flag_value(rest, "--reps").unwrap_or(3).max(1);
+    let threads = flag_value(rest, "--threads").unwrap_or(1).max(1);
+    let max_layers = flag_value(rest, "--max-layers").unwrap_or(usize::MAX).max(1);
+    let sram_kib = flag_value(rest, "--sram-kib").unwrap_or(32).max(1);
+    let out = flag_path(rest, "-o").unwrap_or_else(|| PathBuf::from("BENCH_kernels.json"));
+
+    let mut sizes = Vec::new();
+    for part in sizes_arg.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match part.parse::<usize>() {
+            Ok(m) if m >= 1 => sizes.push(m),
+            _ => {
+                eprintln!("error: bad --sizes entry {part:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if sizes.is_empty() {
+        eprintln!("error: --sizes is empty");
+        return ExitCode::from(2);
+    }
+
+    // Fast-memory size in f32 elements for the Q_lower / schedule models.
+    let s = (sram_kib * 1024 / 4) as f64;
+    let mut rows: Vec<KernelRow> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    for &m in &sizes {
+        eprintln!("gemm {m}x{m}x{m} ...");
+        match gemm_row(m, reps, threads, s, &mut rng) {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let zoo = iolb_cnn::models::all_networks();
+    for name in networks.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let wanted = name.to_ascii_lowercase();
+        let Some(net) = zoo.iter().find(|n| n.name.to_ascii_lowercase() == wanted) else {
+            eprintln!(
+                "error: unknown network {name:?}; known: {}",
+                zoo.iter().map(|n| n.name.to_ascii_lowercase()).collect::<Vec<_>>().join(", ")
+            );
+            return ExitCode::from(2);
+        };
+        for layer in net.layers.iter().take(max_layers) {
+            eprintln!("conv {}/{} ...", net.name, layer.name);
+            match conv_rows(net.name, layer, reps, threads, s, &mut rng) {
+                Ok(mut layer_rows) => rows.append(&mut layer_rows),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let mut text = format!(
+        "{{\"schema\":\"iolb-bench-kernels\",\"v\":1,\"sizes\":\"{}\",\"networks\":\"{}\",\
+         \"reps\":{reps},\"threads\":{threads},\"sram_kib\":{sram_kib},\"rows\":{}}}\n",
+        iolb_records::jsonl::escape(&sizes_arg),
+        iolb_records::jsonl::escape(&networks),
+        rows.len(),
+    );
+    for row in &rows {
+        text.push_str(&row.json_line());
+        text.push('\n');
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    print!("{text}");
+    eprintln!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+/// One square `m x m x m` GEMM row: both paths timed, outputs diffed
+/// to the bit, bound and blocked-schedule traffic from `iolb_core`.
+fn gemm_row(
+    m: usize,
+    reps: usize,
+    threads: usize,
+    s: f64,
+    rng: &mut StdRng,
+) -> Result<KernelRow, String> {
+    let a: Vec<f32> = (0..m * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f32> = (0..m * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let a_ref = MatRef::new(&a, m, m);
+    let b_ref = MatRef::new(&b, m, m);
+    let mut c_scalar = vec![0.0f32; m * m];
+    let mut c_vector = vec![0.0f32; m * m];
+
+    let scalar_s =
+        best_of(reps, || gemm_with_path(a_ref, b_ref, &mut c_scalar, threads, KernelPath::Scalar));
+    let vector_s =
+        best_of(reps, || gemm_with_path(a_ref, b_ref, &mut c_vector, threads, KernelPath::Vector));
+    if c_scalar.iter().zip(&c_vector).any(|(x, y)| x.to_bits() != y.to_bits()) {
+        return Err(format!("gemm {m}: vector output differs from scalar — kernel bug"));
+    }
+
+    let shape = matmul::MatmulShape::new(m);
+    Ok(KernelRow {
+        kind: "gemm",
+        name: format!("gemm-{m}"),
+        algo: "blocked",
+        shape: format!("{m}x{m}x{m}"),
+        flops: 2.0 * shape.macs() as f64,
+        scalar_s,
+        vector_s,
+        q_lower_bytes: matmul::io_lower_bound(&shape, s) * 4.0,
+        q_sched_bytes: matmul::blocked_schedule_io(&shape, s) * 4.0,
+    })
+}
+
+/// The rows for one conv layer: im2col + GEMM always, Winograd
+/// `F(2,3)` when the layer is eligible. Traffic models come from the
+/// paper's per-algorithm bounds and near-optimal dataflow volumes.
+fn conv_rows(
+    net: &str,
+    layer: &ConvLayer,
+    reps: usize,
+    threads: usize,
+    s: f64,
+    rng: &mut StdRng,
+) -> Result<Vec<KernelRow>, String> {
+    let shape = &layer.shape;
+    let params = ConvParams::new(shape.stride, shape.pad);
+    let input = Tensor4::random(shape.batch, shape.cin, shape.hin, shape.win, rng);
+    let weights = Tensor4::random(shape.cout, shape.cin, shape.kh, shape.kw, rng);
+    let shape_str = format!(
+        "{}x{}x{}->{} {}x{}/{}+{}",
+        shape.cin, shape.hin, shape.win, shape.cout, shape.kh, shape.kw, shape.stride, shape.pad
+    );
+    let mut rows = Vec::new();
+
+    let mut out_scalar = None;
+    let mut out_vector = None;
+    let scalar_s = best_of(reps, || {
+        out_scalar =
+            Some(conv2d_im2col_with_path(&input, &weights, params, threads, KernelPath::Scalar));
+    });
+    let vector_s = best_of(reps, || {
+        out_vector =
+            Some(conv2d_im2col_with_path(&input, &weights, params, threads, KernelPath::Vector));
+    });
+    bit_diff(&out_scalar.unwrap(), &out_vector.unwrap())
+        .map_err(|e| format!("{net}/{} im2col: {e}", layer.name))?;
+    rows.push(KernelRow {
+        kind: "conv",
+        name: format!("{net}/{}", layer.name),
+        algo: "im2col",
+        shape: shape_str.clone(),
+        flops: Algorithm::Direct.flops(shape),
+        scalar_s,
+        vector_s,
+        q_lower_bytes: Algorithm::Direct.io_lower_bound(shape, s) * 4.0,
+        q_sched_bytes: Algorithm::Direct.dataflow_io(shape, s, 1.0) * 4.0,
+    });
+
+    if layer.winograd_eligible() {
+        let tile = WinogradTile::F2X3;
+        let plan = WinogradPlan::new(&weights, tile.e);
+        let mut out_scalar = None;
+        let mut out_vector = None;
+        let scalar_s = best_of(reps, || {
+            out_scalar =
+                Some(conv2d_winograd_with_plan_path(&input, &plan, params, KernelPath::Scalar));
+        });
+        let vector_s = best_of(reps, || {
+            out_vector =
+                Some(conv2d_winograd_with_plan_path(&input, &plan, params, KernelPath::Vector));
+        });
+        bit_diff(&out_scalar.unwrap(), &out_vector.unwrap())
+            .map_err(|e| format!("{net}/{} winograd: {e}", layer.name))?;
+        let algo = Algorithm::Winograd(tile);
+        rows.push(KernelRow {
+            kind: "conv",
+            name: format!("{net}/{}", layer.name),
+            algo: "winograd",
+            shape: shape_str,
+            flops: algo.flops(shape),
+            scalar_s,
+            vector_s,
+            q_lower_bytes: algo.io_lower_bound(shape, s) * 4.0,
+            q_sched_bytes: algo.dataflow_io(shape, s, 1.0) * 4.0,
+        });
+    }
+    Ok(rows)
+}
+
+/// Errors unless the two tensors are bit-identical — every sweep run
+/// doubles as a scalar-vs-vector correctness check.
+fn bit_diff(scalar: &Tensor4, vector: &Tensor4) -> Result<(), String> {
+    let differs =
+        scalar.as_slice().iter().zip(vector.as_slice()).any(|(x, y)| x.to_bits() != y.to_bits());
+    if differs {
+        Err("vector output differs from scalar — kernel bug".to_string())
+    } else {
+        Ok(())
+    }
 }
 
 /// One serving mode's aggregate outcome.

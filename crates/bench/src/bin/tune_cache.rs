@@ -69,7 +69,10 @@ fn usage() -> ExitCode {
          \u{20}                                  daemon (socket/TCP, including latency\n\
          \u{20}                                  histograms) or a directory's stats sidecar\n\
          check-bench <FILE>                 exit non-zero unless FILE is a schema-valid\n\
-         \u{20}                                  BENCH_replay.json (written by `tune-bench replay`)\n\
+         \u{20}                                  benchmark artifact: BENCH_replay.json (from\n\
+         \u{20}                                  `tune-bench replay`) or BENCH_kernels.json (from\n\
+         \u{20}                                  `tune-bench kernels`; also fails if the vector\n\
+         \u{20}                                  path lost to scalar on the largest GEMM row)\n\
          tune-net <network|--layers SPEC> (-o DIR | --daemon SOCK | --fleet PEERS) [--json]\n\
          \u{20}                                  [--budget N] [--seed N] [--workers N]\n\
          \u{20}                                  batch-tune a whole network in one session. With\n\
@@ -90,13 +93,18 @@ fn usage() -> ExitCode {
          \u{20}                                  [--idle-timeout SECS] [--peer SPEC]...\n\
          \u{20}                                  [--peer-sync-ms N] [--anchor-floor N]\n\
          \u{20}                                  [--transfer-gap-permille N]\n\
+         \u{20}                                  [--evict-max-records N] [--evict-top-k K]\n\
          \u{20}                                  run a resident shard-server daemon: hold DIR's\n\
          \u{20}                                  lock for the daemon's lifetime, serve sessions on\n\
          \u{20}                                  PATH (default DIR/daemon.sock) and optionally on\n\
          \u{20}                                  TCP (port 0 picks a free port, printed at start),\n\
          \u{20}                                  batch persistence on the merge interval, drop idle\n\
-         \u{20}                                  connections, and anti-entropy-pull every --peer\n\
-         \u{20}                                  daemon on the sync interval (default 5000 ms)\n\
+         \u{20}                                  connections, anti-entropy-pull every --peer\n\
+         \u{20}                                  daemon on the sync interval (default 5000 ms),\n\
+         \u{20}                                  and (with --evict-max-records) trim the store to\n\
+         \u{20}                                  N records on each persister tick, coldest\n\
+         \u{20}                                  workload first, keeping K best records per\n\
+         \u{20}                                  trimmed workload (best-cost never evicted)\n\
          stop    <SOCK|tcp:HOST:PORT>       ask the daemon there to persist and exit\n\
          \n\
          every directory-locking command also takes --lock-timeout SECS\n\
@@ -197,6 +205,11 @@ fn main() -> ExitCode {
                 peer_sync_interval: Duration::from_millis(
                     flag_value(rest, "--peer-sync-ms").unwrap_or(5000) as u64,
                 ),
+                evict: flag_value(rest, "--evict-max-records").map(|max_records| EvictionPolicy {
+                    max_records,
+                    top_k: flag_value(rest, "--evict-top-k")
+                        .unwrap_or(EvictionPolicy::default().top_k),
+                }),
             };
             serve(Path::new(dir), &socket, config)
         }
@@ -695,10 +708,12 @@ fn metrics_cmd(target: &str) -> ExitCode {
     }
 }
 
-/// `check-bench`: the CI gate over `BENCH_replay.json` — one flat JSON
-/// object (the record codec's dialect) with the replay schema tag and
-/// every required field present, numeric and sane. Exit 1 with a reason
-/// otherwise, so a broken benchmark artifact can never land silently.
+/// `check-bench`: the CI gate over benchmark artifacts — flat JSON in
+/// the record codec's dialect, dispatched on the schema tag of the
+/// first line: `iolb-bench-replay` (one object) or `iolb-bench-kernels`
+/// (header + row lines). Every required field must be present, numeric
+/// and sane. Exit 1 with a reason otherwise, so a broken benchmark
+/// artifact can never land silently.
 fn check_bench(path: &Path) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -707,7 +722,12 @@ fn check_bench(path: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match validate_bench_replay(text.trim()) {
+    let result = bench_schema(text.trim()).and_then(|schema| match schema.as_str() {
+        "iolb-bench-replay" => validate_bench_replay(text.trim()),
+        "iolb-bench-kernels" => validate_bench_kernels(text.trim()),
+        other => Err(format!("unexpected schema {other:?}")),
+    });
+    match result {
         Ok(summary) => {
             println!("check-bench OK: {summary}");
             ExitCode::SUCCESS
@@ -717,6 +737,16 @@ fn check_bench(path: &Path) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The schema tag of an artifact's first line.
+fn bench_schema(text: &str) -> Result<String, String> {
+    use iolb_records::jsonl::parse_flat_object;
+    let first = text.lines().next().ok_or("empty file")?;
+    let fields = parse_flat_object(first)?;
+    let (_, value) =
+        fields.iter().find(|(k, _)| k == "schema").ok_or("missing field \"schema\"")?;
+    Ok(value.as_str("schema")?.to_string())
 }
 
 /// The actual `BENCH_replay.json` schema check, separated so the error
@@ -814,6 +844,113 @@ fn validate_bench_replay(line: &str) -> Result<String, String> {
         get("requests")?.as_u64("requests")?,
         get("embedded_anchored_hit_rate")?.as_f64("embedded_anchored_hit_rate")?
     ))
+}
+
+/// The `BENCH_kernels.json` schema check: a header line followed by
+/// one row per swept shape. Beyond shape, every row's speedup must be
+/// consistent with its per-path GFLOP/s, the modeled schedule can
+/// never move fewer bytes than the `Q_lower` bound, and — the
+/// acceptance gate — the vector path must not lose to scalar on the
+/// largest GEMM row.
+fn validate_bench_kernels(text: &str) -> Result<String, String> {
+    use iolb_records::jsonl::{parse_flat_object, Value};
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = parse_flat_object(lines.next().ok_or("empty file")?)?;
+    let field = |fields: &[(String, Value)], key: &str| -> Result<Value, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+
+    let schema = field(&header, "schema")?;
+    if schema.as_str("schema")? != "iolb-bench-kernels" {
+        return Err(format!("unexpected schema {:?}", schema.as_str("schema")?));
+    }
+    let version = field(&header, "v")?.as_u64("v")?;
+    if version != 1 {
+        return Err(format!("unsupported kernels schema version {version}"));
+    }
+    field(&header, "sizes")?.as_str("sizes")?;
+    field(&header, "networks")?.as_str("networks")?;
+    for key in ["reps", "threads", "sram_kib", "rows"] {
+        if field(&header, key)?.as_u64(key)? == 0 {
+            return Err(format!("field {key:?} must be positive"));
+        }
+    }
+    let declared_rows = field(&header, "rows")?.as_u64("rows")? as usize;
+
+    let mut rows = 0usize;
+    let mut gemm_rows = 0usize;
+    // (flops, speedup) of the largest GEMM row seen — flops orders the
+    // rows without re-parsing the shape string.
+    let mut largest_gemm: Option<(f64, f64, String)> = None;
+    for line in lines {
+        rows += 1;
+        let fields = parse_flat_object(line)?;
+        let name = field(&fields, "name")?.as_str("name")?.to_string();
+        let err = |msg: String| format!("row {name:?}: {msg}");
+        let kind = field(&fields, "row")?.as_str("row")?.to_string();
+        if kind != "gemm" && kind != "conv" {
+            return Err(err(format!("unknown row kind {kind:?}")));
+        }
+        field(&fields, "algo")?.as_str("algo")?;
+        field(&fields, "shape")?.as_str("shape")?;
+        let num = |key: &str| -> Result<f64, String> {
+            let v = field(&fields, key)?.as_f64(key)?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(err(format!("field {key:?} must be finite and non-negative")));
+            }
+            Ok(v)
+        };
+        let gflop = num("gflop")?;
+        let scalar = num("scalar_gflops")?;
+        let vector = num("vector_gflops")?;
+        let speedup = num("speedup")?;
+        if gflop <= 0.0 || scalar <= 0.0 || vector <= 0.0 {
+            return Err(err("work and throughput fields must be positive".into()));
+        }
+        if (speedup - vector / scalar).abs() > 1e-6 * speedup.max(1.0) {
+            return Err(err(format!(
+                "speedup {speedup} inconsistent with GFLOP/s ratio {}",
+                vector / scalar
+            )));
+        }
+        let q_lower = num("q_lower_bytes")?;
+        let q_sched = num("q_sched_bytes")?;
+        let gap = num("roofline_gap")?;
+        if q_sched + 1e-9 < q_lower {
+            return Err(err(format!(
+                "modeled schedule moves fewer bytes ({q_sched}) than the bound ({q_lower})"
+            )));
+        }
+        if q_lower > 0.0 && (gap - q_sched / q_lower).abs() > 1e-6 * gap.max(1.0) {
+            return Err(err(format!(
+                "roofline_gap {gap} inconsistent with q_sched/q_lower {}",
+                q_sched / q_lower
+            )));
+        }
+        if kind == "gemm" {
+            gemm_rows += 1;
+            if largest_gemm.as_ref().is_none_or(|(f, _, _)| gflop > *f) {
+                largest_gemm = Some((gflop, speedup, name));
+            }
+        }
+    }
+    if rows != declared_rows {
+        return Err(format!("header declares {declared_rows} row(s), found {rows}"));
+    }
+    if gemm_rows == 0 {
+        return Err("no GEMM rows in sweep".to_string());
+    }
+    let (_, speedup, name) = largest_gemm.expect("gemm_rows > 0");
+    if speedup < 1.0 {
+        return Err(format!(
+            "vector path lost to scalar on the largest GEMM row {name:?} (speedup {speedup})"
+        ));
+    }
+    Ok(format!("{rows} row(s) ({gemm_rows} GEMM), vector/scalar speedup {speedup:.2}x on {name}"))
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<usize> {

@@ -7,12 +7,20 @@
 //! output tile + one `x' * y' * 1` input stage + the stage's weights), and
 //! the channel-sliding loop is executed literally. Every path is verified
 //! against `iolb_tensor::conv_ref`.
+//!
+//! Both executors honour the `IOLB_KERNEL=scalar|vector` switch (see
+//! [`KernelPath`]): the vector variants restructure only *how* the same
+//! per-element folds are computed (row-wise accumulators, hoisted kernel
+//! transforms, flat scratch), never the order of terms within one output
+//! element — so the two paths are bit-identical, like the rest of the
+//! compute substrate.
 
 use crate::config::ScheduleConfig;
 use iolb_core::shapes::{ConvShape, WinogradTile};
 use iolb_tensor::conv_ref::ConvParams;
+use iolb_tensor::kernel::KernelPath;
 use iolb_tensor::tensor::Tensor4;
-use iolb_tensor::winograd_math::{generate, Mat};
+use iolb_tensor::winograd_math::{generate, matmul_flat, Mat};
 
 /// Derives the [`ConvShape`] of an input/weight pair.
 pub fn shape_of(input: &Tensor4, weights: &Tensor4, params: ConvParams) -> ConvShape {
@@ -39,6 +47,18 @@ pub fn execute_direct(
     params: ConvParams,
     cfg: &ScheduleConfig,
     workers: usize,
+) -> Tensor4 {
+    execute_direct_with_path(input, weights, params, cfg, workers, KernelPath::from_env())
+}
+
+/// [`execute_direct`] with an explicit kernel path (tests diff the two).
+pub fn execute_direct_with_path(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    cfg: &ScheduleConfig,
+    workers: usize,
+    path: KernelPath,
 ) -> Tensor4 {
     let shape = shape_of(input, weights, params);
     let (hout, wout) = (shape.hout(), shape.wout());
@@ -72,6 +92,10 @@ pub fn execute_direct(
                 let mut acc = vec![0.0f32; cfg.x * cfg.y * cfg.z];
                 let mut stage_in = vec![0.0f32; xp * yp];
                 let mut stage_w = vec![0.0f32; shape.kh * shape.kw * cfg.z];
+                // Vector path: one output row of partial sums per
+                // (zc, oy), accumulated with the kernel tap broadcast
+                // over the `ox` lanes.
+                let mut tmp_row = vec![0.0f32; cfg.y];
                 loop {
                     let b = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if b >= total_blocks {
@@ -109,18 +133,61 @@ pub fn execute_direct(
                             }
                         }
                         // Partial-sum update of the resident tile.
-                        for zc in 0..cfg.z {
-                            for oy in 0..cfg.x {
-                                for ox in 0..cfg.y {
-                                    let mut sum = 0.0f32;
-                                    for dy in 0..shape.kh {
-                                        let row = (oy * shape.stride + dy) * yp + ox * shape.stride;
-                                        let wrow = (zc * shape.kh + dy) * shape.kw;
-                                        for dx in 0..shape.kw {
-                                            sum += stage_in[row + dx] * stage_w[wrow + dx];
+                        match path {
+                            KernelPath::Scalar => {
+                                for zc in 0..cfg.z {
+                                    for oy in 0..cfg.x {
+                                        for ox in 0..cfg.y {
+                                            let mut sum = 0.0f32;
+                                            for dy in 0..shape.kh {
+                                                let row = (oy * shape.stride + dy) * yp
+                                                    + ox * shape.stride;
+                                                let wrow = (zc * shape.kh + dy) * shape.kw;
+                                                for dx in 0..shape.kw {
+                                                    sum += stage_in[row + dx] * stage_w[wrow + dx];
+                                                }
+                                            }
+                                            acc[(zc * cfg.x + oy) * cfg.y + ox] += sum;
                                         }
                                     }
-                                    acc[(zc * cfg.x + oy) * cfg.y + ox] += sum;
+                                }
+                            }
+                            // Same folds, rotated: `tmp_row[ox]` runs the
+                            // scalar `sum` fold ((dy, dx) ascending) for a
+                            // whole output row at once — each `ox` lane is
+                            // an independent element, the tap is broadcast,
+                            // and the loads are unit-stride when stride=1.
+                            // One `acc += tmp_row` add per element after
+                            // the fold, exactly like the scalar `+= sum`.
+                            KernelPath::Vector => {
+                                for zc in 0..cfg.z {
+                                    for oy in 0..cfg.x {
+                                        tmp_row.fill(0.0);
+                                        for dy in 0..shape.kh {
+                                            let row = (oy * shape.stride + dy) * yp;
+                                            let wrow = (zc * shape.kh + dy) * shape.kw;
+                                            for dx in 0..shape.kw {
+                                                let w = stage_w[wrow + dx];
+                                                if shape.stride == 1 {
+                                                    let in_row = &stage_in[row + dx..][..cfg.y];
+                                                    for (t, &v) in tmp_row.iter_mut().zip(in_row) {
+                                                        *t += v * w;
+                                                    }
+                                                } else {
+                                                    for (ox, t) in tmp_row.iter_mut().enumerate() {
+                                                        *t += stage_in
+                                                            [row + ox * shape.stride + dx]
+                                                            * w;
+                                                    }
+                                                }
+                                            }
+                                        }
+                                        let acc_row =
+                                            &mut acc[(zc * cfg.x + oy) * cfg.y..][..cfg.y];
+                                        for (a, &t) in acc_row.iter_mut().zip(&tmp_row) {
+                                            *a += t;
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -160,6 +227,20 @@ pub fn execute_winograd(
     cfg: &ScheduleConfig,
     workers: usize,
 ) -> Tensor4 {
+    execute_winograd_with_path(input, weights, params, tile, cfg, workers, KernelPath::from_env())
+}
+
+/// [`execute_winograd`] with an explicit kernel path (tests diff the two).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_winograd_with_path(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    tile: WinogradTile,
+    cfg: &ScheduleConfig,
+    workers: usize,
+    path: KernelPath,
+) -> Tensor4 {
     assert_eq!(params.stride, 1, "winograd requires unit stride");
     let shape = shape_of(input, weights, params);
     assert!(shape.supports_winograd(tile), "shape incompatible with F(e,r)");
@@ -172,6 +253,11 @@ pub fn execute_winograd(
 
     let t = generate(tile.e, tile.r);
     let a = tile.a();
+    // Transposes hoisted for the vector path (pure permutations; the
+    // scalar path recomputes them per tile, bit-identically).
+    let bt_t = t.bt.t();
+    let at_t = t.at.t();
+    let g_t = t.g.t();
     let blocks_h = hout / cfg.x;
     let blocks_w = wout / cfg.y;
     let blocks_c = shape.cout / cfg.z;
@@ -192,12 +278,21 @@ pub fn execute_winograd(
             let shape = &shape;
             let out_ptr = &out_ptr;
             let t = &t;
+            let (bt_t, at_t, g_t) = (&bt_t, &at_t, &g_t);
             scope.spawn(move |_| {
                 // Two temporary arrays per in-flight (tile, zc): the
                 // running Pi sums for the whole sub-block.
                 let mut pi = vec![Mat::zeros(a, a); tiles_h * tiles_w * cfg.z];
                 let mut patch = Mat::zeros(a, a);
                 let mut g = Mat::zeros(tile.r, tile.r);
+                // Flat scratch for the vector path.
+                let aa = a * a;
+                let (e, r) = (tile.e, tile.r);
+                let mut mm_tmp = vec![0.0f64; aa];
+                let mut p_flat = vec![0.0f64; aa];
+                let mut j_all = vec![0.0f64; cfg.z * aa];
+                let mut y_tmp = vec![0.0f64; e * a];
+                let mut y_flat = vec![0.0f64; e * e];
                 loop {
                     let b = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if b >= total_blocks {
@@ -216,36 +311,97 @@ pub fn execute_winograd(
                         m.data.fill(0.0);
                     }
                     // Channel-sliding stages.
-                    for ci in 0..shape.cin {
-                        for th in 0..tiles_h {
-                            for tw in 0..tiles_w {
-                                // Load and transform the (a x a) patch once
-                                // per (tile, channel); reuse across all z.
-                                let py = (oy0 + th * tile.e) as isize - shape.pad as isize;
-                                let px = (ox0 + tw * tile.e) as isize - shape.pad as isize;
-                                for dy in 0..a {
-                                    for dx in 0..a {
-                                        *patch.at_mut(dy, dx) = input.at_padded(
-                                            n,
-                                            ci,
-                                            py + dy as isize,
-                                            px + dx as isize,
-                                        )
-                                            as f64;
+                    match path {
+                        KernelPath::Scalar => {
+                            for ci in 0..shape.cin {
+                                for th in 0..tiles_h {
+                                    for tw in 0..tiles_w {
+                                        // Load and transform the (a x a) patch
+                                        // once per (tile, channel); reuse
+                                        // across all z.
+                                        let py = (oy0 + th * tile.e) as isize - shape.pad as isize;
+                                        let px = (ox0 + tw * tile.e) as isize - shape.pad as isize;
+                                        for dy in 0..a {
+                                            for dx in 0..a {
+                                                *patch.at_mut(dy, dx) = input.at_padded(
+                                                    n,
+                                                    ci,
+                                                    py + dy as isize,
+                                                    px + dx as isize,
+                                                )
+                                                    as f64;
+                                            }
+                                        }
+                                        let p = t.bt.matmul(&patch).matmul(&t.bt.t());
+                                        for zc in 0..cfg.z {
+                                            for dy in 0..tile.r {
+                                                for dx in 0..tile.r {
+                                                    *g.at_mut(dy, dx) =
+                                                        weights.at(oc0 + zc, ci, dy, dx) as f64;
+                                                }
+                                            }
+                                            let j = t.g.matmul(&g).matmul(&t.g.t());
+                                            let dst = &mut pi[(th * tiles_w + tw) * cfg.z + zc];
+                                            for idx in 0..a * a {
+                                                dst.data[idx] += p.data[idx] * j.data[idx];
+                                            }
+                                        }
                                     }
                                 }
-                                let p = t.bt.matmul(&patch).matmul(&t.bt.t());
+                            }
+                        }
+                        // Same folds through [`matmul_flat`] (which keeps
+                        // `Mat::matmul`'s exact term order): `J = G g G^T`
+                        // is hoisted per (ci, zc) — the scalar path
+                        // recomputes those identical bits once per tile —
+                        // and all products land in preallocated flat
+                        // scratch instead of fresh `Mat`s.
+                        KernelPath::Vector => {
+                            for ci in 0..shape.cin {
                                 for zc in 0..cfg.z {
-                                    for dy in 0..tile.r {
-                                        for dx in 0..tile.r {
-                                            *g.at_mut(dy, dx) =
+                                    for dy in 0..r {
+                                        for dx in 0..r {
+                                            g.data[dy * r + dx] =
                                                 weights.at(oc0 + zc, ci, dy, dx) as f64;
                                         }
                                     }
-                                    let j = t.g.matmul(&g).matmul(&t.g.t());
-                                    let dst = &mut pi[(th * tiles_w + tw) * cfg.z + zc];
-                                    for idx in 0..a * a {
-                                        dst.data[idx] += p.data[idx] * j.data[idx];
+                                    matmul_flat(&t.g.data, &g.data, &mut mm_tmp[..a * r], a, r, r);
+                                    matmul_flat(
+                                        &mm_tmp[..a * r],
+                                        &g_t.data,
+                                        &mut j_all[zc * aa..(zc + 1) * aa],
+                                        a,
+                                        r,
+                                        a,
+                                    );
+                                }
+                                for th in 0..tiles_h {
+                                    for tw in 0..tiles_w {
+                                        let py = (oy0 + th * e) as isize - shape.pad as isize;
+                                        let px = (ox0 + tw * e) as isize - shape.pad as isize;
+                                        for dy in 0..a {
+                                            for dx in 0..a {
+                                                patch.data[dy * a + dx] = input.at_padded(
+                                                    n,
+                                                    ci,
+                                                    py + dy as isize,
+                                                    px + dx as isize,
+                                                )
+                                                    as f64;
+                                            }
+                                        }
+                                        matmul_flat(&t.bt.data, &patch.data, &mut mm_tmp, a, a, a);
+                                        matmul_flat(&mm_tmp, &bt_t.data, &mut p_flat, a, a, a);
+                                        for zc in 0..cfg.z {
+                                            let j = &j_all[zc * aa..][..aa];
+                                            let dst =
+                                                &mut pi[(th * tiles_w + tw) * cfg.z + zc].data;
+                                            for (o, (&pv, &jv)) in
+                                                dst.iter_mut().zip(p_flat.iter().zip(j.iter()))
+                                            {
+                                                *o += pv * jv;
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -256,16 +412,39 @@ pub fn execute_winograd(
                         for tw in 0..tiles_w {
                             for zc in 0..cfg.z {
                                 let m = &pi[(th * tiles_w + tw) * cfg.z + zc];
-                                let y_tile = t.at.matmul(m).matmul(&t.at.t());
-                                for dy in 0..tile.e {
-                                    for dx in 0..tile.e {
-                                        let c = oc0 + zc;
-                                        let yy = oy0 + th * tile.e + dy;
-                                        let xx = ox0 + tw * tile.e + dx;
-                                        let off = n * image_len + (c * hout + yy) * wout + xx;
-                                        // SAFETY: disjoint per block.
-                                        unsafe {
-                                            *out_ptr.0.add(off) = y_tile.at(dy, dx) as f32;
+                                match path {
+                                    KernelPath::Scalar => {
+                                        let y_tile = t.at.matmul(m).matmul(&t.at.t());
+                                        for dy in 0..tile.e {
+                                            for dx in 0..tile.e {
+                                                let c = oc0 + zc;
+                                                let yy = oy0 + th * tile.e + dy;
+                                                let xx = ox0 + tw * tile.e + dx;
+                                                let off =
+                                                    n * image_len + (c * hout + yy) * wout + xx;
+                                                // SAFETY: disjoint per block.
+                                                unsafe {
+                                                    *out_ptr.0.add(off) = y_tile.at(dy, dx) as f32;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    KernelPath::Vector => {
+                                        matmul_flat(&t.at.data, &m.data, &mut y_tmp, e, a, a);
+                                        matmul_flat(&y_tmp, &at_t.data, &mut y_flat, e, a, e);
+                                        for dy in 0..e {
+                                            for dx in 0..e {
+                                                let c = oc0 + zc;
+                                                let yy = oy0 + th * e + dy;
+                                                let xx = ox0 + tw * e + dx;
+                                                let off =
+                                                    n * image_len + (c * hout + yy) * wout + xx;
+                                                // SAFETY: disjoint per block.
+                                                unsafe {
+                                                    *out_ptr.0.add(off) =
+                                                        y_flat[dy * e + dx] as f32;
+                                                }
+                                            }
                                         }
                                     }
                                 }
@@ -374,6 +553,54 @@ mod tests {
         let want = conv2d_reference(&input, &weights, params);
         let got = execute_winograd(&input, &weights, params, WinogradTile::F4X3, &cfg(8, 8, 2), 2);
         assert!(got.approx_eq(&want, 1e-3, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn direct_vector_path_bit_identical_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let input = Tensor4::random(2, 3, 9, 9, &mut rng);
+        let weights = Tensor4::random(4, 3, 3, 3, &mut rng);
+        // Unit stride with padding, and the strided fallback lanes.
+        for (params, x, y) in [(ConvParams::new(1, 1), 3, 9), (ConvParams::new(2, 1), 5, 5)] {
+            let c = cfg(x, y, 2);
+            let s = execute_direct_with_path(&input, &weights, params, &c, 3, KernelPath::Scalar);
+            let v = execute_direct_with_path(&input, &weights, params, &c, 3, KernelPath::Vector);
+            let sb: Vec<u32> = s.as_slice().iter().map(|f| f.to_bits()).collect();
+            let vb: Vec<u32> = v.as_slice().iter().map(|f| f.to_bits()).collect();
+            assert_eq!(sb, vb, "stride {}", params.stride);
+        }
+    }
+
+    #[test]
+    fn winograd_vector_path_bit_identical_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let input = Tensor4::random(1, 3, 10, 10, &mut rng);
+        let weights = Tensor4::random(4, 3, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 0); // 8x8 out
+        for (tile, x, y, z) in [(WinogradTile::F2X3, 4, 4, 2), (WinogradTile::F4X3, 8, 8, 4)] {
+            let c = cfg(x, y, z);
+            let s = execute_winograd_with_path(
+                &input,
+                &weights,
+                params,
+                tile,
+                &c,
+                3,
+                KernelPath::Scalar,
+            );
+            let v = execute_winograd_with_path(
+                &input,
+                &weights,
+                params,
+                tile,
+                &c,
+                3,
+                KernelPath::Vector,
+            );
+            let sb: Vec<u32> = s.as_slice().iter().map(|f| f.to_bits()).collect();
+            let vb: Vec<u32> = v.as_slice().iter().map(|f| f.to_bits()).collect();
+            assert_eq!(sb, vb, "{tile:?}");
+        }
     }
 
     #[test]

@@ -110,6 +110,15 @@ pub struct DaemonConfig {
     /// hop; shorter intervals cost one full-store transfer per peer per
     /// tick (see `docs/OPERATIONS.md` for sizing).
     pub peer_sync_interval: Duration,
+    /// When set, the persister tick applies this
+    /// [`EvictionPolicy`](crate::shard::EvictionPolicy)
+    /// before each flush, so a long-lived daemon's store stays near
+    /// `max_records` instead of growing without bound. Coldest-workload
+    /// truncation that never drops a workload's best record — replay of
+    /// known workloads stays exact across evictions. `None` (the
+    /// default) never evicts; records dropped are counted in the
+    /// `iolb_evictions_total` telemetry counter.
+    pub evict: Option<crate::shard::EvictionPolicy>,
 }
 
 impl Default for DaemonConfig {
@@ -121,6 +130,7 @@ impl Default for DaemonConfig {
             tcp: None,
             peers: Vec::new(),
             peer_sync_interval: Duration::from_secs(5),
+            evict: None,
         }
     }
 }
@@ -317,6 +327,7 @@ impl Daemon {
             let dir = self.dir.clone();
             let shared = Arc::clone(&self.shared);
             let interval = self.config.merge_interval;
+            let evict = self.config.evict;
             std::thread::Builder::new().name("iolb-daemon-persist".into()).spawn(move || {
                 let mut last: Option<ServiceSnapshot> = None;
                 loop {
@@ -343,6 +354,16 @@ impl Daemon {
                     // back).
                     if service.config().workers > 0 {
                         service.drain();
+                    }
+                    // Scheduled eviction rides the same tick: trim the
+                    // store *before* the snapshot diff so the flush that
+                    // lands on disk is the already-trimmed state (an
+                    // eviction never causes a second, larger write).
+                    if let Some(policy) = evict {
+                        let dropped = service.evict(&policy);
+                        if dropped > 0 {
+                            service.telemetry().incr("iolb_evictions_total", dropped as u64);
+                        }
                     }
                     let snapshot = service.snapshot();
                     if last != Some(snapshot) {
@@ -649,6 +670,10 @@ fn handle_connection(
     let mut sessions = BTreeMap::new();
     let mut next_session = 0u64;
     let mut idle = Duration::ZERO;
+    // Frame read/write buffers live for the whole connection: the
+    // busy-loop hot path (Submit/Wait per layer) reuses their capacity
+    // instead of allocating per frame.
+    let mut scratch = wire::Scratch::default();
     let telemetry = service.telemetry().clone();
     telemetry.incr("iolb_daemon_connections_total", 1);
     if stream.set_read_timeout(Some(IDLE_TICK)).is_err() {
@@ -714,15 +739,19 @@ fn handle_connection(
         telemetry.observe("iolb_daemon_frame_bytes", len as u64);
         let request = {
             let mut reader = DeadlineReader { stream: &mut stream, deadline, shared };
-            wire::read_payload(&mut reader, len).and_then(wire::decode_request_payload)
+            wire::read_payload_into(&mut reader, len, &mut scratch.payload)
+                .and_then(|()| wire::decode_request_payload(&scratch.payload))
         };
         let request = match request {
             Ok(request) => request,
             Err(e) => {
                 // A malformed client must not take the daemon down; tell
                 // it what was wrong if the pipe still works, then drop it.
-                let _ =
-                    wire::write_response(&mut stream, &Response::Error { message: e.to_string() });
+                let _ = wire::write_response_buffered(
+                    &mut stream,
+                    &Response::Error { message: e.to_string() },
+                    &mut scratch,
+                );
                 break;
             }
         };
@@ -753,12 +782,12 @@ fn handle_connection(
             // tuning on either side is never lost, only re-merged.
             Request::Pull => Response::State { store: Box::new(service.lock().shards.clone()) },
             Request::Shutdown => {
-                let _ = wire::write_response(&mut stream, &Response::Bye);
+                let _ = wire::write_response_buffered(&mut stream, &Response::Bye, &mut scratch);
                 shared.request_shutdown();
                 break;
             }
         };
-        let wrote = wire::write_response(&mut stream, &response);
+        let wrote = wire::write_response_buffered(&mut stream, &response, &mut scratch);
         telemetry.observe_since("iolb_daemon_request_us", served_started);
         if wrote.is_err() {
             break;
@@ -785,7 +814,10 @@ impl From<WireError> for BackendError {
 ///
 /// [`wait`]: BackendSession::wait
 pub struct WireBackend<S> {
-    stream: Arc<Mutex<S>>,
+    // Scratch rides under the same lock as the stream: whoever holds the
+    // connection owns the encode/decode buffers, so the per-call hot path
+    // (submit/wait per layer) reuses capacity instead of allocating.
+    stream: Arc<Mutex<(S, wire::Scratch)>>,
 }
 
 impl<S> Clone for WireBackend<S> {
@@ -803,7 +835,9 @@ pub type TcpBackend = WireBackend<TcpStream>;
 impl WireBackend<UnixStream> {
     /// Connects to a daemon's Unix socket.
     pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        Ok(Self { stream: Arc::new(Mutex::new(UnixStream::connect(path)?)) })
+        Ok(Self {
+            stream: Arc::new(Mutex::new((UnixStream::connect(path)?, wire::Scratch::default()))),
+        })
     }
 }
 
@@ -814,7 +848,7 @@ impl WireBackend<TcpStream> {
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Self { stream: Arc::new(Mutex::new(stream)) })
+        Ok(Self { stream: Arc::new(Mutex::new((stream, wire::Scratch::default()))) })
     }
 }
 
@@ -822,9 +856,10 @@ impl<S: Read + Write> WireBackend<S> {
     /// One request/response exchange. Daemon-reported errors surface as
     /// [`BackendError::Remote`].
     pub(crate) fn call(&self, request: &Request) -> Result<Response, BackendError> {
-        let mut stream = self.stream.lock().expect("wire backend poisoned");
-        wire::write_request(&mut *stream, request)?;
-        match wire::read_response(&mut *stream)? {
+        let mut guard = self.stream.lock().expect("wire backend poisoned");
+        let (stream, scratch) = &mut *guard;
+        wire::write_request_buffered(stream, request, scratch)?;
+        match wire::read_response_buffered(stream, scratch)? {
             Response::Error { message } => Err(BackendError::Remote(message)),
             response => Ok(response),
         }

@@ -222,22 +222,38 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
 /// ticks between frames never desynchronize the stream). Enforces the
 /// [`MAX_FRAME_BYTES`] cap *before* allocating.
 pub(crate) fn read_payload(r: &mut impl Read, len: usize) -> Result<Vec<u8>, WireError> {
-    if len > MAX_FRAME_BYTES {
-        return Err(WireError::Oversized { len });
-    }
-    let mut payload = vec![0u8; len];
-    let got = read_full(r, &mut payload)?;
-    if got < len {
-        return Err(WireError::Truncated { expected: len, got });
-    }
+    let mut payload = Vec::new();
+    read_payload_into(r, len, &mut payload)?;
     Ok(payload)
 }
 
+/// [`read_payload`] into a caller-owned buffer, the hot-path variant:
+/// a connection serving many frames reuses one buffer's capacity
+/// instead of allocating per frame (capacity is bounded by
+/// [`MAX_FRAME_BYTES`], and the cap is still enforced *before* the
+/// buffer grows).
+pub(crate) fn read_payload_into(
+    r: &mut impl Read,
+    len: usize,
+    buf: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized { len });
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    let got = read_full(r, buf)?;
+    if got < len {
+        return Err(WireError::Truncated { expected: len, got });
+    }
+    Ok(())
+}
+
 /// Decodes a request from a raw frame payload (UTF-8 check included).
-pub(crate) fn decode_request_payload(payload: Vec<u8>) -> Result<Request, WireError> {
-    let text = String::from_utf8(payload)
+pub(crate) fn decode_request_payload(payload: &[u8]) -> Result<Request, WireError> {
+    let text = std::str::from_utf8(payload)
         .map_err(|_| WireError::Malformed("frame payload is not UTF-8".into()))?;
-    decode_request(&text)
+    decode_request(text)
 }
 
 // ------------------------------------------------------------- payloads
@@ -424,6 +440,14 @@ fn decode_result(line: &str) -> Result<Option<ServeResult>, WireError> {
 /// Serializes a request payload (frame body, no length prefix).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = String::new();
+    encode_request_into(req, &mut out);
+    out.into_bytes()
+}
+
+/// [`encode_request`] appending to a caller-owned string — the
+/// hot-path variant that lets a connection reuse one encode buffer
+/// across requests (the caller clears it).
+pub fn encode_request_into(req: &Request, out: &mut String) {
     match req {
         Request::Submit { device, requests } => {
             out.push_str(&format!(
@@ -459,7 +483,6 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push('\n');
         }
     }
-    out.into_bytes()
 }
 
 /// Parses a request payload. Never panics: every malformation is a
@@ -501,6 +524,13 @@ pub fn decode_request(payload: &str) -> Result<Request, WireError> {
 /// Serializes a response payload (frame body, no length prefix).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = String::new();
+    encode_response_into(resp, &mut out);
+    out.into_bytes()
+}
+
+/// [`encode_response`] appending to a caller-owned string (see
+/// [`encode_request_into`]).
+pub fn encode_response_into(resp: &Response, out: &mut String) {
     match resp {
         Response::Submitted { session, unique } => {
             out.push_str(&format!(
@@ -580,7 +610,6 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             ));
         }
     }
-    out.into_bytes()
 }
 
 /// Parses a response payload. Never panics on hostile input.
@@ -690,7 +719,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, WireError> {
     let Some(payload) = read_frame(r)? else {
         return Ok(None);
     };
-    decode_request_payload(payload).map(Some)
+    decode_request_payload(&payload).map(Some)
 }
 
 /// Writes one framed response.
@@ -701,12 +730,82 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireErr
 /// Reads one framed response. A response is always owed, so a clean
 /// close here is [`WireError::ConnectionClosed`].
 pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
-    let Some(payload) = read_frame(r)? else {
+    let mut scratch = Scratch::default();
+    read_response_buffered(r, &mut scratch)
+}
+
+/// Reusable per-connection encode/decode buffers: one payload buffer
+/// for inbound frames, one string for outbound encoding. A connection
+/// that serves many frames touches the allocator once per *high-water
+/// mark* instead of twice per request — the daemon hot-path trim
+/// (capacity stays bounded by [`MAX_FRAME_BYTES`]).
+#[derive(Default)]
+pub struct Scratch {
+    /// Inbound frame payload buffer.
+    pub(crate) payload: Vec<u8>,
+    /// Outbound encode buffer.
+    pub(crate) encode: String,
+    /// Outbound frame staging: length prefix + payload assembled here so
+    /// the whole frame leaves in one `write` syscall instead of two.
+    pub(crate) frame: Vec<u8>,
+}
+
+/// Stages `scratch.encode` as one contiguous frame (prefix + payload)
+/// and writes it with a single syscall. [`write_frame`] issues two
+/// writes per frame; on the busy loop that doubles syscalls and, on
+/// TCP, can split a frame across packets even with `TCP_NODELAY`.
+fn write_encoded_frame(w: &mut impl Write, scratch: &mut Scratch) -> Result<(), WireError> {
+    let payload = scratch.encode.as_bytes();
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized { len: payload.len() });
+    }
+    scratch.frame.clear();
+    scratch.frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    scratch.frame.extend_from_slice(payload);
+    w.write_all(&scratch.frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes one framed request through the connection's [`Scratch`].
+pub fn write_request_buffered(
+    w: &mut impl Write,
+    req: &Request,
+    scratch: &mut Scratch,
+) -> Result<(), WireError> {
+    scratch.encode.clear();
+    encode_request_into(req, &mut scratch.encode);
+    write_encoded_frame(w, scratch)
+}
+
+/// Writes one framed response through the connection's [`Scratch`].
+pub fn write_response_buffered(
+    w: &mut impl Write,
+    resp: &Response,
+    scratch: &mut Scratch,
+) -> Result<(), WireError> {
+    scratch.encode.clear();
+    encode_response_into(resp, &mut scratch.encode);
+    write_encoded_frame(w, scratch)
+}
+
+/// Reads one framed response through the connection's [`Scratch`].
+pub fn read_response_buffered(
+    r: &mut impl Read,
+    scratch: &mut Scratch,
+) -> Result<Response, WireError> {
+    let mut len_buf = [0u8; 4];
+    let got = read_full(r, &mut len_buf)?;
+    if got == 0 {
         return Err(WireError::ConnectionClosed);
-    };
-    let text = String::from_utf8(payload)
+    }
+    if got < 4 {
+        return Err(WireError::Truncated { expected: 4, got });
+    }
+    read_payload_into(r, u32::from_be_bytes(len_buf) as usize, &mut scratch.payload)?;
+    let text = std::str::from_utf8(&scratch.payload)
         .map_err(|_| WireError::Malformed("frame payload is not UTF-8".into()))?;
-    decode_response(&text)
+    decode_response(text)
 }
 
 #[cfg(test)]

@@ -2,12 +2,28 @@
 //!
 //! This is the compute substrate behind the im2col convolution path (the
 //! cuDNN-style baseline) and the Winograd batched elementwise stage. It
-//! uses classic cache blocking (MC x KC x NC macro-tiles with an 4x8
-//! register micro-kernel) and splits the M dimension across rayon
-//! workers — each worker owns a disjoint row band of `C`, so no
-//! synchronisation is needed and the result is bit-identical to the
-//! serial computation regardless of thread count.
+//! uses classic cache blocking (MC x KC x NC macro-tiles) with two
+//! register micro-kernels selected by [`KernelPath`]:
+//!
+//! * **scalar** — the reference `4x8` element-loop kernel;
+//! * **vector** — a 6-row micro-tile with fixed-width `[f32; LANES]`
+//!   lane accumulators and unrolled K-steps, written so the
+//!   autovectorizer must keep each output element in a SIMD lane. On
+//!   `x86_64` the same body is dispatched (runtime feature detection)
+//!   to a `6x32` clone compiled with 512-bit vectors when AVX-512F is
+//!   present, else a `6x16` AVX2 clone, else the `6x16` baseline
+//!   build; no FMA — fused multiply-add would change rounding.
+//!
+//! Both kernels accumulate every `C[i][j]` as a serial left-fold over
+//! `k` in ascending order, one accumulator per element, so the paths
+//! are **bit-identical** — the micro-tile shape only changes *which*
+//! independent folds run together, never the order of terms within one.
+//! The M dimension is split across rayon workers — each worker owns a
+//! disjoint row band of `C`, so no synchronisation is needed and the
+//! result is bit-identical to the serial computation regardless of
+//! thread count.
 
+use crate::kernel::KernelPath;
 use rayon::prelude::*;
 
 /// Row-major matrix view: `rows x cols`, leading dimension = `cols`.
@@ -33,21 +49,80 @@ impl<'a> MatRef<'a> {
 // Macro-tile sizes tuned for ~32 KiB L1 / 1 MiB L2; correctness does not
 // depend on them (tests sweep odd sizes).
 const MC: usize = 64;
-const KC: usize = 256;
-const NC: usize = 256;
-// Register micro-tile.
+const KC: usize = 512;
+const NC: usize = 512;
+// Scalar register micro-tile.
 const MR: usize = 4;
 const NR: usize = 8;
+// Vector register micro-tile: 6x16 = 12 lane-chunk accumulators of
+// [f32; LANES], which together with two B-row chunks and one broadcast
+// fits the 16 architectural 256-bit registers of AVX2.
+const MR_V: usize = 6;
+const NR_V: usize = 16;
+/// Elements per vector-kernel accumulator chunk (one 256-bit register
+/// of `f32`, or two 128-bit ones on SSE-only targets).
+pub const LANES: usize = 8;
+// AVX-512 tier: same 6-row tile, doubled lane width (6x32 = twelve
+// 512-bit accumulators; zmm has 32 architectural registers, so the two
+// B chunks and the broadcast fit with room to spare).
+const NR_V512: usize = 32;
+const LANES512: usize = 16;
+// K-step unroll depth of the vector micro-kernel.
+const KU: usize = 2;
 
-/// Single-threaded blocked GEMM: `c += a * b`.
+// Every micro-panel width must divide NC: the shared packed-B slots of
+// the parallel path are sized KC * NC, which covers a padded partial
+// panel only when NC is a multiple of the panel width.
+const _: () =
+    assert!(NC.is_multiple_of(NR) && NC.is_multiple_of(NR_V) && NC.is_multiple_of(NR_V512));
+
+/// A register micro-kernel: accumulates an `mr x nr` tile of `C` from
+/// packed A/B panels over `kc` terms. Passed as a generic (not a fn
+/// pointer) so each driver monomorphizes with its kernel inlined.
+trait MicroKernel: Fn(&[f32], &[f32], usize, &mut [f32], usize, usize, usize, usize) + Sync {}
+impl<F: Fn(&[f32], &[f32], usize, &mut [f32], usize, usize, usize, usize) + Sync> MicroKernel
+    for F
+{
+}
+
+/// Single-threaded blocked GEMM: `c += a * b`, on the path selected by
+/// `IOLB_KERNEL` (see [`KernelPath::from_env`]).
 ///
 /// `c` must be `a.rows * b.cols`, row-major.
 pub fn gemm_acc(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32]) {
+    gemm_acc_with_path(a, b, c, KernelPath::from_env());
+}
+
+/// [`gemm_acc`] with an explicit kernel path (tests diff the two).
+pub fn gemm_acc_with_path(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], path: KernelPath) {
+    match path {
+        KernelPath::Scalar => gemm_acc_driver::<MR, NR, _>(a, b, c, &micro_kernel),
+        KernelPath::Vector => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    return gemm_acc_driver::<MR_V, NR_V512, _>(a, b, c, &vector_micro_avx512());
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    return gemm_acc_driver::<MR_V, NR_V, _>(a, b, c, &vector_micro_avx2());
+                }
+            }
+            gemm_acc_driver::<MR_V, NR_V, _>(a, b, c, &micro_kernel_vector_portable)
+        }
+    }
+}
+
+fn gemm_acc_driver<const MRP: usize, const NRP: usize, F: MicroKernel>(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut [f32],
+    micro: &F,
+) {
     assert_eq!(a.cols, b.rows, "inner dimension mismatch");
     assert_eq!(c.len(), a.rows * b.cols, "output buffer size mismatch");
     let (m, k, n) = (a.rows, a.cols, b.cols);
 
-    let mut a_pack = vec![0.0f32; MC * KC];
+    let mut a_pack = vec![0.0f32; MC.div_ceil(MRP) * MRP * KC];
     let mut b_pack = vec![0.0f32; KC * NC];
 
     let mut jc = 0;
@@ -56,12 +131,12 @@ pub fn gemm_acc(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32]) {
         let mut pc = 0;
         while pc < k {
             let kc = KC.min(k - pc);
-            pack_b(b, pc, jc, kc, nc, &mut b_pack);
+            pack_b::<NRP>(b, pc, jc, kc, nc, &mut b_pack);
             let mut ic = 0;
             while ic < m {
                 let mc = MC.min(m - ic);
-                pack_a(a, ic, pc, mc, kc, &mut a_pack);
-                macro_kernel(&a_pack, &b_pack, c, ic, jc, mc, nc, kc, n);
+                pack_a::<MRP>(a, ic, pc, mc, kc, &mut a_pack);
+                macro_kernel::<MRP, NRP, _>(&a_pack, &b_pack, c, ic, jc, mc, nc, kc, n, micro);
                 ic += MC;
             }
             pc += KC;
@@ -70,41 +145,58 @@ pub fn gemm_acc(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32]) {
     }
 }
 
-/// Packs an `mc x kc` block of `a` into row-panels of height `MR`.
-fn pack_a(a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut [f32]) {
+/// Packs an `mc x kc` block of `a` into row-panels of height `MRP`.
+fn pack_a<const MRP: usize>(
+    a: MatRef<'_>,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    out: &mut [f32],
+) {
     let mut dst = 0;
     let mut i = 0;
     while i < mc {
-        let mr = MR.min(mc - i);
+        let mr = MRP.min(mc - i);
         for p in 0..kc {
-            for r in 0..MR {
-                out[dst] = if r < mr { a.at(ic + i + r, pc + p) } else { 0.0 };
-                dst += 1;
+            let col = &mut out[dst..dst + MRP];
+            for (r, slot) in col[..mr].iter_mut().enumerate() {
+                *slot = a.at(ic + i + r, pc + p);
             }
+            col[mr..].fill(0.0);
+            dst += MRP;
         }
-        i += MR;
+        i += MRP;
     }
 }
 
-/// Packs a `kc x nc` block of `b` into column-panels of width `NR`.
-fn pack_b(b: MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f32]) {
+/// Packs a `kc x nc` block of `b` into column-panels of width `NRP`.
+fn pack_b<const NRP: usize>(
+    b: MatRef<'_>,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    out: &mut [f32],
+) {
     let mut dst = 0;
     let mut j = 0;
     while j < nc {
-        let nr = NR.min(nc - j);
+        let nr = NRP.min(nc - j);
         for p in 0..kc {
-            for r in 0..NR {
-                out[dst] = if r < nr { b.at(pc + p, jc + j + r) } else { 0.0 };
-                dst += 1;
-            }
+            let src_at = (pc + p) * b.cols + jc + j;
+            let row = &mut out[dst..dst + NRP];
+            row[..nr].copy_from_slice(&b.data[src_at..src_at + nr]);
+            row[nr..].fill(0.0);
+            dst += NRP;
         }
-        j += NR;
+        j += NRP;
     }
 }
 
 /// Runs the packed micro-kernels over one macro-tile.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(
+fn macro_kernel<const MRP: usize, const NRP: usize, F: MicroKernel>(
     a_pack: &[f32],
     b_pack: &[f32],
     c: &mut [f32],
@@ -114,19 +206,20 @@ fn macro_kernel(
     nc: usize,
     kc: usize,
     ldc: usize,
+    micro: &F,
 ) {
     let mut j = 0;
     while j < nc {
-        let nr = NR.min(nc - j);
-        let b_panel = &b_pack[(j / NR) * kc * NR..][..kc * NR];
+        let nr = NRP.min(nc - j);
+        let b_panel = &b_pack[(j / NRP) * kc * NRP..][..kc * NRP];
         let mut i = 0;
         while i < mc {
-            let mr = MR.min(mc - i);
-            let a_panel = &a_pack[(i / MR) * kc * MR..][..kc * MR];
-            micro_kernel(a_panel, b_panel, kc, c, (ic + i) * ldc + jc + j, ldc, mr, nr);
-            i += MR;
+            let mr = MRP.min(mc - i);
+            let a_panel = &a_pack[(i / MRP) * kc * MRP..][..kc * MRP];
+            micro(a_panel, b_panel, kc, c, (ic + i) * ldc + jc + j, ldc, mr, nr);
+            i += MRP;
         }
-        j += NR;
+        j += NRP;
     }
 }
 
@@ -161,8 +254,208 @@ fn micro_kernel(
     }
 }
 
+/// Statement-level unroll over the vector micro-tile's row index: the
+/// body is stamped out once per row with `$i` bound to a literal, so
+/// every accumulator access below is a compile-time-constant index.
+/// That is what lets SROA promote the whole `6x16` accumulator tile
+/// into registers — one runtime-indexed access anywhere and the tile
+/// falls back to the stack, costing a load+store per lane op (measured
+/// ~2.5x slower).
+macro_rules! unroll_rows {
+    ($i:ident => $body:block) => {{
+        {
+            let $i: usize = 0;
+            $body
+        }
+        {
+            let $i: usize = 1;
+            $body
+        }
+        {
+            let $i: usize = 2;
+            $body
+        }
+        {
+            let $i: usize = 3;
+            $body
+        }
+        {
+            let $i: usize = 4;
+            $body
+        }
+        {
+            let $i: usize = 5;
+            $body
+        }
+    }};
+}
+// unroll_rows! covers exactly 0..MR_V; vector_step splits B into two chunks.
+const _: () = assert!(MR_V == 6 && NR_V == 2 * LANES && NR_V512 == 2 * LANES512);
+
+/// One K-step of the vector micro-kernel: rank-1 update of the full
+/// `MR_V x 2L` accumulator tile from fixed-size panel rows. The
+/// `[f32; L]` chunks are the vectorization contract — every lane is an
+/// independent output element's fold, so lane width never reorders
+/// terms. `L` is the ISA tier's register width in `f32`s (8 for
+/// AVX2/portable, 16 for AVX-512); `NRV == 2 * L` always.
+#[inline(always)]
+fn vector_step<const L: usize, const NRV: usize>(
+    acc: &mut [[[f32; L]; 2]; MR_V],
+    a_row: &[f32; MR_V],
+    b_row: &[f32; NRV],
+) {
+    const { assert!(NRV == 2 * L) }
+    let b0: [f32; L] = b_row[..L].try_into().unwrap();
+    let b1: [f32; L] = b_row[L..].try_into().unwrap();
+    unroll_rows!(i => {
+        let av = a_row[i];
+        for l in 0..L {
+            acc[i][0][l] += av * b0[l];
+        }
+        for l in 0..L {
+            acc[i][1][l] += av * b1[l];
+        }
+    });
+}
+
+/// `MR_V x NRV` vector micro-kernel body: same per-element fold as
+/// [`micro_kernel`] (ascending `p`, one accumulator each), K-unrolled by
+/// [`KU`]. Generic over the lane width so each ISA tier below stamps out
+/// its own copy; `#[inline(always)]` so each wrapper compiles it with
+/// its own target features.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel_vector_body<const L: usize, const NRV: usize>(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    c_off: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[[0.0f32; L]; 2]; MR_V];
+    let row_a = |p: usize| -> &[f32; MR_V] { a_panel[p * MR_V..].first_chunk().unwrap() };
+    let row_b = |p: usize| -> &[f32; NRV] { b_panel[p * NRV..].first_chunk().unwrap() };
+    let mut p = 0;
+    while p + KU <= kc {
+        vector_step::<L, NRV>(&mut acc, row_a(p), row_b(p));
+        vector_step::<L, NRV>(&mut acc, row_a(p + 1), row_b(p + 1));
+        p += KU;
+    }
+    while p < kc {
+        vector_step::<L, NRV>(&mut acc, row_a(p), row_b(p));
+        p += 1;
+    }
+    // Write-back. Every `acc` index below is a compile-time constant:
+    // one runtime-indexed read would make the tile addressable and force
+    // the register allocator to keep all accumulators on the stack
+    // (measured ~2x slower). Partial tiles go through a spill copy.
+    if mr == MR_V && nr == NRV {
+        unroll_rows!(i => {
+            let c_row = &mut c[c_off + i * ldc..][..NRV];
+            for l in 0..L {
+                c_row[l] += acc[i][0][l];
+            }
+            for l in 0..L {
+                c_row[L + l] += acc[i][1][l];
+            }
+        });
+    } else {
+        let mut spill = [[0.0f32; NRV]; MR_V];
+        unroll_rows!(i => {
+            for l in 0..L {
+                spill[i][l] = acc[i][0][l];
+            }
+            for l in 0..L {
+                spill[i][L + l] = acc[i][1][l];
+            }
+        });
+        for i in 0..mr {
+            for j in 0..nr {
+                c[c_off + i * ldc + j] += spill[i][j];
+            }
+        }
+    }
+}
+
+/// Portable vector kernel: the body under the build's baseline features.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_vector_portable(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    c_off: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    micro_kernel_vector_body::<LANES, NR_V>(a_panel, b_panel, kc, c, c_off, ldc, mr, nr);
+}
+
+/// The same body autovectorized with 256-bit registers. AVX2 widens the
+/// lanes but every lane op is still an exactly-rounded IEEE mul/add, so
+/// results stay bit-identical; FMA is deliberately *not* enabled.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_kernel_vector_avx2(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    c_off: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    micro_kernel_vector_body::<LANES, NR_V>(a_panel, b_panel, kc, c, c_off, ldc, mr, nr);
+}
+
+/// The widest tier: 512-bit registers, a `6 x 32` micro-tile (twelve
+/// zmm accumulators), still no FMA. Wider lanes only map more
+/// *independent* element folds per instruction — each `C[i][j]` keeps
+/// the exact same serial fold, so this tier too is bit-identical to
+/// scalar.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f")]
+unsafe fn micro_kernel_vector_avx512(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    c_off: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    micro_kernel_vector_body::<LANES512, NR_V512>(a_panel, b_panel, kc, c, c_off, ldc, mr, nr);
+}
+
+/// Safe shim over the AVX2 kernel. Callers must have checked
+/// `is_x86_feature_detected!("avx2")` — both dispatch sites do, right
+/// before taking this.
+#[cfg(target_arch = "x86_64")]
+fn vector_micro_avx2() -> impl MicroKernel {
+    |a: &[f32], b: &[f32], kc: usize, c: &mut [f32], off: usize, ldc: usize, mr: usize, nr: usize|
+        // SAFETY: guarded by the runtime AVX2 detection at the dispatch site.
+        unsafe { micro_kernel_vector_avx2(a, b, kc, c, off, ldc, mr, nr) }
+}
+
+/// Safe shim over the AVX-512 kernel; same detection contract as above.
+#[cfg(target_arch = "x86_64")]
+fn vector_micro_avx512() -> impl MicroKernel {
+    |a: &[f32], b: &[f32], kc: usize, c: &mut [f32], off: usize, ldc: usize, mr: usize, nr: usize|
+        // SAFETY: guarded by the runtime AVX-512F detection at the dispatch site.
+        unsafe { micro_kernel_vector_avx512(a, b, kc, c, off, ldc, mr, nr) }
+}
+
 /// Multi-threaded GEMM: `c = a * b` (output overwritten), M split across
-/// `threads` workers owning disjoint row bands of `C`.
+/// `threads` workers owning disjoint row bands of `C`, on the path
+/// selected by `IOLB_KERNEL` (see [`KernelPath::from_env`]).
 ///
 /// `B` is packed **once**, up front, into per-`(jc, pc)` macro-tile
 /// panels that every band worker reads; only the (band-private) `A`
@@ -173,14 +466,61 @@ fn micro_kernel(
 /// runs the same `jc -> pc -> ic` loop nest as the serial path, so the
 /// result is bit-identical to `gemm(.., 1)` regardless of thread count.
 pub fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], threads: usize) {
+    gemm_with_path(a, b, c, threads, KernelPath::from_env());
+}
+
+/// [`gemm`] with an explicit kernel path (tests diff the two).
+pub fn gemm_with_path(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut [f32],
+    threads: usize,
+    path: KernelPath,
+) {
     assert_eq!(a.cols, b.rows, "inner dimension mismatch");
     assert_eq!(c.len(), a.rows * b.cols, "output buffer size mismatch");
     c.fill(0.0);
     let threads = threads.max(1).min(a.rows.max(1));
     if threads == 1 || a.rows * b.cols < 64 * 64 {
-        gemm_acc(a, b, c);
+        gemm_acc_with_path(a, b, c, path);
         return;
     }
+    match path {
+        KernelPath::Scalar => gemm_par_driver::<MR, NR, _>(a, b, c, threads, &micro_kernel),
+        KernelPath::Vector => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    return gemm_par_driver::<MR_V, NR_V512, _>(
+                        a,
+                        b,
+                        c,
+                        threads,
+                        &vector_micro_avx512(),
+                    );
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    return gemm_par_driver::<MR_V, NR_V, _>(
+                        a,
+                        b,
+                        c,
+                        threads,
+                        &vector_micro_avx2(),
+                    );
+                }
+            }
+            gemm_par_driver::<MR_V, NR_V, _>(a, b, c, threads, &micro_kernel_vector_portable)
+        }
+    }
+}
+
+fn gemm_par_driver<const MRP: usize, const NRP: usize, F: MicroKernel>(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut [f32],
+    threads: usize,
+    micro: &F,
+) {
     let (m, k, n) = (a.rows, a.cols, b.cols);
 
     // Pack all of B serially (O(k*n) work against the O(m*k*n) compute
@@ -197,7 +537,7 @@ pub fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], threads: usize) {
         for pb in 0..k_blocks {
             let pc = pb * KC;
             let kc = KC.min(k - pc);
-            pack_b(b, pc, jc, kc, nc, &mut b_pack[(jb * k_blocks + pb) * slot..][..slot]);
+            pack_b::<NRP>(b, pc, jc, kc, nc, &mut b_pack[(jb * k_blocks + pb) * slot..][..slot]);
         }
     }
     let b_pack = &b_pack;
@@ -206,7 +546,7 @@ pub fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], threads: usize) {
     c.par_chunks_mut(band * n).enumerate().for_each(|(t, band_c)| {
         let row = t * band;
         let rows_here = band.min(m - row);
-        let mut a_pack = vec![0.0f32; MC * KC];
+        let mut a_pack = vec![0.0f32; MC.div_ceil(MRP) * MRP * KC];
         for jb in 0..n_blocks {
             let jc = jb * NC;
             let nc = NC.min(n - jc);
@@ -217,8 +557,10 @@ pub fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], threads: usize) {
                 let mut ic = 0;
                 while ic < rows_here {
                     let mc = MC.min(rows_here - ic);
-                    pack_a(a, row + ic, pc, mc, kc, &mut a_pack);
-                    macro_kernel(&a_pack, b_panel, band_c, ic, jc, mc, nc, kc, n);
+                    pack_a::<MRP>(a, row + ic, pc, mc, kc, &mut a_pack);
+                    macro_kernel::<MRP, NRP, _>(
+                        &a_pack, b_panel, band_c, ic, jc, mc, nc, kc, n, micro,
+                    );
                     ic += MC;
                 }
             }
@@ -259,13 +601,16 @@ mod tests {
         let br = MatRef::new(&b, k, n);
         let mut want = vec![0.0; m * n];
         gemm_naive(ar, br, &mut want);
-        let mut got = vec![0.0; m * n];
-        gemm(ar, br, &mut got, threads);
-        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
-            assert!(
-                (g - w).abs() <= 1e-3 + 1e-4 * w.abs(),
-                "({m}x{k}x{n}, t={threads}) mismatch at {i}: {g} vs {w}"
-            );
+        for path in [KernelPath::Scalar, KernelPath::Vector] {
+            let mut got = vec![0.0; m * n];
+            gemm_with_path(ar, br, &mut got, threads, path);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() <= 1e-3 + 1e-4 * w.abs(),
+                    "({m}x{k}x{n}, t={threads}, {}) mismatch at {i}: {g} vs {w}",
+                    path.label()
+                );
+            }
         }
     }
 
@@ -300,18 +645,46 @@ mod tests {
             let b = random_mat(&mut rng, k, n);
             let ar = MatRef::new(&a, m, k);
             let br = MatRef::new(&b, k, n);
-            let mut serial = vec![0.0; m * n];
-            gemm(ar, br, &mut serial, 1);
-            for threads in [2, 3, 8] {
-                let mut parallel = vec![0.0; m * n];
-                gemm(ar, br, &mut parallel, threads);
-                for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
-                    assert_eq!(
-                        s.to_bits(),
-                        p.to_bits(),
-                        "({m}x{k}x{n}, t={threads}) bit mismatch at {i}: {s} vs {p}"
-                    );
+            for path in [KernelPath::Scalar, KernelPath::Vector] {
+                let mut serial = vec![0.0; m * n];
+                gemm_with_path(ar, br, &mut serial, 1, path);
+                for threads in [2, 3, 8] {
+                    let mut parallel = vec![0.0; m * n];
+                    gemm_with_path(ar, br, &mut parallel, threads, path);
+                    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                        assert_eq!(
+                            s.to_bits(),
+                            p.to_bits(),
+                            "({m}x{k}x{n}, t={threads}, {}) bit mismatch at {i}: {s} vs {p}",
+                            path.label()
+                        );
+                    }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_path_bit_identical_to_scalar() {
+        // The kernel-path contract at its sharpest: micro-tile shape and
+        // lane width may differ, the per-element fold may not. The full
+        // shape sweep lives in tests/proptest_kernels.rs.
+        for (m, k, n) in [(1, 1, 1), (5, 7, 9), (67, 259, 131), (MC + 3, KC + 5, NC + 7)] {
+            let mut rng = StdRng::seed_from_u64(13);
+            let a = random_mat(&mut rng, m, k);
+            let b = random_mat(&mut rng, k, n);
+            let ar = MatRef::new(&a, m, k);
+            let br = MatRef::new(&b, k, n);
+            let mut scalar = vec![0.0; m * n];
+            gemm_with_path(ar, br, &mut scalar, 1, KernelPath::Scalar);
+            let mut vector = vec![0.0; m * n];
+            gemm_with_path(ar, br, &mut vector, 1, KernelPath::Vector);
+            for (i, (s, v)) in scalar.iter().zip(&vector).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    v.to_bits(),
+                    "({m}x{k}x{n}) scalar/vector bit mismatch at {i}: {s} vs {v}"
+                );
             }
         }
     }
@@ -327,9 +700,11 @@ mod tests {
         let b = vec![1.0, 0.0, 0.0, 1.0];
         let ar = MatRef::new(&a, 2, 2);
         let br = MatRef::new(&b, 2, 2);
-        let mut c = vec![10.0; 4];
-        gemm_acc(ar, br, &mut c);
-        assert_eq!(c, vec![11.0, 12.0, 13.0, 14.0]);
+        for path in [KernelPath::Scalar, KernelPath::Vector] {
+            let mut c = vec![10.0; 4];
+            gemm_acc_with_path(ar, br, &mut c, path);
+            assert_eq!(c, vec![11.0, 12.0, 13.0, 14.0], "{}", path.label());
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! the paper's dataflow — `dataflow::baselines` models exactly that.
 
 use crate::conv_ref::ConvParams;
-use crate::gemm::{gemm, MatRef};
+use crate::gemm::{gemm_with_path, MatRef};
+use crate::kernel::KernelPath;
 use crate::tensor::Tensor4;
 
 /// Unrolls one image of `input` into the im2col matrix, row-major
@@ -60,13 +61,26 @@ pub fn flatten_weights(weights: &Tensor4) -> Vec<f32> {
     m
 }
 
-/// Full convolution via im2col + GEMM; numerically equivalent to
+/// Full convolution via im2col + GEMM on the path selected by
+/// `IOLB_KERNEL`; numerically equivalent to
 /// [`crate::conv_ref::conv2d_reference`].
 pub fn conv2d_im2col(
     input: &Tensor4,
     weights: &Tensor4,
     params: ConvParams,
     threads: usize,
+) -> Tensor4 {
+    conv2d_im2col_with_path(input, weights, params, threads, KernelPath::from_env())
+}
+
+/// [`conv2d_im2col`] with an explicit GEMM kernel path — the two paths
+/// are bit-identical (the benchmark sweep diffs them every run).
+pub fn conv2d_im2col_with_path(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    threads: usize,
+    path: KernelPath,
 ) -> Tensor4 {
     assert_eq!(input.c, weights.c, "C_in mismatch");
     let (kh, kw) = (weights.h, weights.w);
@@ -81,7 +95,7 @@ pub fn conv2d_im2col(
         let (cols, rows_dim, cols_dim) = im2col(input, n, kh, kw, params);
         let col_ref = MatRef::new(&cols, rows_dim, cols_dim);
         let dst = &mut out.as_mut_slice()[n * image_len..(n + 1) * image_len];
-        gemm(w_ref, col_ref, dst, threads);
+        gemm_with_path(w_ref, col_ref, dst, threads, path);
     }
     out
 }
@@ -148,6 +162,19 @@ mod tests {
     #[test]
     fn matches_reference_1x1_kernel() {
         check(1, 8, 6, 8, 1, 1, 0, 6);
+    }
+
+    #[test]
+    fn path_variants_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let input = Tensor4::random(2, 3, 9, 9, &mut rng);
+        let weights = Tensor4::random(4, 3, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 1);
+        let s = conv2d_im2col_with_path(&input, &weights, params, 2, KernelPath::Scalar);
+        let v = conv2d_im2col_with_path(&input, &weights, params, 2, KernelPath::Vector);
+        let sb: Vec<u32> = s.as_slice().iter().map(|f| f.to_bits()).collect();
+        let vb: Vec<u32> = v.as_slice().iter().map(|f| f.to_bits()).collect();
+        assert_eq!(sb, vb);
     }
 
     #[test]

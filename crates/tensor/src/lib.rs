@@ -10,8 +10,10 @@
 //!   indexing and approximate comparison.
 //! * [`conv_ref`] — the golden-reference direct convolution (the oracle
 //!   every other path is tested against).
-//! * [`gemm`] — blocked, multi-threaded `f32` GEMM (crossbeam scoped
-//!   threads over disjoint row bands).
+//! * [`gemm`] — blocked, multi-threaded `f32` GEMM (rayon workers over
+//!   disjoint row bands) with scalar and vectorized micro-kernels.
+//! * [`kernel`] — the `IOLB_KERNEL=scalar|vector` runtime switch between
+//!   the bit-identical kernel paths.
 //! * [`im2col`] — the cuDNN-style image-to-column convolution path built on
 //!   the GEMM (the paper's direct-convolution baseline).
 //! * [`winograd_math`] — Cook–Toom generation of the `A`/`B`/`G` (the
@@ -39,6 +41,7 @@
 pub mod conv_ref;
 pub mod gemm;
 pub mod im2col;
+pub mod kernel;
 pub mod layout;
 pub mod tensor;
 pub mod winograd_conv;
@@ -46,6 +49,7 @@ pub mod winograd_math;
 
 pub use conv_ref::{conv2d_reference, ConvParams};
 pub use im2col::conv2d_im2col;
+pub use kernel::KernelPath;
 pub use layout::Layout;
 pub use tensor::Tensor4;
 pub use winograd_conv::{conv2d_winograd, WinogradPlan};

@@ -12,10 +12,23 @@
 //! on `(cout, cin)`), matching practical implementations. Outputs whose
 //! tile hangs past the edge are handled by zero-padding the virtual input
 //! and discarding out-of-range outputs, so arbitrary output sizes work.
+//!
+//! Two execution paths, selected by [`KernelPath`]:
+//!
+//! * **scalar** — the reference implementation: per-tile [`Mat`]
+//!   temporaries, input transform recomputed for every output channel.
+//! * **vector** — flat preallocated scratch, the input transform `P`
+//!   hoisted out of the `co` loop (it depends only on `(n, ci, tile)`),
+//!   and all matrix products through [`matmul_flat`], whose inner loop is a
+//!   unit-stride row axpy the autovectorizer maps onto SIMD lanes.
+//!
+//! The vector path preserves the scalar fold order *exactly* (see
+//! [`matmul_flat`]), so the two paths are **bit-identical** — no epsilon.
 
 use crate::conv_ref::ConvParams;
+use crate::kernel::KernelPath;
 use crate::tensor::Tensor4;
-use crate::winograd_math::{generate, Mat, Transforms};
+use crate::winograd_math::{generate, matmul_flat, Mat, Transforms};
 
 /// Pre-transformed kernels plus the transform set: reusable across calls
 /// with the same weights.
@@ -23,6 +36,12 @@ pub struct WinogradPlan {
     t: Transforms,
     /// `J[co][ci]`: `a x a` transformed kernel.
     transformed: Vec<Mat>,
+    /// `B = (B^T)^T`, hoisted for the vector path (the scalar path
+    /// recomputes it per tile, which is bit-identical — `t()` is a pure
+    /// permutation).
+    b_mat: Mat,
+    /// `A = (A^T)^T`, hoisted likewise.
+    a_mat: Mat,
     cout: usize,
     cin: usize,
 }
@@ -50,7 +69,9 @@ impl WinogradPlan {
                 transformed.push(j);
             }
         }
-        Self { t, transformed, cout: weights.n, cin: weights.c }
+        let b_mat = t.bt.t();
+        let a_mat = t.at.t();
+        Self { t, transformed, b_mat, a_mat, cout: weights.n, cin: weights.c }
     }
 
     fn kernel(&self, co: usize, ci: usize) -> &Mat {
@@ -76,14 +97,36 @@ pub fn conv2d_winograd(
     conv2d_winograd_with_plan(input, &plan, params)
 }
 
-/// Winograd convolution with a prebuilt plan.
+/// Winograd convolution with a prebuilt plan, on the path selected by
+/// `IOLB_KERNEL` (see [`KernelPath::from_env`]).
 pub fn conv2d_winograd_with_plan(
     input: &Tensor4,
     plan: &WinogradPlan,
     params: ConvParams,
 ) -> Tensor4 {
+    conv2d_winograd_with_plan_path(input, plan, params, KernelPath::from_env())
+}
+
+/// [`conv2d_winograd_with_plan`] with an explicit kernel path (tests
+/// diff the two — they are bit-identical).
+pub fn conv2d_winograd_with_plan_path(
+    input: &Tensor4,
+    plan: &WinogradPlan,
+    params: ConvParams,
+    path: KernelPath,
+) -> Tensor4 {
     assert_eq!(params.stride, 1, "winograd requires unit stride");
     assert_eq!(input.c, plan.cin, "C_in mismatch");
+    match path {
+        KernelPath::Scalar => winograd_scalar(input, plan, params),
+        KernelPath::Vector => winograd_vector(input, plan, params),
+    }
+}
+
+/// The reference path: per-tile [`Mat`] temporaries, `P` recomputed per
+/// output channel. Kept verbatim as the oracle the vector path is
+/// diffed against.
+fn winograd_scalar(input: &Tensor4, plan: &WinogradPlan, params: ConvParams) -> Tensor4 {
     let t = &plan.t;
     let (e, r, a) = (t.e, t.r, t.a());
     let oh = params.out_extent(input.h, r);
@@ -132,6 +175,90 @@ pub fn conv2d_winograd_with_plan(
                             let xx = tx * e + dx;
                             if yy < oh && xx < ow {
                                 *out.at_mut(n, co, yy, xx) = y_tile.at(dy, dx) as f32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The vectorized path. Same per-element DAG as [`winograd_scalar`] —
+/// three restructurings, none of which touch any element's fold order:
+///
+/// 1. `P = B^T d B` is hoisted out of the `co` loop: it depends only on
+///    `(n, ci, tile)`, and the scalar path recomputes the identical
+///    bits `cout` times.
+/// 2. All tile products go through [`matmul_flat`] into preallocated flat
+///    scratch — no per-tile allocation, autovectorizable inner rows.
+/// 3. The Hadamard-accumulate runs over the flat `a*a` tile per `ci`
+///    (ascending, exactly the scalar accumulation order), a lane-
+///    parallel multiply-add the autovectorizer picks up.
+fn winograd_vector(input: &Tensor4, plan: &WinogradPlan, params: ConvParams) -> Tensor4 {
+    let t = &plan.t;
+    let (e, r, a) = (t.e, t.r, t.a());
+    let aa = a * a;
+    let oh = params.out_extent(input.h, r);
+    let ow = params.out_extent(input.w, r);
+    let mut out = Tensor4::zeros(input.n, plan.cout, oh, ow);
+
+    let tiles_y = oh.div_ceil(e);
+    let tiles_x = ow.div_ceil(e);
+
+    let bt = &t.bt.data;
+    let b = &plan.b_mat.data;
+    let at = &t.at.data;
+    let a_t = &plan.a_mat.data;
+
+    // Flat scratch reused across tiles.
+    let mut patch = vec![0.0f64; aa];
+    let mut tmp = vec![0.0f64; aa];
+    let mut p_all = vec![0.0f64; input.c * aa]; // P per input channel
+    let mut pi = vec![0.0f64; aa];
+    let mut y_tmp = vec![0.0f64; e * a];
+    let mut y_tile = vec![0.0f64; e * e];
+
+    for n in 0..input.n {
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                let oy = (ty * e) as isize - params.pad as isize;
+                let ox = (tx * e) as isize - params.pad as isize;
+                // Step 1 (hoisted): P = B^T d B for every input channel.
+                for ci in 0..input.c {
+                    for y in 0..a {
+                        for x in 0..a {
+                            patch[y * a + x] =
+                                input.at_padded(n, ci, oy + y as isize, ox + x as isize) as f64;
+                        }
+                    }
+                    matmul_flat(bt, &patch, &mut tmp, a, a, a);
+                    matmul_flat(&tmp, b, &mut p_all[ci * aa..(ci + 1) * aa], a, a, a);
+                }
+                for co in 0..plan.cout {
+                    // Steps 2+3: Pi = sum_ci P ⊙ J, `ci` ascending — the
+                    // scalar accumulation order, `aa` independent lanes.
+                    pi.fill(0.0);
+                    for ci in 0..input.c {
+                        let p = &p_all[ci * aa..][..aa];
+                        let j = &plan.kernel(co, ci).data;
+                        for (o, (&pv, &jv)) in pi.iter_mut().zip(p.iter().zip(j.iter())) {
+                            *o += pv * jv;
+                        }
+                    }
+                    // Step 4: Y = A^T Pi A.
+                    matmul_flat(at, &pi, &mut y_tmp, e, a, a);
+                    matmul_flat(&y_tmp, a_t, &mut y_tile, e, a, e);
+                    for dy in 0..e {
+                        let yy = ty * e + dy;
+                        if yy >= oh {
+                            break;
+                        }
+                        for dx in 0..e {
+                            let xx = tx * e + dx;
+                            if xx < ow {
+                                *out.at_mut(n, co, yy, xx) = y_tile[dy * e + dx] as f32;
                             }
                         }
                     }
@@ -210,6 +337,28 @@ mod tests {
     #[test]
     fn single_channel_single_kernel() {
         check(1, 1, 6, 1, 3, 2, 0, 8);
+    }
+
+    #[test]
+    fn vector_path_bit_identical_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Exact tiling, ragged tiles, padding, multi-batch, odd F(e,r).
+        for (n, cin, hw, cout, r, e, pad) in [
+            (1, 3, 8, 4, 3, 2, 0),
+            (2, 2, 7, 3, 3, 4, 1),
+            (1, 1, 6, 2, 2, 3, 0),
+            (1, 4, 9, 2, 3, 2, 1),
+        ] {
+            let input = Tensor4::random(n, cin, hw, hw, &mut rng);
+            let weights = Tensor4::random(cout, cin, r, r, &mut rng);
+            let params = ConvParams::new(1, pad);
+            let plan = WinogradPlan::new(&weights, e);
+            let s = conv2d_winograd_with_plan_path(&input, &plan, params, KernelPath::Scalar);
+            let v = conv2d_winograd_with_plan_path(&input, &plan, params, KernelPath::Vector);
+            let sb: Vec<u32> = s.as_slice().iter().map(|f| f.to_bits()).collect();
+            let vb: Vec<u32> = v.as_slice().iter().map(|f| f.to_bits()).collect();
+            assert_eq!(sb, vb, "n={n} cin={cin} hw={hw} cout={cout} F({e},{r}) pad={pad}");
+        }
     }
 
     #[test]

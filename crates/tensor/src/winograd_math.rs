@@ -106,6 +106,35 @@ impl Mat {
     }
 }
 
+/// `out = lhs * rhs` over flat row-major `f64` slices (`m x k` times
+/// `k x n`), preserving [`Mat::matmul`]'s fold order **exactly**: for
+/// each output row, `k` ascends and rows of `rhs` whose `lhs`
+/// coefficient is zero are skipped, so every `out[i][j]` sees the same
+/// terms in the same order as [`Mat::matmul`] (the skip matters —
+/// `-0.0 + 0.0*b` can flip a sign bit). The inner loop is a unit-stride
+/// axpy over the output row: independent element folds side by side,
+/// the shape the autovectorizer maps onto SIMD lanes. This is the
+/// allocation-free substrate of the vectorized Winograd paths.
+pub fn matmul_flat(lhs: &[f64], rhs: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(lhs.len(), m * k);
+    debug_assert_eq!(rhs.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for i in 0..m {
+        let out_row = &mut out[i * n..][..n];
+        for p in 0..k {
+            let a = lhs[i * k + p];
+            if a == 0.0 {
+                continue;
+            }
+            let rhs_row = &rhs[p * n..][..n];
+            for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
 /// Solves `m x = b` by Gaussian elimination with partial pivoting.
 /// `m` must be square and non-singular.
 pub fn solve(m: &Mat, b: &[f64]) -> Vec<f64> {

@@ -19,8 +19,8 @@ use conv_iolb::core::shapes::ConvShape;
 use conv_iolb::gpusim::DeviceSpec;
 use conv_iolb::records::RecordStore;
 use conv_iolb::service::{
-    Backend, BackendSession, Daemon, DaemonConfig, ServeSource, ServiceConfig, ShardedStore,
-    SocketBackend, TuneRequest,
+    Backend, BackendSession, Daemon, DaemonConfig, EvictionPolicy, ServeSource, ServiceConfig,
+    ShardedStore, SocketBackend, TuneRequest,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -175,6 +175,66 @@ fn daemon_served_configs_are_bit_identical_to_eager() {
     let (store, report) = ShardedStore::load(&dir).unwrap();
     assert!(report.is_clean());
     assert!(!store.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ISSUE 9 satellite: a daemon configured with an eviction policy trims
+/// its store on the persister tick — the dropped count shows up in the
+/// `iolb_evictions_total` counter, the store converges to one best
+/// record per workload (the best is never evicted, so served bits stay
+/// exact), and what lands on disk is the trimmed state.
+#[test]
+fn scheduled_eviction_trims_store_on_the_persister_tick() {
+    let dir = temp_dir("evict");
+    let sock = std::env::temp_dir().join(format!("iolb-daemon-evict-{}.sock", unique_tag()));
+    let config = DaemonConfig {
+        evict: Some(EvictionPolicy { max_records: 3, top_k: 1 }),
+        ..daemon_config()
+    };
+    let (daemon, _) = Daemon::bind(&dir, &sock, config).unwrap();
+    let server = std::thread::spawn(move || daemon.run().unwrap());
+
+    let backend = SocketBackend::connect(&sock).unwrap();
+    let results = backend.submit_batch(&requests(), &device()).unwrap().wait().unwrap();
+    assert_eq!(results.len(), 5);
+
+    // Three unique workloads tuned at budget 12 leave well over
+    // `max_records` records in memory; the next persister tick (50 ms
+    // merge interval) must trim them. Poll the counter, bounded.
+    let mut evicted = 0;
+    for _ in 0..100 {
+        let snap = backend.stats().unwrap();
+        if let Some(n) = snap.metrics.counter("iolb_evictions_total") {
+            if n > 0 {
+                evicted = n;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(evicted > 0, "persister tick never evicted");
+
+    // Tight budget + top_k 1: the floor is one best record per workload.
+    let sync = backend.sync().unwrap();
+    assert!(sync.persisted);
+    assert_eq!(sync.total, 3, "one best record per unique workload");
+
+    // Serving after the trim replays the kept best records bit-exactly,
+    // with no re-measurement: eviction never drops a workload's best.
+    let replay = backend.submit_batch(&requests(), &device()).unwrap().wait().unwrap();
+    for (before, after) in results.iter().zip(&replay) {
+        let (before, after) = (before.as_ref().unwrap(), after.as_ref().unwrap());
+        assert_eq!(after.cost_ms.to_bits(), before.cost_ms.to_bits());
+        assert_eq!(after.config, before.config);
+        assert_eq!(after.fresh_measurements, 0, "best record survived eviction");
+    }
+    backend.shutdown().unwrap();
+    server.join().unwrap();
+
+    // The directory holds the trimmed store, not the pre-eviction one.
+    let (store, report) = ShardedStore::load(&dir).unwrap();
+    assert!(report.is_clean());
+    assert_eq!(store.len(), 3);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -10,6 +10,15 @@
 mod common;
 
 use common::{assert_identical, run_tuning};
+use conv_iolb::core::shapes::WinogradTile;
+use conv_iolb::dataflow::exec::{execute_direct_with_path, execute_winograd_with_path};
+use conv_iolb::dataflow::ScheduleConfig;
+use conv_iolb::tensor::conv_ref::ConvParams;
+use conv_iolb::tensor::kernel::KernelPath;
+use conv_iolb::tensor::layout::Layout;
+use conv_iolb::tensor::tensor::Tensor4;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 #[test]
 fn same_seed_gives_identical_convergence_curves_with_rayon() {
@@ -17,6 +26,59 @@ fn same_seed_gives_identical_convergence_curves_with_rayon() {
     let b = run_tuning(0xD5EED);
     assert!(!a.curve.is_empty(), "tuning produced an empty curve");
     assert_identical(&a, &b, "run-to-run");
+}
+
+/// The `IOLB_KERNEL` switch must be invisible to determinism: both
+/// dataflow executors produce the same bits on the scalar and vector
+/// kernel paths, so nothing downstream of them (timing, tuning, replay)
+/// can depend on which path a host dispatches to. Uses the explicit
+/// `-_with_path` APIs — the env-var half of the contract lives in
+/// `determinism_serial.rs`, the only binary allowed to mutate the
+/// environment.
+#[test]
+fn kernel_path_switch_cannot_perturb_executor_bits() {
+    let mut rng = StdRng::seed_from_u64(0xD5EED);
+    let mut fill = |t: &mut Tensor4| {
+        for v in t.as_mut_slice().iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+    };
+    let mut input = Tensor4::zeros(2, 8, 8, 8);
+    let mut weights = Tensor4::zeros(8, 8, 3, 3);
+    fill(&mut input);
+    fill(&mut weights);
+    let params = ConvParams { stride: 1, pad: 1 };
+    let cfg = ScheduleConfig {
+        x: 4,
+        y: 4,
+        z: 2,
+        nxt: 1,
+        nyt: 1,
+        nzt: 1,
+        sb_bytes: 48 * 1024,
+        layout: Layout::Chw,
+    };
+
+    let direct_scalar =
+        execute_direct_with_path(&input, &weights, params, &cfg, 4, KernelPath::Scalar);
+    let direct_vector =
+        execute_direct_with_path(&input, &weights, params, &cfg, 4, KernelPath::Vector);
+    assert_eq!(
+        direct_scalar.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        direct_vector.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        "direct executor bits differ across kernel paths"
+    );
+
+    let tile = WinogradTile::F2X3;
+    let wino_scalar =
+        execute_winograd_with_path(&input, &weights, params, tile, &cfg, 4, KernelPath::Scalar);
+    let wino_vector =
+        execute_winograd_with_path(&input, &weights, params, tile, &cfg, 4, KernelPath::Vector);
+    assert_eq!(
+        wino_scalar.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        wino_vector.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        "winograd executor bits differ across kernel paths"
+    );
 }
 
 #[test]
