@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Fusion-aware tuning smoke: run `tune-bench replay --fuse` on a tiny
+# model-zoo mix. The fuse pass segments each network into conv→relu(→pool)
+# blocks, tunes gate-approved chains as composite workloads through BOTH
+# the embedded service and a live daemon (wire v5 "epi"/"fused" grammar),
+# asserts the fused totals are bit-identical across modes, and emits the
+# fused-vs-per-layer split into the v3 bench schema. `tune-cache
+# check-bench` gates the schema — including the strict perf win: the
+# fused total must be strictly below the per-layer total. This script
+# additionally re-asserts the win from the emitted JSON so a validator
+# regression cannot mask it. The caller's RAYON_NUM_THREADS is honored.
+set -euo pipefail
+
+TB=target/release/tune-bench
+TC=target/release/tune-cache
+OUT=$(mktemp /tmp/iolb-bench-fusion.XXXXXX.json)
+trap 'rm -f "$OUT"' EXIT
+
+"$TB" replay --networks alexnet,squeezenet --clients 2 --repeat 2 --budget 4 --fuse -o "$OUT"
+
+# Schema + invariants gate (v3: fuse fields present, gate fused at least
+# one chain, fused total strictly below the per-layer total).
+"$TC" check-bench "$OUT"
+
+# Re-assert the headline numbers straight from the artifact.
+summary=$(tail -n 1 "$OUT")
+case "$summary" in
+  *'"fuse":1'*) ;;
+  *) echo "fusion smoke: summary line is missing \"fuse\":1: $summary"; exit 1 ;;
+esac
+
+fused=$(echo "$summary" | sed -n 's/.*"fused_total_cost_ms":\([0-9.eE+-]*\).*/\1/p')
+perlayer=$(echo "$summary" | sed -n 's/.*"perlayer_total_cost_ms":\([0-9.eE+-]*\).*/\1/p')
+if [ -z "$fused" ] || [ -z "$perlayer" ]; then
+  echo "fusion smoke: could not extract fused/per-layer totals: $summary"
+  exit 1
+fi
+if ! awk -v f="$fused" -v p="$perlayer" 'BEGIN { exit !(f < p) }'; then
+  echo "fusion smoke: fused total $fused is not below per-layer total $perlayer"
+  exit 1
+fi
+
+echo "fusion smoke OK: fused ${fused} ms < per-layer ${perlayer} ms"

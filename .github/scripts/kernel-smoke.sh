@@ -15,7 +15,9 @@ TC=target/release/tune-cache
 OUT=$(mktemp /tmp/iolb-bench-kernels.XXXXXX.json)
 trap 'rm -f "$OUT"' EXIT
 
-"$TB" kernels --sizes 64,128 --networks alexnet --max-layers 2 --reps 2 -o "$OUT"
+# --threads 2 emits each timed GEMM/im2col shape at both 1 thread and
+# 2 threads (v2 rows carry a "threads" field the validator requires).
+"$TB" kernels --sizes 64,128 --networks alexnet --max-layers 2 --reps 2 --threads 2 -o "$OUT"
 
 # The bench file must pass the schema/invariant/perf gate.
 "$TC" check-bench "$OUT"

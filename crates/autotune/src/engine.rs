@@ -226,6 +226,7 @@ pub fn tune(
 /// primary key for everything this `(space, measurer)` pair measures.
 pub fn workload_for(space: &ConfigSpace, measurer: &Measurer) -> Workload {
     Workload::new(space.shape, space.kind, measurer.device.name, measurer.device.smem_per_sm)
+        .with_epilogue(measurer.epilogue)
 }
 
 /// Outcome of a store-backed tuning run: the ordinary [`TuneResult`]
@@ -433,7 +434,14 @@ pub fn tune_batch(
         .par_iter()
         .map(|req| {
             let mut private = RecordStore::new();
-            let mut s = crate::plan::tuner_setup(&req.shape, req.kind, device, budget, seed);
+            let mut s = crate::plan::tuner_setup_fused(
+                &req.shape,
+                req.kind,
+                req.epilogue,
+                device,
+                budget,
+                seed,
+            );
             let out = tune_with_store(
                 &s.space,
                 &s.measurer,
@@ -790,10 +798,8 @@ mod tests {
         let a = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
         let b = ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0);
         // Four requests, two unique workloads: a appears three times.
-        let requests: Vec<BatchRequest> = [a, a, b, a]
-            .iter()
-            .map(|&shape| BatchRequest { shape, kind: TileKind::Direct })
-            .collect();
+        let requests: Vec<BatchRequest> =
+            [a, a, b, a].iter().map(|&shape| BatchRequest::bare(shape, TileKind::Direct)).collect();
         let out = tune_batch(&requests, &device, 12, 7);
         assert_eq!(out.unique_runs, 2);
         assert_eq!(out.deduped, 2);
@@ -842,7 +848,7 @@ mod tests {
         let ok = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
         let device = DeviceSpec::v100();
         let hopeless = DeviceSpec { smem_per_sm: 1, ..device.clone() };
-        let requests = [BatchRequest { shape: ok, kind: TileKind::Direct }];
+        let requests = [BatchRequest::bare(ok, TileKind::Direct)];
         let out = tune_batch(&requests, &hopeless, 8, 7);
         assert!(out.results[0].is_none());
         assert!(out.store.is_empty());

@@ -23,6 +23,10 @@
 //!   algorithm candidates, the no-search [`plan::fast_config`], and the
 //!   canonical [`plan::tuner_setup`] every layer-level consumer builds
 //!   its runs from.
+//! * [`fusion`] — the analytic fusion gate: decides from the composite
+//!   I/O lower bound and a device cost model whether a conv→epilogue
+//!   chain is tuned fused or falls back to per-layer workloads, before
+//!   any measurement is spent.
 //!
 //! ```
 //! use iolb_autotune::plan;
@@ -43,6 +47,7 @@
 pub mod cost_model;
 pub mod engine;
 pub mod features;
+pub mod fusion;
 pub mod gbt;
 pub mod measure;
 pub mod plan;
@@ -54,6 +59,7 @@ pub use engine::{
     tune, tune_batch, tune_with_store, tune_with_store_mode, workload_for, BatchTuneOutcome,
     CurvePoint, StoreMode, StoreTuneResult, TuneParams, TuneResult,
 };
+pub use fusion::{fusion_gate, FusionDecision};
 pub use measure::Measurer;
 pub use plan::BatchRequest;
 pub use search::{History, Searcher};

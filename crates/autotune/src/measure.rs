@@ -6,6 +6,7 @@
 //! `iolb-gpusim` engine — a consistent, configuration-sensitive cost
 //! signal whose minima sit where the theory predicts.
 
+use iolb_core::epilogue::Epilogue;
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
 use iolb_dataflow::config::ScheduleConfig;
@@ -19,11 +20,23 @@ pub struct Measurer {
     pub device: DeviceSpec,
     pub shape: ConvShape,
     pub kind: TileKind,
+    /// Fused epilogue of the chain under measurement. When non-`None`,
+    /// every measured time includes the analytic fused-epilogue term
+    /// ([`crate::fusion::epilogue_fused_ms`]) on top of the simulated
+    /// conv kernel — so fused and unfused records are comparable wall
+    /// times, not conv-only times.
+    pub epilogue: Epilogue,
 }
 
 impl Measurer {
     pub fn new(device: DeviceSpec, shape: ConvShape, kind: TileKind) -> Self {
-        Self { device, shape, kind }
+        Self { device, shape, kind, epilogue: Epilogue::None }
+    }
+
+    /// The same measurer fused with `epilogue` (builder-style).
+    pub fn with_epilogue(mut self, epilogue: Epilogue) -> Self {
+        self.epilogue = epilogue;
+        self
     }
 
     /// Measured execution time in milliseconds, or `None` for
@@ -39,7 +52,8 @@ impl Measurer {
             TileKind::Direct => direct_kernel(&self.shape, cfg),
             TileKind::Winograd(t) => winograd_kernel(&self.shape, t, cfg),
         };
-        simulate(&self.device, &kernel).ok().map(|s| s.time_ms)
+        let epi_ms = crate::fusion::epilogue_fused_ms(&self.shape, self.epilogue, &self.device);
+        simulate(&self.device, &kernel).ok().map(|s| s.time_ms + epi_ms)
     }
 
     /// Measures a whole proposal batch on rayon workers.
@@ -59,7 +73,7 @@ impl Measurer {
         let flops = match self.kind {
             TileKind::Direct => self.shape.flops() as f64,
             TileKind::Winograd(t) => iolb_core::Algorithm::Winograd(t).flops(&self.shape),
-        };
+        } + self.epilogue.flops(&self.shape);
         flops / (time_ms * 1e-3) / 1e9
     }
 }
@@ -123,6 +137,27 @@ mod tests {
         let serial: Vec<Option<f64>> = cfgs.iter().map(|c| m.measure_ms(c)).collect();
         assert_eq!(parallel, serial);
         assert!(parallel[2].is_none(), "oversized staging buffer must fail to build");
+    }
+
+    #[test]
+    fn fused_measurement_adds_a_deterministic_epilogue_term() {
+        use iolb_core::epilogue::Epilogue;
+        let bare = measurer();
+        let t_bare = bare.measure_ms(&cfg()).unwrap();
+        for epilogue in [Epilogue::Relu, Epilogue::ReluPool { k: 2 }] {
+            let fused = measurer().with_epilogue(epilogue);
+            let t_fused = fused.measure_ms(&cfg()).unwrap();
+            let epi = crate::fusion::epilogue_fused_ms(&fused.shape, epilogue, &fused.device);
+            assert_ne!(epi, 0.0);
+            assert_eq!(t_fused.to_bits(), (t_bare + epi).to_bits(), "{epilogue}: term not exact");
+            // And repeatably so.
+            assert_eq!(t_fused.to_bits(), fused.measure_ms(&cfg()).unwrap().to_bits());
+        }
+        // Relu only adds resident arithmetic, so its term is positive; a
+        // fused pool *saves* write-back traffic and may come out ahead of
+        // the bare conv — the sign is the model's call, exactness is ours.
+        let relu = crate::fusion::epilogue_fused_ms(&bare.shape, Epilogue::Relu, &bare.device);
+        assert!(relu > 0.0);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::measure::Measurer;
 use crate::search::walk::ParallelRandomWalk;
 use crate::space::ConfigSpace;
 use crate::GbtCostModel;
+use iolb_core::epilogue::Epilogue;
 use iolb_core::optimality::{best_tile, divisors, TileKind};
 use iolb_core::shapes::{ConvShape, WinogradTile};
 use iolb_dataflow::config::ScheduleConfig;
@@ -134,10 +135,35 @@ pub fn tuner_setup(
     budget: usize,
     seed: u64,
 ) -> TunerSetup {
-    let space = ConfigSpace::new(*shape, kind, device.smem_per_sm, true);
-    let measurer = Measurer::new(device.clone(), *shape, kind);
+    tuner_setup_fused(shape, kind, Epilogue::None, device, budget, seed)
+}
+
+/// The canonical tuner for a fused conv→epilogue chain: identical to
+/// [`tuner_setup`] except the space honours the epilogue's tiling grid
+/// and the measurer folds the analytic fused-epilogue term into every
+/// cost. Warm seeds from [`fast_config`] that fall off the fused tile
+/// grid are dropped (the walk then seeds from the space itself), so the
+/// trajectory stays a pure function of
+/// `(shape, kind, epilogue, device, budget, seed)`.
+pub fn tuner_setup_fused(
+    shape: &ConvShape,
+    kind: TileKind,
+    epilogue: Epilogue,
+    device: &DeviceSpec,
+    budget: usize,
+    seed: u64,
+) -> TunerSetup {
+    let space = ConfigSpace::fused(*shape, kind, device.smem_per_sm, true, epilogue);
+    let measurer = Measurer::new(device.clone(), *shape, kind).with_epilogue(epilogue);
     let model = GbtCostModel::default();
-    let seeds = fast_config(shape, kind, device).into_iter().collect();
+    let mut seeds: Vec<ScheduleConfig> = fast_config(shape, kind, device).into_iter().collect();
+    if !epilogue.is_none() {
+        // A fused space excludes tiles off the pool grid; an off-grid
+        // warm seed would be re-measured forever without ever being
+        // servable. (The unfused seed list is deliberately unfiltered —
+        // its trajectory predates fusion and must not move.)
+        seeds.retain(|c| space.contains(c));
+    }
     let searcher = ParallelRandomWalk::with_seeds(seeds);
     let params = TuneParams { max_measurements: budget, batch: 8, patience: budget, seed };
     TunerSetup { space, measurer, model, searcher, params }
@@ -189,31 +215,49 @@ pub fn anchor_fingerprint(workload: &iolb_records::Workload, floor: usize) -> St
 }
 
 /// One member of a batch tuning call ([`crate::engine::tune_batch`]): a
-/// layer shape plus the algorithm to tune it under. The device, budget
-/// and seed are batch-wide — a batch is "one network on one device".
+/// layer shape plus the algorithm to tune it under — and, for a fused
+/// chain, its epilogue. The device, budget and seed are batch-wide — a
+/// batch is "one network on one device".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchRequest {
     pub shape: ConvShape,
     pub kind: TileKind,
+    /// Fused epilogue of the chain; [`Epilogue::None`] for a bare conv.
+    pub epilogue: Epilogue,
 }
 
 impl BatchRequest {
+    /// A bare-conv request (the pre-fusion constructor shape).
+    pub fn bare(shape: ConvShape, kind: TileKind) -> Self {
+        Self { shape, kind, epilogue: Epilogue::None }
+    }
+
     /// The record-store identity of this request on a device.
     pub fn workload(&self, device: &DeviceSpec) -> iolb_records::Workload {
         iolb_records::Workload::new(self.shape, self.kind, device.name, device.smem_per_sm)
+            .with_epilogue(self.epilogue)
     }
 
     /// Canonical flat-JSON wire line for this request: the shape and
     /// algorithm under the same field names the record codec uses, so
     /// the socket protocol and the store files share one vocabulary.
+    /// A fused chain adds an `"epi"` field after `"algo"` (mirroring
+    /// the record codec); bare convs emit the pre-fusion line
+    /// byte-identically, so old peers interoperate.
     pub fn to_wire_line(&self) -> String {
         let s = &self.shape;
+        let epi = if self.epilogue.is_none() {
+            String::new()
+        } else {
+            format!("\"epi\":\"{}\",", self.epilogue.tag())
+        };
         format!(
             concat!(
-                "{{\"algo\":\"{}\",\"batch\":{},\"cin\":{},\"hin\":{},\"win\":{},",
+                "{{\"algo\":\"{}\",{}\"batch\":{},\"cin\":{},\"hin\":{},\"win\":{},",
                 "\"cout\":{},\"kh\":{},\"kw\":{},\"stride\":{},\"pad\":{}}}"
             ),
             iolb_records::record::algo_tag(self.kind),
+            epi,
             s.batch,
             s.cin,
             s.hin,
@@ -240,6 +284,10 @@ impl BatchRequest {
                 .ok_or_else(|| format!("missing field {key:?}"))
         };
         let kind = iolb_records::record::parse_algo_tag(get("algo")?.as_str("algo")?)?;
+        let epilogue = match fields.iter().find(|(k, _)| k == "epi") {
+            Some((_, v)) => Epilogue::parse_tag(v.as_str("epi")?)?,
+            None => Epilogue::None,
+        };
         let dim = |key: &str| -> Result<usize, String> { get(key)?.as_usize(key) };
         let shape = ConvShape {
             batch: dim("batch")?,
@@ -253,7 +301,7 @@ impl BatchRequest {
             pad: dim("pad")?,
         };
         shape.validate().map_err(|e| format!("invalid shape: {e}"))?;
-        Ok(Self { shape, kind })
+        Ok(Self { shape, kind, epilogue })
     }
 }
 
@@ -322,9 +370,16 @@ mod tests {
             TileKind::Winograd(WinogradTile::F2X3),
             TileKind::Winograd(WinogradTile::F4X3),
         ] {
-            let req = BatchRequest { shape: ConvShape::square(64, 28, 32, 3, 1, 1), kind };
+            let req = BatchRequest::bare(ConvShape::square(64, 28, 32, 3, 1, 1), kind);
+            assert!(!req.to_wire_line().contains("epi"), "bare line must not grow a field");
             let back = BatchRequest::from_wire_line(&req.to_wire_line()).unwrap();
             assert_eq!(back, req);
+            for epilogue in [Epilogue::Relu, Epilogue::ReluPool { k: 2 }] {
+                let fused = BatchRequest { epilogue, ..req };
+                let line = fused.to_wire_line();
+                assert!(line.contains("\"epi\""), "fused line missing epi: {line}");
+                assert_eq!(BatchRequest::from_wire_line(&line).unwrap(), fused);
+            }
         }
         for (line, why) in [
             ("", "empty"),

@@ -11,6 +11,7 @@
 //!   auto-tuning engine searches; Table 2 reports the resulting 20–50%
 //!   compression).
 
+use iolb_core::epilogue::Epilogue;
 use iolb_core::optimality::{divisors, TileKind};
 use iolb_core::shapes::ConvShape;
 use iolb_dataflow::config::ScheduleConfig;
@@ -30,6 +31,8 @@ pub struct ConfigSpace {
     pub ssm_bytes: u32,
     /// Whether the optimality-condition pruning is applied.
     pub pruned: bool,
+    /// Fused epilogue whose tiling constraints the space honours.
+    pub epilogue: Epilogue,
     xs: Vec<usize>,
     ys: Vec<usize>,
     zs: Vec<usize>,
@@ -41,17 +44,48 @@ impl ConfigSpace {
     /// multiples of `e` dividing the `e`-padded output extent (ragged
     /// edges run as padded tiles).
     pub fn new(shape: ConvShape, kind: TileKind, ssm_bytes: u32, pruned: bool) -> Self {
+        Self::fused(shape, kind, ssm_bytes, pruned, Epilogue::None)
+    }
+
+    /// The search space of a fused chain: a pool epilogue additionally
+    /// restricts output tiles to multiples of the pool window `k` (so a
+    /// block's output region pools entirely in registers — the fused
+    /// executor never sees a window that straddles blocks). With
+    /// [`Epilogue::None`] or [`Epilogue::Relu`] this is exactly
+    /// [`new`](Self::new)'s space: relu is pointwise and constrains
+    /// nothing.
+    pub fn fused(
+        shape: ConvShape,
+        kind: TileKind,
+        ssm_bytes: u32,
+        pruned: bool,
+        epilogue: Epilogue,
+    ) -> Self {
         let e = match kind {
             TileKind::Direct => 1,
             TileKind::Winograd(t) => t.e,
         };
+        // Tiles must respect both the Winograd e-grid and the pool
+        // k-grid: multiples of lcm(e, k).
+        let step = match epilogue {
+            Epilogue::ReluPool { k } => e / gcd(e, k) * k,
+            Epilogue::None | Epilogue::Relu => e,
+        };
         let (hp, wp) = iolb_dataflow::config::padded_out(&shape, kind);
-        let keep = |d: &usize| (*d).is_multiple_of(e);
+        let keep = |d: &usize| (*d).is_multiple_of(step);
         let xs: Vec<usize> = divisors(hp).into_iter().filter(keep).collect();
         let ys: Vec<usize> = divisors(wp).into_iter().filter(keep).collect();
         let zs = divisors(shape.cout);
         let sbs: Vec<u32> = SB_CHOICES.iter().copied().filter(|&s| 2 * s <= ssm_bytes).collect();
-        Self { shape, kind, ssm_bytes, pruned, xs, ys, zs, sbs }
+        Self { shape, kind, ssm_bytes, pruned, epilogue, xs, ys, zs, sbs }
+    }
+
+    /// Whether the space offers at least one tile choice on every
+    /// dimension — the fusion gate's structural check: a pool window
+    /// that shares no divisors with the padded output extent empties
+    /// `xs`/`ys` and the chain cannot be tuned fused at all.
+    pub fn tile_choices_nonempty(&self) -> bool {
+        !self.xs.is_empty() && !self.ys.is_empty() && !self.zs.is_empty() && !self.sbs.is_empty()
     }
 
     /// Membership check for this space's constraint set: the full (TVM)
@@ -212,6 +246,13 @@ impl ConfigSpace {
     }
 }
 
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 /// Moves one step up or down inside an ascending choice list; stays put at
 /// the ends when the step would fall off.
 fn adjacent<T: Copy + PartialEq>(choices: &[T], current: T, rng: &mut impl Rng) -> T {
@@ -341,6 +382,46 @@ mod tests {
         let big = ConfigSpace::new(shape(), TileKind::Direct, 96 * 1024, false);
         let small = ConfigSpace::new(shape(), TileKind::Direct, 32 * 1024, false);
         assert!(small.count() < big.count());
+    }
+
+    #[test]
+    fn fused_pool_space_restricts_tiles_to_the_pool_grid() {
+        let pool = Epilogue::ReluPool { k: 2 };
+        let space = ConfigSpace::fused(shape(), TileKind::Direct, SSM, true, pool);
+        assert!(space.tile_choices_nonempty());
+        space.for_each(|cfg| {
+            assert_eq!(cfg.x % 2, 0, "pool window must tile the block: {cfg}");
+            assert_eq!(cfg.y % 2, 0);
+            true
+        });
+        assert!(space.count() > 0);
+        assert!(space.count() < ConfigSpace::new(shape(), TileKind::Direct, SSM, true).count());
+        // Relu constrains nothing: its space is the bare-conv space.
+        let relu = ConfigSpace::fused(shape(), TileKind::Direct, SSM, true, Epilogue::Relu);
+        assert_eq!(relu.count(), ConfigSpace::new(shape(), TileKind::Direct, SSM, true).count());
+    }
+
+    #[test]
+    fn fused_winograd_space_honours_both_grids() {
+        // e = 2 (F2X3), pool k = 2: lcm is 2. With k = 4: lcm is 4.
+        let kind = TileKind::Winograd(WinogradTile::F2X3);
+        let space = ConfigSpace::fused(shape(), kind, SSM, false, Epilogue::ReluPool { k: 4 });
+        space.for_each(|cfg| {
+            assert_eq!(cfg.x % 4, 0);
+            assert_eq!(cfg.y % 4, 0);
+            true
+        });
+        assert!(space.count() > 0);
+    }
+
+    #[test]
+    fn incompatible_pool_window_empties_the_tile_choices() {
+        // Padded output of the 28x28/3x3/s1/p1 shape is 28: divisors
+        // share nothing with a pool window of 13, so no fused tile exists.
+        let space =
+            ConfigSpace::fused(shape(), TileKind::Direct, SSM, true, Epilogue::ReluPool { k: 13 });
+        assert!(!space.tile_choices_nonempty());
+        assert_eq!(space.count(), 0);
     }
 
     #[test]

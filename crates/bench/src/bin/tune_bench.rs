@@ -3,7 +3,7 @@
 //!
 //! ```console
 //! $ tune-bench replay [--networks alexnet,squeezenet] [--clients N]
-//!       [--repeat N] [--budget N] [--seed N] [-o BENCH_replay.json]
+//!       [--repeat N] [--budget N] [--seed N] [--fuse] [-o BENCH_replay.json]
 //! $ tune-bench kernels [--sizes 64,128,...] [--networks alexnet]
 //!       [--reps N] [--threads N] [--max-layers N] [--sram-kib N]
 //!       [-o BENCH_kernels.json]
@@ -19,13 +19,28 @@
 //! mode as one schema-versioned flat JSON object (`BENCH_replay.json`,
 //! validated in CI by `tune-cache check-bench`).
 //!
+//! With `--fuse`, `replay` additionally segments each named network
+//! into fused conv→relu(→pool) blocks (`iolb_cnn::fusion`) and serves
+//! the block batch twice through the same backends — once per-layer
+//! (bare convs) and once as fused-chain workloads — recording the
+//! fused-vs-fallback split and both serving plans' total modeled cost
+//! (schema v3). The fused pass runs after the per-layer pass on the
+//! same store, so gate-rejected chains resolve as shard hits: the
+//! fallback's zero-extra-fresh-measurement property is measured, not
+//! assumed. Embedded and daemon fused totals are asserted bit-identical
+//! like the per-layer totals.
+//!
 //! `kernels` sweeps the scalar and vector compute kernels over square
 //! GEMM sizes and the model zoo's conv layers (im2col on every layer,
 //! Winograd `F(2,3)` where eligible), best-of-`--reps` wall time per
 //! path. Each row carries GFLOP/s per path, the vector/scalar speedup,
 //! and the shape's modeled slow-memory traffic against its `Q_lower`
-//! I/O bound (the roofline gap). It writes schema-versioned JSON lines
-//! (`BENCH_kernels.json`, validated by `tune-cache check-bench`).
+//! I/O bound (the roofline gap). GEMM and im2col shapes are timed at
+//! one thread and — when `--threads N` asks for more — again at `N`
+//! threads, each as its own row (schema v2 rows carry `threads`), so
+//! the artifact captures parallel scaling. It writes schema-versioned
+//! JSON lines (`BENCH_kernels.json`, validated by `tune-cache
+//! check-bench`).
 //!
 //! Latency and throughput are wall-clock and vary run to run; the
 //! *results* do not — a replay's two modes run identical hermetic
@@ -33,14 +48,16 @@
 //! sweep diffs the vector path's output bits against scalar on every
 //! shape it times. Every benchmark run doubles as a correctness check.
 
+use iolb_autotune::fusion::epilogue_unfused_ms;
 use iolb_cnn::layers::{ConvLayer, Network};
 use iolb_cnn::{inference::time_network_with_backend, ServiceEconomics};
+use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
 use iolb_core::{matmul, Algorithm, WinogradTile};
 use iolb_gpusim::DeviceSpec;
 use iolb_service::{
-    shape_perturbations, Backend, Daemon, DaemonConfig, LatencyHistogram, ServiceConfig,
-    ShardedStore, SocketBackend, TuningService,
+    shape_perturbations, Backend, BackendSession, Daemon, DaemonConfig, LatencyHistogram,
+    ServiceConfig, ShardedStore, SocketBackend, TuneRequest, TuningService,
 };
 use iolb_tensor::conv_ref::ConvParams;
 use iolb_tensor::gemm::{gemm_with_path, MatRef};
@@ -59,7 +76,7 @@ use std::time::{Duration, Instant};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tune-bench replay  [--networks A,B,...] [--clients N] [--repeat N]\n\
-         \u{20}                        [--budget N] [--seed N] [--jitter] [-o FILE]\n\
+         \u{20}                        [--budget N] [--seed N] [--jitter] [--fuse] [-o FILE]\n\
          \u{20}      tune-bench kernels [--sizes N,N,...] [--networks A,B,...] [--reps N]\n\
          \u{20}                        [--threads N] [--max-layers N] [--sram-kib N]\n\
          \u{20}                        [-o FILE]\n\
@@ -76,15 +93,21 @@ fn usage() -> ExitCode {
          then replays every copy with in-anchor-bucket shape jitter, so the\n\
          measured phase exercises anchored transfer serving directly.\n\
          \n\
+         --fuse additionally segments each named network into fused\n\
+         conv->relu(->pool) blocks and serves the block batch per-layer and\n\
+         fused through both backends, recording the fused-vs-fallback split\n\
+         and both plans' total cost (fused must come out below per-layer).\n\
+         \n\
          kernels: sweep the scalar vs vector compute kernels over square\n\
          GEMM sizes (--sizes, default 64,128,256,512) and each named\n\
          network's conv layers (im2col everywhere, Winograd F(2,3) where\n\
          eligible; --max-layers caps layers per network), best of --reps\n\
-         runs per path. Write JSON lines (default BENCH_kernels.json): one\n\
-         header, then per shape GFLOP/s per path, vector/scalar speedup,\n\
-         and modeled bytes moved vs the Q_lower bound (--sram-kib fast\n\
-         memory, default 32). Fails unless the vector path's output bits\n\
-         match scalar on every shape."
+         runs per path; GEMM and im2col shapes are re-timed at --threads N\n\
+         as their own rows when N > 1. Write JSON lines (default\n\
+         BENCH_kernels.json): one header, then per shape GFLOP/s per path,\n\
+         vector/scalar speedup, and modeled bytes moved vs the Q_lower\n\
+         bound (--sram-kib fast memory, default 32). Fails unless the\n\
+         vector path's output bits match scalar on every shape."
     );
     ExitCode::from(2)
 }
@@ -105,6 +128,7 @@ fn run_replay(rest: &[String]) -> ExitCode {
     let budget = flag_value(rest, "--budget").unwrap_or(16);
     let seed = flag_value(rest, "--seed").unwrap_or(7) as u64;
     let jitter_mode = rest.iter().any(|a| a == "--jitter");
+    let fuse_mode = rest.iter().any(|a| a == "--fuse");
     let out = flag_path(rest, "-o").unwrap_or_else(|| PathBuf::from("BENCH_replay.json"));
 
     let config = ServiceConfig {
@@ -161,10 +185,69 @@ fn run_replay(rest: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // The optional fusion comparison: fused-chain serving vs the
+    // per-layer plan, through the embedded service *and* a fresh
+    // daemon (the totals must match to the bit, like the main replay).
+    let fuse = if fuse_mode {
+        let zoo_nets = match named_networks(&networks) {
+            Ok(nets) => nets,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let fuse_embedded = {
+            let service = TuningService::new(ShardedStore::new(), config);
+            fuse_pass(&zoo_nets, &service)
+        };
+        let fuse_embedded = match fuse_embedded {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("error: embedded fused replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fuse_daemon = match run_fuse_daemon(&zoo_nets, config) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("error: daemon fused replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if fuse_embedded.fused_total_ms.to_bits() != fuse_daemon.fused_total_ms.to_bits()
+            || fuse_embedded.perlayer_total_ms.to_bits() != fuse_daemon.perlayer_total_ms.to_bits()
+        {
+            eprintln!(
+                "error: embedded and daemon fused totals differ \
+                 ({} vs {} fused, {} vs {} per-layer) — fused serving is not hermetic",
+                fuse_embedded.fused_total_ms,
+                fuse_daemon.fused_total_ms,
+                fuse_embedded.perlayer_total_ms,
+                fuse_daemon.perlayer_total_ms,
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "fusion: {} block(s) — {} fused, {} fallback(s); \
+             fused plan {:.6} ms vs per-layer {:.6} ms \
+             ({} fresh measurement(s) vs {} for the per-layer pass)",
+            fuse_embedded.blocks,
+            fuse_embedded.fused,
+            fuse_embedded.fallbacks,
+            fuse_embedded.fused_total_ms,
+            fuse_embedded.perlayer_total_ms,
+            fuse_embedded.fused_fresh,
+            fuse_embedded.baseline_fresh,
+        );
+        Some(fuse_embedded)
+    } else {
+        None
+    };
+
     let line = format!(
-        "{{\"schema\":\"iolb-bench-replay\",\"v\":2,\"networks\":\"{}\",\"clients\":{clients},\
+        "{{\"schema\":\"iolb-bench-replay\",\"v\":3,\"networks\":\"{}\",\"clients\":{clients},\
          \"repeat\":{repeat},\"budget\":{budget},\"seed\":{seed},\"jitter\":{},\
-         \"anchor_floor\":{},\"transfer_gap_permille\":{},\"sessions\":{},\"requests\":{}{}{}}}",
+         \"anchor_floor\":{},\"transfer_gap_permille\":{},\"sessions\":{},\"requests\":{}{}{}{}}}",
         iolb_records::jsonl::escape(&networks),
         u8::from(jitter_mode),
         config.anchor_floor,
@@ -173,6 +256,7 @@ fn run_replay(rest: &[String]) -> ExitCode {
         embedded.requests,
         mode_fields("embedded", &embedded),
         mode_fields("daemon", &daemon),
+        fuse_fields(fuse.as_ref()),
     );
     if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
         eprintln!("error: cannot write {}: {e}", out.display());
@@ -196,6 +280,9 @@ struct KernelRow {
     algo: &'static str,
     /// Human-readable shape, e.g. `"512x512x512"`.
     shape: String,
+    /// Worker threads this row was timed with (Winograd rows are
+    /// always 1 — that path has no thread knob).
+    threads: usize,
     /// FLOPs of one run (the crate's own accounting).
     flops: f64,
     /// Best-of-reps wall seconds per path.
@@ -232,13 +319,14 @@ impl KernelRow {
 
     fn json_line(&self) -> String {
         format!(
-            "{{\"row\":\"{}\",\"name\":\"{}\",\"algo\":\"{}\",\"shape\":\"{}\",\
+            "{{\"row\":\"{}\",\"name\":\"{}\",\"algo\":\"{}\",\"shape\":\"{}\",\"threads\":{},\
              \"gflop\":{},\"scalar_gflops\":{},\"vector_gflops\":{},\"speedup\":{},\
              \"q_lower_bytes\":{},\"q_sched_bytes\":{},\"roofline_gap\":{}}}",
             self.kind,
             iolb_records::jsonl::escape(&self.name),
             self.algo,
             iolb_records::jsonl::escape(&self.shape),
+            self.threads,
             self.flops / 1e9,
             self.scalar_gflops(),
             self.vector_gflops(),
@@ -292,13 +380,16 @@ fn run_kernels(rest: &[String]) -> ExitCode {
 
     // Fast-memory size in f32 elements for the Q_lower / schedule models.
     let s = (sram_kib * 1024 / 4) as f64;
+    // Every GEMM / im2col shape is timed single-threaded and — when
+    // --threads asks for more — again at N threads, as its own row.
+    let thread_counts: Vec<usize> = if threads > 1 { vec![1, threads] } else { vec![1] };
     let mut rows: Vec<KernelRow> = Vec::new();
     let mut rng = StdRng::seed_from_u64(42);
 
     for &m in &sizes {
         eprintln!("gemm {m}x{m}x{m} ...");
-        match gemm_row(m, reps, threads, s, &mut rng) {
-            Ok(row) => rows.push(row),
+        match gemm_rows(m, reps, &thread_counts, s, &mut rng) {
+            Ok(mut size_rows) => rows.append(&mut size_rows),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
@@ -318,7 +409,7 @@ fn run_kernels(rest: &[String]) -> ExitCode {
         };
         for layer in net.layers.iter().take(max_layers) {
             eprintln!("conv {}/{} ...", net.name, layer.name);
-            match conv_rows(net.name, layer, reps, threads, s, &mut rng) {
+            match conv_rows(net.name, layer, reps, &thread_counts, s, &mut rng) {
                 Ok(mut layer_rows) => rows.append(&mut layer_rows),
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -329,7 +420,7 @@ fn run_kernels(rest: &[String]) -> ExitCode {
     }
 
     let mut text = format!(
-        "{{\"schema\":\"iolb-bench-kernels\",\"v\":1,\"sizes\":\"{}\",\"networks\":\"{}\",\
+        "{{\"schema\":\"iolb-bench-kernels\",\"v\":2,\"sizes\":\"{}\",\"networks\":\"{}\",\
          \"reps\":{reps},\"threads\":{threads},\"sram_kib\":{sram_kib},\"rows\":{}}}\n",
         iolb_records::jsonl::escape(&sizes_arg),
         iolb_records::jsonl::escape(&networks),
@@ -348,52 +439,62 @@ fn run_kernels(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// One square `m x m x m` GEMM row: both paths timed, outputs diffed
-/// to the bit, bound and blocked-schedule traffic from `iolb_core`.
-fn gemm_row(
+/// The rows for one square `m x m x m` GEMM — one per thread count,
+/// same inputs: both paths timed, outputs diffed to the bit, bound and
+/// blocked-schedule traffic from `iolb_core`.
+fn gemm_rows(
     m: usize,
     reps: usize,
-    threads: usize,
+    thread_counts: &[usize],
     s: f64,
     rng: &mut StdRng,
-) -> Result<KernelRow, String> {
+) -> Result<Vec<KernelRow>, String> {
     let a: Vec<f32> = (0..m * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let b: Vec<f32> = (0..m * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let a_ref = MatRef::new(&a, m, m);
     let b_ref = MatRef::new(&b, m, m);
-    let mut c_scalar = vec![0.0f32; m * m];
-    let mut c_vector = vec![0.0f32; m * m];
-
-    let scalar_s =
-        best_of(reps, || gemm_with_path(a_ref, b_ref, &mut c_scalar, threads, KernelPath::Scalar));
-    let vector_s =
-        best_of(reps, || gemm_with_path(a_ref, b_ref, &mut c_vector, threads, KernelPath::Vector));
-    if c_scalar.iter().zip(&c_vector).any(|(x, y)| x.to_bits() != y.to_bits()) {
-        return Err(format!("gemm {m}: vector output differs from scalar — kernel bug"));
-    }
-
     let shape = matmul::MatmulShape::new(m);
-    Ok(KernelRow {
-        kind: "gemm",
-        name: format!("gemm-{m}"),
-        algo: "blocked",
-        shape: format!("{m}x{m}x{m}"),
-        flops: 2.0 * shape.macs() as f64,
-        scalar_s,
-        vector_s,
-        q_lower_bytes: matmul::io_lower_bound(&shape, s) * 4.0,
-        q_sched_bytes: matmul::blocked_schedule_io(&shape, s) * 4.0,
-    })
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let mut c_scalar = vec![0.0f32; m * m];
+        let mut c_vector = vec![0.0f32; m * m];
+        let scalar_s = best_of(reps, || {
+            gemm_with_path(a_ref, b_ref, &mut c_scalar, threads, KernelPath::Scalar)
+        });
+        let vector_s = best_of(reps, || {
+            gemm_with_path(a_ref, b_ref, &mut c_vector, threads, KernelPath::Vector)
+        });
+        if c_scalar.iter().zip(&c_vector).any(|(x, y)| x.to_bits() != y.to_bits()) {
+            return Err(format!(
+                "gemm {m} ({threads} thread(s)): vector output differs from scalar — kernel bug"
+            ));
+        }
+        rows.push(KernelRow {
+            kind: "gemm",
+            name: format!("gemm-{m}"),
+            algo: "blocked",
+            shape: format!("{m}x{m}x{m}"),
+            threads,
+            flops: 2.0 * shape.macs() as f64,
+            scalar_s,
+            vector_s,
+            q_lower_bytes: matmul::io_lower_bound(&shape, s) * 4.0,
+            q_sched_bytes: matmul::blocked_schedule_io(&shape, s) * 4.0,
+        });
+    }
+    Ok(rows)
 }
 
-/// The rows for one conv layer: im2col + GEMM always, Winograd
-/// `F(2,3)` when the layer is eligible. Traffic models come from the
-/// paper's per-algorithm bounds and near-optimal dataflow volumes.
+/// The rows for one conv layer: im2col + GEMM always (one row per
+/// thread count), Winograd `F(2,3)` when the layer is eligible (that
+/// path has no thread knob — one single-threaded row). Traffic models
+/// come from the paper's per-algorithm bounds and near-optimal
+/// dataflow volumes.
 fn conv_rows(
     net: &str,
     layer: &ConvLayer,
     reps: usize,
-    threads: usize,
+    thread_counts: &[usize],
     s: f64,
     rng: &mut StdRng,
 ) -> Result<Vec<KernelRow>, String> {
@@ -407,29 +508,42 @@ fn conv_rows(
     );
     let mut rows = Vec::new();
 
-    let mut out_scalar = None;
-    let mut out_vector = None;
-    let scalar_s = best_of(reps, || {
-        out_scalar =
-            Some(conv2d_im2col_with_path(&input, &weights, params, threads, KernelPath::Scalar));
-    });
-    let vector_s = best_of(reps, || {
-        out_vector =
-            Some(conv2d_im2col_with_path(&input, &weights, params, threads, KernelPath::Vector));
-    });
-    bit_diff(&out_scalar.unwrap(), &out_vector.unwrap())
-        .map_err(|e| format!("{net}/{} im2col: {e}", layer.name))?;
-    rows.push(KernelRow {
-        kind: "conv",
-        name: format!("{net}/{}", layer.name),
-        algo: "im2col",
-        shape: shape_str.clone(),
-        flops: Algorithm::Direct.flops(shape),
-        scalar_s,
-        vector_s,
-        q_lower_bytes: Algorithm::Direct.io_lower_bound(shape, s) * 4.0,
-        q_sched_bytes: Algorithm::Direct.dataflow_io(shape, s, 1.0) * 4.0,
-    });
+    for &threads in thread_counts {
+        let mut out_scalar = None;
+        let mut out_vector = None;
+        let scalar_s = best_of(reps, || {
+            out_scalar = Some(conv2d_im2col_with_path(
+                &input,
+                &weights,
+                params,
+                threads,
+                KernelPath::Scalar,
+            ));
+        });
+        let vector_s = best_of(reps, || {
+            out_vector = Some(conv2d_im2col_with_path(
+                &input,
+                &weights,
+                params,
+                threads,
+                KernelPath::Vector,
+            ));
+        });
+        bit_diff(&out_scalar.unwrap(), &out_vector.unwrap())
+            .map_err(|e| format!("{net}/{} im2col ({threads} thread(s)): {e}", layer.name))?;
+        rows.push(KernelRow {
+            kind: "conv",
+            name: format!("{net}/{}", layer.name),
+            algo: "im2col",
+            shape: shape_str.clone(),
+            threads,
+            flops: Algorithm::Direct.flops(shape),
+            scalar_s,
+            vector_s,
+            q_lower_bytes: Algorithm::Direct.io_lower_bound(shape, s) * 4.0,
+            q_sched_bytes: Algorithm::Direct.dataflow_io(shape, s, 1.0) * 4.0,
+        });
+    }
 
     if layer.winograd_eligible() {
         let tile = WinogradTile::F2X3;
@@ -452,6 +566,7 @@ fn conv_rows(
             name: format!("{net}/{}", layer.name),
             algo: "winograd",
             shape: shape_str,
+            threads: 1,
             flops: algo.flops(shape),
             scalar_s,
             vector_s,
@@ -728,6 +843,157 @@ fn run_daemon_mode(
     stop?;
     run.map_err(|e| format!("replay daemon failed: {e}"))?;
     outcome
+}
+
+/// Resolves a comma-separated `--networks` list against the model zoo.
+fn named_networks(networks: &str) -> Result<Vec<Network>, String> {
+    let zoo = iolb_cnn::models::all_networks();
+    let mut nets = Vec::new();
+    for name in networks.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let wanted = name.to_ascii_lowercase();
+        let net = zoo.iter().find(|n| n.name.to_ascii_lowercase() == wanted).ok_or_else(|| {
+            format!(
+                "unknown network {name:?}; known: {}",
+                zoo.iter().map(|n| n.name.to_ascii_lowercase()).collect::<Vec<_>>().join(", ")
+            )
+        })?;
+        nets.push(Network { name: net.name, layers: net.layers.clone() });
+    }
+    if nets.is_empty() {
+        return Err("no networks in --networks".to_string());
+    }
+    Ok(nets)
+}
+
+/// The `--fuse` comparison's aggregate outcome over one backend.
+#[derive(Default)]
+struct FuseOutcome {
+    /// Conv blocks proposed by segmentation (repeats counted once).
+    blocks: usize,
+    /// Chains the analytic gate approved (served fused).
+    fused: usize,
+    /// Chains the gate rewrote to their per-layer fallback.
+    fallbacks: usize,
+    /// Total cost of the fused serving plan: fused-chain cost for
+    /// approved blocks (the epilogue rides inside the measurement),
+    /// bare conv + modeled unfused epilogue for fallbacks. Layer
+    /// repeats multiply.
+    fused_total_ms: f64,
+    /// Total cost of the per-layer plan: bare conv best + modeled
+    /// unfused epilogue for every block.
+    perlayer_total_ms: f64,
+    /// Fresh measurements of the fused pass (fallback chains resolve
+    /// from the per-layer pass's records — only approved chains cost
+    /// anything here).
+    fused_fresh: usize,
+    /// Fresh measurements of the per-layer pass.
+    baseline_fresh: usize,
+}
+
+/// Segments each network and serves its conv blocks twice through one
+/// backend: per-layer first, then as fused-chain requests. Running both
+/// passes over the same store makes the fallback economics measurable —
+/// a gate-rejected chain dedupes against the per-layer pass's records
+/// and must cost zero extra fresh measurements.
+fn fuse_pass<B: Backend>(nets: &[Network], backend: &B) -> Result<FuseOutcome, String> {
+    let device = DeviceSpec::v100();
+    let mut out = FuseOutcome::default();
+    for net in nets {
+        let ops = iolb_cnn::fusion::op_stream(net);
+        let blocks: Vec<_> =
+            iolb_cnn::fusion::segment(&ops).into_iter().filter(|b| b.conv.is_some()).collect();
+        let bare: Vec<TuneRequest> = blocks
+            .iter()
+            .map(|b| TuneRequest::bare(b.conv.as_ref().expect("filtered").shape, TileKind::Direct))
+            .collect();
+        let fused: Vec<TuneRequest> = blocks
+            .iter()
+            .map(|b| {
+                TuneRequest::fused(
+                    b.conv.as_ref().expect("filtered").shape,
+                    TileKind::Direct,
+                    b.epilogue,
+                )
+            })
+            .collect();
+        let bare_results = backend
+            .submit_batch(&bare, &device)
+            .and_then(|s| s.wait())
+            .map_err(|e| format!("{} per-layer pass: {e}", net.name))?;
+        let fused_results = backend
+            .submit_batch(&fused, &device)
+            .and_then(|s| s.wait())
+            .map_err(|e| format!("{} fused pass: {e}", net.name))?;
+        for (block, (bare, fused)) in blocks.iter().zip(bare_results.iter().zip(&fused_results)) {
+            let layer = block.conv.as_ref().expect("filtered");
+            let bare = bare.as_ref().ok_or_else(|| format!("{} is infeasible", layer.name))?;
+            let fused = fused.as_ref().ok_or_else(|| format!("{} is infeasible", layer.name))?;
+            let repeat = layer.repeat as f64;
+            let epilogue_ms = epilogue_unfused_ms(&layer.shape, block.epilogue, &device);
+            out.perlayer_total_ms += repeat * (bare.cost_ms + epilogue_ms);
+            out.fused_total_ms +=
+                repeat * if fused.fused { fused.cost_ms } else { fused.cost_ms + epilogue_ms };
+            out.blocks += 1;
+            if !block.epilogue.is_none() {
+                if fused.fused {
+                    out.fused += 1;
+                } else {
+                    out.fallbacks += 1;
+                }
+            }
+            out.baseline_fresh += bare.fresh_measurements;
+            out.fused_fresh += fused.fresh_measurements;
+        }
+    }
+    Ok(out)
+}
+
+/// The daemon leg of the `--fuse` comparison: bind a fresh in-process
+/// daemon on a scratch directory, run both passes over its Unix socket
+/// (exercising the wire protocol's fused-chain grammar), shut down.
+fn run_fuse_daemon(nets: &[Network], config: ServiceConfig) -> Result<FuseOutcome, String> {
+    let dir = std::env::temp_dir().join(format!("iolb-tune-bench-fuse-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let sock = dir.join("daemon.sock");
+    let daemon_config = DaemonConfig {
+        service: config,
+        merge_interval: Duration::from_millis(200),
+        ..DaemonConfig::default()
+    };
+    let (daemon, _report) = Daemon::bind(&dir, &sock, daemon_config)
+        .map_err(|e| format!("cannot bind fuse daemon: {e}"))?;
+    let server = std::thread::spawn(move || daemon.run());
+    let outcome = SocketBackend::connect(&sock)
+        .map_err(|e| format!("cannot connect to fuse daemon: {e}"))
+        .and_then(|backend| fuse_pass(nets, &backend));
+    let stop = SocketBackend::connect(&sock)
+        .map_err(|e| format!("cannot connect for shutdown: {e}"))
+        .and_then(|b| b.shutdown().map_err(|e| format!("daemon shutdown failed: {e}")));
+    let run = server.join().map_err(|_| "fuse daemon panicked".to_string())?;
+    let _ = std::fs::remove_dir_all(&dir);
+    stop?;
+    run.map_err(|e| format!("fuse daemon failed: {e}"))?;
+    outcome
+}
+
+/// The `fuse*` fields of the v3 summary line; `"fuse":0` alone when the
+/// comparison did not run.
+fn fuse_fields(fuse: Option<&FuseOutcome>) -> String {
+    match fuse {
+        None => ",\"fuse\":0".to_string(),
+        Some(f) => format!(
+            ",\"fuse\":1,\"fuse_blocks\":{},\"fuse_fused\":{},\"fuse_fallbacks\":{},\
+             \"fused_total_cost_ms\":{},\"perlayer_total_cost_ms\":{},\
+             \"fuse_fresh\":{},\"fuse_baseline_fresh\":{}",
+            f.blocks,
+            f.fused,
+            f.fallbacks,
+            f.fused_total_ms,
+            f.perlayer_total_ms,
+            f.fused_fresh,
+            f.baseline_fresh,
+        ),
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<usize> {

@@ -68,11 +68,17 @@ fn usage() -> ExitCode {
          metrics <DIR|SOCK|tcp:HOST:PORT>   Prometheus-style text exposition: from a live\n\
          \u{20}                                  daemon (socket/TCP, including latency\n\
          \u{20}                                  histograms) or a directory's stats sidecar\n\
-         check-bench <FILE>                 exit non-zero unless FILE is a schema-valid\n\
+         check-bench <FILE> [--baseline BASE] [--tolerance PCT]\n\
+         \u{20}                                  exit non-zero unless FILE is a schema-valid\n\
          \u{20}                                  benchmark artifact: BENCH_replay.json (from\n\
-         \u{20}                                  `tune-bench replay`) or BENCH_kernels.json (from\n\
-         \u{20}                                  `tune-bench kernels`; also fails if the vector\n\
-         \u{20}                                  path lost to scalar on the largest GEMM row)\n\
+         \u{20}                                  `tune-bench replay`; a --fuse run must show the\n\
+         \u{20}                                  fused plan beating per-layer) or\n\
+         \u{20}                                  BENCH_kernels.json (from `tune-bench kernels`;\n\
+         \u{20}                                  also fails if the vector path lost to scalar on\n\
+         \u{20}                                  the largest GEMM row). With --baseline, FILE\n\
+         \u{20}                                  must be a replay artifact and its embedded and\n\
+         \u{20}                                  daemon throughput must not regress more than\n\
+         \u{20}                                  PCT percent (default 25) below BASE's\n\
          tune-net <network|--layers SPEC> (-o DIR | --daemon SOCK | --fleet PEERS) [--json]\n\
          \u{20}                                  [--budget N] [--seed N] [--workers N]\n\
          \u{20}                                  batch-tune a whole network in one session. With\n\
@@ -175,7 +181,11 @@ fn main() -> ExitCode {
             serve_stats(Path::new(dir), rest.iter().any(|a| a == "--json"))
         }
         ("metrics", [target]) => metrics_cmd(target),
-        ("check-bench", [file]) => check_bench(Path::new(file)),
+        ("check-bench", [file, rest @ ..]) => {
+            let baseline = flag_path(rest, "--baseline");
+            let tolerance = flag_value(rest, "--tolerance").unwrap_or(25);
+            check_bench(Path::new(file), baseline.as_deref(), tolerance)
+        }
         ("serve", [dir, rest @ ..]) => {
             let socket =
                 flag_path(rest, "--socket").unwrap_or_else(|| Path::new(dir).join(SOCKET_FILE));
@@ -712,9 +722,13 @@ fn metrics_cmd(target: &str) -> ExitCode {
 /// the record codec's dialect, dispatched on the schema tag of the
 /// first line: `iolb-bench-replay` (one object) or `iolb-bench-kernels`
 /// (header + row lines). Every required field must be present, numeric
-/// and sane. Exit 1 with a reason otherwise, so a broken benchmark
-/// artifact can never land silently.
-fn check_bench(path: &Path) -> ExitCode {
+/// and sane. With `--baseline`, the artifact (replay only) is also
+/// diffed against a committed baseline run: embedded and daemon
+/// throughput may not regress more than `--tolerance` percent — the
+/// perf trajectory becomes CI-enforced instead of honor-system.
+/// Exit 1 with a reason otherwise, so a broken benchmark artifact can
+/// never land silently.
+fn check_bench(path: &Path, baseline: Option<&Path>, tolerance_pct: usize) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -723,8 +737,27 @@ fn check_bench(path: &Path) -> ExitCode {
         }
     };
     let result = bench_schema(text.trim()).and_then(|schema| match schema.as_str() {
-        "iolb-bench-replay" => validate_bench_replay(text.trim()),
-        "iolb-bench-kernels" => validate_bench_kernels(text.trim()),
+        "iolb-bench-replay" => {
+            let summary = validate_bench_replay(text.trim())?;
+            match baseline {
+                None => Ok(summary),
+                Some(base) => {
+                    let base_text = std::fs::read_to_string(base)
+                        .map_err(|e| format!("cannot read baseline {}: {e}", base.display()))?;
+                    validate_bench_replay(base_text.trim())
+                        .map_err(|e| format!("baseline {}: {e}", base.display()))?;
+                    let verdict =
+                        compare_replay_throughput(text.trim(), base_text.trim(), tolerance_pct)?;
+                    Ok(format!("{summary}; {verdict}"))
+                }
+            }
+        }
+        "iolb-bench-kernels" => {
+            if baseline.is_some() {
+                return Err("--baseline only supports replay artifacts".to_string());
+            }
+            validate_bench_kernels(text.trim())
+        }
         other => Err(format!("unexpected schema {other:?}")),
     });
     match result {
@@ -737,6 +770,41 @@ fn check_bench(path: &Path) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `--baseline` throughput gate: each mode's fresh throughput must
+/// reach at least `(100 - tolerance)%` of the baseline's. Latency and
+/// throughput are wall-clock, so a generous default tolerance absorbs
+/// machine noise while still catching order-of-magnitude regressions.
+fn compare_replay_throughput(
+    fresh: &str,
+    base: &str,
+    tolerance_pct: usize,
+) -> Result<String, String> {
+    use iolb_records::jsonl::parse_flat_object;
+    let read = |text: &str, key: &str| -> Result<f64, String> {
+        let fields = parse_flat_object(text)?;
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_f64(key))
+            .ok_or_else(|| format!("missing field {key:?}"))?
+    };
+    let floor = 1.0 - tolerance_pct.min(100) as f64 / 100.0;
+    let mut parts = Vec::new();
+    for mode in ["embedded", "daemon"] {
+        let key = format!("{mode}_throughput_rps");
+        let fresh_rps = read(fresh, &key)?;
+        let base_rps = read(base, &key)?;
+        if fresh_rps < base_rps * floor {
+            return Err(format!(
+                "{key} regressed: {fresh_rps:.3} rps vs baseline {base_rps:.3} rps \
+                 (tolerance {tolerance_pct}%)"
+            ));
+        }
+        parts.push(format!("{mode} {fresh_rps:.3} vs {base_rps:.3} rps"));
+    }
+    Ok(format!("within {tolerance_pct}% of baseline ({})", parts.join(", ")))
 }
 
 /// The schema tag of an artifact's first line.
@@ -766,7 +834,7 @@ fn validate_bench_replay(line: &str) -> Result<String, String> {
         return Err(format!("unexpected schema {schema:?}"));
     }
     let version = get("v")?.as_u64("v")?;
-    if version != 2 {
+    if version != 2 && version != 3 {
         return Err(format!("unsupported replay schema version {version}"));
     }
     get("networks")?.as_str("networks")?;
@@ -837,9 +905,54 @@ fn validate_bench_replay(line: &str) -> Result<String, String> {
              got {embedded} vs {daemon}"
         ));
     }
+    // v3: the fusion comparison. A `--fuse` run must record the split
+    // and show the fused plan strictly beating the per-layer baseline —
+    // the whole point of fusing.
+    let mut fuse_summary = String::new();
+    if version >= 3 {
+        let fuse = get("fuse")?.as_u64("fuse")?;
+        if fuse > 1 {
+            return Err(format!("field \"fuse\" must be 0 or 1, got {fuse}"));
+        }
+        if fuse == 1 {
+            let blocks = get("fuse_blocks")?.as_u64("fuse_blocks")?;
+            let fused = get("fuse_fused")?.as_u64("fuse_fused")?;
+            let fallbacks = get("fuse_fallbacks")?.as_u64("fuse_fallbacks")?;
+            if blocks == 0 {
+                return Err("field \"fuse_blocks\" must be positive".to_string());
+            }
+            if fused == 0 {
+                return Err(
+                    "field \"fuse_fused\" must be positive: the gate fused nothing".to_string()
+                );
+            }
+            if fused + fallbacks > blocks {
+                return Err(format!(
+                    "fused ({fused}) + fallbacks ({fallbacks}) cannot exceed blocks ({blocks})"
+                ));
+            }
+            let fused_ms = get("fused_total_cost_ms")?.as_f64("fused_total_cost_ms")?;
+            let perlayer_ms = get("perlayer_total_cost_ms")?.as_f64("perlayer_total_cost_ms")?;
+            if !fused_ms.is_finite() || !perlayer_ms.is_finite() || perlayer_ms <= 0.0 {
+                return Err("fused/per-layer totals must be finite and positive".to_string());
+            }
+            if fused_ms >= perlayer_ms {
+                return Err(format!(
+                    "fused plan ({fused_ms} ms) must cost strictly less than \
+                     per-layer ({perlayer_ms} ms)"
+                ));
+            }
+            get("fuse_fresh")?.as_u64("fuse_fresh")?;
+            get("fuse_baseline_fresh")?.as_u64("fuse_baseline_fresh")?;
+            fuse_summary = format!(
+                ", {fused} fused / {fallbacks} fallback block(s) \
+                 ({fused_ms:.6} vs {perlayer_ms:.6} ms per-layer)"
+            );
+        }
+    }
     Ok(format!(
         "{} session(s), {} request(s), jitter {jitter}, anchored hit rate {}, \
-         embedded/daemon costs bit-identical",
+         embedded/daemon costs bit-identical{fuse_summary}",
         get("sessions")?.as_u64("sessions")?,
         get("requests")?.as_u64("requests")?,
         get("embedded_anchored_hit_rate")?.as_f64("embedded_anchored_hit_rate")?
@@ -869,7 +982,7 @@ fn validate_bench_kernels(text: &str) -> Result<String, String> {
         return Err(format!("unexpected schema {:?}", schema.as_str("schema")?));
     }
     let version = field(&header, "v")?.as_u64("v")?;
-    if version != 1 {
+    if version != 1 && version != 2 {
         return Err(format!("unsupported kernels schema version {version}"));
     }
     field(&header, "sizes")?.as_str("sizes")?;
@@ -897,6 +1010,11 @@ fn validate_bench_kernels(text: &str) -> Result<String, String> {
         }
         field(&fields, "algo")?.as_str("algo")?;
         field(&fields, "shape")?.as_str("shape")?;
+        // v2: each row was timed at an explicit thread count (the
+        // header's `threads` is the sweep's maximum).
+        if version >= 2 && field(&fields, "threads")?.as_u64("threads")? == 0 {
+            return Err(err("field \"threads\" must be positive".into()));
+        }
         let num = |key: &str| -> Result<f64, String> {
             let v = field(&fields, key)?.as_f64(key)?;
             if !v.is_finite() || v < 0.0 {

@@ -49,8 +49,9 @@ fn kernels_sweep_round_trips_through_check_bench() {
         .expect("run tune-bench kernels");
     assert!(sweep.status.success(), "sweep failed: {}", String::from_utf8_lossy(&sweep.stderr));
     let text = std::fs::read_to_string(&out_path).expect("artifact written");
-    assert!(text.starts_with("{\"schema\":\"iolb-bench-kernels\",\"v\":1,"));
+    assert!(text.starts_with("{\"schema\":\"iolb-bench-kernels\",\"v\":2,"));
     assert_eq!(text.lines().count(), 3, "header + one row per swept size");
+    assert_eq!(text.matches("\"threads\":1").count(), 3, "every row carries its thread count");
 
     let check = check_bench(&out_path);
     assert!(

@@ -1,0 +1,288 @@
+//! Fusion-aware network segmentation: operator chains as workloads.
+//!
+//! Networks in this crate are conv-layer inventories, but the models
+//! they describe interleave those convs with activation and pooling
+//! operators. [`op_stream`] reconstructs that operator stream (every
+//! conv is followed by a ReLU; a 2×2 max-pool is inserted wherever the
+//! next conv's input extent shows an un-strided spatial halving), and
+//! [`segment`] partitions the stream greedily into fusable blocks —
+//! `conv→relu` and `conv→relu→pool` chains plus lone operators. The
+//! partition is **deterministic** (a pure function of the stream),
+//! an **exact cover** (every op in exactly one block, in order), and
+//! **idempotent** (re-segmenting a segmented stream moves nothing) —
+//! all three pinned by the property tests at the bottom of this file.
+//!
+//! Whether a fusable block is actually *served* fused is not decided
+//! here: the analytic gate (`iolb_autotune::fusion_gate`) runs
+//! server-side in the tuning session, and a rejected chain degrades to
+//! its bare conv workload at zero extra measurement cost. This module
+//! only proposes the chains; [`fused_requests`] turns a network into
+//! the per-layer [`TuneRequest`]s carrying each block's epilogue.
+
+use crate::layers::{ConvLayer, Network};
+use iolb_core::epilogue::Epilogue;
+use iolb_service::TuneRequest;
+
+/// One operator in a network's reconstructed execution stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A convolution layer (the block anchor).
+    Conv(ConvLayer),
+    /// An elementwise ReLU activation.
+    Relu,
+    /// A non-overlapping `k x k` max-pool (stride `k`).
+    Pool { k: usize },
+}
+
+/// One block of the segmented stream: `len` consecutive ops starting at
+/// `start`, fused behind the anchoring conv when `conv` is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Index of the block's first op in the stream.
+    pub start: usize,
+    /// Number of consecutive ops the block covers (`>= 1`).
+    pub len: usize,
+    /// The anchoring conv layer, if this is a conv chain. `None` for a
+    /// lone ReLU/pool with no conv directly before it (stream heads,
+    /// malformed streams) — those ops still get a block so the cover
+    /// stays exact, they just aren't fusion candidates.
+    pub conv: Option<ConvLayer>,
+    /// The chain's epilogue: `Relu` for `conv→relu`, `ReluPool` for
+    /// `conv→relu→pool`, `None` for a bare conv or a lone op.
+    pub epilogue: Epilogue,
+}
+
+/// Reconstructs a network's operator stream from its conv inventory.
+///
+/// Every conv is followed by a ReLU (the models in [`crate::models`]
+/// activate every conv layer). A `Pool {{ k: 2 }}` is appended when the
+/// *next* conv's input extent is half this conv's output extent — the
+/// spatial halving VGG/AlexNet/SqueezeNet-style models perform with an
+/// explicit 2×2 max-pool between stages (stride-2 convs halve inside
+/// the conv itself and get no pool).
+pub fn op_stream(net: &Network) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(net.layers.len() * 3);
+    for (i, layer) in net.layers.iter().enumerate() {
+        let hout = layer.shape.hout();
+        ops.push(Op::Conv(layer.clone()));
+        ops.push(Op::Relu);
+        if let Some(next) = net.layers.get(i + 1) {
+            if next.shape.hin * 2 == hout {
+                ops.push(Op::Pool { k: 2 });
+            }
+        }
+    }
+    ops
+}
+
+/// Greedily partitions an operator stream into fusable blocks.
+///
+/// Walks left to right: a conv absorbs an immediately following ReLU,
+/// and that pair absorbs an immediately following pool; everything else
+/// is a lone single-op block. Greedy-longest is deterministic and
+/// yields an exact, ordered, non-overlapping cover of the stream.
+pub fn segment(ops: &[Op]) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        let Op::Conv(layer) = &ops[i] else {
+            blocks.push(Block { start: i, len: 1, conv: None, epilogue: Epilogue::None });
+            i += 1;
+            continue;
+        };
+        let (epilogue, len) = match (ops.get(i + 1), ops.get(i + 2)) {
+            (Some(Op::Relu), Some(&Op::Pool { k })) => (Epilogue::ReluPool { k }, 3),
+            (Some(Op::Relu), _) => (Epilogue::Relu, 2),
+            _ => (Epilogue::None, 1),
+        };
+        blocks.push(Block { start: i, len, conv: Some(layer.clone()), epilogue });
+        i += len;
+    }
+    blocks
+}
+
+/// Segments `net` and emits one [`TuneRequest`] per conv block carrying
+/// its chain's epilogue — the batch a fusion-aware session submits. The
+/// request order matches the block order, so callers can zip results
+/// back onto [`segment`]'s output.
+pub fn fused_requests(
+    net: &Network,
+    kind_of: impl Fn(&ConvLayer) -> Vec<iolb_core::optimality::TileKind>,
+) -> Vec<TuneRequest> {
+    let ops = op_stream(net);
+    let mut requests = Vec::new();
+    for block in segment(&ops) {
+        let Some(layer) = &block.conv else { continue };
+        for kind in kind_of(layer) {
+            requests.push(TuneRequest::fused(layer.shape, kind, block.epilogue));
+        }
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use iolb_core::shapes::ConvShape;
+    use proptest::prelude::*;
+
+    /// Exact cover: blocks tile `0..ops.len()` in order, no gaps, no
+    /// overlaps.
+    fn assert_exact_cover(ops: &[Op], blocks: &[Block]) {
+        let mut cursor = 0;
+        for b in blocks {
+            assert_eq!(b.start, cursor, "gap or overlap at op {cursor}");
+            assert!(b.len >= 1);
+            cursor += b.len;
+        }
+        assert_eq!(cursor, ops.len(), "cover must end at the stream end");
+    }
+
+    #[test]
+    fn vgg_style_stream_interleaves_relu_and_pool() {
+        let net = models::vgg19();
+        let ops = op_stream(&net);
+        // Every conv is activated; stage transitions pool.
+        let convs = ops.iter().filter(|o| matches!(o, Op::Conv(_))).count();
+        let relus = ops.iter().filter(|o| matches!(o, Op::Relu)).count();
+        let pools = ops.iter().filter(|o| matches!(o, Op::Pool { .. })).count();
+        assert_eq!(convs, net.layers.len());
+        assert_eq!(relus, convs);
+        assert_eq!(pools, 4, "VGG-19 has four in-inventory stage transitions");
+    }
+
+    #[test]
+    fn segmentation_builds_conv_relu_pool_chains() {
+        let net = models::vgg19();
+        let ops = op_stream(&net);
+        let blocks = segment(&ops);
+        assert_exact_cover(&ops, &blocks);
+        // Stage-final convs carry the pool; all others fuse just the relu.
+        let pooled =
+            blocks.iter().filter(|b| matches!(b.epilogue, Epilogue::ReluPool { .. })).count();
+        let relu_only = blocks.iter().filter(|b| b.epilogue == Epilogue::Relu).count();
+        assert_eq!(pooled, 4);
+        assert_eq!(pooled + relu_only, net.layers.len());
+        assert!(blocks.iter().all(|b| b.conv.is_some()), "VGG segments into conv chains only");
+    }
+
+    #[test]
+    fn lone_ops_get_their_own_blocks() {
+        let ops = vec![
+            Op::Relu, // stream head without a conv
+            Op::Conv(ConvLayer::new("c", ConvShape::square(8, 8, 8, 3, 1, 1))),
+            Op::Relu,
+            Op::Pool { k: 2 },
+            Op::Pool { k: 2 }, // second pool cannot join the chain
+        ];
+        let blocks = segment(&ops);
+        assert_exact_cover(&ops, &blocks);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].conv, None);
+        assert_eq!(blocks[1].epilogue, Epilogue::ReluPool { k: 2 });
+        assert_eq!(blocks[2].conv, None);
+    }
+
+    #[test]
+    fn all_model_streams_segment_into_exact_covers() {
+        for net in models::all_networks() {
+            let ops = op_stream(&net);
+            let blocks = segment(&ops);
+            assert_exact_cover(&ops, &blocks);
+            // Determinism and idempotence on the real inventories.
+            assert_eq!(blocks, segment(&ops), "{} re-segmented differently", net.name);
+        }
+    }
+
+    #[test]
+    fn fused_requests_carry_block_epilogues() {
+        let net = models::vgg19();
+        let requests = fused_requests(&net, |_| vec![iolb_core::optimality::TileKind::Direct]);
+        assert_eq!(requests.len(), net.layers.len());
+        assert!(requests.iter().any(|r| matches!(r.epilogue, Epilogue::ReluPool { .. })));
+        assert!(requests.iter().all(|r| !r.epilogue.is_none()), "every VGG conv is activated");
+    }
+
+    /// Arbitrary op streams for the property tests.
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec((0u32..4, 1u32..4), 0..24).prop_map(|draws| {
+            draws
+                .into_iter()
+                .map(|(tag, k)| match tag {
+                    0 => Op::Relu,
+                    1 => Op::Pool { k: k as usize + 1 },
+                    _ => Op::Conv(ConvLayer::new(
+                        "p",
+                        ConvShape::square(8, 8 * k as usize, 8, 3, 1, 1),
+                    )),
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Deterministic: the same stream always yields the same blocks.
+        #[test]
+        fn segmentation_is_deterministic(ops in arb_ops()) {
+            prop_assert_eq!(segment(&ops), segment(&ops));
+        }
+
+        /// Exact cover with no overlaps, whatever the stream shape.
+        #[test]
+        fn segmentation_is_an_exact_cover(ops in arb_ops()) {
+            let blocks = segment(&ops);
+            let mut cursor = 0;
+            for b in &blocks {
+                prop_assert_eq!(b.start, cursor);
+                prop_assert!(b.len >= 1 && b.len <= 3);
+                cursor += b.len;
+            }
+            prop_assert_eq!(cursor, ops.len());
+        }
+
+        /// Idempotent: segmenting each block's own op span reproduces
+        /// exactly that block (no chain is split or re-joined by a
+        /// second pass).
+        #[test]
+        fn segmentation_is_idempotent(ops in arb_ops()) {
+            for b in segment(&ops) {
+                let span = &ops[b.start..b.start + b.len];
+                let again = segment(span);
+                prop_assert_eq!(again.len(), 1, "block re-segmented into pieces");
+                prop_assert_eq!(&again[0].epilogue, &b.epilogue);
+                prop_assert_eq!(&again[0].conv, &b.conv);
+            }
+        }
+
+        /// A chain the gate rejects is never costed worse than its
+        /// per-layer composition: the modeled cost of the serving plan
+        /// (fused if the gate fuses, per-layer otherwise) is bounded by
+        /// the per-layer sum for every chain.
+        #[test]
+        fn fallback_never_costs_more_than_the_per_layer_sum(
+            hw_pow in 2u32..5, k in 2usize..4,
+        ) {
+            use iolb_autotune::fusion::{epilogue_fused_ms, epilogue_unfused_ms};
+            use iolb_autotune::{fusion_gate, FusionDecision};
+            use iolb_core::optimality::TileKind;
+            let device = iolb_gpusim::DeviceSpec::v100();
+            let hw = 1usize << hw_pow; // conv output extent 4..16
+            let shape = ConvShape::square(16, hw + 2, 16, 3, 1, 1);
+            let epilogue = Epilogue::ReluPool { k };
+            let unfused = epilogue_unfused_ms(&shape, epilogue, &device);
+            let planned = match fusion_gate(&shape, TileKind::Direct, epilogue, &device) {
+                FusionDecision::Fuse => epilogue_fused_ms(&shape, epilogue, &device),
+                // Fallback serves the unfused composition itself: the
+                // epilogue cost is exactly the per-layer epilogue cost.
+                FusionDecision::Fallback(_) => unfused,
+            };
+            prop_assert!(
+                planned <= unfused,
+                "planned {planned} ms exceeds per-layer {unfused} ms"
+            );
+        }
+    }
+}

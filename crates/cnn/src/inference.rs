@@ -279,7 +279,7 @@ pub fn time_network_with_backend<B: Backend>(
         let start = requests.len();
         let mut labels = Vec::new();
         for (kind, label) in algo_candidates(&layer.shape) {
-            requests.push(TuneRequest { shape: layer.shape, kind });
+            requests.push(TuneRequest::bare(layer.shape, kind));
             labels.push(label);
         }
         spans.push((start, labels));

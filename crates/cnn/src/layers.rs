@@ -4,7 +4,7 @@ use iolb_core::shapes::ConvShape;
 
 /// A named conv layer with an occurrence count (identical layers inside a
 /// network are folded with `repeat > 1`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConvLayer {
     /// Diagnostic name, e.g. `"conv3"` or `"fire5.expand3x3"`.
     pub name: String,

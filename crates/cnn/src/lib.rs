@@ -9,7 +9,9 @@
 //! ([`inference::time_network_with_backend`] over any
 //! `iolb_service::Backend` — the embedded [`TuningService`] wrapper is
 //! [`inference::time_network_with_service`]; a `SocketBackend` runs the
-//! same session against a resident shard-server daemon).
+//! same session against a resident shard-server daemon). [`fusion`]
+//! reconstructs each network's conv→relu(→pool) operator stream and
+//! segments it into fusable blocks served as composite workloads.
 //!
 //! [`TuningService`]: iolb_service::TuningService
 //!
@@ -23,6 +25,7 @@
 //! assert_eq!(iolb_cnn::inference::layer(&net, "conv3").shape.cout, 384);
 //! ```
 
+pub mod fusion;
 pub mod inference;
 pub mod layers;
 pub mod models;

@@ -50,12 +50,14 @@
 #![allow(clippy::needless_range_loop)] // index loops read clearer in numeric code
 pub mod composite;
 pub mod direct;
+pub mod epilogue;
 pub mod matmul;
 pub mod optimality;
 pub mod phi_psi;
 pub mod shapes;
 pub mod winograd;
 
+pub use epilogue::Epilogue;
 pub use shapes::{ConvShape, ShapeError, WinogradTile};
 
 /// Which convolution algorithm a bound or schedule refers to.

@@ -15,10 +15,21 @@
 //! element — so the two paths are bit-identical, like the rest of the
 //! compute substrate.
 
+//!
+//! Fused conv→epilogue chains run through [`execute_direct_fused`] /
+//! [`execute_winograd_fused`]: the epilogue (ReLU, ReLU + non-overlapping
+//! max-pool) is applied to the block's *resident* output tile before the
+//! single write-back, so the intermediate conv output never touches the
+//! output tensor — and the result is bit-identical to composing the
+//! unfused executor with the standalone [`iolb_tensor::ops`] passes,
+//! because both sides share the same per-element expressions.
+
 use crate::config::ScheduleConfig;
+use iolb_core::epilogue::Epilogue;
 use iolb_core::shapes::{ConvShape, WinogradTile};
 use iolb_tensor::conv_ref::ConvParams;
 use iolb_tensor::kernel::KernelPath;
+use iolb_tensor::ops::relu_val;
 use iolb_tensor::tensor::Tensor4;
 use iolb_tensor::winograd_math::{generate, matmul_flat, Mat};
 
@@ -60,19 +71,64 @@ pub fn execute_direct_with_path(
     workers: usize,
     path: KernelPath,
 ) -> Tensor4 {
+    execute_direct_impl(input, weights, params, cfg, workers, path, Epilogue::None)
+}
+
+/// Executes a fused direct conv→epilogue chain: the epilogue is applied
+/// to each block's resident output tile before its single write-back,
+/// so no intermediate conv tensor is ever materialized. A pool epilogue
+/// writes the *pooled* tensor; its window must tile the output and the
+/// block (`k | H_out`, `k | x`, `k | y`) — the same alignment the fused
+/// search space enforces on every configuration it offers.
+pub fn execute_direct_fused(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    cfg: &ScheduleConfig,
+    workers: usize,
+    epilogue: Epilogue,
+) -> Tensor4 {
+    execute_direct_impl(input, weights, params, cfg, workers, KernelPath::from_env(), epilogue)
+}
+
+/// [`execute_direct_fused`] with an explicit kernel path.
+pub fn execute_direct_fused_with_path(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    cfg: &ScheduleConfig,
+    workers: usize,
+    path: KernelPath,
+    epilogue: Epilogue,
+) -> Tensor4 {
+    execute_direct_impl(input, weights, params, cfg, workers, path, epilogue)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_direct_impl(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    cfg: &ScheduleConfig,
+    workers: usize,
+    path: KernelPath,
+    epilogue: Epilogue,
+) -> Tensor4 {
     let shape = shape_of(input, weights, params);
     let (hout, wout) = (shape.hout(), shape.wout());
     assert_eq!(hout % cfg.x, 0, "x must divide H_out");
     assert_eq!(wout % cfg.y, 0, "y must divide W_out");
     assert_eq!(shape.cout % cfg.z, 0, "z must divide C_out");
+    assert_epilogue_alignment(epilogue, hout, wout, cfg);
 
     let blocks_h = hout / cfg.x;
     let blocks_w = wout / cfg.y;
     let blocks_c = shape.cout / cfg.z;
     let total_blocks = blocks_h * blocks_w * blocks_c * shape.batch;
 
-    let mut out = Tensor4::zeros(shape.batch, shape.cout, hout, wout);
-    let image_len = shape.cout * hout * wout;
+    let (out_h, out_w) = epilogue_out_dims(epilogue, hout, wout);
+    let mut out = Tensor4::zeros(shape.batch, shape.cout, out_h, out_w);
+    let image_len = shape.cout * out_h * out_w;
     let (xp, yp) = crate::direct::halo(&shape, cfg.x, cfg.y);
 
     // Partition output storage by batch image; within an image blocks are
@@ -192,28 +248,109 @@ pub fn execute_direct_with_path(
                             }
                         }
                     }
-                    // Write the sub-block back exactly once.
-                    for zc in 0..cfg.z {
-                        for oy in 0..cfg.x {
-                            for ox in 0..cfg.y {
-                                let c = oc0 + zc;
-                                let yy = oy0 + oy;
-                                let xx = ox0 + ox;
-                                let off = n * image_len + (c * hout + yy) * wout + xx;
-                                // SAFETY: blocks write disjoint output
-                                // regions; indices are in range by
-                                // construction.
-                                unsafe {
-                                    *out_ptr.0.add(off) = acc[(zc * cfg.x + oy) * cfg.y + ox];
-                                }
-                            }
-                        }
-                    }
+                    // Epilogue on the resident tile, then the single
+                    // write-back.
+                    write_back_with_epilogue(
+                        &acc, epilogue, out_ptr, image_len, out_h, out_w, n, oc0, oy0, ox0, cfg,
+                    );
                 }
             });
         }
     });
     out
+}
+
+/// Panics unless a pool epilogue's window tiles both the conv output and
+/// the block tile — the preconditions under which pooled write-backs of
+/// different blocks stay disjoint.
+fn assert_epilogue_alignment(epilogue: Epilogue, hout: usize, wout: usize, cfg: &ScheduleConfig) {
+    if let Epilogue::ReluPool { k } = epilogue {
+        assert_eq!(hout % k, 0, "pool window must tile H_out");
+        assert_eq!(wout % k, 0, "pool window must tile W_out");
+        assert_eq!(cfg.x % k, 0, "pool window must tile the x tile");
+        assert_eq!(cfg.y % k, 0, "pool window must tile the y tile");
+    }
+}
+
+/// Output-tensor spatial extents after the epilogue.
+fn epilogue_out_dims(epilogue: Epilogue, hout: usize, wout: usize) -> (usize, usize) {
+    match epilogue {
+        Epilogue::None | Epilogue::Relu => (hout, wout),
+        Epilogue::ReluPool { k } => (hout / k, wout / k),
+    }
+}
+
+/// Applies `epilogue` to one block's resident `z * x * y` conv tile and
+/// performs the block's only write-back. `Epilogue::None` reproduces the
+/// unfused executors' write loop exactly; `Relu` maps each element
+/// through [`relu_val`]; `ReluPool` folds each `k x k` window with the
+/// same `f32::max`-from-`NEG_INFINITY` fold as
+/// [`iolb_tensor::ops::maxpool2d`], writing only the pooled cells —
+/// that shared per-element arithmetic is what makes the fused output
+/// bit-identical to the unfused composition.
+#[allow(clippy::too_many_arguments)]
+fn write_back_with_epilogue(
+    tile: &[f32],
+    epilogue: Epilogue,
+    out_ptr: &SendPtr,
+    image_len: usize,
+    out_h: usize,
+    out_w: usize,
+    n: usize,
+    oc0: usize,
+    oy0: usize,
+    ox0: usize,
+    cfg: &ScheduleConfig,
+) {
+    match epilogue {
+        Epilogue::None | Epilogue::Relu => {
+            let fuse_relu = matches!(epilogue, Epilogue::Relu);
+            for zc in 0..cfg.z {
+                for oy in 0..cfg.x {
+                    for ox in 0..cfg.y {
+                        let c = oc0 + zc;
+                        let yy = oy0 + oy;
+                        let xx = ox0 + ox;
+                        let off = n * image_len + (c * out_h + yy) * out_w + xx;
+                        let v = tile[(zc * cfg.x + oy) * cfg.y + ox];
+                        let v = if fuse_relu { relu_val(v) } else { v };
+                        // SAFETY: blocks write disjoint output regions;
+                        // indices are in range by construction.
+                        unsafe {
+                            *out_ptr.0.add(off) = v;
+                        }
+                    }
+                }
+            }
+        }
+        Epilogue::ReluPool { k } => {
+            // Block origin in pooled coordinates (oy0/ox0 are multiples
+            // of the block tile, which `k` tiles).
+            let py0 = oy0 / k;
+            let px0 = ox0 / k;
+            for zc in 0..cfg.z {
+                for py in 0..cfg.x / k {
+                    for px in 0..cfg.y / k {
+                        let mut m = f32::NEG_INFINITY;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let oy = py * k + dy;
+                                let ox = px * k + dx;
+                                m = m.max(relu_val(tile[(zc * cfg.x + oy) * cfg.y + ox]));
+                            }
+                        }
+                        let c = oc0 + zc;
+                        let off = n * image_len + (c * out_h + py0 + py) * out_w + (px0 + px);
+                        // SAFETY: pooled regions of distinct blocks are
+                        // disjoint because `k` tiles the block.
+                        unsafe {
+                            *out_ptr.0.add(off) = m;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Executes the Winograd dataflow of §5.3 on the CPU: per block, per
@@ -241,6 +378,61 @@ pub fn execute_winograd_with_path(
     workers: usize,
     path: KernelPath,
 ) -> Tensor4 {
+    execute_winograd_impl(input, weights, params, tile, cfg, workers, path, Epilogue::None)
+}
+
+/// Executes a fused Winograd conv→epilogue chain (see
+/// [`execute_direct_fused`]): the inverse-transformed tiles land in the
+/// block's resident output tile as `f32` — the same values the unfused
+/// path writes back — and the epilogue is applied there, before the
+/// block's single write-back.
+pub fn execute_winograd_fused(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    tile: WinogradTile,
+    cfg: &ScheduleConfig,
+    workers: usize,
+    epilogue: Epilogue,
+) -> Tensor4 {
+    execute_winograd_impl(
+        input,
+        weights,
+        params,
+        tile,
+        cfg,
+        workers,
+        KernelPath::from_env(),
+        epilogue,
+    )
+}
+
+/// [`execute_winograd_fused`] with an explicit kernel path.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_winograd_fused_with_path(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    tile: WinogradTile,
+    cfg: &ScheduleConfig,
+    workers: usize,
+    path: KernelPath,
+    epilogue: Epilogue,
+) -> Tensor4 {
+    execute_winograd_impl(input, weights, params, tile, cfg, workers, path, epilogue)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_winograd_impl(
+    input: &Tensor4,
+    weights: &Tensor4,
+    params: ConvParams,
+    tile: WinogradTile,
+    cfg: &ScheduleConfig,
+    workers: usize,
+    path: KernelPath,
+    epilogue: Epilogue,
+) -> Tensor4 {
     assert_eq!(params.stride, 1, "winograd requires unit stride");
     let shape = shape_of(input, weights, params);
     assert!(shape.supports_winograd(tile), "shape incompatible with F(e,r)");
@@ -250,6 +442,7 @@ pub fn execute_winograd_with_path(
     assert_eq!(shape.cout % cfg.z, 0, "z must divide C_out");
     assert_eq!(cfg.x % tile.e, 0, "x must be a multiple of e");
     assert_eq!(cfg.y % tile.e, 0, "y must be a multiple of e");
+    assert_epilogue_alignment(epilogue, hout, wout, cfg);
 
     let t = generate(tile.e, tile.r);
     let a = tile.a();
@@ -266,8 +459,9 @@ pub fn execute_winograd_with_path(
     let tiles_h = cfg.x / tile.e;
     let tiles_w = cfg.y / tile.e;
 
-    let mut out = Tensor4::zeros(shape.batch, shape.cout, hout, wout);
-    let image_len = shape.cout * hout * wout;
+    let (out_h, out_w) = epilogue_out_dims(epilogue, hout, wout);
+    let mut out = Tensor4::zeros(shape.batch, shape.cout, out_h, out_w);
+    let image_len = shape.cout * out_h * out_w;
     let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let workers = workers.max(1).min(total_blocks.max(1));
@@ -293,6 +487,11 @@ pub fn execute_winograd_with_path(
                 let mut j_all = vec![0.0f64; cfg.z * aa];
                 let mut y_tmp = vec![0.0f64; e * a];
                 let mut y_flat = vec![0.0f64; e * e];
+                // Block-resident output tile: the inverse-transformed
+                // `f32` values land here (the exact bits the unfused
+                // path would write back) so the epilogue can run on the
+                // resident tile before the single write-back.
+                let mut block_tile = vec![0.0f32; cfg.z * cfg.x * cfg.y];
                 loop {
                     let b = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if b >= total_blocks {
@@ -407,7 +606,10 @@ pub fn execute_winograd_with_path(
                             }
                         }
                     }
-                    // Output transform and single write-back.
+                    // Output transform into the block-resident tile
+                    // (`f64 -> f32` conversion happens *here*, before any
+                    // epilogue arithmetic), then epilogue + single
+                    // write-back.
                     for th in 0..tiles_h {
                         for tw in 0..tiles_w {
                             for zc in 0..cfg.z {
@@ -417,15 +619,10 @@ pub fn execute_winograd_with_path(
                                         let y_tile = t.at.matmul(m).matmul(&t.at.t());
                                         for dy in 0..tile.e {
                                             for dx in 0..tile.e {
-                                                let c = oc0 + zc;
-                                                let yy = oy0 + th * tile.e + dy;
-                                                let xx = ox0 + tw * tile.e + dx;
-                                                let off =
-                                                    n * image_len + (c * hout + yy) * wout + xx;
-                                                // SAFETY: disjoint per block.
-                                                unsafe {
-                                                    *out_ptr.0.add(off) = y_tile.at(dy, dx) as f32;
-                                                }
+                                                let oy = th * tile.e + dy;
+                                                let ox = tw * tile.e + dx;
+                                                block_tile[(zc * cfg.x + oy) * cfg.y + ox] =
+                                                    y_tile.at(dy, dx) as f32;
                                             }
                                         }
                                     }
@@ -434,16 +631,10 @@ pub fn execute_winograd_with_path(
                                         matmul_flat(&y_tmp, &at_t.data, &mut y_flat, e, a, e);
                                         for dy in 0..e {
                                             for dx in 0..e {
-                                                let c = oc0 + zc;
-                                                let yy = oy0 + th * e + dy;
-                                                let xx = ox0 + tw * e + dx;
-                                                let off =
-                                                    n * image_len + (c * hout + yy) * wout + xx;
-                                                // SAFETY: disjoint per block.
-                                                unsafe {
-                                                    *out_ptr.0.add(off) =
-                                                        y_flat[dy * e + dx] as f32;
-                                                }
+                                                let oy = th * e + dy;
+                                                let ox = tw * e + dx;
+                                                block_tile[(zc * cfg.x + oy) * cfg.y + ox] =
+                                                    y_flat[dy * e + dx] as f32;
                                             }
                                         }
                                     }
@@ -451,6 +642,19 @@ pub fn execute_winograd_with_path(
                             }
                         }
                     }
+                    write_back_with_epilogue(
+                        &block_tile,
+                        epilogue,
+                        out_ptr,
+                        image_len,
+                        out_h,
+                        out_w,
+                        n,
+                        oc0,
+                        oy0,
+                        ox0,
+                        cfg,
+                    );
                 }
             });
         }
@@ -609,5 +813,105 @@ mod tests {
         let input = Tensor4::zeros(1, 1, 8, 8);
         let weights = Tensor4::zeros(1, 1, 3, 3);
         let _ = execute_direct(&input, &weights, ConvParams::new(1, 0), &cfg(4, 3, 1), 1);
+    }
+
+    /// The fused contract, bitwise: fused conv→epilogue equals the bare
+    /// conv followed by the standalone `iolb_tensor::ops` passes.
+    fn assert_bits_eq(a: &Tensor4, b: &Tensor4, what: &str) {
+        let ab: Vec<u32> = a.as_slice().iter().map(|f| f.to_bits()).collect();
+        let bb: Vec<u32> = b.as_slice().iter().map(|f| f.to_bits()).collect();
+        assert_eq!(ab, bb, "{what}");
+    }
+
+    fn unfused_composition(conv: &Tensor4, epilogue: Epilogue) -> Tensor4 {
+        match epilogue {
+            Epilogue::None => conv.clone(),
+            Epilogue::Relu => iolb_tensor::ops::relu(conv),
+            Epilogue::ReluPool { k } => {
+                iolb_tensor::ops::maxpool2d(&iolb_tensor::ops::relu(conv), k)
+            }
+        }
+    }
+
+    #[test]
+    fn fused_direct_bit_identical_to_unfused_composition() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let input = Tensor4::random(2, 3, 10, 10, &mut rng);
+        let weights = Tensor4::random(4, 3, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 1); // 10x10 out
+        let c = cfg(5, 10, 2);
+        for path in [KernelPath::Scalar, KernelPath::Vector] {
+            let conv = execute_direct_with_path(&input, &weights, params, &c, 3, path);
+            for epilogue in [Epilogue::Relu, Epilogue::ReluPool { k: 5 }] {
+                let want = unfused_composition(&conv, epilogue);
+                for workers in [1, 4] {
+                    let got = execute_direct_fused_with_path(
+                        &input, &weights, params, &c, workers, path, epilogue,
+                    );
+                    assert_bits_eq(&got, &want, &format!("{path:?} {epilogue} w={workers}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_winograd_bit_identical_to_unfused_composition() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let input = Tensor4::random(1, 3, 10, 10, &mut rng);
+        let weights = Tensor4::random(4, 3, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 0); // 8x8 out
+        for (tile, x, y, z) in [(WinogradTile::F2X3, 4, 8, 2), (WinogradTile::F4X3, 8, 8, 4)] {
+            let c = cfg(x, y, z);
+            for path in [KernelPath::Scalar, KernelPath::Vector] {
+                let conv = execute_winograd_with_path(&input, &weights, params, tile, &c, 3, path);
+                for epilogue in [Epilogue::Relu, Epilogue::ReluPool { k: 2 }] {
+                    let want = unfused_composition(&conv, epilogue);
+                    for workers in [1, 4] {
+                        let got = execute_winograd_fused_with_path(
+                            &input, &weights, params, tile, &c, workers, path, epilogue,
+                        );
+                        assert_bits_eq(
+                            &got,
+                            &want,
+                            &format!("{tile:?} {path:?} {epilogue} w={workers}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pool_output_is_pooled_shape() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let input = Tensor4::random(1, 2, 10, 10, &mut rng);
+        let weights = Tensor4::random(2, 2, 3, 3, &mut rng);
+        let params = ConvParams::new(1, 1); // 10x10 out
+        let got = execute_direct_fused(
+            &input,
+            &weights,
+            params,
+            &cfg(10, 10, 2),
+            2,
+            Epilogue::ReluPool { k: 2 },
+        );
+        assert_eq!((got.h, got.w), (5, 5));
+        assert!(got.as_slice().iter().all(|&v| v >= 0.0), "relu precedes the pool");
+    }
+
+    #[test]
+    #[should_panic(expected = "pool window must tile the x tile")]
+    fn fused_pool_rejects_misaligned_block() {
+        let input = Tensor4::zeros(1, 1, 10, 10);
+        let weights = Tensor4::zeros(1, 1, 3, 3);
+        // 10x10 out, x=5 but k=2 does not tile the 5-row block.
+        let _ = execute_direct_fused(
+            &input,
+            &weights,
+            ConvParams::new(1, 1),
+            &cfg(5, 10, 1),
+            1,
+            Epilogue::ReluPool { k: 2 },
+        );
     }
 }

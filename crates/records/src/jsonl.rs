@@ -30,9 +30,17 @@ use iolb_tensor::layout::Layout;
 pub fn encode(rec: &TuningRecord) -> String {
     let s = &rec.workload.shape;
     let c = &rec.config;
+    // Fused chains carry an extra "epi" field right after "algo"; the
+    // unfused case emits nothing there, keeping pre-fusion lines
+    // byte-identical (same schema version, same canonical bytes).
+    let epi = if rec.workload.epilogue.is_none() {
+        String::new()
+    } else {
+        format!("\"epi\":\"{}\",", rec.workload.epilogue.tag())
+    };
     format!(
         concat!(
-            "{{\"v\":{},\"algo\":\"{}\",\"batch\":{},\"cin\":{},\"hin\":{},\"win\":{},",
+            "{{\"v\":{},\"algo\":\"{}\",{}\"batch\":{},\"cin\":{},\"hin\":{},\"win\":{},",
             "\"cout\":{},\"kh\":{},\"kw\":{},\"stride\":{},\"pad\":{},",
             "\"dev\":\"{}\",\"smem\":{},",
             "\"x\":{},\"y\":{},\"z\":{},\"nxt\":{},\"nyt\":{},\"nzt\":{},",
@@ -40,6 +48,7 @@ pub fn encode(rec: &TuningRecord) -> String {
         ),
         SCHEMA_VERSION,
         algo_tag(rec.workload.kind),
+        epi,
         s.batch,
         s.cin,
         s.hin,
@@ -95,12 +104,19 @@ pub fn decode(line: &str) -> Result<TuningRecord, String> {
         pad: dim("pad")?,
     };
     shape.validate().map_err(|e| format!("invalid shape: {e}"))?;
+    // "epi" is optional: absent means an unfused convolution, which is
+    // exactly what every pre-fusion line in an existing store says.
+    let epilogue = match fields.iter().find(|(k, _)| k == "epi") {
+        Some((_, v)) => iolb_core::epilogue::Epilogue::parse_tag(v.as_str("epi")?)?,
+        None => iolb_core::epilogue::Epilogue::None,
+    };
     let workload = Workload {
         shape,
         kind,
         device: get("dev")?.as_str("dev")?.to_string(),
         smem_bytes: u32::try_from(get("smem")?.as_u64("smem")?)
             .map_err(|_| "smem out of range".to_string())?,
+        epilogue,
     };
     let layout: Layout = get("layout")?.as_str("layout")?.parse()?;
     let config = ScheduleConfig {
@@ -374,6 +390,25 @@ mod tests {
             let back = decode(&encode(&rec)).unwrap();
             assert_eq!(back, rec);
         }
+    }
+
+    #[test]
+    fn fused_records_round_trip_and_unfused_lines_are_unchanged() {
+        use iolb_core::epilogue::Epilogue;
+        let bare = encode(&record(1.0));
+        assert!(!bare.contains("\"epi\""), "unfused lines must not grow an epi field");
+        for epi in [Epilogue::Relu, Epilogue::ReluPool { k: 2 }] {
+            let mut rec = record(1.0);
+            rec.workload.epilogue = epi;
+            let line = encode(&rec);
+            assert!(line.contains(&format!("\"epi\":\"{}\"", epi.tag())));
+            let back = decode(&line).unwrap();
+            assert_eq!(back, rec);
+        }
+        // A bad epilogue tag is rejected, not silently dropped.
+        let line = encode(&record(1.0))
+            .replace("\"algo\":\"direct\",", "\"algo\":\"direct\",\"epi\":\"+swish\",");
+        assert!(decode(&line).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! feature vector of a workload supports nearest-neighbour queries when
 //! an exact fingerprint match does not exist (cross-layer transfer).
 
+use iolb_core::epilogue::Epilogue;
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::{ConvShape, WinogradTile};
 use iolb_dataflow::config::ScheduleConfig;
@@ -31,6 +32,11 @@ pub struct Workload {
     pub device: String,
     /// Device shared memory per SM, bytes.
     pub smem_bytes: u32,
+    /// Fused epilogue of the chain this workload represents.
+    /// [`Epilogue::None`] for a bare convolution — in which case the
+    /// fingerprint is byte-identical to what it was before fusion
+    /// existed, so pre-fusion stores load unchanged.
+    pub epilogue: Epilogue,
 }
 
 impl Workload {
@@ -40,7 +46,13 @@ impl Workload {
         device: impl Into<String>,
         smem_bytes: u32,
     ) -> Self {
-        Self { shape, kind, device: device.into(), smem_bytes }
+        Self { shape, kind, device: device.into(), smem_bytes, epilogue: Epilogue::None }
+    }
+
+    /// The same workload fused with `epilogue` (builder-style).
+    pub fn with_epilogue(mut self, epilogue: Epilogue) -> Self {
+        self.epilogue = epilogue;
+        self
     }
 
     /// Canonical algorithm tag: `direct` or `w{e}x{r}` (e.g. `w2x3` for
@@ -50,12 +62,16 @@ impl Workload {
     }
 
     /// The store's primary key: a canonical, human-readable string that
-    /// is injective over everything the cost depends on.
+    /// is injective over everything the cost depends on. A fused chain
+    /// suffixes its epilogue tag onto the algorithm segment
+    /// (`direct+relu+pool2|…`); the unfused tag is empty, so bare-conv
+    /// fingerprints are unchanged from the pre-fusion schema.
     pub fn fingerprint(&self) -> String {
         let s = &self.shape;
         format!(
-            "{}|n{}c{}h{}w{}|o{}|k{}x{}|s{}p{}|{}|{}",
+            "{}{}|n{}c{}h{}w{}|o{}|k{}x{}|s{}p{}|{}|{}",
             self.algo_tag(),
+            self.epilogue.tag(),
             s.batch,
             s.cin,
             s.hin,
@@ -98,9 +114,13 @@ impl Workload {
 
     /// Whether transfer between the two workloads is admissible: same
     /// algorithm family (configs carry algorithm-specific constraints,
-    /// e.g. Winograd `e`-multiple tiles) and same batch size.
+    /// e.g. Winograd `e`-multiple tiles), same batch size, and same
+    /// fused epilogue (a pool epilogue constrains admissible tilings, so
+    /// chain configs only transfer to like chains).
     pub fn transfer_compatible(&self, other: &Workload) -> bool {
-        self.kind == other.kind && self.shape.batch == other.shape.batch
+        self.kind == other.kind
+            && self.shape.batch == other.shape.batch
+            && self.epilogue == other.epilogue
     }
 }
 
@@ -207,6 +227,28 @@ mod tests {
         assert_ne!(dev.fingerprint(), wl(64).fingerprint());
         let wino = Workload { kind: TileKind::Winograd(WinogradTile::F2X3), ..wl(64) };
         assert_ne!(wino.fingerprint(), wl(64).fingerprint());
+    }
+
+    #[test]
+    fn fused_fingerprint_extends_but_never_disturbs_unfused() {
+        let bare = wl(64);
+        let fused = wl(64).with_epilogue(Epilogue::ReluPool { k: 2 });
+        assert!(bare.fingerprint().starts_with("direct|"), "unfused key must be unchanged");
+        assert!(fused.fingerprint().starts_with("direct+relu+pool2|"));
+        assert_ne!(bare.fingerprint(), fused.fingerprint());
+        assert_ne!(
+            wl(64).with_epilogue(Epilogue::Relu).fingerprint(),
+            fused.fingerprint(),
+            "distinct epilogues must key separately"
+        );
+    }
+
+    #[test]
+    fn transfer_requires_same_epilogue() {
+        let bare = wl(64);
+        let fused = wl(128).with_epilogue(Epilogue::Relu);
+        assert!(!bare.transfer_compatible(&fused));
+        assert!(wl(64).with_epilogue(Epilogue::Relu).transfer_compatible(&fused));
     }
 
     #[test]

@@ -505,10 +505,10 @@ mod tests {
         let device = iolb_gpusim::DeviceSpec::v100();
         (0..n)
             .map(|i| {
-                let request = TuneRequest {
-                    shape: ConvShape::new(8 + i, 14, 14, 16, 1, 1, 1, 0),
-                    kind: TileKind::Direct,
-                };
+                let request = TuneRequest::bare(
+                    ConvShape::new(8 + i, 14, 14, 16, 1, 1, 1, 0),
+                    TileKind::Direct,
+                );
                 FleetRouter::fingerprint(&request, &device)
             })
             .collect()

@@ -36,6 +36,7 @@
 //! [`fast_config`]: iolb_autotune::plan::fast_config
 
 use iolb_autotune::plan::fast_config;
+use iolb_core::epilogue::Epilogue;
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
 use iolb_gpusim::DeviceSpec;
@@ -137,6 +138,10 @@ impl JobTier {
 pub struct Job {
     pub shape: ConvShape,
     pub kind: TileKind,
+    /// Fused epilogue of the chain ([`Epilogue::None`] for bare convs —
+    /// all background registration and speculation; only session batch
+    /// and transfer jobs ever carry a chain).
+    pub epilogue: Epilogue,
     pub device: DeviceSpec,
     pub tier: JobTier,
     /// For [`JobTier::Neighbor`] jobs: which perturbation predicted this
@@ -153,6 +158,7 @@ impl Job {
     /// The record-store identity of this job.
     pub fn workload(&self) -> Workload {
         Workload::new(self.shape, self.kind, self.device.name, self.device.smem_per_sm)
+            .with_epilogue(self.epilogue)
     }
 
     pub fn fingerprint(&self) -> String {
@@ -424,6 +430,7 @@ mod tests {
         Job {
             shape: ConvShape::square(cin, 28, 32, 3, 1, 1),
             kind: TileKind::Direct,
+            epilogue: Epilogue::None,
             device: DeviceSpec::v100(),
             tier,
             perturbation: if matches!(tier, JobTier::Neighbor) {

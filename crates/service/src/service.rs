@@ -181,6 +181,11 @@ pub struct ServeResult {
     pub fresh_measurements: usize,
     /// Store replays this request itself used.
     pub cache_hits: usize,
+    /// Whether this result is for a **fused chain** workload — i.e. a
+    /// fused request that passed the analytic gate. `false` for bare
+    /// convs and for fused requests the gate rewrote to their per-layer
+    /// fallback (whose `cost_ms` is then the conv-only time).
+    pub fused: bool,
 }
 
 /// Per-perturbation-kind speculation telemetry.
@@ -242,6 +247,12 @@ pub struct ServiceStats {
     /// Completed sessions (the "served networks" clock the speculation
     /// probation runs on).
     pub networks_served: usize,
+    /// Unique fused chains that passed the analytic fusion gate at
+    /// session submit (mirrors the `iolb_fused_blocks_total` metric).
+    pub fused_blocks: usize,
+    /// Unique fused chains the gate rewrote to their per-layer fallback
+    /// (mirrors `iolb_fusion_fallbacks_total`).
+    pub fusion_fallbacks: usize,
     /// Per-perturbation-kind speculation telemetry, indexed by
     /// [`PerturbationKind::index`].
     pub speculation: [KindStats; 4],
@@ -278,6 +289,8 @@ impl ServiceStats {
         f(&mut self.batch_requests, other.batch_requests);
         f(&mut self.batch_deduped, other.batch_deduped);
         f(&mut self.networks_served, other.networks_served);
+        f(&mut self.fused_blocks, other.fused_blocks);
+        f(&mut self.fusion_fallbacks, other.fusion_fallbacks);
         for kind in PerturbationKind::ALL {
             let at = kind.index();
             f(&mut self.speculation[at].enqueued, other.speculation[at].enqueued);
@@ -348,6 +361,8 @@ impl ServiceSnapshot {
             ("batch_requests", s.batch_requests),
             ("batch_deduped", s.batch_deduped),
             ("networks_served", s.networks_served),
+            ("fused_blocks", s.fused_blocks),
+            ("fusion_fallbacks", s.fusion_fallbacks),
             ("queue_len", self.queue_len),
             ("budget_left", self.budget_left),
         ] {
@@ -406,6 +421,8 @@ impl ServiceSnapshot {
                         "batch_requests" => s.batch_requests = v,
                         "batch_deduped" => s.batch_deduped = v,
                         "networks_served" => s.networks_served = v,
+                        "fused_blocks" => s.fused_blocks = v,
+                        "fusion_fallbacks" => s.fusion_fallbacks = v,
                         "queue_len" => snap.queue_len = v,
                         "budget_left" => snap.budget_left = v,
                         _ => {}
@@ -719,6 +736,7 @@ impl TuningService {
         let job = Job {
             shape: *shape,
             kind,
+            epilogue: iolb_core::epilogue::Epilogue::None,
             device: device.clone(),
             tier,
             perturbation: None,
@@ -808,6 +826,7 @@ impl TuningService {
                     candidates.push(Job {
                         shape,
                         kind,
+                        epilogue: iolb_core::epilogue::Epilogue::None,
                         device: device.clone(),
                         tier,
                         perturbation,
@@ -1042,7 +1061,22 @@ impl TuningService {
         kind: TileKind,
         device: &DeviceSpec,
     ) -> Option<ServeResult> {
-        let requests = [crate::session::TuneRequest { shape: *shape, kind }];
+        let requests = [crate::session::TuneRequest::bare(*shape, kind)];
+        self.submit(&requests, device).wait().pop().expect("one result per request")
+    }
+
+    /// Serves a fused conv→epilogue chain — the one-element fused
+    /// session. The analytic fusion gate runs inside
+    /// [`submit`](Self::submit): a rejected chain is served as its bare
+    /// conv (the result's `fused` flag reports which happened).
+    pub fn tune_or_wait_fused(
+        &self,
+        shape: &ConvShape,
+        kind: TileKind,
+        epilogue: iolb_core::epilogue::Epilogue,
+        device: &DeviceSpec,
+    ) -> Option<ServeResult> {
+        let requests = [crate::session::TuneRequest::fused(*shape, kind, epilogue)];
         self.submit(&requests, device).wait().pop().expect("one result per request")
     }
 }
@@ -1060,9 +1094,10 @@ fn run_hermetic_tuning(
     job: &Job,
 ) -> Option<(iolb_autotune::StoreTuneResult, RecordStore)> {
     let mut private = RecordStore::new();
-    let mut s = plan::tuner_setup(
+    let mut s = plan::tuner_setup_fused(
         &job.shape,
         job.kind,
+        job.epilogue,
         &job.device,
         config.budget_per_workload,
         config.seed,
@@ -1543,6 +1578,7 @@ mod tests {
                 let job = Job {
                     shape: n,
                     kind: TileKind::Direct,
+                    epilogue: iolb_core::Epilogue::None,
                     device: device(),
                     tier: JobTier::Neighbor,
                     perturbation: Some(kind),

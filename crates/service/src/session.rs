@@ -40,19 +40,39 @@ use crate::queue::{io_gap, transfer_admissible, Job, JobTier, PushOutcome};
 use crate::service::{ServeResult, ServeSource, ServiceSnapshot, State, TuningService};
 use crate::telemetry::MetricsSnapshot;
 use iolb_autotune::engine::tune_batch;
+use iolb_autotune::fusion::fusion_gate;
 use iolb_autotune::measure::Measurer;
 use iolb_autotune::plan::{dedup_requests, BatchRequest};
+use iolb_core::epilogue::Epilogue;
 use iolb_core::optimality::TileKind;
 use iolb_core::shapes::ConvShape;
 use iolb_gpusim::DeviceSpec;
 use iolb_records::Workload;
 use std::sync::MutexGuard;
 
-/// One workload a session asks for.
+/// One workload a session asks for: a conv layer, or — with a non-`None`
+/// epilogue — a fused conv→epilogue chain. Fused requests pass the
+/// server-side analytic [`fusion_gate`] at submit; a chain the gate
+/// rejects is **rewritten to its bare-conv request** before dedup, so it
+/// shares records (and measurements) with every unfused request for the
+/// same layer — the fallback costs zero extra fresh measurements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TuneRequest {
     pub shape: ConvShape,
     pub kind: TileKind,
+    pub epilogue: Epilogue,
+}
+
+impl TuneRequest {
+    /// A bare-conv request (the pre-fusion constructor shape).
+    pub fn bare(shape: ConvShape, kind: TileKind) -> Self {
+        Self { shape, kind, epilogue: Epilogue::None }
+    }
+
+    /// A fused-chain request.
+    pub fn fused(shape: ConvShape, kind: TileKind, epilogue: Epilogue) -> Self {
+        Self { shape, kind, epilogue }
+    }
 }
 
 /// A batch tuning session against one service on one device. Cheap to
@@ -95,6 +115,9 @@ struct AnchorEval {
 struct Member {
     shape: ConvShape,
     kind: TileKind,
+    /// Gate-approved epilogue ([`Epilogue::None`] for bare convs and for
+    /// fused requests the gate rewrote to their per-layer fallback).
+    epilogue: Epilogue,
     workload: Workload,
     fingerprint: String,
     resolution: Option<Resolution>,
@@ -133,13 +156,57 @@ impl TuningSession {
     /// [`SessionHandle::wait`].
     pub fn submit(&self, requests: &[TuneRequest]) -> SessionHandle {
         let service = &self.service;
+        // Fused requests pass the analytic gate first — server-side, so
+        // embedded and daemon clients get identical decisions. A
+        // rejected chain is rewritten to its bare-conv request *before*
+        // dedup: it then merges with every unfused request for the same
+        // layer and spends zero extra fresh measurements. Unique chains
+        // are counted per fused fingerprint (a VGG block repeated five
+        // times is one fused block, not five).
+        let mut fused_chains = std::collections::BTreeSet::new();
+        let mut fallback_chains = std::collections::BTreeSet::new();
+        let batch_requests: Vec<BatchRequest> = requests
+            .iter()
+            .map(|r| {
+                if r.epilogue.is_none() {
+                    return BatchRequest::bare(r.shape, r.kind);
+                }
+                let fused = BatchRequest { shape: r.shape, kind: r.kind, epilogue: r.epilogue };
+                let decision = fusion_gate(&r.shape, r.kind, r.epilogue, &self.device);
+                let fingerprint = fused.workload(&self.device).fingerprint();
+                match decision.reason() {
+                    None => {
+                        fused_chains.insert(fingerprint);
+                        fused
+                    }
+                    Some(reason) => {
+                        if fallback_chains.insert(fingerprint.clone()) {
+                            crate::log_event!(
+                                Debug,
+                                "fusion.fallback",
+                                fingerprint = fingerprint,
+                                reason = reason,
+                            );
+                        }
+                        BatchRequest::bare(r.shape, r.kind)
+                    }
+                }
+            })
+            .collect();
         // Dedup by workload fingerprint, preserving first-seen order —
         // the same network-level planning step the engine's tune_batch
         // uses, so the two layers can never disagree on what counts as
         // a duplicate.
-        let batch_requests: Vec<BatchRequest> =
-            requests.iter().map(|r| BatchRequest { shape: r.shape, kind: r.kind }).collect();
         let (unique, representative) = dedup_requests(&batch_requests, &self.device);
+        if !fused_chains.is_empty() {
+            service.inner.telemetry.incr("iolb_fused_blocks_total", fused_chains.len() as u64);
+        }
+        if !fallback_chains.is_empty() {
+            service
+                .inner
+                .telemetry
+                .incr("iolb_fusion_fallbacks_total", fallback_chains.len() as u64);
+        }
         let mut members: Vec<Member> = unique
             .iter()
             .map(|req| {
@@ -147,6 +214,7 @@ impl TuningSession {
                 Member {
                     shape: req.shape,
                     kind: req.kind,
+                    epilogue: req.epilogue,
                     fingerprint: workload.fingerprint(),
                     workload,
                     resolution: None,
@@ -174,6 +242,8 @@ impl TuningSession {
             st.stats.batch_groups += 1;
             st.stats.batch_requests += requests.len();
             st.stats.batch_deduped += requests.len() - members.len();
+            st.stats.fused_blocks += fused_chains.len();
+            st.stats.fusion_fallbacks += fallback_chains.len();
             let group = st.next_group;
             st.next_group += 1;
             // A fingerprint that is merely *queued* (a pending transfer
@@ -223,8 +293,18 @@ impl TuningSession {
             .map(|(m, donor)| {
                 let (cfg, donor_shape) = donor.as_ref()?;
                 let cfg = cfg.project_onto(&m.shape, m.kind);
-                let cost_ms =
-                    Measurer::new(self.device.clone(), m.shape, m.kind).measure_ms(&cfg)?;
+                if let Epilogue::ReluPool { k } = m.epilogue {
+                    // The donor's tile was on the pool grid for *its*
+                    // shape; projection can move it off the target's.
+                    // An off-grid tile cannot execute fused — fall
+                    // through to the normal miss path.
+                    if !cfg.x.is_multiple_of(k) || !cfg.y.is_multiple_of(k) {
+                        return None;
+                    }
+                }
+                let cost_ms = Measurer::new(self.device.clone(), m.shape, m.kind)
+                    .with_epilogue(m.epilogue)
+                    .measure_ms(&cfg)?;
                 let admissible = transfer_admissible(
                     &m.shape,
                     donor_shape,
@@ -270,6 +350,7 @@ impl TuningSession {
                         let job = Job {
                             shape: member.shape,
                             kind: member.kind,
+                            epilogue: member.epilogue,
                             device: self.device.clone(),
                             tier: JobTier::Transfer,
                             perturbation: None,
@@ -296,6 +377,7 @@ impl TuningSession {
                 let job = Job {
                     shape: member.shape,
                     kind: member.kind,
+                    epilogue: member.epilogue,
                     device: self.device.clone(),
                     tier: JobTier::Batch { group },
                     perturbation: None,
@@ -434,7 +516,7 @@ pub trait Backend {
         kind: TileKind,
         device: &DeviceSpec,
     ) -> Result<Option<ServeResult>, BackendError> {
-        let session = self.submit_batch(&[TuneRequest { shape: *shape, kind }], device)?;
+        let session = self.submit_batch(&[TuneRequest::bare(*shape, kind)], device)?;
         Ok(session.wait()?.pop().expect("one result per request"))
     }
 }
@@ -579,6 +661,7 @@ impl SessionHandle {
                         let job = Job {
                             shape: member.shape,
                             kind: member.kind,
+                            epilogue: member.epilogue,
                             device: self.device.clone(),
                             tier: JobTier::Batch { group: self.group },
                             perturbation: None,
@@ -611,7 +694,11 @@ impl SessionHandle {
         let config = self.service.config();
         let requests: Vec<BatchRequest> = claimed
             .iter()
-            .map(|(_, job)| BatchRequest { shape: job.shape, kind: job.kind })
+            .map(|(_, job)| BatchRequest {
+                shape: job.shape,
+                kind: job.kind,
+                epilogue: job.epilogue,
+            })
             .collect();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             tune_batch(&requests, &self.device, config.budget_per_workload, config.seed)
@@ -690,6 +777,7 @@ impl SessionHandle {
                     source: ServeSource::Anchored { retune },
                     fresh_measurements: 0,
                     cache_hits: 0,
+                    fused: !member.epilogue.is_none(),
                 }));
                 continue;
             }
@@ -740,6 +828,7 @@ impl SessionHandle {
                 source,
                 fresh_measurements,
                 cache_hits,
+                fused: !member.epilogue.is_none(),
             }));
         }
         out

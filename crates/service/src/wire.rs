@@ -56,10 +56,13 @@ use std::io::{Read, Write};
 /// messages; version 3 extended the `Stats` response with the metrics
 /// registry (counters, gauges, latency-histogram snapshots); version 4
 /// added the `anchor` serve source and the `retune` result flag
-/// (anchored transfer serving). Version-1 through version-3 peers alike
-/// are rejected with [`WireError::ForeignVersion`] rather than served a
-/// grammar they cannot fully speak.
-pub const WIRE_VERSION: u32 = 4;
+/// (anchored transfer serving); version 5 added fused operator chains —
+/// submit request lines carry an optional `epi` epilogue tag and every
+/// serve result carries a `fused` flag marking gate-approved fused
+/// chains. Version-1 through version-4 peers alike are rejected with
+/// [`WireError::ForeignVersion`] rather than served a grammar they
+/// cannot fully speak.
+pub const WIRE_VERSION: u32 = 5;
 
 /// Hard ceiling on a frame payload. A VGG-scale submit is a few KiB;
 /// anything claiming megabytes is hostile or corrupt and is rejected
@@ -382,13 +385,15 @@ fn encode_result(result: &Option<ServeResult>) -> String {
             let c = &r.config;
             format!(
                 concat!(
-                    "{{\"ok\":1,\"src\":\"{}\",\"cancel\":{},\"retune\":{},\"fresh\":{},\"cached\":{},",
+                    "{{\"ok\":1,\"src\":\"{}\",\"cancel\":{},\"retune\":{},\"fused\":{},",
+                    "\"fresh\":{},\"cached\":{},",
                     "\"cost_ms\":{},\"x\":{},\"y\":{},\"z\":{},\"nxt\":{},\"nyt\":{},",
                     "\"nzt\":{},\"sb\":{},\"layout\":\"{}\"}}"
                 ),
                 src,
                 cancelled,
                 retune,
+                usize::from(r.fused),
                 r.fresh_measurements,
                 r.cache_hits,
                 r.cost_ms,
@@ -434,6 +439,7 @@ fn decode_result(line: &str) -> Result<Option<ServeResult>, WireError> {
         source,
         fresh_measurements: fields.usize("fresh")?,
         cache_hits: fields.usize("cached")?,
+        fused: fields.u64("fused")? != 0,
     }))
 }
 
@@ -457,7 +463,10 @@ pub fn encode_request_into(req: &Request, out: &mut String) {
             out.push_str(&encode_device(device));
             out.push('\n');
             for r in requests {
-                out.push_str(&BatchRequest { shape: r.shape, kind: r.kind }.to_wire_line());
+                out.push_str(
+                    &BatchRequest { shape: r.shape, kind: r.kind, epilogue: r.epilogue }
+                        .to_wire_line(),
+                );
                 out.push('\n');
             }
         }
@@ -504,7 +513,11 @@ pub fn decode_request(payload: &str) -> Result<Request, WireError> {
                     WireError::Malformed(format!("submit frame ends after {i} of {n} request(s)"))
                 })?;
                 let br = BatchRequest::from_wire_line(line).map_err(WireError::Malformed)?;
-                requests.push(TuneRequest { shape: br.shape, kind: br.kind });
+                requests.push(TuneRequest {
+                    shape: br.shape,
+                    kind: br.kind,
+                    epilogue: br.epilogue,
+                });
             }
             Request::Submit { device, requests }
         }
@@ -816,14 +829,21 @@ mod tests {
 
     fn sample_requests() -> Vec<TuneRequest> {
         vec![
-            TuneRequest {
-                shape: ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0),
-                kind: TileKind::Direct,
-            },
-            TuneRequest {
-                shape: ConvShape::square(16, 14, 16, 3, 1, 1),
-                kind: TileKind::Winograd(WinogradTile::F4X3),
-            },
+            TuneRequest::bare(ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0), TileKind::Direct),
+            TuneRequest::bare(
+                ConvShape::square(16, 14, 16, 3, 1, 1),
+                TileKind::Winograd(WinogradTile::F4X3),
+            ),
+            TuneRequest::fused(
+                ConvShape::square(16, 28, 32, 3, 1, 1),
+                TileKind::Direct,
+                iolb_core::Epilogue::Relu,
+            ),
+            TuneRequest::fused(
+                ConvShape::square(16, 28, 32, 3, 1, 1),
+                TileKind::Winograd(WinogradTile::F2X3),
+                iolb_core::Epilogue::ReluPool { k: 2 },
+            ),
         ]
     }
 
@@ -863,6 +883,7 @@ mod tests {
             source: ServeSource::Inline { cancelled_speculative: true },
             fresh_measurements: 12,
             cache_hits: 3,
+            fused: false,
         }
     }
 
@@ -911,6 +932,12 @@ mod tests {
                         source: ServeSource::Anchored { retune: false },
                         ..sample_result()
                     }),
+                ],
+            },
+            Response::Results {
+                results: vec![
+                    Some(ServeResult { fused: true, ..sample_result() }),
+                    Some(ServeResult { fused: true, cost_ms: 0.125, ..sample_result() }),
                 ],
             },
             Response::Synced { persisted: true, total: 99 },

@@ -22,9 +22,11 @@ use proptest::prelude::*;
 fn framed_submit(draws: &[(u32, u32)]) -> (Request, Vec<u8>) {
     let requests: Vec<TuneRequest> = draws
         .iter()
-        .map(|&(cin_pow, cout_pow)| TuneRequest {
-            shape: ConvShape::new(1 << (cin_pow % 5), 14, 14, 1 << (cout_pow % 5), 1, 1, 1, 0),
-            kind: TileKind::Direct,
+        .map(|&(cin_pow, cout_pow)| {
+            TuneRequest::bare(
+                ConvShape::new(1 << (cin_pow % 5), 14, 14, 1 << (cout_pow % 5), 1, 1, 1, 0),
+                TileKind::Direct,
+            )
         })
         .collect();
     let request = Request::Submit { device: DeviceSpec::v100(), requests };
@@ -246,14 +248,15 @@ proptest! {
 }
 
 /// Previous protocol revisions are rejected whole by both sides —
-/// a v2 peer (pre-histogram `Stats`) or a v3 peer (pre-anchor serve
-/// source) must get a clean [`WireError::ForeignVersion`], not a
+/// a v2 peer (pre-histogram `Stats`), a v3 peer (pre-anchor serve
+/// source) or a v4 peer (pre-fusion: no `epi` request field, no `fused`
+/// result flag) must get a clean [`WireError::ForeignVersion`], not a
 /// partially-understood message, from the request decoder and the
 /// response decoder alike.
 #[test]
 fn stale_wire_versions_are_rejected_by_both_decoders() {
-    assert_eq!(WIRE_VERSION, 4, "update this pin when the protocol rolls");
-    for stale in [2u64, 3] {
+    assert_eq!(WIRE_VERSION, 5, "update this pin when the protocol rolls");
+    for stale in [2u64, 3, 4] {
         for kind in ["sync", "stats", "shutdown"] {
             let payload = format!("{{\"v\":{stale},\"type\":\"{kind}\"}}");
             match wire::decode_request(&payload) {

@@ -16,6 +16,8 @@
 //!   the bit-identical kernel paths.
 //! * [`im2col`] — the cuDNN-style image-to-column convolution path built on
 //!   the GEMM (the paper's direct-convolution baseline).
+//! * [`ops`] — standalone ReLU / max-pool epilogue passes, the unfused
+//!   reference composition fused conv→epilogue chains are diffed against.
 //! * [`winograd_math`] — Cook–Toom generation of the `A`/`B`/`G` (the
 //!   paper's `A`/`B`/`L`) transform matrices for arbitrary `F(e, r)`.
 //! * [`winograd_conv`] — the full 4-step Winograd convolution (Fig. 2).
@@ -43,6 +45,7 @@ pub mod gemm;
 pub mod im2col;
 pub mod kernel;
 pub mod layout;
+pub mod ops;
 pub mod tensor;
 pub mod winograd_conv;
 pub mod winograd_math;

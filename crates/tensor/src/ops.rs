@@ -1,0 +1,116 @@
+//! Standalone epilogue operators: ReLU and non-overlapping max-pooling.
+//!
+//! These are the **unfused reference composition** for fused
+//! conv→epilogue chains: a fused executor in `iolb-dataflow` must produce
+//! output bit-identical to running the bare convolution and then these
+//! operators, each as its own pass over a materialized tensor. To make
+//! that contract checkable at the bit level, the fused paths use the
+//! exact same per-element expressions — [`relu_val`] for the activation
+//! and the [`maxpool2d`] window fold order (`dy` outer, `dx` inner,
+//! `f32::max` accumulation from `f32::NEG_INFINITY`).
+
+use crate::tensor::Tensor4;
+
+/// The activation applied to one element: the explicit comparison form
+/// of `max(v, 0.0)`. Every non-positive input (including `-0.0`) maps to
+/// positive `0.0`, so the result is a single well-defined bit pattern —
+/// fused and unfused paths share this one definition, which is what
+/// makes their outputs comparable with `==` on the raw bits.
+#[inline]
+pub fn relu_val(v: f32) -> f32 {
+    if v > 0.0 {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Elementwise ReLU as its own pass (the unfused epilogue kernel).
+pub fn relu(t: &Tensor4) -> Tensor4 {
+    let mut out = Tensor4::zeros(t.n, t.c, t.h, t.w);
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(t.as_slice()) {
+        *o = relu_val(v);
+    }
+    out
+}
+
+/// Non-overlapping `k x k` max-pooling (stride `k`) as its own pass.
+///
+/// Requires `k` to divide both spatial extents — the same exact-tiling
+/// precondition the fusion gate (`Epilogue::fusable_on` in `iolb-core`)
+/// checks, enforced here so the unfused reference cannot silently drop
+/// border pixels the fused path would keep (or vice versa).
+pub fn maxpool2d(t: &Tensor4, k: usize) -> Tensor4 {
+    assert!(k > 0, "pool window must be non-empty");
+    assert_eq!(t.h % k, 0, "pool window must tile the height exactly");
+    assert_eq!(t.w % k, 0, "pool window must tile the width exactly");
+    let (ph, pw) = (t.h / k, t.w / k);
+    let mut out = Tensor4::zeros(t.n, t.c, ph, pw);
+    for n in 0..t.n {
+        for c in 0..t.c {
+            for py in 0..ph {
+                for px in 0..pw {
+                    let mut m = f32::NEG_INFINITY;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            m = m.max(t.at(n, c, py * k + dy, px * k + dx));
+                        }
+                    }
+                    *out.at_mut(n, c, py, px) = m;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relu_zeroes_non_positives_and_keeps_positives() {
+        let t = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| match (h, w) {
+            (0, 0) => -1.5,
+            (0, 1) => 0.0,
+            (1, 0) => -0.0,
+            _ => 2.5,
+        });
+        let r = relu(&t);
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 0.0, 2.5]);
+        // Negative zero is normalized to positive zero.
+        assert_eq!(r.at(0, 0, 1, 0).to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn maxpool_takes_the_window_max() {
+        let t = Tensor4::from_fn(1, 1, 4, 4, |_, _, h, w| (h * 4 + w) as f32);
+        let p = maxpool2d(&t, 2);
+        assert_eq!((p.h, p.w), (2, 2));
+        assert_eq!(p.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn maxpool_handles_all_negative_windows() {
+        let t = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| -1.0 - (h * 2 + w) as f32);
+        let p = maxpool2d(&t, 2);
+        assert_eq!(p.as_slice(), &[-1.0]);
+    }
+
+    #[test]
+    fn maxpool_is_deterministic_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Tensor4::random(2, 3, 8, 8, &mut rng);
+        let a = maxpool2d(&relu(&t), 2);
+        let b = maxpool2d(&relu(&t), 2);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the height")]
+    fn maxpool_rejects_non_dividing_windows() {
+        let _ = maxpool2d(&Tensor4::zeros(1, 1, 5, 4), 2);
+    }
+}

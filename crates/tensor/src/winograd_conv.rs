@@ -15,12 +15,15 @@
 //!
 //! Two execution paths, selected by [`KernelPath`]:
 //!
-//! * **scalar** — the reference implementation: per-tile [`Mat`]
-//!   temporaries, input transform recomputed for every output channel.
-//! * **vector** — flat preallocated scratch, the input transform `P`
-//!   hoisted out of the `co` loop (it depends only on `(n, ci, tile)`),
-//!   and all matrix products through [`matmul_flat`], whose inner loop is a
-//!   unit-stride row axpy the autovectorizer maps onto SIMD lanes.
+//! * **scalar** — the reference implementation: the input transform `P`
+//!   is recomputed for every output channel. Products run through
+//!   [`matmul_flat`] into preallocated scratch (no allocation inside the
+//!   tile loop — an earlier formulation's per-tile `Mat` churn dominated
+//!   single-thread benchmark timings).
+//! * **vector** — the input transform `P` hoisted out of the `co` loop
+//!   (it depends only on `(n, ci, tile)`), and the Hadamard-accumulate
+//!   restructured into lane-parallel rows the autovectorizer maps onto
+//!   SIMD lanes.
 //!
 //! The vector path preserves the scalar fold order *exactly* (see
 //! [`matmul_flat`]), so the two paths are **bit-identical** — no epsilon.
@@ -36,9 +39,8 @@ pub struct WinogradPlan {
     t: Transforms,
     /// `J[co][ci]`: `a x a` transformed kernel.
     transformed: Vec<Mat>,
-    /// `B = (B^T)^T`, hoisted for the vector path (the scalar path
-    /// recomputes it per tile, which is bit-identical — `t()` is a pure
-    /// permutation).
+    /// `B = (B^T)^T`, hoisted out of both paths' tile loops (`t()` is a
+    /// pure permutation, so hoisting cannot move a bit).
     b_mat: Mat,
     /// `A = (A^T)^T`, hoisted likewise.
     a_mat: Mat,
@@ -123,12 +125,18 @@ pub fn conv2d_winograd_with_plan_path(
     }
 }
 
-/// The reference path: per-tile [`Mat`] temporaries, `P` recomputed per
-/// output channel. Kept verbatim as the oracle the vector path is
-/// diffed against.
+/// The reference path: `P = B^T d B` recomputed for every output
+/// channel — the structural trait the vector path removes. All products
+/// run through [`matmul_flat`] into preallocated flat scratch (exactly
+/// [`Mat::matmul`]'s fold order, so the results are bit-identical to the
+/// historical per-tile-`Mat` formulation): earlier revisions allocated
+/// fresh `Mat`s and recomputed the `B`/`A` transposes inside the tile
+/// loop, and single-thread kernel benchmarks timed that allocator
+/// traffic as if it were Winograd arithmetic.
 fn winograd_scalar(input: &Tensor4, plan: &WinogradPlan, params: ConvParams) -> Tensor4 {
     let t = &plan.t;
     let (e, r, a) = (t.e, t.r, t.a());
+    let aa = a * a;
     let oh = params.out_extent(input.h, r);
     let ow = params.out_extent(input.w, r);
     let mut out = Tensor4::zeros(input.n, plan.cout, oh, ow);
@@ -136,9 +144,18 @@ fn winograd_scalar(input: &Tensor4, plan: &WinogradPlan, params: ConvParams) -> 
     let tiles_y = oh.div_ceil(e);
     let tiles_x = ow.div_ceil(e);
 
-    // Scratch reused across tiles.
-    let mut patch = Mat::zeros(a, a);
-    let mut pi = Mat::zeros(a, a);
+    let bt = &t.bt.data;
+    let b = &plan.b_mat.data;
+    let at = &t.at.data;
+    let a_t = &plan.a_mat.data;
+
+    // Flat scratch reused across tiles.
+    let mut patch = vec![0.0f64; aa];
+    let mut tmp = vec![0.0f64; aa];
+    let mut p = vec![0.0f64; aa];
+    let mut pi = vec![0.0f64; aa];
+    let mut y_tmp = vec![0.0f64; e * a];
+    let mut y_tile = vec![0.0f64; e * e];
 
     for n in 0..input.n {
         for co in 0..plan.cout {
@@ -148,33 +165,35 @@ fn winograd_scalar(input: &Tensor4, plan: &WinogradPlan, params: ConvParams) -> 
                     // with padding).
                     let oy = (ty * e) as isize - params.pad as isize;
                     let ox = (tx * e) as isize - params.pad as isize;
-                    pi.data.fill(0.0);
+                    pi.fill(0.0);
                     for ci in 0..input.c {
                         // Load the (a x a) patch with zero padding.
                         for y in 0..a {
                             for x in 0..a {
-                                *patch.at_mut(y, x) =
+                                patch[y * a + x] =
                                     input.at_padded(n, ci, oy + y as isize, ox + x as isize) as f64;
                             }
                         }
                         // P = B^T d B.
-                        let p = t.bt.matmul(&patch).matmul(&t.bt.t());
+                        matmul_flat(bt, &patch, &mut tmp, a, a, a);
+                        matmul_flat(&tmp, b, &mut p, a, a, a);
                         // Lambda = P ⊙ J, accumulated over channels (step 3
                         // folded into step 2's loop — same DAG, fewer
                         // buffers).
-                        let j = plan.kernel(co, ci);
-                        for idx in 0..a * a {
-                            pi.data[idx] += p.data[idx] * j.data[idx];
+                        let j = &plan.kernel(co, ci).data;
+                        for idx in 0..aa {
+                            pi[idx] += p[idx] * j[idx];
                         }
                     }
                     // Y = A^T Pi A.
-                    let y_tile = t.at.matmul(&pi).matmul(&t.at.t());
+                    matmul_flat(at, &pi, &mut y_tmp, e, a, a);
+                    matmul_flat(&y_tmp, a_t, &mut y_tile, e, a, e);
                     for dy in 0..e {
                         for dx in 0..e {
                             let yy = ty * e + dy;
                             let xx = tx * e + dx;
                             if yy < oh && xx < ow {
-                                *out.at_mut(n, co, yy, xx) = y_tile.at(dy, dx) as f32;
+                                *out.at_mut(n, co, yy, xx) = y_tile[dy * e + dx] as f32;
                             }
                         }
                     }

@@ -37,7 +37,7 @@ fn main() {
     // Path 1 — the batch session: one submit, one wait.
     let service = TuningService::new(ShardedStore::new(), config);
     let requests: Vec<TuneRequest> =
-        layers.iter().map(|&shape| TuneRequest { shape, kind: TileKind::Direct }).collect();
+        layers.iter().map(|&shape| TuneRequest::bare(shape, TileKind::Direct)).collect();
     let handle = service.submit(&requests, &device);
     println!(
         "session {}: {} request(s) -> {} unique workload(s) ({} rode along for free)",

@@ -76,7 +76,7 @@ fn requests() -> Vec<TuneRequest> {
     let a = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
     let b = ConvShape::new(16, 14, 14, 32, 1, 1, 1, 0);
     let c = ConvShape::new(24, 14, 14, 12, 1, 1, 1, 0);
-    [a, b, a, c, a].iter().map(|&shape| TuneRequest { shape, kind: TileKind::Direct }).collect()
+    [a, b, a, c, a].iter().map(|&shape| TuneRequest::bare(shape, TileKind::Direct)).collect()
 }
 
 /// One in-process fleet daemon: TCP for sessions, Unix for control.

@@ -10,12 +10,20 @@
 //! * **steal path** — many threads requesting the same workload
 //!   concurrently trigger exactly one tuning run; everyone gets the
 //!   identical result.
+//!
+//! Plus the ISSUE 10 fusion gates: a gate-approved conv→relu chain is
+//! tuned as one composite workload and beats the per-layer composition,
+//! while the forced-loss chain (pool window that does not tile the conv
+//! output) falls back to the per-layer config with zero extra fresh
+//! measurements.
 
+use conv_iolb::autotune::fusion::epilogue_unfused_ms;
 use conv_iolb::autotune::plan::tuner_setup;
 use conv_iolb::autotune::tune_with_store;
 use conv_iolb::cnn::inference::TUNER_SEED;
 use conv_iolb::core::optimality::TileKind;
 use conv_iolb::core::shapes::ConvShape;
+use conv_iolb::core::Epilogue;
 use conv_iolb::gpusim::DeviceSpec;
 use conv_iolb::records::{RecordStore, Workload};
 use conv_iolb::service::{
@@ -50,7 +58,7 @@ fn shapes() -> Vec<ConvShape> {
 }
 
 fn requests() -> Vec<TuneRequest> {
-    shapes().iter().map(|&shape| TuneRequest { shape, kind: TileKind::Direct }).collect()
+    shapes().iter().map(|&shape| TuneRequest::bare(shape, TileKind::Direct)).collect()
 }
 
 /// The eager reference for one workload: `tune_with_store` on a fresh
@@ -126,7 +134,7 @@ fn session_with_k_duplicates_enqueues_exactly_one_job() {
     let service = TuningService::new(ShardedStore::new(), config(false));
     let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
     let k = 4;
-    let reqs = vec![TuneRequest { shape, kind: TileKind::Direct }; k];
+    let reqs = vec![TuneRequest::bare(shape, TileKind::Direct); k];
     let handle = service.submit(&reqs, &device());
     assert_eq!(service.queue_len(), 1, "k duplicates must enqueue exactly one job");
     assert_eq!(handle.unique_workloads(), 1);
@@ -207,6 +215,112 @@ fn session_results_are_identical_with_and_without_workers() {
     assert_eq!(run(0), run(2));
 }
 
+/// Reads one counter out of the service's metrics snapshot (absent
+/// counters read as zero, like a scrape would).
+fn counter(service: &TuningService, name: &str) -> u64 {
+    service.metrics().counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+}
+
+/// ISSUE 10: a gate-approved conv→relu chain is tuned as ONE composite
+/// workload. The result carries `fused: true`, the stats and telemetry
+/// counters agree, the served cost lands strictly below the per-layer
+/// cost (conv + unfused epilogue round trip), and a rerun on a fresh
+/// service is bit-identical.
+#[test]
+fn fused_chain_is_tuned_as_a_composite_workload() {
+    let service = TuningService::new(ShardedStore::new(), config(false));
+    let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let fused = service
+        .tune_or_wait_fused(&shape, TileKind::Direct, Epilogue::Relu, &device())
+        .expect("feasible chain");
+    assert!(fused.fused, "the analytic gate approves a relu chain on this shape");
+    let stats = service.stats();
+    assert_eq!(stats.fused_blocks, 1);
+    assert_eq!(stats.fusion_fallbacks, 0);
+    assert_eq!(counter(&service, "iolb_fused_blocks_total"), 1);
+    assert_eq!(counter(&service, "iolb_fusion_fallbacks_total"), 0);
+
+    // The fused chain beats the per-layer composition: its cost stays
+    // strictly below the bare conv plus the modeled unfused epilogue
+    // (the launch + intermediate-tensor round trip fusion deletes).
+    let (_, bare_ms, _) = eager(&shape);
+    let per_layer_ms = bare_ms + epilogue_unfused_ms(&shape, Epilogue::Relu, &device());
+    assert!(fused.cost_ms < per_layer_ms, "fused {} !< per-layer {per_layer_ms}", fused.cost_ms);
+
+    // The composite workload has its own fingerprint: the bare conv is
+    // NOT a shard hit afterwards — it is a distinct workload.
+    let bare = service.tune_or_wait(&shape, TileKind::Direct, &device()).unwrap();
+    assert!(
+        matches!(bare.source, ServeSource::Inline { .. }),
+        "bare conv and fused chain are distinct workloads"
+    );
+
+    // Hermetic determinism extends to fused workloads.
+    let again = TuningService::new(ShardedStore::new(), config(false))
+        .tune_or_wait_fused(&shape, TileKind::Direct, Epilogue::Relu, &device())
+        .unwrap();
+    assert_eq!(again.cost_ms.to_bits(), fused.cost_ms.to_bits());
+    assert_eq!(again.config, fused.config);
+}
+
+/// The ISSUE 10 pinned acceptance test: a forced-loss chain — a pool
+/// window that does not tile the conv output — falls back to the
+/// per-layer config with ZERO extra fresh measurements. The gate runs
+/// before dedup, so the rejected chain is served straight from the bare
+/// conv's shard records.
+#[test]
+fn forced_loss_chain_falls_back_with_zero_extra_measurements() {
+    let service = TuningService::new(ShardedStore::new(), config(false));
+    // Output extent 14; a 3x3 pool window does not tile it — the gate
+    // rejects with reason "pool-tiling" before any measurement.
+    let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let bare = service.tune_or_wait(&shape, TileKind::Direct, &device()).unwrap();
+    let fresh_after_bare = service.stats().fresh_measurements;
+
+    let rejected = service
+        .tune_or_wait_fused(&shape, TileKind::Direct, Epilogue::ReluPool { k: 3 }, &device())
+        .expect("a rejected chain still serves its per-layer config");
+    assert!(!rejected.fused, "the gate rejected the chain");
+    assert_eq!(rejected.source, ServeSource::ShardHit, "served from the bare conv's records");
+    assert_eq!(rejected.fresh_measurements, 0);
+    assert_eq!(rejected.config, bare.config, "per-layer config, bit-identical");
+    assert_eq!(rejected.cost_ms.to_bits(), bare.cost_ms.to_bits());
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.fresh_measurements, fresh_after_bare,
+        "the fallback spends zero extra fresh measurements"
+    );
+    assert_eq!(stats.fusion_fallbacks, 1);
+    assert_eq!(stats.fused_blocks, 0);
+    assert_eq!(counter(&service, "iolb_fusion_fallbacks_total"), 1);
+    assert_eq!(counter(&service, "iolb_fused_blocks_total"), 0);
+}
+
+/// A rejected chain submitted alongside the bare request for the same
+/// conv folds into ONE session member: one queue job, one tuning run,
+/// bit-identical results for both waiters.
+#[test]
+fn rejected_chain_merges_with_the_bare_request_in_one_session() {
+    let service = TuningService::new(ShardedStore::new(), config(false));
+    let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
+    let reqs = vec![
+        TuneRequest::bare(shape, TileKind::Direct),
+        TuneRequest::fused(shape, TileKind::Direct, Epilogue::ReluPool { k: 3 }),
+    ];
+    let handle = service.submit(&reqs, &device());
+    assert_eq!(handle.unique_workloads(), 1, "the rewritten chain folds into the bare conv");
+    let results = handle.wait();
+    let bare = results[0].as_ref().expect("feasible");
+    let chain = results[1].as_ref().expect("feasible");
+    assert!(!chain.fused);
+    assert_eq!(chain.config, bare.config);
+    assert_eq!(chain.cost_ms.to_bits(), bare.cost_ms.to_bits());
+    let stats = service.stats();
+    assert_eq!(stats.inline_tuned, 1, "one tuning run serves both requests");
+    assert_eq!(stats.fusion_fallbacks, 1);
+}
+
 /// Infeasible workloads resolve to `None` per request without failing
 /// the rest of the batch — and are remembered.
 #[test]
@@ -214,7 +328,7 @@ fn infeasible_members_resolve_to_none_and_are_remembered() {
     let hopeless = DeviceSpec { smem_per_sm: 1, ..device() };
     let service = TuningService::new(ShardedStore::new(), config(false));
     let shape = ConvShape::new(32, 14, 14, 16, 1, 1, 1, 0);
-    let reqs = vec![TuneRequest { shape, kind: TileKind::Direct }; 2];
+    let reqs = vec![TuneRequest::bare(shape, TileKind::Direct); 2];
     let results = service.submit(&reqs, &hopeless).wait();
     assert!(results.iter().all(Option::is_none));
     assert_eq!(service.stats().infeasible, 1, "one unique workload failed once");
